@@ -1,0 +1,42 @@
+"""§VI-A methodology — the mixed-route trace campaign.
+
+The paper's evaluation drives one 97 km route that "involves roads of
+three general types" and slices results by setting.  This bench runs the
+same design at city scale: one mixed route, repeated drives, query
+outcomes bucketed by the road type under the vehicles — verifying that
+RUPS stays stable across environments *within a single trace* (not just
+across separately-built test tracks).
+"""
+
+import numpy as np
+
+from repro.experiments.campaign import run_campaign
+
+
+def test_mixed_route_campaign(benchmark, record_result):
+    result = benchmark.pedantic(
+        run_campaign,
+        kwargs={
+            "route_length_m": 5000.0,
+            "n_drives": 3,
+            "queries_per_drive": 40,
+            "seed": 3,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_result("t-campaign", result.render())
+
+    assert len(result.by_road_type) >= 2  # the route genuinely mixes
+    pooled = result.pooled()
+    assert pooled.n_queries == 3 * 40
+    assert pooled.resolution_rate > 0.9
+    # Stability across environments within one trace (paper SVI-C:
+    # "RUPS can achieve very stable performance over different urban
+    # environments"): no bucket with >= 10 queries strays beyond 3x the
+    # pooled mean.
+    pooled_mean = pooled.mean_rde()
+    assert pooled_mean < 5.0
+    for road_type, batch in result.by_road_type.items():
+        if batch.n_resolved >= 10:
+            assert batch.mean_rde() < 3.0 * pooled_mean + 1.0, road_type

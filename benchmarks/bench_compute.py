@@ -1,0 +1,72 @@
+"""§V-A — computational cost of the SYN search.
+
+Two parts:
+
+* a pytest-benchmark micro-benchmark of one full sliding SYN search at
+  the paper's operating point (m = 1000 m context, w = 100 m window,
+  k = 45 channels; the paper measured ~1.2 ms on an i7-2640M);
+* the O(m*w*k) scaling sweep (each dimension doubled/halved), written to
+  the results file, with linearity assertions.
+
+Plus the binding-resolution ablation flagged in DESIGN.md.
+"""
+
+import numpy as np
+
+from repro.experiments.timing import (
+    _search_inputs,
+    compute_cost_sweep,
+    syn_search_seconds,
+)
+from repro.core.correlation import sliding_trajectory_correlation
+
+
+def test_syn_search_paper_operating_point(benchmark):
+    query, target = _search_inputs(m_marks=1000, w_marks=100, k_channels=45)
+    benchmark(sliding_trajectory_correlation, query, target)
+    # Comparable to the paper's 1.2 ms on 2011 hardware; we only bound it
+    # loosely so slow CI machines do not flake.  (stats is None when run
+    # with --benchmark-disable.)
+    if benchmark.stats is not None:
+        assert benchmark.stats.stats.mean < 0.05
+
+
+def test_compute_cost_scaling(benchmark, record_result):
+    result = benchmark.pedantic(compute_cost_sweep, rounds=1, iterations=1)
+    record_result("t-compute", result.render())
+
+    by_cfg = {(m, w, k): sec for m, w, k, sec in result.rows}
+    base = by_cfg[(1000, 100, 45)]
+    # Linear-ish in each dimension: doubling any one of m, w, k roughly
+    # doubles the time.  Bounds are deliberately loose — wall-clock
+    # micro-timings on shared machines jitter — the strong check is the
+    # ns-per-mwk stability below.
+    for double in ((2000, 100, 45), (1000, 200, 45), (1000, 100, 90)):
+        ratio = by_cfg[double] / base
+        assert 1.1 < ratio < 4.5, f"{double}: ratio {ratio:.2f}"
+    for half in ((500, 100, 45), (1000, 50, 45), (1000, 100, 20)):
+        assert by_cfg[half] < base * 1.3
+    # O(m*w*k): normalized cost is flat across the sweep (CV bounded).
+    per_mwk = np.array([sec / (m * w * k) for m, w, k, sec in result.rows])
+    assert np.std(per_mwk) / np.mean(per_mwk) < 0.6
+
+
+def test_binding_resolution_ablation(benchmark, record_result):
+    """DESIGN.md ablation: SYN search cost vs binding grid resolution."""
+
+    def run():
+        rows = []
+        for spacing in (1.0, 2.0, 5.0):
+            m = int(1000 / spacing)
+            w = int(100 / spacing)
+            sec = syn_search_seconds(m_marks=m, w_marks=max(w, 2), k_channels=45)
+            rows.append((spacing, m, sec))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["t-compute ablation — binding grid resolution:"]
+    for spacing, m, sec in rows:
+        lines.append(f"  {spacing:.0f} m marks ({m:4d} marks/km): {sec * 1e3:7.3f} ms per search")
+    record_result("t-compute_ablation", "\n".join(lines))
+    # Coarser grids are cheaper.
+    assert rows[0][2] > rows[-1][2]

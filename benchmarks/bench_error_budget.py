@@ -1,0 +1,79 @@
+"""Error-budget decomposition ablation (DESIGN.md §1.1).
+
+Separates the two error families the reproduction identifies:
+
+* **odometry warp** — OBD speedometer over-read distorting the distance
+  domain (swap in the wheel encoder to remove most of it);
+* **field decorrelation** — the per-vehicle parallax/micro multipath two
+  radios never share (shrink it via FieldConfig to approach the
+  matching-theoretic limit).
+
+The stack ordering quantifies how much of the total RDE each source
+contributes — the decomposition behind DESIGN.md's claim that OBD
+odometry and vehicle parallax are the dominant knobs.
+"""
+
+import numpy as np
+
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine
+from repro.experiments.evaluation import run_queries
+from repro.experiments.traces import drive_pair
+from repro.gsm.band import EVAL_SUBSET_115
+from repro.gsm.field import FieldConfig
+from repro.roads.types import RoadType
+from repro.util.rng import RngFactory
+
+
+def _mean_rde(seed: int, odometry: str, field_config: FieldConfig | None):
+    engine = RupsEngine(RupsConfig())
+    pooled = []
+    for d in range(2):
+        pair = drive_pair(
+            road_type=RoadType.URBAN_4LANE,
+            duration_s=420.0,
+            n_radios=4,
+            plan=EVAL_SUBSET_115,
+            seed=seed * 100 + d,
+            odometry=odometry,
+            field_config=field_config,
+        )
+        rng = RngFactory(seed).generator("queries", d)
+        batch = run_queries(pair, 30, engine, rng, with_syn_errors=False)
+        pooled.extend(batch.rde().tolist())
+    return float(np.mean(pooled)), len(pooled)
+
+
+def test_error_budget_decomposition(benchmark, record_result):
+    clean_field = FieldConfig(
+        micro_fraction=0.0,
+        vehicle_skew_sigma_m=1e-9,
+        noise_sigma_db=1.0,
+    )
+
+    def run():
+        return {
+            "full system (OBD odometry)": _mean_rde(11, "obd", None),
+            "wheel odometry": _mean_rde(11, "wheel", None),
+            "wheel + shared-field limit": _mean_rde(11, "wheel", clean_field),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["error-budget decomposition (4-lane urban, 4 front radios):"]
+    for label, (mean, n) in out.items():
+        lines.append(f"  {label:28s} mean RDE {mean:6.2f} m  (n={n})")
+    full = out["full system (OBD odometry)"][0]
+    wheel = out["wheel odometry"][0]
+    limit = out["wheel + shared-field limit"][0]
+    lines.append(
+        f"  -> odometry warp contributes ~{full - wheel:.2f} m, "
+        f"vehicle-field decorrelation ~{wheel - limit:.2f} m, "
+        f"residual (binding/grid) ~{limit:.2f} m"
+    )
+    record_result("ext-error-budget", "\n".join(lines))
+
+    # The stack must be ordered: each removed error source helps.
+    assert full > wheel
+    assert wheel > limit
+    # The matching-theoretic limit is sub-metre (1 m binding grid).
+    assert limit < 1.0

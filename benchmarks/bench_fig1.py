@@ -1,0 +1,17 @@
+"""Fig 1 — example GSM-aware trajectories (two roads, one entered twice).
+
+Regenerates the figure's data: three 194-channel spectrograms over 150 m
+and the trajectory correlations that make the figure's point (same road
+at different times ~ similar; different roads ~ distinct).
+"""
+
+from repro.experiments.empirical import fig1_spectrograms
+
+
+def test_fig1_spectrograms(benchmark, record_result):
+    result = benchmark.pedantic(fig1_spectrograms, rounds=1, iterations=1)
+    record_result("fig1", result.render())
+    # Shape assertions: the qualitative claim of the figure.
+    assert result.same_road_correlation > 1.0
+    assert result.cross_road_correlation < 0.5
+    assert result.road_a_entry1.shape == (194, 151)

@@ -1,0 +1,45 @@
+"""Fig 12 — RUPS vs GPS under four urban environments.
+
+Regenerates the headline comparison.  Shape assertions per §VI-D: RUPS
+is stable across all environments while GPS degrades sharply under
+elevated roads; the mean GPS/RUPS error ratio is well above 1 (paper:
+2.7x on average; our GPS means land within ~10% of the paper's
+4.2/9.9/9.8/21.1 m, our RUPS is somewhat better than theirs, so the
+ratio comes out higher — see EXPERIMENTS.md).
+"""
+
+import numpy as np
+
+from repro.experiments.evaluation import EvalSettings, fig12_vs_gps
+
+SETTINGS = EvalSettings(n_drives=3, queries_per_drive=50, seed=4)
+
+
+def test_fig12_rups_vs_gps(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig12_vs_gps, kwargs={"settings": SETTINGS}, rounds=1, iterations=1
+    )
+    record_result("fig12", result.render())
+
+    rups_means = {k: float(np.mean(v)) for k, v in result.rups.items()}
+    gps_means = {k: float(np.mean(v)) for k, v in result.gps.items()}
+
+    # RUPS stable across environments: worst/best mean ratio bounded
+    # (paper's own spread is 6.9 m / 2.3 m = 3.0x).
+    assert max(rups_means.values()) / min(rups_means.values()) < 4.0
+    # GPS varies tremendously: under-elevated far worse than suburb.
+    assert (
+        gps_means["under elevated roads"] > 3 * gps_means["2-lane roads, suburb"]
+    )
+    # GPS ordering matches the paper: suburb best, under-elevated worst.
+    assert gps_means["2-lane roads, suburb"] < gps_means["4-lane roads, urban"]
+    assert gps_means["4-lane roads, urban"] < gps_means["under elevated roads"]
+    # RUPS wins in every environment; overall by a clear factor.
+    for env in rups_means:
+        assert rups_means[env] < gps_means[env]
+    assert result.mean_improvement_factor() > 2.0
+    # GPS availability suffers under the elevated deck.
+    assert (
+        result.gps_availability["under elevated roads"]
+        < result.gps_availability["2-lane roads, suburb"]
+    )

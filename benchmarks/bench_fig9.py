@@ -1,0 +1,110 @@
+"""Fig 9 — SYN point error vs number and placement of scanning radios.
+
+Regenerates the CDFs for the paper's four configurations on 8-lane urban
+roads (same lane).  Shape assertions: more radios reduce SYN error; the
+central placement is worse than front at equal radio count.
+
+Also includes the missing-channel ablation flagged in DESIGN.md: the
+same 1-radio workload with interpolation disabled, quantifying what
+§IV-C's linear interpolation buys.
+"""
+
+import numpy as np
+
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine
+from repro.experiments.evaluation import EvalSettings, fig9_radios, run_queries
+from repro.experiments.traces import drive_pair
+from repro.gsm.band import EVAL_SUBSET_115
+from repro.roads.types import RoadType
+from repro.util.rng import RngFactory
+
+SETTINGS = EvalSettings(n_drives=3, queries_per_drive=50, seed=1)
+
+
+def test_fig9_radio_configurations(benchmark, record_result):
+    result = benchmark.pedantic(
+        fig9_radios, kwargs={"settings": SETTINGS}, rounds=1, iterations=1
+    )
+    record_result("fig9", result.render())
+
+    mean = {k: float(np.mean(v)) for k, v in result.syn_errors.items() if v.size}
+    four_front = mean["4 front radios, 4 front radios"]
+    four_central = mean["4 central radios, 4 front radios"]
+    two_front = mean["2 front radios, 2 front radios"]
+    one_front = mean["1 front radio, 1 front radio"]
+
+    # More radios -> better (1 clearly worst; 4 no worse than 2).
+    assert one_front > four_front
+    assert one_front > two_front
+    assert four_front <= two_front * 1.25
+    # Placement matters: central worse than front.
+    assert four_central > four_front
+    # Absolute regime: metres, not tens of metres, for the best config.
+    assert four_front < 5.0
+
+
+def test_fig9_interpolation_ablation(benchmark, record_result):
+    """Missing-channel interpolation on vs off (1 radio, worst case)."""
+
+    def run() -> dict:
+        pair = drive_pair(
+            road_type=RoadType.URBAN_8LANE,
+            duration_s=SETTINGS.duration_s,
+            n_radios=1,
+            plan=EVAL_SUBSET_115,
+            seed=777,
+        )
+        rng = RngFactory(7).generator("ablation")
+        times = rng.uniform(*pair.query_window(1000.0), size=40)
+        out = {}
+        for label, interpolate in (("interpolated", True), ("raw gaps", False)):
+            engine = RupsEngine(RupsConfig())
+            errs = []
+            unresolved = 0
+            for tq in times:
+                own = engine.build_trajectory(
+                    pair.rear.scan, pair.rear.estimated, at_time_s=tq
+                )
+                other = engine.build_trajectory(
+                    pair.front.scan, pair.front.estimated, at_time_s=tq
+                )
+                if not interpolate:
+                    # strip the interpolation by re-binding raw
+                    from repro.core.binding import bind_scan
+
+                    own = bind_scan(
+                        pair.rear.scan,
+                        pair.rear.estimated,
+                        at_time_s=tq,
+                        context_length_m=1000.0,
+                        interpolate=False,
+                    )
+                    other = bind_scan(
+                        pair.front.scan,
+                        pair.front.estimated,
+                        at_time_s=tq,
+                        context_length_m=1000.0,
+                        interpolate=False,
+                    )
+                est = engine.estimate_relative_distance(own, other)
+                if est.resolved:
+                    truth = float(pair.scenario.true_relative_distance(tq))
+                    errs.append(abs(est.distance_m - truth))
+                else:
+                    unresolved += 1
+            out[label] = (np.array(errs), unresolved)
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["fig9 ablation — SIV-C missing-channel interpolation (1 radio):"]
+    for label, (errs, unresolved) in out.items():
+        mean = float(np.mean(errs)) if errs.size else float("nan")
+        lines.append(
+            f"  {label:13s}: mean RDE {mean:6.2f} m, unresolved {unresolved}/40"
+        )
+    record_result("fig9_ablation", "\n".join(lines))
+    # Interpolation must not hurt, and should resolve at least as often.
+    errs_on, un_on = out["interpolated"]
+    errs_off, un_off = out["raw gaps"]
+    assert un_on <= un_off

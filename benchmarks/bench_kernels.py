@@ -1,0 +1,80 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Not a paper artifact per se, but the performance contract the rest of
+the benches rely on: field construction, scan simulation, binding, and
+the per-query end-to-end cost (which §V-B compares against the ~0.5 s
+communication budget).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.binding import bind_scan
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine
+from repro.gsm.band import EVAL_SUBSET_115
+from repro.gsm.field import make_straight_field
+from repro.gsm.scanner import RadioGroup, scan_drive
+from repro.roads.types import RoadType
+from repro.sensors.deadreckoning import EstimatedTrack
+
+
+@pytest.fixture(scope="module")
+def field():
+    return make_straight_field(2000.0, RoadType.URBAN_4LANE, plan=EVAL_SUBSET_115, seed=0)
+
+
+@pytest.fixture(scope="module")
+def scan(field):
+    group = RadioGroup(EVAL_SUBSET_115, n_radios=4)
+    return scan_drive(field, lambda t: 10.0 * np.asarray(t), group, 0.0, 180.0, rng=0)
+
+
+@pytest.fixture(scope="module")
+def track():
+    t = np.arange(0.0, 180.0, 0.1)
+    return EstimatedTrack(times_s=t, distance_m=10.0 * t, heading_rad=np.zeros(t.size))
+
+
+def test_field_construction(benchmark):
+    benchmark.pedantic(
+        make_straight_field,
+        args=(2000.0,),
+        kwargs={"road_type": RoadType.URBAN_4LANE, "plan": EVAL_SUBSET_115, "seed": 1},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_scan_simulation(benchmark, field):
+    group = RadioGroup(EVAL_SUBSET_115, n_radios=4)
+    stream = benchmark(
+        scan_drive, field, lambda t: 10.0 * np.asarray(t), group, 0.0, 60.0, 0
+    )
+    assert len(stream) > 10_000
+
+
+def test_binding(benchmark, scan, track):
+    traj = benchmark(
+        bind_scan, scan, track, 175.0, 1000.0
+    )
+    assert traj.n_marks == 1001
+
+
+def test_full_query(benchmark, scan, track, field):
+    """End-to-end per-query cost: bind both sides + SYN search + resolve.
+
+    §V-A argues computation is negligible against the ~0.5 s exchange;
+    our whole query must comfortably beat that budget.
+    """
+    engine = RupsEngine(RupsConfig())
+    other = engine.build_trajectory(scan, track, at_time_s=170.0)
+
+    def query():
+        own = engine.build_trajectory(scan, track, at_time_s=175.0)
+        return engine.estimate_relative_distance(own, other)
+
+    est = benchmark(query)
+    if benchmark.stats is not None:
+        assert benchmark.stats.stats.mean < 0.5
+    assert est is not None

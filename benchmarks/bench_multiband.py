@@ -1,0 +1,144 @@
+"""§VII extension — multi-band sensing ablation.
+
+The paper's future work: "we will further improve the accuracy of RUPS
+by involving other ambient wireless signals such as the 3G/4G, FM and TV
+bands."  This bench quantifies the trade-off our plan-agnostic stack
+exposes: adding FM channels widens the fingerprint (more diversity) but
+lengthens the sweep (more missing channels at speed).  With a single
+radio — the regime where the trade-off bites — the combined plan must at
+least match GSM-only matching robustness.
+
+Also covers the context-length ablation from DESIGN.md (§V-B's "reduce
+the context scope" mitigation): accuracy vs exchanged context length.
+"""
+
+import numpy as np
+
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine
+from repro.experiments.traces import drive_pair
+from repro.gsm.band import EVAL_SUBSET_115, FM_BAND, combine_plans
+from repro.roads.types import RoadType
+from repro.util.rng import RngFactory
+
+
+def _mean_rde(plan, seed: int, n_queries: int = 30, n_radios: int = 1):
+    pair = drive_pair(
+        road_type=RoadType.URBAN_4LANE,
+        duration_s=420.0,
+        n_radios=n_radios,
+        plan=plan,
+        seed=seed,
+    )
+    engine = RupsEngine(RupsConfig())
+    rng = RngFactory(seed).generator("queries")
+    times = rng.uniform(*pair.query_window(1000.0), size=n_queries)
+    errs, unresolved = [], 0
+    for tq in times:
+        own = engine.build_trajectory(pair.rear.scan, pair.rear.estimated, at_time_s=tq)
+        other = engine.build_trajectory(
+            pair.front.scan, pair.front.estimated, at_time_s=tq
+        )
+        est = engine.estimate_relative_distance(own, other)
+        if est.resolved:
+            errs.append(abs(est.distance_m - pair.scenario.true_relative_distance(tq)))
+        else:
+            unresolved += 1
+    return (
+        float(np.mean(errs)) if errs else float("nan"),
+        unresolved,
+        n_queries,
+    )
+
+
+def test_multiband_ablation(benchmark, record_result):
+    def run():
+        rows = []
+        for label, plan in (
+            ("GSM 115 ch", EVAL_SUBSET_115),
+            ("FM 206 ch", FM_BAND),
+            ("GSM+FM 321 ch", combine_plans(EVAL_SUBSET_115, FM_BAND)),
+        ):
+            mean, unresolved, total = _mean_rde(plan, seed=4321)
+            rows.append((label, plan.n_channels, mean, unresolved, total))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["SVII extension — multi-band ablation (1 radio, 4-lane urban):"]
+    lines.append("  plan          | channels | mean RDE (m) | unresolved")
+    for label, n_ch, mean, unresolved, total in rows:
+        lines.append(
+            f"  {label:13s} | {n_ch:8d} | {mean:12.2f} | {unresolved}/{total}"
+        )
+    record_result("ext-multiband", "\n".join(lines))
+
+    by_label = {r[0]: r for r in rows}
+    # Every plan must keep the matcher functional.
+    for label, _, mean, unresolved, total in rows:
+        assert unresolved < total // 2, label
+        assert np.isfinite(mean)
+    # The combined plan must be competitive with the best single band
+    # (within 2x) — diversity compensates the longer sweep.
+    best_single = min(by_label["GSM 115 ch"][2], by_label["FM 206 ch"][2])
+    assert by_label["GSM+FM 321 ch"][2] < 2.0 * best_single
+
+
+def test_context_length_ablation(benchmark, record_result):
+    """RDE and resolution vs exchanged context length (SV-B mitigation)."""
+
+    def run():
+        pair = drive_pair(
+            road_type=RoadType.URBAN_4LANE,
+            duration_s=420.0,
+            n_radios=4,
+            plan=EVAL_SUBSET_115,
+            seed=888,
+        )
+        rng = RngFactory(9).generator("ctx")
+        times = rng.uniform(*pair.query_window(1000.0), size=30)
+        rows = []
+        for context_m in (150.0, 300.0, 600.0, 1000.0):
+            engine = RupsEngine(RupsConfig(context_length_m=context_m))
+            errs, unresolved = [], 0
+            for tq in times:
+                own = engine.build_trajectory(
+                    pair.rear.scan, pair.rear.estimated, at_time_s=tq
+                )
+                other = engine.build_trajectory(
+                    pair.front.scan, pair.front.estimated, at_time_s=tq
+                )
+                est = engine.estimate_relative_distance(own, other)
+                if est.resolved:
+                    errs.append(
+                        abs(est.distance_m - pair.scenario.true_relative_distance(tq))
+                    )
+                else:
+                    unresolved += 1
+            from repro.v2v.exchange import estimate_exchange_time
+
+            _, _, xfer_s = estimate_exchange_time(context_m, 115)
+            rows.append(
+                (
+                    context_m,
+                    float(np.mean(errs)) if errs else float("nan"),
+                    unresolved,
+                    xfer_s,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["SV-B ablation — context length vs accuracy vs exchange time:"]
+    lines.append("  context (m) | mean RDE (m) | unresolved/30 | exchange (s)")
+    for context_m, mean, unresolved, xfer_s in rows:
+        lines.append(
+            f"  {context_m:11.0f} | {mean:12.2f} | {unresolved:13d} | {xfer_s:12.3f}"
+        )
+    record_result("ext-context", "\n".join(lines))
+
+    # Shorter contexts are much cheaper to exchange...
+    assert rows[0][3] < rows[-1][3] / 4
+    # ...and even 150 m context keeps RUPS functional (heavy-traffic mode).
+    assert rows[0][2] <= 10
+    # Accuracy does not collapse at short contexts (within 3x of full).
+    assert rows[0][1] < 3.0 * rows[-1][1] + 1.0

@@ -1,0 +1,63 @@
+"""§V-B — responding time and system scalability.
+
+Regenerates the exchange-cost table (paper: 1 km context = ~182 KB =
+~130 WSM packets = ~0.52 s at 4 ms RTT) and the post-SYN incremental-
+update table, plus micro-benchmarks of the codec (serialization is on
+the critical path of every broadcast).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+from repro.experiments.timing import response_time_table
+from repro.v2v.channel import DsrcChannel
+from repro.v2v.serialization import decode_trajectory, encode_trajectory
+
+
+def _paper_scale_trajectory() -> GsmTrajectory:
+    rng = np.random.default_rng(0)
+    n_ch, n_marks = 194, 1001
+    geo = GeoTrajectory(
+        timestamps_s=np.linspace(0.0, 100.0, n_marks),
+        headings_rad=np.zeros(n_marks),
+    )
+    return GsmTrajectory(
+        power_dbm=rng.uniform(-109, -50, size=(n_ch, n_marks)),
+        channel_ids=np.arange(n_ch),
+        geo=geo,
+    )
+
+
+def test_response_time_table(benchmark, record_result):
+    result = benchmark.pedantic(response_time_table, rounds=1, iterations=1)
+    record_result("t-respond", result.render())
+
+    # Paper anchor: 1 km / 194 channels within 15% of 182 KB and ~0.52 s.
+    row_1km_194 = result.rows[0]
+    assert row_1km_194[3] == pytest.approx(182.0, rel=0.15)  # KB
+    assert row_1km_194[5] == pytest.approx(0.52, rel=0.20)  # nominal s
+    # Incremental updates are >= 2 orders of magnitude cheaper than the
+    # initial full sync.
+    full_bytes = result.incremental_rows[0][2]
+    inc_bytes = result.incremental_rows[1][2]
+    assert inc_bytes < full_bytes / 100
+
+
+def test_encode_trajectory_speed(benchmark):
+    traj = _paper_scale_trajectory()
+    data = benchmark(encode_trajectory, traj)
+    assert len(data) > 100_000
+
+
+def test_decode_trajectory_speed(benchmark):
+    data = encode_trajectory(_paper_scale_trajectory())
+    traj = benchmark(decode_trajectory, data)
+    assert traj.n_channels == 194
+
+
+def test_transfer_simulation_speed(benchmark):
+    data = encode_trajectory(_paper_scale_trajectory())
+    channel = DsrcChannel()
+    result = benchmark(channel.transfer_bytes, data, 7)
+    assert result.delivered

@@ -1,0 +1,36 @@
+"""Benchmark harness helpers.
+
+Each paper artifact (figure / §V table) has one bench module.  Heavy
+experiment harnesses run exactly once per session
+(``benchmark.pedantic(rounds=1)``) — they are *regeneration* targets, not
+micro-benchmarks — and their rendered series are written to
+``benchmarks/results/<id>.txt`` as well as echoed to stdout (visible with
+``pytest -s``).  Kernel benches (the SYN search, binding, codec) use the
+normal pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write an experiment's rendered output to its results file."""
+
+    def _record(exp_id: str, text: str) -> None:
+        path = results_dir / f"{exp_id}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+
+    return _record

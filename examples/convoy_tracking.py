@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Convoy tracking: continuous front-rear distance with safety alerts.
+
+The paper's motivating application (§I): "drivers can be alerted when a
+front vehicle is taking hard brakes to avoid sudden obstacles".  This
+example tracks the gap to the front vehicle at a 1 s period over a
+stop-and-go drive, estimates closing speed from consecutive fixes, and
+raises the alert the paper describes when the time-to-collision drops
+below a threshold.
+
+Run:  python examples/convoy_tracking.py
+"""
+
+import numpy as np
+
+from repro.core import RupsConfig, RupsEngine
+from repro.experiments.traces import drive_pair
+from repro.gsm.band import EVAL_SUBSET_115
+from repro.roads.types import RoadType
+
+TTC_ALERT_S = 4.0  # alert when gap / closing-speed falls below this
+PERIOD_S = 1.0
+
+pair = drive_pair(
+    road_type=RoadType.URBAN_8LANE,
+    duration_s=420.0,
+    n_radios=4,
+    plan=EVAL_SUBSET_115,
+    seed=3,
+    initial_gap_m=25.0,
+)
+engine = RupsEngine(RupsConfig())
+
+t_lo, t_hi = pair.query_window(engine.config.context_length_m)
+times = np.arange(t_lo, min(t_lo + 60.0, t_hi), PERIOD_S)
+
+print("tracking the front vehicle once per second for a minute:\n")
+print(f"{'t (s)':>7} {'gap est (m)':>12} {'gap true (m)':>13} {'closing (m/s)':>14}  alert")
+
+prev_gap = None
+n_alerts = 0
+for tq in times:
+    own = engine.build_trajectory(pair.rear.scan, pair.rear.estimated, at_time_s=tq)
+    other = engine.build_trajectory(pair.front.scan, pair.front.estimated, at_time_s=tq)
+    est = engine.estimate_relative_distance(own, other)
+    truth = float(pair.scenario.true_relative_distance(tq))
+    if not est.resolved:
+        print(f"{tq:7.1f} {'unresolved':>12} {truth:13.1f} {'-':>14}")
+        prev_gap = None
+        continue
+    gap = est.distance_m
+    closing = 0.0 if prev_gap is None else (prev_gap - gap) / PERIOD_S
+    prev_gap = gap
+    alert = ""
+    if closing > 0.5 and gap / closing < TTC_ALERT_S:
+        alert = f"!! BRAKE ALERT (TTC {gap / closing:.1f} s)"
+        n_alerts += 1
+    print(f"{tq:7.1f} {gap:12.1f} {truth:13.1f} {closing:14.2f}  {alert}")
+
+print(f"\n{n_alerts} alert(s) raised over {times.size} tracking periods")
+print(
+    "note: per SV-B, a production deployment would send only incremental "
+    "trajectory updates at this rate — see examples/scalability_v2v.py"
+)

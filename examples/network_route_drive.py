@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Multi-segment city drive: RUPS across turns and environment changes.
+
+The paper's 97 km experiment route chains roads of different types.  This
+example generates a synthetic city, picks a multi-segment route through
+it, drives the two-car convoy along it (crossing intersections and road-
+type changes), and tracks the relative distance with the continuous
+:class:`~repro.core.tracking.RupsTracker` session — showing the cheap
+"locked" short-window updates the §V-B tracking mode relies on.
+
+Run:  python examples/network_route_drive.py
+"""
+
+import numpy as np
+
+from repro.core import RupsConfig, RupsEngine, RupsTracker
+from repro.gsm import RadioGroup, build_route_field
+from repro.gsm.band import RGSM900
+from repro.roads import generate_network, random_route
+from repro.vehicles import build_following_scenario, simulate_drive
+
+# --- build a city and a route through it ------------------------------
+network = generate_network(seed=4)
+route = random_route(network, min_length_m=4500.0, rng=2)
+types = " -> ".join(
+    dict.fromkeys(leg.segment.road_type.value for leg in route.legs)
+)
+print(f"route: {route.length:.0f} m over {len(route.legs)} segments ({types})\n")
+
+plan = RGSM900.subset(np.arange(0, RGSM900.n_channels, 2))  # 97 channels
+field = build_route_field(network, route, plan=plan, seed=9)
+
+# --- drive the convoy along it -----------------------------------------
+scenario = build_following_scenario(duration_s=420.0, speed_limit_ms=12.0, seed=5)
+group = RadioGroup(plan, n_radios=4)
+front = simulate_drive(field, scenario.front, group, seed=1, vehicle_key="front")
+rear = simulate_drive(field, scenario.rear, group, seed=1, vehicle_key="rear")
+
+# --- track continuously with post-lock short-window updates ------------
+engine = RupsEngine(RupsConfig())
+tracker = RupsTracker(RupsConfig(), locked_context_m=250.0)
+
+print(f"{'t (s)':>7} {'mode':>7} {'est (m)':>9} {'true (m)':>9} {'err (m)':>8}")
+for tq in np.arange(160.0, 412.0, 25.0):
+    own = engine.build_trajectory(rear.scan, rear.estimated, at_time_s=tq)
+    other = engine.build_trajectory(front.scan, front.estimated, at_time_s=tq)
+    update = tracker.update(own, other)
+    truth = float(scenario.true_relative_distance(tq))
+    if update.estimate.resolved:
+        est = update.estimate.distance_m
+        print(f"{tq:7.0f} {update.mode:>7} {est:9.1f} {truth:9.1f} {abs(est - truth):8.2f}")
+    else:
+        print(f"{tq:7.0f} {update.mode:>7} {'---':>9} {truth:9.1f} {'---':>8}")
+
+print(
+    f"\nsession locked: {tracker.locked}; "
+    f"last distance {tracker.last_distance_m():.1f} m"
+)
+print(
+    "locked updates search a 250 m window instead of the full 1 km "
+    "context (~4x cheaper), and the V2V side ships only incremental "
+    "trajectory updates (see examples/scalability_v2v.py)"
+)

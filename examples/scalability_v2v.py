@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""V2V budget: full context exchange vs post-SYN incremental tracking.
+
+Walks through the paper's §V-B accounting: a 1 km journey context is
+~180-200 KB, ~130+ WSM packets, ~0.5 s on a 4 ms-RTT DSRC link — too
+slow to repeat ten times a second.  After a SYN lock, RUPS only ships
+the metres of trajectory added since the last update, which this example
+shows dropping the per-update cost by ~three orders of magnitude.  It
+also shows the heavy-traffic knob (§V-B): shrinking the context scope.
+
+Run:  python examples/scalability_v2v.py
+"""
+
+import numpy as np
+
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+from repro.v2v import (
+    DsrcChannel,
+    ExchangeSession,
+    encode_trajectory,
+    estimate_exchange_time,
+)
+
+# --- the SV-B arithmetic ------------------------------------------------
+channel = DsrcChannel()  # 4 ms RTT, 1% loss
+print("full journey-context exchange cost (stop-and-wait over WSM):\n")
+print(f"{'context':>9} {'channels':>9} {'size':>10} {'packets':>8} {'time':>8}")
+for context_m, n_ch in ((1000.0, 194), (1000.0, 115), (300.0, 115), (100.0, 115)):
+    n_bytes, n_packets, seconds = estimate_exchange_time(context_m, n_ch, channel)
+    print(
+        f"{context_m:7.0f} m {n_ch:9d} {n_bytes / 1024:8.1f}KB "
+        f"{n_packets:8d} {seconds:7.3f}s"
+    )
+
+# --- a tracking session -------------------------------------------------
+print("\ntracking session: full sync once, then incremental updates\n")
+rng = np.random.default_rng(0)
+n_ch, n_marks = 115, 1001
+
+
+def trajectory_ending_at(end_distance_m: float) -> GsmTrajectory:
+    geo = GeoTrajectory(
+        timestamps_s=np.linspace(0.0, 100.0, n_marks) + end_distance_m,
+        headings_rad=np.zeros(n_marks),
+        spacing_m=1.0,
+        start_distance_m=end_distance_m - (n_marks - 1),
+    )
+    return GsmTrajectory(
+        power_dbm=rng.normal(-85.0, 8.0, size=(n_ch, n_marks)),
+        channel_ids=np.arange(n_ch),
+        geo=geo,
+    )
+
+
+session = ExchangeSession(channel=channel, rng=rng)
+end = 5000.0
+result = session.send_update(trajectory_ending_at(end))
+print(
+    f"initial full sync : {result.bytes_on_air / 1024:7.1f} KB, "
+    f"{result.packets_sent} packets, {result.time_s:.3f} s"
+)
+
+session.notify_syn_found()  # neighbour confirmed a SYN lock
+for step in range(1, 6):
+    end += 1.5  # ~1.5 m driven per 0.1 s tracking period at 54 km/h
+    r = session.send_update(trajectory_ending_at(end))
+    print(
+        f"tracking update {step} : {r.bytes_on_air:7d} B , "
+        f"{r.packets_sent} packet(s), {r.time_s * 1000:.1f} ms"
+    )
+
+print(
+    "\nwith ~1 packet per 0.1 s period, tracking fits easily in the DSRC "
+    "budget; the session falls back to a full sync when the accumulated "
+    "odometry-drift bound exceeds its threshold."
+)
+
+# --- heavy traffic: contention ------------------------------------------
+print("\nchannel contention (heavy traffic) inflates the effective RTT:\n")
+for n_contenders in (0, 5, 10, 20):
+    ch = DsrcChannel(n_contenders=n_contenders)
+    _, _, seconds = estimate_exchange_time(1000.0, 115, ch)
+    print(
+        f"{n_contenders:3d} contending neighbours -> full 1 km sync takes "
+        f"{seconds:5.2f} s  (mitigation: shrink context scope, SV-B)"
+    )

@@ -1,0 +1,44 @@
+"""RUPS reproduction: fixing relative distances among urban vehicles.
+
+A full from-scratch implementation of the system described in
+
+    Zhu, Chang, Lu, Zhang — "RUPS: Fixing Relative Distances among Urban
+    Vehicles with Context-Aware Trajectories", IEEE IPDPS 2016
+
+together with every substrate the paper's trace-driven evaluation needs:
+a synthetic GSM-900 signal field, an urban road network, vehicle
+kinematics, smartphone-grade sensors, a DSRC communication model and a
+GPS baseline.  See DESIGN.md for the system inventory and EXPERIMENTS.md
+for the paper-vs-measured record.
+
+Quick start::
+
+    from repro import quickstart
+    result = quickstart.run()
+    print(result.distance_m)
+
+or see ``examples/quickstart.py`` for the commented walk-through.
+"""
+
+from repro.core import (
+    GeoTrajectory,
+    GsmTrajectory,
+    RupsConfig,
+    RupsEngine,
+    RupsEstimate,
+    SynPoint,
+)
+from repro.util.rng import RngFactory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GeoTrajectory",
+    "GsmTrajectory",
+    "RupsConfig",
+    "RupsEngine",
+    "RupsEstimate",
+    "SynPoint",
+    "RngFactory",
+    "__version__",
+]

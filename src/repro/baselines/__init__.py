@@ -1,0 +1,12 @@
+"""Baselines RUPS is evaluated against.
+
+* :mod:`repro.baselines.gps_rdf` — the paper's SVI-D comparator (GPS
+  position differencing).
+* :mod:`repro.baselines.time_domain` — the unbound time-domain matcher
+  SIV-C's trajectory binding implicitly argues against.
+"""
+
+from repro.baselines.gps_rdf import GpsRdfBaseline
+from repro.baselines.time_domain import TimeDomainEstimate, TimeDomainMatcher
+
+__all__ = ["GpsRdfBaseline", "TimeDomainEstimate", "TimeDomainMatcher"]

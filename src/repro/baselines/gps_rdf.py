@@ -1,0 +1,91 @@
+"""GPS-differencing baseline for the RDF problem.
+
+The paper compares RUPS against plain GPS "since both schemes do not
+need line-of-sight communications and special hardware or new
+infrastructure" (§VI-A).  The fairest GPS-side pipeline is the one a
+production app would run: take each vehicle's most recent fix, map-match
+both onto the road centreline, and difference the arc lengths.  Stale or
+missing fixes (common under elevated decks) are used up to a maximum age
+and contribute realistic additional error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.roads.geometry import Polyline
+from repro.sensors.gps import GpsTrack
+
+__all__ = ["GpsRdfBaseline"]
+
+
+@dataclass(frozen=True)
+class GpsRdfBaseline:
+    """GPS relative-distance estimator.
+
+    Attributes
+    ----------
+    max_fix_age_s:
+        Oldest fix still usable for a query; beyond this the query
+        returns NaN (no estimate — counted as unavailable, like the
+        paper's "no GPS reports" case).
+    """
+
+    max_fix_age_s: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.max_fix_age_s <= 0:
+            raise ValueError("max_fix_age_s must be positive")
+
+    def _latest_fixes(
+        self, track: GpsTrack, times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(positions (n,2), ages (n,)) of the freshest valid fix per query."""
+        valid_idx = np.nonzero(track.valid)[0]
+        out_pos = np.full((times.size, 2), np.nan)
+        out_age = np.full(times.size, np.inf)
+        if valid_idx.size == 0:
+            return out_pos, out_age
+        valid_times = track.times_s[valid_idx]
+        pick = np.searchsorted(valid_times, times, side="right") - 1
+        ok = pick >= 0
+        sel = valid_idx[pick[ok]]
+        out_pos[ok] = track.positions[sel]
+        out_age[ok] = times[ok] - track.times_s[sel]
+        return out_pos, out_age
+
+    def estimate(
+        self,
+        front: GpsTrack,
+        rear: GpsTrack,
+        times_s: np.ndarray,
+        road: Polyline,
+    ) -> np.ndarray:
+        """Relative distance estimates [m] at each query time.
+
+        Positive = front vehicle ahead along the road.  NaN where either
+        vehicle lacks a sufficiently fresh fix.
+        """
+        t = np.atleast_1d(np.asarray(times_s, dtype=float))
+        pos_f, age_f = self._latest_fixes(front, t)
+        pos_r, age_r = self._latest_fixes(rear, t)
+        usable = (age_f <= self.max_fix_age_s) & (age_r <= self.max_fix_age_s)
+
+        out = np.full(t.size, np.nan)
+        for i in np.nonzero(usable)[0]:
+            s_front = road.project(pos_f[i])
+            s_rear = road.project(pos_r[i])
+            out[i] = s_front - s_rear
+        return out
+
+    def availability(
+        self, front: GpsTrack, rear: GpsTrack, times_s: np.ndarray
+    ) -> float:
+        """Fraction of query times with a usable estimate."""
+        t = np.atleast_1d(np.asarray(times_s, dtype=float))
+        _, age_f = self._latest_fixes(front, t)
+        _, age_r = self._latest_fixes(rear, t)
+        usable = (age_f <= self.max_fix_age_s) & (age_r <= self.max_fix_age_s)
+        return float(np.count_nonzero(usable)) / t.size

@@ -1,0 +1,145 @@
+"""Time-domain matching baseline: what RUPS would be *without* binding.
+
+§IV-C motivates trajectory binding: "The retrieved power measurements,
+however, are time-domain signals, which are inconvenient for comparison
+as vehicles may move in different speeds."  This baseline quantifies
+that claim.  It matches the two vehicles' RSSI streams directly in the
+time domain (per-channel resampling onto a uniform time grid, then the
+same eq.-2 sliding correlation over *time* windows) and converts the
+best time lag to a distance with the asker's own speed estimate.
+
+When both vehicles move at near-identical constant speeds this works
+tolerably; under urban stop-and-go the time axes of the two streams
+warp differently and the match degrades or breaks — exactly the failure
+mode binding removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.correlation import sliding_trajectory_correlation
+from repro.gsm.scanner import ScanStream
+from repro.sensors.deadreckoning import EstimatedTrack
+
+__all__ = ["TimeDomainMatcher", "TimeDomainEstimate"]
+
+
+@dataclass(frozen=True)
+class TimeDomainEstimate:
+    """Result of one time-domain matching attempt."""
+
+    distance_m: float | None
+    lag_s: float | None
+    score: float
+
+    @property
+    def resolved(self) -> bool:
+        return self.distance_m is not None
+
+
+class TimeDomainMatcher:
+    """Direct time-domain RSSI stream matching (no binding).
+
+    Parameters
+    ----------
+    window_s:
+        Query window length in seconds (the rear vehicle's most recent
+        stretch of signal).
+    context_s:
+        How far back the front vehicle's stream is searched.
+    grid_dt_s:
+        Resampling grid step.
+    coherency_threshold:
+        Same eq.-2 acceptance threshold as RUPS.
+    n_channels:
+        Strongest channels used for matching (as RUPS's top-k).
+    """
+
+    def __init__(
+        self,
+        window_s: float = 10.0,
+        context_s: float = 90.0,
+        grid_dt_s: float = 0.5,
+        coherency_threshold: float = 1.2,
+        n_channels: int = 45,
+    ) -> None:
+        if window_s <= 0 or context_s <= window_s:
+            raise ValueError("need 0 < window_s < context_s")
+        if grid_dt_s <= 0:
+            raise ValueError("grid_dt_s must be positive")
+        self.window_s = float(window_s)
+        self.context_s = float(context_s)
+        self.grid_dt_s = float(grid_dt_s)
+        self.coherency_threshold = float(coherency_threshold)
+        self.n_channels = int(n_channels)
+
+    def _resample(
+        self, scan: ScanStream, t0: float, t1: float
+    ) -> np.ndarray:
+        """Per-channel RSSI on a uniform time grid over ``[t0, t1]``."""
+        grid = np.arange(t0, t1, self.grid_dt_s)
+        n_ch = scan.plan.n_channels
+        out = np.full((n_ch, grid.size), np.nan)
+        for c in range(n_ch):
+            mask = scan.channel_indices == c
+            if np.count_nonzero(mask) < 2:
+                continue
+            t = scan.times_s[mask]
+            keep = (t >= t0 - 5.0) & (t <= t1 + 5.0)
+            if np.count_nonzero(keep) < 2:
+                continue
+            out[c] = np.interp(grid, t[keep], scan.rssi_dbm[mask][keep])
+        return out
+
+    def estimate(
+        self,
+        own_scan: ScanStream,
+        own_track: EstimatedTrack,
+        other_scan: ScanStream,
+        at_time_s: float,
+    ) -> TimeDomainEstimate:
+        """Estimate the relative distance at ``at_time_s``.
+
+        The own stream's most recent ``window_s`` is slid over the other
+        stream's last ``context_s``; the best time lag ``tau`` means the
+        other vehicle passed "here" ``tau`` seconds ago, so the distance
+        is ``tau`` times the own vehicle's current speed estimate.
+        """
+        own = self._resample(own_scan, at_time_s - self.window_s, at_time_s)
+        other = self._resample(
+            other_scan, at_time_s - self.context_s, at_time_s
+        )
+        # Keep the strongest mutually-valid channels.
+        valid = ~(
+            np.any(np.isnan(own), axis=1) | np.any(np.isnan(other), axis=1)
+        )
+        if np.count_nonzero(valid) < 2:
+            return TimeDomainEstimate(None, None, float("-inf"))
+        strength = np.where(valid, np.nanmean(other, axis=1), -np.inf)
+        k = min(self.n_channels, int(np.count_nonzero(valid)))
+        rows = np.sort(np.argsort(strength)[::-1][:k])
+        own_k = own[rows]
+        other_k = other[rows]
+        if other_k.shape[1] < own_k.shape[1]:
+            return TimeDomainEstimate(None, None, float("-inf"))
+
+        scores = sliding_trajectory_correlation(own_k, other_k)
+        best = int(np.argmax(scores))
+        score = float(scores[best])
+        if score < self.coherency_threshold:
+            return TimeDomainEstimate(None, None, score)
+        # Window end position within the other stream -> time lag.
+        end_time_other = (
+            at_time_s - self.context_s + (best + own_k.shape[1]) * self.grid_dt_s
+        )
+        lag = at_time_s - end_time_other
+        # Own current speed from the dead-reckoned track.
+        t_probe = np.array([at_time_s - 1.0, at_time_s])
+        d = np.asarray(own_track.distance_at(t_probe))
+        speed = float(d[1] - d[0])  # m/s over the last second
+        return TimeDomainEstimate(
+            distance_m=lag * speed, lag_s=float(lag), score=score
+        )

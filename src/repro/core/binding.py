@@ -1,0 +1,116 @@
+"""Trajectory binding: time-domain scans to the distance domain (§IV-C).
+
+"for each element (theta_i, t_i) ... the power vector measured over n
+channels during time interval of [t_{i-1}, t_i] can be associated,
+forming the corresponding GSM-aware trajectory."  Because scanning takes
+time, a moving vehicle misses channels at any given mark; RUPS fills
+those "by linearly interpolating between neighbouring power vectors over
+distance" (the channel-7-at-l5 example of Fig 6).
+
+The binding grid is *estimated* distance (the vehicle's own odometry),
+which is exactly what makes the resolved relative distances sensitive to
+odometry quality — a real effect the evaluation inherits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.trajectory import GsmTrajectory
+from repro.gsm.scanner import ScanStream
+from repro.sensors.deadreckoning import EstimatedTrack
+
+__all__ = ["bind_scan", "interpolate_missing"]
+
+
+def bind_scan(
+    scan: ScanStream,
+    track: EstimatedTrack,
+    at_time_s: float | None = None,
+    context_length_m: float | None = None,
+    spacing_m: float = 1.0,
+    interpolate: bool = True,
+) -> GsmTrajectory:
+    """Bind a measurement stream to the vehicle's estimated trajectory.
+
+    Parameters
+    ----------
+    scan:
+        Raw time-stamped per-channel measurements.
+    track:
+        The vehicle's dead-reckoned track (provides the distance domain).
+    at_time_s:
+        Build the trajectory as known at this instant (measurements after
+        it are ignored); defaults to the end of the track.
+    context_length_m:
+        Keep only the most recent context of this length.
+    spacing_m:
+        Mark spacing (paper: 1 m).
+    interpolate:
+        Fill missing channels per §IV-C before returning.
+
+    Returns
+    -------
+    GsmTrajectory
+        Width = all channels of the scan's plan; mark ``i`` aggregates
+        (averages) all measurements whose estimated distance rounds to
+        that mark, NaN where a channel was never measured near the mark.
+    """
+    geo = track.geo_trajectory(
+        at_time_s=at_time_s, length_m=context_length_m, spacing_m=spacing_m
+    )
+    t_now = track.times_s[-1] if at_time_s is None else float(at_time_s)
+
+    keep = scan.times_s <= t_now
+    times = scan.times_s[keep]
+    chans = scan.channel_indices[keep]
+    rssi = scan.rssi_dbm[keep]
+
+    dist = np.asarray(track.distance_at(times), dtype=float)
+    mark_f = (dist - geo.start_distance_m) / spacing_m
+    mark = np.round(mark_f).astype(np.int64)
+    in_range = (mark >= 0) & (mark < geo.n_marks)
+    mark = mark[in_range]
+    chans = chans[in_range]
+    rssi = rssi[in_range]
+
+    n_channels = scan.plan.n_channels
+    flat = chans * geo.n_marks + mark
+    sums = np.bincount(flat, weights=rssi, minlength=n_channels * geo.n_marks)
+    counts = np.bincount(flat, minlength=n_channels * geo.n_marks)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        power = (sums / counts).reshape(n_channels, geo.n_marks)
+    power[counts.reshape(n_channels, geo.n_marks) == 0] = np.nan
+
+    trajectory = GsmTrajectory(
+        power_dbm=power,
+        channel_ids=np.arange(n_channels, dtype=np.int64),
+        geo=geo,
+    )
+    return interpolate_missing(trajectory) if interpolate else trajectory
+
+
+def interpolate_missing(trajectory: GsmTrajectory) -> GsmTrajectory:
+    """Fill missing channels by linear interpolation over distance (§IV-C).
+
+    Interior gaps are interpolated between the nearest measured marks of
+    the same channel; leading/trailing gaps take the nearest measured
+    value (``np.interp`` edge behaviour).  Channels never measured at all
+    stay NaN — downstream channel selection skips them.
+    """
+    power = trajectory.power_dbm
+    if not np.any(np.isnan(power)):
+        return trajectory
+    filled = power.copy()
+    x = np.arange(power.shape[1], dtype=float)
+    for row in range(power.shape[0]):
+        valid = ~np.isnan(power[row])
+        n_valid = int(np.count_nonzero(valid))
+        if n_valid == 0 or n_valid == power.shape[1]:
+            continue
+        filled[row] = np.interp(x, x[valid], power[row, valid])
+    return GsmTrajectory(
+        power_dbm=filled,
+        channel_ids=trajectory.channel_ids,
+        geo=trajectory.geo,
+    )

@@ -1,0 +1,130 @@
+"""Eq. (2): the trajectory correlation coefficient, plain and sliding.
+
+For trajectories ``S1, S2`` of width n channels and equal length,
+
+    r(S1, S2) = (1/n) * sum_i pearson(C1_i, C2_i) + pearson(mean(S1), mean(S2))
+
+where ``C_i`` are per-channel RSSI-over-distance series and ``mean(S)``
+is the vector of per-channel averages.  The first term rewards matching
+*spatial structure* per channel, the second matching *spectral profile*
+across channels; the paper motivates keeping both (§III-C).  The value
+range is [-2, 2], hence a coherency threshold of 1.2.
+
+The sliding form evaluates eq. (2) for a fixed query segment against
+every window position of a longer trajectory **at once** — the hot path
+of the SYN search.  Per the hpc-parallel guides it is a pure batched
+numpy computation: windowed sums come from cumulative sums (O(1) per
+position), the cross term from one einsum over a stride view (no copy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+__all__ = ["trajectory_correlation", "sliding_trajectory_correlation"]
+
+_EPS = 1e-12
+
+
+def trajectory_correlation(s1: np.ndarray, s2: np.ndarray) -> float:
+    """Eq. (2) for two equal-shape trajectories ``(n_channels, n_marks)``.
+
+    Channels with zero variance on either side contribute 0 to the mean
+    (they carry no spatial information), matching the convention of
+    :func:`~repro.core.power_vector.pearson_correlation`.
+    """
+    a = np.asarray(s1, dtype=float)
+    b = np.asarray(s2, dtype=float)
+    if a.shape != b.shape or a.ndim != 2:
+        raise ValueError(
+            f"trajectories must be equal-shape 2-D, got {a.shape} vs {b.shape}"
+        )
+    if a.shape[1] < 2:
+        raise ValueError("trajectories need at least two marks")
+    ac = a - a.mean(axis=1, keepdims=True)
+    bc = b - b.mean(axis=1, keepdims=True)
+    num = np.einsum("ij,ij->i", ac, bc)
+    den = np.sqrt(np.einsum("ij,ij->i", ac, ac) * np.einsum("ij,ij->i", bc, bc))
+    per_channel = np.where(den > _EPS, num / np.maximum(den, _EPS), 0.0)
+    term1 = float(per_channel.mean())
+
+    ma = a.mean(axis=1)
+    mb = b.mean(axis=1)
+    mac = ma - ma.mean()
+    mbc = mb - mb.mean()
+    den2 = float(np.sqrt(np.dot(mac, mac) * np.dot(mbc, mbc)))
+    term2 = float(np.dot(mac, mbc) / den2) if den2 > _EPS else 0.0
+    return term1 + term2
+
+
+def sliding_trajectory_correlation(
+    query: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Eq. (2) of ``query`` against every window position of ``target``.
+
+    Parameters
+    ----------
+    query:
+        ``(n_channels, w)`` fixed segment.
+    target:
+        ``(n_channels, m)`` trajectory to slide over, ``m >= w``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(m - w + 1,)`` trajectory correlation coefficients; position
+        ``p`` compares ``query`` with ``target[:, p:p+w]``.
+    """
+    q = np.asarray(query, dtype=float)
+    t = np.asarray(target, dtype=float)
+    if q.ndim != 2 or t.ndim != 2:
+        raise ValueError("query and target must be 2-D")
+    n, w = q.shape
+    if t.shape[0] != n:
+        raise ValueError(
+            f"channel counts differ: query {n}, target {t.shape[0]}"
+        )
+    m = t.shape[1]
+    if w < 2:
+        raise ValueError("query needs at least two marks")
+    if m < w:
+        raise ValueError(f"target ({m} marks) shorter than query ({w})")
+    n_pos = m - w + 1
+
+    # Query statistics (computed once).
+    q_mean = q.mean(axis=1)  # (n,)
+    qc = q - q_mean[:, None]
+    q_ss = np.einsum("nw,nw->n", qc, qc)  # (n,)
+
+    # Windowed sums of the target via cumulative sums: O(1) per position.
+    zeros = np.zeros((n, 1))
+    csum = np.concatenate([zeros, np.cumsum(t, axis=1)], axis=1)
+    csum2 = np.concatenate([zeros, np.cumsum(t * t, axis=1)], axis=1)
+    win_sum = csum[:, w:] - csum[:, :-w]  # (n, n_pos)
+    win_sum2 = csum2[:, w:] - csum2[:, :-w]
+    win_mean = win_sum / w
+    win_ss = win_sum2 - win_sum * win_mean  # sum (t - mean)^2 per window
+
+    # Cross term: one einsum over a zero-copy stride view.
+    windows = sliding_window_view(t, w, axis=1)  # (n, n_pos, w) view
+    cross = np.einsum("nw,npw->np", qc, windows)  # sum qc * t
+    # sum qc * (t - win_mean) = cross - win_mean * sum(qc) = cross (qc sums to 0)
+    num = cross
+    den = np.sqrt(np.maximum(q_ss[:, None] * win_ss, 0.0))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        per_channel = np.where(den > _EPS, num / np.maximum(den, _EPS), 0.0)
+    term1 = per_channel.mean(axis=0)  # (n_pos,)
+
+    # Second term: Pearson across channels of per-channel means.
+    qm = q_mean
+    qm_c = qm - qm.mean()
+    qm_ss = float(np.dot(qm_c, qm_c))
+    wm = win_mean  # (n, n_pos)
+    wm_c = wm - wm.mean(axis=0, keepdims=True)
+    num2 = qm_c @ wm_c  # (n_pos,)
+    den2 = np.sqrt(np.maximum(qm_ss * np.einsum("np,np->p", wm_c, wm_c), 0.0))
+    with np.errstate(invalid="ignore", divide="ignore"):
+        term2 = np.where(den2 > _EPS, num2 / np.maximum(den2, _EPS), 0.0)
+
+    return term1 + term2

@@ -1,0 +1,209 @@
+"""The end-to-end RUPS facade.
+
+:class:`RupsEngine` wires the pipeline of Fig 5 together for one vehicle:
+bind scans to the estimated trajectory, reduce to the strongest common
+channels, run the SYN search against a neighbour's trajectory, and
+resolve + aggregate the relative distance.  It also implements the §V-B
+tracking hook: after a SYN lock, subsequent queries can reuse the lock
+and only extend trajectories incrementally (see
+:mod:`repro.v2v.exchange` for the communication side).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binding import bind_scan
+from repro.core.config import RupsConfig
+from repro.core.resolver import aggregate_estimates, resolve_relative_distance
+from repro.core.syn import SynPoint, find_syn_points
+from repro.core.trajectory import GsmTrajectory
+from repro.gsm.scanner import ScanStream
+from repro.sensors.deadreckoning import EstimatedTrack
+
+__all__ = ["RupsEngine", "RupsEstimate"]
+
+
+@dataclass(frozen=True)
+class RupsEstimate:
+    """Result of one relative-distance query.
+
+    Attributes
+    ----------
+    distance_m:
+        Aggregated relative distance [m]; positive = the other vehicle is
+        ahead.  ``None`` when no SYN point satisfied the coherency
+        threshold (unrelated trajectories / insufficient context).
+    syn_points:
+        The accepted SYN points, most recent first.
+    per_syn_m:
+        The individual distance estimates (one per SYN point).
+    aggregation:
+        Scheme used to combine them.
+    """
+
+    distance_m: float | None
+    syn_points: tuple[SynPoint, ...]
+    per_syn_m: tuple[float, ...]
+    aggregation: str
+
+    @property
+    def resolved(self) -> bool:
+        """Whether a distance was resolved at all."""
+        return self.distance_m is not None
+
+    @property
+    def best_score(self) -> float | None:
+        """Highest SYN score, if any."""
+        if not self.syn_points:
+            return None
+        return max(s.score for s in self.syn_points)
+
+
+class RupsEngine:
+    """Per-vehicle RUPS pipeline.
+
+    Parameters
+    ----------
+    config:
+        Algorithm tunables; defaults follow the paper (see
+        :class:`~repro.core.config.RupsConfig`).
+    """
+
+    def __init__(self, config: RupsConfig | None = None) -> None:
+        self.config = config or RupsConfig()
+
+    # ------------------------------------------------------------------
+    def build_trajectory(
+        self,
+        scan: ScanStream,
+        track: EstimatedTrack,
+        at_time_s: float | None = None,
+        context_length_m: float | None = None,
+    ) -> GsmTrajectory:
+        """Perceive the GSM-aware trajectory as known at ``at_time_s``.
+
+        Binds the raw scan stream to the dead-reckoned distance domain and
+        interpolates missing channels (§IV-C).  The result is what the
+        vehicle would broadcast to neighbours.
+        """
+        return bind_scan(
+            scan,
+            track,
+            at_time_s=at_time_s,
+            context_length_m=(
+                self.config.context_length_m
+                if context_length_m is None
+                else context_length_m
+            ),
+            spacing_m=self.config.spacing_m,
+            interpolate=True,
+        )
+
+    def _reduce_channels(
+        self, own: GsmTrajectory, other: GsmTrajectory
+    ) -> tuple[GsmTrajectory, GsmTrajectory]:
+        """Restrict both trajectories to the strongest common channels.
+
+        The paper's checking window is "top 45 channels wide" (§VI-B);
+        strength is ranked on the combined mean power so both vehicles
+        agree on the subset.
+        """
+        common = own.common_channels(other)
+        if common.size < 2:
+            raise ValueError("trajectories share fewer than two channels")
+        own_c = own.select_channels(common)
+        other_c = other.select_channels(common)
+        k = min(self.config.window_channels, common.size)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            mean_own = np.nanmean(own_c.power_dbm, axis=1)
+            mean_other = np.nanmean(other_c.power_dbm, axis=1)
+            var_own = np.nanvar(own_c.power_dbm, axis=1)
+            var_other = np.nanvar(other_c.power_dbm, axis=1)
+        combined = np.where(np.isnan(mean_own), -np.inf, mean_own) + np.where(
+            np.isnan(mean_other), -np.inf, mean_other
+        )
+        # A channel with (near-)zero variance on either side carries no
+        # spatial information — a dead receiver chain or a floor-clipped
+        # carrier.  Keeping it would dilute eq. 2's channel average, so
+        # demote such channels below every live one (they are still used
+        # if nothing better exists).
+        dead = (
+            np.nan_to_num(var_own, nan=0.0) < 1e-6
+        ) | (np.nan_to_num(var_other, nan=0.0) < 1e-6)
+        combined = np.where(dead, combined - 1e6, combined)
+        n_live = int(np.count_nonzero(~dead))
+        if n_live >= 2:
+            # Never pad the window with dead channels: a narrower window
+            # of live channels beats a full-width one diluted by zeros.
+            k = min(k, n_live)
+        top = np.sort(np.argsort(combined)[::-1][:k])
+        chosen = common[top]
+        return own_c.select_channels(chosen), other_c.select_channels(chosen)
+
+    # ------------------------------------------------------------------
+    def estimate_relative_distance(
+        self,
+        own: GsmTrajectory,
+        other: GsmTrajectory,
+        n_syn_points: int | None = None,
+        aggregation: str | None = None,
+    ) -> RupsEstimate:
+        """Fix the relative distance to a neighbour (§IV-D/E + §VI-C).
+
+        Parameters
+        ----------
+        own:
+            This vehicle's GSM-aware trajectory.
+        other:
+            The neighbour's trajectory as received over V2V.
+        n_syn_points, aggregation:
+            Optional overrides of the configured multi-SYN behaviour.
+        """
+        agg = self.config.aggregation if aggregation is None else aggregation
+        own_r, other_r = self._reduce_channels(own, other)
+        syn_points = find_syn_points(
+            own_r, other_r, self.config, n_points=n_syn_points
+        )
+        if self.config.heading_check and syn_points:
+            from repro.core.syn import heading_agreement_rad
+
+            kept = []
+            for syn in syn_points:
+                try:
+                    disagreement = heading_agreement_rad(own_r, other_r, syn)
+                except ValueError:
+                    continue  # window fell off a trajectory edge
+                if disagreement <= self.config.max_heading_disagreement_rad:
+                    kept.append(syn)
+            syn_points = kept
+        per_syn = tuple(resolve_relative_distance(s) for s in syn_points)
+        distance = aggregate_estimates(syn_points, agg)
+        return RupsEstimate(
+            distance_m=distance,
+            syn_points=tuple(syn_points),
+            per_syn_m=per_syn,
+            aggregation=agg,
+        )
+
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        own_scan: ScanStream,
+        own_track: EstimatedTrack,
+        other_trajectory: GsmTrajectory,
+        at_time_s: float | None = None,
+    ) -> RupsEstimate:
+        """Convenience one-shot query from raw own streams.
+
+        Builds the own trajectory at ``at_time_s`` and estimates the
+        distance to the neighbour whose (already-built) trajectory was
+        received over V2V.
+        """
+        own = self.build_trajectory(own_scan, own_track, at_time_s=at_time_s)
+        return self.estimate_relative_distance(own, other_trajectory)

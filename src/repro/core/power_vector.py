@@ -1,0 +1,111 @@
+"""Power-vector primitives: eq. (1) and eq. (3) of the paper.
+
+A *power vector* is the RSSI over all channels at one location.  Eq. (1)
+measures similarity of two power vectors as Pearson's correlation across
+channels; eq. (3) measures dissimilarity as the relative Euclidean
+change.  Both are NaN-tolerant (missing channels are excluded pairwise),
+and both define degenerate cases explicitly: a zero-variance vector has
+correlation 0 (no information), a zero-norm reference has relative
+change ``inf`` unless both vectors are zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pearson_correlation", "relative_change", "pairwise_pearson"]
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Eq. (1): Pearson correlation of two power vectors.
+
+    NaN entries in either vector are excluded pairwise.  Returns 0.0 when
+    fewer than two common channels remain or either side has zero
+    variance (an uninformative vector should neither match nor anti-match
+    anything).
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    y = np.asarray(y, dtype=float).ravel()
+    if x.shape != y.shape:
+        raise ValueError(f"power vectors must align, got {x.shape} vs {y.shape}")
+    mask = ~(np.isnan(x) | np.isnan(y))
+    if np.count_nonzero(mask) < 2:
+        return 0.0
+    xv = x[mask]
+    yv = y[mask]
+    xc = xv - xv.mean()
+    yc = yv - yv.mean()
+    denom = np.sqrt(np.dot(xc, xc) * np.dot(yc, yc))
+    if denom <= 0:
+        return 0.0
+    return float(np.dot(xc, yc) / denom)
+
+
+def pairwise_pearson(rows_x: np.ndarray, rows_y: np.ndarray) -> np.ndarray:
+    """Row-wise Pearson correlation of two equal-shape matrices.
+
+    For matrices ``(k, n)``, returns ``(k,)`` with the correlation of each
+    row pair — the vectorized form used by the empirical studies (Fig 2
+    computes hundreds of power-vector pairs per time lag).  NaN cells are
+    excluded pairwise per row; degenerate rows yield 0.
+    """
+    x = np.asarray(rows_x, dtype=float)
+    y = np.asarray(rows_y, dtype=float)
+    if x.shape != y.shape or x.ndim != 2:
+        raise ValueError("inputs must be equal-shape 2-D arrays")
+    mask = ~(np.isnan(x) | np.isnan(y))
+    counts = mask.sum(axis=1)
+    xz = np.where(mask, x, 0.0)
+    yz = np.where(mask, y, 0.0)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mx = xz.sum(axis=1) / counts
+        my = yz.sum(axis=1) / counts
+        xc = np.where(mask, x - mx[:, None], 0.0)
+        yc = np.where(mask, y - my[:, None], 0.0)
+        num = np.einsum("kn,kn->k", xc, yc)
+        den = np.sqrt(
+            np.einsum("kn,kn->k", xc, xc) * np.einsum("kn,kn->k", yc, yc)
+        )
+        r = num / den
+    r[~np.isfinite(r)] = 0.0
+    r[counts < 2] = 0.0
+    return r
+
+
+def relative_change(
+    x: np.ndarray,
+    x_prime: np.ndarray,
+    reference_dbm: float | None = None,
+) -> float:
+    """Eq. (3): relative change ``||X - X'|| / ||X||``.
+
+    Parameters
+    ----------
+    x, x_prime:
+        Power vectors (same length).  NaN entries are excluded pairwise.
+    reference_dbm:
+        If given, both vectors are first re-referenced to this level
+        (``X - reference``), i.e. expressed as dB above the receiver
+        floor.  Raw dBm values have large magnitudes that swamp the
+        denominator; the paper's Fig 4 magnitudes (relative change > 0.4
+        at 1 m) are only reachable with a floor-referenced or linear
+        representation, so the empirical study passes the receiver floor
+        here.  See DESIGN.md.
+    """
+    x = np.asarray(x, dtype=float).ravel()
+    xp = np.asarray(x_prime, dtype=float).ravel()
+    if x.shape != xp.shape:
+        raise ValueError(f"power vectors must align, got {x.shape} vs {xp.shape}")
+    mask = ~(np.isnan(x) | np.isnan(xp))
+    if not np.any(mask):
+        raise ValueError("no common valid channels between the two vectors")
+    xv = x[mask]
+    xpv = xp[mask]
+    if reference_dbm is not None:
+        xv = xv - reference_dbm
+        xpv = xpv - reference_dbm
+    norm_x = float(np.linalg.norm(xv))
+    diff = float(np.linalg.norm(xv - xpv))
+    if norm_x == 0.0:
+        return 0.0 if diff == 0.0 else float("inf")
+    return diff / norm_x

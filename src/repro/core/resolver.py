@@ -1,0 +1,80 @@
+"""Relative-distance resolution and aggregation (§IV-E, §VI-C).
+
+Given a SYN point — a location both vehicles traversed — the front-rear
+distance is the difference of the distances each vehicle has travelled
+*since* that point (Fig 8): ``d_r = d1 - d2``.  Positive values mean the
+*other* vehicle is ahead of the *own* vehicle.
+
+Fig 10 shows single-SYN estimates suffer from passing-vehicle
+disturbances; the paper aggregates five SYN points either by simple
+averaging or by *selective averaging* ("the maximum and the minimum
+estimates are discarded and then the rest estimates are averaged").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.syn import SynPoint
+
+__all__ = ["resolve_relative_distance", "aggregate_estimates", "AGGREGATORS"]
+
+
+def resolve_relative_distance(syn: SynPoint) -> float:
+    """Relative distance implied by one SYN point [m].
+
+    ``other_offset_m`` is how far the other vehicle travelled since the
+    SYN point; ``own_offset_m`` how far we did.  Their difference is the
+    (signed) front-rear distance, positive when the other vehicle leads.
+    """
+    return float(syn.other_offset_m - syn.own_offset_m)
+
+
+def _aggregate_single(estimates: np.ndarray) -> float:
+    """Use only the first (most recent) estimate — the original RUPS."""
+    return float(estimates[0])
+
+
+def _aggregate_mean(estimates: np.ndarray) -> float:
+    """Simple average of all estimates."""
+    return float(np.mean(estimates))
+
+
+def _aggregate_selective(estimates: np.ndarray) -> float:
+    """Selective average: drop max and min, average the rest (§VI-C).
+
+    With fewer than three estimates there is nothing to trim, so this
+    degrades to the simple mean.
+    """
+    if estimates.size < 3:
+        return float(np.mean(estimates))
+    order = np.sort(estimates)
+    return float(np.mean(order[1:-1]))
+
+
+#: Aggregation schemes of Fig 10, by config name.
+AGGREGATORS: dict[str, Callable[[np.ndarray], float]] = {
+    "single": _aggregate_single,
+    "mean": _aggregate_mean,
+    "selective": _aggregate_selective,
+}
+
+
+def aggregate_estimates(
+    syn_points: Sequence[SynPoint], scheme: str = "selective"
+) -> float | None:
+    """Aggregate the distance estimates of several SYN points.
+
+    Returns ``None`` for an empty sequence (no SYN point found — the
+    trajectories are unrelated or context is insufficient).
+    """
+    if scheme not in AGGREGATORS:
+        raise ValueError(
+            f"unknown aggregation scheme {scheme!r}; choose from {sorted(AGGREGATORS)}"
+        )
+    if not syn_points:
+        return None
+    estimates = np.array([resolve_relative_distance(s) for s in syn_points])
+    return AGGREGATORS[scheme](estimates)

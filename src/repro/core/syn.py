@@ -1,0 +1,277 @@
+"""SYN-point seeking: the double-sliding cross-correlation check (§IV-D).
+
+"a most-recent segment of S^{T1} is selected to compare with a window of
+the same length sliding from the most-recent position l1 to the oldest
+position lm on S^{T2} ... the most-recent context segment on S^{T2} is
+then checked by a window sliding on S^{T1}.  ...  the window location
+where the trajectory correlation coefficient reaches the maximum during
+the double-sliding check process is treated as the optimal estimation of
+a SYN point."
+
+Complexity is the paper's O(m * w * k) per window sweep (m context
+length, w window length, k channels) — realised here as one batched
+numpy evaluation per sweep (see :mod:`repro.core.correlation`).
+
+Extensions implemented alongside the baseline search:
+
+* **Flexible window** (§V-C): with a short context the window shrinks
+  (>= 10 m) and the threshold relaxes, so a vehicle that just turned onto
+  a new road can already identify related neighbours.
+* **Multi-SYN extraction** (§VI-C): several most-recent query segments
+  at a configurable stride, each yielding its own SYN point, for the
+  aggregation schemes of Fig 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import RupsConfig
+from repro.core.correlation import sliding_trajectory_correlation
+from repro.core.trajectory import GsmTrajectory
+
+__all__ = ["SynPoint", "seek_syn_point", "find_syn_points", "heading_agreement_rad"]
+
+
+def heading_agreement_rad(
+    own: GsmTrajectory, other: GsmTrajectory, syn: SynPoint
+) -> float:
+    """Mean absolute heading disagreement over a SYN point's window [rad].
+
+    §IV resolves distances "by further comparing their geographical
+    trajectories"; the headings of the matched segments provide an
+    independent consistency check — two vehicles that truly shared the
+    window drove the same curve, while a signal-lookalike on a different
+    road generally did not.  Returns the mean absolute angular difference
+    between the two heading series over the matched window.
+    """
+    w_marks = int(round(syn.window_length_m / own.spacing_m)) + 1
+
+    def window(traj: GsmTrajectory, end_distance: float) -> np.ndarray:
+        end_idx = int(
+            round((end_distance - traj.geo.start_distance_m) / traj.spacing_m)
+        )
+        start_idx = end_idx - w_marks + 1
+        if start_idx < 0 or end_idx >= traj.geo.n_marks:
+            raise ValueError("SYN window does not fit inside the trajectory")
+        return traj.geo.headings_rad[start_idx : end_idx + 1]
+
+    h_own = window(own, syn.own_distance_m)
+    h_other = window(other, syn.other_distance_m)
+    delta = np.arctan2(np.sin(h_own - h_other), np.cos(h_own - h_other))
+    return float(np.mean(np.abs(delta)))
+
+
+@dataclass(frozen=True)
+class SynPoint:
+    """A matched overlapped segment between two trajectories.
+
+    All distances are odometer readings of the respective vehicle at the
+    *end mark* of the matched window (the most recent point both vehicles
+    are believed to have shared).
+
+    Attributes
+    ----------
+    score:
+        Trajectory correlation coefficient (eq. 2) at the match.
+    own_distance_m:
+        Own odometer reading at the SYN point.
+    other_distance_m:
+        Other vehicle's odometer reading at the SYN point.
+    own_offset_m:
+        Distance from the SYN point to own current position (>= 0).
+    other_offset_m:
+        Distance from the SYN point to the other vehicle's current
+        position (>= 0).
+    window_length_m:
+        Length of the matched window.
+    query_side:
+        ``"own"`` if the fixed query segment came from the own
+        trajectory, ``"other"`` otherwise (the two passes of the
+        double-sliding check).
+    """
+
+    score: float
+    own_distance_m: float
+    other_distance_m: float
+    own_offset_m: float
+    other_offset_m: float
+    window_length_m: float
+    query_side: str
+
+
+def _match_window(
+    query: GsmTrajectory,
+    query_end_mark: int,
+    target: GsmTrajectory,
+    window_marks: int,
+) -> tuple[float, int] | None:
+    """Best eq.-2 score of one query window slid over a whole target.
+
+    Returns ``(score, target_end_mark)`` or ``None`` when either side is
+    too short.
+    """
+    q_start = query_end_mark - window_marks + 1
+    if q_start < 0:
+        return None
+    if target.n_marks < window_marks:
+        return None
+    q = query.power_dbm[:, q_start : query_end_mark + 1]
+    scores = sliding_trajectory_correlation(q, target.power_dbm)
+    best = int(np.argmax(scores))
+    return float(scores[best]), best + window_marks - 1
+
+
+def _syn_from_match(
+    own: GsmTrajectory,
+    other: GsmTrajectory,
+    own_end_mark: int,
+    other_end_mark: int,
+    score: float,
+    window_marks: int,
+    query_side: str,
+) -> SynPoint:
+    own_dist = float(own.geo.distances_m[own_end_mark])
+    other_dist = float(other.geo.distances_m[other_end_mark])
+    return SynPoint(
+        score=score,
+        own_distance_m=own_dist,
+        other_distance_m=other_dist,
+        own_offset_m=float(own.geo.end_distance_m - own_dist),
+        other_offset_m=float(other.geo.end_distance_m - other_dist),
+        window_length_m=(window_marks - 1) * own.spacing_m,
+        query_side=query_side,
+    )
+
+
+def _effective_window(
+    own: GsmTrajectory, other: GsmTrajectory, config: RupsConfig
+) -> tuple[int, float] | None:
+    """Window size in marks and the matching threshold (§V-C).
+
+    Returns ``None`` when even the flexible minimum does not fit.
+    """
+    available = min(own.n_marks, other.n_marks)
+    window_marks = config.window_marks
+    if available >= window_marks:
+        return window_marks, config.coherency_threshold
+    if not config.flexible_window:
+        return None
+    min_marks = int(round(config.min_window_length_m / config.spacing_m)) + 1
+    if available < min_marks:
+        return None
+    window_marks = available
+    length_m = (window_marks - 1) * config.spacing_m
+    return window_marks, config.threshold_for_window(length_m)
+
+
+def seek_syn_point(
+    own: GsmTrajectory,
+    other: GsmTrajectory,
+    config: RupsConfig | None = None,
+) -> SynPoint | None:
+    """The paper's double-sliding check: one optimal SYN point or None.
+
+    Pass 1 slides the most-recent own segment over the other trajectory;
+    pass 2 slides the most-recent other segment over the own trajectory.
+    The global maximum above the coherency threshold wins; below it the
+    trajectories are declared unrelated.
+    """
+    config = config or RupsConfig()
+    if own.spacing_m != other.spacing_m:
+        raise ValueError("trajectories must share a mark spacing")
+    if not np.array_equal(own.channel_ids, other.channel_ids):
+        raise ValueError(
+            "trajectories must be reduced to the same channel set first "
+            "(see RupsEngine or GsmTrajectory.select_channels)"
+        )
+    eff = _effective_window(own, other, config)
+    if eff is None:
+        return None
+    window_marks, threshold = eff
+
+    candidates: list[SynPoint] = []
+    m1 = _match_window(own, own.n_marks - 1, other, window_marks)
+    if m1 is not None:
+        score, other_end = m1
+        candidates.append(
+            _syn_from_match(
+                own, other, own.n_marks - 1, other_end, score, window_marks, "own"
+            )
+        )
+    m2 = _match_window(other, other.n_marks - 1, own, window_marks)
+    if m2 is not None:
+        score, own_end = m2
+        candidates.append(
+            _syn_from_match(
+                own, other, own_end, other.n_marks - 1, score, window_marks, "other"
+            )
+        )
+    if not candidates:
+        return None
+    best = max(candidates, key=lambda s: s.score)
+    return best if best.score >= threshold else None
+
+
+def find_syn_points(
+    own: GsmTrajectory,
+    other: GsmTrajectory,
+    config: RupsConfig | None = None,
+    n_points: int | None = None,
+) -> list[SynPoint]:
+    """Locate multiple SYN points from staggered query segments (§VI-C).
+
+    Query windows end at the most recent mark and every ``syn_stride_m``
+    behind it, alternating between the two trajectories as query side
+    (so the search degrades gracefully whichever vehicle is in front).
+    Returns the accepted SYN points, most recent first; empty when the
+    trajectories appear unrelated.
+    """
+    config = config or RupsConfig()
+    if own.spacing_m != other.spacing_m:
+        raise ValueError("trajectories must share a mark spacing")
+    if not np.array_equal(own.channel_ids, other.channel_ids):
+        raise ValueError("trajectories must be reduced to the same channel set")
+    n_points = config.n_syn_points if n_points is None else int(n_points)
+    if n_points < 1:
+        raise ValueError("n_points must be >= 1")
+    eff = _effective_window(own, other, config)
+    if eff is None:
+        return []
+    window_marks, threshold = eff
+    stride_marks = max(int(round(config.syn_stride_m / config.spacing_m)), 1)
+
+    found: list[SynPoint] = []
+    for k in range(n_points):
+        offset = k * stride_marks
+        # Evaluate *both* query sides for this window position and keep
+        # the better match — the same double-sided principle as the
+        # single-SYN check.  (One side is typically degenerate: the front
+        # vehicle's most recent context has no counterpart in the rear
+        # vehicle's trajectory, so its best window only partially
+        # overlaps and scores lower.)
+        best: SynPoint | None = None
+        for side in ("own", "other"):
+            query, target = (own, other) if side == "own" else (other, own)
+            end_mark = query.n_marks - 1 - offset
+            if end_mark - window_marks + 1 < 0:
+                continue
+            match = _match_window(query, end_mark, target, window_marks)
+            if match is None:
+                continue
+            score, target_end = match
+            if side == "own":
+                syn = _syn_from_match(
+                    own, other, end_mark, target_end, score, window_marks, "own"
+                )
+            else:
+                syn = _syn_from_match(
+                    own, other, target_end, end_mark, score, window_marks, "other"
+                )
+            if best is None or syn.score > best.score:
+                best = syn
+        if best is not None and best.score >= threshold:
+            found.append(best)
+    return found

@@ -1,0 +1,224 @@
+"""Continuous tracking sessions (§V-B).
+
+"one application may need to track a neighboring vehicle on every 0.1
+second.  Transferring all journey context for tracking is then
+infeasible."  The communication half of the fix lives in
+:mod:`repro.v2v.exchange` (incremental updates after a SYN lock); this
+module implements the matching half: once a session is locked, updates
+run the SYN search over a *short* recent context instead of the full
+1 km, an order of magnitude cheaper per update, and fall back to the
+full search whenever the short window fails or the lock goes stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine, RupsEstimate
+from repro.core.trajectory import GsmTrajectory
+
+__all__ = ["DistanceFilter", "RupsTracker", "TrackerUpdate"]
+
+
+@dataclass(frozen=True)
+class TrackerUpdate:
+    """One tracking-period result.
+
+    Attributes
+    ----------
+    estimate:
+        The relative-distance estimate (may be unresolved).
+    mode:
+        ``"full"`` (complete context search) or ``"locked"`` (short
+        post-lock window).
+    locked_after:
+        Whether the session holds a lock after this update.
+    """
+
+    estimate: RupsEstimate
+    mode: str
+    locked_after: bool
+
+
+class RupsTracker:
+    """Stateful per-neighbour tracking session.
+
+    Parameters
+    ----------
+    config:
+        Base RUPS configuration (the full-search behaviour).
+    locked_context_m:
+        Context length used while locked; must hold at least one checking
+        window plus the expected inter-vehicle gap.
+    max_locked_failures:
+        Consecutive unresolved locked updates before falling back to a
+        full search (losing a neighbour behind a turn, etc.).
+    """
+
+    def __init__(
+        self,
+        config: RupsConfig | None = None,
+        locked_context_m: float = 200.0,
+        max_locked_failures: int = 2,
+    ) -> None:
+        self.config = config or RupsConfig()
+        if locked_context_m < self.config.window_length_m:
+            raise ValueError(
+                "locked_context_m must be at least one checking window"
+            )
+        if max_locked_failures < 1:
+            raise ValueError("max_locked_failures must be >= 1")
+        self.locked_context_m = float(locked_context_m)
+        self.max_locked_failures = int(max_locked_failures)
+        self._engine = RupsEngine(self.config)
+        self._locked = False
+        self._failures = 0
+        self._history: list[TrackerUpdate] = []
+
+    @property
+    def locked(self) -> bool:
+        """Whether the session currently holds a SYN lock."""
+        return self._locked
+
+    @property
+    def history(self) -> list[TrackerUpdate]:
+        """All updates so far (copy)."""
+        return list(self._history)
+
+    def last_distance_m(self) -> float | None:
+        """Most recent resolved distance, if any."""
+        for update in reversed(self._history):
+            if update.estimate.resolved:
+                return update.estimate.distance_m
+        return None
+
+    def reset(self) -> None:
+        """Drop the lock and history (new neighbour)."""
+        self._locked = False
+        self._failures = 0
+        self._history.clear()
+
+    def update(
+        self, own: GsmTrajectory, other: GsmTrajectory
+    ) -> TrackerUpdate:
+        """Run one tracking period.
+
+        ``own``/``other`` are the current GSM-aware trajectories (built
+        at full context length by the caller; the tracker trims them when
+        locked — trimming is cheap, searching is not).
+        """
+        mode = "locked" if self._locked else "full"
+        if self._locked:
+            own_q = self._trim(own)
+            other_q = self._trim(other)
+        else:
+            own_q, other_q = own, other
+        estimate = self._engine.estimate_relative_distance(own_q, other_q)
+
+        if estimate.resolved:
+            self._locked = True
+            self._failures = 0
+        elif self._locked:
+            self._failures += 1
+            if self._failures >= self.max_locked_failures:
+                # Retry immediately at full context before reporting.
+                estimate = self._engine.estimate_relative_distance(own, other)
+                mode = "full"
+                self._locked = estimate.resolved
+                self._failures = 0
+        update = TrackerUpdate(
+            estimate=estimate, mode=mode, locked_after=self._locked
+        )
+        self._history.append(update)
+        return update
+
+    def _trim(self, trajectory: GsmTrajectory) -> GsmTrajectory:
+        if trajectory.length_m <= self.locked_context_m:
+            return trajectory
+        return trajectory.tail(self.locked_context_m)
+
+
+@dataclass
+class DistanceFilter:
+    """Alpha-beta filter over the tracked relative distance.
+
+    Tracking applications sample RUPS at fixed periods; the raw per-query
+    estimates carry metre-scale matching noise while the underlying gap
+    evolves smoothly (bounded relative acceleration).  A constant-
+    velocity alpha-beta filter — the classic minimal tracker — smooths
+    the stream and bridges short unresolved gaps by prediction.
+
+    Attributes
+    ----------
+    alpha, beta:
+        Position / velocity correction gains (0 < beta < alpha < 2).
+    max_coast_s:
+        Longest span the filter will predict through without a
+        measurement before declaring itself stale.
+    """
+
+    alpha: float = 0.5
+    beta: float = 0.1
+    max_coast_s: float = 5.0
+    _d: float | None = None
+    _v: float = 0.0
+    _t: float | None = None
+    _last_meas_t: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.beta < self.alpha < 2.0:
+            raise ValueError("gains must satisfy 0 < beta < alpha < 2")
+        if self.max_coast_s <= 0:
+            raise ValueError("max_coast_s must be positive")
+
+    @property
+    def initialized(self) -> bool:
+        """Whether at least one measurement has been absorbed."""
+        return self._d is not None
+
+    @property
+    def stale(self) -> bool:
+        """Whether the filter has coasted past its measurement budget."""
+        if self._t is None or self._last_meas_t is None:
+            return True
+        return (self._t - self._last_meas_t) > self.max_coast_s
+
+    @property
+    def closing_speed_ms(self) -> float:
+        """Estimated rate of gap change [m/s] (positive = gap growing)."""
+        return self._v
+
+    def step(self, time_s: float, measurement_m: float | None) -> float | None:
+        """Advance to ``time_s``; absorb a measurement if one is given.
+
+        Returns the filtered distance, or ``None`` until initialized or
+        once stale.
+        """
+        if self._d is None:
+            if measurement_m is None:
+                return None
+            self._d = float(measurement_m)
+            self._t = float(time_s)
+            self._last_meas_t = float(time_s)
+            return self._d
+        assert self._t is not None
+        dt = float(time_s) - self._t
+        if dt < 0:
+            raise ValueError("time must not run backwards")
+        self._t = float(time_s)
+        self._d += self._v * dt
+        if measurement_m is not None:
+            residual = float(measurement_m) - self._d
+            self._d += self.alpha * residual
+            if dt > 0:
+                self._v += self.beta * residual / dt
+            self._last_meas_t = float(time_s)
+        return None if self.stale else self._d
+
+    def reset(self) -> None:
+        """Forget all state (new neighbour / lock loss)."""
+        self._d = None
+        self._v = 0.0
+        self._t = None
+        self._last_meas_t = None

@@ -1,0 +1,17 @@
+"""Evaluation harness: one callable per paper figure/table.
+
+* :mod:`repro.experiments.traces` — synthetic trace collection mirroring
+  §III-A (stationary road measurements) and §VI-A (two-car drives).
+* :mod:`repro.experiments.empirical` — the §III studies: Figs 1-4.
+* :mod:`repro.experiments.evaluation` — the §VI studies: Figs 9-12 plus
+  the §V-C window ablation.
+* :mod:`repro.experiments.timing` — §V-A compute cost and §V-B response
+  time / scalability.
+* :mod:`repro.experiments.metrics` — error definitions (RDE, SYN error).
+* :mod:`repro.experiments.reporting` — ASCII tables and series.
+* :mod:`repro.experiments.registry` — experiment id -> callable.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

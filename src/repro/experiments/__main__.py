@@ -1,0 +1,77 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments fig2 [--seed N]
+    python -m repro.experiments fig11 --drives 3 --queries 40
+    python -m repro.experiments --list
+
+Each id regenerates one paper artifact and prints its series/table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.evaluation import EvalSettings
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+#: Experiments that accept an EvalSettings workload object.
+_EVAL_IDS = {"fig9", "fig10", "fig11", "fig12"}
+#: Experiments that accept a plain seed.
+_SEEDED_IDS = {"fig1", "fig2", "fig3", "fig4", "t-compute", "t-respond", "t-campaign"}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one paper artifact (figure or SV table).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"artifact id, one of: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    parser.add_argument("--list", action="store_true", help="list artifact ids")
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--drives", type=int, default=3, help="drives pooled per cell (SVI studies)"
+    )
+    parser.add_argument(
+        "--queries", type=int, default=60, help="queries per drive (SVI studies)"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        for exp_id in sorted(EXPERIMENTS):
+            print(exp_id)
+        return 0
+
+    if args.experiment not in EXPERIMENTS:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"available: {', '.join(sorted(EXPERIMENTS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    kwargs: dict = {}
+    if args.experiment in _EVAL_IDS:
+        kwargs["settings"] = EvalSettings(
+            n_drives=args.drives, queries_per_drive=args.queries, seed=args.seed
+        )
+    elif args.experiment in _SEEDED_IDS:
+        kwargs["seed"] = args.seed
+
+    start = time.perf_counter()
+    result = run_experiment(args.experiment, **kwargs)
+    elapsed = time.perf_counter() - start
+    print(result.render())
+    print(f"\n[{args.experiment} regenerated in {elapsed:.1f} s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,488 @@
+"""The §VI evaluation studies: Figs 9-12 and the §V-C window ablation.
+
+All studies share one harness: simulate two-car drives
+(:func:`repro.experiments.traces.drive_pair`), pick random query instants
+on the first car's trajectory (the paper "randomly select[s] 500/1000
+points on the trajectory of the first car"), run the RUPS pipeline per
+query, and score against exact ground truth.  Queries pool over several
+independent drives so results reflect the campaign, not one vehicle
+pair's particular sensor biases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.gps_rdf import GpsRdfBaseline
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine
+from repro.core.syn import seek_syn_point
+from repro.experiments.metrics import QueryBatch, QueryOutcome, syn_point_error
+from repro.experiments.reporting import render_cdf_summary, render_series, render_table
+from repro.experiments.traces import DrivePair, drive_pair
+from repro.gsm.band import EVAL_SUBSET_115, ChannelPlan
+from repro.roads.types import RoadType
+from repro.util.rng import RngFactory
+from repro.util.stats import mean_confidence_interval
+
+__all__ = [
+    "EvalSettings",
+    "run_queries",
+    "fig9_radios",
+    "fig10_aggregation",
+    "fig11_environments",
+    "fig12_vs_gps",
+    "window_ablation",
+]
+
+
+@dataclass(frozen=True)
+class EvalSettings:
+    """Workload scale of a §VI study.
+
+    The paper uses 500-1000 query points over a three-month campaign;
+    the defaults here give statistically stable curves in tens of
+    seconds.  Scale up for publication-grade smoothness.
+    """
+
+    n_drives: int = 3
+    queries_per_drive: int = 60
+    duration_s: float = 420.0
+    plan: ChannelPlan = EVAL_SUBSET_115
+    seed: int = 0
+
+
+def run_queries(
+    pair: DrivePair,
+    n_queries: int,
+    engine: RupsEngine,
+    rng: np.random.Generator,
+    aggregation: str | None = None,
+    with_syn_errors: bool = True,
+) -> QueryBatch:
+    """Run random relative-distance queries against one drive pair."""
+    t_lo, t_hi = pair.query_window(engine.config.context_length_m)
+    if t_hi <= t_lo:
+        raise ValueError(
+            "drive too short for the configured context length "
+            f"(query window [{t_lo:.0f}, {t_hi:.0f}] s)"
+        )
+    batch = QueryBatch()
+    for tq in rng.uniform(t_lo, t_hi, size=n_queries):
+        own = engine.build_trajectory(pair.rear.scan, pair.rear.estimated, at_time_s=tq)
+        other = engine.build_trajectory(
+            pair.front.scan, pair.front.estimated, at_time_s=tq
+        )
+        est = engine.estimate_relative_distance(own, other, aggregation=aggregation)
+        syn_errs: tuple[float, ...] = ()
+        if with_syn_errors:
+            syn_errs = tuple(
+                syn_point_error(s, pair.rear, pair.front) for s in est.syn_points
+            )
+        batch.append(
+            QueryOutcome(
+                time_s=float(tq),
+                truth_m=float(pair.scenario.true_relative_distance(tq)),
+                estimate_m=est.distance_m,
+                syn_errors_m=syn_errs,
+            )
+        )
+    return batch
+
+
+def _pooled_batch(
+    settings: EvalSettings,
+    engine: RupsEngine,
+    road_type: RoadType,
+    n_radios: int,
+    placement_front: str = "front",
+    placement_rear: str = "front",
+    rear_lane: int = 0,
+    aggregation: str | None = None,
+    tag: object = "",
+) -> QueryBatch:
+    """Pool query outcomes over several independent drives."""
+    factory = RngFactory(settings.seed)
+    pooled = QueryBatch()
+    for d in range(settings.n_drives):
+        pair = drive_pair(
+            road_type=road_type,
+            duration_s=settings.duration_s,
+            n_radios=n_radios,
+            placement_front=placement_front,
+            placement_rear=placement_rear,
+            rear_lane=rear_lane,
+            plan=settings.plan,
+            seed=settings.seed * 1000 + d,
+        )
+        q_rng = factory.generator("queries", tag, d)
+        pooled.extend(
+            run_queries(
+                pair, settings.queries_per_drive, engine, q_rng, aggregation
+            )
+        )
+    return pooled
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Fig9Result:
+    """Fig 9: SYN-point error CDFs per radio configuration."""
+
+    syn_errors: dict[str, np.ndarray]
+
+    def render(self) -> str:
+        return render_cdf_summary(
+            self.syn_errors,
+            title="Fig 9 — SYN point error by number/placement of GSM radios "
+            "(8-lane urban, same lane)",
+        )
+
+
+def fig9_radios(settings: EvalSettings | None = None) -> Fig9Result:
+    """Reproduce Fig 9: 1f/1f, 2f/2f, 4f/4f and 4c/4f radio configs.
+
+    Expected shape: more radios -> smaller SYN errors; the central
+    placement clearly worse than front at equal count.
+    """
+    settings = settings or EvalSettings()
+    engine = RupsEngine(RupsConfig())
+    configs = [
+        ("4 front radios, 4 front radios", 4, "front", "front"),
+        ("4 central radios, 4 front radios", 4, "front", "central"),
+        ("2 front radios, 2 front radios", 2, "front", "front"),
+        ("1 front radio, 1 front radio", 1, "front", "front"),
+    ]
+    out: dict[str, np.ndarray] = {}
+    for name, n_radios, p_front, p_rear in configs:
+        batch = _pooled_batch(
+            settings,
+            engine,
+            RoadType.URBAN_8LANE,
+            n_radios,
+            placement_front=p_front,
+            placement_rear=p_rear,
+            tag=name,
+        )
+        out[name] = batch.syn_errors()
+    return Fig9Result(syn_errors=out)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Fig10Result:
+    """Fig 10: RDE CDFs for the SYN aggregation schemes."""
+
+    rde: dict[str, np.ndarray]
+
+    def render(self) -> str:
+        return render_cdf_summary(
+            self.rde,
+            title="Fig 10 — relative distance error by aggregation scheme "
+            "(8-lane urban, passing-vehicle blockage active)",
+        )
+
+
+def fig10_aggregation(settings: EvalSettings | None = None) -> Fig10Result:
+    """Reproduce Fig 10: one SYN vs average vs selective average (5 SYNs).
+
+    Expected shape: the single-SYN curve has a markedly heavier tail
+    (blockage-disturbed matches); selective averaging dominates.
+    """
+    settings = settings or EvalSettings()
+    out: dict[str, np.ndarray] = {}
+    for name, aggregation, n_syn in (
+        ("RUPS with one SYN point", "single", 1),
+        ("RUPS with average over 5 SYN points", "mean", 5),
+        ("RUPS with selective average over 5 SYN points", "selective", 5),
+    ):
+        engine = RupsEngine(RupsConfig(n_syn_points=n_syn, aggregation=aggregation))
+        batch = _pooled_batch(
+            settings,
+            engine,
+            RoadType.URBAN_8LANE,
+            n_radios=4,
+            aggregation=aggregation,
+            tag="fig10",  # same drives for all schemes: paired comparison
+        )
+        out[name] = batch.rde()
+    return Fig10Result(rde=out)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Fig11Result:
+    """Fig 11: mean RDE and SYN error with 95% CI per environment/config."""
+
+    rows: list[dict]
+
+    def render(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [
+                    row["config"],
+                    row["environment"],
+                    row["rde_mean"],
+                    f"+-{row['rde_ci']:.2f}",
+                    row["syn_mean"],
+                    f"+-{row['syn_ci']:.2f}",
+                    f"{row['resolution_rate']:.2f}",
+                ]
+            )
+        return render_table(
+            [
+                "radio config",
+                "environment",
+                "RDE mean (m)",
+                "RDE 95% CI",
+                "SYN err mean (m)",
+                "SYN 95% CI",
+                "resolved",
+            ],
+            table_rows,
+            title="Fig 11 — average errors under dynamic environments and radio configurations",
+        )
+
+
+def fig11_environments(settings: EvalSettings | None = None) -> Fig11Result:
+    """Reproduce Fig 11: environments x radio configurations.
+
+    Expected shape: best accuracy with 4 front radios; stable across
+    environments (<= ~5 m); distinct lanes degrade SYN errors to ~10 m.
+    """
+    settings = settings or EvalSettings()
+    engine = RupsEngine(RupsConfig())
+    environments = [
+        ("2-lane, suburb", RoadType.SUBURB_2LANE, 0),
+        ("4-lane, same lane", RoadType.URBAN_4LANE, 0),
+        ("8-lane, same lane", RoadType.URBAN_8LANE, 0),
+        ("8-lane, distinct lanes", RoadType.URBAN_8LANE, 3),
+    ]
+    configs = [
+        ("1 front, 1 front", 1, "front", "front"),
+        ("4 front, 4 front", 4, "front", "front"),
+        ("4 central, 4 front", 4, "front", "central"),
+    ]
+    rows: list[dict] = []
+    for cfg_name, n_radios, p_front, p_rear in configs:
+        for env_name, road_type, rear_lane in environments:
+            batch = _pooled_batch(
+                settings,
+                engine,
+                road_type,
+                n_radios,
+                placement_front=p_front,
+                placement_rear=p_rear,
+                rear_lane=rear_lane,
+                tag=(cfg_name, env_name),
+            )
+            rde = batch.rde()
+            syn = batch.syn_errors()
+            rde_ci = mean_confidence_interval(rde) if rde.size else None
+            syn_ci = mean_confidence_interval(syn) if syn.size else None
+            rows.append(
+                {
+                    "config": cfg_name,
+                    "environment": env_name,
+                    "rde_mean": rde_ci.mean if rde_ci else float("nan"),
+                    "rde_ci": rde_ci.half_width if rde_ci else float("nan"),
+                    "syn_mean": syn_ci.mean if syn_ci else float("nan"),
+                    "syn_ci": syn_ci.half_width if syn_ci else float("nan"),
+                    "resolution_rate": batch.resolution_rate,
+                }
+            )
+    return Fig11Result(rows=rows)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class Fig12Result:
+    """Fig 12: RUPS vs GPS RDE per environment."""
+
+    rups: dict[str, np.ndarray]
+    gps: dict[str, np.ndarray]
+    gps_availability: dict[str, float]
+
+    def render(self) -> str:
+        combined: dict[str, np.ndarray] = {}
+        for env in self.rups:
+            combined[f"RUPS, {env}"] = self.rups[env]
+        for env in self.gps:
+            combined[f"GPS, {env}"] = self.gps[env]
+        text = render_cdf_summary(
+            combined,
+            title="Fig 12 — RUPS vs GPS relative distance error by environment",
+        )
+        ratio = self.mean_improvement_factor()
+        return text + f"\n\nmean GPS/RUPS error ratio over environments: {ratio:.2f}x"
+
+    def mean_improvement_factor(self) -> float:
+        """Average of per-environment (GPS mean / RUPS mean) ratios.
+
+        The paper's headline "outperform GPS by 2.7 times on average".
+        """
+        ratios = []
+        for env in self.rups:
+            r = self.rups[env]
+            g = self.gps[env]
+            if r.size and g.size and np.mean(r) > 0:
+                ratios.append(np.mean(g) / np.mean(r))
+        if not ratios:
+            return float("nan")
+        return float(np.mean(ratios))
+
+
+def fig12_vs_gps(settings: EvalSettings | None = None) -> Fig12Result:
+    """Reproduce Fig 12: four environments, RUPS vs the GPS baseline.
+
+    Expected shape: RUPS flat across environments; GPS degrades sharply
+    under elevated roads; GPS/RUPS mean-error ratio well above 1 (paper:
+    2.7x on average).
+    """
+    settings = settings or EvalSettings()
+    engine = RupsEngine(RupsConfig())
+    baseline = GpsRdfBaseline()
+    environments = [
+        ("2-lane roads, suburb", RoadType.SUBURB_2LANE),
+        ("4-lane roads, urban", RoadType.URBAN_4LANE),
+        ("8-lane roads, urban", RoadType.URBAN_8LANE),
+        ("under elevated roads", RoadType.UNDER_ELEVATED),
+    ]
+    factory = RngFactory(settings.seed)
+    rups: dict[str, np.ndarray] = {}
+    gps: dict[str, np.ndarray] = {}
+    avail: dict[str, float] = {}
+    for env_name, road_type in environments:
+        pooled = QueryBatch()
+        gps_errs: list[float] = []
+        n_avail = 0
+        n_total = 0
+        for d in range(settings.n_drives):
+            pair = drive_pair(
+                road_type=road_type,
+                duration_s=settings.duration_s,
+                n_radios=4,
+                plan=settings.plan,
+                seed=settings.seed * 1000 + d,
+            )
+            q_rng = factory.generator("fig12", env_name, d)
+            batch = run_queries(
+                pair, settings.queries_per_drive, engine, q_rng, with_syn_errors=False
+            )
+            pooled.extend(batch)
+            times = np.array([o.time_s for o in batch.outcomes])
+            truths = np.array([o.truth_m for o in batch.outcomes])
+            est = baseline.estimate(
+                pair.front.gps, pair.rear.gps, times, pair.field.polyline
+            )
+            ok = ~np.isnan(est)
+            n_avail += int(np.count_nonzero(ok))
+            n_total += times.size
+            gps_errs.extend(np.abs(est[ok] - truths[ok]).tolist())
+        rups[env_name] = pooled.rde()
+        gps[env_name] = np.array(gps_errs)
+        avail[env_name] = n_avail / max(n_total, 1)
+    return Fig12Result(rups=rups, gps=gps, gps_availability=avail)
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class WindowAblationResult:
+    """§V-C: flexible checking window — detection vs false positives."""
+
+    window_lengths_m: np.ndarray
+    detection_rate: np.ndarray
+    false_positive_rate: np.ndarray
+    thresholds: np.ndarray
+
+    def render(self) -> str:
+        return render_series(
+            self.window_lengths_m,
+            {
+                "threshold used": self.thresholds,
+                "related detected": self.detection_rate,
+                "unrelated accepted (FP)": self.false_positive_rate,
+            },
+            x_name="window (m)",
+            title="§V-C — flexible checking window: detection vs false positives",
+        )
+
+
+def window_ablation(
+    window_lengths_m: tuple[float, ...] = (10.0, 20.0, 35.0, 50.0, 85.0),
+    n_trials: int = 40,
+    seed: int = 0,
+    settings: EvalSettings | None = None,
+) -> WindowAblationResult:
+    """§V-C claim: short windows + relaxed thresholds still identify
+    related vehicles "with acceptable false positive ratio".
+
+    Related trials pair the two cars of one drive; unrelated trials pair
+    the rear car with a front car from a *different road*.  For each
+    window length the flexible threshold from
+    :meth:`RupsConfig.threshold_for_window` is applied.
+    """
+    settings = settings or EvalSettings(n_drives=2, queries_per_drive=n_trials)
+    base_config = RupsConfig()
+    pair_a = drive_pair(
+        road_type=RoadType.URBAN_4LANE,
+        duration_s=settings.duration_s,
+        plan=settings.plan,
+        seed=settings.seed * 1000 + 1,
+    )
+    pair_b = drive_pair(
+        road_type=RoadType.URBAN_4LANE,
+        duration_s=settings.duration_s,
+        plan=settings.plan,
+        seed=settings.seed * 1000 + 2,
+    )
+    rng = RngFactory(seed).generator("window-ablation")
+    engine = RupsEngine(base_config)
+
+    t_lo, t_hi = pair_a.query_window(base_config.context_length_m)
+    times = rng.uniform(t_lo, t_hi, size=n_trials)
+
+    det = np.zeros(len(window_lengths_m))
+    fpr = np.zeros(len(window_lengths_m))
+    thrs = np.zeros(len(window_lengths_m))
+    for wi, w in enumerate(window_lengths_m):
+        cfg = RupsConfig(
+            window_length_m=w,
+            coherency_threshold=base_config.threshold_for_window(w),
+            flexible_window=True,
+            min_window_length_m=min(10.0, w),
+            min_coherency_threshold=min(
+                base_config.min_coherency_threshold,
+                base_config.threshold_for_window(w),
+            ),
+        )
+        thrs[wi] = cfg.coherency_threshold
+        hits = 0
+        fps = 0
+        for tq in times:
+            own = engine.build_trajectory(
+                pair_a.rear.scan, pair_a.rear.estimated, at_time_s=tq
+            )
+            related = engine.build_trajectory(
+                pair_a.front.scan, pair_a.front.estimated, at_time_s=tq
+            )
+            unrelated = engine.build_trajectory(
+                pair_b.front.scan, pair_b.front.estimated, at_time_s=tq
+            )
+            own_r, rel_r = engine._reduce_channels(own, related)
+            if seek_syn_point(own_r, rel_r, cfg) is not None:
+                hits += 1
+            own_u, unrel_r = engine._reduce_channels(own, unrelated)
+            if seek_syn_point(own_u, unrel_r, cfg) is not None:
+                fps += 1
+        det[wi] = hits / n_trials
+        fpr[wi] = fps / n_trials
+    return WindowAblationResult(
+        window_lengths_m=np.array(window_lengths_m),
+        detection_rate=det,
+        false_positive_rate=fpr,
+        thresholds=thrs,
+    )

@@ -1,0 +1,91 @@
+"""Trace persistence: save/load the expensive simulation artifacts.
+
+Drives take seconds to simulate; sweeping analysis parameters (window
+lengths, thresholds, aggregation schemes) over the *same* traces is the
+normal workflow — exactly how the paper reuses its three-month trace for
+every §VI figure.  These helpers persist the two artifacts an analysis
+needs, the raw scan stream and the dead-reckoned track, as compressed
+``.npz`` files.
+
+Ground truth is deliberately not bundled: a persisted trace is what a
+real vehicle would have recorded, and keeping truth separate makes
+that boundary explicit in analysis code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.gsm.band import ChannelPlan
+from repro.gsm.scanner import ScanStream
+from repro.sensors.deadreckoning import EstimatedTrack
+
+__all__ = ["save_scan", "load_scan", "save_track", "load_track"]
+
+_SCAN_FORMAT = 1
+_TRACK_FORMAT = 1
+
+
+def save_scan(path: str | Path, scan: ScanStream) -> None:
+    """Persist a scan stream (plan included) to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_SCAN_FORMAT),
+        times_s=scan.times_s,
+        channel_indices=scan.channel_indices,
+        radio_ids=scan.radio_ids,
+        s_true_m=scan.s_true_m,
+        rssi_dbm=scan.rssi_dbm,
+        plan_name=np.str_(scan.plan.name),
+        plan_arfcns=scan.plan.arfcns,
+        plan_frequencies_hz=scan.plan.frequencies_hz,
+        plan_scan_time_s=np.float64(scan.plan.scan_time_s),
+    )
+
+
+def load_scan(path: str | Path) -> ScanStream:
+    """Inverse of :func:`save_scan`."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _SCAN_FORMAT:
+            raise ValueError(f"unsupported scan format version {version}")
+        plan = ChannelPlan(
+            name=str(data["plan_name"]),
+            arfcns=data["plan_arfcns"],
+            frequencies_hz=data["plan_frequencies_hz"],
+            scan_time_s=float(data["plan_scan_time_s"]),
+        )
+        return ScanStream(
+            times_s=data["times_s"],
+            channel_indices=data["channel_indices"],
+            radio_ids=data["radio_ids"],
+            s_true_m=data["s_true_m"],
+            rssi_dbm=data["rssi_dbm"],
+            plan=plan,
+        )
+
+
+def save_track(path: str | Path, track: EstimatedTrack) -> None:
+    """Persist a dead-reckoned track to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        format_version=np.int64(_TRACK_FORMAT),
+        times_s=track.times_s,
+        distance_m=track.distance_m,
+        heading_rad=track.heading_rad,
+    )
+
+
+def load_track(path: str | Path) -> EstimatedTrack:
+    """Inverse of :func:`save_track`."""
+    with np.load(path) as data:
+        version = int(data["format_version"])
+        if version != _TRACK_FORMAT:
+            raise ValueError(f"unsupported track format version {version}")
+        return EstimatedTrack(
+            times_s=data["times_s"],
+            distance_m=data["distance_m"],
+            heading_rad=data["heading_rad"],
+        )

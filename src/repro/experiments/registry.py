@@ -1,0 +1,54 @@
+"""Experiment registry: id -> callable, for the bench harness and CLI use.
+
+Every id corresponds to one paper artifact (figure or §V table); running
+it returns a result object with a ``render()`` method.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments.empirical import (
+    fig1_spectrograms,
+    fig2_temporal_stability,
+    fig3_uniqueness,
+    fig4_resolution,
+)
+from repro.experiments.evaluation import (
+    fig9_radios,
+    fig10_aggregation,
+    fig11_environments,
+    fig12_vs_gps,
+    window_ablation,
+)
+from repro.experiments.campaign import run_campaign
+from repro.experiments.timing import compute_cost_sweep, response_time_table
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+#: All reproducible paper artifacts.
+EXPERIMENTS: dict[str, Callable] = {
+    "fig1": fig1_spectrograms,
+    "fig2": fig2_temporal_stability,
+    "fig3": fig3_uniqueness,
+    "fig4": fig4_resolution,
+    "fig9": fig9_radios,
+    "fig10": fig10_aggregation,
+    "fig11": fig11_environments,
+    "fig12": fig12_vs_gps,
+    "t-window": window_ablation,
+    "t-compute": compute_cost_sweep,
+    "t-respond": response_time_table,
+    "t-campaign": run_campaign,
+}
+
+
+def run_experiment(exp_id: str, **kwargs):
+    """Run one experiment by paper-artifact id and return its result."""
+    try:
+        fn = EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
+        ) from None
+    return fn(**kwargs)

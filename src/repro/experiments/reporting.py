@@ -1,0 +1,152 @@
+"""Plain-text rendering of experiment results.
+
+Every figure's bench target prints the series the paper plots, in a form
+that can be diffed run-to-run and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_cdf_summary", "render_series", "render_spectrogram"]
+
+#: CDF evaluation grid used in summaries [m], matching the paper's x-axes.
+CDF_GRID_M: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "n/a"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_cdf_summary(
+    series: Mapping[str, np.ndarray],
+    grid: Sequence[float] = CDF_GRID_M,
+    title: str | None = None,
+    unit: str = "m",
+) -> str:
+    """Tabulate P(error <= x) at fixed thresholds for several series."""
+    headers = ["series", "n", "mean"] + [f"P(<={g}{unit})" for g in grid]
+    rows = []
+    for name, samples in series.items():
+        samples = np.asarray(samples, dtype=float)
+        samples = samples[~np.isnan(samples)]
+        if samples.size == 0:
+            rows.append([name, 0, float("nan")] + [float("nan")] * len(grid))
+            continue
+        row: list[object] = [name, int(samples.size), float(np.mean(samples))]
+        for g in grid:
+            row.append(float(np.count_nonzero(samples <= g)) / samples.size)
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_series(
+    x: np.ndarray,
+    ys: Mapping[str, np.ndarray],
+    x_name: str,
+    title: str | None = None,
+) -> str:
+    """Tabulate y(x) curves side by side (the 'plot as text' form)."""
+    headers = [x_name] + list(ys.keys())
+    x = np.asarray(x, dtype=float)
+    rows = []
+    for i, xv in enumerate(x):
+        row: list[object] = [float(xv)]
+        for name in ys:
+            y = np.asarray(ys[name], dtype=float)
+            if y.size != x.size:
+                raise ValueError(f"series {name!r} length mismatch")
+            row.append(float(y[i]))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_spectrogram(
+    matrix: np.ndarray,
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+    vmin: float | None = None,
+    vmax: float | None = None,
+) -> str:
+    """ASCII spectrogram of a power matrix (channels x marks).
+
+    The paper's Fig 1 is a pair of RSSI spectrograms; this renders the
+    same artifact in a terminal: rows are (binned) channels, columns are
+    (binned) distance marks, glyph density encodes power.  NaNs render
+    as blanks.
+    """
+    ramp = " .:-=+*#%@"
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2:
+        raise ValueError("matrix must be 2-D (channels x marks)")
+    if width < 2 or height < 2:
+        raise ValueError("width and height must be >= 2")
+    height = min(height, m.shape[0])
+    width = min(width, m.shape[1])
+
+    # Bin by averaging (ignore NaN cells inside a bin).
+    row_edges = np.linspace(0, m.shape[0], height + 1).astype(int)
+    col_edges = np.linspace(0, m.shape[1], width + 1).astype(int)
+    import warnings as _warnings
+
+    binned = np.full((height, width), np.nan)
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("ignore", category=RuntimeWarning)
+        for i in range(height):
+            rows = m[row_edges[i] : row_edges[i + 1]]
+            for j in range(width):
+                binned[i, j] = np.nanmean(rows[:, col_edges[j] : col_edges[j + 1]])
+
+    finite = binned[np.isfinite(binned)]
+    if finite.size == 0:
+        raise ValueError("matrix holds no finite values")
+    lo = float(np.min(finite)) if vmin is None else float(vmin)
+    hi = float(np.max(finite)) if vmax is None else float(vmax)
+    span = max(hi - lo, 1e-12)
+
+    lines = []
+    if title:
+        lines.append(title)
+    for i in range(height):
+        chars = []
+        for j in range(width):
+            v = binned[i, j]
+            if not np.isfinite(v):
+                chars.append(" ")
+            else:
+                k = int(np.clip((v - lo) / span * (len(ramp) - 1), 0, len(ramp) - 1))
+                chars.append(ramp[k])
+        lines.append("".join(chars))
+    lines.append(f"[{lo:.0f} dBm '{ramp[0]}' .. {hi:.0f} dBm '{ramp[-1]}']")
+    return "\n".join(lines)

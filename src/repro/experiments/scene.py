@@ -1,0 +1,172 @@
+"""Convoy scenes: N vehicles, all-pairs queries, end-to-end latency.
+
+The paper's §I claims RUPS "can answer arbitrary relative distance
+queries in about 0.5s" — a *system* number: V2V exchange (~0.52 s for a
+1 km context, §V-B) plus a negligible SYN search (~1.2 ms, §V-A).  A
+:class:`ConvoyScene` makes that claim testable end to end: it simulates
+an N-vehicle convoy on one road, and each query accounts both the
+communication time (context transfer over the contended channel) and the
+measured compute time of the matching pipeline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine, RupsEstimate
+from repro.gsm.band import EVAL_SUBSET_115, ChannelPlan
+from repro.gsm.field import make_straight_field
+from repro.gsm.scanner import RadioGroup
+from repro.roads.types import ROAD_PROFILES, RoadType
+from repro.util.rng import RngFactory
+from repro.v2v.channel import DsrcChannel
+from repro.v2v.serialization import encoded_size_bytes
+from repro.vehicles.drive import DriveRecord, simulate_drive
+from repro.vehicles.idm import follow_leader
+from repro.vehicles.kinematics import MotionProfile, urban_speed_profile
+
+__all__ = ["ConvoyScene", "QueryLatency", "build_convoy_scene"]
+
+
+@dataclass(frozen=True)
+class QueryLatency:
+    """End-to-end cost accounting of one relative-distance query."""
+
+    comm_s: float
+    compute_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.comm_s + self.compute_s
+
+
+class ConvoyScene:
+    """An N-vehicle convoy with per-pair RUPS queries.
+
+    Vehicle 0 leads; vehicle ``i`` follows ``i-1`` (IDM).  All share the
+    road's signal field and one contended DSRC channel.
+    """
+
+    def __init__(
+        self,
+        motions: list[MotionProfile],
+        records: list[DriveRecord],
+        engine: RupsEngine,
+        channel: DsrcChannel,
+    ) -> None:
+        if len(motions) != len(records) or len(motions) < 2:
+            raise ValueError("need aligned motions/records for >= 2 vehicles")
+        self.motions = motions
+        self.records = records
+        self.engine = engine
+        self.channel = channel
+
+    @property
+    def n_vehicles(self) -> int:
+        return len(self.motions)
+
+    def true_distance(self, asker: int, target: int, time_s: float) -> float:
+        """Exact signed distance from asker to target (positive = ahead)."""
+        return float(self.motions[target].arc_length_at(time_s)) - float(
+            self.motions[asker].arc_length_at(time_s)
+        )
+
+    def query(
+        self, asker: int, target: int, time_s: float
+    ) -> tuple[RupsEstimate, QueryLatency]:
+        """One relative-distance query with full latency accounting.
+
+        Communication: the target's journey context is transferred over
+        the shared channel (stop-and-wait, contention from the other
+        vehicles).  Compute: the binding + SYN search wall-clock, as
+        measured.
+        """
+        for idx in (asker, target):
+            if not 0 <= idx < self.n_vehicles:
+                raise IndexError(f"vehicle index {idx} out of range")
+        if asker == target:
+            raise ValueError("a vehicle cannot query itself")
+        n_marks = int(
+            round(self.engine.config.context_length_m / self.engine.config.spacing_m)
+        ) + 1
+        n_bytes = encoded_size_bytes(
+            self.records[target].scan.plan.n_channels, n_marks
+        )
+        comm_s = self.channel.nominal_transfer_time_s(n_bytes)
+
+        start = time.perf_counter()
+        own = self.engine.build_trajectory(
+            self.records[asker].scan,
+            self.records[asker].estimated,
+            at_time_s=time_s,
+        )
+        other = self.engine.build_trajectory(
+            self.records[target].scan,
+            self.records[target].estimated,
+            at_time_s=time_s,
+        )
+        estimate = self.engine.estimate_relative_distance(own, other)
+        compute_s = time.perf_counter() - start
+        return estimate, QueryLatency(comm_s=comm_s, compute_s=compute_s)
+
+    def all_pairs(
+        self, time_s: float
+    ) -> dict[tuple[int, int], tuple[RupsEstimate, QueryLatency]]:
+        """Every ordered pair's query at one instant."""
+        out = {}
+        for a in range(self.n_vehicles):
+            for b in range(self.n_vehicles):
+                if a != b:
+                    out[(a, b)] = self.query(a, b, time_s)
+        return out
+
+
+def build_convoy_scene(
+    n_vehicles: int = 3,
+    road_type: RoadType = RoadType.URBAN_4LANE,
+    duration_s: float = 420.0,
+    gap_m: float = 25.0,
+    n_radios: int = 4,
+    plan: ChannelPlan | None = None,
+    seed: int = 0,
+    config: RupsConfig | None = None,
+) -> ConvoyScene:
+    """Simulate an N-vehicle convoy scene on one road."""
+    if n_vehicles < 2:
+        raise ValueError("a convoy needs at least two vehicles")
+    plan = plan or EVAL_SUBSET_115
+    config = config or RupsConfig()
+    factory = RngFactory(seed)
+
+    lead = urban_speed_profile(
+        duration_s=duration_s,
+        speed_limit_ms=float(ROAD_PROFILES[road_type].speed_limit_ms),
+        rng=factory.generator("lead"),
+        s0_m=10.0 + n_vehicles * (gap_m + 10.0),
+    )
+    motions = [lead]
+    for _ in range(n_vehicles - 1):
+        motions.append(follow_leader(motions[-1], initial_gap_m=gap_m))
+
+    field = make_straight_field(
+        length_m=lead.s_m[-1] + 30.0,
+        road_type=road_type,
+        plan=plan,
+        seed=factory.child("road"),
+    )
+    group = RadioGroup(plan, n_radios=n_radios)
+    records = [
+        simulate_drive(
+            field, motion, group, seed=factory, vehicle_key=("convoy", i)
+        )
+        for i, motion in enumerate(motions)
+    ]
+    channel = DsrcChannel(n_contenders=n_vehicles - 1)
+    return ConvoyScene(
+        motions=motions,
+        records=records,
+        engine=RupsEngine(config),
+        channel=channel,
+    )

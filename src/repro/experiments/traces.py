@@ -1,0 +1,229 @@
+"""Synthetic trace collection.
+
+Mirrors the paper's two data-gathering campaigns:
+
+* §III-A stationary/slow survey: "two hundred surface road segments in
+  Shanghai, involving three different environments", each measured on a
+  1 m grid over 150 m, several times a day on a workday and a weekend.
+  :class:`RoadSurvey` reproduces that design over synthetic roads.
+* §VI-A drive campaign: two instrumented cars on multi-environment
+  routes.  :func:`drive_pair` builds one such drive on one road type
+  (the evaluation figures slice by road type anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gsm.band import RGSM900, ChannelPlan
+from repro.gsm.field import FieldConfig, SignalField, make_straight_field
+from repro.gsm.scanner import RadioGroup
+from repro.roads.types import ROAD_PROFILES, RoadType
+from repro.util.rng import RngFactory
+from repro.vehicles.drive import DriveRecord, simulate_drive
+from repro.vehicles.scenario import TwoVehicleScenario, build_following_scenario
+
+__all__ = ["RoadSurvey", "DrivePair", "drive_pair"]
+
+#: Environment mix of the §III-A survey: downtown, urban, suburban.
+SURVEY_MIX: tuple[RoadType, ...] = (
+    RoadType.URBAN_8LANE,
+    RoadType.URBAN_4LANE,
+    RoadType.SUBURB_2LANE,
+)
+
+
+class RoadSurvey:
+    """Stationary measurement campaign over many synthetic roads.
+
+    Parameters
+    ----------
+    n_roads:
+        Number of distinct road segments (paper: 200; smaller values
+        keep bench runtimes reasonable and converge to the same CDFs).
+    length_m:
+        Segment length surveyed (paper: 150 m).
+    plan:
+        Channel plan (paper: full 194-channel R-GSM-900).
+    seed:
+        Root seed; roads are independent but reproducible.
+    """
+
+    def __init__(
+        self,
+        n_roads: int = 40,
+        length_m: float = 150.0,
+        plan: ChannelPlan | None = None,
+        seed: int = 0,
+        field_config: FieldConfig | None = None,
+    ) -> None:
+        if n_roads < 2:
+            raise ValueError("a survey needs at least two roads")
+        if length_m <= 0:
+            raise ValueError("length_m must be positive")
+        self.n_roads = int(n_roads)
+        self.length_m = float(length_m)
+        self.plan = plan or RGSM900
+        self.seed = int(seed)
+        self.field_config = field_config
+        self._fields: dict[int, SignalField] = {}
+
+    def road_type_of(self, road_index: int) -> RoadType:
+        """Deterministic environment mix across the survey roads."""
+        return SURVEY_MIX[road_index % len(SURVEY_MIX)]
+
+    def field(self, road_index: int) -> SignalField:
+        """The (cached) signal field of one survey road."""
+        if not 0 <= road_index < self.n_roads:
+            raise IndexError(f"road index {road_index} out of range")
+        if road_index not in self._fields:
+            self._fields[road_index] = make_straight_field(
+                length_m=self.length_m,
+                road_type=self.road_type_of(road_index),
+                plan=self.plan,
+                seed=RngFactory(self.seed),
+                config=self.field_config,
+                road_key=("survey", road_index),
+            )
+        return self._fields[road_index]
+
+    def trajectory_matrix(
+        self,
+        road_index: int,
+        time_s: float,
+        day: int = 0,
+        rng: np.random.Generator | None = None,
+        noise_sigma_db: float | None = None,
+    ) -> np.ndarray:
+        """One GSM-aware trajectory (``n_channels x n_marks``) of a road.
+
+        A stationary-style sweep: every channel measured at every metre
+        at the given instant — the §III idealisation (the surveyors
+        measured "on every one meter over 150 meters").
+        """
+        field = self.field(road_index)
+        return field.snapshot(
+            time_s=time_s, day=day, rng=rng, noise_sigma_db=noise_sigma_db
+        )
+
+    def power_vector(
+        self,
+        road_index: int,
+        position_m: float,
+        time_s: float,
+        day: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """One power vector at a single location and instant."""
+        field = self.field(road_index)
+        snap = field.snapshot(
+            time_s=time_s,
+            s_grid=np.array([float(position_m)]),
+            day=day,
+            rng=rng,
+        )
+        return snap[:, 0]
+
+
+@dataclass(frozen=True)
+class DrivePair:
+    """A two-car instrumented drive on one road (the §VI unit of work).
+
+    Attributes
+    ----------
+    scenario:
+        The exact motions + lanes.
+    field:
+        The road's signal field.
+    front, rear:
+        Full drive records (sensors + scans + estimated tracks).
+    road_type:
+        Environment driven.
+    """
+
+    scenario: TwoVehicleScenario
+    field: SignalField
+    front: DriveRecord
+    rear: DriveRecord
+    road_type: RoadType
+
+    def query_window(self, context_length_m: float = 1000.0) -> tuple[float, float]:
+        """Time span within which relative-distance queries are valid.
+
+        The rear vehicle needs ``context_length_m`` of journey context
+        behind it before the full-window SYN search is meaningful.
+        """
+        t_ready = float(
+            self.rear.motion.time_at_distance(
+                self.rear.motion.s_m[0] + context_length_m + 50.0
+            )
+        )
+        return t_ready, self.scenario.t1 - 2.0
+
+
+def drive_pair(
+    road_type: RoadType = RoadType.URBAN_4LANE,
+    duration_s: float = 420.0,
+    n_radios: int = 4,
+    placement_front: str = "front",
+    placement_rear: str = "front",
+    rear_lane: int = 0,
+    plan: ChannelPlan | None = None,
+    seed: int = 0,
+    initial_gap_m: float = 30.0,
+    odometry: str = "obd",
+    include_blockage: bool = True,
+    field_config: FieldConfig | None = None,
+    with_gps: bool = True,
+) -> DrivePair:
+    """Simulate one two-car drive on a single-environment road.
+
+    One call produces everything the §VI experiments consume: both
+    vehicles' raw scans, sensors, dead-reckoned tracks and GPS, plus the
+    exact ground truth.
+    """
+    factory = RngFactory(seed)
+    plan = plan or RGSM900
+    scenario = build_following_scenario(
+        duration_s=duration_s,
+        speed_limit_ms=float(ROAD_PROFILES[road_type].speed_limit_ms),
+        initial_gap_m=initial_gap_m,
+        seed=factory.child("scenario"),
+        rear_lane=rear_lane,
+    )
+    field = make_straight_field(
+        length_m=scenario.max_arc_length() + 50.0,
+        road_type=road_type,
+        plan=plan,
+        seed=factory.child("road"),
+        config=field_config,
+    )
+    group_front = RadioGroup(plan, n_radios=n_radios, placement=placement_front)
+    group_rear = RadioGroup(plan, n_radios=n_radios, placement=placement_rear)
+    front = simulate_drive(
+        field,
+        scenario.front,
+        group_front,
+        seed=factory,
+        lane=scenario.front_lane,
+        vehicle_key="front",
+        odometry=odometry,
+        include_blockage=include_blockage,
+        with_gps=with_gps,
+    )
+    rear = simulate_drive(
+        field,
+        scenario.rear,
+        group_rear,
+        seed=factory,
+        lane=scenario.rear_lane,
+        vehicle_key="rear",
+        odometry=odometry,
+        include_blockage=include_blockage,
+        with_gps=with_gps,
+    )
+    return DrivePair(
+        scenario=scenario, field=field, front=front, rear=rear, road_type=road_type
+    )

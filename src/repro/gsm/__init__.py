@@ -1,0 +1,86 @@
+"""GSM signal substrate: synthetic replacement for the paper's drive traces.
+
+The paper measures RSSI over the 194 channels of the R-GSM-900 band with
+OsmocomBB phones.  We rebuild the measurement chain from physics up:
+
+* :mod:`repro.gsm.band` — channel plans (R-GSM-900, the 115-channel
+  evaluation subset, an FM preset for the paper's future-work extension).
+* :mod:`repro.gsm.towers` — per-channel co-channel tower deployments.
+* :mod:`repro.gsm.propagation` — path-loss models (log-distance,
+  COST-231 Hata).
+* :mod:`repro.gsm.shadowing` — Gudmundson spatially-correlated log-normal
+  shadowing as AR(1) processes over arc length.
+* :mod:`repro.gsm.fading` — small-scale multipath fields, slow temporal
+  drift (OU), channel outage and passing-vehicle blockage processes.
+* :mod:`repro.gsm.field` — :class:`SignalField`, the composed
+  ``RSSI(road, s, t, channel, lane)`` function.
+* :mod:`repro.gsm.scanner` — the radio scan-schedule model producing
+  time-stamped per-channel measurements (and hence missing channels).
+"""
+
+from repro.gsm.band import (
+    EVAL_SUBSET_115,
+    FM_BAND,
+    RGSM900,
+    ChannelPlan,
+)
+from repro.gsm.fading import BlockageProcess, OutageProcess, TemporalDrift
+from repro.gsm.field import (
+    FieldConfig,
+    SignalField,
+    field_for_segment,
+    make_straight_field,
+)
+from repro.gsm.routefield import RouteSignalField, build_route_field
+from repro.gsm.propagation import (
+    cost231_hata_path_loss_db,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+)
+from repro.gsm.scanner import (
+    PLACEMENT_PROFILES,
+    Measurement,
+    PlacementProfile,
+    RadioGroup,
+    ScanSchedule,
+    ScanStream,
+    build_schedule,
+    scan_drive,
+)
+from repro.gsm.shadowing import ar1_gaussian_process, gudmundson_field
+from repro.gsm.towers import ChannelTowers, TowerDeployment, deploy_towers
+from repro.gsm.validation import FieldValidationReport, validate_field_statistics
+
+__all__ = [
+    "EVAL_SUBSET_115",
+    "FM_BAND",
+    "RGSM900",
+    "ChannelPlan",
+    "BlockageProcess",
+    "OutageProcess",
+    "TemporalDrift",
+    "FieldConfig",
+    "SignalField",
+    "field_for_segment",
+    "make_straight_field",
+    "RouteSignalField",
+    "build_route_field",
+    "cost231_hata_path_loss_db",
+    "free_space_path_loss_db",
+    "log_distance_path_loss_db",
+    "PLACEMENT_PROFILES",
+    "Measurement",
+    "PlacementProfile",
+    "RadioGroup",
+    "ScanSchedule",
+    "ScanStream",
+    "build_schedule",
+    "scan_drive",
+    "ar1_gaussian_process",
+    "gudmundson_field",
+    "ChannelTowers",
+    "TowerDeployment",
+    "deploy_towers",
+    "FieldValidationReport",
+    "validate_field_statistics",
+]

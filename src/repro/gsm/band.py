@@ -1,0 +1,176 @@
+"""Channel plans.
+
+The paper scans "all 194 channels in the R-GSM-900 band ... within 2.85
+seconds" (§III-A) — i.e. ~14.7 ms per channel, which §V-C rounds to "about
+15 ms to sense a channel".  The evaluation then uses a "selected 115
+channels" subset (§VI-A).  This module defines those plans plus an FM-band
+preset for the future-work extension (§VII), since the field and scanner
+layers are band-agnostic.
+
+R-GSM-900 (railway GSM) downlink spans 921-960 MHz; ARFCNs 955..1023 wrap
+around to 0..124.  Channel spacing is 200 kHz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ChannelPlan",
+    "RGSM900",
+    "EVAL_SUBSET_115",
+    "FM_BAND",
+    "SCAN_TIME_PER_CHANNEL_S",
+    "combine_plans",
+]
+
+#: Time to measure one channel (paper §V-C: "it takes about 15ms to sense a
+#: channel"; 194 channels / 2.85 s = 14.69 ms).
+SCAN_TIME_PER_CHANNEL_S: float = 2.85 / 194.0
+
+
+@dataclass(frozen=True)
+class ChannelPlan:
+    """An ordered set of radio channels with their carrier frequencies.
+
+    Attributes
+    ----------
+    name:
+        Human-readable plan name.
+    arfcns:
+        Channel numbers (any integer labels; ARFCNs for GSM).
+    frequencies_hz:
+        Downlink carrier frequency of each channel [Hz], same order.
+    scan_time_s:
+        Time a single radio needs to measure one channel [s].
+    """
+
+    name: str
+    arfcns: np.ndarray
+    frequencies_hz: np.ndarray
+    scan_time_s: float = SCAN_TIME_PER_CHANNEL_S
+
+    def __post_init__(self) -> None:
+        arfcns = np.ascontiguousarray(np.asarray(self.arfcns, dtype=np.int64))
+        freqs = np.ascontiguousarray(np.asarray(self.frequencies_hz, dtype=float))
+        if arfcns.ndim != 1 or freqs.ndim != 1:
+            raise ValueError("arfcns and frequencies_hz must be 1-D")
+        if arfcns.shape != freqs.shape:
+            raise ValueError("arfcns and frequencies_hz must have equal length")
+        if arfcns.size == 0:
+            raise ValueError("a channel plan needs at least one channel")
+        if len(np.unique(arfcns)) != arfcns.size:
+            raise ValueError("duplicate ARFCNs in channel plan")
+        if np.any(freqs <= 0):
+            raise ValueError("frequencies must be positive")
+        if self.scan_time_s <= 0:
+            raise ValueError("scan_time_s must be positive")
+        object.__setattr__(self, "arfcns", arfcns)
+        object.__setattr__(self, "frequencies_hz", freqs)
+
+    @property
+    def n_channels(self) -> int:
+        """Number of channels in the plan."""
+        return int(self.arfcns.size)
+
+    @property
+    def full_scan_time_s(self) -> float:
+        """Time one radio needs for a complete sweep of the plan [s]."""
+        return self.n_channels * self.scan_time_s
+
+    def subset(self, indices: np.ndarray, name: str | None = None) -> "ChannelPlan":
+        """A new plan holding the channels at the given positions."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size == 0:
+            raise ValueError("subset needs at least one channel")
+        if np.any(indices < 0) or np.any(indices >= self.n_channels):
+            raise IndexError("subset indices out of range")
+        return ChannelPlan(
+            name=name or f"{self.name}[{indices.size}]",
+            arfcns=self.arfcns[indices],
+            frequencies_hz=self.frequencies_hz[indices],
+            scan_time_s=self.scan_time_s,
+        )
+
+    def index_of(self, arfcn: int) -> int:
+        """Position of an ARFCN within the plan."""
+        hits = np.nonzero(self.arfcns == arfcn)[0]
+        if hits.size == 0:
+            raise KeyError(f"ARFCN {arfcn} not in plan {self.name!r}")
+        return int(hits[0])
+
+    def __len__(self) -> int:
+        return self.n_channels
+
+
+def _rgsm900() -> ChannelPlan:
+    """Build the 194-channel R-GSM-900 downlink plan.
+
+    Downlink F(n) = 935 + 0.2*n MHz for ARFCN n in 0..124 and
+    F(n) = 935 + 0.2*(n - 1024) MHz for n in 955..1023, i.e. a contiguous
+    921.2-959.8 MHz comb at 200 kHz spacing; the union is the 194
+    channels the paper's OsmocomBB setup sweeps.
+    """
+    arfcns_hi = np.arange(955, 1024)
+    freqs_hi = 935.0e6 + 0.2e6 * (arfcns_hi - 1024)
+    arfcns_lo = np.arange(0, 125)
+    freqs_lo = 935.0e6 + 0.2e6 * arfcns_lo
+    return ChannelPlan(
+        name="R-GSM-900",
+        arfcns=np.concatenate([arfcns_hi, arfcns_lo]),
+        frequencies_hz=np.concatenate([freqs_hi, freqs_lo]),
+    )
+
+
+#: The full 194-channel R-GSM-900 band of §III.
+RGSM900: ChannelPlan = _rgsm900()
+
+#: The 115-channel evaluation subset of §VI-A.  The paper does not list the
+#: selected ARFCNs; we take every channel whose plan index is coprime-spaced
+#: across the band (deterministic, spread evenly) — the analysis only needs
+#: *some* fixed 115-channel subset.
+EVAL_SUBSET_115: ChannelPlan = RGSM900.subset(
+    np.round(np.linspace(0, RGSM900.n_channels - 1, 115)).astype(np.int64),
+    name="R-GSM-900-eval-115",
+)
+
+#: FM broadcast preset (87.5-108 MHz at 100 kHz) for the §VII extension.
+#: FM receivers sweep much faster per channel than GSM basebands.  ARFCN
+#: labels are offset by 10000 so FM channels never collide with GSM
+#: ARFCNs when plans are combined.
+FM_BAND: ChannelPlan = ChannelPlan(
+    name="FM",
+    arfcns=10_000 + np.arange(206),
+    frequencies_hz=87.5e6 + 0.1e6 * np.arange(206),
+    scan_time_s=5e-3,
+)
+
+
+def combine_plans(*plans: ChannelPlan, name: str | None = None) -> ChannelPlan:
+    """Concatenate channel plans into one multi-band plan (§VII).
+
+    The paper's future work proposes "involving other ambient wireless
+    signals such as the 3G/4G, FM and TV bands"; the field and scanner
+    layers are plan-agnostic, so a combined plan is all it takes.  ARFCN
+    labels must be globally unique across the inputs (the FM preset is
+    pre-offset for this).  The combined per-channel scan time is the
+    channel-count-weighted mean, so a full sweep takes the sum of the
+    constituent sweeps.
+    """
+    if len(plans) < 2:
+        raise ValueError("combine_plans needs at least two plans")
+    arfcns = np.concatenate([p.arfcns for p in plans])
+    freqs = np.concatenate([p.frequencies_hz for p in plans])
+    if len(np.unique(arfcns)) != arfcns.size:
+        raise ValueError(
+            "ARFCN labels collide across plans; relabel before combining"
+        )
+    total_time = sum(p.full_scan_time_s for p in plans)
+    return ChannelPlan(
+        name=name or "+".join(p.name for p in plans),
+        arfcns=arfcns,
+        frequencies_hz=freqs,
+        scan_time_s=total_time / arfcns.size,
+    )

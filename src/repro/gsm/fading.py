@@ -1,0 +1,269 @@
+"""Temporal channel dynamics: slow drift, outages, passing-vehicle blockage.
+
+Three processes perturb the static (purely spatial) field over time:
+
+* :class:`TemporalDrift` — a per-channel Ornstein-Uhlenbeck process in dB.
+  This is what limits *temporary stability* (paper Fig 2): power vectors
+  taken at the same spot drift apart slowly over minutes.
+* :class:`OutageProcess` — sporadic per-channel deep fades / carrier
+  reassignments: "individual channels do vary over time" (§III-B).
+* :class:`BlockageProcess` — broadband attenuation while a large vehicle
+  passes; the paper traces its biggest errors to exactly these events
+  ("most large errors occur when there is a big vehicle passing by",
+  §VI-C / Fig 10).
+
+All three are pre-sampled over a finite horizon at construction, so lookups
+during a drive are pure vectorized interpolation with no RNG state, and two
+vehicles querying the same field see identical dynamics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gsm.shadowing import ar1_gaussian_process
+from repro.util.rng import as_generator
+
+__all__ = ["TemporalDrift", "OutageProcess", "BlockageProcess"]
+
+
+class TemporalDrift:
+    """Slow per-channel RSSI drift: OU process sampled on a time grid.
+
+    Parameters
+    ----------
+    n_channels:
+        Number of channels (rows of the drift matrix).
+    horizon_s:
+        Time horizon covered; queries beyond it are clamped to the edge.
+    sigma_db:
+        Marginal standard deviation of the drift [dB].
+    tau_s:
+        Correlation time [s].
+    dt_s:
+        Sampling grid step [s]; linear interpolation in between.
+    """
+
+    def __init__(
+        self,
+        n_channels: int,
+        horizon_s: float,
+        sigma_db: float,
+        tau_s: float,
+        rng: np.random.Generator | int | None = 0,
+        dt_s: float = 5.0,
+    ) -> None:
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        if horizon_s <= 0 or dt_s <= 0:
+            raise ValueError("horizon_s and dt_s must be positive")
+        gen = as_generator(rng)
+        self.n_channels = int(n_channels)
+        self.horizon_s = float(horizon_s)
+        self.dt_s = float(dt_s)
+        n_steps = int(np.ceil(horizon_s / dt_s)) + 2
+        self._grid = np.atleast_2d(
+            ar1_gaussian_process(
+                n=n_steps,
+                step=dt_s,
+                decorrelation=tau_s,
+                sigma=sigma_db,
+                rng=gen,
+                n_series=n_channels,
+            )
+        )
+
+    def at(self, times_s: np.ndarray, channel_indices: np.ndarray) -> np.ndarray:
+        """Drift [dB] for each (channel, time) pair.
+
+        Parameters
+        ----------
+        times_s:
+            ``(t,)`` query times.
+        channel_indices:
+            ``(c,)`` channel rows to read.
+
+        Returns
+        -------
+        numpy.ndarray
+            Shape ``(c, t)``.
+        """
+        t = np.asarray(times_s, dtype=float)
+        ci = np.asarray(channel_indices, dtype=np.int64)
+        if np.any(t < 0):
+            raise ValueError("times must be non-negative")
+        pos = np.clip(t / self.dt_s, 0.0, self._grid.shape[1] - 1.001)
+        i0 = pos.astype(np.int64)
+        frac = pos - i0
+        rows = self._grid[ci]
+        return rows[:, i0] * (1.0 - frac) + rows[:, i0 + 1] * frac
+
+    def pair_at(self, times_s: np.ndarray, channel_indices: np.ndarray) -> np.ndarray:
+        """Drift for element-wise ``(channel_i, time_i)`` pairs.
+
+        ``times_s`` and ``channel_indices`` must have equal length; returns
+        that length.  This is the scanner's access pattern (one channel per
+        measurement instant).
+        """
+        t = np.asarray(times_s, dtype=float)
+        ci = np.asarray(channel_indices, dtype=np.int64)
+        if t.shape != ci.shape:
+            raise ValueError("times and channel_indices must align")
+        pos = np.clip(t / self.dt_s, 0.0, self._grid.shape[1] - 1.001)
+        i0 = pos.astype(np.int64)
+        frac = pos - i0
+        return self._grid[ci, i0] * (1.0 - frac) + self._grid[ci, i0 + 1] * frac
+
+
+@dataclass(frozen=True)
+class _Events:
+    """Sorted event intervals with per-event depth."""
+
+    starts: np.ndarray
+    ends: np.ndarray
+    depths_db: np.ndarray
+
+    def depth_at(self, times: np.ndarray) -> np.ndarray:
+        """Attenuation depth [dB] at each query time (0 outside events)."""
+        if self.starts.size == 0:
+            return np.zeros_like(np.asarray(times, dtype=float))
+        t = np.asarray(times, dtype=float)
+        idx = np.searchsorted(self.starts, t, side="right") - 1
+        idx_clip = np.clip(idx, 0, self.starts.size - 1)
+        inside = (idx >= 0) & (t < self.ends[idx_clip])
+        return np.where(inside, self.depths_db[idx_clip], 0.0)
+
+
+def _sample_events(
+    rate_per_s: float,
+    horizon_s: float,
+    mean_duration_s: float,
+    depth_mean_db: float,
+    depth_sigma_db: float,
+    rng: np.random.Generator,
+) -> _Events:
+    """Draw a Poisson process of attenuation events over the horizon."""
+    n = int(rng.poisson(rate_per_s * horizon_s))
+    starts = np.sort(rng.random(n) * horizon_s)
+    durations = rng.exponential(mean_duration_s, size=n)
+    depths = np.maximum(rng.normal(depth_mean_db, depth_sigma_db, size=n), 0.0)
+    ends = starts + durations
+    # Merge is unnecessary: depth_at picks the latest started event, and
+    # events are rare enough that overlaps are statistically negligible.
+    return _Events(starts=starts, ends=ends, depths_db=depths)
+
+
+class OutageProcess:
+    """Per-channel sporadic deep fades (carrier outage / reconfiguration)."""
+
+    def __init__(
+        self,
+        n_channels: int,
+        horizon_s: float,
+        rng: np.random.Generator | int | None = 0,
+        rate_per_s: float = 1.0 / 5400.0,
+        mean_duration_s: float = 45.0,
+        depth_mean_db: float = 20.0,
+        depth_sigma_db: float = 5.0,
+    ) -> None:
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        gen = as_generator(rng)
+        self.n_channels = int(n_channels)
+        self.horizon_s = float(horizon_s)
+        self._events = [
+            _sample_events(
+                rate_per_s, horizon_s, mean_duration_s, depth_mean_db, depth_sigma_db, gen
+            )
+            for _ in range(n_channels)
+        ]
+
+    def attenuation(
+        self, times_s: np.ndarray, channel_indices: np.ndarray
+    ) -> np.ndarray:
+        """Attenuation [dB], shape ``(len(channel_indices), len(times_s))``."""
+        t = np.asarray(times_s, dtype=float)
+        ci = np.asarray(channel_indices, dtype=np.int64)
+        out = np.zeros((ci.size, t.size))
+        for row, c in enumerate(ci):
+            out[row] = self._events[int(c)].depth_at(t)
+        return out
+
+    def pair_attenuation(
+        self, times_s: np.ndarray, channel_indices: np.ndarray
+    ) -> np.ndarray:
+        """Attenuation for element-wise ``(channel_i, time_i)`` pairs."""
+        t = np.asarray(times_s, dtype=float)
+        ci = np.asarray(channel_indices, dtype=np.int64)
+        if t.shape != ci.shape:
+            raise ValueError("times and channel_indices must align")
+        out = np.zeros_like(t)
+        for c in np.unique(ci):
+            mask = ci == c
+            out[mask] = self._events[int(c)].depth_at(t[mask])
+        return out
+
+
+class BlockageProcess:
+    """Broadband attenuation while a large vehicle passes the receiver.
+
+    Unlike outages, a blockage hits many channels at once — the
+    obstruction is physical, not spectral.  Per-channel weights in
+    ``[min_weight, 1]`` model its directionality: a truck alongside
+    shadows the towers on that side strongly and the others barely, so
+    the *spectral shape* of the power vector is distorted while the
+    event lasts — exactly the disturbance the paper traces its large
+    single-SYN errors to (Fig 10).
+    """
+
+    def __init__(
+        self,
+        n_channels: int,
+        horizon_s: float,
+        rng: np.random.Generator | int | None = 0,
+        rate_per_s: float = 0.02,
+        mean_duration_s: float = 4.0,
+        depth_mean_db: float = 8.0,
+        depth_sigma_db: float = 3.0,
+        min_weight: float = 0.1,
+    ) -> None:
+        if n_channels < 1:
+            raise ValueError("n_channels must be >= 1")
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if not 0.0 <= min_weight <= 1.0:
+            raise ValueError("min_weight must lie in [0, 1]")
+        gen = as_generator(rng)
+        self.n_channels = int(n_channels)
+        self.horizon_s = float(horizon_s)
+        self._events = _sample_events(
+            rate_per_s, horizon_s, mean_duration_s, depth_mean_db, depth_sigma_db, gen
+        )
+        self._weights = min_weight + (1.0 - min_weight) * gen.random(n_channels)
+
+    @property
+    def n_events(self) -> int:
+        """Number of blockage events over the horizon."""
+        return int(self._events.starts.size)
+
+    def attenuation(
+        self, times_s: np.ndarray, channel_indices: np.ndarray
+    ) -> np.ndarray:
+        """Attenuation [dB], shape ``(len(channel_indices), len(times_s))``."""
+        depth = self._events.depth_at(np.asarray(times_s, dtype=float))
+        ci = np.asarray(channel_indices, dtype=np.int64)
+        return self._weights[ci][:, None] * depth[None, :]
+
+    def pair_attenuation(
+        self, times_s: np.ndarray, channel_indices: np.ndarray
+    ) -> np.ndarray:
+        """Attenuation for element-wise ``(channel_i, time_i)`` pairs."""
+        t = np.asarray(times_s, dtype=float)
+        ci = np.asarray(channel_indices, dtype=np.int64)
+        if t.shape != ci.shape:
+            raise ValueError("times and channel_indices must align")
+        return self._weights[ci] * self._events.depth_at(t)

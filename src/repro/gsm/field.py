@@ -1,0 +1,610 @@
+"""The composed GSM signal field of one road segment.
+
+``SignalField`` is the synthetic stand-in for "what an OsmocomBB phone
+would measure while driving this road": for every channel of a plan it
+exposes RSSI as a function of arc length ``s``, time ``t``, lane, and
+measurement day.  It composes, in dB:
+
+====================  ==========================================  =========================
+component             source                                      paper property it carries
+====================  ==========================================  =========================
+tower mean power      :mod:`repro.gsm.towers` + path loss         large-scale trend
+shadowing             Gudmundson AR(1) over ``s`` per channel     geographical uniqueness
+multipath             short-decorrelation AR(1) over ``s``,       fine resolution (§III-D)
+                      AR(1)-correlated across lanes
+temporal drift        per-channel OU over ``t`` (per day)         temporary stability (§III-B)
+channel outages       per-channel Poisson deep fades              "channels do vary"
+blockage              broadband passing-vehicle events            Fig 10 error spikes
+receiver floor/noise  clip at -110 dBm, white noise per sample    measurement realism
+====================  ==========================================  =========================
+
+The static (spatial) parts are sampled once on a 1 m grid at construction;
+queries interpolate.  Two vehicles (or two entries days apart) constructed
+from the same :class:`~repro.util.rng.RngFactory` path see the *same*
+static field — that shared structure is exactly what RUPS matches on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gsm.band import ChannelPlan, RGSM900
+from repro.gsm.fading import BlockageProcess, OutageProcess, TemporalDrift
+from repro.gsm.shadowing import gudmundson_field
+from repro.gsm.towers import TowerDeployment, deploy_towers
+from repro.roads.environment import ENVIRONMENT_PROFILES, EnvironmentProfile
+from repro.roads.geometry import Polyline
+from repro.roads.network import RoadSegment
+from repro.roads.types import LANE_WIDTH_M, ROAD_PROFILES, RoadType
+from repro.util.rng import RngFactory
+from repro.util.units import DBM_FLOOR
+
+__all__ = ["FieldConfig", "SignalField", "field_for_segment", "make_straight_field"]
+
+
+@dataclass(frozen=True)
+class FieldConfig:
+    """Tunables of a :class:`SignalField`.
+
+    Attributes
+    ----------
+    grid_spacing_m:
+        Spatial sampling grid of the static field [m].
+    horizon_s:
+        Time horizon of the temporal processes [s].
+    noise_sigma_db:
+        Default white measurement noise std [dB].  A single 15 ms GSM
+        RSSI read sits on unresolved Rayleigh fast fading (std ~5.6 dB
+        for a full Rayleigh read; partial averaging brings it down), so
+        4 dB is the realistic per-read figure — not the sub-dB front-end
+        noise alone.
+    lane_lateral_decorrelation_m:
+        Lateral decorrelation of the multipath component [m]; adjacent
+        lanes (3.5 m apart) are largely multipath-independent.
+    shadow_lane_lateral_decorrelation_m:
+        Lateral decorrelation of the *shadowing* component [m]; lanes a
+        few metres apart share most but not all of their shadowing.
+        Together these two scales are why distinct-lane SYN errors grow
+        to ~10 m (paper Fig 11) without matching failing altogether.
+    carriers_per_site:
+        Carriers transmitted by one physical base-station site.  Their
+        shadowing is largely common (same propagation path), which caps
+        the effective channel diversity — real power vectors have far
+        fewer independent degrees of freedom than channels.
+    shadow_site_fraction, multipath_site_fraction:
+        Variance fraction of each component shared within a site (the
+        remainder is per-channel).
+    micro_fraction:
+        Variance fraction of the multipath component that is *vehicle
+        specific* even in the same lane: lateral wander within the lane,
+        antenna height/pattern differences.  Two vehicles never sample
+        the identical small-scale field; this is the floor on how well
+        same-lane trajectories can match (paper Fig 11's ~2-4 m).
+        Applied only to measurements that declare a ``vehicle_key``.
+    lane_skew_sigma_m:
+        Per-channel spatial *parallax* between adjacent lanes [m]: a
+        shadow boundary cast by an off-axis tower crosses lane ``l+1``
+        at a different arc length than lane ``l`` (offset grows with the
+        glancing angle).  Each channel draws one skew; lane ``l`` shifts
+        channel ``c`` by ``l * skew_c``.  This is what biases
+        distinct-lane SYN points by ~10 m (paper Fig 11) rather than
+        merely blurring them.
+    vehicle_skew_sigma_m:
+        Same mechanism within a lane: two vehicles differ laterally by
+        their wander (~0.5 m) and antenna position, so each vehicle
+        samples the shared pattern with its own per-channel shift.  This
+        is the systematic same-lane error floor multi-SYN aggregation
+        cannot remove.  Applied only with a ``vehicle_key``.
+    propagation_model:
+        Path-loss model name passed to the tower layer.
+    rx_floor_dbm:
+        Receiver sensitivity floor; outputs are clipped here.
+    rx_ceiling_dbm:
+        Receiver front-end saturation level; outputs are clipped here
+        too (matters for high-ERP broadcast bands like FM).
+    """
+
+    grid_spacing_m: float = 1.0
+    horizon_s: float = 3600.0
+    noise_sigma_db: float = 4.0
+    lane_lateral_decorrelation_m: float = 3.0
+    shadow_lane_lateral_decorrelation_m: float = 60.0
+    carriers_per_site: int = 6
+    shadow_site_fraction: float = 0.7
+    multipath_site_fraction: float = 0.25
+    micro_fraction: float = 0.25
+    lane_skew_sigma_m: float = 5.0
+    vehicle_skew_sigma_m: float = 2.5
+    propagation_model: str = "auto"
+    rx_floor_dbm: float = DBM_FLOOR
+    rx_ceiling_dbm: float = -20.0
+
+    def __post_init__(self) -> None:
+        if self.grid_spacing_m <= 0:
+            raise ValueError("grid_spacing_m must be positive")
+        if self.horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if self.noise_sigma_db < 0:
+            raise ValueError("noise_sigma_db must be non-negative")
+        if self.lane_lateral_decorrelation_m <= 0:
+            raise ValueError("lane_lateral_decorrelation_m must be positive")
+        if self.shadow_lane_lateral_decorrelation_m <= 0:
+            raise ValueError("shadow_lane_lateral_decorrelation_m must be positive")
+        if self.carriers_per_site < 1:
+            raise ValueError("carriers_per_site must be >= 1")
+        for name in ("shadow_site_fraction", "multipath_site_fraction", "micro_fraction"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+        if self.lane_skew_sigma_m < 0 or self.vehicle_skew_sigma_m < 0:
+            raise ValueError("skew sigmas must be non-negative")
+        if self.rx_ceiling_dbm <= self.rx_floor_dbm:
+            raise ValueError("rx_ceiling_dbm must exceed rx_floor_dbm")
+
+
+class SignalField:
+    """RSSI field of one road: ``rssi(channel, s, t, lane, day)``.
+
+    Parameters
+    ----------
+    polyline:
+        Road centreline (tower distances are computed from it).
+    plan:
+        Channel plan to model.
+    environment:
+        Statistical environment (shadowing/multipath/drift/blockage/...).
+    deployment:
+        Per-channel tower sets.
+    factory:
+        RNG factory *scoped to this road* — fields built twice from the
+        same factory path are identical.
+    config:
+        Field tunables.
+    """
+
+    def __init__(
+        self,
+        polyline: Polyline,
+        plan: ChannelPlan,
+        environment: EnvironmentProfile,
+        deployment: TowerDeployment,
+        factory: RngFactory,
+        config: FieldConfig | None = None,
+    ) -> None:
+        self.polyline = polyline
+        self.plan = plan
+        self.environment = environment
+        self.config = config or FieldConfig()
+        self._factory = factory
+
+        cfg = self.config
+        n_ch = plan.n_channels
+        self.grid_s = np.arange(0.0, polyline.length + cfg.grid_spacing_m / 2, cfg.grid_spacing_m)
+        pts = np.asarray(polyline.position(self.grid_s))
+
+        # --- static spatial components -------------------------------
+        self._mean = deployment.mean_power_dbm(
+            pts, propagation_model=cfg.propagation_model
+        ) - environment.clutter_loss_db
+        # Channel -> site map: carriers of one physical base station share
+        # most of their shadowing (they ride the same propagation path).
+        n_sites = max(1, int(np.ceil(n_ch / cfg.carriers_per_site)))
+        self._site_of = factory.generator("sites").integers(0, n_sites, size=n_ch)
+        self._n_sites = n_sites
+
+        # Lane-0 fields; other lanes derived lazily via an across-lane
+        # AR(1) recursion so corr(lane i, lane j) = rho^|i-j|, with a
+        # short lateral scale for multipath and a longer one for shadowing.
+        self._shadow: dict[int, np.ndarray] = {
+            0: self._correlated_channel_field(
+                "shadow",
+                0,
+                environment.shadow_sigma_db,
+                environment.shadow_decorrelation_m,
+                cfg.shadow_site_fraction,
+            )
+        }
+        self._multipath: dict[int, np.ndarray] = {
+            0: self._correlated_channel_field(
+                "multipath",
+                0,
+                environment.multipath_sigma_db,
+                environment.multipath_decorrelation_m,
+                cfg.multipath_site_fraction,
+            )
+        }
+        self._lane_rho = float(
+            np.exp(-LANE_WIDTH_M / cfg.lane_lateral_decorrelation_m)
+        )
+        self._shadow_lane_rho = float(
+            np.exp(-LANE_WIDTH_M / cfg.shadow_lane_lateral_decorrelation_m)
+        )
+
+        # --- temporal components (per day, lazy) ----------------------
+        self._drift: dict[int, TemporalDrift] = {}
+        self._outage: dict[int, OutageProcess] = {}
+        self._blockage: dict[int, BlockageProcess] = {}
+        # Per-vehicle micro fields (lazy), keyed by (vehicle_key, lane).
+        self._micro: dict[tuple, np.ndarray] = {}
+        # Per-channel lane parallax [m per lane step] and caches.
+        self._lane_skew_m = factory.generator("lane-skew").normal(
+            0.0, cfg.lane_skew_sigma_m, n_ch
+        )
+        self._vehicle_skew: dict[object, np.ndarray] = {}
+        self._components_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_channels(self) -> int:
+        """Channels in the plan."""
+        return self.plan.n_channels
+
+    @property
+    def length_m(self) -> float:
+        """Road length [m]."""
+        return self.polyline.length
+
+    def _correlated_channel_field(
+        self,
+        kind: str,
+        tag: object,
+        sigma_db: float,
+        decorrelation_m: float,
+        site_fraction: float,
+    ) -> np.ndarray:
+        """A ``(n_channels, n_points)`` field with within-site correlation.
+
+        Each channel mixes its site's common process (variance fraction
+        ``site_fraction``) with an own residual — this is what caps the
+        effective diversity of a power vector at roughly the number of
+        visible sites rather than the number of channels.
+        """
+        site_part = gudmundson_field(
+            length_m=self.polyline.length,
+            spacing_m=self.config.grid_spacing_m,
+            sigma_db=sigma_db,
+            decorrelation_m=decorrelation_m,
+            rng=self._factory.generator(kind, tag, "site"),
+            n_channels=self._n_sites,
+            n_points=self.grid_s.size,
+        )
+        own_part = gudmundson_field(
+            length_m=self.polyline.length,
+            spacing_m=self.config.grid_spacing_m,
+            sigma_db=sigma_db,
+            decorrelation_m=decorrelation_m,
+            rng=self._factory.generator(kind, tag, "own"),
+            n_channels=self.n_channels,
+            n_points=self.grid_s.size,
+        )
+        f = site_fraction
+        return np.sqrt(f) * site_part[self._site_of] + np.sqrt(1.0 - f) * own_part
+
+    def _lane_field(
+        self,
+        cache: dict[int, np.ndarray],
+        lane: int,
+        kind: str,
+        sigma_db: float,
+        decorrelation_m: float,
+        site_fraction: float,
+        lane_rho: float,
+    ) -> np.ndarray:
+        """A lane's field, generating intermediate lanes as needed.
+
+        Successive lanes follow an AR(1) recursion in the lane index so
+        that ``corr(lane i, lane j) = lane_rho ** |i - j|``.
+        """
+        if lane < 0:
+            raise ValueError("lane must be non-negative")
+        if lane not in cache:
+            max_known = max(cache)
+            for l in range(max_known + 1, lane + 1):
+                fresh = self._correlated_channel_field(
+                    kind, l, sigma_db, decorrelation_m, site_fraction
+                )
+                cache[l] = lane_rho * cache[l - 1] + np.sqrt(1.0 - lane_rho**2) * fresh
+        return cache[lane]
+
+    def _multipath_for_lane(self, lane: int) -> np.ndarray:
+        return self._lane_field(
+            self._multipath,
+            lane,
+            "multipath",
+            self.environment.multipath_sigma_db,
+            self.environment.multipath_decorrelation_m,
+            self.config.multipath_site_fraction,
+            self._lane_rho,
+        )
+
+    def _shadow_for_lane(self, lane: int) -> np.ndarray:
+        return self._lane_field(
+            self._shadow,
+            lane,
+            "shadow",
+            self.environment.shadow_sigma_db,
+            self.environment.shadow_decorrelation_m,
+            self.config.shadow_site_fraction,
+            self._shadow_lane_rho,
+        )
+
+    def _micro_for(self, vehicle_key: object, lane: int) -> np.ndarray:
+        """The vehicle-specific multipath residual field (cached)."""
+        key = (vehicle_key, lane)
+        if key not in self._micro:
+            self._micro[key] = self._correlated_channel_field(
+                "micro",
+                key,
+                self.environment.multipath_sigma_db,
+                self.environment.multipath_decorrelation_m,
+                self.config.multipath_site_fraction,
+            )
+        return self._micro[key]
+
+    def _apply_lane_skew(self, rows: np.ndarray, lane: int) -> np.ndarray:
+        """Shift each channel row by its lane parallax (edge-clamped)."""
+        if lane == 0 or self.config.lane_skew_sigma_m == 0:
+            return rows
+        shift_marks = np.round(
+            lane * self._lane_skew_m / self.config.grid_spacing_m
+        ).astype(np.int64)
+        n = rows.shape[1]
+        idx = np.clip(np.arange(n)[None, :] - shift_marks[:, None], 0, n - 1)
+        return np.take_along_axis(rows, idx, axis=1)
+
+    def _components_for_lane(self, lane: int) -> tuple[np.ndarray, np.ndarray]:
+        """(shadow, multipath) grids of a lane, parallax applied, cached."""
+        if lane not in self._components_cache:
+            self._components_cache[lane] = (
+                self._apply_lane_skew(self._shadow_for_lane(lane), lane),
+                self._apply_lane_skew(self._multipath_for_lane(lane), lane),
+            )
+        return self._components_cache[lane]
+
+    def _vehicle_shift_for(
+        self, vehicle_key: object, extra_skew_m: float = 0.0
+    ) -> np.ndarray:
+        """Per-channel arc-length sampling offset of one vehicle [m]."""
+        sigma = float(np.hypot(self.config.vehicle_skew_sigma_m, extra_skew_m))
+        key = (vehicle_key, round(sigma, 6))
+        if key not in self._vehicle_skew:
+            self._vehicle_skew[key] = self._factory.generator(
+                "vehicle-skew", vehicle_key
+            ).normal(0.0, sigma, self.n_channels)
+        return self._vehicle_skew[key]
+
+    def static_rssi(self, lane: int = 0) -> np.ndarray:
+        """Noise-free spatial field on the grid: ``(n_channels, n_points)``.
+
+        Unclipped (no receiver floor), no temporal effects — this is the
+        "true" field the temporal processes perturb.  Lane parallax is
+        applied (lanes > 0 see per-channel shifted patterns).
+        """
+        shadow, multipath = self._components_for_lane(lane)
+        return self._mean + shadow + multipath
+
+    def _drift_for_day(self, day: int) -> TemporalDrift:
+        if day not in self._drift:
+            self._drift[day] = TemporalDrift(
+                n_channels=self.n_channels,
+                horizon_s=self.config.horizon_s,
+                sigma_db=self.environment.temporal_sigma_db,
+                tau_s=self.environment.temporal_tau_s,
+                rng=self._factory.generator("drift", day),
+            )
+        return self._drift[day]
+
+    def _outage_for_day(self, day: int) -> OutageProcess:
+        if day not in self._outage:
+            self._outage[day] = OutageProcess(
+                n_channels=self.n_channels,
+                horizon_s=self.config.horizon_s,
+                rng=self._factory.generator("outage", day),
+            )
+        return self._outage[day]
+
+    def _blockage_for_day(self, day: int) -> BlockageProcess:
+        if day not in self._blockage:
+            self._blockage[day] = BlockageProcess(
+                n_channels=self.n_channels,
+                horizon_s=self.config.horizon_s,
+                rng=self._factory.generator("blockage", day),
+                rate_per_s=self.environment.blockage_rate_per_s,
+                depth_mean_db=self.environment.blockage_depth_db,
+            )
+        return self._blockage[day]
+
+    def _interp_static(
+        self, static: np.ndarray, s_m: np.ndarray, channel_indices: np.ndarray
+    ) -> np.ndarray:
+        """Element-wise static field at ``(channel_i, s_i)`` pairs."""
+        pos = np.clip(
+            np.asarray(s_m, dtype=float) / self.config.grid_spacing_m,
+            0.0,
+            static.shape[1] - 1.001,
+        )
+        i0 = pos.astype(np.int64)
+        frac = pos - i0
+        ci = np.asarray(channel_indices, dtype=np.int64)
+        return static[ci, i0] * (1.0 - frac) + static[ci, i0 + 1] * frac
+
+    # ------------------------------------------------------------------
+    def measure(
+        self,
+        times_s: np.ndarray,
+        s_m: np.ndarray,
+        channel_indices: np.ndarray,
+        lane: int = 0,
+        day: int = 0,
+        extra_loss_db: float | np.ndarray = 0.0,
+        noise_sigma_db: float | None = None,
+        rng: np.random.Generator | None = None,
+        include_blockage: bool = True,
+        vehicle_key: object = None,
+        extra_distortion: float = 0.0,
+        extra_skew_m: float = 0.0,
+    ) -> np.ndarray:
+        """Simulate RSSI measurements at ``(t_i, s_i, channel_i)`` triples.
+
+        All three arrays must align element-wise; this is the scanner's
+        native access pattern.  Returns RSSI [dBm], clipped at the
+        receiver floor.
+
+        Parameters
+        ----------
+        extra_loss_db:
+            Additional loss (e.g. in-cabin attenuation for central radio
+            placement); scalar or per-measurement array.
+        noise_sigma_db:
+            Override for the white measurement noise std; ``None`` uses
+            the field config.  Noise requires ``rng``; with ``rng=None``
+            the measurement is noise-free.
+        vehicle_key:
+            Identity of the measuring vehicle.  When given, the config's
+            ``micro_fraction`` (plus ``extra_distortion``, e.g. the
+            antenna-placement pattern distortion) of the multipath
+            variance is replaced by a vehicle-specific field — two
+            vehicles with distinct keys never sample identical
+            small-scale structure.  ``None`` measures the shared field
+            exactly (used by the stationary §III studies).
+        extra_distortion:
+            Additional vehicle-specific variance fraction on top of
+            ``micro_fraction`` (requires ``vehicle_key``).
+        extra_skew_m:
+            Additional sampling-parallax sigma combined in quadrature
+            with ``vehicle_skew_sigma_m`` (e.g. an in-cabin mount's
+            displaced phase centre; requires ``vehicle_key``).
+        """
+        t = np.asarray(times_s, dtype=float)
+        s = np.asarray(s_m, dtype=float)
+        ci = np.asarray(channel_indices, dtype=np.int64)
+        if not (t.shape == s.shape == ci.shape):
+            raise ValueError("times_s, s_m and channel_indices must align")
+        if np.any((ci < 0) | (ci >= self.n_channels)):
+            raise ValueError("channel index out of range")
+        if not 0.0 <= extra_distortion <= 1.0:
+            raise ValueError("extra_distortion must lie in [0, 1]")
+
+        s_eff = s
+        if vehicle_key is not None and (
+            self.config.vehicle_skew_sigma_m > 0 or extra_skew_m > 0
+        ):
+            # Per-channel parallax of this vehicle's lateral position.
+            s_eff = s + self._vehicle_shift_for(vehicle_key, extra_skew_m)[ci]
+        static = self.static_rssi(lane)
+        rssi = self._interp_static(static, s_eff, ci)
+        if vehicle_key is not None:
+            gamma = min(self.config.micro_fraction + extra_distortion, 0.9)
+            if gamma > 0.0:
+                micro = self._interp_static(
+                    self._micro_for(vehicle_key, lane), s_eff, ci
+                )
+                # Replace a gamma fraction of the *multipath* variance:
+                # subtract the shared multipath and blend the residual in.
+                _, shared_mp_rows = self._components_for_lane(lane)
+                shared_mp = self._interp_static(shared_mp_rows, s_eff, ci)
+                rssi = rssi + (np.sqrt(1.0 - gamma) - 1.0) * shared_mp + np.sqrt(
+                    gamma
+                ) * micro
+        rssi = rssi + self._drift_for_day(day).pair_at(t, ci)
+        rssi = rssi - self._outage_for_day(day).pair_attenuation(t, ci)
+        if include_blockage:
+            rssi = rssi - self._blockage_for_day(day).pair_attenuation(t, ci)
+        rssi = rssi - np.asarray(extra_loss_db, dtype=float)
+        sigma = self.config.noise_sigma_db if noise_sigma_db is None else noise_sigma_db
+        if sigma > 0 and rng is not None:
+            rssi = rssi + sigma * rng.standard_normal(rssi.shape)
+        return np.clip(rssi, self.config.rx_floor_dbm, self.config.rx_ceiling_dbm)
+
+    def snapshot(
+        self,
+        time_s: float,
+        s_grid: np.ndarray | None = None,
+        lane: int = 0,
+        day: int = 0,
+        noise_sigma_db: float | None = None,
+        rng: np.random.Generator | None = None,
+        include_blockage: bool = True,
+    ) -> np.ndarray:
+        """Instantaneous full-band field: ``(n_channels, n_points)``.
+
+        Models an idealised zero-duration sweep at ``time_s`` — the
+        "vehicle stands still" regime of the paper's §III measurements
+        (their stationary sampling of power vectors).
+        """
+        s = self.grid_s if s_grid is None else np.asarray(s_grid, dtype=float)
+        static = self.static_rssi(lane)
+        pos = np.clip(s / self.config.grid_spacing_m, 0.0, static.shape[1] - 1.001)
+        i0 = pos.astype(np.int64)
+        frac = pos - i0
+        vals = static[:, i0] * (1.0 - frac) + static[:, i0 + 1] * frac
+
+        all_ch = np.arange(self.n_channels)
+        t_arr = np.array([float(time_s)])
+        vals = vals + self._drift_for_day(day).at(t_arr, all_ch)
+        vals = vals - self._outage_for_day(day).attenuation(t_arr, all_ch)
+        if include_blockage:
+            vals = vals - self._blockage_for_day(day).attenuation(t_arr, all_ch)
+        sigma = self.config.noise_sigma_db if noise_sigma_db is None else noise_sigma_db
+        if sigma > 0 and rng is not None:
+            vals = vals + sigma * rng.standard_normal(vals.shape)
+        return np.clip(vals, self.config.rx_floor_dbm, self.config.rx_ceiling_dbm)
+
+
+def field_for_segment(
+    segment: RoadSegment,
+    deployment: TowerDeployment,
+    factory: RngFactory,
+    plan: ChannelPlan | None = None,
+    config: FieldConfig | None = None,
+) -> SignalField:
+    """Build the field of a network segment (environment from its type)."""
+    plan = plan or deployment.plan
+    return SignalField(
+        polyline=segment.polyline,
+        plan=plan,
+        environment=ENVIRONMENT_PROFILES[segment.road_type],
+        deployment=deployment,
+        factory=factory.child("field", segment.segment_id),
+        config=config,
+    )
+
+
+def make_straight_field(
+    length_m: float,
+    road_type: RoadType = RoadType.URBAN_4LANE,
+    plan: ChannelPlan | None = None,
+    seed: int | RngFactory = 0,
+    config: FieldConfig | None = None,
+    road_key: object = "road-0",
+) -> SignalField:
+    """Fabricate a standalone straight road with its own tower deployment.
+
+    The workhorse for experiments and tests that need a single road
+    without generating a whole city.  Distinct ``road_key`` values give
+    statistically independent roads under the same seed (for Fig 3's
+    different-roads comparisons); equal keys give the identical field.
+    """
+    if length_m <= 0:
+        raise ValueError("length_m must be positive")
+    plan = plan or RGSM900
+    factory = seed if isinstance(seed, RngFactory) else RngFactory(seed)
+    road_factory = factory.child("straight", road_key)
+    polyline = Polyline(np.array([[0.0, 0.0], [length_m, 0.0]]))
+    deployment = deploy_towers(
+        plan,
+        bounds=(0.0, -500.0, length_m, 500.0),
+        rng=road_factory.generator("towers"),
+    )
+    environment = ENVIRONMENT_PROFILES[road_type]
+    # The paper-recommended config mirrors the road profile's defaults.
+    _ = ROAD_PROFILES[road_type]
+    return SignalField(
+        polyline=polyline,
+        plan=plan,
+        environment=environment,
+        deployment=deployment,
+        factory=road_factory.child("field"),
+        config=config,
+    )

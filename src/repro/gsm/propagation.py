@@ -1,0 +1,130 @@
+"""Deterministic path-loss models.
+
+Mean received power is computed from transmitter EIRP minus a path-loss
+model.  We provide free-space (sanity baseline), the classic log-distance
+model, and COST-231 Hata — the standard empirical model for 900-2000 MHz
+urban macrocells and hence the natural choice for GSM-900.
+All functions are vectorized over distance arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.units import SPEED_OF_LIGHT
+
+__all__ = [
+    "free_space_path_loss_db",
+    "log_distance_path_loss_db",
+    "cost231_hata_path_loss_db",
+    "received_power_dbm",
+]
+
+#: Distances below this are clamped; the models diverge at d -> 0 and no
+#: vehicle is ever inside a macrocell antenna.
+_MIN_DISTANCE_M: float = 10.0
+
+
+def _clamped(distance_m: np.ndarray | float) -> np.ndarray:
+    d = np.asarray(distance_m, dtype=float)
+    if np.any(d < 0):
+        raise ValueError("distances must be non-negative")
+    return np.maximum(d, _MIN_DISTANCE_M)
+
+
+def free_space_path_loss_db(
+    distance_m: np.ndarray | float, frequency_hz: float
+) -> np.ndarray | float:
+    """Free-space path loss (Friis) in dB."""
+    if frequency_hz <= 0:
+        raise ValueError("frequency_hz must be positive")
+    d = _clamped(distance_m)
+    wavelength = SPEED_OF_LIGHT / frequency_hz
+    return 20.0 * np.log10(4.0 * np.pi * d / wavelength)
+
+
+def log_distance_path_loss_db(
+    distance_m: np.ndarray | float,
+    frequency_hz: float,
+    exponent: float = 3.5,
+    reference_m: float = 100.0,
+) -> np.ndarray | float:
+    """Log-distance path loss: free space to ``reference_m``, then slope.
+
+    ``exponent`` is the environment path-loss exponent (2 free space,
+    3-4 urban, up to ~5 in dense clutter).
+    """
+    if exponent <= 0:
+        raise ValueError("exponent must be positive")
+    if reference_m < _MIN_DISTANCE_M:
+        raise ValueError(f"reference_m must be >= {_MIN_DISTANCE_M}")
+    d = _clamped(distance_m)
+    pl_ref = free_space_path_loss_db(reference_m, frequency_hz)
+    return pl_ref + 10.0 * exponent * np.log10(np.maximum(d / reference_m, 1.0))
+
+
+def cost231_hata_path_loss_db(
+    distance_m: np.ndarray | float,
+    frequency_hz: float,
+    base_height_m: float = 30.0,
+    mobile_height_m: float = 1.5,
+    metropolitan: bool = True,
+) -> np.ndarray | float:
+    """COST-231 Hata path loss for 150-2000 MHz urban macrocells.
+
+    Strictly validated for 1500-2000 MHz; below 1500 MHz the original
+    Okumura-Hata constants apply, which is what we use for GSM-900.
+    """
+    f_mhz = frequency_hz / 1e6
+    if not 100.0 <= f_mhz <= 2000.0:
+        raise ValueError(f"COST-231/Hata valid for 100-2000 MHz, got {f_mhz} MHz")
+    if not 1.0 <= mobile_height_m <= 10.0:
+        raise ValueError("mobile_height_m must be in [1, 10] m")
+    if not 10.0 <= base_height_m <= 200.0:
+        raise ValueError("base_height_m must be in [10, 200] m")
+    d_km = _clamped(distance_m) / 1000.0
+    # Mobile antenna correction for a large city (Okumura-Hata, f < 300 MHz
+    # uses a different constant; GSM-900 is in the >= 300 MHz branch).
+    a_hm = 3.2 * (np.log10(11.75 * mobile_height_m)) ** 2 - 4.97
+    if f_mhz >= 1500.0:
+        base = 46.3 + 33.9 * np.log10(f_mhz)
+        cm = 3.0 if metropolitan else 0.0
+    else:
+        base = 69.55 + 26.16 * np.log10(f_mhz)
+        cm = 0.0 if metropolitan else -2.0
+    loss = (
+        base
+        - 13.82 * np.log10(base_height_m)
+        - a_hm
+        + (44.9 - 6.55 * np.log10(base_height_m)) * np.log10(np.maximum(d_km, 0.02))
+        + cm
+    )
+    return loss
+
+
+def received_power_dbm(
+    distance_m: np.ndarray | float,
+    frequency_hz: float,
+    eirp_dbm: float = 55.0,
+    model: str = "cost231",
+    **model_kwargs: float,
+) -> np.ndarray | float:
+    """Mean received power [dBm] at a distance from one transmitter.
+
+    ``eirp_dbm`` defaults to a typical GSM macrocell EIRP (~55 dBm:
+    ~43 dBm PA + ~12 dBi antenna).  ``model="auto"`` picks COST-231/Hata
+    inside its 150-2000 MHz validity range and falls back to the
+    log-distance model outside it (e.g. the FM band of the §VII
+    multi-band extension).
+    """
+    if model == "auto":
+        model = "cost231" if 150e6 <= frequency_hz <= 2000e6 else "log-distance"
+    if model == "cost231":
+        loss = cost231_hata_path_loss_db(distance_m, frequency_hz, **model_kwargs)
+    elif model == "log-distance":
+        loss = log_distance_path_loss_db(distance_m, frequency_hz, **model_kwargs)
+    elif model == "free-space":
+        loss = free_space_path_loss_db(distance_m, frequency_hz)
+    else:
+        raise ValueError(f"unknown propagation model {model!r}")
+    return eirp_dbm - loss

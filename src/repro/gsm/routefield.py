@@ -1,0 +1,224 @@
+"""Route-composed signal fields: multi-segment drives.
+
+The paper's 97 km experiment route chains many road segments of different
+types; a vehicle turning onto a new segment is exactly the short-context
+case §V-C's flexible window addresses.  :class:`RouteSignalField` stitches
+per-segment :class:`~repro.gsm.field.SignalField` instances into one
+field parameterised by *route* arc length, exposing the same measurement
+interface the scanner and drive orchestrator consume — so the whole
+pipeline runs unchanged over turns, environment changes and segment
+boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gsm.band import ChannelPlan, RGSM900
+from repro.gsm.field import FieldConfig, SignalField, field_for_segment
+from repro.gsm.towers import TowerDeployment, deploy_towers
+from repro.roads.environment import ENVIRONMENT_PROFILES, EnvironmentProfile
+from repro.roads.network import RoadNetwork
+from repro.roads.route import Route
+from repro.util.rng import RngFactory
+
+__all__ = ["RouteSignalField", "build_route_field"]
+
+
+class _RouteGeometryAdapter:
+    """Vectorized position/heading over route arc length.
+
+    Quacks enough like a :class:`~repro.roads.geometry.Polyline` for the
+    drive orchestrator (``position`` and ``heading`` over arrays).
+    """
+
+    def __init__(self, route: Route) -> None:
+        self._route = route
+
+    @property
+    def length(self) -> float:
+        return self._route.length
+
+    def position(self, s: np.ndarray | float) -> np.ndarray:
+        scalar = np.isscalar(s)
+        s_arr = np.atleast_1d(np.asarray(s, dtype=float))
+        out = np.empty((s_arr.size, 2))
+        leg_idx, local_s = self._route.locate_many(s_arr)
+        for idx in np.unique(leg_idx):
+            mask = leg_idx == idx
+            seg = self._route.legs[int(idx)].segment
+            out[mask] = np.atleast_2d(seg.polyline.position(local_s[mask]))
+        return out[0] if scalar else out
+
+    def heading(self, s: np.ndarray | float) -> np.ndarray | float:
+        scalar = np.isscalar(s)
+        s_arr = np.atleast_1d(np.asarray(s, dtype=float))
+        out = np.empty(s_arr.size)
+        leg_idx, local_s = self._route.locate_many(s_arr)
+        for idx in np.unique(leg_idx):
+            mask = leg_idx == idx
+            leg = self._route.legs[int(idx)]
+            theta = np.atleast_1d(leg.segment.polyline.heading(local_s[mask]))
+            if leg.reverse:
+                theta = theta + np.pi
+            out[mask] = np.arctan2(np.sin(theta), np.cos(theta))
+        return float(out[0]) if scalar else out
+
+    def project(self, point: np.ndarray) -> float:
+        """Route arc length of the closest point across all legs."""
+        best_s = 0.0
+        best_d = np.inf
+        for leg in self._route.legs:
+            local = leg.segment.polyline.project(point)
+            pos = np.asarray(leg.segment.polyline.position(local))
+            d = float(np.linalg.norm(pos - np.asarray(point, dtype=float)))
+            if d < best_d:
+                best_d = d
+                travel = leg.segment.length - local if leg.reverse else local
+                best_s = leg.start_offset + travel
+        return best_s
+
+
+class RouteSignalField:
+    """Per-segment signal fields composed along a route.
+
+    Parameters
+    ----------
+    route:
+        The traversal; each leg references a network segment.
+    fields:
+        One :class:`SignalField` per route leg (same order), all sharing
+        one channel plan.  Fields for repeated segments should be the
+        *same object* so revisits see identical statics.
+    """
+
+    def __init__(self, route: Route, fields: list[SignalField]) -> None:
+        if len(fields) != len(route.legs):
+            raise ValueError(
+                f"need one field per route leg ({len(route.legs)}), got {len(fields)}"
+            )
+        plans = {id(f.plan) for f in fields}
+        if len(plans) != 1:
+            raise ValueError("all segment fields must share one channel plan")
+        self.route = route
+        self.fields = list(fields)
+        self.plan: ChannelPlan = fields[0].plan
+        self.config: FieldConfig = fields[0].config
+        self.polyline = _RouteGeometryAdapter(route)
+
+    @property
+    def n_channels(self) -> int:
+        """Channels in the shared plan."""
+        return self.plan.n_channels
+
+    @property
+    def length_m(self) -> float:
+        """Total route length [m]."""
+        return self.route.length
+
+    @property
+    def environment(self) -> EnvironmentProfile:
+        """Environment of the dominant (longest total length) road type.
+
+        Used for route-level models that need a single profile (e.g. the
+        GPS error model); per-measurement radio behaviour is always the
+        local segment's.
+        """
+        totals: dict = {}
+        for leg in self.route.legs:
+            rt = leg.segment.road_type
+            totals[rt] = totals.get(rt, 0.0) + leg.segment.length
+        dominant = max(totals, key=totals.get)
+        return ENVIRONMENT_PROFILES[dominant]
+
+    def measure(
+        self,
+        times_s: np.ndarray,
+        s_m: np.ndarray,
+        channel_indices: np.ndarray,
+        lane: int = 0,
+        day: int = 0,
+        extra_loss_db: float | np.ndarray = 0.0,
+        noise_sigma_db: float | None = None,
+        rng: np.random.Generator | None = None,
+        include_blockage: bool = True,
+        vehicle_key: object = None,
+        extra_distortion: float = 0.0,
+        extra_skew_m: float = 0.0,
+    ) -> np.ndarray:
+        """Element-wise measurements in *route* coordinates.
+
+        Dispatches each measurement to its segment's field at the local
+        arc length; the interface mirrors
+        :meth:`repro.gsm.field.SignalField.measure`.
+        """
+        t = np.asarray(times_s, dtype=float)
+        s = np.asarray(s_m, dtype=float)
+        ci = np.asarray(channel_indices, dtype=np.int64)
+        if not (t.shape == s.shape == ci.shape):
+            raise ValueError("times_s, s_m and channel_indices must align")
+        leg_idx, local_s = self.route.locate_many(s)
+        out = np.empty(t.size)
+        for idx in np.unique(leg_idx):
+            mask = leg_idx == idx
+            loss = (
+                extra_loss_db
+                if np.isscalar(extra_loss_db)
+                else np.asarray(extra_loss_db, dtype=float)[mask]
+            )
+            out[mask] = self.fields[int(idx)].measure(
+                times_s=t[mask],
+                s_m=local_s[mask],
+                channel_indices=ci[mask],
+                lane=lane,
+                day=day,
+                extra_loss_db=loss,
+                noise_sigma_db=noise_sigma_db,
+                rng=rng,
+                include_blockage=include_blockage,
+                vehicle_key=vehicle_key,
+                extra_distortion=extra_distortion,
+                extra_skew_m=extra_skew_m,
+            )
+        return out
+
+
+def build_route_field(
+    network: RoadNetwork,
+    route: Route,
+    plan: ChannelPlan | None = None,
+    seed: int | RngFactory = 0,
+    config: FieldConfig | None = None,
+    deployment: TowerDeployment | None = None,
+) -> RouteSignalField:
+    """Build a route field over a network with one shared tower deployment.
+
+    Per-segment fields are cached by segment id, so a route that revisits
+    a segment (or two vehicles driving the same route) sees identical
+    static fields — the property RUPS matches on.
+    """
+    plan = plan or RGSM900
+    factory = seed if isinstance(seed, RngFactory) else RngFactory(seed)
+    if deployment is None:
+        positions = np.vstack(
+            [seg.polyline.points for seg in network.segments]
+        )
+        bounds = (
+            float(positions[:, 0].min()),
+            float(positions[:, 1].min()),
+            float(positions[:, 0].max()),
+            float(positions[:, 1].max()),
+        )
+        deployment = deploy_towers(
+            plan, bounds, rng=factory.generator("towers")
+        )
+    cache: dict[int, SignalField] = {}
+    fields = []
+    for leg in route.legs:
+        seg = leg.segment
+        if seg.segment_id not in cache:
+            cache[seg.segment_id] = field_for_segment(
+                seg, deployment, factory, plan=plan, config=config
+            )
+        fields.append(cache[seg.segment_id])
+    return RouteSignalField(route, fields)

@@ -1,0 +1,37 @@
+"""Urban road-network substrate.
+
+Models the three general road classes the paper drives on (open, semi-open,
+close) via five concrete road types, a polyline geometry layer with exact
+arc-length parameterisation, a grid-plus-arterial road-network generator on
+:mod:`networkx`, and the per-type radio/GPS environment profiles that feed
+the GSM signal field and the GPS error model.
+"""
+
+from repro.roads.environment import EnvironmentProfile, environment_for
+from repro.roads.geometry import Polyline, heading_along, resample_polyline
+from repro.roads.network import RoadNetwork, RoadNetworkConfig, generate_network
+from repro.roads.route import Route, build_route, random_route
+from repro.roads.types import (
+    ROAD_PROFILES,
+    OpennessClass,
+    RoadProfile,
+    RoadType,
+)
+
+__all__ = [
+    "EnvironmentProfile",
+    "environment_for",
+    "Polyline",
+    "heading_along",
+    "resample_polyline",
+    "RoadNetwork",
+    "RoadNetworkConfig",
+    "generate_network",
+    "Route",
+    "build_route",
+    "random_route",
+    "ROAD_PROFILES",
+    "OpennessClass",
+    "RoadProfile",
+    "RoadType",
+]

@@ -1,0 +1,141 @@
+"""Polyline geometry with exact arc-length parameterisation.
+
+Roads are planar polylines.  Everything downstream addresses a road by arc
+length ``s`` (metres from the segment start), so this module provides the
+``s -> (x, y)`` and ``s -> heading`` maps plus resampling helpers, all
+vectorized over query arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.validation import check_shape
+
+__all__ = ["Polyline", "heading_along", "resample_polyline"]
+
+
+@dataclass(frozen=True)
+class Polyline:
+    """An immutable planar polyline with cached cumulative arc length.
+
+    Parameters
+    ----------
+    points:
+        ``(n, 2)`` float array of vertices, ``n >= 2``.  Consecutive
+        duplicate vertices are rejected (they would create zero-length
+        segments with undefined headings).
+    """
+
+    points: np.ndarray
+    _cum: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        pts = np.ascontiguousarray(np.asarray(self.points, dtype=float))
+        check_shape("points", pts, (None, 2))
+        if pts.shape[0] < 2:
+            raise ValueError("a polyline needs at least two vertices")
+        seg = np.linalg.norm(np.diff(pts, axis=0), axis=1)
+        if np.any(seg <= 0):
+            raise ValueError("polyline contains zero-length segments")
+        cum = np.concatenate(([0.0], np.cumsum(seg)))
+        object.__setattr__(self, "points", pts)
+        object.__setattr__(self, "_cum", cum)
+
+    @property
+    def length(self) -> float:
+        """Total arc length [m]."""
+        return float(self._cum[-1])
+
+    @property
+    def cumulative_lengths(self) -> np.ndarray:
+        """Arc length at each vertex (read-only view)."""
+        view = self._cum.view()
+        view.flags.writeable = False
+        return view
+
+    def position(self, s: np.ndarray | float) -> np.ndarray:
+        """Map arc length(s) ``s`` to coordinates.
+
+        Returns shape ``(2,)`` for scalar input, ``(k, 2)`` for arrays.
+        Values outside ``[0, length]`` are clamped (a vehicle never drives
+        off the end of its current segment in our simulations, but sensor
+        timestamps can overshoot by a sample).
+        """
+        scalar = np.isscalar(s)
+        s_arr = np.clip(np.atleast_1d(np.asarray(s, dtype=float)), 0.0, self.length)
+        idx = np.clip(
+            np.searchsorted(self._cum, s_arr, side="right") - 1,
+            0,
+            len(self._cum) - 2,
+        )
+        seg_start = self.points[idx]
+        seg_vec = self.points[idx + 1] - seg_start
+        seg_len = self._cum[idx + 1] - self._cum[idx]
+        frac = ((s_arr - self._cum[idx]) / seg_len)[:, None]
+        out = seg_start + frac * seg_vec
+        return out[0] if scalar else out
+
+    def heading(self, s: np.ndarray | float) -> np.ndarray | float:
+        """Heading angle [rad, CCW from +x] of the tangent at arc length."""
+        scalar = np.isscalar(s)
+        s_arr = np.clip(np.atleast_1d(np.asarray(s, dtype=float)), 0.0, self.length)
+        idx = np.clip(
+            np.searchsorted(self._cum, s_arr, side="right") - 1,
+            0,
+            len(self._cum) - 2,
+        )
+        vec = self.points[idx + 1] - self.points[idx]
+        theta = np.arctan2(vec[:, 1], vec[:, 0])
+        return float(theta[0]) if scalar else theta
+
+    def offset_position(
+        self, s: np.ndarray | float, lateral: float
+    ) -> np.ndarray:
+        """Position offset ``lateral`` metres to the left of the centreline.
+
+        Used to place vehicles in specific lanes (positive = left of travel
+        direction).
+        """
+        scalar = np.isscalar(s)
+        base = np.atleast_2d(self.position(s))
+        theta = np.atleast_1d(self.heading(s))
+        normal = np.stack([-np.sin(theta), np.cos(theta)], axis=1)
+        out = base + lateral * normal
+        return out[0] if scalar else out
+
+    def project(self, point: np.ndarray) -> float:
+        """Arc length of the closest centreline point to ``point``.
+
+        Exact projection onto each segment, then the global minimum —
+        O(#segments), fine for the polyline sizes we generate.
+        """
+        p = np.asarray(point, dtype=float)
+        check_shape("point", p, (2,))
+        a = self.points[:-1]
+        b = self.points[1:]
+        ab = b - a
+        denom = np.einsum("ij,ij->i", ab, ab)
+        t = np.clip(np.einsum("ij,ij->i", p - a, ab) / denom, 0.0, 1.0)
+        closest = a + t[:, None] * ab
+        d2 = np.einsum("ij,ij->i", closest - p, closest - p)
+        k = int(np.argmin(d2))
+        return float(self._cum[k] + t[k] * np.sqrt(denom[k]))
+
+
+def heading_along(polyline: Polyline, spacing: float = 1.0) -> np.ndarray:
+    """Headings sampled every ``spacing`` metres along a polyline."""
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    s = np.arange(0.0, polyline.length + spacing / 2, spacing)
+    return np.asarray(polyline.heading(s))
+
+
+def resample_polyline(polyline: Polyline, spacing: float = 1.0) -> np.ndarray:
+    """Vertices resampled every ``spacing`` metres along arc length."""
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    s = np.arange(0.0, polyline.length + spacing / 2, spacing)
+    return np.asarray(polyline.position(s))

@@ -1,0 +1,329 @@
+"""Synthetic urban road-network generator.
+
+The paper's trace collection spans "two hundred surface road segments in
+Shanghai, involving three different environments, i.e., downtown, urban and
+suburban" (§III-A) plus elevated and under-elevated roads (§VI-A).  We
+generate a perturbed-grid city with three districts along the x axis —
+downtown, urban, suburban — whose block roads take the corresponding road
+types, plus one elevated east-west arterial whose shadow hosts the
+under-elevated segments.
+
+The generator is deterministic given a seed and is intentionally simple:
+RUPS never consumes map data (it is map-free by design), the network only
+anchors signal fields and vehicle motion in a consistent geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.roads.geometry import Polyline
+from repro.roads.types import ROAD_PROFILES, RoadProfile, RoadType
+from repro.util.rng import RngFactory
+
+__all__ = [
+    "District",
+    "RoadSegment",
+    "RoadNetwork",
+    "RoadNetworkConfig",
+    "generate_network",
+]
+
+#: District labels, west to east.
+DISTRICTS: tuple[str, ...] = ("downtown", "urban", "suburban")
+
+
+@dataclass(frozen=True)
+class RoadSegment:
+    """One directed road segment of the network.
+
+    Attributes
+    ----------
+    segment_id:
+        Stable integer id, unique within a network.
+    polyline:
+        Centreline geometry.
+    road_type:
+        Concrete :class:`RoadType`.
+    district:
+        ``"downtown"``, ``"urban"`` or ``"suburban"``.
+    u, v:
+        Endpoint node ids in the underlying graph.
+    """
+
+    segment_id: int
+    polyline: Polyline
+    road_type: RoadType
+    district: str
+    u: tuple[int, int]
+    v: tuple[int, int]
+
+    @property
+    def profile(self) -> RoadProfile:
+        """The canonical physical profile of this segment's type."""
+        return ROAD_PROFILES[self.road_type]
+
+    @property
+    def length(self) -> float:
+        """Arc length [m]."""
+        return self.polyline.length
+
+
+@dataclass(frozen=True)
+class RoadNetworkConfig:
+    """Parameters of the synthetic city.
+
+    The defaults give a ~6 km x ~3 km city with around 200 surface segments,
+    mirroring the scale of the paper's trace collection.
+    """
+
+    blocks_x: int = 12
+    blocks_y: int = 6
+    block_length_m: float = 500.0
+    #: Std-dev of intersection position jitter [m]; keeps roads from being
+    #: perfectly straight so heading estimation is non-trivial.
+    jitter_m: float = 25.0
+    #: Number of interior vertices added per segment for gentle curvature.
+    curve_points: int = 3
+    #: Std-dev of interior vertex lateral displacement [m].
+    curve_amplitude_m: float = 8.0
+    #: Grid row (0-based from south) carrying the elevated arterial.
+    elevated_row: int = 3
+
+    def __post_init__(self) -> None:
+        if self.blocks_x < 3 or self.blocks_y < 2:
+            raise ValueError("network needs at least 3x2 blocks")
+        if self.block_length_m <= 0:
+            raise ValueError("block_length_m must be positive")
+        if not 0 <= self.elevated_row <= self.blocks_y:
+            raise ValueError("elevated_row outside the grid")
+
+
+class RoadNetwork:
+    """A generated city: graph topology plus per-segment geometry.
+
+    Segments are exposed both as a list (for "pick 200 random segments"
+    trace collection) and through the :mod:`networkx` graph (for routing).
+    """
+
+    def __init__(
+        self, graph: nx.Graph, segments: list[RoadSegment], config: RoadNetworkConfig
+    ) -> None:
+        self._graph = graph
+        self._segments = list(segments)
+        self._by_id = {seg.segment_id: seg for seg in segments}
+        if len(self._by_id) != len(segments):
+            raise ValueError("duplicate segment ids")
+        self.config = config
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying undirected graph (nodes are grid coordinates)."""
+        return self._graph
+
+    @property
+    def segments(self) -> list[RoadSegment]:
+        """All segments (copy of the list; segments are immutable)."""
+        return list(self._segments)
+
+    def __len__(self) -> int:
+        return len(self._segments)
+
+    def segment(self, segment_id: int) -> RoadSegment:
+        """Look a segment up by id."""
+        try:
+            return self._by_id[segment_id]
+        except KeyError:
+            raise KeyError(f"no segment with id {segment_id}") from None
+
+    def segments_of_type(self, road_type: RoadType) -> list[RoadSegment]:
+        """All segments of one concrete type."""
+        return [s for s in self._segments if s.road_type == road_type]
+
+    def segments_in_district(self, district: str) -> list[RoadSegment]:
+        """All segments whose midpoint lies in the given district."""
+        if district not in DISTRICTS:
+            raise ValueError(f"unknown district {district!r}")
+        return [s for s in self._segments if s.district == district]
+
+    def edge_segment(self, u: tuple[int, int], v: tuple[int, int]) -> RoadSegment:
+        """The segment connecting two adjacent graph nodes."""
+        seg_id = self._graph.edges[u, v]["segment_id"]
+        return self._by_id[seg_id]
+
+
+def _district_of(col: int, blocks_x: int) -> str:
+    """West third is downtown, middle urban, east suburban."""
+    third = blocks_x / 3.0
+    if col < third:
+        return "downtown"
+    if col < 2 * third:
+        return "urban"
+    return "suburban"
+
+
+def _surface_type(district: str, horizontal: bool, rng: np.random.Generator) -> RoadType:
+    """Sample a surface road type consistent with the district mix."""
+    if district == "downtown":
+        # Major grid: mostly 8-lane arterials and 4-lane streets.
+        return RoadType.URBAN_8LANE if rng.random() < (0.55 if horizontal else 0.35) else RoadType.URBAN_4LANE
+    if district == "urban":
+        return RoadType.URBAN_4LANE
+    return RoadType.SUBURB_2LANE
+
+
+def _curved_polyline(
+    a: np.ndarray,
+    b: np.ndarray,
+    n_interior: int,
+    amplitude: float,
+    rng: np.random.Generator,
+) -> Polyline:
+    """Connect two points with a gently curved polyline."""
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if n_interior <= 0 or amplitude <= 0:
+        return Polyline(np.stack([a, b]))
+    t = np.linspace(0.0, 1.0, n_interior + 2)[1:-1, None]
+    base = a + t * (b - a)
+    direction = (b - a) / np.linalg.norm(b - a)
+    normal = np.array([-direction[1], direction[0]])
+    # Smooth bump profile so endpoints stay fixed and curvature is gentle.
+    bump = np.sin(np.pi * t[:, 0])
+    lateral = amplitude * rng.standard_normal() * bump
+    pts = np.vstack([a, base + lateral[:, None] * normal, b])
+    return Polyline(pts)
+
+
+def generate_network(
+    config: RoadNetworkConfig | None = None,
+    seed: int | RngFactory = 0,
+) -> RoadNetwork:
+    """Generate the synthetic city.
+
+    Parameters
+    ----------
+    config:
+        Network parameters; defaults reproduce the paper-scale city.
+    seed:
+        Root seed or an :class:`RngFactory` to derive streams from.
+
+    Returns
+    -------
+    RoadNetwork
+        Immutable network with ~``2 * blocks_x * blocks_y`` surface
+        segments, one elevated arterial and its under-elevated twin.
+    """
+    config = config or RoadNetworkConfig()
+    factory = seed if isinstance(seed, RngFactory) else RngFactory(seed)
+    jitter_rng = factory.generator("network", "jitter")
+    type_rng = factory.generator("network", "types")
+    curve_rng = factory.generator("network", "curves")
+
+    nx_cols = config.blocks_x + 1
+    nx_rows = config.blocks_y + 1
+    # Jittered intersection positions.
+    positions: dict[tuple[int, int], np.ndarray] = {}
+    for col in range(nx_cols):
+        for row in range(nx_rows):
+            base = np.array(
+                [col * config.block_length_m, row * config.block_length_m]
+            )
+            positions[(col, row)] = base + config.jitter_m * jitter_rng.standard_normal(2)
+
+    graph = nx.Graph()
+    for node, pos in positions.items():
+        graph.add_node(node, pos=pos)
+
+    segments: list[RoadSegment] = []
+
+    def add_segment(
+        u: tuple[int, int], v: tuple[int, int], road_type: RoadType, district: str
+    ) -> None:
+        poly = _curved_polyline(
+            positions[u],
+            positions[v],
+            config.curve_points,
+            config.curve_amplitude_m,
+            curve_rng,
+        )
+        seg = RoadSegment(
+            segment_id=len(segments),
+            polyline=poly,
+            road_type=road_type,
+            district=district,
+            u=u,
+            v=v,
+        )
+        segments.append(seg)
+        graph.add_edge(u, v, segment_id=seg.segment_id, length=seg.length)
+
+    # Horizontal (east-west) surface streets.
+    for row in range(nx_rows):
+        is_elevated_row = row == config.elevated_row
+        for col in range(config.blocks_x):
+            district = _district_of(col, config.blocks_x)
+            if is_elevated_row:
+                # The elevated arterial runs above this row; the surface
+                # street beneath it is the "under elevated" environment.
+                add_segment((col, row), (col + 1, row), RoadType.UNDER_ELEVATED, district)
+            else:
+                road_type = _surface_type(district, True, type_rng)
+                add_segment((col, row), (col + 1, row), road_type, district)
+
+    # Vertical (north-south) surface streets.
+    for col in range(nx_cols):
+        for row in range(config.blocks_y):
+            district = _district_of(col, config.blocks_x)
+            road_type = _surface_type(district, False, type_rng)
+            add_segment((col, row), (col, row + 1), road_type, district)
+
+    # The elevated arterial itself: long spans between every other column,
+    # represented as separate nodes one "level" up so routing stays sane.
+    row = config.elevated_row
+    for col in range(config.blocks_x):
+        u = ("elev", col, row)
+        v = ("elev", col + 1, row)
+        for node, base_col in ((u, col), (v, col + 1)):
+            if node not in graph:
+                graph.add_node(node, pos=positions[(base_col, row)] + np.array([0.0, 12.0]))
+        district = _district_of(col, config.blocks_x)
+        poly = _curved_polyline(
+            graph.nodes[u]["pos"],
+            graph.nodes[v]["pos"],
+            config.curve_points,
+            config.curve_amplitude_m / 2.0,
+            curve_rng,
+        )
+        seg = RoadSegment(
+            segment_id=len(segments),
+            polyline=poly,
+            road_type=RoadType.ELEVATED,
+            district=district,
+            u=u,
+            v=v,
+        )
+        segments.append(seg)
+        graph.add_edge(u, v, segment_id=seg.segment_id, length=seg.length)
+
+    # On/off ramps connecting the elevated arterial to the surface grid at
+    # both ends so the graph stays connected.
+    for col in (0, config.blocks_x):
+        surf = (col, row)
+        elev = ("elev", col, row)
+        poly = Polyline(np.stack([positions[surf], graph.nodes[elev]["pos"]]))
+        seg = RoadSegment(
+            segment_id=len(segments),
+            polyline=poly,
+            road_type=RoadType.ELEVATED,
+            district=_district_of(min(col, config.blocks_x - 1), config.blocks_x),
+            u=surf,
+            v=elev,
+        )
+        segments.append(seg)
+        graph.add_edge(surf, elev, segment_id=seg.segment_id, length=seg.length)
+
+    return RoadNetwork(graph, segments, config)

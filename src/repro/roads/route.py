@@ -1,0 +1,187 @@
+"""Routes: multi-segment drives over the road network.
+
+The paper's experiment route is 97 km of mixed road types; vehicles drive
+it repeatedly.  A :class:`Route` concatenates consecutive network segments
+into one arc-length-parameterised path and remembers which underlying
+segment (and hence which signal field / environment) every metre of the
+path belongs to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.roads.network import RoadNetwork, RoadSegment
+from repro.roads.types import RoadType
+from repro.util.rng import RngFactory, as_generator
+
+__all__ = ["Route", "build_route", "random_route"]
+
+
+@dataclass(frozen=True)
+class RouteLeg:
+    """One segment traversal within a route.
+
+    ``reverse`` indicates driving the segment from ``v`` to ``u``; the
+    leg's local arc length still runs 0..segment length in travel order.
+    """
+
+    segment: RoadSegment
+    reverse: bool
+    start_offset: float  # route arc length where this leg begins
+
+
+class Route:
+    """An ordered traversal of road segments with global arc length.
+
+    The key operation is :meth:`locate`, which maps a route arc length to
+    ``(leg_index, segment, local_s)`` so callers can query the segment's
+    signal field at the right local coordinate.
+    """
+
+    def __init__(self, legs: list[tuple[RoadSegment, bool]]) -> None:
+        if not legs:
+            raise ValueError("a route needs at least one leg")
+        self._legs: list[RouteLeg] = []
+        offset = 0.0
+        for seg, reverse in legs:
+            self._legs.append(RouteLeg(seg, reverse, offset))
+            offset += seg.length
+        self._length = offset
+        self._offsets = np.array([leg.start_offset for leg in self._legs])
+
+    @property
+    def length(self) -> float:
+        """Total route length [m]."""
+        return self._length
+
+    @property
+    def legs(self) -> list[RouteLeg]:
+        """The traversal legs in order (copy)."""
+        return list(self._legs)
+
+    @property
+    def segments(self) -> list[RoadSegment]:
+        """The underlying segments in travel order."""
+        return [leg.segment for leg in self._legs]
+
+    def locate(self, s: float) -> tuple[int, RoadSegment, float]:
+        """Map route arc length to ``(leg_index, segment, local_s)``.
+
+        ``local_s`` is measured in the segment's own parameterisation
+        (i.e. already flipped for reversed legs).  ``s`` is clamped to
+        ``[0, length]``.
+        """
+        s = float(np.clip(s, 0.0, self._length))
+        idx = int(np.searchsorted(self._offsets, s, side="right") - 1)
+        idx = max(idx, 0)
+        leg = self._legs[idx]
+        travel_s = s - leg.start_offset
+        travel_s = min(travel_s, leg.segment.length)
+        local_s = leg.segment.length - travel_s if leg.reverse else travel_s
+        return idx, leg.segment, local_s
+
+    def locate_many(self, s: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`locate` returning ``(leg_indices, local_s)``."""
+        s = np.clip(np.asarray(s, dtype=float), 0.0, self._length)
+        idx = np.clip(
+            np.searchsorted(self._offsets, s, side="right") - 1,
+            0,
+            len(self._legs) - 1,
+        )
+        lengths = np.array([leg.segment.length for leg in self._legs])
+        reverse = np.array([leg.reverse for leg in self._legs])
+        travel_s = np.minimum(s - self._offsets[idx], lengths[idx])
+        local_s = np.where(reverse[idx], lengths[idx] - travel_s, travel_s)
+        return idx, local_s
+
+    def position(self, s: float) -> np.ndarray:
+        """World coordinates at route arc length ``s``."""
+        _, seg, local_s = self.locate(s)
+        return np.asarray(seg.polyline.position(local_s))
+
+    def heading(self, s: float) -> float:
+        """Travel heading [rad] at route arc length ``s``."""
+        idx, seg, local_s = self.locate(s)
+        theta = float(seg.polyline.heading(local_s))
+        if self._legs[idx].reverse:
+            theta += np.pi
+        return float(np.arctan2(np.sin(theta), np.cos(theta)))
+
+    def road_type_at(self, s: float) -> RoadType:
+        """Road type at route arc length ``s``."""
+        _, seg, _ = self.locate(s)
+        return seg.road_type
+
+
+def build_route(
+    network: RoadNetwork, nodes: list[tuple]
+) -> Route:
+    """Build a route along an explicit node path in the network graph."""
+    if len(nodes) < 2:
+        raise ValueError("a route needs at least two nodes")
+    legs: list[tuple[RoadSegment, bool]] = []
+    for u, v in zip(nodes[:-1], nodes[1:]):
+        if not network.graph.has_edge(u, v):
+            raise ValueError(f"no edge between {u!r} and {v!r}")
+        seg = network.edge_segment(u, v)
+        legs.append((seg, seg.u != u))
+    return Route(legs)
+
+
+def random_route(
+    network: RoadNetwork,
+    min_length_m: float = 3000.0,
+    road_type: RoadType | None = None,
+    rng: np.random.Generator | RngFactory | int | None = 0,
+    max_tries: int = 200,
+) -> Route:
+    """Sample a random simple route of at least ``min_length_m``.
+
+    If ``road_type`` is given the walk is restricted to segments of that
+    type (used to build single-environment evaluation drives); otherwise a
+    random walk over the whole graph is used.
+    """
+    gen = as_generator(rng)
+    graph = network.graph
+    if road_type is not None:
+        allowed_ids = {s.segment_id for s in network.segments_of_type(road_type)}
+        sub_edges = [
+            (u, v)
+            for u, v, data in graph.edges(data=True)
+            if data["segment_id"] in allowed_ids
+        ]
+        walk_graph = nx.Graph(sub_edges)
+        if walk_graph.number_of_edges() == 0:
+            raise ValueError(f"network has no segments of type {road_type!r}")
+    else:
+        walk_graph = graph
+
+    node_list = list(walk_graph.nodes)
+    for _ in range(max_tries):
+        start = node_list[int(gen.integers(len(node_list)))]
+        path = [start]
+        visited_edges: set[frozenset] = set()
+        length = 0.0
+        current = start
+        while length < min_length_m:
+            neighbours = [
+                n
+                for n in walk_graph.neighbors(current)
+                if frozenset((current, n)) not in visited_edges
+            ]
+            if not neighbours:
+                break
+            nxt = neighbours[int(gen.integers(len(neighbours)))]
+            visited_edges.add(frozenset((current, nxt)))
+            length += network.edge_segment(current, nxt).length
+            path.append(nxt)
+            current = nxt
+        if length >= min_length_m:
+            return build_route(network, path)
+    raise RuntimeError(
+        f"could not find a route of >= {min_length_m} m in {max_tries} tries"
+    )

@@ -1,0 +1,145 @@
+"""Road taxonomy of the RUPS evaluation.
+
+The paper's 97 km experiment route "involves roads of three general types,
+i.e., open (e.g., 8-lane urban major roads and elevated roads, 2-lane
+suburban roads), semi-open (e.g., 4-lane urban surface roads with
+surrounding buildings and trees) and close (e.g., under elevated roads)"
+(§VI-A).  The evaluation figures then slice by concrete settings: 2-lane
+suburb, 4-lane urban, 8-lane urban, and under elevated roads.  We model the
+five concrete types below; each carries the physical parameters the other
+substrates need.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from types import MappingProxyType
+
+__all__ = ["OpennessClass", "RoadType", "RoadProfile", "ROAD_PROFILES"]
+
+#: Standard urban lane width [m].
+LANE_WIDTH_M: float = 3.5
+
+
+class OpennessClass(enum.Enum):
+    """The paper's three general sky-visibility classes."""
+
+    OPEN = "open"
+    SEMI_OPEN = "semi-open"
+    CLOSE = "close"
+
+
+class RoadType(enum.Enum):
+    """Concrete road settings used in the paper's evaluation figures."""
+
+    SUBURB_2LANE = "2-lane suburb"
+    URBAN_4LANE = "4-lane urban"
+    URBAN_8LANE = "8-lane urban"
+    ELEVATED = "elevated"
+    UNDER_ELEVATED = "under elevated"
+
+
+@dataclass(frozen=True)
+class RoadProfile:
+    """Static physical description of a road type.
+
+    Attributes
+    ----------
+    road_type:
+        The concrete type this profile describes.
+    openness:
+        The paper's general class (controls GPS quality and GSM clutter).
+    lanes:
+        Number of lanes in the travel direction.
+    speed_limit_ms:
+        Speed limit [m/s]; drives the kinematics substrate.
+    building_height_m:
+        Characteristic flanking-building height [m]; taller means deeper
+        urban canyon (more shadowing variance, worse GPS).
+    canyon_width_m:
+        Street-canyon width (building face to building face) [m].
+    traffic_density:
+        Relative density of surrounding traffic in [0, 1]; scales the rate
+        of passing-vehicle blockage events in the fading model.
+    """
+
+    road_type: RoadType
+    openness: OpennessClass
+    lanes: int
+    speed_limit_ms: float
+    building_height_m: float
+    canyon_width_m: float
+    traffic_density: float
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ValueError(f"lanes must be >= 1, got {self.lanes}")
+        if self.speed_limit_ms <= 0:
+            raise ValueError("speed_limit_ms must be positive")
+        if not 0.0 <= self.traffic_density <= 1.0:
+            raise ValueError("traffic_density must lie in [0, 1]")
+
+    @property
+    def width_m(self) -> float:
+        """Total paved width of the travel direction [m]."""
+        return self.lanes * LANE_WIDTH_M
+
+
+#: Canonical profiles for each concrete road type.  Speed limits follow
+#: typical Chinese urban practice (suburb 60 km/h, urban surface 50-60 km/h,
+#: elevated 80 km/h); canyon geometry widens with road class.
+ROAD_PROFILES: MappingProxyType = MappingProxyType(
+    {
+        RoadType.SUBURB_2LANE: RoadProfile(
+            road_type=RoadType.SUBURB_2LANE,
+            openness=OpennessClass.OPEN,
+            lanes=2,
+            speed_limit_ms=60 / 3.6,
+            building_height_m=6.0,
+            canyon_width_m=40.0,
+            traffic_density=0.15,
+        ),
+        RoadType.URBAN_4LANE: RoadProfile(
+            road_type=RoadType.URBAN_4LANE,
+            openness=OpennessClass.SEMI_OPEN,
+            lanes=4,
+            speed_limit_ms=50 / 3.6,
+            building_height_m=25.0,
+            canyon_width_m=30.0,
+            traffic_density=0.45,
+        ),
+        RoadType.URBAN_8LANE: RoadProfile(
+            road_type=RoadType.URBAN_8LANE,
+            openness=OpennessClass.OPEN,
+            lanes=8,
+            speed_limit_ms=60 / 3.6,
+            building_height_m=40.0,
+            canyon_width_m=70.0,
+            traffic_density=0.70,
+        ),
+        RoadType.ELEVATED: RoadProfile(
+            road_type=RoadType.ELEVATED,
+            openness=OpennessClass.OPEN,
+            lanes=4,
+            speed_limit_ms=80 / 3.6,
+            building_height_m=0.0,
+            canyon_width_m=120.0,
+            traffic_density=0.50,
+        ),
+        RoadType.UNDER_ELEVATED: RoadProfile(
+            road_type=RoadType.UNDER_ELEVATED,
+            openness=OpennessClass.CLOSE,
+            lanes=4,
+            speed_limit_ms=50 / 3.6,
+            building_height_m=30.0,
+            canyon_width_m=25.0,
+            traffic_density=0.60,
+        ),
+    }
+)
+
+
+def profile_for(road_type: RoadType) -> RoadProfile:
+    """Return the canonical :class:`RoadProfile` of a road type."""
+    return ROAD_PROFILES[road_type]

@@ -1,0 +1,51 @@
+"""On-board sensing substrate.
+
+Simulates every sensor the paper's prototype uses and the estimation
+blocks RUPS builds on them:
+
+* :mod:`repro.sensors.imu` — smartphone-grade accelerometer, gyroscope and
+  magnetometer with noise, bias and an arbitrary mounting rotation.
+* :mod:`repro.sensors.reorientation` — the coordinate-reorientation step
+  of §IV-B (rotation matrix ``R = [x; y; z]`` per Han et al., with the
+  ``z = x × y`` recalibration).
+* :mod:`repro.sensors.heading` — magnetic heading from reoriented
+  magnetometer vectors.
+* :mod:`repro.sensors.speed` — OBD-II speed (quantized, laggy) and the
+  Hall-effect wheel-revolution odometer.
+* :mod:`repro.sensors.gps` — per-environment GPS error model (the
+  baseline's input).
+* :mod:`repro.sensors.deadreckoning` — heading + odometry fused into the
+  per-metre geographical trajectory ``(theta_i, t_i)`` of §IV-B.
+"""
+
+from repro.sensors.deadreckoning import DeadReckoner, EstimatedTrack
+from repro.sensors.gps import GpsFix, GpsModel, GpsTrack
+from repro.sensors.heading import heading_from_magnetometer
+from repro.sensors.imu import ImuConfig, ImuStream, MountedImu, simulate_imu
+from repro.sensors.reorientation import estimate_rotation_matrix
+from repro.sensors.speed import (
+    ObdSpeedSensor,
+    ObdStream,
+    Pedometer,
+    WheelEncoder,
+    WheelTickStream,
+)
+
+__all__ = [
+    "DeadReckoner",
+    "EstimatedTrack",
+    "GpsFix",
+    "GpsModel",
+    "GpsTrack",
+    "heading_from_magnetometer",
+    "ImuConfig",
+    "ImuStream",
+    "MountedImu",
+    "simulate_imu",
+    "estimate_rotation_matrix",
+    "ObdSpeedSensor",
+    "ObdStream",
+    "Pedometer",
+    "WheelEncoder",
+    "WheelTickStream",
+]

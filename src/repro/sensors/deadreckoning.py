@@ -1,0 +1,174 @@
+"""Dead reckoning: heading + odometry to a geographical trajectory.
+
+§IV-B's "Inferring heading direction and moving speed": heading comes
+from the reoriented magnetometer, travelled distance from either the
+wheel encoder (preferred — "to acquire accurate travel distance
+information over time, we mount a magnet on the rear-left wheel", §VI-A)
+or integrated OBD speed.  The product is the per-metre
+:class:`~repro.core.trajectory.GeoTrajectory` RUPS binds RSSI onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trajectory import GeoTrajectory
+from repro.sensors.heading import smooth_heading
+from repro.sensors.speed import ObdStream, WheelTickStream
+
+__all__ = ["EstimatedTrack", "DeadReckoner"]
+
+
+@dataclass(frozen=True)
+class EstimatedTrack:
+    """Dense estimated motion: distance and heading over time.
+
+    Attributes
+    ----------
+    times_s:
+        Dense, strictly increasing grid [s].
+    distance_m:
+        Estimated cumulative travelled distance at each grid time [m];
+        non-decreasing (odometers never count backwards).
+    heading_rad:
+        Estimated heading at each grid time.
+    """
+
+    times_s: np.ndarray
+    distance_m: np.ndarray
+    heading_rad: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.times_s, dtype=float)
+        d = np.asarray(self.distance_m, dtype=float)
+        h = np.asarray(self.heading_rad, dtype=float)
+        if not (t.shape == d.shape == h.shape) or t.ndim != 1:
+            raise ValueError("all tracks must be equal-length 1-D arrays")
+        if t.size < 2:
+            raise ValueError("need at least two samples")
+        if np.any(np.diff(t) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(np.diff(d) < -1e-9):
+            raise ValueError("estimated distance must be non-decreasing")
+
+    def distance_at(self, times: np.ndarray | float) -> np.ndarray | float:
+        """Estimated odometer reading at arbitrary times."""
+        return np.interp(np.asarray(times, dtype=float), self.times_s, self.distance_m)
+
+    def heading_at(self, times: np.ndarray | float) -> np.ndarray | float:
+        """Estimated heading at arbitrary times (nearest-sample interp of
+        unit vectors to dodge the angle seam)."""
+        t = np.asarray(times, dtype=float)
+        sin_i = np.interp(t, self.times_s, np.sin(self.heading_rad))
+        cos_i = np.interp(t, self.times_s, np.cos(self.heading_rad))
+        return np.arctan2(sin_i, cos_i)
+
+    def time_at_distance(self, distance: np.ndarray | float) -> np.ndarray | float:
+        """First grid time at which the odometer reached ``distance``."""
+        d_query = np.asarray(distance, dtype=float)
+        keep = np.concatenate(([True], np.diff(self.distance_m) > 1e-9))
+        return np.interp(d_query, self.distance_m[keep], self.times_s[keep])
+
+    def geo_trajectory(
+        self,
+        at_time_s: float | None = None,
+        length_m: float | None = None,
+        spacing_m: float = 1.0,
+    ) -> GeoTrajectory:
+        """Per-metre geographical trajectory ending at ``at_time_s``.
+
+        Parameters
+        ----------
+        at_time_s:
+            Query instant (default: end of the track).  The most recent
+            mark is the last whole multiple of ``spacing_m`` the odometer
+            passed by then.
+        length_m:
+            Context length (default: everything available).
+        """
+        if spacing_m <= 0:
+            raise ValueError("spacing_m must be positive")
+        t_now = self.times_s[-1] if at_time_s is None else float(at_time_s)
+        d_now = float(self.distance_at(t_now))
+        last_mark = np.floor(d_now / spacing_m) * spacing_m
+        d_first = self.distance_m[0]
+        if length_m is None:
+            first_mark = np.ceil(d_first / spacing_m) * spacing_m
+        else:
+            first_mark = max(
+                last_mark - length_m, np.ceil(d_first / spacing_m) * spacing_m
+            )
+        n_marks = int(round((last_mark - first_mark) / spacing_m)) + 1
+        if n_marks < 2:
+            raise ValueError(
+                "not enough travelled distance for a trajectory "
+                f"(have {last_mark - first_mark:.1f} m)"
+            )
+        marks = first_mark + spacing_m * np.arange(n_marks)
+        t_marks = np.asarray(self.time_at_distance(marks), dtype=float)
+        t_marks = np.maximum.accumulate(t_marks)
+        headings = np.asarray(self.heading_at(t_marks), dtype=float)
+        return GeoTrajectory(
+            timestamps_s=t_marks,
+            headings_rad=headings,
+            spacing_m=spacing_m,
+            start_distance_m=float(marks[0]),
+        )
+
+
+class DeadReckoner:
+    """Fuses a heading stream with an odometry source."""
+
+    def __init__(self, heading_smoothing_s: float = 1.0, grid_dt_s: float = 0.1) -> None:
+        if heading_smoothing_s < 0:
+            raise ValueError("heading_smoothing_s must be non-negative")
+        if grid_dt_s <= 0:
+            raise ValueError("grid_dt_s must be positive")
+        self.heading_smoothing_s = heading_smoothing_s
+        self.grid_dt_s = grid_dt_s
+
+    def estimate(
+        self,
+        heading_times_s: np.ndarray,
+        heading_rad: np.ndarray,
+        odometry: WheelTickStream | ObdStream,
+    ) -> EstimatedTrack:
+        """Build the dense estimated track.
+
+        Parameters
+        ----------
+        heading_times_s, heading_rad:
+            Heading samples (from
+            :func:`~repro.sensors.heading.heading_from_magnetometer`).
+        odometry:
+            Wheel encoder ticks (preferred) or OBD speed reports
+            (integrated).
+        """
+        ht = np.asarray(heading_times_s, dtype=float)
+        hr = np.asarray(heading_rad, dtype=float)
+        if ht.size < 2:
+            raise ValueError("need at least two heading samples")
+        if self.heading_smoothing_s > 0:
+            hr = smooth_heading(ht, hr, self.heading_smoothing_s)
+
+        if isinstance(odometry, WheelTickStream):
+            t0 = ht[0]
+            t1 = ht[-1]
+            grid = np.arange(t0, t1 + self.grid_dt_s / 2, self.grid_dt_s)
+            dist = np.asarray(odometry.distance_at(grid), dtype=float)
+        elif isinstance(odometry, ObdStream):
+            obd_t, obd_d = odometry.integrate_distance()
+            grid = np.arange(obd_t[0], obd_t[-1] + self.grid_dt_s / 2, self.grid_dt_s)
+            dist = np.interp(grid, obd_t, obd_d)
+        else:
+            raise TypeError(
+                "odometry must be a WheelTickStream or ObdStream, "
+                f"got {type(odometry)!r}"
+            )
+        dist = np.maximum.accumulate(dist)
+        sin_i = np.interp(grid, ht, np.sin(hr))
+        cos_i = np.interp(grid, ht, np.cos(hr))
+        heading = np.arctan2(sin_i, cos_i)
+        return EstimatedTrack(times_s=grid, distance_m=dist, heading_rad=heading)

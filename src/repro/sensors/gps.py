@@ -1,0 +1,217 @@
+"""GPS receiver error model.
+
+The baseline RUPS is compared against.  Urban GPS error is dominated by
+slowly-varying correlated components (multipath reflections off the
+canyon, atmospheric/ephemeris residuals) plus white receiver noise; in
+deep canyons and under elevated decks, availability itself suffers.  We
+model each receiver's horizontal error as an independent first-order
+Gauss-Markov process per axis plus white noise, with the scale, bias
+correlation time and outage probability taken from the road-type
+environment profile (see :mod:`repro.roads.environment` for calibration
+provenance — anchored to the paper's own per-environment GPS numbers).
+
+Crucially, two receivers metres apart do *not* share their multipath bias
+in an urban canyon (different reflection geometry), which is why GPS
+relative distances are so poor there — the effect the paper exploits.
+A configurable ``common_mode_fraction`` lets ablations explore partially
+shared biases (e.g. open-sky ephemeris errors are common-mode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gsm.shadowing import ar1_gaussian_process
+from repro.roads.environment import ENVIRONMENT_PROFILES, EnvironmentProfile
+from repro.roads.types import RoadType
+from repro.util.rng import as_generator
+
+__all__ = ["GpsFix", "GpsModel", "GpsTrack"]
+
+
+@dataclass(frozen=True)
+class GpsFix:
+    """One GPS report (convenience record)."""
+
+    time_s: float
+    position: np.ndarray
+    valid: bool
+
+
+@dataclass(frozen=True)
+class GpsTrack:
+    """Sampled GPS output of one receiver.
+
+    Attributes
+    ----------
+    times_s:
+        Fix instants [s].
+    positions:
+        ``(n, 2)`` reported positions [m] (NaN where invalid).
+    valid:
+        ``(n,)`` availability mask.
+    """
+
+    times_s: np.ndarray
+    positions: np.ndarray
+    valid: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.times_s.size
+        if self.positions.shape != (n, 2) or self.valid.shape != (n,):
+            raise ValueError("positions must be (n, 2) and valid (n,)")
+
+    def __len__(self) -> int:
+        return int(self.times_s.size)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of valid fixes."""
+        if self.times_s.size == 0:
+            return 0.0
+        return float(np.count_nonzero(self.valid)) / self.times_s.size
+
+    def position_at(self, time_s: float) -> np.ndarray | None:
+        """Most recent valid fix at or before ``time_s`` (None if none)."""
+        mask = (self.times_s <= time_s) & self.valid
+        idx = np.nonzero(mask)[0]
+        if idx.size == 0:
+            return None
+        return self.positions[idx[-1]].copy()
+
+
+@dataclass(frozen=True)
+class GpsModel:
+    """Per-environment GPS receiver simulator.
+
+    Parameters
+    ----------
+    environment:
+        Environment profile (or pass ``road_type`` to :meth:`for_road`).
+    rate_hz:
+        Fix rate (1 Hz is the universal consumer default).
+    white_sigma_m:
+        White measurement noise std per axis [m].
+    common_mode_fraction:
+        Fraction of the bias *variance* shared between receivers that are
+        given the same ``common_key`` (0 = fully independent biases).
+    outage_mean_duration_s:
+        Mean length of an unavailability episode.
+    """
+
+    environment: EnvironmentProfile
+    rate_hz: float = 1.0
+    white_sigma_m: float = 1.5
+    common_mode_fraction: float = 0.2
+    outage_mean_duration_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if not 0.0 <= self.common_mode_fraction <= 1.0:
+            raise ValueError("common_mode_fraction must lie in [0, 1]")
+
+    @classmethod
+    def for_road(cls, road_type: RoadType, **kwargs) -> "GpsModel":
+        """Build the model for a concrete road type."""
+        return cls(environment=ENVIRONMENT_PROFILES[road_type], **kwargs)
+
+    def _bias(
+        self, t: np.ndarray, sigma: float, rng: np.random.Generator
+    ) -> np.ndarray:
+        """(n, 2) Gauss-Markov bias track."""
+        if t.size == 0:
+            return np.zeros((0, 2))
+        dt = 1.0 / self.rate_hz
+        return np.stack(
+            [
+                np.atleast_2d(
+                    ar1_gaussian_process(
+                        n=t.size,
+                        step=dt,
+                        decorrelation=self.environment.gps_bias_tau_s,
+                        sigma=sigma,
+                        rng=rng,
+                        n_series=1,
+                    )
+                )[0]
+                for _ in range(2)
+            ],
+            axis=1,
+        )
+
+    def sample(
+        self,
+        times_true: np.ndarray,
+        positions_true: np.ndarray,
+        rng: np.random.Generator | int | None = 0,
+        common_bias: np.ndarray | None = None,
+    ) -> GpsTrack:
+        """Simulate the receiver over a drive.
+
+        Parameters
+        ----------
+        times_true, positions_true:
+            Dense ground-truth track (times [s], ``(n, 2)`` positions [m])
+            to interpolate fixes from.
+        common_bias:
+            Optional ``(n_fixes, 2)`` shared bias track (from
+            :meth:`common_bias_track`) added at ``common_mode_fraction``
+            weight; both receivers of a pair should get the same array.
+        """
+        gen = as_generator(rng)
+        t_true = np.asarray(times_true, dtype=float)
+        p_true = np.asarray(positions_true, dtype=float)
+        if p_true.shape != (t_true.size, 2):
+            raise ValueError("positions_true must be (n, 2)")
+        dt = 1.0 / self.rate_hz
+        t_fix = np.arange(t_true[0], t_true[-1], dt)
+        pos = np.stack(
+            [np.interp(t_fix, t_true, p_true[:, 0]), np.interp(t_fix, t_true, p_true[:, 1])],
+            axis=1,
+        )
+
+        sigma = self.environment.gps_sigma_m
+        own_frac = np.sqrt(1.0 - self.common_mode_fraction)
+        bias = own_frac * self._bias(t_fix, sigma, gen)
+        if common_bias is not None:
+            cb = np.asarray(common_bias, dtype=float)
+            if cb.shape != bias.shape:
+                raise ValueError(
+                    f"common_bias must have shape {bias.shape}, got {cb.shape}"
+                )
+            bias = bias + np.sqrt(self.common_mode_fraction) * cb
+        noise = self.white_sigma_m * gen.standard_normal(bias.shape)
+        reported = pos + bias + noise
+
+        valid = self._availability_mask(t_fix, gen)
+        reported[~valid] = np.nan
+        return GpsTrack(times_s=t_fix, positions=reported, valid=valid)
+
+    def common_bias_track(
+        self, t0: float, t1: float, rng: np.random.Generator | int | None = 0
+    ) -> np.ndarray:
+        """A shared bias track two receivers can both be fed."""
+        gen = as_generator(rng)
+        t_fix = np.arange(t0, t1, 1.0 / self.rate_hz)
+        return self._bias(t_fix, self.environment.gps_sigma_m, gen)
+
+    def _availability_mask(
+        self, t_fix: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Correlated outage episodes hitting the target outage fraction."""
+        p_out = self.environment.gps_outage_prob
+        if p_out <= 0 or t_fix.size == 0:
+            return np.ones(t_fix.size, dtype=bool)
+        duration = self.outage_mean_duration_s
+        span = t_fix[-1] - t_fix[0] if t_fix.size > 1 else duration
+        rate = p_out * span / duration  # expected number of episodes
+        n_events = int(rng.poisson(max(rate, 0.0)))
+        valid = np.ones(t_fix.size, dtype=bool)
+        starts = t_fix[0] + rng.random(n_events) * span
+        lengths = rng.exponential(duration, size=n_events)
+        for start, length in zip(starts, lengths):
+            valid &= ~((t_fix >= start) & (t_fix < start + length))
+        return valid

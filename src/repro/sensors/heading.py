@@ -1,0 +1,72 @@
+"""Magnetic heading from reoriented magnetometer samples.
+
+§IV-B: "The heading direction can be derived by the angle between the
+y-axis of the vehicle and the sum of magnetization vectors along x- and
+y-axis."  With the vehicle-frame field ``[B_h sin(psi), B_h cos(psi),
+-B_v]`` that angle is simply ``atan2(m_x, m_y)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sensors.imu import ImuStream
+
+__all__ = ["heading_from_magnetometer", "smooth_heading"]
+
+
+def heading_from_magnetometer(
+    stream: ImuStream,
+    rotation: np.ndarray,
+    declination_rad: float = 0.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-sample heading [rad, clockwise from north] and its timestamps.
+
+    Parameters
+    ----------
+    stream:
+        Raw IMU samples (sensor frame).
+    rotation:
+        Vehicle-from-sensor rotation from
+        :func:`~repro.sensors.reorientation.estimate_rotation_matrix`.
+    declination_rad:
+        Local magnetic declination to add (0 for magnetic headings; RUPS
+        only compares headings between nearby vehicles, so a shared
+        declination cancels).
+
+    Returns
+    -------
+    (times_s, psi_rad)
+        Heading per IMU sample, continuous (unwrapped then rewrapped to
+        ``(-pi, pi]``).
+    """
+    rotation = np.asarray(rotation, dtype=float)
+    if rotation.shape != (3, 3):
+        raise ValueError("rotation must be 3x3")
+    mag_vehicle = stream.mag @ rotation.T
+    psi = np.arctan2(mag_vehicle[:, 0], mag_vehicle[:, 1]) + declination_rad
+    psi = np.mod(psi + np.pi, 2 * np.pi) - np.pi
+    return stream.times_s.copy(), psi
+
+
+def smooth_heading(
+    times_s: np.ndarray, psi_rad: np.ndarray, window_s: float = 1.0
+) -> np.ndarray:
+    """Moving-average smoothing of a heading series (handles wrap-around).
+
+    Averaging unit vectors rather than angles avoids the +-pi seam.
+    """
+    if window_s <= 0:
+        raise ValueError("window_s must be positive")
+    t = np.asarray(times_s, dtype=float)
+    psi = np.asarray(psi_rad, dtype=float)
+    if t.size != psi.size:
+        raise ValueError("times and headings must align")
+    if t.size < 2:
+        return psi.copy()
+    dt = float(np.median(np.diff(t)))
+    half = max(int(round(window_s / (2 * dt))), 1)
+    kernel = np.ones(2 * half + 1) / (2 * half + 1)
+    sin_s = np.convolve(np.sin(psi), kernel, mode="same")
+    cos_s = np.convolve(np.cos(psi), kernel, mode="same")
+    return np.arctan2(sin_s, cos_s)

@@ -1,0 +1,133 @@
+"""Coordinate reorientation: recover the phone-to-vehicle rotation.
+
+§IV-B: "RUPS needs first to re-orient the coordinate system of motion
+sensors.  We adopt the scheme proposed by Han et al., where a rotation
+matrix R = [x; y; z] ... is used to align the readings of sensors to the
+coordinate of the vehicle.  The three vectors can be derived from the
+accelerometer and gyroscope readings.  In addition, the z vector can be
+recalibrated by z = x × y to further eliminate the effect when the
+vehicle is running on a slope."
+
+Estimation recipe (standard for this family of schemes):
+
+1. **z axis** (vehicle up, in sensor frame): gravity dominates the mean
+   accelerometer vector; average over low-dynamics samples.
+2. **y axis** (forward): longitudinal acceleration lives in the plane
+   perpendicular to z.  Project accelerometer samples onto that plane and
+   take the dominant direction over high-|dv/dt| episodes; the *sign* is
+   fixed by requiring speed-up episodes to project positively.
+3. **x = y × z**, then recalibrate **z = x × y** (paper's slope fix).
+
+The resulting matrix rows are the vehicle axes expressed in the sensor
+frame, so ``v_vehicle = R @ v_sensor``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sensors.imu import ImuStream
+
+__all__ = ["estimate_rotation_matrix", "rotation_error_deg"]
+
+
+def _normalize(v: np.ndarray) -> np.ndarray:
+    norm = float(np.linalg.norm(v))
+    if norm < 1e-12:
+        raise ValueError("degenerate axis estimate (zero vector)")
+    return v / norm
+
+
+def estimate_rotation_matrix(
+    stream: ImuStream,
+    speed_times_s: np.ndarray | None = None,
+    speed_ms: np.ndarray | None = None,
+    accel_threshold: float = 0.4,
+) -> np.ndarray:
+    """Estimate the vehicle-from-sensor rotation matrix ``R = [x; y; z]``.
+
+    Parameters
+    ----------
+    stream:
+        Raw IMU samples in the sensor frame.
+    speed_times_s, speed_ms:
+        Optional reference speed samples (OBD).  If given, acceleration
+        episodes are detected from the speed derivative and used both to
+        select informative samples and to resolve the forward sign.
+        Without them, the strongest-acceleration samples are used and the
+        sign is resolved by assuming the first sustained acceleration
+        episode is a speed-up (true at the start of any drive).
+    accel_threshold:
+        |dv/dt| [m/s^2] above which a sample counts as an acceleration
+        episode.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(3, 3)`` rotation; rows are vehicle x, y, z axes in sensor
+        coordinates, so ``v_vehicle = R @ v_sensor``.
+    """
+    accel = stream.accel
+    if accel.shape[0] < 10:
+        raise ValueError("need at least 10 IMU samples to reorient")
+
+    # -- z: mean specific force is dominated by gravity (+z in vehicle).
+    z_axis = _normalize(np.mean(accel, axis=0))
+
+    # -- candidate longitudinal signal: accel projected off the z axis.
+    horiz = accel - np.outer(accel @ z_axis, z_axis)
+
+    if speed_times_s is not None and speed_ms is not None:
+        dv = np.gradient(
+            np.asarray(speed_ms, dtype=float), np.asarray(speed_times_s, dtype=float)
+        )
+        dv_at_imu = np.interp(stream.times_s, np.asarray(speed_times_s), dv)
+    else:
+        # Proxy for |dv/dt|: magnitude of the horizontal specific force,
+        # sign-resolved later.
+        dv_at_imu = np.linalg.norm(horiz, axis=1)
+        # Centre so the threshold keeps only genuinely dynamic samples.
+        dv_at_imu = dv_at_imu - np.median(dv_at_imu)
+
+    active = np.abs(dv_at_imu) > accel_threshold
+    if np.count_nonzero(active) < 5:
+        # Fall back to the most dynamic decile of the drive.
+        cutoff = np.quantile(np.abs(dv_at_imu), 0.9)
+        active = np.abs(dv_at_imu) >= cutoff
+    h = horiz[active]
+
+    # Dominant horizontal direction: first right singular vector.
+    _, _, vt = np.linalg.svd(h, full_matrices=False)
+    y_axis = _normalize(vt[0])
+    # Make sure y is exactly orthogonal to z.
+    y_axis = _normalize(y_axis - (y_axis @ z_axis) * z_axis)
+
+    # Sign: during speed-ups, the specific force projects positively on
+    # the forward axis.
+    proj = h @ y_axis
+    if speed_times_s is not None and speed_ms is not None:
+        sign = np.sign(np.sum(proj * dv_at_imu[active]))
+    else:
+        # First sustained dynamic episode is assumed a speed-up.
+        k = min(20, proj.size)
+        sign = np.sign(np.sum(proj[:k]))
+    if sign < 0:
+        y_axis = -y_axis
+
+    x_axis = _normalize(np.cross(y_axis, z_axis))
+    # Paper's recalibration: z = x cross y (slope compensation).
+    z_axis = _normalize(np.cross(x_axis, y_axis))
+    return np.stack([x_axis, y_axis, z_axis])
+
+
+def rotation_error_deg(estimated: np.ndarray, true_rotation: np.ndarray) -> float:
+    """Angular distance [deg] between an estimate and the true mounting.
+
+    ``true_rotation`` maps vehicle to sensor (as stored by
+    :class:`~repro.sensors.imu.MountedImu`); the estimate maps sensor to
+    vehicle, so a perfect estimate equals ``true_rotation.T``... up to the
+    residual this function measures (geodesic distance on SO(3)).
+    """
+    r_err = np.asarray(estimated) @ np.asarray(true_rotation)
+    cos_angle = (np.trace(r_err) - 1.0) / 2.0
+    return float(np.degrees(np.arccos(np.clip(cos_angle, -1.0, 1.0))))

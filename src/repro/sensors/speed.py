@@ -1,0 +1,251 @@
+"""Speed and travelled-distance sensors.
+
+Two of the paper's instruments:
+
+* **OBD-II speed** (§IV-B option one): the ECU's speed report — quantized
+  to 1 km/h, delivered with a small latency at a modest rate.
+* **Hall wheel encoder** (§VI-A): "we mount a magnet on the rear-left
+  wheel and a Hall sensor on the car body to detect the revolution of the
+  wheel" — one tick per revolution, giving travelled distance at wheel-
+  circumference resolution.  Its only systematic error is circumference
+  miscalibration (tyre wear/pressure), modelled as a scale factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.util.rng import as_generator
+
+if TYPE_CHECKING:  # avoid a sensors <-> vehicles import cycle at runtime
+    from repro.vehicles.kinematics import MotionProfile
+
+__all__ = [
+    "ObdSpeedSensor",
+    "ObdStream",
+    "Pedometer",
+    "WheelEncoder",
+    "WheelTickStream",
+]
+
+
+@dataclass(frozen=True)
+class ObdStream:
+    """Sampled OBD speed reports."""
+
+    times_s: np.ndarray
+    speed_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.times_s.shape != self.speed_ms.shape:
+            raise ValueError("times and speeds must align")
+
+    def speed_at(self, times: np.ndarray | float) -> np.ndarray | float:
+        """Zero-order-hold interpolation of the reports."""
+        t = np.asarray(times, dtype=float)
+        idx = np.clip(
+            np.searchsorted(self.times_s, t, side="right") - 1, 0, self.times_s.size - 1
+        )
+        return self.speed_ms[idx]
+
+    def integrate_distance(self) -> tuple[np.ndarray, np.ndarray]:
+        """Trapezoidal distance estimate from the speed reports."""
+        d = np.concatenate(
+            (
+                [0.0],
+                np.cumsum(
+                    0.5 * (self.speed_ms[1:] + self.speed_ms[:-1]) * np.diff(self.times_s)
+                ),
+            )
+        )
+        return self.times_s.copy(), d
+
+
+@dataclass(frozen=True)
+class ObdSpeedSensor:
+    """OBD-II speed sensor model.
+
+    The paper quotes an effective OBD sampling rate of ~0.3 Hz (§V-A); we
+    default to 1 Hz, the common value for CAN speed polling, and expose
+    the rate so experiments can match the paper's figure exactly.
+
+    Attributes
+    ----------
+    scale_error_range:
+        Per-vehicle speedometer scale bias, drawn uniformly from this
+        range at :meth:`sample` time.  Vehicle speed sensors over-read by
+        design (UNECE R39 requires indicated >= true), typically 1-4%
+        depending on tyre state — the dominant systematic error of
+        OBD-based dead reckoning, and the reason RUPS distances resolved
+        from OBD odometry carry metre-level warps (the paper's speed
+        source, §IV-B).
+    """
+
+    rate_hz: float = 1.0
+    quantization_ms: float = 1.0 / 3.6  # 1 km/h
+    latency_s: float = 0.25
+    scale_error_range: tuple[float, float] = (0.003, 0.022)
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if self.quantization_ms < 0 or self.latency_s < 0:
+            raise ValueError("quantization and latency must be non-negative")
+        lo, hi = self.scale_error_range
+        if lo > hi:
+            raise ValueError("scale_error_range must be (lo, hi) with lo <= hi")
+
+    def sample(
+        self,
+        motion: MotionProfile,
+        rng: np.random.Generator | int | None = 0,
+    ) -> ObdStream:
+        """Produce the OBD report stream for a drive."""
+        gen = as_generator(rng)
+        dt = 1.0 / self.rate_hz
+        lo, hi = self.scale_error_range
+        scale = 1.0 + lo + (hi - lo) * gen.random()
+        t_report = np.arange(motion.t0 + self.latency_s, motion.t1, dt)
+        v = scale * np.asarray(
+            motion.speed_at(t_report - self.latency_s), dtype=float
+        )
+        if self.quantization_ms > 0:
+            v = np.round(v / self.quantization_ms) * self.quantization_ms
+        return ObdStream(times_s=t_report, speed_ms=np.maximum(v, 0.0))
+
+
+@dataclass(frozen=True)
+class WheelTickStream:
+    """Timestamps of successive wheel revolutions plus the *assumed*
+    circumference used to convert ticks to distance.
+    """
+
+    tick_times_s: np.ndarray
+    assumed_circumference_m: float
+
+    def distance_at(self, times: np.ndarray | float) -> np.ndarray | float:
+        """Estimated travelled distance [m] at arbitrary times.
+
+        Piecewise linear between ticks (equivalent to counting ticks and
+        interpolating phase), which is how production odometry works.
+        """
+        t = np.asarray(times, dtype=float)
+        if self.tick_times_s.size == 0:
+            return np.zeros_like(t)
+        tick_count = np.interp(
+            t,
+            self.tick_times_s,
+            np.arange(1, self.tick_times_s.size + 1, dtype=float),
+            left=0.0,
+        )
+        return tick_count * self.assumed_circumference_m
+
+    @property
+    def total_distance_m(self) -> float:
+        """Distance implied by all ticks."""
+        return float(self.tick_times_s.size * self.assumed_circumference_m)
+
+
+@dataclass(frozen=True)
+class WheelEncoder:
+    """Hall-sensor wheel-revolution odometer.
+
+    Attributes
+    ----------
+    circumference_m:
+        True rolling circumference [m].
+    calibration_error:
+        Relative error of the circumference value the *software* assumes
+        (e.g. 0.003 = 0.3% distance scale error, typical for tyre-based
+        odometry).
+    jitter_s:
+        Timestamp jitter of tick detection [s].
+    """
+
+    circumference_m: float = 1.95
+    calibration_error: float = 0.003
+    jitter_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.circumference_m <= 0:
+            raise ValueError("circumference_m must be positive")
+        if self.jitter_s < 0:
+            raise ValueError("jitter_s must be non-negative")
+
+    def sample(
+        self,
+        motion: MotionProfile,
+        rng: np.random.Generator | int | None = 0,
+    ) -> WheelTickStream:
+        """Generate tick timestamps for a drive.
+
+        A tick fires every time the travelled distance crosses a multiple
+        of the true circumference.
+        """
+        gen = as_generator(rng)
+        total = motion.s_m[-1] - motion.s_m[0]
+        n_ticks = int(np.floor(total / self.circumference_m))
+        tick_dist = motion.s_m[0] + self.circumference_m * np.arange(1, n_ticks + 1)
+        tick_t = np.asarray(motion.time_at_distance(tick_dist), dtype=float)
+        if self.jitter_s > 0:
+            tick_t = tick_t + self.jitter_s * gen.standard_normal(tick_t.shape)
+            tick_t = np.maximum.accumulate(tick_t)  # keep monotone
+        # The software multiplies tick counts by a slightly wrong constant.
+        sign = 1.0 if gen.random() < 0.5 else -1.0
+        assumed = self.circumference_m * (1.0 + sign * self.calibration_error)
+        return WheelTickStream(tick_times_s=tick_t, assumed_circumference_m=assumed)
+
+
+@dataclass(frozen=True)
+class Pedometer:
+    """Step-counting odometer for the §VII pedestrian/bicyclist extension.
+
+    "Another interesting direction is to extend RUPS to users of mobile
+    devices such as pedestrians and bicyclists."  A phone's step counter
+    is the pedestrian analogue of the wheel encoder: one tick per step,
+    converted to distance with an assumed stride length.  Stride-length
+    calibration error is the dominant systematic (5-10% is typical for
+    uncalibrated step counters, far worse than wheel odometry) and step
+    detection occasionally misses or double-counts.
+
+    Emits a :class:`WheelTickStream`, so the dead reckoner consumes it
+    unchanged.
+    """
+
+    stride_m: float = 0.72
+    calibration_error: float = 0.06
+    miss_prob: float = 0.02
+    double_count_prob: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.stride_m <= 0:
+            raise ValueError("stride_m must be positive")
+        if self.calibration_error < 0:
+            raise ValueError("calibration_error must be non-negative")
+        for name in ("miss_prob", "double_count_prob"):
+            if not 0.0 <= getattr(self, name) < 1.0:
+                raise ValueError(f"{name} must lie in [0, 1)")
+
+    def sample(
+        self,
+        motion: MotionProfile,
+        rng: np.random.Generator | int | None = 0,
+    ) -> WheelTickStream:
+        """Generate step-tick timestamps for a walk."""
+        gen = as_generator(rng)
+        total = motion.s_m[-1] - motion.s_m[0]
+        n_steps = int(np.floor(total / self.stride_m))
+        step_dist = motion.s_m[0] + self.stride_m * np.arange(1, n_steps + 1)
+        step_t = np.asarray(motion.time_at_distance(step_dist), dtype=float)
+        # Detection errors: drop misses, duplicate double counts.
+        keep = gen.random(step_t.size) >= self.miss_prob
+        step_t = step_t[keep]
+        doubles = step_t[gen.random(step_t.size) < self.double_count_prob]
+        step_t = np.sort(np.concatenate([step_t, doubles + 1e-3]))
+        sign = 1.0 if gen.random() < 0.5 else -1.0
+        assumed = self.stride_m * (1.0 + sign * self.calibration_error)
+        return WheelTickStream(tick_times_s=step_t, assumed_circumference_m=assumed)

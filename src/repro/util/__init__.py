@@ -1,0 +1,51 @@
+"""Shared infrastructure: RNG management, validation, statistics, units.
+
+These helpers are deliberately dependency-light; every other subpackage
+builds on them.  The RNG discipline (one root seed, hierarchically spawned
+:class:`numpy.random.Generator` streams) is what makes whole experiments
+reproducible bit-for-bit from a single integer.
+"""
+
+from repro.util.rng import RngFactory, as_generator, spawn_children
+from repro.util.stats import (
+    ConfidenceInterval,
+    cdf_at,
+    empirical_cdf,
+    exceedance_probability,
+    mean_confidence_interval,
+    percentile_summary,
+)
+from repro.util.units import (
+    DBM_FLOOR,
+    db_to_linear,
+    kmh_to_ms,
+    linear_to_db,
+    ms_to_kmh,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_shape,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_generator",
+    "spawn_children",
+    "ConfidenceInterval",
+    "cdf_at",
+    "empirical_cdf",
+    "exceedance_probability",
+    "mean_confidence_interval",
+    "percentile_summary",
+    "DBM_FLOOR",
+    "db_to_linear",
+    "kmh_to_ms",
+    "linear_to_db",
+    "ms_to_kmh",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_shape",
+]

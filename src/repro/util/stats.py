@@ -1,0 +1,110 @@
+"""Statistical summaries used by the evaluation harness.
+
+The paper reports empirical CDFs (Figs 3, 9, 10, 12), means with 95%
+confidence intervals (Fig 11), and threshold-exceedance probabilities
+(Fig 2).  These helpers compute all of them from raw sample arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+__all__ = [
+    "ConfidenceInterval",
+    "empirical_cdf",
+    "mean_confidence_interval",
+    "percentile_summary",
+    "exceedance_probability",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A mean with a symmetric two-sided confidence interval."""
+
+    mean: float
+    lower: float
+    upper: float
+    level: float
+    n: int
+
+    @property
+    def half_width(self) -> float:
+        """Half the CI width; handy for error-bar plotting."""
+        return (self.upper - self.lower) / 2.0
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= float(value) <= self.upper
+
+
+def empirical_cdf(samples: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(x, F)`` of the empirical CDF of ``samples``.
+
+    ``x`` is the sorted sample array, ``F[i] = (i+1)/n`` the fraction of
+    samples ``<= x[i]``.  NaNs are dropped.
+    """
+    samples = np.asarray(samples, dtype=float).ravel()
+    samples = samples[~np.isnan(samples)]
+    if samples.size == 0:
+        raise ValueError("empirical_cdf needs at least one finite sample")
+    x = np.sort(samples)
+    f = np.arange(1, x.size + 1, dtype=float) / x.size
+    return x, f
+
+
+def cdf_at(samples: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Evaluate the empirical CDF of ``samples`` at given thresholds."""
+    x, f = empirical_cdf(samples)
+    idx = np.searchsorted(x, np.asarray(thresholds, dtype=float), side="right")
+    out = np.zeros_like(np.asarray(thresholds, dtype=float))
+    out = np.where(idx > 0, f[np.clip(idx - 1, 0, x.size - 1)], 0.0)
+    return out
+
+
+def mean_confidence_interval(
+    samples: np.ndarray, level: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval for the sample mean.
+
+    With fewer than two samples the interval degenerates to the point value.
+    """
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    samples = np.asarray(samples, dtype=float).ravel()
+    samples = samples[~np.isnan(samples)]
+    n = samples.size
+    if n == 0:
+        raise ValueError("need at least one finite sample")
+    mean = float(np.mean(samples))
+    if n == 1:
+        return ConfidenceInterval(mean, mean, mean, level, n)
+    sem = float(np.std(samples, ddof=1)) / np.sqrt(n)
+    t = float(_scipy_stats.t.ppf(0.5 + level / 2.0, df=n - 1))
+    return ConfidenceInterval(mean, mean - t * sem, mean + t * sem, level, n)
+
+
+def percentile_summary(
+    samples: np.ndarray,
+    percentiles: tuple[float, ...] = (50.0, 75.0, 90.0, 95.0, 99.0),
+) -> dict[float, float]:
+    """Map requested percentiles to their sample values."""
+    samples = np.asarray(samples, dtype=float).ravel()
+    samples = samples[~np.isnan(samples)]
+    if samples.size == 0:
+        raise ValueError("need at least one finite sample")
+    values = np.percentile(samples, percentiles)
+    return {float(p): float(v) for p, v in zip(percentiles, values)}
+
+
+def exceedance_probability(
+    samples: np.ndarray, threshold: float
+) -> float:
+    """Fraction of samples ``>= threshold`` (Fig 2-style stability prob)."""
+    samples = np.asarray(samples, dtype=float).ravel()
+    samples = samples[~np.isnan(samples)]
+    if samples.size == 0:
+        raise ValueError("need at least one finite sample")
+    return float(np.count_nonzero(samples >= threshold)) / samples.size

@@ -1,0 +1,57 @@
+"""Unit conversions and radio constants used throughout the codebase.
+
+Everything internal is SI (metres, seconds, radians) except signal power,
+which is carried in dBm as is conventional for RSSI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DBM_FLOOR",
+    "SPEED_OF_LIGHT",
+    "db_to_linear",
+    "linear_to_db",
+    "kmh_to_ms",
+    "ms_to_kmh",
+    "wrap_angle",
+]
+
+#: Receiver sensitivity floor; RSSI below this is reported as this value.
+#: GSM receivers typically bottom out around -110 dBm.
+DBM_FLOOR: float = -110.0
+
+#: Speed of light in vacuum [m/s]; used for carrier wavelength computations.
+SPEED_OF_LIGHT: float = 299_792_458.0
+
+
+def db_to_linear(db: np.ndarray | float) -> np.ndarray | float:
+    """Convert a dB quantity to linear scale (power ratio)."""
+    return 10.0 ** (np.asarray(db, dtype=float) / 10.0)
+
+
+def linear_to_db(linear: np.ndarray | float) -> np.ndarray | float:
+    """Convert a linear power ratio to dB.  Zero maps to ``-inf``."""
+    linear = np.asarray(linear, dtype=float)
+    with np.errstate(divide="ignore"):
+        return 10.0 * np.log10(linear)
+
+
+def kmh_to_ms(kmh: np.ndarray | float) -> np.ndarray | float:
+    """Convert km/h to m/s."""
+    return np.asarray(kmh, dtype=float) / 3.6
+
+
+def ms_to_kmh(ms: np.ndarray | float) -> np.ndarray | float:
+    """Convert m/s to km/h."""
+    return np.asarray(ms, dtype=float) * 3.6
+
+
+def wrap_angle(theta: np.ndarray | float) -> np.ndarray | float:
+    """Wrap angles into ``(-pi, pi]``."""
+    theta = np.asarray(theta, dtype=float)
+    wrapped = np.mod(theta + np.pi, 2.0 * np.pi) - np.pi
+    # np.mod maps exact multiples of 2*pi to -pi; keep the (-pi, pi] half-open
+    # convention by sending -pi to +pi.
+    return np.where(wrapped == -np.pi, np.pi, wrapped)

@@ -1,0 +1,71 @@
+"""Lightweight argument validation helpers.
+
+Public API entry points validate their inputs eagerly so that user errors
+surface as clear ``ValueError``/``TypeError`` messages at the call site
+instead of as NaNs deep inside a vectorized kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["check_finite", "check_in_range", "check_positive", "check_shape"]
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that a scalar is positive (or non-negative if not strict)."""
+    value = float(value)
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_in_range(
+    name: str,
+    value: float,
+    lo: float,
+    hi: float,
+    *,
+    inclusive: bool = True,
+) -> float:
+    """Validate that a scalar lies in ``[lo, hi]`` (or ``(lo, hi)``)."""
+    value = float(value)
+    if inclusive:
+        ok = lo <= value <= hi
+    else:
+        ok = lo < value < hi
+    if not ok:
+        bounds = f"[{lo}, {hi}]" if inclusive else f"({lo}, {hi})"
+        raise ValueError(f"{name} must be in {bounds}, got {value}")
+    return value
+
+
+def check_finite(name: str, array: np.ndarray) -> np.ndarray:
+    """Validate that every element of ``array`` is finite."""
+    array = np.asarray(array)
+    if not np.all(np.isfinite(array)):
+        n_bad = int(np.count_nonzero(~np.isfinite(array)))
+        raise ValueError(f"{name} contains {n_bad} non-finite element(s)")
+    return array
+
+
+def check_shape(
+    name: str, array: np.ndarray, shape: Sequence[int | None]
+) -> np.ndarray:
+    """Validate array dimensionality and sizes; ``None`` wildcards a dim."""
+    array = np.asarray(array)
+    if array.ndim != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimension(s), got {array.ndim}"
+        )
+    for axis, want in enumerate(shape):
+        if want is not None and array.shape[axis] != want:
+            raise ValueError(
+                f"{name} must have size {want} along axis {axis}, "
+                f"got {array.shape[axis]}"
+            )
+    return array

@@ -1,0 +1,39 @@
+"""V2V communication substrate (DSRC / IEEE 802.11p, WAVE).
+
+Implements the §V-B accounting end to end: trajectory serialization
+(:mod:`repro.v2v.serialization`), WAVE Short Message fragmentation at the
+1400-byte payload limit (:mod:`repro.v2v.wsm`), a stop-and-wait channel
+with the paper's 4 ms average round-trip time plus losses and
+retransmissions (:mod:`repro.v2v.channel`), and the exchange protocol
+with the post-SYN incremental-update optimisation (:mod:`repro.v2v.exchange`).
+"""
+
+from repro.v2v.channel import DsrcChannel, TransferResult
+from repro.v2v.exchange import ExchangeSession, estimate_exchange_time
+from repro.v2v.network import (
+    NeighborhoodExchange,
+    RoundResult,
+    adaptive_context_length,
+)
+from repro.v2v.serialization import (
+    decode_trajectory,
+    encode_trajectory,
+    encoded_size_bytes,
+)
+from repro.v2v.wsm import WSM_MAX_PAYLOAD_BYTES, WsmPacket, fragment_payload
+
+__all__ = [
+    "DsrcChannel",
+    "TransferResult",
+    "ExchangeSession",
+    "estimate_exchange_time",
+    "NeighborhoodExchange",
+    "RoundResult",
+    "adaptive_context_length",
+    "decode_trajectory",
+    "encode_trajectory",
+    "encoded_size_bytes",
+    "WSM_MAX_PAYLOAD_BYTES",
+    "WsmPacket",
+    "fragment_payload",
+]

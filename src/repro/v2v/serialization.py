@@ -1,0 +1,115 @@
+"""Trajectory wire codec.
+
+A broadcastable GSM-aware trajectory needs, per metre mark, the RSSI of
+every channel plus the geographic element ``(theta_i, t_i)``.  We encode:
+
+* header: magic, version, channel count, mark count, start distance
+  (mm), start time (ms), spacing — 36 bytes;
+* channel id table: uint16 per channel;
+* power matrix: uint8 per (channel, mark) — RSSI quantized to 0.5 dB
+  steps above the -110 dBm floor (0 = floor or missing sentinel 255);
+* per-mark geo: heading int16 (1e-4 rad), time offset uint32 (ms).
+
+At the paper's scale (1 km, 1 m marks, full 194-channel band) this is
+~200 bytes/m — the paper quotes "about 182KB" for 1 km (§V-B), which our
+codec reproduces to within 10%.  Quantization is lossy by design; the
+decode path restores values to quantization-step accuracy, and the
+round-trip error is asserted in tests to stay below 0.25 dB / 0.5 ms.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+from repro.util.units import DBM_FLOOR
+
+__all__ = ["encode_trajectory", "decode_trajectory", "encoded_size_bytes"]
+
+_MAGIC = b"RUPS"
+_VERSION = 1
+_HEADER = struct.Struct("<4sBxHIqqd")  # magic, ver, n_ch, n_marks, start_mm, t0_ms, spacing
+_POWER_STEP_DB = 0.5
+_MISSING = 255
+_HEADING_SCALE = 1e-4
+
+
+def encoded_size_bytes(n_channels: int, n_marks: int) -> int:
+    """Wire size of a trajectory with the given dimensions."""
+    if n_channels < 1 or n_marks < 2:
+        raise ValueError("need n_channels >= 1 and n_marks >= 2")
+    return (
+        _HEADER.size
+        + 2 * n_channels  # channel id table
+        + n_channels * n_marks  # power matrix
+        + 6 * n_marks  # heading int16 + time-offset uint32
+    )
+
+
+def encode_trajectory(trajectory: GsmTrajectory) -> bytes:
+    """Serialize a GSM-aware trajectory for broadcast."""
+    geo = trajectory.geo
+    n_ch = trajectory.n_channels
+    n_marks = trajectory.n_marks
+    if n_ch > 0xFFFF or n_marks > 0xFFFFFFFF:
+        raise ValueError("trajectory too large to encode")
+    if np.any(trajectory.channel_ids > 0xFFFF) or np.any(trajectory.channel_ids < 0):
+        raise ValueError("channel ids must fit uint16")
+
+    t0_ms = int(round(geo.timestamps_s[0] * 1000.0))
+    header = _HEADER.pack(
+        _MAGIC,
+        _VERSION,
+        n_ch,
+        n_marks,
+        int(round(geo.start_distance_m * 1000.0)),
+        t0_ms,
+        geo.spacing_m,
+    )
+    chan_table = trajectory.channel_ids.astype("<u2").tobytes()
+
+    power = trajectory.power_dbm
+    quant = np.round((power - DBM_FLOOR) / _POWER_STEP_DB)
+    quant = np.clip(quant, 0, 254)
+    quant = np.where(np.isnan(power), _MISSING, quant).astype(np.uint8)
+    power_bytes = quant.tobytes()
+
+    headings = np.round(geo.headings_rad / _HEADING_SCALE).astype("<i2")
+    t_offsets = np.round(geo.timestamps_s * 1000.0 - t0_ms).astype("<u4")
+    geo_bytes = headings.tobytes() + t_offsets.tobytes()
+    return header + chan_table + power_bytes + geo_bytes
+
+
+def decode_trajectory(data: bytes) -> GsmTrajectory:
+    """Inverse of :func:`encode_trajectory` (to quantization accuracy)."""
+    if len(data) < _HEADER.size:
+        raise ValueError("truncated trajectory message")
+    magic, version, n_ch, n_marks, start_mm, t0_ms, spacing = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise ValueError("not a RUPS trajectory message")
+    if version != _VERSION:
+        raise ValueError(f"unsupported codec version {version}")
+    expected = encoded_size_bytes(n_ch, n_marks)
+    if len(data) != expected:
+        raise ValueError(f"message length {len(data)} != expected {expected}")
+
+    off = _HEADER.size
+    chan_ids = np.frombuffer(data, dtype="<u2", count=n_ch, offset=off).astype(np.int64)
+    off += 2 * n_ch
+    quant = np.frombuffer(data, dtype=np.uint8, count=n_ch * n_marks, offset=off)
+    off += n_ch * n_marks
+    headings = np.frombuffer(data, dtype="<i2", count=n_marks, offset=off).astype(float)
+    off += 2 * n_marks
+    t_offsets = np.frombuffer(data, dtype="<u4", count=n_marks, offset=off).astype(float)
+
+    power = quant.reshape(n_ch, n_marks).astype(float) * _POWER_STEP_DB + DBM_FLOOR
+    power[quant.reshape(n_ch, n_marks) == _MISSING] = np.nan
+    geo = GeoTrajectory(
+        timestamps_s=(t0_ms + t_offsets) / 1000.0,
+        headings_rad=headings * _HEADING_SCALE,
+        spacing_m=float(spacing),
+        start_distance_m=start_mm / 1000.0,
+    )
+    return GsmTrajectory(power_dbm=power, channel_ids=chan_ids, geo=geo)

@@ -1,0 +1,82 @@
+"""WAVE Short Messages (IEEE 1609.3) and payload fragmentation.
+
+§V-B: "with IEEE 802.11p radios, the maximum payload of a WAVE Short
+Message (WSM) packet is 1400 bytes" — a 1 km journey context therefore
+fragments into ~130 packets.  We model the WSM as an opaque payload with
+a small sequencing header (our own fragmentation layer, since WSMP has
+no native fragmentation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["WSM_MAX_PAYLOAD_BYTES", "WSM_HEADER_BYTES", "WsmPacket", "fragment_payload", "reassemble"]
+
+#: Maximum WSM payload (paper §V-B).
+WSM_MAX_PAYLOAD_BYTES: int = 1400
+
+#: Our fragmentation header: message id (2), fragment index (2),
+#: fragment count (2), payload length (2).
+WSM_HEADER_BYTES: int = 8
+
+
+@dataclass(frozen=True)
+class WsmPacket:
+    """One fragment of a fragmented message."""
+
+    message_id: int
+    index: int
+    count: int
+    payload: bytes
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < self.count:
+            raise ValueError("fragment index out of range")
+        if len(self.payload) > WSM_MAX_PAYLOAD_BYTES - WSM_HEADER_BYTES:
+            raise ValueError("fragment payload exceeds WSM capacity")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes on air for this packet (payload + header)."""
+        return len(self.payload) + WSM_HEADER_BYTES
+
+
+def fragment_payload(data: bytes, message_id: int = 0) -> list[WsmPacket]:
+    """Split a message into WSM fragments."""
+    if not isinstance(data, (bytes, bytearray)):
+        raise TypeError("data must be bytes")
+    chunk = WSM_MAX_PAYLOAD_BYTES - WSM_HEADER_BYTES
+    n = max(1, -(-len(data) // chunk))
+    return [
+        WsmPacket(
+            message_id=message_id,
+            index=i,
+            count=n,
+            payload=bytes(data[i * chunk : (i + 1) * chunk]),
+        )
+        for i in range(n)
+    ]
+
+
+def reassemble(packets: list[WsmPacket]) -> bytes:
+    """Reassemble fragments into the original message.
+
+    Raises
+    ------
+    ValueError
+        On missing fragments, duplicates, or mixed message ids.
+    """
+    if not packets:
+        raise ValueError("no packets to reassemble")
+    msg_ids = {p.message_id for p in packets}
+    if len(msg_ids) != 1:
+        raise ValueError(f"mixed message ids: {sorted(msg_ids)}")
+    count = packets[0].count
+    by_index = {p.index: p for p in packets}
+    if len(by_index) != len(packets):
+        raise ValueError("duplicate fragments")
+    missing = set(range(count)) - set(by_index)
+    if missing:
+        raise ValueError(f"missing fragments: {sorted(missing)}")
+    return b"".join(by_index[i].payload for i in range(count))

@@ -1,0 +1,29 @@
+"""Vehicle mobility substrate.
+
+Produces the kinematic ground truth the rest of the simulation hangs off:
+speed profiles with urban stop-and-go behaviour, an Intelligent Driver
+Model (IDM) car-follower for realistic two-vehicle coupling, scenario
+builders with exact relative-distance ground truth, and the drive
+orchestrator that turns a scenario into sensor + RSSI streams.
+"""
+
+from repro.vehicles.drive import DriveRecord, simulate_drive
+from repro.vehicles.idm import IdmParameters, follow_leader
+from repro.vehicles.kinematics import (
+    MotionProfile,
+    constant_speed_profile,
+    urban_speed_profile,
+)
+from repro.vehicles.scenario import TwoVehicleScenario, build_following_scenario
+
+__all__ = [
+    "DriveRecord",
+    "simulate_drive",
+    "IdmParameters",
+    "follow_leader",
+    "MotionProfile",
+    "constant_speed_profile",
+    "urban_speed_profile",
+    "TwoVehicleScenario",
+    "build_following_scenario",
+]

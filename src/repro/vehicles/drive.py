@@ -1,0 +1,200 @@
+"""Drive orchestration: one vehicle's full sensing session.
+
+``simulate_drive`` runs the whole perception stack of Fig 5 for one
+vehicle on one road: exact motion in, raw IMU / OBD / wheel-tick / GPS /
+GSM-scan streams out, plus the dead-reckoned estimated track RUPS binds
+against.  It is the bridge between the substrates and the core pipeline,
+and the unit the §VI experiments replay per vehicle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gsm.field import SignalField
+from repro.gsm.scanner import RadioGroup, ScanStream, scan_drive
+from repro.sensors.deadreckoning import DeadReckoner, EstimatedTrack
+from repro.sensors.gps import GpsModel, GpsTrack
+from repro.sensors.heading import heading_from_magnetometer
+from repro.sensors.imu import ImuConfig, MountedImu, simulate_imu
+from repro.sensors.reorientation import estimate_rotation_matrix
+from repro.sensors.speed import ObdSpeedSensor, ObdStream, WheelEncoder, WheelTickStream
+from repro.util.rng import RngFactory
+from repro.vehicles.kinematics import MotionProfile
+
+__all__ = ["DriveRecord", "simulate_drive", "compass_heading_fn"]
+
+
+def compass_heading_fn(polyline) -> callable:
+    """Compass heading (clockwise from north) along a polyline.
+
+    Polyline headings are mathematical (CCW from +x); vehicles and
+    magnetometers use compass convention, so convert once here.
+    """
+
+    def heading(s: np.ndarray) -> np.ndarray:
+        theta = np.asarray(polyline.heading(np.asarray(s, dtype=float)))
+        return np.mod(np.pi / 2.0 - theta + np.pi, 2 * np.pi) - np.pi
+
+    return heading
+
+
+@dataclass(frozen=True)
+class DriveRecord:
+    """Everything one vehicle sensed (and truly did) during a drive.
+
+    Attributes
+    ----------
+    motion:
+        Ground-truth motion (simulation-internal).
+    scan:
+        Raw GSM measurement stream.
+    imu:
+        Mounted IMU (stream + true mounting rotation).
+    obd:
+        OBD speed reports.
+    wheel:
+        Wheel-encoder ticks.
+    gps:
+        GPS track (None when disabled).
+    estimated:
+        The dead-reckoned track built from the *sensors only* — this is
+        what RUPS binds RSSI to; it never sees ``motion``.
+    lane:
+        Lane driven.
+    """
+
+    motion: MotionProfile
+    scan: ScanStream
+    imu: MountedImu
+    obd: ObdStream
+    wheel: WheelTickStream
+    gps: GpsTrack | None
+    estimated: EstimatedTrack
+    lane: int
+
+    def odometry_scale_error(self) -> float:
+        """Realised relative error of estimated vs true travelled distance."""
+        true = self.motion.distance_m
+        est = float(
+            self.estimated.distance_m[-1] - self.estimated.distance_m[0]
+        )
+        if true <= 0:
+            return 0.0
+        return (est - true) / true
+
+
+def simulate_drive(
+    field: SignalField,
+    motion: MotionProfile,
+    radio_group: RadioGroup,
+    seed: int | RngFactory = 0,
+    lane: int = 0,
+    day: int = 0,
+    with_gps: bool = True,
+    imu_config: ImuConfig | None = None,
+    obd_sensor: ObdSpeedSensor | None = None,
+    wheel_encoder: WheelEncoder | None = None,
+    gps_common_bias: np.ndarray | None = None,
+    include_blockage: bool = True,
+    vehicle_key: object = "vehicle",
+    odometry: str = "obd",
+) -> DriveRecord:
+    """Simulate one vehicle's sensing over a drive.
+
+    Parameters
+    ----------
+    field:
+        Signal field of the road driven.
+    motion:
+        Exact motion along that road (arc length must stay within the
+        field's polyline).
+    radio_group:
+        GSM radios carried (count + placement, §VI-B).
+    seed:
+        Root seed / factory; per-sensor streams are derived under
+        ``vehicle_key`` so two vehicles in one experiment get independent
+        sensor noise from the same root seed.
+    gps_common_bias:
+        Optional shared GPS bias track (see
+        :meth:`repro.sensors.gps.GpsModel.common_bias_track`).
+    odometry:
+        Distance source for dead reckoning: ``"obd"`` (the paper's §IV-B
+        speed source — quantized, laggy, scale-biased) or ``"wheel"``
+        (Hall-encoder ticks — the paper's *ground-truth* rig, far more
+        accurate; useful for ablations).
+
+    Returns
+    -------
+    DriveRecord
+        All raw streams plus the dead-reckoned estimated track.
+    """
+    if motion.s_m[-1] > field.length_m + 1e-6:
+        raise ValueError(
+            f"motion reaches {motion.s_m[-1]:.0f} m but the field road is "
+            f"only {field.length_m:.0f} m long"
+        )
+    factory = seed if isinstance(seed, RngFactory) else RngFactory(seed)
+    vf = factory.child("drive", vehicle_key)
+
+    heading_fn = compass_heading_fn(field.polyline)
+
+    if odometry not in ("obd", "wheel"):
+        raise ValueError(f"odometry must be 'obd' or 'wheel', got {odometry!r}")
+
+    imu = simulate_imu(
+        motion,
+        heading_fn,
+        config=imu_config,
+        rng=vf.generator("imu"),
+    )
+    obd = (obd_sensor or ObdSpeedSensor()).sample(motion, rng=vf.generator("obd"))
+    wheel = (wheel_encoder or WheelEncoder()).sample(
+        motion, rng=vf.generator("wheel")
+    )
+
+    rotation = estimate_rotation_matrix(
+        imu.stream, speed_times_s=obd.times_s, speed_ms=obd.speed_ms
+    )
+    h_times, h_psi = heading_from_magnetometer(imu.stream, rotation)
+    estimated = DeadReckoner().estimate(
+        h_times, h_psi, obd if odometry == "obd" else wheel
+    )
+
+    scan = scan_drive(
+        field,
+        motion.arc_length_at,
+        radio_group,
+        t0=motion.t0,
+        t1=motion.t1,
+        lane=lane,
+        day=day,
+        rng=vf.generator("scan-noise"),
+        include_blockage=include_blockage,
+        vehicle_key=vehicle_key,
+    )
+
+    gps: GpsTrack | None = None
+    if with_gps:
+        dense_t = motion.times_s
+        dense_pos = np.asarray(field.polyline.position(motion.s_m))
+        model = GpsModel(environment=field.environment)
+        gps = model.sample(
+            dense_t,
+            dense_pos,
+            rng=vf.generator("gps"),
+            common_bias=gps_common_bias,
+        )
+
+    return DriveRecord(
+        motion=motion,
+        scan=scan,
+        imu=imu,
+        obd=obd,
+        wheel=wheel,
+        gps=gps,
+        estimated=estimated,
+        lane=lane,
+    )

@@ -1,0 +1,120 @@
+"""Intelligent Driver Model (IDM) car following.
+
+Treiber's IDM is the standard microscopic car-following model; we use it
+to couple the rear experiment vehicle to the front one so the pair's gap
+fluctuates the way two humans driving in convoy would (the paper's drives
+kept the rear car within laser-rangefinder range, <= 50 m).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vehicles.kinematics import MotionProfile
+
+__all__ = ["IdmParameters", "follow_leader"]
+
+
+@dataclass(frozen=True)
+class IdmParameters:
+    """IDM parameters (Treiber, Hennecke & Helbing 2000 defaults, urban).
+
+    Attributes
+    ----------
+    desired_speed_ms:
+        Free-flow desired speed v0 [m/s].
+    time_headway_s:
+        Safe time headway T [s].
+    min_gap_m:
+        Jam distance s0 [m].
+    max_accel:
+        Maximum acceleration a [m/s^2].
+    comfort_decel:
+        Comfortable deceleration b [m/s^2].
+    delta:
+        Free-acceleration exponent.
+    """
+
+    desired_speed_ms: float = 14.0
+    time_headway_s: float = 1.5
+    min_gap_m: float = 2.0
+    max_accel: float = 1.4
+    comfort_decel: float = 2.0
+    delta: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("desired_speed_ms", "time_headway_s", "max_accel", "comfort_decel"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.min_gap_m < 0:
+            raise ValueError("min_gap_m must be non-negative")
+
+
+def idm_acceleration(
+    v: float, gap: float, dv: float, p: IdmParameters
+) -> float:
+    """IDM acceleration for speed ``v``, bumper gap ``gap``, closing speed ``dv``."""
+    gap = max(gap, 0.1)
+    s_star = p.min_gap_m + max(
+        0.0, v * p.time_headway_s + v * dv / (2.0 * np.sqrt(p.max_accel * p.comfort_decel))
+    )
+    return p.max_accel * (
+        1.0 - (v / p.desired_speed_ms) ** p.delta - (s_star / gap) ** 2
+    )
+
+
+def follow_leader(
+    leader: MotionProfile,
+    initial_gap_m: float = 30.0,
+    params: IdmParameters | None = None,
+    vehicle_length_m: float = 4.5,
+    dt_s: float | None = None,
+) -> MotionProfile:
+    """Simulate an IDM follower behind ``leader`` on the same lane.
+
+    Parameters
+    ----------
+    leader:
+        The front vehicle's exact motion.
+    initial_gap_m:
+        Initial bumper-to-bumper gap [m] (follower starts behind).
+    vehicle_length_m:
+        Leader length [m]; gap is front-bumper-to-rear-bumper.
+    dt_s:
+        Integration step; defaults to the leader's grid step.
+
+    Returns
+    -------
+    MotionProfile
+        The follower's motion on the leader's time grid.  The follower
+        starts at the leader's initial speed and never reverses.
+    """
+    if initial_gap_m <= 0:
+        raise ValueError("initial_gap_m must be positive")
+    p = params or IdmParameters()
+    t = leader.times_s
+    if dt_s is not None:
+        if dt_s <= 0:
+            raise ValueError("dt_s must be positive")
+        t = np.arange(leader.t0, leader.t1 + dt_s / 2, dt_s)
+    lead_s = np.asarray(leader.arc_length_at(t), dtype=float)
+    lead_v = np.asarray(leader.speed_at(t), dtype=float)
+
+    n = t.size
+    s = np.empty(n)
+    v = np.empty(n)
+    s[0] = lead_s[0] - initial_gap_m - vehicle_length_m
+    v[0] = min(lead_v[0], p.desired_speed_ms)
+    # Sequential by nature (each step depends on the previous state); n is
+    # small (drive minutes at 10 Hz), so a Python loop is acceptable here —
+    # this is setup code, not the measured hot path.
+    for k in range(n - 1):
+        dt = t[k + 1] - t[k]
+        gap = lead_s[k] - s[k] - vehicle_length_m
+        a = idm_acceleration(v[k], gap, v[k] - lead_v[k], p)
+        v_next = max(v[k] + a * dt, 0.0)
+        s[k + 1] = s[k] + 0.5 * (v[k] + v_next) * dt
+        v[k + 1] = v_next
+    return MotionProfile(t, s, v)

@@ -1,0 +1,200 @@
+"""Speed profiles and motion ground truth.
+
+A :class:`MotionProfile` is the exact kinematic state of one vehicle: a
+dense time grid with arc-length position, speed, and acceleration.  Urban
+profiles combine an Ornstein-Uhlenbeck cruise-speed process with Poisson
+stop events (traffic lights, congestion) — the stops matter because the
+paper's ground-truth proxy is "the difference of travelling distances
+since last stop" (§VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gsm.shadowing import ar1_gaussian_process
+from repro.util.rng import as_generator
+
+__all__ = ["MotionProfile", "constant_speed_profile", "urban_speed_profile"]
+
+
+@dataclass(frozen=True)
+class MotionProfile:
+    """Exact motion of one vehicle along a 1-D path.
+
+    Attributes
+    ----------
+    times_s:
+        Strictly increasing dense time grid [s].
+    s_m:
+        Arc-length position at each grid time [m]; non-decreasing.
+    v_ms:
+        Speed at each grid time [m/s]; non-negative.
+    """
+
+    times_s: np.ndarray
+    s_m: np.ndarray
+    v_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.ascontiguousarray(np.asarray(self.times_s, dtype=float))
+        s = np.ascontiguousarray(np.asarray(self.s_m, dtype=float))
+        v = np.ascontiguousarray(np.asarray(self.v_ms, dtype=float))
+        if not (t.shape == s.shape == v.shape) or t.ndim != 1:
+            raise ValueError("times_s, s_m, v_ms must be equal-length 1-D arrays")
+        if t.size < 2:
+            raise ValueError("a motion profile needs at least two samples")
+        if np.any(np.diff(t) <= 0):
+            raise ValueError("times must be strictly increasing")
+        if np.any(np.diff(s) < -1e-9):
+            raise ValueError("positions must be non-decreasing (no reversing)")
+        if np.any(v < -1e-9):
+            raise ValueError("speeds must be non-negative")
+        object.__setattr__(self, "times_s", t)
+        object.__setattr__(self, "s_m", s)
+        object.__setattr__(self, "v_ms", np.maximum(v, 0.0))
+
+    @property
+    def t0(self) -> float:
+        """First grid time [s]."""
+        return float(self.times_s[0])
+
+    @property
+    def t1(self) -> float:
+        """Last grid time [s]."""
+        return float(self.times_s[-1])
+
+    @property
+    def duration_s(self) -> float:
+        """Covered time span [s]."""
+        return self.t1 - self.t0
+
+    @property
+    def distance_m(self) -> float:
+        """Total distance travelled [m]."""
+        return float(self.s_m[-1] - self.s_m[0])
+
+    def arc_length_at(self, times: np.ndarray | float) -> np.ndarray | float:
+        """Position [m] at arbitrary times (linear interpolation, clamped)."""
+        return np.interp(np.asarray(times, dtype=float), self.times_s, self.s_m)
+
+    def speed_at(self, times: np.ndarray | float) -> np.ndarray | float:
+        """Speed [m/s] at arbitrary times."""
+        return np.interp(np.asarray(times, dtype=float), self.times_s, self.v_ms)
+
+    def accel_at(self, times: np.ndarray | float) -> np.ndarray | float:
+        """Longitudinal acceleration [m/s^2] (central differences)."""
+        accel = np.gradient(self.v_ms, self.times_s)
+        return np.interp(np.asarray(times, dtype=float), self.times_s, accel)
+
+    def time_at_distance(self, s: np.ndarray | float) -> np.ndarray | float:
+        """First time the vehicle reaches arc length ``s``.
+
+        Positions plateau during stops; we return the *entry* time of the
+        plateau, which is what a wheel encoder would timestamp.
+        """
+        s_query = np.asarray(s, dtype=float)
+        # np.interp needs strictly increasing x; collapse plateaus by
+        # keeping the first sample of each repeated position.
+        keep = np.concatenate(([True], np.diff(self.s_m) > 1e-9))
+        return np.interp(s_query, self.s_m[keep], self.times_s[keep])
+
+    def stop_times(self, speed_threshold_ms: float = 0.1) -> np.ndarray:
+        """Times at which the vehicle *resumes* motion after a stop.
+
+        Used by the paper's "distance since last stop" ground-truth proxy.
+        Includes ``t0`` so a query before the first stop is well defined.
+        """
+        stopped = self.v_ms <= speed_threshold_ms
+        resumed = np.nonzero(stopped[:-1] & ~stopped[1:])[0] + 1
+        return np.concatenate(([self.t0], self.times_s[resumed]))
+
+    def shifted(self, delta_s: float) -> "MotionProfile":
+        """The same motion displaced ``delta_s`` metres along the path."""
+        return MotionProfile(self.times_s, self.s_m + delta_s, self.v_ms)
+
+
+def constant_speed_profile(
+    duration_s: float,
+    speed_ms: float,
+    dt_s: float = 0.1,
+    s0_m: float = 0.0,
+    t0_s: float = 0.0,
+) -> MotionProfile:
+    """A vehicle cruising at constant speed — the simplest test profile."""
+    if duration_s <= 0 or speed_ms < 0 or dt_s <= 0:
+        raise ValueError("duration_s and dt_s must be positive, speed non-negative")
+    n = int(np.floor(duration_s / dt_s)) + 1
+    t = t0_s + dt_s * np.arange(n)
+    v = np.full(n, float(speed_ms))
+    s = s0_m + speed_ms * (t - t0_s)
+    return MotionProfile(t, s, v)
+
+
+def urban_speed_profile(
+    duration_s: float,
+    speed_limit_ms: float,
+    rng: np.random.Generator | int | None = 0,
+    dt_s: float = 0.1,
+    mean_fraction: float = 0.7,
+    sigma_fraction: float = 0.12,
+    tau_s: float = 25.0,
+    stop_rate_per_s: float = 1.0 / 150.0,
+    stop_duration_range_s: tuple[float, float] = (10.0, 35.0),
+    decel_ramp_s: float = 6.0,
+    accel_ramp_s: float = 9.0,
+    s0_m: float = 0.0,
+    t0_s: float = 0.0,
+) -> MotionProfile:
+    """Stochastic urban stop-and-go profile.
+
+    Cruise speed is an OU process around ``mean_fraction * speed_limit``;
+    Poisson stop events pull the speed to zero with linear ramps (decel
+    ~2-3 m/s^2, gentler accel), hold for a random dwell, then release.
+
+    Parameters
+    ----------
+    duration_s:
+        Profile length [s].
+    speed_limit_ms:
+        Hard speed cap [m/s].
+    stop_rate_per_s:
+        Poisson rate of stop events (default: one stop per 2.5 min).
+    """
+    if duration_s <= 0 or dt_s <= 0:
+        raise ValueError("duration_s and dt_s must be positive")
+    if speed_limit_ms <= 0:
+        raise ValueError("speed_limit_ms must be positive")
+    if not 0 < mean_fraction <= 1:
+        raise ValueError("mean_fraction must be in (0, 1]")
+    gen = as_generator(rng)
+
+    n = int(np.floor(duration_s / dt_s)) + 1
+    t = t0_s + dt_s * np.arange(n)
+
+    cruise = mean_fraction * speed_limit_ms + ar1_gaussian_process(
+        n=n,
+        step=dt_s,
+        decorrelation=tau_s,
+        sigma=sigma_fraction * speed_limit_ms,
+        rng=gen,
+    )
+    cruise = np.clip(cruise, 0.1 * speed_limit_ms, speed_limit_ms)
+
+    # Multiplicative stop envelope in [0, 1].
+    envelope = np.ones(n)
+    n_stops = int(gen.poisson(stop_rate_per_s * duration_s))
+    stop_starts = np.sort(gen.random(n_stops)) * duration_s
+    lo, hi = stop_duration_range_s
+    dwells = lo + (hi - lo) * gen.random(n_stops)
+    rel_t = t - t0_s
+    for start, dwell in zip(stop_starts, dwells):
+        down = np.clip((start - rel_t) / decel_ramp_s, 0.0, 1.0)
+        up = np.clip((rel_t - (start + dwell)) / accel_ramp_s, 0.0, 1.0)
+        envelope = np.minimum(envelope, np.maximum(down, up))
+
+    v = cruise * envelope
+    s = s0_m + np.concatenate(([0.0], np.cumsum(0.5 * (v[1:] + v[:-1]) * dt_s)))
+    return MotionProfile(t, s, v)

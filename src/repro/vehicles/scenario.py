@@ -1,0 +1,110 @@
+"""Two-vehicle evaluation scenarios with exact ground truth.
+
+A scenario fixes everything the §VI experiments need: the two motion
+profiles (front vehicle + IDM follower), their lanes, and the exact
+front-rear distance at any instant.  Road/field geometry is attached
+separately by the drive orchestrator so one scenario can be replayed on
+different road types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vehicles.idm import IdmParameters, follow_leader
+from repro.vehicles.kinematics import MotionProfile, urban_speed_profile
+from repro.util.rng import RngFactory
+
+__all__ = ["TwoVehicleScenario", "build_following_scenario"]
+
+
+@dataclass(frozen=True)
+class TwoVehicleScenario:
+    """A front vehicle and a rear vehicle driving the same road.
+
+    Attributes
+    ----------
+    front, rear:
+        Exact motion profiles; ``front`` leads (larger arc length).
+    front_lane, rear_lane:
+        Lane indices (0 = rightmost).  Equal in the same-lane experiments,
+        distinct for Fig 11's "8-lane, distinct lanes" case.
+    vehicle_length_m:
+        Length of the front vehicle (bumper-gap accounting).
+    """
+
+    front: MotionProfile
+    rear: MotionProfile
+    front_lane: int = 0
+    rear_lane: int = 0
+    vehicle_length_m: float = 4.5
+
+    def __post_init__(self) -> None:
+        if self.front_lane < 0 or self.rear_lane < 0:
+            raise ValueError("lane indices must be non-negative")
+        if self.vehicle_length_m <= 0:
+            raise ValueError("vehicle_length_m must be positive")
+
+    @property
+    def t0(self) -> float:
+        """Earliest time both profiles cover."""
+        return max(self.front.t0, self.rear.t0)
+
+    @property
+    def t1(self) -> float:
+        """Latest time both profiles cover."""
+        return min(self.front.t1, self.rear.t1)
+
+    def true_relative_distance(self, times: np.ndarray | float) -> np.ndarray | float:
+        """Exact front-rear distance (front position minus rear) [m]."""
+        return np.asarray(self.front.arc_length_at(times)) - np.asarray(
+            self.rear.arc_length_at(times)
+        )
+
+    def max_arc_length(self) -> float:
+        """Largest arc length either vehicle reaches (field sizing)."""
+        return float(max(self.front.s_m[-1], self.rear.s_m[-1]))
+
+    def min_arc_length(self) -> float:
+        """Smallest arc length either vehicle occupies."""
+        return float(min(self.front.s_m[0], self.rear.s_m[0]))
+
+
+def build_following_scenario(
+    duration_s: float = 600.0,
+    speed_limit_ms: float = 14.0,
+    initial_gap_m: float = 30.0,
+    seed: int | RngFactory = 0,
+    front_lane: int = 0,
+    rear_lane: int | None = None,
+    idm: IdmParameters | None = None,
+    stop_rate_per_s: float = 1.0 / 150.0,
+) -> TwoVehicleScenario:
+    """Standard evaluation scenario: urban front vehicle + IDM follower.
+
+    Both vehicles start near the road origin and drive for ``duration_s``;
+    evaluation queries should be restricted to times after the rear
+    vehicle has accumulated enough journey context (RUPS uses up to 1 km),
+    which the experiment harness enforces.
+    """
+    if initial_gap_m <= 0:
+        raise ValueError("initial_gap_m must be positive")
+    factory = seed if isinstance(seed, RngFactory) else RngFactory(seed)
+    idm = idm or IdmParameters(desired_speed_ms=speed_limit_ms * 1.05)
+
+    front = urban_speed_profile(
+        duration_s=duration_s,
+        speed_limit_ms=speed_limit_ms,
+        rng=factory.generator("front-speed"),
+        stop_rate_per_s=stop_rate_per_s,
+        s0_m=initial_gap_m + 10.0,
+    )
+    rear = follow_leader(front, initial_gap_m=initial_gap_m, params=idm)
+    return TwoVehicleScenario(
+        front=front,
+        rear=rear,
+        front_lane=front_lane,
+        rear_lane=front_lane if rear_lane is None else rear_lane,
+    )

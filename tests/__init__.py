@@ -1,0 +1,6 @@
+"""Test suite for the RUPS reproduction.
+
+This file makes ``tests`` a package so shared helpers (e.g. the
+``synthetic_pair`` builder in ``test_core_syn_resolver``) can be imported
+across test modules under both ``pytest`` and ``python -m pytest``.
+"""

@@ -1,0 +1,63 @@
+"""Shared fixtures.
+
+Field construction and drive simulation are the expensive pieces, so a
+small channel plan, one small field, and one short two-car drive are
+built once per session and shared by every test that needs them.  Tests
+must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gsm.band import RGSM900, ChannelPlan
+from repro.gsm.field import FieldConfig, make_straight_field
+from repro.roads.types import RoadType
+
+
+@pytest.fixture(scope="session")
+def small_plan() -> ChannelPlan:
+    """A 39-channel slice of R-GSM-900: fast but spectrally realistic."""
+    return RGSM900.subset(np.arange(0, RGSM900.n_channels, 5), name="test-39")
+
+
+@pytest.fixture(scope="session")
+def small_field(small_plan):
+    """A 600 m urban field on the small plan (read-only)."""
+    return make_straight_field(
+        length_m=600.0,
+        road_type=RoadType.URBAN_4LANE,
+        plan=small_plan,
+        seed=1234,
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_field_config() -> FieldConfig:
+    """Short-horizon field config for tests that build their own fields."""
+    return FieldConfig(horizon_s=600.0)
+
+
+@pytest.fixture(scope="session")
+def shared_pair(small_plan):
+    """One short two-car drive, shared across integration-style tests."""
+    from repro.experiments.traces import drive_pair
+
+    return drive_pair(
+        road_type=RoadType.URBAN_4LANE,
+        duration_s=240.0,
+        n_radios=4,
+        plan=small_plan,
+        seed=99,
+    )
+
+
+@pytest.fixture(scope="session")
+def shared_engine():
+    """RUPS engine with a reduced context so the shared pair resolves early."""
+    from repro.core import RupsConfig, RupsEngine
+
+    return RupsEngine(
+        RupsConfig(context_length_m=600.0, window_channels=30)
+    )

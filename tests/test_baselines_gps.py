@@ -1,0 +1,87 @@
+"""Tests for repro.baselines.gps_rdf."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gps_rdf import GpsRdfBaseline
+from repro.roads.geometry import Polyline
+from repro.sensors.gps import GpsTrack
+
+
+def make_track(times, xs, valid=None):
+    times = np.asarray(times, dtype=float)
+    xs = np.asarray(xs, dtype=float)
+    positions = np.stack([xs, np.zeros_like(xs)], axis=1)
+    if valid is None:
+        valid = np.ones(times.size, dtype=bool)
+    positions = positions.copy()
+    positions[~valid] = np.nan
+    return GpsTrack(times_s=times, positions=positions, valid=valid)
+
+
+ROAD = Polyline(np.array([[0.0, 0.0], [10_000.0, 0.0]]))
+
+
+class TestGpsRdfBaseline:
+    def test_exact_fixes_exact_distance(self):
+        t = np.arange(0.0, 10.0)
+        front = make_track(t, 100.0 + 10.0 * t)
+        rear = make_track(t, 70.0 + 10.0 * t)
+        est = GpsRdfBaseline().estimate(front, rear, np.array([5.0]), ROAD)
+        assert est[0] == pytest.approx(30.0)
+
+    def test_uses_latest_fix_before_query(self):
+        t = np.arange(0.0, 10.0)
+        front = make_track(t, 100.0 + 10.0 * t)
+        rear = make_track(t, 70.0 + 10.0 * t)
+        # query between fixes: uses fix at t=5 for both
+        est = GpsRdfBaseline().estimate(front, rear, np.array([5.9]), ROAD)
+        assert est[0] == pytest.approx(30.0)
+
+    def test_stale_fix_rejected(self):
+        t = np.arange(0.0, 3.0)
+        front = make_track(t, 100.0 + 10.0 * t)
+        rear = make_track(t, 70.0 + 10.0 * t)
+        est = GpsRdfBaseline(max_fix_age_s=2.0).estimate(
+            front, rear, np.array([10.0]), ROAD
+        )
+        assert np.isnan(est[0])
+
+    def test_invalid_fixes_skipped(self):
+        t = np.arange(0.0, 10.0)
+        valid = np.ones(10, dtype=bool)
+        valid[5:] = False
+        front = make_track(t, 100.0 + 10.0 * t, valid)
+        rear = make_track(t, 70.0 + 10.0 * t)
+        # at t=9, front's last valid fix is t=4 (age 5 > max 3) -> NaN
+        est = GpsRdfBaseline(max_fix_age_s=3.0).estimate(
+            front, rear, np.array([9.0]), ROAD
+        )
+        assert np.isnan(est[0])
+
+    def test_noise_propagates_to_error(self):
+        rng = np.random.default_rng(0)
+        t = np.arange(0.0, 100.0)
+        true_front = 100.0 + 10.0 * t
+        true_rear = 70.0 + 10.0 * t
+        front = make_track(t, true_front + rng.normal(0, 8.0, t.size))
+        rear = make_track(t, true_rear + rng.normal(0, 8.0, t.size))
+        est = GpsRdfBaseline().estimate(front, rear, t + 0.1, ROAD)
+        errs = np.abs(est - 30.0)
+        # error scale ~ sqrt(2)*8*sqrt(2/pi) ~ 9 m
+        assert 5.0 < np.nanmean(errs) < 14.0
+
+    def test_availability(self):
+        t = np.arange(0.0, 10.0)
+        valid = np.ones(10, dtype=bool)
+        valid[::2] = False
+        front = make_track(t, 100.0 + 10.0 * t, valid)
+        rear = make_track(t, 70.0 + 10.0 * t)
+        avail = GpsRdfBaseline(max_fix_age_s=0.5).availability(
+            front, rear, t + 0.1
+        )
+        assert avail == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpsRdfBaseline(max_fix_age_s=0.0)

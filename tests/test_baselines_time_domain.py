@@ -1,0 +1,81 @@
+"""Tests for repro.baselines.time_domain: the unbound matcher."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.time_domain import TimeDomainEstimate, TimeDomainMatcher
+
+
+@pytest.fixture(scope="module")
+def matcher():
+    return TimeDomainMatcher(
+        window_s=10.0, context_s=60.0, grid_dt_s=0.5, n_channels=25
+    )
+
+
+class TestTimeDomainMatcher:
+    def test_resolves_on_real_pair(self, matcher, shared_pair):
+        tq = 200.0
+        est = matcher.estimate(
+            shared_pair.rear.scan,
+            shared_pair.rear.estimated,
+            shared_pair.front.scan,
+            tq,
+        )
+        assert isinstance(est, TimeDomainEstimate)
+        if est.resolved:
+            truth = float(shared_pair.scenario.true_relative_distance(tq))
+            # Time-domain matching is coarse; just demand the right order
+            # of magnitude and sign.
+            assert est.distance_m > 0
+            assert abs(est.distance_m - truth) < 40.0
+            assert est.lag_s is not None and est.lag_s > 0
+
+    def test_worse_than_binding_on_average(self, matcher, shared_pair, shared_engine):
+        rng = np.random.default_rng(0)
+        t_lo, t_hi = shared_pair.query_window(600.0)
+        td, rups = [], []
+        for tq in rng.uniform(t_lo, t_hi, 10):
+            truth = float(shared_pair.scenario.true_relative_distance(tq))
+            e = matcher.estimate(
+                shared_pair.rear.scan,
+                shared_pair.rear.estimated,
+                shared_pair.front.scan,
+                tq,
+            )
+            if e.resolved:
+                td.append(abs(e.distance_m - truth))
+            own = shared_engine.build_trajectory(
+                shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+            )
+            other = shared_engine.build_trajectory(
+                shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+            )
+            r = shared_engine.estimate_relative_distance(own, other)
+            if r.resolved:
+                rups.append(abs(r.distance_m - truth))
+        assert rups, "RUPS must resolve"
+        # Binding either resolves more often or is more accurate.
+        if td:
+            assert np.mean(rups) <= np.mean(td) + 0.5
+        assert len(rups) >= len(td)
+
+    def test_unrelated_streams_rejected(self, matcher, shared_pair, small_plan):
+        from repro.experiments.traces import drive_pair
+
+        foreign = drive_pair(duration_s=240.0, plan=small_plan, seed=4242)
+        est = matcher.estimate(
+            shared_pair.rear.scan,
+            shared_pair.rear.estimated,
+            foreign.front.scan,
+            200.0,
+        )
+        assert not est.resolved
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TimeDomainMatcher(window_s=0.0)
+        with pytest.raises(ValueError):
+            TimeDomainMatcher(window_s=50.0, context_s=40.0)
+        with pytest.raises(ValueError):
+            TimeDomainMatcher(grid_dt_s=0.0)

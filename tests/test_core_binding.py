@@ -1,0 +1,153 @@
+"""Tests for repro.core.binding: time->distance binding + interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.core.binding import bind_scan, interpolate_missing
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+from repro.gsm.scanner import RadioGroup, scan_drive
+from repro.sensors.deadreckoning import EstimatedTrack
+
+
+def make_track(duration=60.0, speed=10.0):
+    t = np.arange(0.0, duration, 0.1)
+    return EstimatedTrack(
+        times_s=t, distance_m=speed * t, heading_rad=np.zeros(t.size)
+    )
+
+
+@pytest.fixture(scope="module")
+def scan_and_track(small_field, small_plan):
+    track = make_track()
+    group = RadioGroup(small_plan, n_radios=4)
+    scan = scan_drive(
+        small_field, lambda t: 10.0 * np.asarray(t), group, 0.0, 55.0, rng=0
+    )
+    return scan, track
+
+
+class TestBindScan:
+    def test_shapes(self, scan_and_track, small_plan):
+        scan, track = scan_and_track
+        traj = bind_scan(scan, track, at_time_s=50.0, context_length_m=300.0)
+        assert traj.n_channels == small_plan.n_channels
+        assert traj.n_marks == 301
+
+    def test_marks_follow_estimated_distance(self, scan_and_track):
+        scan, track = scan_and_track
+        traj = bind_scan(scan, track, at_time_s=50.0, context_length_m=200.0)
+        assert traj.geo.end_distance_m == pytest.approx(500.0, abs=1.0)
+
+    def test_measurements_after_query_excluded(self, scan_and_track):
+        scan, track = scan_and_track
+        early = bind_scan(scan, track, at_time_s=30.0, context_length_m=200.0)
+        assert early.geo.end_distance_m == pytest.approx(300.0, abs=1.0)
+
+    def test_no_interpolation_leaves_gaps(self, small_field, small_plan):
+        track = make_track()
+        group = RadioGroup(small_plan, n_radios=1)  # slow sweep -> gaps
+        scan = scan_drive(
+            small_field, lambda t: 10.0 * np.asarray(t), group, 0.0, 55.0, rng=0
+        )
+        raw = bind_scan(scan, track, at_time_s=50.0, interpolate=False)
+        assert raw.missing_fraction > 0.3
+
+    def test_interpolation_fills_gaps(self, small_field, small_plan):
+        track = make_track()
+        group = RadioGroup(small_plan, n_radios=1)
+        scan = scan_drive(
+            small_field, lambda t: 10.0 * np.asarray(t), group, 0.0, 55.0, rng=0
+        )
+        filled = bind_scan(scan, track, at_time_s=50.0, interpolate=True)
+        assert filled.missing_fraction == 0.0
+
+    def test_binding_accuracy(self, small_plan):
+        # With a perfect track and a noise-free field, the bound power at
+        # a mark must match the static field there (up to the slow
+        # temporal drift and the +-0.5 m rounding of binding).
+        from repro.gsm.field import FieldConfig, make_straight_field
+        from repro.roads.types import RoadType
+
+        field = make_straight_field(
+            300.0,
+            RoadType.URBAN_4LANE,
+            plan=small_plan,
+            seed=77,
+            config=FieldConfig(noise_sigma_db=0.0),
+        )
+        track = make_track(speed=2.0)
+        group = RadioGroup(small_plan, n_radios=4)
+        scan = scan_drive(
+            field, lambda t: 2.0 * np.asarray(t), group, 0.0, 55.0, rng=0
+        )
+        traj = bind_scan(scan, track, at_time_s=55.0, interpolate=False)
+        static = field.static_rssi(0)
+        ch, mark = 3, 50
+        bound = traj.power_dbm[ch, mark]
+        mark_dist = int(traj.geo.distances_m[mark])
+        assert bound == pytest.approx(
+            max(static[ch, mark_dist], -110.0), abs=4.0
+        )
+
+    def test_averaging_multiple_hits(self):
+        # Synthetic: two measurements of the same channel at one mark are
+        # averaged.
+        from repro.gsm.band import RGSM900
+        from repro.gsm.scanner import ScanStream
+
+        plan = RGSM900.subset(np.arange(2))
+        scan = ScanStream(
+            times_s=np.array([1.0, 2.0, 3.0]),
+            channel_indices=np.array([0, 0, 1]),
+            radio_ids=np.zeros(3, dtype=int),
+            s_true_m=np.zeros(3),
+            rssi_dbm=np.array([-80.0, -90.0, -70.0]),
+            plan=plan,
+        )
+        t = np.arange(0.0, 10.0, 0.1)
+        track = EstimatedTrack(
+            times_s=t, distance_m=np.linspace(0, 5, t.size), heading_rad=np.zeros(t.size)
+        )
+        traj = bind_scan(scan, track, at_time_s=9.9, spacing_m=1.0, interpolate=False)
+        # measurements at t=1,2 -> distances ~0.5,1.0 -> marks 1 rounds
+        col_vals = traj.power_dbm[0][~np.isnan(traj.power_dbm[0])]
+        assert col_vals.size >= 1
+
+
+class TestInterpolateMissing:
+    def _traj(self, power):
+        geo = GeoTrajectory(
+            timestamps_s=np.linspace(0, 1, power.shape[1]),
+            headings_rad=np.zeros(power.shape[1]),
+        )
+        return GsmTrajectory(power, np.arange(power.shape[0]), geo)
+
+    def test_linear_interior(self):
+        power = np.array([[0.0, np.nan, np.nan, 6.0, 8.0]])
+        out = interpolate_missing(self._traj(power))
+        assert np.allclose(out.power_dbm[0], [0.0, 2.0, 4.0, 6.0, 8.0])
+
+    def test_edges_take_nearest(self):
+        power = np.array([[np.nan, 2.0, 4.0, np.nan, np.nan]])
+        out = interpolate_missing(self._traj(power))
+        assert np.allclose(out.power_dbm[0], [2.0, 2.0, 4.0, 4.0, 4.0])
+
+    def test_never_measured_channel_stays_nan(self):
+        power = np.vstack([np.full(5, np.nan), np.arange(5.0)])
+        out = interpolate_missing(self._traj(power))
+        assert np.all(np.isnan(out.power_dbm[0]))
+        assert np.allclose(out.power_dbm[1], np.arange(5.0))
+
+    def test_complete_passthrough(self):
+        power = np.random.default_rng(0).normal(size=(3, 10))
+        traj = self._traj(power)
+        assert interpolate_missing(traj) is traj
+
+    def test_paper_fig6_example(self):
+        # "the RSSI value of channel 7 at location l5 is estimated by
+        # averaging the RSSI measures taken at location l3 and l7"
+        power = np.full((1, 9), np.nan)
+        power[0, 2] = -80.0  # l3
+        power[0, 6] = -60.0  # l7
+        out = interpolate_missing(self._traj(power))
+        assert out.power_dbm[0, 4] == pytest.approx(-70.0)  # l5 midpoint

@@ -1,0 +1,129 @@
+"""Tests for repro.core.correlation: eq. (2) plain and sliding."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.correlation import (
+    sliding_trajectory_correlation,
+    trajectory_correlation,
+)
+from repro.core.power_vector import pearson_correlation
+
+
+def random_traj(n_ch, n_marks, seed=0, mean=-80.0):
+    rng = np.random.default_rng(seed)
+    base = rng.normal(mean, 6.0, size=(n_ch, 1))
+    return base + rng.normal(0.0, 4.0, size=(n_ch, n_marks))
+
+
+class TestTrajectoryCorrelationEq2:
+    def test_self_correlation_is_two(self):
+        s = random_traj(8, 40)
+        assert trajectory_correlation(s, s) == pytest.approx(2.0)
+
+    def test_range_bounds(self):
+        a = random_traj(8, 40, seed=1)
+        b = random_traj(8, 40, seed=2)
+        r = trajectory_correlation(a, b)
+        assert -2.0 <= r <= 2.0
+
+    def test_independent_near_zero(self):
+        a = random_traj(40, 300, seed=3)
+        b = random_traj(40, 300, seed=4)
+        assert abs(trajectory_correlation(a, b)) < 0.4
+
+    def test_equals_sum_of_terms(self):
+        a = random_traj(5, 30, seed=5)
+        b = random_traj(5, 30, seed=6)
+        term1 = np.mean(
+            [pearson_correlation(a[i], b[i]) for i in range(5)]
+        )
+        term2 = pearson_correlation(a.mean(axis=1), b.mean(axis=1))
+        assert trajectory_correlation(a, b) == pytest.approx(term1 + term2)
+
+    def test_constant_channel_contributes_zero(self):
+        a = random_traj(4, 30, seed=7)
+        b = random_traj(4, 30, seed=8)
+        a2 = a.copy()
+        a2[0] = -75.0  # constant channel
+        r = trajectory_correlation(a2, b)
+        per = [pearson_correlation(a2[i], b[i]) for i in range(1, 4)]
+        term2 = pearson_correlation(a2.mean(axis=1), b.mean(axis=1))
+        assert r == pytest.approx(np.sum(per) / 4 + term2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            trajectory_correlation(np.zeros((3, 10)), np.zeros((3, 11)))
+        with pytest.raises(ValueError):
+            trajectory_correlation(np.zeros((3, 1)), np.zeros((3, 1)))
+
+    def test_symmetry(self):
+        a = random_traj(6, 25, seed=9)
+        b = random_traj(6, 25, seed=10)
+        assert trajectory_correlation(a, b) == pytest.approx(
+            trajectory_correlation(b, a)
+        )
+
+
+class TestSlidingCorrelation:
+    def test_matches_direct_evaluation(self):
+        target = random_traj(7, 60, seed=11)
+        query = target[:, 20:35] + np.random.default_rng(12).normal(
+            0, 1.0, size=(7, 15)
+        )
+        scores = sliding_trajectory_correlation(query, target)
+        assert scores.shape == (60 - 15 + 1,)
+        for p in (0, 10, 20, 33, 45):
+            direct = trajectory_correlation(query, target[:, p : p + 15])
+            assert scores[p] == pytest.approx(direct, abs=1e-9)
+
+    def test_peak_at_true_position(self):
+        target = random_traj(10, 200, seed=13)
+        query = target[:, 120:160]
+        scores = sliding_trajectory_correlation(query, target)
+        assert int(np.argmax(scores)) == 120
+        assert scores[120] == pytest.approx(2.0)
+
+    def test_noisy_peak_still_found(self):
+        target = random_traj(20, 300, seed=14)
+        rng = np.random.default_rng(15)
+        query = target[:, 200:260] + rng.normal(0, 1.5, size=(20, 61))[:, :60]
+        scores = sliding_trajectory_correlation(query, target)
+        assert abs(int(np.argmax(scores)) - 200) <= 1
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            sliding_trajectory_correlation(np.zeros((3, 10)), np.zeros((4, 20)))
+
+    def test_target_too_short(self):
+        with pytest.raises(ValueError):
+            sliding_trajectory_correlation(np.zeros((3, 10)), np.zeros((3, 5)))
+
+    def test_query_too_short(self):
+        with pytest.raises(ValueError):
+            sliding_trajectory_correlation(np.zeros((3, 1)), np.zeros((3, 5)))
+
+    def test_single_position(self):
+        a = random_traj(4, 30, seed=16)
+        scores = sliding_trajectory_correlation(a, a)
+        assert scores.shape == (1,)
+        assert scores[0] == pytest.approx(2.0)
+
+    def test_constant_target_window_zero_score(self):
+        query = random_traj(3, 10, seed=17)
+        target = np.full((3, 30), -80.0)
+        scores = sliding_trajectory_correlation(query, target)
+        assert np.allclose(scores, 0.0)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_bounded_for_random_inputs(self, seed):
+        rng = np.random.default_rng(seed)
+        query = rng.normal(size=(4, 8))
+        target = rng.normal(size=(4, 30))
+        scores = sliding_trajectory_correlation(query, target)
+        assert np.all(scores <= 2.0 + 1e-9)
+        assert np.all(scores >= -2.0 - 1e-9)
+        assert np.all(np.isfinite(scores))

@@ -1,0 +1,87 @@
+"""Tests for repro.core.tracking.DistanceFilter (alpha-beta smoother)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tracking import DistanceFilter
+
+
+class TestDistanceFilter:
+    def test_uninitialized_returns_none(self):
+        f = DistanceFilter()
+        assert f.step(0.0, None) is None
+        assert not f.initialized
+
+    def test_first_measurement_initializes(self):
+        f = DistanceFilter()
+        assert f.step(0.0, 25.0) == pytest.approx(25.0)
+        assert f.initialized
+        assert not f.stale
+
+    def test_tracks_constant_gap(self):
+        f = DistanceFilter()
+        rng = np.random.default_rng(0)
+        outs = [f.step(t, 30.0 + rng.normal(0, 1.0)) for t in np.arange(0, 20, 0.5)]
+        assert outs[-1] == pytest.approx(30.0, abs=1.5)
+        assert f.closing_speed_ms == pytest.approx(0.0, abs=0.6)
+
+    def test_tracks_linear_gap(self):
+        f = DistanceFilter()
+        for t in np.arange(0.0, 30.0, 0.5):
+            out = f.step(t, 20.0 + 0.5 * t)
+        assert out == pytest.approx(20.0 + 0.5 * 29.5, abs=1.0)
+        assert f.closing_speed_ms == pytest.approx(0.5, abs=0.15)
+
+    def test_smoothing_reduces_noise(self):
+        rng = np.random.default_rng(1)
+        times = np.arange(0.0, 60.0, 1.0)
+        truth = 25.0 + 3.0 * np.sin(times / 15.0)
+        noisy = truth + rng.normal(0, 2.0, times.size)
+        f = DistanceFilter(alpha=0.4, beta=0.05)
+        filtered = np.array([f.step(t, m) for t, m in zip(times, noisy)])
+        warmup = 10
+        raw_rmse = np.sqrt(np.mean((noisy[warmup:] - truth[warmup:]) ** 2))
+        flt_rmse = np.sqrt(np.mean((filtered[warmup:] - truth[warmup:]) ** 2))
+        assert flt_rmse < raw_rmse
+
+    def test_coasts_through_gaps(self):
+        f = DistanceFilter(max_coast_s=5.0)
+        for t in np.arange(0.0, 10.0, 1.0):
+            f.step(t, 20.0 + 1.0 * t)
+        # two missing periods: prediction continues the trend
+        out = f.step(12.0, None)
+        assert out == pytest.approx(32.0, abs=2.0)
+        assert not f.stale
+
+    def test_goes_stale_after_budget(self):
+        f = DistanceFilter(max_coast_s=3.0)
+        f.step(0.0, 20.0)
+        f.step(1.0, 20.0)
+        assert f.step(10.0, None) is None
+        assert f.stale
+
+    def test_recovers_from_stale(self):
+        f = DistanceFilter(max_coast_s=3.0)
+        f.step(0.0, 20.0)
+        f.step(10.0, None)
+        assert f.step(11.0, 22.0) is not None
+        assert not f.stale
+
+    def test_reset(self):
+        f = DistanceFilter()
+        f.step(0.0, 20.0)
+        f.reset()
+        assert not f.initialized
+        assert f.step(5.0, None) is None
+
+    def test_time_monotonicity_enforced(self):
+        f = DistanceFilter()
+        f.step(5.0, 20.0)
+        with pytest.raises(ValueError):
+            f.step(4.0, 21.0)
+
+    def test_gain_validation(self):
+        with pytest.raises(ValueError):
+            DistanceFilter(alpha=0.1, beta=0.5)
+        with pytest.raises(ValueError):
+            DistanceFilter(max_coast_s=0.0)

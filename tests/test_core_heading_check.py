@@ -1,0 +1,126 @@
+"""Tests for the heading-consistency SYN gate (geo-trajectory comparison)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine
+from repro.core.syn import SynPoint, heading_agreement_rad
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+
+from tests.test_core_syn_resolver import synthetic_pair
+
+
+def _with_headings(traj: GsmTrajectory, headings: np.ndarray) -> GsmTrajectory:
+    geo = GeoTrajectory(
+        timestamps_s=traj.geo.timestamps_s,
+        headings_rad=headings,
+        spacing_m=traj.geo.spacing_m,
+        start_distance_m=traj.geo.start_distance_m,
+    )
+    return GsmTrajectory(traj.power_dbm, traj.channel_ids, geo)
+
+
+def _syn_for(rear, front, gap=30.0):
+    return SynPoint(
+        score=1.5,
+        own_distance_m=rear.geo.end_distance_m,
+        other_distance_m=front.geo.end_distance_m - gap,
+        own_offset_m=0.0,
+        other_offset_m=gap,
+        window_length_m=60.0,
+        query_side="own",
+    )
+
+
+class TestHeadingAgreement:
+    def test_identical_headings_agree(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        syn = _syn_for(rear.geo and rear, front)
+        assert heading_agreement_rad(rear, front, syn) == pytest.approx(0.0)
+
+    def test_same_curve_agrees(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        # Both vehicles drove the same physical curve: headings are a
+        # function of road position, which differs per trajectory index.
+        curve = lambda dist: 0.5 * np.sin(dist / 60.0)
+        rear2 = _with_headings(rear, curve(np.arange(rear.n_marks, dtype=float)))
+        # front's window [end-30-60, end-30] corresponds to the same road
+        # stretch as rear's last 60 m; reconstruct via road coordinates.
+        road_pos_front = np.arange(front.n_marks, dtype=float) + (
+            rear.n_marks - 1 + 30.0 - (front.n_marks - 1)
+        )
+        front2 = _with_headings(front, curve(road_pos_front))
+        syn = _syn_for(rear2, front2)
+        assert heading_agreement_rad(rear2, front2, syn) < 0.05
+
+    def test_perpendicular_roads_disagree(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        rear2 = _with_headings(rear, np.zeros(rear.n_marks))
+        front2 = _with_headings(front, np.full(front.n_marks, np.pi / 2))
+        syn = _syn_for(rear2, front2)
+        assert heading_agreement_rad(rear2, front2, syn) == pytest.approx(
+            np.pi / 2, abs=1e-9
+        )
+
+    def test_wraparound_handled(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        rear2 = _with_headings(rear, np.full(rear.n_marks, np.pi - 0.05))
+        front2 = _with_headings(front, np.full(front.n_marks, -np.pi + 0.05))
+        syn = _syn_for(rear2, front2)
+        # 0.1 rad apart across the seam, not ~2*pi.
+        assert heading_agreement_rad(rear2, front2, syn) == pytest.approx(
+            0.1, abs=1e-6
+        )
+
+    def test_window_outside_trajectory_raises(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        bad = SynPoint(
+            score=1.5,
+            own_distance_m=rear.geo.start_distance_m + 5.0,  # too early
+            other_distance_m=front.geo.end_distance_m,
+            own_offset_m=0.0,
+            other_offset_m=0.0,
+            window_length_m=60.0,
+            query_side="own",
+        )
+        with pytest.raises(ValueError, match="window"):
+            heading_agreement_rad(rear, front, bad)
+
+
+class TestEngineGate:
+    CFG = dict(
+        context_length_m=500.0,
+        window_length_m=60.0,
+        window_channels=20,
+        n_syn_points=3,
+        syn_stride_m=20.0,
+    )
+
+    def test_consistent_headings_pass(self):
+        rear, front = synthetic_pair(gap_m=25.0)
+        engine = RupsEngine(RupsConfig(heading_check=True, **self.CFG))
+        est = engine.estimate_relative_distance(rear, front)
+        assert est.resolved
+        assert est.distance_m == pytest.approx(25.0, abs=3.0)
+
+    def test_wildly_disagreeing_headings_rejected(self):
+        rear, front = synthetic_pair(gap_m=25.0)
+        front_turned = _with_headings(
+            front, np.full(front.n_marks, np.pi / 2)
+        )
+        engine = RupsEngine(RupsConfig(heading_check=True, **self.CFG))
+        est = engine.estimate_relative_distance(rear, front_turned)
+        assert not est.resolved
+
+    def test_gate_off_by_default(self):
+        rear, front = synthetic_pair(gap_m=25.0)
+        front_turned = _with_headings(front, np.full(front.n_marks, np.pi / 2))
+        engine = RupsEngine(RupsConfig(**self.CFG))
+        est = engine.estimate_relative_distance(rear, front_turned)
+        # Without the gate, signal similarity alone decides.
+        assert est.resolved
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RupsConfig(max_heading_disagreement_rad=0.0)

@@ -1,0 +1,223 @@
+"""Tests for repro.core.syn and repro.core.resolver."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RupsConfig
+from repro.core.resolver import (
+    AGGREGATORS,
+    aggregate_estimates,
+    resolve_relative_distance,
+)
+from repro.core.syn import SynPoint, find_syn_points, seek_syn_point
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+
+
+def synthetic_pair(
+    gap_m: float = 30.0,
+    n_channels: int = 20,
+    front_len: int = 501,
+    rear_len: int = 401,
+    noise: float = 1.0,
+    seed: int = 0,
+):
+    """Two trajectories sampled from one synthetic 'road field'.
+
+    The front vehicle's context ends ``gap_m`` ahead of the rear's.  Both
+    carry the same per-channel field (AR(1)-ish random walk smoothed) plus
+    independent noise.  Odometer origins differ so the test also covers
+    mismatched start distances.
+    """
+    rng = np.random.default_rng(seed)
+    gap = int(round(gap_m))
+    # Shift everything so the front context (which may be longer than the
+    # rear one) stays within the synthetic road.
+    offset = max(0, front_len - rear_len - gap) + 50
+    road_len = offset + rear_len + gap + 200
+    field = np.cumsum(rng.normal(0, 1.0, size=(n_channels, road_len)), axis=1)
+    field = field - field.mean(axis=1, keepdims=True) + rng.normal(
+        -80, 6, size=(n_channels, 1)
+    )
+
+    # Rear context covers road positions [offset, offset + rear_len);
+    # front covers [front_hi - front_len, front_hi).
+    front_hi = offset + rear_len + gap
+    front_lo = front_hi - front_len
+    assert front_lo >= 0
+
+    def traj(lo, hi, start_distance, seed2):
+        r2 = np.random.default_rng(seed2)
+        power = field[:, lo:hi] + r2.normal(0, noise, size=(n_channels, hi - lo))
+        n = hi - lo
+        geo = GeoTrajectory(
+            timestamps_s=np.linspace(0.0, 60.0, n),
+            headings_rad=np.zeros(n),
+            spacing_m=1.0,
+            start_distance_m=start_distance,
+        )
+        return GsmTrajectory(power, np.arange(n_channels), geo)
+
+    rear = traj(offset, offset + rear_len, 1000.0, seed + 1)
+    front = traj(front_lo, front_hi, 5000.0, seed + 2)
+    return rear, front
+
+
+CFG = RupsConfig(
+    context_length_m=500.0,
+    window_length_m=60.0,
+    window_channels=20,
+    coherency_threshold=1.2,
+    n_syn_points=5,
+    syn_stride_m=20.0,
+)
+
+
+class TestSeekSynPoint:
+    def test_finds_overlap(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        syn = seek_syn_point(rear, front, CFG)
+        assert syn is not None
+        assert syn.score > 1.2
+        # rear's most recent context is inside front's trajectory, so the
+        # rear-side query wins and the rear offset is ~0.
+        assert syn.own_offset_m == pytest.approx(0.0, abs=2.0)
+        assert syn.other_offset_m == pytest.approx(30.0, abs=2.0)
+
+    def test_unrelated_rejected(self):
+        rear, _ = synthetic_pair(seed=1)
+        _, other_road_front = synthetic_pair(seed=77)
+        syn = seek_syn_point(rear, other_road_front, CFG)
+        assert syn is None
+
+    def test_requires_matching_channels(self):
+        rear, front = synthetic_pair()
+        mismatched = front.select_channels(front.channel_ids[:-1])
+        with pytest.raises(ValueError, match="channel"):
+            seek_syn_point(rear, mismatched, CFG)
+
+    def test_requires_matching_spacing(self):
+        rear, front = synthetic_pair()
+        geo2 = GeoTrajectory(
+            timestamps_s=front.geo.timestamps_s,
+            headings_rad=front.geo.headings_rad,
+            spacing_m=2.0,
+            start_distance_m=front.geo.start_distance_m,
+        )
+        front2 = GsmTrajectory(front.power_dbm, front.channel_ids, geo2)
+        with pytest.raises(ValueError, match="spacing"):
+            seek_syn_point(rear, front2, CFG)
+
+    def test_flexible_window_short_context(self):
+        rear, front = synthetic_pair(gap_m=10.0)
+        short_rear = rear.tail(15.0)  # only 15 m of context
+        cfg = RupsConfig(
+            context_length_m=500.0,
+            window_length_m=60.0,
+            window_channels=20,
+            flexible_window=True,
+            min_window_length_m=10.0,
+            min_coherency_threshold=0.8,
+        )
+        syn = seek_syn_point(short_rear, front, cfg)
+        assert syn is not None
+        assert syn.window_length_m <= 15.0
+
+    def test_rigid_window_short_context_fails(self):
+        rear, front = synthetic_pair(gap_m=10.0)
+        short_rear = rear.tail(15.0)
+        cfg = RupsConfig(
+            context_length_m=500.0,
+            window_length_m=60.0,
+            window_channels=20,
+            flexible_window=False,
+        )
+        assert seek_syn_point(short_rear, front, cfg) is None
+
+    def test_symmetric_result(self):
+        # Swapping own/other flips offsets but names the same location.
+        rear, front = synthetic_pair(gap_m=40.0)
+        a = seek_syn_point(rear, front, CFG)
+        b = seek_syn_point(front, rear, CFG)
+        assert a is not None and b is not None
+        assert a.own_distance_m == pytest.approx(b.other_distance_m, abs=1.0)
+        assert a.other_distance_m == pytest.approx(b.own_distance_m, abs=1.0)
+
+
+class TestFindSynPoints:
+    def test_multiple_points(self):
+        rear, front = synthetic_pair(gap_m=25.0)
+        syns = find_syn_points(rear, front, CFG)
+        assert 2 <= len(syns) <= 5
+        # all consistent with the true gap
+        for s in syns:
+            assert resolve_relative_distance(s) == pytest.approx(25.0, abs=3.0)
+
+    def test_unrelated_returns_empty(self):
+        rear, _ = synthetic_pair(seed=5)
+        _, other = synthetic_pair(seed=99)
+        assert find_syn_points(rear, other, CFG) == []
+
+    def test_n_points_override(self):
+        rear, front = synthetic_pair(gap_m=25.0)
+        syns = find_syn_points(rear, front, CFG, n_points=2)
+        assert len(syns) <= 2
+
+    def test_invalid_n_points(self):
+        rear, front = synthetic_pair()
+        with pytest.raises(ValueError):
+            find_syn_points(rear, front, CFG, n_points=0)
+
+
+class TestResolver:
+    def _syn(self, own_off, other_off, score=1.5):
+        return SynPoint(
+            score=score,
+            own_distance_m=100.0,
+            other_distance_m=200.0,
+            own_offset_m=own_off,
+            other_offset_m=other_off,
+            window_length_m=60.0,
+            query_side="own",
+        )
+
+    def test_resolve_sign_convention(self):
+        # Other travelled 30 m past the SYN point, we travelled 0 -> other
+        # is 30 m ahead.
+        assert resolve_relative_distance(self._syn(0.0, 30.0)) == pytest.approx(30.0)
+        assert resolve_relative_distance(self._syn(30.0, 0.0)) == pytest.approx(-30.0)
+
+    def test_aggregate_single(self):
+        syns = [self._syn(0, 10), self._syn(0, 99)]
+        assert aggregate_estimates(syns, "single") == pytest.approx(10.0)
+
+    def test_aggregate_mean(self):
+        syns = [self._syn(0, 10), self._syn(0, 20), self._syn(0, 30)]
+        assert aggregate_estimates(syns, "mean") == pytest.approx(20.0)
+
+    def test_aggregate_selective_trims_extremes(self):
+        syns = [self._syn(0, v) for v in (10, 12, 14, 11, 99)]
+        # drop min (10) and max (99): mean of 11, 12, 14
+        assert aggregate_estimates(syns, "selective") == pytest.approx(
+            (11 + 12 + 14) / 3
+        )
+
+    def test_selective_degrades_to_mean_below_three(self):
+        syns = [self._syn(0, 10), self._syn(0, 20)]
+        assert aggregate_estimates(syns, "selective") == pytest.approx(15.0)
+
+    def test_selective_robust_to_outlier(self):
+        clean = [self._syn(0, v) for v in (20, 21, 19, 20)]
+        dirty = clean + [self._syn(0, 90)]
+        sel = aggregate_estimates(dirty, "selective")
+        mean = aggregate_estimates(dirty, "mean")
+        assert abs(sel - 20.0) < abs(mean - 20.0)
+
+    def test_empty_returns_none(self):
+        assert aggregate_estimates([], "mean") is None
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            aggregate_estimates([self._syn(0, 1)], "median-of-medians")
+
+    def test_registry_complete(self):
+        assert set(AGGREGATORS) == {"single", "mean", "selective"}

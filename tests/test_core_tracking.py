@@ -1,0 +1,100 @@
+"""Tests for repro.core.tracking: continuous tracking sessions."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RupsConfig
+from repro.core.tracking import RupsTracker
+
+from tests.test_core_syn_resolver import synthetic_pair
+
+CFG = RupsConfig(
+    context_length_m=500.0,
+    window_length_m=60.0,
+    window_channels=20,
+    coherency_threshold=1.2,
+    n_syn_points=3,
+    syn_stride_m=20.0,
+)
+
+
+class TestRupsTracker:
+    def test_first_update_full_then_locked(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        u1 = tracker.update(rear, front)
+        assert u1.mode == "full"
+        assert u1.estimate.resolved
+        assert tracker.locked
+        u2 = tracker.update(rear, front)
+        assert u2.mode == "locked"
+        assert u2.estimate.resolved
+        assert u2.estimate.distance_m == pytest.approx(30.0, abs=3.0)
+
+    def test_locked_updates_consistent(self):
+        rear, front = synthetic_pair(gap_m=25.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        full = tracker.update(rear, front).estimate.distance_m
+        locked = tracker.update(rear, front).estimate.distance_m
+        assert locked == pytest.approx(full, abs=2.0)
+
+    def test_unrelated_never_locks(self):
+        rear, _ = synthetic_pair(seed=3)
+        _, foreign = synthetic_pair(seed=88)
+        tracker = RupsTracker(CFG)
+        for _ in range(3):
+            u = tracker.update(rear, foreign)
+            assert not u.estimate.resolved
+        assert not tracker.locked
+        assert tracker.last_distance_m() is None
+
+    def test_lock_loss_falls_back_to_full(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        _, foreign = synthetic_pair(seed=99)
+        tracker = RupsTracker(CFG, locked_context_m=150.0, max_locked_failures=1)
+        tracker.update(rear, front)
+        assert tracker.locked
+        # neighbour replaced by an unrelated trajectory: locked search
+        # fails, tracker retries full and reports unlocked.
+        u = tracker.update(rear, foreign)
+        assert not u.locked_after
+        assert not tracker.locked
+
+    def test_relock_after_recovery(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        _, foreign = synthetic_pair(seed=99)
+        tracker = RupsTracker(CFG, locked_context_m=150.0, max_locked_failures=1)
+        tracker.update(rear, front)
+        tracker.update(rear, foreign)  # lock lost
+        u = tracker.update(rear, front)
+        assert u.estimate.resolved
+        assert tracker.locked
+
+    def test_history_and_last_distance(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        tracker.update(rear, front)
+        tracker.update(rear, front)
+        assert len(tracker.history) == 2
+        assert tracker.last_distance_m() == pytest.approx(30.0, abs=3.0)
+
+    def test_reset(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        tracker.update(rear, front)
+        tracker.reset()
+        assert not tracker.locked
+        assert tracker.history == []
+
+    def test_trim_leaves_short_contexts_alone(self):
+        rear, front = synthetic_pair(gap_m=20.0, rear_len=101, front_len=151)
+        tracker = RupsTracker(CFG, locked_context_m=400.0)
+        u = tracker.update(rear, front)
+        # first update always full; nothing to trim anyway
+        assert u.mode == "full"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RupsTracker(CFG, locked_context_m=10.0)  # below window length
+        with pytest.raises(ValueError):
+            RupsTracker(CFG, locked_context_m=150.0, max_locked_failures=0)

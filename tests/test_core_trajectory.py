@@ -1,0 +1,145 @@
+"""Tests for repro.core.trajectory containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+
+
+def make_geo(n=101, spacing=1.0, start=0.0):
+    return GeoTrajectory(
+        timestamps_s=np.linspace(0.0, 10.0, n),
+        headings_rad=np.full(n, 0.1),
+        spacing_m=spacing,
+        start_distance_m=start,
+    )
+
+
+def make_gsm(n_channels=5, n_marks=101, start=0.0, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    return GsmTrajectory(
+        power_dbm=rng.normal(-80, 5, size=(n_channels, n_marks)),
+        channel_ids=np.arange(n_channels),
+        geo=make_geo(n=n_marks, start=start),
+    )
+
+
+class TestGeoTrajectory:
+    def test_properties(self):
+        geo = make_geo(n=101, start=50.0)
+        assert geo.n_marks == 101
+        assert geo.length_m == pytest.approx(100.0)
+        assert geo.end_distance_m == pytest.approx(150.0)
+        assert geo.distances_m[0] == pytest.approx(50.0)
+        assert geo.end_time_s == pytest.approx(10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeoTrajectory(np.array([0.0]), np.array([0.0]))
+        with pytest.raises(ValueError, match="non-decreasing"):
+            GeoTrajectory(np.array([1.0, 0.0]), np.zeros(2))
+        with pytest.raises(ValueError):
+            GeoTrajectory(np.array([0.0, 1.0]), np.zeros(2), spacing_m=0.0)
+        with pytest.raises(ValueError):
+            GeoTrajectory(np.array([0.0, 1.0]), np.zeros(3))
+
+    def test_tail(self):
+        geo = make_geo(n=101)
+        tail = geo.tail(20.0)
+        assert tail.n_marks == 21
+        assert tail.end_distance_m == pytest.approx(geo.end_distance_m)
+        assert tail.start_distance_m == pytest.approx(80.0)
+        assert tail.timestamps_s[-1] == geo.timestamps_s[-1]
+
+    def test_tail_longer_than_available(self):
+        geo = make_geo(n=11)
+        tail = geo.tail(500.0)
+        assert tail.n_marks == 11
+
+    def test_tail_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            make_geo().tail(0.0)
+
+    def test_slice_marks(self):
+        geo = make_geo(n=101, start=10.0)
+        part = geo.slice_marks(10, 21)
+        assert part.n_marks == 11
+        assert part.start_distance_m == pytest.approx(20.0)
+
+    def test_slice_too_small(self):
+        with pytest.raises(ValueError):
+            make_geo().slice_marks(5, 6)
+
+
+class TestGsmTrajectory:
+    def test_properties(self):
+        traj = make_gsm(n_channels=7, n_marks=51)
+        assert traj.n_channels == 7
+        assert traj.n_marks == 51
+        assert traj.length_m == pytest.approx(50.0)
+        assert traj.missing_fraction == 0.0
+
+    def test_validation_alignment(self):
+        geo = make_geo(n=10)
+        with pytest.raises(ValueError):
+            GsmTrajectory(np.zeros((3, 9)), np.arange(3), geo)
+        with pytest.raises(ValueError):
+            GsmTrajectory(np.zeros((3, 10)), np.arange(4), geo)
+        with pytest.raises(ValueError, match="duplicate"):
+            GsmTrajectory(np.zeros((2, 10)), np.array([1, 1]), geo)
+
+    def test_missing_fraction(self):
+        traj = make_gsm(n_channels=2, n_marks=10)
+        power = traj.power_dbm.copy()
+        power[0, :5] = np.nan
+        t2 = GsmTrajectory(power, traj.channel_ids, traj.geo)
+        assert t2.missing_fraction == pytest.approx(0.25)
+
+    def test_tail_slices_power(self):
+        traj = make_gsm(n_marks=101)
+        tail = traj.tail(10.0)
+        assert tail.n_marks == 11
+        assert np.array_equal(tail.power_dbm, traj.power_dbm[:, -11:])
+
+    def test_select_channels(self):
+        traj = make_gsm(n_channels=6)
+        sub = traj.select_channels(np.array([4, 1]))
+        assert np.array_equal(sub.channel_ids, [4, 1])
+        assert np.array_equal(sub.power_dbm[0], traj.power_dbm[4])
+        assert np.array_equal(sub.power_dbm[1], traj.power_dbm[1])
+
+    def test_select_unknown_channel(self):
+        with pytest.raises(KeyError):
+            make_gsm().select_channels(np.array([99]))
+
+    def test_strongest_channels(self):
+        geo = make_geo(n=10)
+        power = np.array(
+            [np.full(10, -100.0), np.full(10, -60.0), np.full(10, -80.0)]
+        )
+        traj = GsmTrajectory(power, np.array([10, 20, 30]), geo)
+        assert np.array_equal(traj.strongest_channels(2), [20, 30])
+
+    def test_strongest_ignores_all_nan_channels(self):
+        geo = make_geo(n=10)
+        power = np.vstack([np.full(10, np.nan), np.full(10, -70.0)])
+        traj = GsmTrajectory(power, np.array([1, 2]), geo)
+        assert np.array_equal(traj.strongest_channels(1), [2])
+
+    def test_strongest_validation(self):
+        with pytest.raises(ValueError):
+            make_gsm(n_channels=3).strongest_channels(0)
+        with pytest.raises(ValueError):
+            make_gsm(n_channels=3).strongest_channels(4)
+
+    def test_common_channels(self):
+        geo = make_geo(n=10)
+        a = GsmTrajectory(np.zeros((3, 10)), np.array([1, 2, 3]), geo)
+        b = GsmTrajectory(np.zeros((3, 10)), np.array([2, 3, 4]), geo)
+        assert np.array_equal(a.common_channels(b), [2, 3])
+
+    def test_slice_marks(self):
+        traj = make_gsm(n_marks=50)
+        part = traj.slice_marks(10, 30)
+        assert part.n_marks == 20
+        assert np.array_equal(part.power_dbm, traj.power_dbm[:, 10:30])

@@ -1,0 +1,130 @@
+"""Edge-case coverage across modules: error paths and boundary behaviour
+that the per-module suites don't reach."""
+
+import numpy as np
+import pytest
+
+from repro.core.binding import bind_scan
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine
+from repro.roads.network import RoadNetworkConfig, generate_network
+from repro.roads.route import build_route, random_route
+from repro.util.stats import cdf_at
+from repro.v2v.channel import DsrcChannel
+from repro.v2v.exchange import ExchangeSession
+
+
+class TestChannelRetryExhaustion:
+    def test_undeliverable_with_zero_retries(self):
+        ch = DsrcChannel(loss_prob=0.9, max_retries=0)
+        # with 90% loss and no retries, a many-packet transfer fails
+        result = ch.transfer_bytes(b"\x00" * 100_000, rng=3)
+        assert not result.delivered
+
+    def test_exchange_session_state_frozen_on_failure(self):
+        from tests.test_v2v_serialization_exchange import make_traj
+
+        lossy = DsrcChannel(loss_prob=0.9, max_retries=0)
+        session = ExchangeSession(channel=lossy, rng=1)
+        traj = make_traj(n_channels=20, n_marks=301)
+        result = session.send_update(traj)
+        if not result.delivered:
+            # undelivered full sync leaves the session without a peer state
+            assert not session.locked
+            with pytest.raises(RuntimeError):
+                session.notify_syn_found()
+
+
+class TestRouteErrors:
+    @pytest.fixture(scope="class")
+    def network(self):
+        return generate_network(RoadNetworkConfig(blocks_x=4, blocks_y=3), seed=2)
+
+    def test_build_route_needs_two_nodes(self, network):
+        with pytest.raises(ValueError):
+            build_route(network, [network.segments[0].u])
+
+    def test_random_route_impossible_length(self, network):
+        with pytest.raises(RuntimeError):
+            random_route(network, min_length_m=1e9, rng=0, max_tries=3)
+
+    def test_random_route_missing_type(self, network):
+        from repro.roads.types import RoadType
+
+        # ELEVATED exists; but a subgraph restricted to a type that the
+        # network's walk can't satisfy at huge length must fail cleanly.
+        with pytest.raises((RuntimeError, ValueError)):
+            random_route(
+                network,
+                min_length_m=1e8,
+                road_type=RoadType.UNDER_ELEVATED,
+                rng=0,
+                max_tries=3,
+            )
+
+
+class TestEngineOverrides:
+    def test_context_length_override(self, shared_pair, shared_engine):
+        short = shared_engine.build_trajectory(
+            shared_pair.rear.scan,
+            shared_pair.rear.estimated,
+            at_time_s=200.0,
+            context_length_m=150.0,
+        )
+        assert short.n_marks == 151
+
+    def test_spacing_respected_in_binding(self, shared_pair):
+        traj = bind_scan(
+            shared_pair.rear.scan,
+            shared_pair.rear.estimated,
+            at_time_s=200.0,
+            context_length_m=200.0,
+            spacing_m=2.0,
+        )
+        assert traj.spacing_m == 2.0
+        assert traj.n_marks == 101
+
+    def test_coarse_spacing_pipeline(self, shared_pair):
+        # A full query at 2 m binding resolution: engine config drives
+        # both binding and matching consistently.
+        engine = RupsEngine(
+            RupsConfig(
+                context_length_m=600.0,
+                window_channels=30,
+                spacing_m=2.0,
+                window_length_m=84.0,
+                syn_stride_m=24.0,
+            )
+        )
+        tq = 200.0
+        own = engine.build_trajectory(
+            shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+        )
+        other = engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        assert own.spacing_m == 2.0
+        est = engine.estimate_relative_distance(own, other)
+        assert est.resolved
+        truth = float(shared_pair.scenario.true_relative_distance(tq))
+        assert est.distance_m == pytest.approx(truth, abs=10.0)
+
+
+class TestStatsEdges:
+    def test_cdf_at_below_and_above(self):
+        vals = cdf_at(np.array([1.0, 2.0, 3.0]), np.array([0.0, 3.0, 99.0]))
+        assert vals[0] == 0.0
+        assert vals[1] == pytest.approx(1.0)
+        assert vals[2] == pytest.approx(1.0)
+
+
+class TestNetworkStructure:
+    def test_ramps_connect_elevated(self):
+        net = generate_network(RoadNetworkConfig(blocks_x=4, blocks_y=3), seed=1)
+        import networkx as nx
+
+        elevated_nodes = [n for n in net.graph.nodes if isinstance(n, tuple) and n and n[0] == "elev"]
+        assert elevated_nodes
+        surface = (0, 0)
+        for node in elevated_nodes[:2]:
+            assert nx.has_path(net.graph, surface, node)

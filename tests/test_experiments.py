@@ -1,0 +1,177 @@
+"""Tests for the experiments package (metrics, reporting, traces, registry,
+and light-weight runs of the study functions)."""
+
+import numpy as np
+import pytest
+
+from repro.core.syn import SynPoint
+from repro.experiments.metrics import (
+    QueryBatch,
+    QueryOutcome,
+    relative_distance_error,
+    syn_point_error,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.reporting import (
+    render_cdf_summary,
+    render_series,
+    render_table,
+)
+from repro.experiments.traces import RoadSurvey, drive_pair
+from repro.roads.types import RoadType
+
+
+class TestMetrics:
+    def test_rde(self):
+        assert relative_distance_error(10.0, 12.5) == pytest.approx(2.5)
+        assert relative_distance_error(12.5, 10.0) == pytest.approx(2.5)
+
+    def test_query_outcome(self):
+        o = QueryOutcome(time_s=1.0, truth_m=20.0, estimate_m=18.0)
+        assert o.resolved
+        assert o.rde_m == pytest.approx(2.0)
+        u = QueryOutcome(time_s=1.0, truth_m=20.0, estimate_m=None)
+        assert not u.resolved
+        with pytest.raises(ValueError):
+            _ = u.rde_m
+
+    def test_query_batch_summary(self):
+        batch = QueryBatch()
+        batch.append(QueryOutcome(0.0, 10.0, 12.0, syn_errors_m=(1.0, 2.0)))
+        batch.append(QueryOutcome(1.0, 10.0, None))
+        assert batch.n_queries == 2
+        assert batch.n_resolved == 1
+        assert batch.resolution_rate == pytest.approx(0.5)
+        assert np.allclose(batch.rde(), [2.0])
+        assert np.allclose(batch.syn_errors(), [1.0, 2.0])
+        assert batch.mean_rde() == pytest.approx(2.0)
+
+    def test_empty_batch_mean_nan(self):
+        assert np.isnan(QueryBatch().mean_rde())
+
+    def test_syn_point_error_exact_on_perfect_sensors(self, shared_pair):
+        # A SYN point naming the positions both vehicles truly shared has
+        # near-zero error; fabricate one from ground truth.
+        pair = shared_pair
+        tq = 200.0
+        s_rear_true = float(pair.rear.motion.arc_length_at(tq))
+        t_front = float(pair.front.motion.time_at_distance(s_rear_true))
+        syn = SynPoint(
+            score=2.0,
+            own_distance_m=float(pair.rear.estimated.distance_at(tq)),
+            other_distance_m=float(pair.front.estimated.distance_at(t_front)),
+            own_offset_m=0.0,
+            other_offset_m=0.0,
+            window_length_m=85.0,
+            query_side="own",
+        )
+        err = syn_point_error(syn, pair.rear, pair.front)
+        assert err < 1.5
+
+
+class TestReporting:
+    def test_render_table(self):
+        out = render_table(["a", "b"], [[1, 2.5], ["x", float("nan")]], title="T")
+        assert "T" in out
+        assert "2.50" in out
+        assert "n/a" in out
+
+    def test_render_table_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_render_cdf_summary(self):
+        out = render_cdf_summary({"s": np.array([1.0, 3.0, 9.0])}, grid=(2.0, 10.0))
+        assert "P(<=2.0m)" in out
+        assert "0.33" in out
+
+    def test_render_series(self):
+        out = render_series(
+            np.array([1.0, 2.0]), {"y": np.array([0.1, 0.2])}, x_name="x"
+        )
+        assert "0.10" in out
+
+    def test_render_series_length_check(self):
+        with pytest.raises(ValueError):
+            render_series(np.array([1.0]), {"y": np.array([1.0, 2.0])}, "x")
+
+
+class TestRoadSurvey:
+    def test_fields_cached_and_deterministic(self, small_plan):
+        survey = RoadSurvey(n_roads=3, length_m=60.0, plan=small_plan, seed=2)
+        f1 = survey.field(0)
+        assert survey.field(0) is f1
+        survey2 = RoadSurvey(n_roads=3, length_m=60.0, plan=small_plan, seed=2)
+        assert np.allclose(f1.static_rssi(0), survey2.field(0).static_rssi(0))
+
+    def test_environment_mix(self, small_plan):
+        survey = RoadSurvey(n_roads=6, length_m=60.0, plan=small_plan)
+        types = {survey.road_type_of(i) for i in range(6)}
+        assert len(types) == 3
+
+    def test_power_vector_shape(self, small_plan):
+        survey = RoadSurvey(n_roads=2, length_m=60.0, plan=small_plan)
+        pv = survey.power_vector(0, position_m=30.0, time_s=10.0)
+        assert pv.shape == (small_plan.n_channels,)
+
+    def test_out_of_range_road(self, small_plan):
+        survey = RoadSurvey(n_roads=2, length_m=60.0, plan=small_plan)
+        with pytest.raises(IndexError):
+            survey.field(5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoadSurvey(n_roads=1)
+        with pytest.raises(ValueError):
+            RoadSurvey(length_m=0.0)
+
+
+class TestDrivePair:
+    def test_query_window_sane(self, shared_pair):
+        t_lo, t_hi = shared_pair.query_window(context_length_m=600.0)
+        assert shared_pair.scenario.t0 < t_lo < t_hi <= shared_pair.scenario.t1
+
+    def test_same_seed_reproducible(self, small_plan):
+        a = drive_pair(duration_s=120.0, plan=small_plan, seed=7)
+        b = drive_pair(duration_s=120.0, plan=small_plan, seed=7)
+        assert np.array_equal(a.front.scan.rssi_dbm, b.front.scan.rssi_dbm)
+        assert np.array_equal(a.rear.estimated.distance_m, b.rear.estimated.distance_m)
+
+    def test_road_type_respected(self, small_plan):
+        pair = drive_pair(
+            road_type=RoadType.SUBURB_2LANE, duration_s=120.0, plan=small_plan, seed=1
+        )
+        assert pair.road_type == RoadType.SUBURB_2LANE
+        assert pair.field.environment.gps_sigma_m < 5.0
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_present(self):
+        for exp_id in (
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "t-compute",
+            "t-respond",
+            "t-window",
+        ):
+            assert exp_id in EXPERIMENTS
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_run_fig1(self):
+        result = run_experiment("fig1", seed=3)
+        assert result.same_road_correlation > result.cross_road_correlation
+        assert "Fig 1" in result.render()
+
+    def test_run_t_respond(self):
+        result = run_experiment("t-respond")
+        text = result.render()
+        assert "182" in text or "packets" in text

@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.registry import EXPERIMENTS
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(out) == set(EXPERIMENTS)
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig1" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_fig1(self, capsys):
+        assert main(["fig1", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out
+        assert "regenerated in" in out
+
+    def test_run_t_respond(self, capsys):
+        assert main(["t-respond"]) == 0
+        out = capsys.readouterr().out
+        assert "incremental" in out
+
+    def test_eval_workload_flags_accepted(self, capsys):
+        # Tiny workload so this stays fast; exercises the EvalSettings path.
+        assert main(["fig12", "--drives", "1", "--queries", "4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "GPS" in out

@@ -1,0 +1,65 @@
+"""Tests for repro.experiments.scene: convoy scenes with latency accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import RupsConfig
+from repro.experiments.scene import build_convoy_scene
+
+
+@pytest.fixture(scope="module")
+def scene(small_plan):
+    return build_convoy_scene(
+        n_vehicles=3,
+        duration_s=260.0,
+        plan=small_plan,
+        seed=7,
+        config=RupsConfig(context_length_m=600.0, window_channels=30),
+    )
+
+
+class TestConvoyScene:
+    def test_structure(self, scene):
+        assert scene.n_vehicles == 3
+        # vehicle 0 leads: positive distance from the followers
+        assert scene.true_distance(1, 0, 200.0) > 0
+        assert scene.true_distance(2, 0, 200.0) > scene.true_distance(2, 1, 200.0)
+
+    def test_query_latency_accounting(self, scene):
+        est, latency = scene.query(2, 0, 230.0)
+        assert latency.comm_s > 0.05  # context transfer dominates
+        assert latency.compute_s < 0.25
+        assert latency.total_s == pytest.approx(
+            latency.comm_s + latency.compute_s
+        )
+
+    def test_query_accuracy(self, scene):
+        est, _ = scene.query(1, 0, 230.0)
+        assert est.resolved
+        assert est.distance_m == pytest.approx(
+            scene.true_distance(1, 0, 230.0), abs=8.0
+        )
+
+    def test_paper_headline_budget(self, scene):
+        # SI: "can answer arbitrary relative distance queries in about
+        # 0.5s" — comm + compute together stay near that budget.
+        _, latency = scene.query(2, 1, 230.0)
+        assert latency.total_s < 1.0
+
+    def test_all_pairs(self, scene):
+        results = scene.all_pairs(230.0)
+        assert len(results) == 6
+        for (a, b), (est, _) in results.items():
+            if est.resolved:
+                truth = scene.true_distance(a, b, 230.0)
+                assert est.distance_m == pytest.approx(truth, abs=10.0)
+
+    def test_index_validation(self, scene):
+        with pytest.raises(IndexError):
+            scene.query(0, 9, 230.0)
+        with pytest.raises(ValueError):
+            scene.query(1, 1, 230.0)
+
+    def test_build_validation(self, small_plan):
+        with pytest.raises(ValueError):
+            build_convoy_scene(n_vehicles=1, plan=small_plan)

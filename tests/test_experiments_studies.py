@@ -1,0 +1,113 @@
+"""Light-workload runs of the §III and §VI study functions.
+
+The full-scale versions live in benchmarks/; these verify the study
+machinery end to end at the smallest meaningful workloads.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.empirical import (
+    fig2_temporal_stability,
+    fig3_uniqueness,
+    fig4_resolution,
+)
+from repro.experiments.evaluation import (
+    EvalSettings,
+    fig12_vs_gps,
+    run_queries,
+    window_ablation,
+)
+from repro.experiments.timing import (
+    compute_cost_sweep,
+    response_time_table,
+    syn_search_seconds,
+)
+from repro.core.engine import RupsEngine
+from repro.core.config import RupsConfig
+from repro.util.rng import RngFactory
+
+
+class TestEmpiricalStudies:
+    def test_fig2_small(self):
+        result = fig2_temporal_stability(n_locations=3, pairs_per_lag=9, seed=1)
+        for curve in result.curves.values():
+            assert curve.shape == result.time_differences_s.shape
+            assert np.all((curve >= 0) & (curve <= 1))
+        assert "dt (min)" in result.render()
+
+    def test_fig3_small(self):
+        result = fig3_uniqueness(n_roads=4, seed=1)
+        assert set(result.samples) == {
+            "different entries, workday",
+            "different entries, weekend",
+            "different roads, workday",
+            "different roads, weekend",
+        }
+        assert result.separation_gap() > 0
+
+    def test_fig4_small(self):
+        result = fig4_resolution(n_vectors=24, max_distance_m=30.0, seed=1)
+        assert result.distances_m.size == 30
+        assert np.all(result.mean_relative_change > 0)
+
+    def test_fig4_scatter_consistent(self):
+        result = fig4_resolution(n_vectors=24, max_distance_m=30.0, seed=2)
+        assert result.scatter_distances_m.size == result.scatter_values.size
+
+
+class TestEvaluationStudies:
+    def test_run_queries_counts(self, shared_pair, shared_engine):
+        rng = RngFactory(0).generator("q")
+        batch = run_queries(shared_pair, 5, shared_engine, rng)
+        assert batch.n_queries == 5
+        assert batch.n_resolved >= 4
+
+    def test_run_queries_window_too_short(self, small_plan):
+        # A context longer than the whole drive leaves no valid query
+        # window and must fail loudly, not return garbage.
+        from repro.experiments.traces import drive_pair
+
+        short_pair = drive_pair(duration_s=90.0, plan=small_plan, seed=17)
+        engine = RupsEngine(RupsConfig(context_length_m=1000.0))
+        rng = RngFactory(0).generator("q")
+        with pytest.raises(ValueError, match="window|short"):
+            run_queries(short_pair, 2, engine, rng)
+
+    def test_fig12_tiny(self, small_plan):
+        settings = EvalSettings(
+            n_drives=1, queries_per_drive=4, duration_s=300.0, plan=small_plan, seed=3
+        )
+        result = fig12_vs_gps(settings)
+        assert set(result.rups) == set(result.gps)
+        assert result.mean_improvement_factor() > 0
+        assert "GPS" in result.render()
+
+    def test_window_ablation_tiny(self):
+        result = window_ablation(
+            window_lengths_m=(20.0, 85.0),
+            n_trials=6,
+            seed=1,
+            settings=EvalSettings(n_drives=1, queries_per_drive=6, seed=1),
+        )
+        assert result.window_lengths_m.shape == (2,)
+        assert np.all(result.detection_rate >= 0)
+        assert np.all(result.false_positive_rate <= 1)
+
+
+class TestTimingStudies:
+    def test_syn_search_seconds_positive(self):
+        sec = syn_search_seconds(m_marks=200, w_marks=40, k_channels=10, repeats=3)
+        assert 0 < sec < 1.0
+
+    def test_compute_sweep_rows(self):
+        result = compute_cost_sweep()
+        assert len(result.rows) == 7
+        assert "O(m*w*k)" in result.render()
+
+    def test_response_table_rows(self):
+        result = response_time_table()
+        assert len(result.rows) == 4
+        assert len(result.incremental_rows) == 4
+        text = result.render()
+        assert "incremental" in text

@@ -1,0 +1,133 @@
+"""Tests for the §VII extension features: multi-band plans, the FM
+preset, receiver saturation, and the pedestrian pedometer."""
+
+import numpy as np
+import pytest
+
+from repro.gsm.band import EVAL_SUBSET_115, FM_BAND, RGSM900, combine_plans
+from repro.gsm.field import FieldConfig, make_straight_field
+from repro.gsm.propagation import received_power_dbm
+from repro.roads.types import RoadType
+from repro.sensors import DeadReckoner, Pedometer
+from repro.vehicles.kinematics import constant_speed_profile, urban_speed_profile
+
+
+class TestCombinePlans:
+    def test_concatenates(self):
+        combined = combine_plans(EVAL_SUBSET_115, FM_BAND)
+        assert combined.n_channels == 115 + 206
+        assert np.all(np.isin(EVAL_SUBSET_115.arfcns, combined.arfcns))
+        assert np.all(np.isin(FM_BAND.arfcns, combined.arfcns))
+
+    def test_total_sweep_time_preserved(self):
+        combined = combine_plans(EVAL_SUBSET_115, FM_BAND)
+        assert combined.full_scan_time_s == pytest.approx(
+            EVAL_SUBSET_115.full_scan_time_s + FM_BAND.full_scan_time_s
+        )
+
+    def test_collision_rejected(self):
+        with pytest.raises(ValueError, match="collide"):
+            combine_plans(RGSM900, EVAL_SUBSET_115)
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            combine_plans(RGSM900)
+
+    def test_name(self):
+        combined = combine_plans(EVAL_SUBSET_115, FM_BAND, name="multi")
+        assert combined.name == "multi"
+
+    def test_fm_arfcns_offset(self):
+        assert FM_BAND.arfcns.min() >= 10_000
+
+
+class TestAutoPropagation:
+    def test_auto_picks_hata_for_gsm(self):
+        auto = received_power_dbm(1000.0, 900e6, model="auto")
+        hata = received_power_dbm(1000.0, 900e6, model="cost231")
+        assert auto == pytest.approx(hata)
+
+    def test_auto_falls_back_for_fm(self):
+        auto = received_power_dbm(1000.0, 95e6, model="auto")
+        logd = received_power_dbm(1000.0, 95e6, model="log-distance")
+        assert auto == pytest.approx(logd)
+
+    def test_fm_field_builds(self):
+        field = make_straight_field(
+            200.0, RoadType.URBAN_4LANE, plan=FM_BAND, seed=1
+        )
+        snap = field.snapshot(time_s=0.0)
+        assert np.all(np.isfinite(snap))
+
+    def test_combined_field_builds(self):
+        plan = combine_plans(EVAL_SUBSET_115, FM_BAND)
+        field = make_straight_field(200.0, plan=plan, seed=1)
+        assert field.n_channels == 321
+
+
+class TestReceiverCeiling:
+    def test_ceiling_clips(self):
+        field = make_straight_field(
+            200.0,
+            RoadType.URBAN_4LANE,
+            plan=FM_BAND,
+            seed=2,
+            config=FieldConfig(rx_ceiling_dbm=-20.0),
+        )
+        snap = field.snapshot(time_s=0.0)
+        assert snap.max() <= -20.0
+
+    def test_ceiling_validation(self):
+        with pytest.raises(ValueError):
+            FieldConfig(rx_ceiling_dbm=-120.0)
+
+
+class TestPedometer:
+    def test_step_count(self):
+        walk = constant_speed_profile(100.0, 1.4)  # 140 m
+        ped = Pedometer(stride_m=0.7, miss_prob=0.0, double_count_prob=0.0)
+        ticks = ped.sample(walk, rng=0)
+        assert len(ticks.tick_times_s) == 200
+
+    def test_distance_estimate_with_calibration_bias(self):
+        walk = constant_speed_profile(100.0, 1.4)
+        ped = Pedometer(
+            stride_m=0.7, calibration_error=0.06, miss_prob=0.0, double_count_prob=0.0
+        )
+        ticks = ped.sample(walk, rng=0)
+        rel = abs(ticks.total_distance_m - walk.distance_m) / walk.distance_m
+        assert rel == pytest.approx(0.06, abs=0.01)
+
+    def test_misses_reduce_ticks(self):
+        walk = constant_speed_profile(200.0, 1.4)
+        clean = Pedometer(miss_prob=0.0, double_count_prob=0.0).sample(walk, rng=1)
+        lossy = Pedometer(miss_prob=0.2, double_count_prob=0.0).sample(walk, rng=1)
+        assert len(lossy.tick_times_s) < len(clean.tick_times_s)
+
+    def test_double_counts_increase_ticks(self):
+        walk = constant_speed_profile(200.0, 1.4)
+        clean = Pedometer(miss_prob=0.0, double_count_prob=0.0).sample(walk, rng=2)
+        doubled = Pedometer(miss_prob=0.0, double_count_prob=0.3).sample(walk, rng=2)
+        assert len(doubled.tick_times_s) > len(clean.tick_times_s)
+
+    def test_feeds_dead_reckoner(self):
+        walk = urban_speed_profile(300.0, 1.5, rng=3, mean_fraction=0.85)
+        ped = Pedometer()
+        ticks = ped.sample(walk, rng=3)
+        t = np.arange(walk.t0, walk.t1, 0.5)
+        track = DeadReckoner().estimate(t, np.zeros(t.size), ticks)
+        est = track.distance_m[-1] - track.distance_m[0]
+        assert est == pytest.approx(walk.distance_m, rel=0.12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Pedometer(stride_m=0.0)
+        with pytest.raises(ValueError):
+            Pedometer(miss_prob=1.0)
+        with pytest.raises(ValueError):
+            Pedometer(calibration_error=-0.1)
+
+    def test_tick_times_sorted(self):
+        walk = urban_speed_profile(200.0, 1.4, rng=4, mean_fraction=0.85)
+        ticks = Pedometer(double_count_prob=0.2).sample(walk, rng=4)
+        assert np.all(np.diff(ticks.tick_times_s) >= 0)

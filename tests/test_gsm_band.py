@@ -1,0 +1,88 @@
+"""Tests for repro.gsm.band: channel plans."""
+
+import numpy as np
+import pytest
+
+from repro.gsm.band import (
+    EVAL_SUBSET_115,
+    FM_BAND,
+    RGSM900,
+    SCAN_TIME_PER_CHANNEL_S,
+    ChannelPlan,
+)
+
+
+class TestRGSM900:
+    def test_194_channels(self):
+        # SIII-A: "all 194 channels in the R-GSM-900 band"
+        assert RGSM900.n_channels == 194
+
+    def test_full_scan_time_matches_paper(self):
+        # "can be scanned within 2.85 seconds"
+        assert RGSM900.full_scan_time_s == pytest.approx(2.85)
+
+    def test_scan_time_is_about_15ms(self):
+        # SV-C: "it takes about 15ms to sense a channel"
+        assert SCAN_TIME_PER_CHANNEL_S == pytest.approx(0.015, rel=0.03)
+
+    def test_frequency_range(self):
+        f = RGSM900.frequencies_hz
+        assert f.min() == pytest.approx(921.2e6)
+        assert f.max() == pytest.approx(959.8e6)
+
+    def test_channel_spacing_200khz(self):
+        f = np.sort(RGSM900.frequencies_hz)
+        assert np.allclose(np.diff(f), 0.2e6)
+
+    def test_unique_arfcns(self):
+        assert len(np.unique(RGSM900.arfcns)) == 194
+
+
+class TestEvalSubset:
+    def test_115_channels(self):
+        # SVI-A: "the selected 115 channels"
+        assert EVAL_SUBSET_115.n_channels == 115
+
+    def test_subset_of_full_band(self):
+        assert np.all(np.isin(EVAL_SUBSET_115.arfcns, RGSM900.arfcns))
+
+    def test_spans_the_band(self):
+        assert EVAL_SUBSET_115.frequencies_hz.min() == RGSM900.frequencies_hz.min()
+        assert EVAL_SUBSET_115.frequencies_hz.max() == RGSM900.frequencies_hz.max()
+
+
+class TestChannelPlan:
+    def test_subset(self):
+        sub = RGSM900.subset(np.array([0, 5, 10]))
+        assert sub.n_channels == 3
+        assert np.array_equal(sub.arfcns, RGSM900.arfcns[[0, 5, 10]])
+
+    def test_subset_bad_indices(self):
+        with pytest.raises(IndexError):
+            RGSM900.subset(np.array([500]))
+        with pytest.raises(ValueError):
+            RGSM900.subset(np.array([], dtype=int))
+
+    def test_index_of(self):
+        arfcn = int(RGSM900.arfcns[7])
+        assert RGSM900.index_of(arfcn) == 7
+        with pytest.raises(KeyError):
+            RGSM900.index_of(99999)
+
+    def test_len(self):
+        assert len(RGSM900) == 194
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ChannelPlan("x", np.array([1, 1]), np.array([1e8, 2e8]))
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ChannelPlan("x", np.array([1, 2]), np.array([1e8]))
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            ChannelPlan("x", np.array([1]), np.array([0.0]))
+
+    def test_fm_preset_faster_scan(self):
+        assert FM_BAND.scan_time_s < RGSM900.scan_time_s

@@ -1,0 +1,134 @@
+"""Tests for repro.gsm.fading: drift, outages, blockage."""
+
+import numpy as np
+import pytest
+
+from repro.gsm.fading import BlockageProcess, OutageProcess, TemporalDrift
+
+
+class TestTemporalDrift:
+    @pytest.fixture(scope="class")
+    def drift(self):
+        return TemporalDrift(
+            n_channels=8, horizon_s=1000.0, sigma_db=2.0, tau_s=300.0, rng=0
+        )
+
+    def test_at_shape(self, drift):
+        out = drift.at(np.array([0.0, 10.0, 999.0]), np.arange(8))
+        assert out.shape == (8, 3)
+
+    def test_pair_at_matches_at(self, drift):
+        t = np.array([5.0, 20.0, 100.0])
+        ci = np.array([1, 3, 5])
+        pair = drift.pair_at(t, ci)
+        grid = drift.at(t, np.arange(8))
+        assert np.allclose(pair, grid[[1, 3, 5], [0, 1, 2]])
+
+    def test_continuity(self, drift):
+        a = drift.pair_at(np.array([50.0]), np.array([0]))
+        b = drift.pair_at(np.array([50.001]), np.array([0]))
+        assert abs(float(a[0] - b[0])) < 0.01
+
+    def test_determinism(self):
+        a = TemporalDrift(4, 100.0, 2.0, 50.0, rng=9)
+        b = TemporalDrift(4, 100.0, 2.0, 50.0, rng=9)
+        t = np.linspace(0, 99, 17)
+        assert np.allclose(a.at(t, np.arange(4)), b.at(t, np.arange(4)))
+
+    def test_marginal_std(self):
+        d = TemporalDrift(200, 5000.0, 3.0, 100.0, rng=1)
+        vals = d.at(np.linspace(0, 4900, 200), np.arange(200))
+        assert np.std(vals) == pytest.approx(3.0, rel=0.1)
+
+    def test_clamps_beyond_horizon(self, drift):
+        inside = drift.pair_at(np.array([999.9]), np.array([0]))
+        outside = drift.pair_at(np.array([5000.0]), np.array([0]))
+        assert np.isfinite(outside).all()
+        assert abs(float(inside[0] - outside[0])) < 1.0
+
+    def test_negative_time_rejected(self, drift):
+        with pytest.raises(ValueError):
+            drift.at(np.array([-1.0]), np.array([0]))
+
+    def test_pair_alignment_enforced(self, drift):
+        with pytest.raises(ValueError):
+            drift.pair_at(np.array([1.0, 2.0]), np.array([0]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TemporalDrift(0, 100.0, 1.0, 10.0)
+        with pytest.raises(ValueError):
+            TemporalDrift(2, -1.0, 1.0, 10.0)
+
+
+class TestOutageProcess:
+    def test_attenuation_nonnegative(self):
+        out = OutageProcess(10, 3600.0, rng=0, rate_per_s=1 / 300.0)
+        att = out.attenuation(np.linspace(0, 3599, 100), np.arange(10))
+        assert np.all(att >= 0)
+
+    def test_expected_event_count(self):
+        rate = 1 / 100.0
+        out = OutageProcess(50, 10_000.0, rng=1, rate_per_s=rate)
+        n_events = sum(e.starts.size for e in out._events)
+        assert n_events == pytest.approx(50 * rate * 10_000.0, rel=0.2)
+
+    def test_pair_matches_grid(self):
+        out = OutageProcess(6, 500.0, rng=2, rate_per_s=1 / 50.0)
+        t = np.linspace(0, 499, 40)
+        ci = np.tile(np.arange(6), 40)[: t.size]
+        pair = out.pair_attenuation(t, ci)
+        for i in range(t.size):
+            grid = out.attenuation(t[i : i + 1], ci[i : i + 1])
+            assert pair[i] == pytest.approx(float(grid[0, 0]))
+
+    def test_depth_during_event(self):
+        out = OutageProcess(1, 1000.0, rng=3, rate_per_s=1 / 100.0)
+        events = out._events[0]
+        if events.starts.size:
+            mid = (events.starts[0] + min(events.ends[0], 1000.0)) / 2
+            att = out.pair_attenuation(np.array([mid]), np.array([0]))
+            assert float(att[0]) > 0
+
+    def test_alignment_enforced(self):
+        out = OutageProcess(2, 100.0, rng=0)
+        with pytest.raises(ValueError):
+            out.pair_attenuation(np.array([1.0]), np.array([0, 1]))
+
+
+class TestBlockageProcess:
+    def test_directional_weighting(self):
+        blk = BlockageProcess(8, 1000.0, rng=0, rate_per_s=0.05, min_weight=0.1)
+        t = np.linspace(0, 999, 500)
+        att = blk.attenuation(t, np.arange(8))
+        active = att.max(axis=0) > 0
+        if np.any(active):
+            # During an event every channel is attenuated, but with
+            # per-channel directional weights in [min_weight, 1].
+            cols = att[:, active]
+            assert np.all(cols > 0)
+            ratios = cols.min(axis=0) / cols.max(axis=0)
+            assert np.all(ratios >= 0.1 - 1e-9)
+            # Genuine selectivity: the weights are not all equal.
+            assert np.min(ratios) < 0.9
+
+    def test_n_events_property(self):
+        blk = BlockageProcess(4, 2000.0, rng=1, rate_per_s=0.02)
+        assert blk.n_events == blk._events.starts.size
+
+    def test_rate_scaling(self):
+        low = BlockageProcess(4, 50_000.0, rng=2, rate_per_s=0.001)
+        high = BlockageProcess(4, 50_000.0, rng=2, rate_per_s=0.05)
+        assert high.n_events > low.n_events
+
+    def test_pair_attenuation(self):
+        blk = BlockageProcess(4, 1000.0, rng=3, rate_per_s=0.05)
+        t = np.linspace(0, 999, 64)
+        ci = np.zeros(64, dtype=int)
+        pair = blk.pair_attenuation(t, ci)
+        grid = blk.attenuation(t, np.array([0]))[0]
+        assert np.allclose(pair, grid)
+
+    def test_min_weight_validation(self):
+        with pytest.raises(ValueError):
+            BlockageProcess(4, 100.0, min_weight=2.0)

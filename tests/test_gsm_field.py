@@ -1,0 +1,199 @@
+"""Tests for repro.gsm.field: the composed signal field."""
+
+import numpy as np
+import pytest
+
+from repro.gsm.field import FieldConfig, SignalField, make_straight_field
+from repro.roads.types import RoadType
+
+
+class TestFieldConfig:
+    def test_defaults_valid(self):
+        FieldConfig()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"grid_spacing_m": 0.0},
+            {"horizon_s": -1.0},
+            {"noise_sigma_db": -1.0},
+            {"lane_lateral_decorrelation_m": 0.0},
+            {"shadow_lane_lateral_decorrelation_m": 0.0},
+            {"carriers_per_site": 0},
+            {"shadow_site_fraction": 1.5},
+            {"micro_fraction": -0.1},
+            {"lane_skew_sigma_m": -1.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FieldConfig(**kwargs)
+
+
+class TestStaticField:
+    def test_shape(self, small_field, small_plan):
+        static = small_field.static_rssi(0)
+        assert static.shape == (small_plan.n_channels, small_field.grid_s.size)
+
+    def test_deterministic_reconstruction(self, small_plan):
+        a = make_straight_field(300.0, plan=small_plan, seed=5)
+        b = make_straight_field(300.0, plan=small_plan, seed=5)
+        assert np.allclose(a.static_rssi(0), b.static_rssi(0))
+
+    def test_distinct_road_keys_differ(self, small_plan):
+        a = make_straight_field(300.0, plan=small_plan, seed=5, road_key="r1")
+        b = make_straight_field(300.0, plan=small_plan, seed=5, road_key="r2")
+        assert not np.allclose(a.static_rssi(0), b.static_rssi(0))
+
+    def test_lane_correlation_decays(self, small_field):
+        l0 = small_field.static_rssi(0)
+        l1 = small_field.static_rssi(1)
+        l3 = small_field.static_rssi(3)
+
+        def mean_corr(a, b):
+            ac = a - a.mean(axis=1, keepdims=True)
+            bc = b - b.mean(axis=1, keepdims=True)
+            num = np.einsum("ij,ij->i", ac, bc)
+            den = np.sqrt(
+                np.einsum("ij,ij->i", ac, ac) * np.einsum("ij,ij->i", bc, bc)
+            )
+            return float(np.mean(num / den))
+
+        r1 = mean_corr(l0, l1)
+        r3 = mean_corr(l0, l3)
+        assert r1 > r3 > 0.0
+        assert r1 < 0.999
+
+    def test_site_correlation_present(self, small_field):
+        # Channels of the same site share shadowing; the average absolute
+        # cross-channel correlation must exceed what independent channels
+        # would show.
+        static = small_field.static_rssi(0)
+        site_of = small_field._site_of
+        same_site_pairs = []
+        for s in np.unique(site_of):
+            idx = np.nonzero(site_of == s)[0]
+            if idx.size >= 2:
+                a = static[idx[0]] - static[idx[0]].mean()
+                b = static[idx[1]] - static[idx[1]].mean()
+                same_site_pairs.append(
+                    float(np.dot(a, b) / (np.linalg.norm(a) * np.linalg.norm(b)))
+                )
+        assert same_site_pairs
+        assert np.mean(same_site_pairs) > 0.3
+
+
+class TestMeasure:
+    def test_elementwise_api(self, small_field):
+        t = np.array([10.0, 20.0, 30.0])
+        s = np.array([100.0, 150.0, 200.0])
+        ci = np.array([0, 5, 10])
+        rssi = small_field.measure(t, s, ci)
+        assert rssi.shape == (3,)
+        assert np.all(rssi >= small_field.config.rx_floor_dbm)
+
+    def test_alignment_enforced(self, small_field):
+        with pytest.raises(ValueError):
+            small_field.measure(np.array([1.0]), np.array([1.0, 2.0]), np.array([0]))
+
+    def test_channel_range_enforced(self, small_field):
+        with pytest.raises(ValueError):
+            small_field.measure(
+                np.array([1.0]), np.array([1.0]), np.array([10_000])
+            )
+
+    def test_noise_needs_rng(self, small_field):
+        t = np.array([5.0])
+        s = np.array([50.0])
+        c = np.array([0])
+        a = small_field.measure(t, s, c)  # no rng -> deterministic
+        b = small_field.measure(t, s, c)
+        assert np.array_equal(a, b)
+
+    def test_noise_with_rng_varies(self, small_field):
+        t = np.array([5.0])
+        s = np.array([50.0])
+        c = np.array([0])
+        rng = np.random.default_rng(0)
+        a = small_field.measure(t, s, c, rng=rng)
+        b = small_field.measure(t, s, c, rng=rng)
+        assert not np.array_equal(a, b)
+
+    def test_extra_loss_lowers_rssi(self, small_field):
+        t = np.array([5.0])
+        s = np.array([50.0])
+        c = np.array([2])
+        base = small_field.measure(t, s, c)
+        lossy = small_field.measure(t, s, c, extra_loss_db=10.0)
+        assert float(lossy[0]) <= float(base[0])
+
+    def test_vehicle_key_changes_measurement(self, small_field):
+        t = np.full(20, 5.0)
+        s = np.linspace(10, 400, 20)
+        c = np.zeros(20, dtype=int)
+        shared = small_field.measure(t, s, c)
+        v1 = small_field.measure(t, s, c, vehicle_key="v1")
+        v2 = small_field.measure(t, s, c, vehicle_key="v2")
+        assert not np.allclose(v1, shared)
+        assert not np.allclose(v1, v2)
+
+    def test_vehicle_key_deterministic(self, small_field):
+        t = np.full(5, 5.0)
+        s = np.linspace(10, 100, 5)
+        c = np.zeros(5, dtype=int)
+        a = small_field.measure(t, s, c, vehicle_key="vX")
+        b = small_field.measure(t, s, c, vehicle_key="vX")
+        assert np.allclose(a, b)
+
+    def test_extra_distortion_validated(self, small_field):
+        with pytest.raises(ValueError):
+            small_field.measure(
+                np.array([1.0]),
+                np.array([1.0]),
+                np.array([0]),
+                vehicle_key="v",
+                extra_distortion=2.0,
+            )
+
+    def test_day_changes_dynamics_not_static(self, small_field):
+        t = np.full(10, 100.0)
+        s = np.linspace(10, 400, 10)
+        c = np.full(10, 3)
+        d0 = small_field.measure(t, s, c, day=0)
+        d1 = small_field.measure(t, s, c, day=1)
+        # different drift realisations but same underlying static field:
+        # differences are bounded by the temporal components.
+        assert not np.allclose(d0, d1)
+        assert np.max(np.abs(d0 - d1)) < 40.0
+
+
+class TestSnapshot:
+    def test_full_grid(self, small_field, small_plan):
+        snap = small_field.snapshot(time_s=10.0)
+        assert snap.shape == (small_plan.n_channels, small_field.grid_s.size)
+
+    def test_custom_grid(self, small_field):
+        snap = small_field.snapshot(time_s=10.0, s_grid=np.array([1.0, 2.0]))
+        assert snap.shape[1] == 2
+
+    def test_temporal_stability_short_gap(self, small_field):
+        a = small_field.snapshot(time_s=100.0)
+        b = small_field.snapshot(time_s=105.0)
+        # 5 s apart: essentially identical (this is the paper's Fig 2 core).
+        assert np.corrcoef(a.ravel(), b.ravel())[0, 1] > 0.99
+
+    def test_floor_clipping(self, small_field):
+        snap = small_field.snapshot(time_s=0.0)
+        assert snap.min() >= small_field.config.rx_floor_dbm
+
+
+class TestMakeStraightField:
+    def test_length_validation(self, small_plan):
+        with pytest.raises(ValueError):
+            make_straight_field(0.0, plan=small_plan)
+
+    def test_environment_applied(self, small_plan):
+        f = make_straight_field(
+            200.0, road_type=RoadType.UNDER_ELEVATED, plan=small_plan, seed=0
+        )
+        assert f.environment.clutter_loss_db > 10.0

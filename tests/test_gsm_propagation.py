@@ -1,0 +1,120 @@
+"""Tests for repro.gsm.propagation path-loss models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gsm.propagation import (
+    cost231_hata_path_loss_db,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    received_power_dbm,
+)
+
+F_GSM = 940e6
+
+
+class TestFreeSpace:
+    def test_known_value(self):
+        # FSPL(1 km, 940 MHz) = 20 log10(d) + 20 log10(f) - 147.55 ~ 91.9 dB
+        loss = free_space_path_loss_db(1000.0, F_GSM)
+        assert loss == pytest.approx(91.9, abs=0.2)
+
+    def test_slope_6db_per_doubling(self):
+        l1 = free_space_path_loss_db(1000.0, F_GSM)
+        l2 = free_space_path_loss_db(2000.0, F_GSM)
+        assert l2 - l1 == pytest.approx(6.02, abs=0.01)
+
+    def test_clamps_tiny_distance(self):
+        assert free_space_path_loss_db(0.0, F_GSM) == free_space_path_loss_db(
+            10.0, F_GSM
+        )
+
+    def test_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(-5.0, F_GSM)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(100.0, 0.0)
+
+
+class TestLogDistance:
+    def test_matches_free_space_at_reference(self):
+        assert log_distance_path_loss_db(100.0, F_GSM) == pytest.approx(
+            free_space_path_loss_db(100.0, F_GSM)
+        )
+
+    def test_slope(self):
+        l1 = log_distance_path_loss_db(1000.0, F_GSM, exponent=3.5)
+        l2 = log_distance_path_loss_db(10000.0, F_GSM, exponent=3.5)
+        assert l2 - l1 == pytest.approx(35.0, abs=0.01)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            log_distance_path_loss_db(100.0, F_GSM, exponent=0.0)
+
+    @given(st.floats(10.0, 20000.0), st.floats(10.1, 20000.0))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_distance(self, d1, d2):
+        lo, hi = sorted((d1, d2))
+        assert log_distance_path_loss_db(lo, F_GSM) <= log_distance_path_loss_db(
+            hi, F_GSM
+        ) + 1e-9
+
+
+class TestCost231Hata:
+    def test_gsm900_urban_1km(self):
+        # Okumura-Hata large-city at 900 MHz, hb=30, hm=1.5, 1 km: ~126 dB.
+        loss = cost231_hata_path_loss_db(1000.0, 900e6)
+        assert loss == pytest.approx(126.4, abs=1.0)
+
+    def test_higher_base_reduces_loss(self):
+        low = cost231_hata_path_loss_db(2000.0, F_GSM, base_height_m=20.0)
+        high = cost231_hata_path_loss_db(2000.0, F_GSM, base_height_m=60.0)
+        assert high < low
+
+    def test_monotone_in_distance(self):
+        d = np.array([100.0, 500.0, 1000.0, 5000.0, 10000.0])
+        losses = cost231_hata_path_loss_db(d, F_GSM)
+        assert np.all(np.diff(losses) > 0)
+
+    def test_validates_frequency(self):
+        with pytest.raises(ValueError):
+            cost231_hata_path_loss_db(100.0, 10e6)
+
+    def test_validates_heights(self):
+        with pytest.raises(ValueError):
+            cost231_hata_path_loss_db(100.0, F_GSM, mobile_height_m=50.0)
+        with pytest.raises(ValueError):
+            cost231_hata_path_loss_db(100.0, F_GSM, base_height_m=5.0)
+
+    def test_pcs_branch(self):
+        # >= 1500 MHz uses the COST-231 constants; sanity only.
+        loss = cost231_hata_path_loss_db(1000.0, 1800e6)
+        assert loss > cost231_hata_path_loss_db(1000.0, 900e6)
+
+
+class TestReceivedPower:
+    def test_eirp_shifts_linearly(self):
+        p0 = received_power_dbm(1000.0, F_GSM, eirp_dbm=50.0)
+        p1 = received_power_dbm(1000.0, F_GSM, eirp_dbm=60.0)
+        assert p1 - p0 == pytest.approx(10.0)
+
+    def test_model_dispatch(self):
+        fs = received_power_dbm(1000.0, F_GSM, model="free-space")
+        hata = received_power_dbm(1000.0, F_GSM, model="cost231")
+        assert hata < fs  # urban model always lossier than free space
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown propagation model"):
+            received_power_dbm(1000.0, F_GSM, model="psychic")
+
+    def test_realistic_urban_levels(self):
+        # A 55 dBm-EIRP macrocell at 0.3-5 km should land in the classic
+        # GSM RSSI range.
+        p_near = received_power_dbm(300.0, F_GSM, eirp_dbm=55.0)
+        p_far = received_power_dbm(5000.0, F_GSM, eirp_dbm=55.0)
+        assert -70.0 < p_near < -40.0
+        assert -110.0 < p_far < -80.0

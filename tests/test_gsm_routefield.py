@@ -1,0 +1,161 @@
+"""Tests for repro.gsm.routefield: multi-segment composed fields."""
+
+import numpy as np
+import pytest
+
+from repro.gsm.band import RGSM900
+from repro.gsm.field import SignalField
+from repro.gsm.routefield import RouteSignalField, build_route_field
+from repro.roads.network import RoadNetworkConfig, generate_network
+from repro.roads.route import build_route, random_route
+from repro.roads.types import RoadType
+
+
+@pytest.fixture(scope="module")
+def tiny_plan():
+    return RGSM900.subset(np.arange(0, 194, 10), name="tiny-20")
+
+
+@pytest.fixture(scope="module")
+def network():
+    return generate_network(RoadNetworkConfig(blocks_x=4, blocks_y=3), seed=8)
+
+
+@pytest.fixture(scope="module")
+def route(network):
+    return random_route(network, min_length_m=1200.0, rng=3)
+
+
+@pytest.fixture(scope="module")
+def route_field(network, route, tiny_plan):
+    return build_route_field(network, route, plan=tiny_plan, seed=11)
+
+
+class TestBuildRouteField:
+    def test_one_field_per_leg(self, route_field, route):
+        assert len(route_field.fields) == len(route.legs)
+        assert route_field.length_m == pytest.approx(route.length)
+
+    def test_repeated_segments_share_field(self, network, tiny_plan):
+        seg = network.segments[0]
+        r = build_route(network, [seg.u, seg.v, seg.u])  # out and back
+        rf = build_route_field(network, r, plan=tiny_plan, seed=11)
+        assert rf.fields[0] is rf.fields[1]
+
+    def test_deterministic(self, network, route, tiny_plan):
+        a = build_route_field(network, route, plan=tiny_plan, seed=11)
+        b = build_route_field(network, route, plan=tiny_plan, seed=11)
+        assert np.allclose(
+            a.fields[0].static_rssi(0), b.fields[0].static_rssi(0)
+        )
+
+    def test_leg_count_validation(self, route, route_field):
+        with pytest.raises(ValueError):
+            RouteSignalField(route, route_field.fields[:-1])
+
+    def test_mixed_plans_rejected(self, network, tiny_plan):
+        seg0 = network.segments[0]
+        r2 = build_route(network, [seg0.u, seg0.v, seg0.u])  # two legs
+        rf_a = build_route_field(network, r2, plan=tiny_plan, seed=1)
+        other_plan = RGSM900.subset(np.arange(20), name="other")
+        rf_b = build_route_field(network, r2, plan=other_plan, seed=1)
+        with pytest.raises(ValueError, match="plan"):
+            RouteSignalField(r2, [rf_a.fields[0], rf_b.fields[1]])
+
+    def test_environment_is_dominant_type(self, route_field, route):
+        totals = {}
+        for leg in route.legs:
+            rt = leg.segment.road_type
+            totals[rt] = totals.get(rt, 0.0) + leg.segment.length
+        dominant = max(totals, key=totals.get)
+        from repro.roads.environment import ENVIRONMENT_PROFILES
+
+        assert route_field.environment is ENVIRONMENT_PROFILES[dominant]
+
+
+class TestMeasureDispatch:
+    def test_matches_per_segment_fields(self, route_field, route):
+        # A measurement at route arc s must equal the leg field's value at
+        # the local coordinate.
+        s_route = np.array([route.legs[1].start_offset + 5.0])
+        t = np.array([10.0])
+        ci = np.array([3])
+        via_route = route_field.measure(t, s_route, ci)
+        leg = route.legs[1]
+        local = 5.0 if not leg.reverse else leg.segment.length - 5.0
+        direct = route_field.fields[1].measure(t, np.array([local]), ci)
+        assert np.allclose(via_route, direct)
+
+    def test_vectorized_across_legs(self, route_field, route):
+        s = np.linspace(1.0, route.length - 1.0, 50)
+        t = np.full(50, 20.0)
+        ci = np.tile(np.arange(5), 10)
+        out = route_field.measure(t, s, ci)
+        assert out.shape == (50,)
+        assert np.all(np.isfinite(out))
+        assert np.all(out >= route_field.config.rx_floor_dbm)
+
+    def test_alignment_enforced(self, route_field):
+        with pytest.raises(ValueError):
+            route_field.measure(
+                np.array([1.0]), np.array([1.0, 2.0]), np.array([0])
+            )
+
+    def test_vehicle_key_passthrough(self, route_field, route):
+        s = np.full(10, route.length / 2)
+        t = np.full(10, 5.0)
+        ci = np.arange(10)
+        a = route_field.measure(t, s, ci, vehicle_key="a")
+        b = route_field.measure(t, s, ci, vehicle_key="b")
+        assert not np.allclose(a, b)
+
+
+class TestGeometryAdapter:
+    def test_position_matches_route(self, route_field, route):
+        s = route.length * 0.37
+        assert np.allclose(route_field.polyline.position(s), route.position(s))
+
+    def test_position_vectorized(self, route_field, route):
+        s = np.linspace(0, route.length, 9)
+        out = route_field.polyline.position(s)
+        assert out.shape == (9, 2)
+
+    def test_heading_matches_route(self, route_field, route):
+        s = route.length * 0.61
+        assert route_field.polyline.heading(s) == pytest.approx(
+            route.heading(s), abs=1e-9
+        )
+
+    def test_heading_vectorized(self, route_field, route):
+        s = np.linspace(1.0, route.length - 1.0, 7)
+        out = route_field.polyline.heading(s)
+        assert np.asarray(out).shape == (7,)
+
+    def test_project_inverts_position(self, route_field, route):
+        s = route.length * 0.5
+        pos = route.position(s)
+        s_back = route_field.polyline.project(pos)
+        assert s_back == pytest.approx(s, abs=1.0)
+
+
+class TestRouteDriveIntegration:
+    def test_full_pipeline_over_route(self, network, tiny_plan):
+        from repro.core import RupsConfig, RupsEngine
+        from repro.gsm.scanner import RadioGroup
+        from repro.vehicles import build_following_scenario, simulate_drive
+
+        route = random_route(network, min_length_m=2500.0, rng=9)
+        field = build_route_field(network, route, plan=tiny_plan, seed=2)
+        scn = build_following_scenario(duration_s=200.0, speed_limit_ms=11.0, seed=6)
+        assert scn.max_arc_length() < field.length_m
+        group = RadioGroup(tiny_plan, n_radios=4)
+        front = simulate_drive(field, scn.front, group, seed=3, vehicle_key="f")
+        rear = simulate_drive(field, scn.rear, group, seed=3, vehicle_key="r")
+        engine = RupsEngine(RupsConfig(context_length_m=600.0, window_channels=15))
+        tq = 180.0
+        own = engine.build_trajectory(rear.scan, rear.estimated, at_time_s=tq)
+        other = engine.build_trajectory(front.scan, front.estimated, at_time_s=tq)
+        est = engine.estimate_relative_distance(own, other)
+        assert est.resolved
+        truth = float(scn.true_relative_distance(tq))
+        assert est.distance_m == pytest.approx(truth, abs=10.0)

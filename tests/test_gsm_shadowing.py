@@ -1,0 +1,127 @@
+"""Tests for repro.gsm.shadowing: AR(1) Gudmundson fields."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gsm.shadowing import (
+    ar1_gaussian_process,
+    exponential_autocorrelation,
+    gudmundson_field,
+)
+
+
+class TestAr1Process:
+    def test_shape(self):
+        x = ar1_gaussian_process(100, 1.0, 10.0, 2.0, np.random.default_rng(0))
+        assert x.shape == (100,)
+        x2 = ar1_gaussian_process(
+            100, 1.0, 10.0, 2.0, np.random.default_rng(0), n_series=5
+        )
+        assert x2.shape == (5, 100)
+
+    def test_marginal_variance(self):
+        rng = np.random.default_rng(1)
+        x = ar1_gaussian_process(4000, 1.0, 8.0, 3.0, rng, n_series=50)
+        assert np.std(x) == pytest.approx(3.0, rel=0.05)
+
+    def test_lag1_autocorrelation(self):
+        rng = np.random.default_rng(2)
+        step, decorr = 1.0, 12.0
+        x = ar1_gaussian_process(6000, step, decorr, 1.0, rng, n_series=20)
+        xc = x - x.mean(axis=1, keepdims=True)
+        r1 = np.mean(np.sum(xc[:, 1:] * xc[:, :-1], axis=1)) / np.mean(
+            np.sum(xc * xc, axis=1)
+        )
+        assert r1 == pytest.approx(np.exp(-step / decorr), abs=0.02)
+
+    def test_stationary_start(self):
+        # First sample must already have full variance (no burn-in ramp).
+        rng = np.random.default_rng(3)
+        x = ar1_gaussian_process(4, 1.0, 50.0, 2.0, rng, n_series=4000)
+        assert np.std(x[:, 0]) == pytest.approx(2.0, rel=0.06)
+
+    def test_zero_sigma_is_zero(self):
+        x = ar1_gaussian_process(50, 1.0, 10.0, 0.0, np.random.default_rng(0))
+        assert np.all(x == 0.0)
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ar1_gaussian_process(0, 1.0, 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ar1_gaussian_process(10, -1.0, 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ar1_gaussian_process(10, 1.0, 0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            ar1_gaussian_process(10, 1.0, 1.0, -1.0, rng)
+        with pytest.raises(ValueError):
+            ar1_gaussian_process(10, 1.0, 1.0, 1.0, rng, n_series=0)
+
+    @given(
+        st.integers(2, 200),
+        st.floats(0.1, 10.0),
+        st.floats(0.5, 100.0),
+        st.floats(0.0, 10.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_always_finite(self, n, step, decorr, sigma):
+        x = ar1_gaussian_process(n, step, decorr, sigma, np.random.default_rng(0))
+        assert np.all(np.isfinite(x))
+
+
+class TestGudmundsonField:
+    def test_shape_from_length(self):
+        f = gudmundson_field(100.0, 1.0, 6.0, 20.0, np.random.default_rng(0), 8)
+        assert f.shape == (8, 101)
+
+    def test_explicit_n_points(self):
+        f = gudmundson_field(
+            100.0, 1.0, 6.0, 20.0, np.random.default_rng(0), 3, n_points=77
+        )
+        assert f.shape == (3, 77)
+
+    def test_channels_independent(self):
+        f = gudmundson_field(4000.0, 1.0, 6.0, 20.0, np.random.default_rng(0), 2)
+        r = np.corrcoef(f[0], f[1])[0, 1]
+        assert abs(r) < 0.25
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gudmundson_field(0.0, 1.0, 6.0, 20.0, rng)
+        with pytest.raises(ValueError):
+            gudmundson_field(10.0, 0.0, 6.0, 20.0, rng)
+        with pytest.raises(ValueError):
+            gudmundson_field(10.0, 1.0, 6.0, 20.0, rng, n_points=0)
+
+
+class TestTheoreticalAutocorrelation:
+    def test_at_zero_lag(self):
+        assert exponential_autocorrelation(0.0, 6.0, 20.0) == pytest.approx(36.0)
+
+    def test_efolding(self):
+        r = exponential_autocorrelation(20.0, 6.0, 20.0)
+        assert r == pytest.approx(36.0 / np.e)
+
+    def test_symmetric(self):
+        assert exponential_autocorrelation(-5.0, 2.0, 10.0) == pytest.approx(
+            exponential_autocorrelation(5.0, 2.0, 10.0)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exponential_autocorrelation(1.0, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            exponential_autocorrelation(1.0, 1.0, 0.0)
+
+    def test_empirical_matches_theory(self):
+        rng = np.random.default_rng(5)
+        sigma, decorr = 4.0, 15.0
+        f = gudmundson_field(8000.0, 1.0, sigma, decorr, rng, n_channels=10)
+        lag = 15
+        fc = f - f.mean(axis=1, keepdims=True)
+        emp = np.mean(np.sum(fc[:, lag:] * fc[:, :-lag], axis=1) / (f.shape[1] - lag))
+        theory = exponential_autocorrelation(float(lag), sigma, decorr)
+        assert emp == pytest.approx(theory, rel=0.25)

@@ -1,0 +1,104 @@
+"""Tests for repro.gsm.towers: deployments and mean power."""
+
+import numpy as np
+import pytest
+
+from repro.gsm.band import RGSM900
+from repro.gsm.towers import ChannelTowers, TowerDeployment, deploy_towers
+
+BOUNDS = (0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestChannelTowers:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelTowers(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            ChannelTowers(np.zeros((2, 3)), np.zeros(2))
+        with pytest.raises(ValueError):
+            ChannelTowers(np.zeros((2, 2)), np.zeros(3))
+
+    def test_n_towers(self):
+        ct = ChannelTowers(np.zeros((4, 2)), np.full(4, 55.0))
+        assert ct.n_towers == 4
+
+
+class TestDeploy:
+    def test_one_set_per_channel(self):
+        dep = deploy_towers(RGSM900, BOUNDS, rng=0)
+        assert dep.plan is RGSM900
+        for ci in (0, 100, 193):
+            assert dep.towers_for(ci).n_towers >= 1
+
+    def test_deterministic(self):
+        a = deploy_towers(RGSM900, BOUNDS, rng=3)
+        b = deploy_towers(RGSM900, BOUNDS, rng=3)
+        assert np.allclose(a.towers_for(5).positions, b.towers_for(5).positions)
+
+    def test_margin_expands_box(self):
+        dep = deploy_towers(RGSM900, BOUNDS, rng=0, margin_m=5000.0)
+        all_pos = np.vstack(
+            [dep.towers_for(c).positions for c in range(RGSM900.n_channels)]
+        )
+        assert all_pos.min() < -1000.0  # towers outside the bounds proper
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            deploy_towers(RGSM900, (10.0, 0.0, 0.0, 10.0))
+
+    def test_bad_mean(self):
+        with pytest.raises(ValueError):
+            deploy_towers(RGSM900, BOUNDS, mean_cochannel=-1.0)
+
+
+class TestMeanPower:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        return deploy_towers(RGSM900, BOUNDS, rng=7)
+
+    def test_shape(self, deployment):
+        pts = np.array([[0.0, 0.0], [500.0, 500.0], [999.0, 0.0]])
+        p = deployment.mean_power_dbm(pts)
+        assert p.shape == (194, 3)
+
+    def test_channel_subset(self, deployment):
+        pts = np.array([[100.0, 100.0]])
+        p = deployment.mean_power_dbm(pts, channel_indices=np.array([3, 7]))
+        full = deployment.mean_power_dbm(pts)
+        assert np.allclose(p[0], full[3])
+        assert np.allclose(p[1], full[7])
+
+    def test_sum_exceeds_strongest(self, deployment):
+        # Total power from k towers must exceed any single tower's power.
+        pts = np.array([[500.0, 500.0]])
+        ci = 0
+        towers = deployment.towers_for(ci)
+        total = deployment.mean_power_dbm(pts, channel_indices=np.array([ci]))[0, 0]
+        single_max = -np.inf
+        for k in range(towers.n_towers):
+            single = TowerDeployment(
+                deployment.plan.subset(np.array([ci])),
+                [
+                    ChannelTowers(
+                        towers.positions[k : k + 1], towers.eirp_dbm[k : k + 1]
+                    )
+                ],
+            ).mean_power_dbm(pts)[0, 0]
+            single_max = max(single_max, single)
+        assert total >= single_max
+
+    def test_mostly_quiet_band(self, deployment):
+        # City-scale reuse: most channels should be weak at any location
+        # (the physical basis of the paper's top-45 channel selection).
+        pts = np.array([[500.0, 500.0]])
+        p = deployment.mean_power_dbm(pts)[:, 0]
+        assert np.mean(p < -90.0) > 0.3
+        assert np.mean(p > -90.0) > 0.05  # ...but some are strong
+
+    def test_rejects_bad_points(self, deployment):
+        with pytest.raises(ValueError):
+            deployment.mean_power_dbm(np.zeros(3))
+
+    def test_wrong_channel_count_rejected(self):
+        with pytest.raises(ValueError):
+            TowerDeployment(RGSM900, [])

@@ -1,0 +1,146 @@
+"""End-to-end integration tests: the whole RUPS stack at once.
+
+These exercise the full chain — field, scanner, sensors, dead reckoning,
+binding, V2V serialization, SYN matching, resolution — and assert the
+paper's qualitative claims on the shared drive pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gps_rdf import GpsRdfBaseline
+from repro.core import RupsConfig, RupsEngine
+from repro.v2v.serialization import decode_trajectory, encode_trajectory
+
+
+@pytest.fixture(scope="module")
+def query_times(shared_pair, shared_engine):
+    t_lo, t_hi = shared_pair.query_window(shared_engine.config.context_length_m)
+    return np.linspace(t_lo + 1.0, t_hi - 1.0, 12)
+
+
+class TestEndToEnd:
+    def test_accuracy_over_many_queries(self, shared_pair, shared_engine, query_times):
+        errs = []
+        for tq in query_times:
+            own = shared_engine.build_trajectory(
+                shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+            )
+            other = shared_engine.build_trajectory(
+                shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+            )
+            est = shared_engine.estimate_relative_distance(own, other)
+            if est.resolved:
+                truth = float(shared_pair.scenario.true_relative_distance(tq))
+                errs.append(abs(est.distance_m - truth))
+        assert len(errs) >= 10  # nearly all queries resolve
+        assert np.mean(errs) < 6.0  # paper regime: a few metres
+
+    def test_through_v2v_codec(self, shared_pair, shared_engine, query_times):
+        """The neighbour trajectory survives serialization: same answer."""
+        tq = float(query_times[3])
+        own = shared_engine.build_trajectory(
+            shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+        )
+        other = shared_engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        direct = shared_engine.estimate_relative_distance(own, other)
+        via_wire = shared_engine.estimate_relative_distance(
+            own, decode_trajectory(encode_trajectory(other))
+        )
+        assert direct.resolved and via_wire.resolved
+        assert via_wire.distance_m == pytest.approx(direct.distance_m, abs=2.0)
+
+    def test_determinism_full_stack(self, small_plan):
+        from repro.experiments.traces import drive_pair
+
+        def run():
+            pair = drive_pair(duration_s=200.0, plan=small_plan, seed=31)
+            engine = RupsEngine(RupsConfig(context_length_m=500.0, window_channels=30))
+            own = engine.build_trajectory(
+                pair.rear.scan, pair.rear.estimated, at_time_s=170.0
+            )
+            other = engine.build_trajectory(
+                pair.front.scan, pair.front.estimated, at_time_s=170.0
+            )
+            return engine.estimate_relative_distance(own, other).distance_m
+
+        assert run() == run()
+
+    def test_rups_beats_gps_same_queries(self, shared_pair, shared_engine, query_times):
+        truths = np.array(
+            [float(shared_pair.scenario.true_relative_distance(t)) for t in query_times]
+        )
+        rups_errs = []
+        for tq, truth in zip(query_times, truths):
+            own = shared_engine.build_trajectory(
+                shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+            )
+            other = shared_engine.build_trajectory(
+                shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+            )
+            est = shared_engine.estimate_relative_distance(own, other)
+            if est.resolved:
+                rups_errs.append(abs(est.distance_m - truth))
+        gps_est = GpsRdfBaseline().estimate(
+            shared_pair.front.gps,
+            shared_pair.rear.gps,
+            query_times,
+            shared_pair.field.polyline,
+        )
+        ok = ~np.isnan(gps_est)
+        gps_errs = np.abs(gps_est[ok] - truths[ok])
+        assert np.mean(rups_errs) < np.mean(gps_errs)
+
+    def test_estimated_track_never_sees_truth(self, shared_pair):
+        """The dead-reckoned track differs from ground truth (it is built
+        from noisy sensors) yet stays within realistic bounds."""
+        rec = shared_pair.rear
+        err = rec.odometry_scale_error()
+        assert err != 0.0
+        assert abs(err) < 0.05
+
+    def test_sign_convention_rear_queries_front(self, shared_pair, shared_engine, query_times):
+        # Rear vehicle asking about the front vehicle gets positive
+        # distances (other is ahead).
+        tq = float(query_times[5])
+        own = shared_engine.build_trajectory(
+            shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+        )
+        other = shared_engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        est = shared_engine.estimate_relative_distance(own, other)
+        assert est.resolved and est.distance_m > 0
+
+    def test_front_queries_rear_negative(self, shared_pair, shared_engine, query_times):
+        tq = float(query_times[5])
+        own = shared_engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        other = shared_engine.build_trajectory(
+            shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+        )
+        est = shared_engine.estimate_relative_distance(own, other)
+        assert est.resolved and est.distance_m < 0
+
+    def test_response_time_budget(self, shared_pair, shared_engine, query_times):
+        """SV-A/B: matching is milliseconds; communication dominates."""
+        import time
+
+        from repro.v2v.exchange import estimate_exchange_time
+
+        tq = float(query_times[2])
+        own = shared_engine.build_trajectory(
+            shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+        )
+        other = shared_engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        start = time.perf_counter()
+        shared_engine.estimate_relative_distance(own, other)
+        compute_s = time.perf_counter() - start
+        _, _, comm_s = estimate_exchange_time(600.0, own.n_channels)
+        assert compute_s < 0.25  # ms-scale matching (generous CI bound)
+        assert comm_s > 0.01  # communication is the larger budget

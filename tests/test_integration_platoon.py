@@ -1,0 +1,98 @@
+"""Platoon integration: three vehicles, pairwise RUPS consistency.
+
+The RDF problem is pairwise, but a three-vehicle platoon provides a
+strong cross-check with no ground-truth access at all: the pairwise
+estimates must be mutually consistent, d(A,C) ~ d(A,B) + d(B,C).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RupsConfig, RupsEngine
+from repro.gsm.field import make_straight_field
+from repro.gsm.scanner import RadioGroup
+from repro.roads.types import RoadType
+from repro.util.rng import RngFactory
+from repro.vehicles.drive import simulate_drive
+from repro.vehicles.idm import follow_leader
+from repro.vehicles.kinematics import urban_speed_profile
+
+
+@pytest.fixture(scope="module")
+def platoon(small_plan):
+    factory = RngFactory(314)
+    lead = urban_speed_profile(
+        duration_s=300.0,
+        speed_limit_ms=12.0,
+        rng=factory.generator("lead"),
+        s0_m=80.0,
+    )
+    mid = follow_leader(lead, initial_gap_m=25.0)
+    tail = follow_leader(mid, initial_gap_m=25.0)
+    field = make_straight_field(
+        lead.s_m[-1] + 30.0, RoadType.URBAN_4LANE, plan=small_plan, seed=314
+    )
+    group = RadioGroup(small_plan, n_radios=4)
+    records = {
+        name: simulate_drive(
+            field, motion, group, seed=314, vehicle_key=name
+        )
+        for name, motion in (("lead", lead), ("mid", mid), ("tail", tail))
+    }
+    return records, {"lead": lead, "mid": mid, "tail": tail}
+
+
+@pytest.fixture(scope="module")
+def platoon_engine():
+    return RupsEngine(RupsConfig(context_length_m=700.0, window_channels=30))
+
+
+def _estimate(engine, records, own_name, other_name, tq):
+    own = engine.build_trajectory(
+        records[own_name].scan, records[own_name].estimated, at_time_s=tq
+    )
+    other = engine.build_trajectory(
+        records[other_name].scan, records[other_name].estimated, at_time_s=tq
+    )
+    return engine.estimate_relative_distance(own, other)
+
+
+class TestPlatoon:
+    def test_pairwise_accuracy(self, platoon, platoon_engine):
+        records, motions = platoon
+        tq = 280.0
+        for rear, front in (("mid", "lead"), ("tail", "mid"), ("tail", "lead")):
+            est = _estimate(platoon_engine, records, rear, front, tq)
+            assert est.resolved, (rear, front)
+            truth = float(motions[front].arc_length_at(tq)) - float(
+                motions[rear].arc_length_at(tq)
+            )
+            assert est.distance_m == pytest.approx(truth, abs=8.0)
+
+    def test_transitivity(self, platoon, platoon_engine):
+        records, _ = platoon
+        errors = []
+        for tq in (255.0, 270.0, 285.0):
+            ab = _estimate(platoon_engine, records, "tail", "mid", tq)
+            bc = _estimate(platoon_engine, records, "mid", "lead", tq)
+            ac = _estimate(platoon_engine, records, "tail", "lead", tq)
+            if ab.resolved and bc.resolved and ac.resolved:
+                errors.append(abs(ac.distance_m - (ab.distance_m + bc.distance_m)))
+        assert errors, "no fully resolved triple"
+        assert np.mean(errors) < 6.0
+
+    def test_antisymmetry(self, platoon, platoon_engine):
+        records, _ = platoon
+        tq = 275.0
+        fwd = _estimate(platoon_engine, records, "tail", "lead", tq)
+        rev = _estimate(platoon_engine, records, "lead", "tail", tq)
+        assert fwd.resolved and rev.resolved
+        assert fwd.distance_m == pytest.approx(-rev.distance_m, abs=5.0)
+
+    def test_middle_vehicle_sees_both(self, platoon, platoon_engine):
+        records, _ = platoon
+        tq = 280.0
+        ahead = _estimate(platoon_engine, records, "mid", "lead", tq)
+        behind = _estimate(platoon_engine, records, "mid", "tail", tq)
+        assert ahead.resolved and ahead.distance_m > 0
+        assert behind.resolved and behind.distance_m < 0

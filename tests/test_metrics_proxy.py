@@ -1,0 +1,67 @@
+"""Tests for the paper's ground-truth proxy and the spectrogram renderer."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import paper_truth_proxy
+from repro.experiments.reporting import render_spectrogram
+from repro.vehicles.scenario import build_following_scenario
+
+
+class TestPaperTruthProxy:
+    @pytest.fixture(scope="class")
+    def stopgo_scenario(self):
+        # High stop rate so common stops exist in a short drive.
+        return build_following_scenario(
+            duration_s=420.0, seed=8, stop_rate_per_s=1.0 / 60.0
+        )
+
+    def test_matches_exact_truth_after_common_stop(self, stopgo_scenario):
+        scn = stopgo_scenario
+        checked = 0
+        for tq in np.linspace(150.0, 415.0, 25):
+            proxy = paper_truth_proxy(scn, float(tq))
+            if proxy is None:
+                continue
+            exact = float(scn.true_relative_distance(tq))
+            assert proxy == pytest.approx(exact, abs=1.0)
+            checked += 1
+        assert checked >= 5  # the proxy applies to a good share of queries
+
+    def test_none_before_any_stop(self):
+        scn = build_following_scenario(
+            duration_s=60.0, seed=9, stop_rate_per_s=1e-9
+        )
+        assert paper_truth_proxy(scn, 50.0) is None
+
+
+class TestRenderSpectrogram:
+    def test_shape_and_legend(self):
+        rng = np.random.default_rng(0)
+        m = rng.uniform(-110, -60, size=(40, 200))
+        out = render_spectrogram(m, width=50, height=10, title="T")
+        lines = out.split("\n")
+        assert lines[0] == "T"
+        assert len(lines) == 12  # title + 10 rows + legend
+        assert all(len(l) == 50 for l in lines[1:-1])
+        assert "dBm" in lines[-1]
+
+    def test_nan_blanks(self):
+        m = np.full((4, 8), np.nan)
+        m[0, :] = -80.0
+        out = render_spectrogram(m, width=8, height=4)
+        assert " " in out
+
+    def test_contrast(self):
+        m = np.vstack([np.full(20, -110.0), np.full(20, -50.0)])
+        out = render_spectrogram(m, width=10, height=2)
+        rows = out.split("\n")[:-1]
+        assert rows[0] != rows[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_spectrogram(np.zeros(5))
+        with pytest.raises(ValueError):
+            render_spectrogram(np.zeros((3, 3)), width=1)
+        with pytest.raises(ValueError):
+            render_spectrogram(np.full((3, 3), np.nan))

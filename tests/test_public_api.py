@@ -1,0 +1,85 @@
+"""Tests for the public package surface: exports, quickstart, docs links."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_core_surface(self):
+        assert repro.RupsEngine is not None
+        assert repro.RupsConfig is not None
+        assert repro.RngFactory is not None
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.gsm",
+            "repro.roads",
+            "repro.vehicles",
+            "repro.sensors",
+            "repro.v2v",
+            "repro.baselines",
+            "repro.experiments",
+            "repro.util",
+        ],
+    )
+    def test_subpackage_all_resolvable(self, module):
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            assert hasattr(mod, name), f"{module}.{name}"
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.gsm",
+            "repro.roads",
+            "repro.vehicles",
+            "repro.sensors",
+            "repro.v2v",
+            "repro.baselines",
+            "repro.experiments",
+            "repro.util",
+        ],
+    )
+    def test_public_items_documented(self, module):
+        """Every public item the package exports carries a docstring."""
+        import importlib
+
+        mod = importlib.import_module(module)
+        for name in getattr(mod, "__all__", []):
+            obj = getattr(mod, name)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{module}.{name} lacks a docstring"
+
+
+class TestQuickstart:
+    def test_run_resolves_and_is_accurate(self):
+        from repro import quickstart
+
+        result = quickstart.run(seed=42, duration_s=300.0)
+        assert result.distance_m is not None
+        assert result.error_m is not None
+        assert result.error_m < 10.0
+        assert result.truth_m > 0
+        assert "m" in str(result)
+
+    def test_run_deterministic(self):
+        from repro import quickstart
+
+        a = quickstart.run(seed=7, duration_s=300.0)
+        b = quickstart.run(seed=7, duration_s=300.0)
+        assert a.distance_m == b.distance_m
+        assert a.query_time_s == b.query_time_s

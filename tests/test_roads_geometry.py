@@ -1,0 +1,136 @@
+"""Tests for repro.roads.geometry: polylines and arc-length maps."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.roads.geometry import Polyline, heading_along, resample_polyline
+
+
+@pytest.fixture
+def straight() -> Polyline:
+    return Polyline(np.array([[0.0, 0.0], [100.0, 0.0]]))
+
+
+@pytest.fixture
+def l_shape() -> Polyline:
+    return Polyline(np.array([[0.0, 0.0], [100.0, 0.0], [100.0, 50.0]]))
+
+
+class TestConstruction:
+    def test_length(self, l_shape):
+        assert l_shape.length == pytest.approx(150.0)
+
+    def test_needs_two_vertices(self):
+        with pytest.raises(ValueError):
+            Polyline(np.array([[0.0, 0.0]]))
+
+    def test_rejects_duplicate_vertices(self):
+        with pytest.raises(ValueError, match="zero-length"):
+            Polyline(np.array([[0.0, 0.0], [0.0, 0.0], [1.0, 0.0]]))
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Polyline(np.zeros((3, 3)))
+
+    def test_cumulative_lengths_readonly(self, straight):
+        with pytest.raises(ValueError):
+            straight.cumulative_lengths[0] = 5.0
+
+
+class TestPosition:
+    def test_endpoints(self, l_shape):
+        assert np.allclose(l_shape.position(0.0), [0.0, 0.0])
+        assert np.allclose(l_shape.position(150.0), [100.0, 50.0])
+
+    def test_mid_segment(self, l_shape):
+        assert np.allclose(l_shape.position(50.0), [50.0, 0.0])
+        assert np.allclose(l_shape.position(125.0), [100.0, 25.0])
+
+    def test_clamps_out_of_range(self, straight):
+        assert np.allclose(straight.position(-10.0), [0.0, 0.0])
+        assert np.allclose(straight.position(500.0), [100.0, 0.0])
+
+    def test_vectorized_shape(self, l_shape):
+        out = l_shape.position(np.array([0.0, 75.0, 150.0]))
+        assert out.shape == (3, 2)
+
+    @given(st.floats(0.0, 150.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_arc_length_consistency(self, s):
+        poly = Polyline(np.array([[0.0, 0.0], [100.0, 0.0], [100.0, 50.0]]))
+        # distance from start measured along the polyline equals s; the
+        # sampling must include interior vertices or chords cut corners.
+        fine = np.unique(np.concatenate([np.linspace(0.0, s, 200), [min(100.0, s)]]))
+        pts = np.atleast_2d(poly.position(fine))
+        travelled = np.sum(np.linalg.norm(np.diff(pts, axis=0), axis=1))
+        assert travelled == pytest.approx(s, abs=1e-6)
+
+
+class TestHeading:
+    def test_straight(self, straight):
+        assert straight.heading(50.0) == pytest.approx(0.0)
+
+    def test_after_turn(self, l_shape):
+        assert l_shape.heading(125.0) == pytest.approx(np.pi / 2)
+
+    def test_vectorized(self, l_shape):
+        h = l_shape.heading(np.array([10.0, 125.0]))
+        assert np.allclose(h, [0.0, np.pi / 2])
+
+
+class TestOffsetPosition:
+    def test_left_offset_is_ccw_normal(self, straight):
+        p = straight.offset_position(50.0, 3.5)
+        assert np.allclose(p, [50.0, 3.5])
+
+    def test_right_offset(self, straight):
+        p = straight.offset_position(50.0, -3.5)
+        assert np.allclose(p, [50.0, -3.5])
+
+    def test_offset_preserves_arc_position(self, l_shape):
+        base = l_shape.position(125.0)
+        off = l_shape.offset_position(125.0, 2.0)
+        assert np.linalg.norm(off - base) == pytest.approx(2.0)
+
+
+class TestProject:
+    def test_on_line(self, straight):
+        assert straight.project(np.array([30.0, 0.0])) == pytest.approx(30.0)
+
+    def test_off_line(self, straight):
+        assert straight.project(np.array([30.0, 5.0])) == pytest.approx(30.0)
+
+    def test_beyond_end_clamps(self, straight):
+        assert straight.project(np.array([200.0, 1.0])) == pytest.approx(100.0)
+
+    def test_second_segment(self, l_shape):
+        s = l_shape.project(np.array([102.0, 25.0]))
+        assert s == pytest.approx(125.0)
+
+    @given(st.floats(0.0, 150.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_project_inverts_position(self, s):
+        poly = Polyline(np.array([[0.0, 0.0], [100.0, 0.0], [100.0, 50.0]]))
+        assert poly.project(np.asarray(poly.position(s))) == pytest.approx(
+            s, abs=1e-6
+        )
+
+
+class TestResampling:
+    def test_resample_spacing(self, straight):
+        pts = resample_polyline(straight, spacing=10.0)
+        assert pts.shape == (11, 2)
+        assert np.allclose(np.diff(pts[:, 0]), 10.0)
+
+    def test_heading_along(self, l_shape):
+        h = heading_along(l_shape, spacing=25.0)
+        assert h[0] == pytest.approx(0.0)
+        assert h[-1] == pytest.approx(np.pi / 2)
+
+    def test_invalid_spacing(self, straight):
+        with pytest.raises(ValueError):
+            resample_polyline(straight, spacing=0.0)
+        with pytest.raises(ValueError):
+            heading_along(straight, spacing=-1.0)

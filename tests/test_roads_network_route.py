@@ -1,0 +1,163 @@
+"""Tests for repro.roads.network and repro.roads.route."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.roads.network import (
+    DISTRICTS,
+    RoadNetwork,
+    RoadNetworkConfig,
+    generate_network,
+)
+from repro.roads.route import Route, build_route, random_route
+from repro.roads.types import RoadType
+
+
+@pytest.fixture(scope="module")
+def network() -> RoadNetwork:
+    return generate_network(RoadNetworkConfig(blocks_x=6, blocks_y=4), seed=5)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        cfg = RoadNetworkConfig(blocks_x=4, blocks_y=3)
+        a = generate_network(cfg, seed=1)
+        b = generate_network(cfg, seed=1)
+        assert len(a) == len(b)
+        pa = a.segments[10].polyline.points
+        pb = b.segments[10].polyline.points
+        assert np.allclose(pa, pb)
+
+    def test_seed_changes_geometry(self):
+        cfg = RoadNetworkConfig(blocks_x=4, blocks_y=3)
+        a = generate_network(cfg, seed=1)
+        b = generate_network(cfg, seed=2)
+        assert not np.allclose(a.segments[0].polyline.points, b.segments[0].polyline.points)
+
+    def test_connected(self, network):
+        assert nx.is_connected(network.graph)
+
+    def test_segment_count_scale(self, network):
+        # horizontal + vertical + elevated spans + 2 ramps
+        cfg = network.config
+        expected = (
+            (cfg.blocks_y + 1) * cfg.blocks_x
+            + (cfg.blocks_x + 1) * cfg.blocks_y
+            + cfg.blocks_x
+            + 2
+        )
+        assert len(network) == expected
+
+    def test_all_road_types_present(self, network):
+        present = {s.road_type for s in network.segments}
+        assert RoadType.UNDER_ELEVATED in present
+        assert RoadType.ELEVATED in present
+        assert RoadType.SUBURB_2LANE in present
+        assert RoadType.URBAN_4LANE in present
+
+    def test_under_elevated_row(self, network):
+        # the surface street under the elevated row must be UNDER_ELEVATED
+        row = network.config.elevated_row
+        unders = network.segments_of_type(RoadType.UNDER_ELEVATED)
+        assert unders
+        for seg in unders:
+            assert seg.u[1] == row and seg.v[1] == row
+
+    def test_districts(self, network):
+        for d in DISTRICTS:
+            assert network.segments_in_district(d)
+        with pytest.raises(ValueError):
+            network.segments_in_district("nowhere")
+
+    def test_downtown_has_8lane(self, network):
+        downtown = network.segments_in_district("downtown")
+        assert any(s.road_type == RoadType.URBAN_8LANE for s in downtown)
+
+    def test_suburb_is_2lane(self, network):
+        suburb = [
+            s
+            for s in network.segments_in_district("suburban")
+            if s.road_type not in (RoadType.ELEVATED, RoadType.UNDER_ELEVATED)
+        ]
+        assert suburb
+        assert all(s.road_type == RoadType.SUBURB_2LANE for s in suburb)
+
+    def test_segment_lookup(self, network):
+        seg = network.segments[3]
+        assert network.segment(seg.segment_id) is seg
+        with pytest.raises(KeyError):
+            network.segment(10_000)
+
+    def test_edge_segment(self, network):
+        seg = network.segments[0]
+        assert network.edge_segment(seg.u, seg.v).segment_id == seg.segment_id
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RoadNetworkConfig(blocks_x=1, blocks_y=1)
+        with pytest.raises(ValueError):
+            RoadNetworkConfig(elevated_row=99)
+
+
+class TestRoute:
+    def test_build_route_length(self, network):
+        seg = network.segments[0]
+        route = build_route(network, [seg.u, seg.v])
+        assert route.length == pytest.approx(seg.length)
+
+    def test_build_route_rejects_nonedge(self, network):
+        with pytest.raises(ValueError):
+            build_route(network, [(0, 0), (5, 5)])
+
+    def test_locate_and_position(self, network):
+        route = random_route(network, min_length_m=1500.0, rng=3)
+        s = route.length / 2
+        idx, seg, local = route.locate(s)
+        assert 0 <= idx < len(route.legs)
+        assert 0.0 <= local <= seg.length
+        pos = route.position(s)
+        assert np.allclose(pos, seg.polyline.position(local))
+
+    def test_locate_many_matches_scalar(self, network):
+        route = random_route(network, min_length_m=1500.0, rng=3)
+        queries = np.linspace(0.0, route.length, 17)
+        idxs, locals_ = route.locate_many(queries)
+        for q, i, l in zip(queries, idxs, locals_):
+            i2, _, l2 = route.locate(float(q))
+            assert i == i2
+            assert l == pytest.approx(l2, abs=1e-9)
+
+    def test_reverse_leg_parameterisation(self, network):
+        seg = network.segments[0]
+        fwd = build_route(network, [seg.u, seg.v])
+        rev = build_route(network, [seg.v, seg.u])
+        # Reversed traversal starts where the forward one ends.
+        assert np.allclose(rev.position(0.0), fwd.position(fwd.length))
+
+    def test_heading_flips_on_reverse(self, network):
+        seg = network.segments[0]
+        fwd = build_route(network, [seg.u, seg.v])
+        rev = build_route(network, [seg.v, seg.u])
+        h1 = fwd.heading(seg.length / 2)
+        h2 = rev.heading(seg.length / 2)
+        delta = np.arctan2(np.sin(h1 - h2), np.cos(h1 - h2))
+        assert abs(abs(delta) - np.pi) < 0.3  # opposite directions (curved road)
+
+    def test_random_route_min_length(self, network):
+        route = random_route(network, min_length_m=2000.0, rng=7)
+        assert route.length >= 2000.0
+
+    def test_random_route_typed(self, network):
+        route = random_route(
+            network, min_length_m=800.0, road_type=RoadType.URBAN_4LANE, rng=5
+        )
+        assert all(s.road_type == RoadType.URBAN_4LANE for s in route.segments)
+
+    def test_road_type_at(self, network):
+        route = random_route(network, min_length_m=1000.0, rng=11)
+        assert route.road_type_at(1.0) == route.segments[0].road_type
+
+    def test_route_needs_legs(self):
+        with pytest.raises(ValueError):
+            Route([])

@@ -1,0 +1,103 @@
+"""Tests for repro.roads.types and repro.roads.environment."""
+
+import pytest
+
+from repro.roads.environment import (
+    ENVIRONMENT_PROFILES,
+    EnvironmentProfile,
+    environment_for,
+)
+from repro.roads.types import (
+    LANE_WIDTH_M,
+    ROAD_PROFILES,
+    OpennessClass,
+    RoadProfile,
+    RoadType,
+)
+
+
+class TestRoadProfiles:
+    def test_every_type_has_profile(self):
+        for rt in RoadType:
+            assert rt in ROAD_PROFILES
+            assert ROAD_PROFILES[rt].road_type == rt
+
+    def test_paper_openness_classes(self):
+        # SVI-A: open = 8-lane/elevated/2-lane suburb; semi-open = 4-lane;
+        # close = under elevated.
+        assert ROAD_PROFILES[RoadType.URBAN_8LANE].openness == OpennessClass.OPEN
+        assert ROAD_PROFILES[RoadType.ELEVATED].openness == OpennessClass.OPEN
+        assert ROAD_PROFILES[RoadType.SUBURB_2LANE].openness == OpennessClass.OPEN
+        assert ROAD_PROFILES[RoadType.URBAN_4LANE].openness == OpennessClass.SEMI_OPEN
+        assert ROAD_PROFILES[RoadType.UNDER_ELEVATED].openness == OpennessClass.CLOSE
+
+    def test_lane_counts(self):
+        assert ROAD_PROFILES[RoadType.SUBURB_2LANE].lanes == 2
+        assert ROAD_PROFILES[RoadType.URBAN_4LANE].lanes == 4
+        assert ROAD_PROFILES[RoadType.URBAN_8LANE].lanes == 8
+
+    def test_width(self):
+        p = ROAD_PROFILES[RoadType.URBAN_4LANE]
+        assert p.width_m == pytest.approx(4 * LANE_WIDTH_M)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoadProfile(
+                road_type=RoadType.URBAN_4LANE,
+                openness=OpennessClass.OPEN,
+                lanes=0,
+                speed_limit_ms=10.0,
+                building_height_m=5.0,
+                canyon_width_m=20.0,
+                traffic_density=0.5,
+            )
+        with pytest.raises(ValueError):
+            RoadProfile(
+                road_type=RoadType.URBAN_4LANE,
+                openness=OpennessClass.OPEN,
+                lanes=2,
+                speed_limit_ms=10.0,
+                building_height_m=5.0,
+                canyon_width_m=20.0,
+                traffic_density=1.5,
+            )
+
+    def test_profiles_are_frozen(self):
+        with pytest.raises(Exception):
+            ROAD_PROFILES[RoadType.URBAN_4LANE].lanes = 6  # type: ignore
+
+    def test_mapping_is_readonly(self):
+        with pytest.raises(TypeError):
+            ROAD_PROFILES[RoadType.URBAN_4LANE] = None  # type: ignore
+
+
+class TestEnvironmentProfiles:
+    def test_every_type_has_environment(self):
+        for rt in RoadType:
+            assert isinstance(environment_for(rt), EnvironmentProfile)
+
+    def test_lookup_by_profile(self):
+        env = environment_for(ROAD_PROFILES[RoadType.SUBURB_2LANE])
+        assert env is ENVIRONMENT_PROFILES[RoadType.SUBURB_2LANE]
+
+    def test_gps_ordering_matches_paper(self):
+        # Fig 12 ordering: suburb best, urban mid, under-elevated worst.
+        suburb = environment_for(RoadType.SUBURB_2LANE).gps_sigma_m
+        urban4 = environment_for(RoadType.URBAN_4LANE).gps_sigma_m
+        under = environment_for(RoadType.UNDER_ELEVATED).gps_sigma_m
+        assert suburb < urban4 < under
+
+    def test_under_elevated_has_outages(self):
+        assert environment_for(RoadType.UNDER_ELEVATED).gps_outage_prob > 0
+        assert environment_for(RoadType.SUBURB_2LANE).gps_outage_prob == 0
+
+    def test_clutter_deepest_under_elevated(self):
+        clutters = {rt: environment_for(rt).clutter_loss_db for rt in RoadType}
+        assert max(clutters, key=clutters.get) == RoadType.UNDER_ELEVATED
+
+    def test_gsm_params_vary_mildly(self):
+        # SVI-C: "GSM signals are pervasive and stable in urban settings"
+        # — shadowing varies far less across environments than GPS error.
+        sigmas = [environment_for(rt).shadow_sigma_db for rt in RoadType]
+        gps = [environment_for(rt).gps_sigma_m for rt in RoadType]
+        assert max(sigmas) / min(sigmas) < max(gps) / min(gps)

@@ -1,0 +1,160 @@
+"""Failure injection and degraded-input robustness tests.
+
+RUPS must degrade gracefully, not crash, when its inputs are corrupted:
+sparse scans, dead channels, saturated receivers, insufficient context.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import RupsConfig, RupsEngine
+from repro.core.binding import bind_scan
+from repro.core.trajectory import GsmTrajectory
+from repro.gsm.scanner import ScanStream
+
+
+def _thinned_scan(scan: ScanStream, keep_fraction: float, seed: int = 0) -> ScanStream:
+    """Randomly drop measurements (lost reads, radio resets)."""
+    rng = np.random.default_rng(seed)
+    keep = rng.random(len(scan)) < keep_fraction
+    return ScanStream(
+        times_s=scan.times_s[keep],
+        channel_indices=scan.channel_indices[keep],
+        radio_ids=scan.radio_ids[keep],
+        s_true_m=scan.s_true_m[keep],
+        rssi_dbm=scan.rssi_dbm[keep],
+        plan=scan.plan,
+    )
+
+
+class TestSparseScans:
+    def test_half_the_measurements_still_resolves(self, shared_pair, shared_engine):
+        tq = 200.0
+        thinned = _thinned_scan(shared_pair.rear.scan, 0.5, seed=1)
+        own = shared_engine.build_trajectory(
+            thinned, shared_pair.rear.estimated, at_time_s=tq
+        )
+        other = shared_engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        est = shared_engine.estimate_relative_distance(own, other)
+        assert est.resolved
+        truth = float(shared_pair.scenario.true_relative_distance(tq))
+        assert est.distance_m == pytest.approx(truth, abs=10.0)
+
+    def test_ninety_five_percent_loss_does_not_crash(
+        self, shared_pair, shared_engine
+    ):
+        tq = 200.0
+        thinned = _thinned_scan(shared_pair.rear.scan, 0.05, seed=2)
+        own = shared_engine.build_trajectory(
+            thinned, shared_pair.rear.estimated, at_time_s=tq
+        )
+        other = shared_engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        # May or may not resolve, but must return a well-formed estimate.
+        est = shared_engine.estimate_relative_distance(own, other)
+        assert est.distance_m is None or np.isfinite(est.distance_m)
+
+
+class TestDegenerateChannels:
+    def test_dead_channels_excluded_by_selection(self, shared_pair, shared_engine):
+        tq = 200.0
+        own = shared_engine.build_trajectory(
+            shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+        )
+        other = shared_engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        # Kill a third of the rear vehicle's channels (receiver fault).
+        power = own.power_dbm.copy()
+        power[::3, :] = -110.0
+        own_dead = GsmTrajectory(power, own.channel_ids, own.geo)
+        est = shared_engine.estimate_relative_distance(own_dead, other)
+        assert est.resolved
+        truth = float(shared_pair.scenario.true_relative_distance(tq))
+        assert est.distance_m == pytest.approx(truth, abs=10.0)
+
+    def test_saturated_receiver_everywhere(self, shared_pair, shared_engine):
+        tq = 200.0
+        own = shared_engine.build_trajectory(
+            shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+        )
+        other = shared_engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        flat = GsmTrajectory(
+            np.full_like(own.power_dbm, -20.0), own.channel_ids, own.geo
+        )
+        est = shared_engine.estimate_relative_distance(flat, other)
+        # All-constant trajectories carry no information: must not match.
+        assert not est.resolved
+
+    def test_too_few_common_channels_rejected(self, shared_pair, shared_engine):
+        tq = 200.0
+        own = shared_engine.build_trajectory(
+            shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+        )
+        other = shared_engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        disjoint = GsmTrajectory(
+            other.power_dbm, other.channel_ids + 5000, other.geo
+        )
+        with pytest.raises(ValueError, match="channels"):
+            shared_engine.estimate_relative_distance(own, disjoint)
+
+
+class TestInsufficientContext:
+    def test_clear_error_before_enough_driving(self, shared_pair, shared_engine):
+        # Querying right at the start of the drive: the dead reckoner has
+        # almost no distance yet.
+        with pytest.raises(ValueError, match="not enough"):
+            shared_engine.build_trajectory(
+                shared_pair.rear.scan,
+                shared_pair.rear.estimated,
+                at_time_s=float(shared_pair.rear.estimated.times_s[0]),
+            )
+
+    def test_short_context_unresolved_not_crash(self, shared_pair):
+        # 30 m of context with the flexible window disabled: clean miss.
+        engine = RupsEngine(
+            RupsConfig(
+                context_length_m=600.0,
+                window_channels=30,
+                flexible_window=False,
+            )
+        )
+        tq = 200.0
+        own_full = engine.build_trajectory(
+            shared_pair.rear.scan, shared_pair.rear.estimated, at_time_s=tq
+        )
+        other = engine.build_trajectory(
+            shared_pair.front.scan, shared_pair.front.estimated, at_time_s=tq
+        )
+        est = engine.estimate_relative_distance(own_full.tail(30.0), other)
+        assert not est.resolved
+
+
+class TestBindingEdgeCases:
+    def test_empty_scan_window_yields_all_nan(self, shared_pair):
+        # Query placed so no measurement falls into the context: binding
+        # succeeds structurally with all-NaN power.
+        scan = shared_pair.rear.scan
+        empty = ScanStream(
+            times_s=scan.times_s[:1],
+            channel_indices=scan.channel_indices[:1],
+            radio_ids=scan.radio_ids[:1],
+            s_true_m=scan.s_true_m[:1],
+            rssi_dbm=scan.rssi_dbm[:1],
+            plan=scan.plan,
+        )
+        traj = bind_scan(
+            empty,
+            shared_pair.rear.estimated,
+            at_time_s=200.0,
+            context_length_m=100.0,
+            interpolate=False,
+        )
+        assert traj.missing_fraction > 0.99

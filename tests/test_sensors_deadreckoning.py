@@ -1,0 +1,118 @@
+"""Tests for repro.sensors.deadreckoning."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.deadreckoning import DeadReckoner, EstimatedTrack
+from repro.sensors.speed import ObdSpeedSensor, WheelEncoder
+from repro.vehicles.kinematics import constant_speed_profile, urban_speed_profile
+
+
+def _heading_series(motion, psi=0.5):
+    t = np.arange(motion.t0, motion.t1, 0.05)
+    return t, np.full(t.size, psi)
+
+
+class TestEstimatedTrack:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EstimatedTrack(
+                times_s=np.array([0.0, 1.0]),
+                distance_m=np.array([5.0, 1.0]),  # decreasing
+                heading_rad=np.zeros(2),
+            )
+        with pytest.raises(ValueError):
+            EstimatedTrack(
+                times_s=np.array([1.0, 1.0]),
+                distance_m=np.array([0.0, 1.0]),
+                heading_rad=np.zeros(2),
+            )
+
+    def test_distance_interp(self):
+        track = EstimatedTrack(
+            times_s=np.array([0.0, 10.0]),
+            distance_m=np.array([0.0, 100.0]),
+            heading_rad=np.zeros(2),
+        )
+        assert float(track.distance_at(5.0)) == pytest.approx(50.0)
+        assert float(track.time_at_distance(30.0)) == pytest.approx(3.0)
+
+    def test_geo_trajectory_marks(self):
+        track = EstimatedTrack(
+            times_s=np.linspace(0.0, 10.0, 101),
+            distance_m=np.linspace(0.0, 100.0, 101),
+            heading_rad=np.full(101, 0.2),
+        )
+        geo = track.geo_trajectory(length_m=50.0, spacing_m=1.0)
+        assert geo.n_marks == 51
+        assert geo.end_distance_m == pytest.approx(100.0)
+        assert np.allclose(geo.headings_rad, 0.2)
+        # timestamps at marks: mark at 75 m crossed at t = 7.5 s
+        assert geo.timestamps_s[geo.n_marks // 2] == pytest.approx(7.5, abs=0.05)
+
+    def test_geo_trajectory_at_time(self):
+        track = EstimatedTrack(
+            times_s=np.linspace(0.0, 10.0, 101),
+            distance_m=np.linspace(0.0, 100.0, 101),
+            heading_rad=np.zeros(101),
+        )
+        geo = track.geo_trajectory(at_time_s=5.0, length_m=20.0)
+        assert geo.end_distance_m == pytest.approx(50.0)
+
+    def test_geo_trajectory_insufficient(self):
+        track = EstimatedTrack(
+            times_s=np.array([0.0, 1.0]),
+            distance_m=np.array([0.0, 0.5]),
+            heading_rad=np.zeros(2),
+        )
+        with pytest.raises(ValueError, match="not enough"):
+            track.geo_trajectory()
+
+
+class TestDeadReckoner:
+    def test_with_wheel_ticks(self):
+        motion = urban_speed_profile(180.0, 14.0, rng=0)
+        wheel = WheelEncoder(calibration_error=0.0, jitter_s=0.0).sample(motion, rng=0)
+        ht, hr = _heading_series(motion)
+        track = DeadReckoner().estimate(ht, hr, wheel)
+        est = float(track.distance_at(motion.t1)) - float(track.distance_at(motion.t0))
+        assert est == pytest.approx(motion.distance_m, rel=0.01)
+
+    def test_with_obd(self):
+        motion = urban_speed_profile(180.0, 14.0, rng=1)
+        obd = ObdSpeedSensor(scale_error_range=(0.0, 0.0)).sample(motion, rng=0)
+        ht, hr = _heading_series(motion)
+        track = DeadReckoner().estimate(ht, hr, obd)
+        est = track.distance_m[-1] - track.distance_m[0]
+        assert est == pytest.approx(motion.distance_m, rel=0.03)
+
+    def test_obd_scale_error_propagates(self):
+        motion = constant_speed_profile(100.0, 10.0)
+        obd = ObdSpeedSensor(scale_error_range=(0.02, 0.02)).sample(motion, rng=0)
+        ht, hr = _heading_series(motion)
+        track = DeadReckoner().estimate(ht, hr, obd)
+        est = track.distance_m[-1] - track.distance_m[0]
+        assert est / motion.distance_m == pytest.approx(1.02, abs=0.005)
+
+    def test_heading_carried_through(self):
+        motion = constant_speed_profile(60.0, 10.0)
+        wheel = WheelEncoder().sample(motion, rng=0)
+        ht, hr = _heading_series(motion, psi=1.1)
+        track = DeadReckoner().estimate(ht, hr, wheel)
+        assert float(track.heading_at(30.0)) == pytest.approx(1.1, abs=1e-6)
+
+    def test_rejects_unknown_odometry(self):
+        motion = constant_speed_profile(10.0, 10.0)
+        ht, hr = _heading_series(motion)
+        with pytest.raises(TypeError):
+            DeadReckoner().estimate(ht, hr, object())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeadReckoner(grid_dt_s=0.0)
+        with pytest.raises(ValueError):
+            DeadReckoner(heading_smoothing_s=-1.0)
+        motion = constant_speed_profile(10.0, 10.0)
+        wheel = WheelEncoder().sample(motion, rng=0)
+        with pytest.raises(ValueError):
+            DeadReckoner().estimate(np.array([0.0]), np.array([0.0]), wheel)

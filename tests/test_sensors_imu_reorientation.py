@@ -1,0 +1,151 @@
+"""Tests for repro.sensors.imu, reorientation, and heading."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.heading import heading_from_magnetometer, smooth_heading
+from repro.sensors.imu import (
+    GRAVITY,
+    ImuConfig,
+    ImuStream,
+    random_rotation_matrix,
+    simulate_imu,
+)
+from repro.sensors.reorientation import estimate_rotation_matrix, rotation_error_deg
+from repro.vehicles.kinematics import urban_speed_profile
+
+
+def _heading_fn(psi: float = 0.3):
+    return lambda s: np.full_like(np.asarray(s, dtype=float), psi)
+
+
+@pytest.fixture(scope="module")
+def drive_imu():
+    motion = urban_speed_profile(120.0, 14.0, rng=4, stop_rate_per_s=1 / 40.0)
+    mounted = simulate_imu(motion, _heading_fn(), rng=7)
+    return motion, mounted
+
+
+class TestRandomRotation:
+    def test_orthonormal(self):
+        r = random_rotation_matrix(np.random.default_rng(0))
+        assert np.allclose(r @ r.T, np.eye(3), atol=1e-10)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+class TestSimulateImu:
+    def test_stream_shapes(self, drive_imu):
+        motion, mounted = drive_imu
+        n = len(mounted.stream)
+        assert mounted.stream.accel.shape == (n, 3)
+        assert n == pytest.approx(motion.duration_s * mounted.config.rate_hz, rel=0.01)
+
+    def test_gravity_dominates_mean_accel(self, drive_imu):
+        _, mounted = drive_imu
+        mean_norm = np.linalg.norm(mounted.stream.accel.mean(axis=0))
+        assert mean_norm == pytest.approx(GRAVITY, rel=0.05)
+
+    def test_identity_mounting_axes(self):
+        motion = urban_speed_profile(60.0, 14.0, rng=1)
+        mounted = simulate_imu(motion, _heading_fn(), mounting=np.eye(3), rng=0)
+        # With identity mounting, mean accel points along sensor +z.
+        mean = mounted.stream.accel.mean(axis=0)
+        assert mean[2] == pytest.approx(GRAVITY, rel=0.05)
+        assert abs(mean[0]) < 0.5 and abs(mean[1]) < 0.5
+
+    def test_mounting_validation(self):
+        motion = urban_speed_profile(10.0, 14.0, rng=1)
+        with pytest.raises(ValueError):
+            simulate_imu(motion, _heading_fn(), mounting=np.eye(2))
+        with pytest.raises(ValueError):
+            simulate_imu(motion, _heading_fn(), mounting=2 * np.eye(3))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ImuConfig(rate_hz=0.0)
+        with pytest.raises(ValueError):
+            ImuConfig(accel_noise=-1.0)
+
+    def test_stream_validation(self):
+        with pytest.raises(ValueError):
+            ImuStream(
+                times_s=np.zeros(4),
+                accel=np.zeros((3, 3)),
+                gyro=np.zeros((4, 3)),
+                mag=np.zeros((4, 3)),
+            )
+
+
+class TestReorientation:
+    def test_recovers_mounting(self, drive_imu):
+        motion, mounted = drive_imu
+        # Use the OBD speed as dynamic reference, like the pipeline does.
+        t_ref = motion.times_s[::10]
+        v_ref = motion.v_ms[::10]
+        est = estimate_rotation_matrix(
+            mounted.stream, speed_times_s=t_ref, speed_ms=v_ref
+        )
+        err = rotation_error_deg(est, mounted.rotation)
+        assert err < 8.0
+
+    def test_without_speed_reference(self, drive_imu):
+        _, mounted = drive_imu
+        est = estimate_rotation_matrix(mounted.stream)
+        err = rotation_error_deg(est, mounted.rotation)
+        assert err < 25.0  # coarser, but unambiguous on a stop-go drive
+
+    def test_result_is_rotation(self, drive_imu):
+        _, mounted = drive_imu
+        est = estimate_rotation_matrix(mounted.stream)
+        assert np.allclose(est @ est.T, np.eye(3), atol=1e-8)
+        assert np.linalg.det(est) == pytest.approx(1.0)
+
+    def test_needs_samples(self):
+        tiny = ImuStream(
+            times_s=np.arange(3, dtype=float),
+            accel=np.zeros((3, 3)),
+            gyro=np.zeros((3, 3)),
+            mag=np.zeros((3, 3)),
+        )
+        with pytest.raises(ValueError):
+            estimate_rotation_matrix(tiny)
+
+
+class TestHeading:
+    def test_recovers_true_heading(self, drive_imu):
+        motion, mounted = drive_imu
+        t_ref = motion.times_s[::10]
+        v_ref = motion.v_ms[::10]
+        rot = estimate_rotation_matrix(
+            mounted.stream, speed_times_s=t_ref, speed_ms=v_ref
+        )
+        _, psi = heading_from_magnetometer(mounted.stream, rot)
+        # True heading is 0.3 rad everywhere.
+        err = np.abs(np.arctan2(np.sin(psi - 0.3), np.cos(psi - 0.3)))
+        assert np.median(err) < 0.15
+
+    def test_rotation_shape_check(self, drive_imu):
+        _, mounted = drive_imu
+        with pytest.raises(ValueError):
+            heading_from_magnetometer(mounted.stream, np.eye(2))
+
+    def test_smooth_heading_reduces_noise(self):
+        t = np.arange(0.0, 10.0, 0.01)
+        rng = np.random.default_rng(0)
+        psi = 1.0 + 0.2 * rng.standard_normal(t.size)
+        smoothed = smooth_heading(t, psi, window_s=1.0)
+        assert np.std(smoothed) < np.std(psi) / 2
+
+    def test_smooth_heading_handles_wraparound(self):
+        t = np.arange(0.0, 10.0, 0.01)
+        psi = np.full(t.size, np.pi - 0.01)
+        psi[::2] = -np.pi + 0.01  # oscillates across the seam
+        smoothed = smooth_heading(t, psi, window_s=0.5)
+        # Mean direction is pi, not 0 (naive averaging would give ~0).
+        assert np.all(np.abs(np.abs(smoothed) - np.pi) < 0.1)
+
+    def test_smooth_validation(self):
+        with pytest.raises(ValueError):
+            smooth_heading(np.array([0.0, 1.0]), np.array([0.0, 1.0]), window_s=0.0)
+        with pytest.raises(ValueError):
+            smooth_heading(np.array([0.0]), np.array([0.0, 1.0]))

@@ -1,0 +1,158 @@
+"""Tests for repro.sensors.speed and repro.sensors.gps."""
+
+import numpy as np
+import pytest
+
+from repro.roads.types import RoadType
+from repro.sensors.gps import GpsModel, GpsTrack
+from repro.sensors.speed import ObdSpeedSensor, WheelEncoder
+from repro.vehicles.kinematics import constant_speed_profile, urban_speed_profile
+
+
+class TestObdSensor:
+    def test_report_rate(self):
+        motion = constant_speed_profile(60.0, 10.0)
+        stream = ObdSpeedSensor(rate_hz=2.0).sample(motion, rng=0)
+        assert len(stream.times_s) == pytest.approx(120, abs=2)
+
+    def test_quantization(self):
+        motion = constant_speed_profile(20.0, 10.0)
+        stream = ObdSpeedSensor(scale_error_range=(0.0, 0.0)).sample(motion, rng=0)
+        q = 1.0 / 3.6
+        assert np.allclose(stream.speed_ms, np.round(stream.speed_ms / q) * q)
+
+    def test_scale_bias_over_reads(self):
+        motion = constant_speed_profile(120.0, 10.0)
+        stream = ObdSpeedSensor(scale_error_range=(0.02, 0.02)).sample(motion, rng=0)
+        assert np.mean(stream.speed_ms) == pytest.approx(10.2, abs=0.1)
+
+    def test_integrate_distance(self):
+        motion = constant_speed_profile(100.0, 10.0)
+        stream = ObdSpeedSensor(scale_error_range=(0.0, 0.0)).sample(motion, rng=0)
+        _, d = stream.integrate_distance()
+        assert d[-1] == pytest.approx(motion.distance_m, rel=0.03)
+
+    def test_speed_at_zero_order_hold(self):
+        motion = constant_speed_profile(10.0, 10.0)
+        stream = ObdSpeedSensor().sample(motion, rng=0)
+        t_mid = (stream.times_s[0] + stream.times_s[1]) / 2
+        assert float(stream.speed_at(t_mid)) == float(stream.speed_ms[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObdSpeedSensor(rate_hz=0.0)
+        with pytest.raises(ValueError):
+            ObdSpeedSensor(scale_error_range=(0.1, 0.0))
+
+
+class TestWheelEncoder:
+    def test_tick_count(self):
+        motion = constant_speed_profile(100.0, 10.0)  # 1000 m
+        enc = WheelEncoder(circumference_m=2.0, calibration_error=0.0, jitter_s=0.0)
+        ticks = enc.sample(motion, rng=0)
+        assert len(ticks.tick_times_s) == 500
+
+    def test_distance_recovery(self):
+        motion = urban_speed_profile(200.0, 14.0, rng=0)
+        enc = WheelEncoder(calibration_error=0.0, jitter_s=0.0)
+        ticks = enc.sample(motion, rng=0)
+        est = float(ticks.distance_at(motion.t1))
+        assert est == pytest.approx(motion.distance_m, abs=2 * enc.circumference_m)
+
+    def test_calibration_error_scales_distance(self):
+        motion = constant_speed_profile(100.0, 10.0)
+        enc = WheelEncoder(calibration_error=0.01, jitter_s=0.0)
+        ticks = enc.sample(motion, rng=0)
+        rel = abs(ticks.total_distance_m - motion.distance_m) / motion.distance_m
+        assert rel == pytest.approx(0.01, abs=0.003)
+
+    def test_distance_monotone(self):
+        motion = urban_speed_profile(120.0, 14.0, rng=1)
+        ticks = WheelEncoder().sample(motion, rng=1)
+        t = np.linspace(motion.t0, motion.t1, 200)
+        d = np.asarray(ticks.distance_at(t))
+        assert np.all(np.diff(d) >= -1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WheelEncoder(circumference_m=0.0)
+        with pytest.raises(ValueError):
+            WheelEncoder(jitter_s=-1.0)
+
+
+class TestGpsModel:
+    def _truth(self, duration=120.0):
+        t = np.arange(0.0, duration, 0.1)
+        pos = np.stack([10.0 * t, np.zeros_like(t)], axis=1)
+        return t, pos
+
+    def test_fix_rate(self):
+        t, pos = self._truth()
+        track = GpsModel.for_road(RoadType.SUBURB_2LANE).sample(t, pos, rng=0)
+        assert len(track) == pytest.approx(120, abs=2)
+
+    def test_error_scale_by_environment(self):
+        t, pos = self._truth(600.0)
+        errs = {}
+        for rt in (RoadType.SUBURB_2LANE, RoadType.UNDER_ELEVATED):
+            track = GpsModel.for_road(rt).sample(t, pos, rng=1)
+            valid = track.valid
+            true_at_fix = np.stack(
+                [np.interp(track.times_s, t, pos[:, 0]), np.zeros_like(track.times_s)],
+                axis=1,
+            )
+            errs[rt] = np.nanmean(
+                np.linalg.norm(track.positions[valid] - true_at_fix[valid], axis=1)
+            )
+        assert errs[RoadType.UNDER_ELEVATED] > 2 * errs[RoadType.SUBURB_2LANE]
+
+    def test_outages_under_elevated(self):
+        t, pos = self._truth(600.0)
+        track = GpsModel.for_road(RoadType.UNDER_ELEVATED).sample(t, pos, rng=2)
+        assert track.availability < 1.0
+        open_track = GpsModel.for_road(RoadType.SUBURB_2LANE).sample(t, pos, rng=2)
+        assert open_track.availability == 1.0
+
+    def test_invalid_positions_nan(self):
+        t, pos = self._truth(600.0)
+        track = GpsModel.for_road(RoadType.UNDER_ELEVATED).sample(t, pos, rng=3)
+        if not np.all(track.valid):
+            assert np.all(np.isnan(track.positions[~track.valid]))
+
+    def test_position_at_returns_latest_valid(self):
+        t, pos = self._truth()
+        track = GpsModel.for_road(RoadType.SUBURB_2LANE).sample(t, pos, rng=0)
+        p = track.position_at(50.0)
+        assert p is not None and p.shape == (2,)
+        assert track.position_at(-10.0) is None
+
+    def test_common_bias_correlates_receivers(self):
+        t, pos = self._truth(900.0)
+        model = GpsModel.for_road(RoadType.URBAN_4LANE, common_mode_fraction=0.95)
+        shared = model.common_bias_track(t[0], t[-1], rng=10)
+        a = model.sample(t, pos, rng=11, common_bias=shared)
+        b = model.sample(t, pos, rng=12, common_bias=shared)
+        true_x = np.interp(a.times_s, t, pos[:, 0])
+        ok = a.valid & b.valid
+        ea = a.positions[ok, 0] - true_x[ok]
+        eb = b.positions[ok, 0] - true_x[ok]
+        r = np.corrcoef(ea, eb)[0, 1]
+        assert r > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GpsModel.for_road(RoadType.URBAN_4LANE, rate_hz=0.0)
+        with pytest.raises(ValueError):
+            GpsModel.for_road(RoadType.URBAN_4LANE, common_mode_fraction=2.0)
+        t, pos = self._truth()
+        model = GpsModel.for_road(RoadType.URBAN_4LANE)
+        with pytest.raises(ValueError):
+            model.sample(t, pos[:, :1], rng=0)
+
+    def test_track_validation(self):
+        with pytest.raises(ValueError):
+            GpsTrack(
+                times_s=np.zeros(3),
+                positions=np.zeros((2, 2)),
+                valid=np.ones(3, dtype=bool),
+            )

@@ -1,0 +1,128 @@
+"""Tests for repro.util.stats: CDFs, confidence intervals, exceedance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.util.stats import (
+    ConfidenceInterval,
+    cdf_at,
+    empirical_cdf,
+    exceedance_probability,
+    mean_confidence_interval,
+    percentile_summary,
+)
+
+finite_arrays = hnp.arrays(
+    dtype=float,
+    shape=st.integers(min_value=1, max_value=50),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+class TestEmpiricalCdf:
+    def test_basic(self):
+        x, f = empirical_cdf([3.0, 1.0, 2.0])
+        assert np.array_equal(x, [1.0, 2.0, 3.0])
+        assert np.allclose(f, [1 / 3, 2 / 3, 1.0])
+
+    def test_nan_dropped(self):
+        x, f = empirical_cdf([1.0, np.nan, 2.0])
+        assert x.size == 2
+        assert f[-1] == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([np.nan])
+
+    @given(finite_arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_cdf_properties(self, samples):
+        x, f = empirical_cdf(samples)
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(f) > 0) or f.size == 1
+        assert f[-1] == pytest.approx(1.0)
+        assert np.all((f > 0) & (f <= 1))
+
+    def test_cdf_at(self):
+        vals = cdf_at([1.0, 2.0, 3.0, 4.0], np.array([0.5, 2.0, 10.0]))
+        assert np.allclose(vals, [0.0, 0.5, 1.0])
+
+
+class TestMeanConfidenceInterval:
+    def test_contains_mean(self):
+        samples = np.random.default_rng(0).normal(5.0, 1.0, 200)
+        ci = mean_confidence_interval(samples)
+        assert ci.lower < np.mean(samples) < ci.upper
+        assert 5.0 in ci
+
+    def test_single_sample_degenerate(self):
+        ci = mean_confidence_interval([4.0])
+        assert ci.mean == ci.lower == ci.upper == 4.0
+        assert ci.n == 1
+
+    def test_width_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        small = mean_confidence_interval(rng.normal(0, 1, 10))
+        large = mean_confidence_interval(rng.normal(0, 1, 1000))
+        assert large.half_width < small.half_width
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], level=1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_higher_level_wider(self):
+        samples = np.random.default_rng(2).normal(0, 1, 50)
+        narrow = mean_confidence_interval(samples, level=0.90)
+        wide = mean_confidence_interval(samples, level=0.99)
+        assert wide.half_width > narrow.half_width
+
+    def test_nan_excluded(self):
+        ci = mean_confidence_interval([1.0, np.nan, 3.0])
+        assert ci.n == 2
+        assert ci.mean == pytest.approx(2.0)
+
+
+class TestPercentileSummary:
+    def test_values(self):
+        summary = percentile_summary(np.arange(101), percentiles=(50.0, 90.0))
+        assert summary[50.0] == pytest.approx(50.0)
+        assert summary[90.0] == pytest.approx(90.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile_summary([])
+
+
+class TestExceedance:
+    def test_basic(self):
+        assert exceedance_probability([1, 2, 3, 4], 3) == pytest.approx(0.5)
+
+    def test_all_below(self):
+        assert exceedance_probability([1, 2], 10) == 0.0
+
+    def test_all_above(self):
+        assert exceedance_probability([5, 6], 1) == 1.0
+
+    @given(finite_arrays, st.floats(-1e6, 1e6, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_in_unit_interval(self, samples, thr):
+        p = exceedance_probability(samples, thr)
+        assert 0.0 <= p <= 1.0
+
+
+class TestConfidenceIntervalDataclass:
+    def test_contains(self):
+        ci = ConfidenceInterval(mean=1.0, lower=0.5, upper=1.5, level=0.95, n=10)
+        assert 1.2 in ci
+        assert 2.0 not in ci
+
+    def test_half_width(self):
+        ci = ConfidenceInterval(mean=1.0, lower=0.5, upper=1.5, level=0.95, n=10)
+        assert ci.half_width == pytest.approx(0.5)

@@ -1,0 +1,73 @@
+"""Tests for repro.util.units: dB/linear, speed conversions, angles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    DBM_FLOOR,
+    db_to_linear,
+    kmh_to_ms,
+    linear_to_db,
+    ms_to_kmh,
+    wrap_angle,
+)
+
+
+class TestDbConversions:
+    def test_known_values(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+        assert db_to_linear(-30.0) == pytest.approx(1e-3)
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_zero_linear_is_neg_inf(self):
+        assert linear_to_db(0.0) == -np.inf
+
+    @given(st.floats(-120.0, 60.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, db):
+        assert float(linear_to_db(db_to_linear(db))) == pytest.approx(db, abs=1e-9)
+
+    def test_vectorized(self):
+        arr = np.array([0.0, 10.0, 20.0])
+        assert np.allclose(db_to_linear(arr), [1.0, 10.0, 100.0])
+
+
+class TestSpeedConversions:
+    def test_known(self):
+        assert kmh_to_ms(36.0) == pytest.approx(10.0)
+        assert ms_to_kmh(10.0) == pytest.approx(36.0)
+
+    @given(st.floats(0.0, 300.0, allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, v):
+        assert float(ms_to_kmh(kmh_to_ms(v))) == pytest.approx(v, abs=1e-9)
+
+
+class TestWrapAngle:
+    def test_in_range(self):
+        assert wrap_angle(0.0) == pytest.approx(0.0)
+        assert wrap_angle(np.pi) == pytest.approx(np.pi)
+        assert wrap_angle(-np.pi) == pytest.approx(np.pi)  # half-open convention
+        assert wrap_angle(3 * np.pi) == pytest.approx(np.pi)
+
+    @given(st.floats(-100.0, 100.0, allow_nan=False))
+    @settings(max_examples=60, deadline=None)
+    def test_always_in_half_open_interval(self, theta):
+        w = float(wrap_angle(theta))
+        assert -np.pi < w <= np.pi
+
+    @given(st.floats(-10.0, 10.0, allow_nan=False))
+    @settings(max_examples=40, deadline=None)
+    def test_preserves_direction(self, theta):
+        w = float(wrap_angle(theta))
+        # same point on the unit circle
+        assert np.cos(w) == pytest.approx(np.cos(theta), abs=1e-9)
+        assert np.sin(w) == pytest.approx(np.sin(theta), abs=1e-9)
+
+
+class TestConstants:
+    def test_floor_is_gsm_sensitivity(self):
+        assert DBM_FLOOR == -110.0

@@ -1,0 +1,72 @@
+"""Tests for repro.util.validation argument checking helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_shape,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero_strict(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_accepts_zero_non_strict(self):
+        assert check_positive("x", 0.0, strict=False) == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1.0, strict=False)
+
+
+class TestCheckInRange:
+    def test_inclusive_bounds(self):
+        assert check_in_range("x", 0.0, 0.0, 1.0) == 0.0
+        assert check_in_range("x", 1.0, 0.0, 1.0) == 1.0
+
+    def test_exclusive_bounds(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 0.0, 0.0, 1.0, inclusive=False)
+
+    def test_outside(self):
+        with pytest.raises(ValueError, match=r"\[0.*1"):
+            check_in_range("x", 2.0, 0.0, 1.0)
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self):
+        arr = np.array([1.0, 2.0])
+        assert np.array_equal(check_finite("a", arr), arr)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="1 non-finite"):
+            check_finite("a", np.array([1.0, np.nan]))
+
+    def test_rejects_inf_and_counts(self):
+        with pytest.raises(ValueError, match="2 non-finite"):
+            check_finite("a", np.array([np.inf, -np.inf, 0.0]))
+
+
+class TestCheckShape:
+    def test_exact_shape(self):
+        arr = np.zeros((3, 2))
+        assert check_shape("a", arr, (3, 2)) is not None
+
+    def test_wildcard(self):
+        check_shape("a", np.zeros((5, 2)), (None, 2))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ValueError, match="dimension"):
+            check_shape("a", np.zeros(3), (None, 2))
+
+    def test_wrong_size(self):
+        with pytest.raises(ValueError, match="axis 1"):
+            check_shape("a", np.zeros((3, 3)), (None, 2))

@@ -1,0 +1,78 @@
+"""Tests for repro.v2v.network: neighbourhood broadcast scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.v2v.network import (
+    NeighborhoodExchange,
+    adaptive_context_length,
+)
+
+
+class TestAdaptiveContextLength:
+    def test_dense_traffic_short_context(self):
+        sparse = adaptive_context_length(5, road_span_m=2000.0)
+        dense = adaptive_context_length(50, road_span_m=2000.0)
+        assert dense < sparse
+
+    def test_clamped_to_bounds(self):
+        assert adaptive_context_length(1, 10_000.0) == 1000.0
+        assert adaptive_context_length(1000, 1000.0) == 100.0
+
+    def test_scaling_rule(self):
+        # 10 vehicles over 1000 m -> 100 m spacing -> 4x = 400 m context.
+        assert adaptive_context_length(10, 1000.0) == pytest.approx(400.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_context_length(0, 1000.0)
+        with pytest.raises(ValueError):
+            adaptive_context_length(5, 0.0)
+
+
+class TestNeighborhoodExchange:
+    def test_round_structure(self):
+        hood = NeighborhoodExchange(n_vehicles=4)
+        result = hood.broadcast_round(300.0, rng=0)
+        assert result.per_vehicle_time_s.shape == (4,)
+        assert result.completion_time_s > 0
+        assert result.bytes_on_air > 4 * 30_000
+        assert 0.0 <= result.delivered_fraction <= 1.0
+
+    def test_contention_scales_with_density(self):
+        quiet = NeighborhoodExchange(n_vehicles=2)
+        busy = NeighborhoodExchange(n_vehicles=20)
+        t_quiet = quiet.broadcast_round(300.0, rng=1).completion_time_s / 2
+        t_busy = busy.broadcast_round(300.0, rng=1).completion_time_s / 20
+        # per-broadcast time grows with contention
+        assert t_busy > t_quiet
+
+    def test_adaptive_beats_fixed_in_heavy_traffic(self):
+        hood = NeighborhoodExchange(n_vehicles=25)
+        fixed, adaptive = hood.fixed_vs_adaptive(road_span_m=1000.0, rng=2)
+        assert adaptive.context_length_m < fixed.context_length_m
+        assert adaptive.completion_time_s < fixed.completion_time_s / 3
+
+    def test_adaptive_noop_in_light_traffic(self):
+        hood = NeighborhoodExchange(n_vehicles=2)
+        fixed, adaptive = hood.fixed_vs_adaptive(road_span_m=5000.0, rng=3)
+        assert adaptive.context_length_m == fixed.context_length_m
+
+    def test_last_broadcaster_informed_earlier(self):
+        hood = NeighborhoodExchange(n_vehicles=5)
+        result = hood.broadcast_round(200.0, rng=4)
+        assert result.per_vehicle_time_s[-1] <= result.per_vehicle_time_s[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NeighborhoodExchange(n_vehicles=1)
+        with pytest.raises(ValueError):
+            NeighborhoodExchange(n_vehicles=3, n_channels=0)
+        hood = NeighborhoodExchange(n_vehicles=3)
+        with pytest.raises(ValueError):
+            hood.broadcast_round(0.0)
+
+    def test_deterministic(self):
+        a = NeighborhoodExchange(n_vehicles=3).broadcast_round(200.0, rng=9)
+        b = NeighborhoodExchange(n_vehicles=3).broadcast_round(200.0, rng=9)
+        assert a.completion_time_s == b.completion_time_s

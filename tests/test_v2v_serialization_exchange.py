@@ -1,0 +1,169 @@
+"""Tests for repro.v2v.serialization and repro.v2v.exchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+from repro.v2v.channel import DsrcChannel
+from repro.v2v.exchange import ExchangeSession, estimate_exchange_time
+from repro.v2v.serialization import (
+    decode_trajectory,
+    encode_trajectory,
+    encoded_size_bytes,
+)
+
+
+def make_traj(n_channels=8, n_marks=101, seed=0, with_nans=False, start=500.0):
+    rng = np.random.default_rng(seed)
+    power = rng.uniform(-109.0, -50.0, size=(n_channels, n_marks))
+    if with_nans:
+        power[rng.random(power.shape) < 0.1] = np.nan
+    geo = GeoTrajectory(
+        timestamps_s=np.sort(rng.uniform(0.0, 100.0, n_marks)),
+        headings_rad=rng.uniform(-np.pi, np.pi, n_marks),
+        spacing_m=1.0,
+        start_distance_m=start,
+    )
+    return GsmTrajectory(power, np.arange(n_channels), geo)
+
+
+class TestCodec:
+    def test_size_prediction(self):
+        traj = make_traj()
+        assert len(encode_trajectory(traj)) == encoded_size_bytes(8, 101)
+
+    def test_paper_size_arithmetic(self):
+        # 1 km, 1 m marks, full 194-channel band: paper says "about 182KB".
+        size = encoded_size_bytes(194, 1001)
+        assert size == pytest.approx(182 * 1024, rel=0.10)
+
+    def test_roundtrip_power_accuracy(self):
+        traj = make_traj(seed=1)
+        decoded = decode_trajectory(encode_trajectory(traj))
+        assert np.max(np.abs(decoded.power_dbm - traj.power_dbm)) <= 0.25
+
+    def test_roundtrip_geo_accuracy(self):
+        traj = make_traj(seed=2)
+        decoded = decode_trajectory(encode_trajectory(traj))
+        assert np.max(
+            np.abs(decoded.geo.timestamps_s - traj.geo.timestamps_s)
+        ) <= 0.0005 + 1e-9
+        d_head = np.arctan2(
+            np.sin(decoded.geo.headings_rad - traj.geo.headings_rad),
+            np.cos(decoded.geo.headings_rad - traj.geo.headings_rad),
+        )
+        assert np.max(np.abs(d_head)) <= 1e-4 + 1e-9
+        assert decoded.geo.start_distance_m == pytest.approx(
+            traj.geo.start_distance_m, abs=0.001
+        )
+
+    def test_roundtrip_preserves_nans(self):
+        traj = make_traj(seed=3, with_nans=True)
+        decoded = decode_trajectory(encode_trajectory(traj))
+        assert np.array_equal(np.isnan(decoded.power_dbm), np.isnan(traj.power_dbm))
+
+    def test_roundtrip_channel_ids(self):
+        traj = make_traj(seed=4)
+        decoded = decode_trajectory(encode_trajectory(traj))
+        assert np.array_equal(decoded.channel_ids, traj.channel_ids)
+
+    @given(st.integers(2, 30), st.integers(2, 60), st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_any_shape(self, n_ch, n_marks, seed):
+        traj = make_traj(n_channels=n_ch, n_marks=n_marks, seed=seed)
+        decoded = decode_trajectory(encode_trajectory(traj))
+        assert decoded.n_channels == n_ch
+        assert decoded.n_marks == n_marks
+        assert np.max(np.abs(decoded.power_dbm - traj.power_dbm)) <= 0.25
+
+    def test_decode_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            decode_trajectory(b"not a trajectory at all")
+        with pytest.raises(ValueError):
+            decode_trajectory(b"")
+
+    def test_decode_rejects_truncated(self):
+        data = encode_trajectory(make_traj())
+        with pytest.raises(ValueError, match="length"):
+            decode_trajectory(data[:-10])
+
+
+class TestEstimateExchangeTime:
+    def test_paper_numbers(self):
+        n_bytes, n_packets, seconds = estimate_exchange_time(1000.0, 194)
+        assert n_bytes / 1024 == pytest.approx(182, rel=0.10)
+        assert n_packets == pytest.approx(130, rel=0.15)
+        assert seconds == pytest.approx(0.52, rel=0.15)
+
+    def test_scales_with_context(self):
+        b1, _, t1 = estimate_exchange_time(100.0, 115)
+        b2, _, t2 = estimate_exchange_time(1000.0, 115)
+        assert b2 > 8 * b1
+        assert t2 > 8 * t1
+
+
+class TestExchangeSession:
+    def test_first_update_is_full(self):
+        session = ExchangeSession(rng=0)
+        traj = make_traj(n_channels=20, n_marks=501)
+        result = session.send_update(traj)
+        assert result.delivered
+        assert result.bytes_on_air > 5000
+        assert not session.locked
+
+    def test_incremental_after_lock(self):
+        session = ExchangeSession(rng=1)
+        traj = make_traj(n_channels=20, n_marks=501, start=500.0)
+        session.send_update(traj)
+        session.notify_syn_found()
+        assert session.locked
+        # vehicle drove 3 m since: only a few marks go out
+        newer = make_traj(n_channels=20, n_marks=501, start=503.0, seed=9)
+        result = session.send_update(newer)
+        assert result.delivered
+        assert result.packets_sent <= 2
+        assert result.bytes_on_air < 1000
+
+    def test_no_motion_no_bytes(self):
+        session = ExchangeSession(rng=2)
+        traj = make_traj(n_channels=10, n_marks=101)
+        session.send_update(traj)
+        session.notify_syn_found()
+        result = session.send_update(traj)
+        assert result.bytes_on_air == 0
+        assert result.delivered
+
+    def test_drift_threshold_forces_full_resync(self):
+        session = ExchangeSession(rng=3, resync_error_threshold_m=1.0, drift_rate=0.01)
+        traj = make_traj(n_channels=10, n_marks=201, start=200.0)
+        session.send_update(traj)
+        session.notify_syn_found()
+        # 150 m of driving at 1% drift exceeds the 1 m bound.
+        newer = make_traj(n_channels=10, n_marks=201, start=350.0, seed=5)
+        session.send_update(newer)
+        after = make_traj(n_channels=10, n_marks=201, start=352.0, seed=6)
+        result = session.send_update(after)
+        # the resync is a full context again
+        assert result.bytes_on_air > 2000
+
+    def test_lock_loss_forces_full(self):
+        session = ExchangeSession(rng=4)
+        traj = make_traj(n_channels=10, n_marks=201, start=100.0)
+        session.send_update(traj)
+        session.notify_syn_found()
+        session.notify_lock_lost()
+        newer = make_traj(n_channels=10, n_marks=201, start=103.0, seed=8)
+        result = session.send_update(newer)
+        assert result.bytes_on_air > 2000
+
+    def test_notify_before_transfer_rejected(self):
+        with pytest.raises(RuntimeError):
+            ExchangeSession().notify_syn_found()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExchangeSession(resync_error_threshold_m=0.0)
+        with pytest.raises(ValueError):
+            ExchangeSession(drift_rate=-0.1)

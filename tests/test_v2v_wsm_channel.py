@@ -1,0 +1,117 @@
+"""Tests for repro.v2v.wsm and repro.v2v.channel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.v2v.channel import DsrcChannel
+from repro.v2v.wsm import (
+    WSM_HEADER_BYTES,
+    WSM_MAX_PAYLOAD_BYTES,
+    WsmPacket,
+    fragment_payload,
+    reassemble,
+)
+
+
+class TestFragmentation:
+    def test_paper_packet_count(self):
+        # SV-B: "about 182KB data, which requires 130 WSM packets"
+        data = b"\x00" * (182 * 1024)
+        packets = fragment_payload(data)
+        assert len(packets) == pytest.approx(134, abs=5)
+
+    def test_single_packet_small_payload(self):
+        packets = fragment_payload(b"hello")
+        assert len(packets) == 1
+        assert packets[0].count == 1
+
+    def test_empty_payload(self):
+        packets = fragment_payload(b"")
+        assert len(packets) == 1
+
+    def test_fragment_sizes(self):
+        data = bytes(range(256)) * 20
+        packets = fragment_payload(data)
+        cap = WSM_MAX_PAYLOAD_BYTES - WSM_HEADER_BYTES
+        for p in packets[:-1]:
+            assert len(p.payload) == cap
+        assert p.wire_bytes <= WSM_MAX_PAYLOAD_BYTES
+
+    @given(st.binary(min_size=0, max_size=20_000))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip(self, data):
+        packets = fragment_payload(data, message_id=3)
+        assert reassemble(packets) == data
+
+    def test_reassemble_detects_missing(self):
+        packets = fragment_payload(b"\x01" * 5000)
+        with pytest.raises(ValueError, match="missing"):
+            reassemble(packets[:-1])
+
+    def test_reassemble_detects_mixed_ids(self):
+        a = fragment_payload(b"\x01" * 3000, message_id=1)
+        b = fragment_payload(b"\x01" * 3000, message_id=2)
+        with pytest.raises(ValueError, match="mixed"):
+            reassemble([a[0], b[1]])
+
+    def test_reassemble_detects_duplicates(self):
+        packets = fragment_payload(b"\x01" * 3000)
+        with pytest.raises(ValueError, match="duplicate"):
+            reassemble(packets + [packets[0]])
+
+    def test_packet_validation(self):
+        with pytest.raises(ValueError):
+            WsmPacket(message_id=0, index=2, count=2, payload=b"")
+        with pytest.raises(ValueError):
+            WsmPacket(message_id=0, index=0, count=1, payload=b"\x00" * 2000)
+
+
+class TestDsrcChannel:
+    def test_nominal_time_matches_paper(self):
+        # 182 KB at 4 ms RTT stop-and-wait: ~0.52-0.54 s
+        ch = DsrcChannel()
+        t = ch.nominal_transfer_time_s(182 * 1024)
+        assert t == pytest.approx(0.53, abs=0.03)
+
+    def test_transfer_reports_all_packets(self):
+        ch = DsrcChannel(loss_prob=0.0, rtt_jitter_s=0.0)
+        result = ch.transfer_bytes(b"\x00" * 50_000, rng=0)
+        assert result.delivered
+        assert result.retransmissions == 0
+        assert result.time_s == pytest.approx(
+            ch.nominal_transfer_time_s(50_000), rel=0.01
+        )
+
+    def test_loss_causes_retransmissions(self):
+        ch = DsrcChannel(loss_prob=0.3)
+        result = ch.transfer_bytes(b"\x00" * 100_000, rng=1)
+        assert result.retransmissions > 0
+        assert result.time_s > ch.nominal_transfer_time_s(100_000)
+
+    def test_contention_inflates_rtt(self):
+        quiet = DsrcChannel(n_contenders=0)
+        busy = DsrcChannel(n_contenders=10)
+        assert busy.effective_rtt_s > quiet.effective_rtt_s
+
+    def test_empty_transfer(self):
+        result = DsrcChannel().transfer_packets([], rng=0)
+        assert result.delivered and result.time_s == 0.0
+
+    def test_deterministic_given_seed(self):
+        ch = DsrcChannel(loss_prob=0.1)
+        a = ch.transfer_bytes(b"\x00" * 20_000, rng=5)
+        b = ch.transfer_bytes(b"\x00" * 20_000, rng=5)
+        assert a.time_s == b.time_s
+        assert a.packets_sent == b.packets_sent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DsrcChannel(rtt_mean_s=0.0)
+        with pytest.raises(ValueError):
+            DsrcChannel(loss_prob=1.0)
+        with pytest.raises(ValueError):
+            DsrcChannel(max_retries=-1)
+        with pytest.raises(ValueError):
+            DsrcChannel().nominal_transfer_time_s(-1)

@@ -1,0 +1,102 @@
+"""Tests for repro.vehicles.drive: the drive orchestrator."""
+
+import numpy as np
+import pytest
+
+from repro.gsm.scanner import RadioGroup
+from repro.vehicles.drive import compass_heading_fn, simulate_drive
+from repro.vehicles.kinematics import urban_speed_profile
+
+
+@pytest.fixture(scope="module")
+def motion():
+    return urban_speed_profile(90.0, 8.0, rng=0, s0_m=5.0)
+
+
+@pytest.fixture(scope="module")
+def record(small_field, small_plan, motion):
+    group = RadioGroup(small_plan, n_radios=2)
+    return simulate_drive(small_field, motion, group, seed=3, vehicle_key="t")
+
+
+class TestSimulateDrive:
+    def test_all_streams_present(self, record):
+        assert len(record.scan) > 1000
+        assert len(record.imu.stream) > 1000
+        assert record.obd.times_s.size > 50
+        assert record.wheel.tick_times_s.size > 100
+        assert record.gps is not None and len(record.gps) > 50
+        assert record.estimated.times_s.size > 100
+
+    def test_estimated_track_tracks_truth(self, record, motion):
+        est = record.estimated.distance_m[-1] - record.estimated.distance_m[0]
+        assert est == pytest.approx(motion.distance_m, rel=0.05)
+
+    def test_odometry_scale_error_reported(self, record):
+        assert abs(record.odometry_scale_error()) < 0.05
+
+    def test_gps_optional(self, small_field, small_plan, motion):
+        group = RadioGroup(small_plan, n_radios=1)
+        rec = simulate_drive(
+            small_field, motion, group, seed=3, with_gps=False, vehicle_key="x"
+        )
+        assert rec.gps is None
+
+    def test_wheel_odometry_more_accurate(self, small_plan):
+        # Over a long drive the wheel encoder's 0.3% calibration beats the
+        # OBD speedometer's 0.3-2.2% over-read.  (Short drives are
+        # dominated by tick quantization, so this is a long-drive claim.)
+        from repro.gsm.field import make_straight_field
+
+        motion = urban_speed_profile(400.0, 12.0, rng=7, s0_m=5.0)
+        field = make_straight_field(
+            motion.s_m[-1] + 20.0, plan=small_plan, seed=42
+        )
+        group = RadioGroup(small_plan, n_radios=1)
+        errs = {}
+        for odometry in ("obd", "wheel"):
+            rec = simulate_drive(
+                field, motion, group, seed=4, vehicle_key="o", odometry=odometry
+            )
+            errs[odometry] = abs(rec.odometry_scale_error())
+        assert errs["wheel"] < errs["obd"]
+
+    def test_unknown_odometry_rejected(self, small_field, small_plan, motion):
+        group = RadioGroup(small_plan, n_radios=1)
+        with pytest.raises(ValueError, match="odometry"):
+            simulate_drive(small_field, motion, group, odometry="gps")
+
+    def test_motion_beyond_field_rejected(self, small_field, small_plan):
+        too_far = urban_speed_profile(90.0, 8.0, rng=0, s0_m=small_field.length_m)
+        group = RadioGroup(small_plan, n_radios=1)
+        with pytest.raises(ValueError, match="only"):
+            simulate_drive(small_field, too_far, group)
+
+    def test_distinct_vehicle_keys_distinct_sensors(
+        self, small_field, small_plan, motion
+    ):
+        group = RadioGroup(small_plan, n_radios=1)
+        a = simulate_drive(small_field, motion, group, seed=5, vehicle_key="a")
+        b = simulate_drive(small_field, motion, group, seed=5, vehicle_key="b")
+        assert not np.array_equal(a.scan.rssi_dbm, b.scan.rssi_dbm)
+        assert not np.array_equal(a.imu.stream.accel, b.imu.stream.accel)
+
+    def test_reproducible(self, small_field, small_plan, motion):
+        group = RadioGroup(small_plan, n_radios=1)
+        a = simulate_drive(small_field, motion, group, seed=6, vehicle_key="r")
+        b = simulate_drive(small_field, motion, group, seed=6, vehicle_key="r")
+        assert np.array_equal(a.scan.rssi_dbm, b.scan.rssi_dbm)
+        assert np.array_equal(a.estimated.distance_m, b.estimated.distance_m)
+
+
+class TestCompassHeading:
+    def test_east_road_points_east(self, small_field):
+        # The straight test field runs along +x (east): compass 90 deg.
+        fn = compass_heading_fn(small_field.polyline)
+        psi = fn(np.array([10.0, 100.0]))
+        assert np.allclose(psi, np.pi / 2, atol=1e-6)
+
+    def test_wraps_into_half_open_interval(self, small_field):
+        fn = compass_heading_fn(small_field.polyline)
+        psi = np.asarray(fn(np.linspace(0, 500, 20)))
+        assert np.all(psi > -np.pi) and np.all(psi <= np.pi)

@@ -1,0 +1,117 @@
+"""Tests for repro.vehicles.idm and repro.vehicles.scenario."""
+
+import numpy as np
+import pytest
+
+from repro.vehicles.idm import IdmParameters, follow_leader, idm_acceleration
+from repro.vehicles.kinematics import constant_speed_profile, urban_speed_profile
+from repro.vehicles.scenario import TwoVehicleScenario, build_following_scenario
+
+
+class TestIdmAcceleration:
+    def test_free_road_accelerates(self):
+        p = IdmParameters()
+        a = idm_acceleration(v=5.0, gap=500.0, dv=0.0, p=p)
+        assert a > 0
+
+    def test_at_desired_speed_no_accel(self):
+        p = IdmParameters(desired_speed_ms=14.0)
+        a = idm_acceleration(v=14.0, gap=1e6, dv=0.0, p=p)
+        assert a == pytest.approx(0.0, abs=0.05)
+
+    def test_small_gap_brakes(self):
+        p = IdmParameters()
+        a = idm_acceleration(v=10.0, gap=3.0, dv=0.0, p=p)
+        assert a < -1.0
+
+    def test_closing_fast_brakes_harder(self):
+        p = IdmParameters()
+        a_steady = idm_acceleration(v=10.0, gap=30.0, dv=0.0, p=p)
+        a_closing = idm_acceleration(v=10.0, gap=30.0, dv=5.0, p=p)
+        assert a_closing < a_steady
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            IdmParameters(desired_speed_ms=0.0)
+        with pytest.raises(ValueError):
+            IdmParameters(min_gap_m=-1.0)
+
+
+class TestFollowLeader:
+    def test_never_collides(self):
+        leader = urban_speed_profile(300.0, 14.0, rng=0, s0_m=50.0)
+        follower = follow_leader(leader, initial_gap_m=20.0)
+        gap = leader.s_m - np.asarray(follower.arc_length_at(leader.times_s)) - 4.5
+        assert np.all(gap > 0)
+
+    def test_follows_at_safe_distance(self):
+        leader = constant_speed_profile(200.0, 12.0, s0_m=100.0)
+        follower = follow_leader(leader, initial_gap_m=60.0)
+        # IDM equilibrium gap: s*(v) / sqrt(1 - (v/v0)^delta).
+        p = IdmParameters()
+        s_star = p.min_gap_m + 12.0 * p.time_headway_s
+        eq_gap = s_star / np.sqrt(1.0 - (12.0 / p.desired_speed_ms) ** p.delta)
+        final_gap = float(
+            leader.s_m[-1] - follower.arc_length_at(leader.t1) - 4.5
+        )
+        assert final_gap == pytest.approx(eq_gap, rel=0.4)
+
+    def test_stops_behind_stopped_leader(self):
+        t = np.linspace(0.0, 60.0, 601)
+        v = np.where(t < 20.0, 10.0, 0.0)
+        s = 100.0 + np.concatenate(
+            ([0.0], np.cumsum(0.5 * (v[1:] + v[:-1]) * np.diff(t)))
+        )
+        from repro.vehicles.kinematics import MotionProfile
+
+        leader = MotionProfile(t, s, v)
+        follower = follow_leader(leader, initial_gap_m=30.0)
+        assert float(follower.speed_at(59.0)) < 0.2
+
+    def test_validation(self):
+        leader = constant_speed_profile(10.0, 5.0, s0_m=50.0)
+        with pytest.raises(ValueError):
+            follow_leader(leader, initial_gap_m=0.0)
+        with pytest.raises(ValueError):
+            follow_leader(leader, dt_s=-0.1)
+
+
+class TestScenario:
+    def test_front_leads(self):
+        scn = build_following_scenario(duration_s=120.0, seed=0)
+        t = np.linspace(scn.t0, scn.t1, 50)
+        gaps = np.asarray(scn.true_relative_distance(t))
+        assert np.all(gaps > 0)
+
+    def test_true_distance_matches_profiles(self):
+        scn = build_following_scenario(duration_s=60.0, seed=1)
+        tq = (scn.t0 + scn.t1) / 2
+        expected = float(scn.front.arc_length_at(tq)) - float(
+            scn.rear.arc_length_at(tq)
+        )
+        assert float(scn.true_relative_distance(tq)) == pytest.approx(expected)
+
+    def test_lanes(self):
+        scn = build_following_scenario(duration_s=30.0, seed=0, rear_lane=3)
+        assert scn.front_lane == 0
+        assert scn.rear_lane == 3
+
+    def test_max_arc_length(self):
+        scn = build_following_scenario(duration_s=60.0, seed=2)
+        assert scn.max_arc_length() == pytest.approx(float(scn.front.s_m[-1]))
+
+    def test_deterministic(self):
+        a = build_following_scenario(duration_s=60.0, seed=3)
+        b = build_following_scenario(duration_s=60.0, seed=3)
+        assert np.array_equal(a.front.v_ms, b.front.v_ms)
+        assert np.array_equal(a.rear.s_m, b.rear.s_m)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_following_scenario(initial_gap_m=-5.0)
+        with pytest.raises(ValueError):
+            TwoVehicleScenario(
+                front=constant_speed_profile(10.0, 5.0, s0_m=50.0),
+                rear=constant_speed_profile(10.0, 5.0),
+                front_lane=-1,
+            )

@@ -1,0 +1,131 @@
+"""Tests for repro.vehicles.kinematics: motion profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vehicles.kinematics import (
+    MotionProfile,
+    constant_speed_profile,
+    urban_speed_profile,
+)
+
+
+class TestMotionProfile:
+    def test_validation_alignment(self):
+        with pytest.raises(ValueError):
+            MotionProfile(np.array([0.0, 1.0]), np.array([0.0]), np.array([1.0, 1.0]))
+
+    def test_validation_monotone_time(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            MotionProfile(
+                np.array([0.0, 0.0]), np.array([0.0, 1.0]), np.array([1.0, 1.0])
+            )
+
+    def test_validation_no_reversing(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            MotionProfile(
+                np.array([0.0, 1.0]), np.array([5.0, 1.0]), np.array([1.0, 1.0])
+            )
+
+    def test_validation_negative_speed(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            MotionProfile(
+                np.array([0.0, 1.0]), np.array([0.0, 1.0]), np.array([-1.0, 1.0])
+            )
+
+    def test_interpolation(self):
+        p = constant_speed_profile(10.0, 5.0)
+        assert float(p.arc_length_at(2.0)) == pytest.approx(10.0)
+        assert float(p.speed_at(3.3)) == pytest.approx(5.0)
+
+    def test_accel_zero_for_constant(self):
+        p = constant_speed_profile(10.0, 5.0)
+        assert abs(float(p.accel_at(5.0))) < 1e-9
+
+    def test_time_at_distance_inverts(self):
+        p = constant_speed_profile(10.0, 4.0)
+        assert float(p.time_at_distance(20.0)) == pytest.approx(5.0)
+
+    def test_time_at_distance_plateau(self):
+        # Stopped interval: time_at_distance returns the entry time.
+        t = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        s = np.array([0.0, 5.0, 5.0, 5.0, 10.0])
+        v = np.array([5.0, 0.0, 0.0, 5.0, 5.0])
+        p = MotionProfile(t, s, v)
+        assert float(p.time_at_distance(5.0)) == pytest.approx(1.0)
+
+    def test_stop_times(self):
+        t = np.linspace(0.0, 10.0, 101)
+        v = np.where((t > 3.0) & (t < 5.0), 0.0, 5.0)
+        s = np.concatenate(([0.0], np.cumsum(0.5 * (v[1:] + v[:-1]) * np.diff(t))))
+        p = MotionProfile(t, s, v)
+        stops = p.stop_times()
+        assert stops[0] == p.t0
+        assert any(4.9 <= x <= 5.2 for x in stops[1:])
+
+    def test_shifted(self):
+        p = constant_speed_profile(10.0, 5.0)
+        q = p.shifted(100.0)
+        assert float(q.arc_length_at(0.0)) == pytest.approx(100.0)
+        assert q.distance_m == pytest.approx(p.distance_m)
+
+
+class TestConstantProfile:
+    def test_distance(self):
+        p = constant_speed_profile(60.0, 10.0)
+        assert p.distance_m == pytest.approx(600.0)
+
+    def test_offsets(self):
+        p = constant_speed_profile(10.0, 5.0, s0_m=50.0, t0_s=100.0)
+        assert p.t0 == pytest.approx(100.0)
+        assert float(p.arc_length_at(100.0)) == pytest.approx(50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_speed_profile(0.0, 5.0)
+        with pytest.raises(ValueError):
+            constant_speed_profile(10.0, -5.0)
+
+
+class TestUrbanProfile:
+    def test_respects_speed_limit(self):
+        p = urban_speed_profile(300.0, 14.0, rng=0)
+        assert p.v_ms.max() <= 14.0 + 1e-9
+
+    def test_consistent_integration(self):
+        p = urban_speed_profile(300.0, 14.0, rng=1)
+        # s must be the integral of v (trapezoid) by construction
+        ds = np.diff(p.s_m)
+        expected = 0.5 * (p.v_ms[1:] + p.v_ms[:-1]) * np.diff(p.times_s)
+        assert np.allclose(ds, expected)
+
+    def test_stops_occur(self):
+        p = urban_speed_profile(
+            900.0, 14.0, rng=2, stop_rate_per_s=1.0 / 60.0
+        )
+        assert np.any(p.v_ms < 0.05)
+
+    def test_deterministic(self):
+        a = urban_speed_profile(120.0, 14.0, rng=5)
+        b = urban_speed_profile(120.0, 14.0, rng=5)
+        assert np.array_equal(a.v_ms, b.v_ms)
+
+    def test_mean_speed_reasonable(self):
+        p = urban_speed_profile(600.0, 14.0, rng=3)
+        mean_v = p.distance_m / p.duration_s
+        assert 0.3 * 14.0 < mean_v < 0.95 * 14.0
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=10, deadline=None)
+    def test_invariants_any_seed(self, seed):
+        p = urban_speed_profile(60.0, 12.0, rng=seed)
+        assert np.all(p.v_ms >= 0)
+        assert np.all(np.diff(p.s_m) >= -1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            urban_speed_profile(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            urban_speed_profile(10.0, 10.0, mean_fraction=1.5)

@@ -23,6 +23,11 @@ The pipeline (paper Fig 5):
 from repro.core.binding import bind_scan, interpolate_missing
 from repro.core.config import RupsConfig
 from repro.core.correlation import (
+    KERNELS,
+    batched_sliding_correlation,
+    correlation_matrix,
+    normalized_window_features,
+    reference_sliding_correlation,
     sliding_trajectory_correlation,
     trajectory_correlation,
 )
@@ -44,6 +49,11 @@ __all__ = [
     "bind_scan",
     "interpolate_missing",
     "RupsConfig",
+    "KERNELS",
+    "batched_sliding_correlation",
+    "correlation_matrix",
+    "normalized_window_features",
+    "reference_sliding_correlation",
     "sliding_trajectory_correlation",
     "trajectory_correlation",
     "RupsEngine",

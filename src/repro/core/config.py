@@ -58,6 +58,15 @@ class RupsConfig:
         similar.
     max_heading_disagreement_rad:
         Heading-agreement gate for the check above.
+    kernel:
+        Sliding-search kernel: ``"batched"`` (default — every window
+        position scored by one matmul over per-trajectory normalised
+        window features, memoised on :class:`GsmTrajectory`) or
+        ``"reference"`` (the per-window loop the batched kernel is
+        differentially tested against; see
+        :mod:`repro.core.correlation`).  Both produce identical SYN
+        decisions; the reference exists as ground truth and for
+        debugging, not for production use.
     """
 
     context_length_m: float = 1000.0
@@ -73,6 +82,7 @@ class RupsConfig:
     min_coherency_threshold: float = 0.9
     heading_check: bool = False
     max_heading_disagreement_rad: float = 0.35
+    kernel: str = "batched"
 
     def __post_init__(self) -> None:
         if self.context_length_m <= 0:
@@ -104,6 +114,12 @@ class RupsConfig:
             )
         if self.max_heading_disagreement_rad <= 0:
             raise ValueError("max_heading_disagreement_rad must be positive")
+        from repro.core.correlation import KERNELS
+
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"kernel must be one of {sorted(KERNELS)}, got {self.kernel!r}"
+            )
 
     @property
     def window_marks(self) -> int:

@@ -1,4 +1,4 @@
-"""Eq. (2): the trajectory correlation coefficient, plain and sliding.
+"""Eq. (2): the trajectory correlation coefficient, plain, sliding, batched.
 
 For trajectories ``S1, S2`` of width n channels and equal length,
 
@@ -10,11 +10,35 @@ is the vector of per-channel averages.  The first term rewards matching
 across channels; the paper motivates keeping both (§III-C).  The value
 range is [-2, 2], hence a coherency threshold of 1.2.
 
-The sliding form evaluates eq. (2) for a fixed query segment against
-every window position of a longer trajectory **at once** — the hot path
-of the SYN search.  Per the hpc-parallel guides it is a pure batched
-numpy computation: windowed sums come from cumulative sums (O(1) per
-position), the cross term from one einsum over a stride view (no copy).
+Two interchangeable sliding kernels evaluate eq. (2) for a fixed query
+segment against every window position of a longer trajectory — the hot
+path of the SYN search (§V-A, O(m * w * k)):
+
+``reference``
+    A per-window Python loop calling :func:`trajectory_correlation` at
+    every position.  Slow, but each window is evaluated exactly as the
+    plain function defines it — the ground truth the differential test
+    harness (``tests/test_kernel_equivalence.py``) checks the fast
+    kernel against.
+
+``batched``
+    The whole search as one matrix product.  Every candidate window of a
+    trajectory is z-normalised once into a *feature matrix* ``F`` of
+    shape ``(n_positions, n*w + n)`` (see
+    :func:`normalized_window_features`); eq. (2) between window ``i`` of
+    one trajectory and window ``j`` of another is then exactly
+    ``F1[i] @ F2[j]``, so a full sweep — or the full correlation matrix
+    between *all* window pairs — is a single BLAS matmul.
+    :meth:`repro.core.trajectory.GsmTrajectory.window_features` memoises
+    ``F`` per trajectory, so the double-sliding multi-SYN search and
+    locked tracking updates reuse it instead of recomputing.
+
+Degenerate windows are defined everywhere: a channel whose window has
+(near-)zero variance — or contains NaN from un-interpolated scan gaps —
+contributes exactly 0 to the channel average, and a degenerate
+cross-channel mean profile zeroes the second term.  Both kernels apply
+the same per-side rule, so they agree bit-for-bit up to floating-point
+association error (< 1e-12 in practice; the harness asserts 1e-9).
 """
 
 from __future__ import annotations
@@ -22,17 +46,33 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-__all__ = ["trajectory_correlation", "sliding_trajectory_correlation"]
+__all__ = [
+    "DEFAULT_KERNEL",
+    "KERNELS",
+    "batched_sliding_correlation",
+    "correlation_matrix",
+    "get_kernel",
+    "normalized_window_features",
+    "reference_sliding_correlation",
+    "sliding_trajectory_correlation",
+    "trajectory_correlation",
+]
 
+# Sum-of-squared-deviations below this counts as zero variance.  The
+# comparison is False for NaN, so windows with missing data are gated
+# exactly like constant ones.
 _EPS = 1e-12
 
 
 def trajectory_correlation(s1: np.ndarray, s2: np.ndarray) -> float:
     """Eq. (2) for two equal-shape trajectories ``(n_channels, n_marks)``.
 
-    Channels with zero variance on either side contribute 0 to the mean
-    (they carry no spatial information), matching the convention of
-    :func:`~repro.core.power_vector.pearson_correlation`.
+    A channel with zero variance *on either side* (or NaN anywhere in its
+    window) contributes 0 to the channel mean — it carries no spatial
+    information — matching the convention of
+    :func:`~repro.core.power_vector.pearson_correlation`; likewise the
+    cross-channel term is 0 when either mean profile is degenerate.  The
+    result is always a finite float.
     """
     a = np.asarray(s1, dtype=float)
     b = np.asarray(s2, dtype=float)
@@ -45,21 +85,177 @@ def trajectory_correlation(s1: np.ndarray, s2: np.ndarray) -> float:
     ac = a - a.mean(axis=1, keepdims=True)
     bc = b - b.mean(axis=1, keepdims=True)
     num = np.einsum("ij,ij->i", ac, bc)
-    den = np.sqrt(np.einsum("ij,ij->i", ac, ac) * np.einsum("ij,ij->i", bc, bc))
-    per_channel = np.where(den > _EPS, num / np.maximum(den, _EPS), 0.0)
+    a_ss = np.einsum("ij,ij->i", ac, ac)
+    b_ss = np.einsum("ij,ij->i", bc, bc)
+    live = (a_ss > _EPS) & (b_ss > _EPS)  # False for NaN too
+    with np.errstate(invalid="ignore", divide="ignore"):
+        per_channel = np.where(live, num / np.sqrt(np.where(live, a_ss * b_ss, 1.0)), 0.0)
     term1 = float(per_channel.mean())
 
     ma = a.mean(axis=1)
     mb = b.mean(axis=1)
     mac = ma - ma.mean()
     mbc = mb - mb.mean()
-    den2 = float(np.sqrt(np.dot(mac, mac) * np.dot(mbc, mbc)))
-    term2 = float(np.dot(mac, mbc) / den2) if den2 > _EPS else 0.0
+    ma_ss = float(np.dot(mac, mac))
+    mb_ss = float(np.dot(mbc, mbc))
+    if ma_ss > _EPS and mb_ss > _EPS:
+        term2 = float(np.dot(mac, mbc) / np.sqrt(ma_ss * mb_ss))
+    else:
+        term2 = 0.0
     return term1 + term2
 
 
-def sliding_trajectory_correlation(
+def _validate_sliding(query: np.ndarray, target: np.ndarray) -> tuple[int, int, int]:
+    """Shared shape checks; returns ``(n_channels, w, m)``."""
+    if query.ndim != 2 or target.ndim != 2:
+        raise ValueError("query and target must be 2-D")
+    n, w = query.shape
+    if target.shape[0] != n:
+        raise ValueError(
+            f"channel counts differ: query {n}, target {target.shape[0]}"
+        )
+    m = target.shape[1]
+    if w < 2:
+        raise ValueError("query needs at least two marks")
+    if m < w:
+        raise ValueError(f"target ({m} marks) shorter than query ({w})")
+    return n, w, m
+
+
+def reference_sliding_correlation(
     query: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Eq. (2) of ``query`` at every target position, one window at a time.
+
+    The O(m * w * k) loop of §V-A, kept as the semantic reference for the
+    batched kernel: position ``p`` is literally
+    ``trajectory_correlation(query, target[:, p:p+w])``.
+    """
+    q = np.asarray(query, dtype=float)
+    t = np.asarray(target, dtype=float)
+    _, w, m = _validate_sliding(q, t)
+    return np.array(
+        [trajectory_correlation(q, t[:, p : p + w]) for p in range(m - w + 1)]
+    )
+
+
+def normalized_window_features(
+    trajectory: np.ndarray, window_marks: int
+) -> np.ndarray:
+    """Z-normalised feature rows for every candidate window of a trajectory.
+
+    Row ``p`` encodes window ``trajectory[:, p:p+w]`` such that eq. (2)
+    between two windows is the plain dot product of their rows:
+
+    * the first ``n*w`` columns hold each channel's window centred and
+      scaled to unit norm, weighted ``1/sqrt(n)`` — the dot of two such
+      blocks is the per-channel Pearson average (term 1);
+    * the last ``n`` columns hold the cross-channel mean profile, centred
+      and scaled to unit norm — their dot is term 2.
+
+    Degenerate channels/profiles (zero variance or NaN) become all-zero
+    blocks, i.e. contribute exactly 0, the same rule as
+    :func:`trajectory_correlation`.
+
+    Returns a ``(m - w + 1, n*w + n)`` float array.
+    """
+    t = np.asarray(trajectory, dtype=float)
+    if t.ndim != 2:
+        raise ValueError("trajectory must be 2-D (channels x marks)")
+    n, m = t.shape
+    w = int(window_marks)
+    if w < 2:
+        raise ValueError("window needs at least two marks")
+    if m < w:
+        raise ValueError(f"trajectory ({m} marks) shorter than window ({w})")
+    n_pos = m - w + 1
+
+    windows = sliding_window_view(t, w, axis=1)  # (n, n_pos, w) view
+    win_mean = windows.mean(axis=2)  # (n, n_pos)
+
+    features = np.empty((n_pos, n * w + n))
+    spatial = features[:, : n * w].reshape(n_pos, n, w)
+    # Centre every window in place in the output buffer (one big alloc).
+    np.subtract(windows.transpose(1, 0, 2), win_mean.T[:, :, None], out=spatial)
+    ss = np.einsum("pnw,pnw->pn", spatial, spatial)  # (n_pos, n)
+    live = ss > _EPS
+    with np.errstate(invalid="ignore", divide="ignore"):
+        scale = np.where(live, 1.0 / np.sqrt(np.where(live, ss, 1.0) * n), 0.0)
+    spatial *= scale[:, :, None]
+    if not live.all():
+        spatial[~live] = 0.0  # NaN * 0 must end up 0, not NaN
+
+    profile = features[:, n * w :]  # (n_pos, n)
+    np.subtract(win_mean.T, win_mean.mean(axis=0)[:, None], out=profile)
+    mss = np.einsum("pn,pn->p", profile, profile)
+    m_live = mss > _EPS
+    with np.errstate(invalid="ignore", divide="ignore"):
+        m_scale = np.where(m_live, 1.0 / np.sqrt(np.where(m_live, mss, 1.0)), 0.0)
+    profile *= m_scale[:, None]
+    if not m_live.all():
+        profile[~m_live] = 0.0
+    return features
+
+
+def correlation_matrix(
+    features_a: np.ndarray, features_b: np.ndarray
+) -> np.ndarray:
+    """Eq.-(2) scores between every window pair, as one matmul.
+
+    ``features_*`` are :func:`normalized_window_features` matrices (or row
+    subsets thereof) of two trajectories with the same channel set and
+    window length.  Entry ``(i, j)`` is the trajectory correlation
+    coefficient between window ``i`` of A and window ``j`` of B.
+    """
+    fa = np.asarray(features_a, dtype=float)
+    fb = np.asarray(features_b, dtype=float)
+    if fa.ndim != 2 or fb.ndim != 2 or fa.shape[1] != fb.shape[1]:
+        raise ValueError(
+            "feature matrices must be 2-D with equal width "
+            f"(got {fa.shape} vs {fb.shape})"
+        )
+    return fa @ fb.T
+
+
+def batched_sliding_correlation(
+    query: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Eq. (2) of ``query`` at every target position, via one matmul.
+
+    Semantically identical to :func:`reference_sliding_correlation` (the
+    differential harness holds them to 1e-9); asymptotically the same
+    O(m * w * k) work but performed as two vectorised normalisation
+    passes and a single BLAS product instead of ``m`` Python-level
+    window evaluations.
+    """
+    q = np.asarray(query, dtype=float)
+    t = np.asarray(target, dtype=float)
+    _, w, _ = _validate_sliding(q, t)
+    fq = normalized_window_features(q, w)  # single row
+    ft = normalized_window_features(t, w)
+    return correlation_matrix(fq, ft)[0]
+
+
+DEFAULT_KERNEL = "batched"
+
+KERNELS = {
+    "reference": reference_sliding_correlation,
+    "batched": batched_sliding_correlation,
+}
+
+
+def get_kernel(name: str):
+    """Resolve a sliding-search kernel by name (see :data:`KERNELS`)."""
+    try:
+        return KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; available: {sorted(KERNELS)}"
+        ) from None
+
+
+def sliding_trajectory_correlation(
+    query: np.ndarray, target: np.ndarray, kernel: str = DEFAULT_KERNEL
 ) -> np.ndarray:
     """Eq. (2) of ``query`` against every window position of ``target``.
 
@@ -69,6 +265,8 @@ def sliding_trajectory_correlation(
         ``(n_channels, w)`` fixed segment.
     target:
         ``(n_channels, m)`` trajectory to slide over, ``m >= w``.
+    kernel:
+        ``"batched"`` (default) or ``"reference"`` — see :data:`KERNELS`.
 
     Returns
     -------
@@ -76,55 +274,4 @@ def sliding_trajectory_correlation(
         ``(m - w + 1,)`` trajectory correlation coefficients; position
         ``p`` compares ``query`` with ``target[:, p:p+w]``.
     """
-    q = np.asarray(query, dtype=float)
-    t = np.asarray(target, dtype=float)
-    if q.ndim != 2 or t.ndim != 2:
-        raise ValueError("query and target must be 2-D")
-    n, w = q.shape
-    if t.shape[0] != n:
-        raise ValueError(
-            f"channel counts differ: query {n}, target {t.shape[0]}"
-        )
-    m = t.shape[1]
-    if w < 2:
-        raise ValueError("query needs at least two marks")
-    if m < w:
-        raise ValueError(f"target ({m} marks) shorter than query ({w})")
-    n_pos = m - w + 1
-
-    # Query statistics (computed once).
-    q_mean = q.mean(axis=1)  # (n,)
-    qc = q - q_mean[:, None]
-    q_ss = np.einsum("nw,nw->n", qc, qc)  # (n,)
-
-    # Windowed sums of the target via cumulative sums: O(1) per position.
-    zeros = np.zeros((n, 1))
-    csum = np.concatenate([zeros, np.cumsum(t, axis=1)], axis=1)
-    csum2 = np.concatenate([zeros, np.cumsum(t * t, axis=1)], axis=1)
-    win_sum = csum[:, w:] - csum[:, :-w]  # (n, n_pos)
-    win_sum2 = csum2[:, w:] - csum2[:, :-w]
-    win_mean = win_sum / w
-    win_ss = win_sum2 - win_sum * win_mean  # sum (t - mean)^2 per window
-
-    # Cross term: one einsum over a zero-copy stride view.
-    windows = sliding_window_view(t, w, axis=1)  # (n, n_pos, w) view
-    cross = np.einsum("nw,npw->np", qc, windows)  # sum qc * t
-    # sum qc * (t - win_mean) = cross - win_mean * sum(qc) = cross (qc sums to 0)
-    num = cross
-    den = np.sqrt(np.maximum(q_ss[:, None] * win_ss, 0.0))
-    with np.errstate(invalid="ignore", divide="ignore"):
-        per_channel = np.where(den > _EPS, num / np.maximum(den, _EPS), 0.0)
-    term1 = per_channel.mean(axis=0)  # (n_pos,)
-
-    # Second term: Pearson across channels of per-channel means.
-    qm = q_mean
-    qm_c = qm - qm.mean()
-    qm_ss = float(np.dot(qm_c, qm_c))
-    wm = win_mean  # (n, n_pos)
-    wm_c = wm - wm.mean(axis=0, keepdims=True)
-    num2 = qm_c @ wm_c  # (n_pos,)
-    den2 = np.sqrt(np.maximum(qm_ss * np.einsum("np,np->p", wm_c, wm_c), 0.0))
-    with np.errstate(invalid="ignore", divide="ignore"):
-        term2 = np.where(den2 > _EPS, num2 / np.maximum(den2, _EPS), 0.0)
-
-    return term1 + term2
+    return get_kernel(kernel)(query, target)

@@ -29,10 +29,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import RupsConfig
-from repro.core.correlation import sliding_trajectory_correlation
+from repro.core.correlation import correlation_matrix, get_kernel
 from repro.core.trajectory import GsmTrajectory
 
-__all__ = ["SynPoint", "seek_syn_point", "find_syn_points", "heading_agreement_rad"]
+__all__ = [
+    "SynPoint",
+    "seek_syn_point",
+    "find_syn_points",
+    "heading_agreement_rad",
+    "heading_agreement_many",
+]
 
 
 def heading_agreement_rad(
@@ -62,6 +68,62 @@ def heading_agreement_rad(
     h_other = window(other, syn.other_distance_m)
     delta = np.arctan2(np.sin(h_own - h_other), np.cos(h_own - h_other))
     return float(np.mean(np.abs(delta)))
+
+
+def heading_agreement_many(
+    own: GsmTrajectory,
+    other: GsmTrajectory,
+    syn_points: list[SynPoint] | tuple[SynPoint, ...],
+) -> np.ndarray:
+    """:func:`heading_agreement_rad` for a whole batch of SYN points.
+
+    One fancy-indexed gather over the heading series per distinct window
+    size (all points of one search share theirs) instead of a Python
+    loop per point.  A window that does not fit inside either trajectory
+    yields ``inf``, so thresholding the result rejects it — the same
+    outcome as the scalar function raising ``ValueError``.
+    """
+    out = np.full(len(syn_points), np.inf)
+    if not syn_points:
+        return out
+    w_all = np.array(
+        [int(round(s.window_length_m / own.spacing_m)) + 1 for s in syn_points]
+    )
+    own_end = np.array(
+        [
+            int(round((s.own_distance_m - own.geo.start_distance_m) / own.spacing_m))
+            for s in syn_points
+        ]
+    )
+    other_end = np.array(
+        [
+            int(
+                round(
+                    (s.other_distance_m - other.geo.start_distance_m)
+                    / other.spacing_m
+                )
+            )
+            for s in syn_points
+        ]
+    )
+    for w in np.unique(w_all):
+        rows = np.flatnonzero(w_all == w)
+        oe, te = own_end[rows], other_end[rows]
+        fits = (
+            (oe - w + 1 >= 0)
+            & (oe < own.geo.n_marks)
+            & (te - w + 1 >= 0)
+            & (te < other.geo.n_marks)
+        )
+        if not fits.any():
+            continue
+        oe, te = oe[fits], te[fits]
+        span = np.arange(w) - (w - 1)  # window-relative mark offsets
+        h_own = own.geo.headings_rad[oe[:, None] + span]
+        h_other = other.geo.headings_rad[te[:, None] + span]
+        delta = np.arctan2(np.sin(h_own - h_other), np.cos(h_own - h_other))
+        out[rows[fits]] = np.mean(np.abs(delta), axis=1)
+    return out
 
 
 @dataclass(frozen=True)
@@ -102,26 +164,55 @@ class SynPoint:
     query_side: str
 
 
-def _match_window(
+def _match_windows(
     query: GsmTrajectory,
-    query_end_mark: int,
+    query_end_marks: list[int],
     target: GsmTrajectory,
     window_marks: int,
-) -> tuple[float, int] | None:
-    """Best eq.-2 score of one query window slid over a whole target.
+    kernel: str,
+) -> list[tuple[float, int] | None]:
+    """Best eq.-2 score of each query window slid over a whole target.
 
-    Returns ``(score, target_end_mark)`` or ``None`` when either side is
-    too short.
+    One entry per query end mark: ``(score, target_end_mark)``, or
+    ``None`` when that query window does not fit (the target being
+    shorter than one window voids every entry).
+
+    With ``kernel="batched"`` all query windows are scored against all
+    target positions by a single matmul over the two trajectories'
+    memoised feature matrices — the per-query argmax then reads one row
+    of that correlation matrix.  With ``kernel="reference"`` each window
+    is slid by the per-position loop.
     """
-    q_start = query_end_mark - window_marks + 1
-    if q_start < 0:
-        return None
+    results: list[tuple[float, int] | None] = [None] * len(query_end_marks)
     if target.n_marks < window_marks:
-        return None
-    q = query.power_dbm[:, q_start : query_end_mark + 1]
-    scores = sliding_trajectory_correlation(q, target.power_dbm)
-    best = int(np.argmax(scores))
-    return float(scores[best]), best + window_marks - 1
+        return results
+    valid = [
+        i for i, end in enumerate(query_end_marks)
+        if end - window_marks + 1 >= 0 and end < query.n_marks
+    ]
+    if not valid:
+        return results
+    if kernel == "batched":
+        rows = np.array(
+            [query_end_marks[i] - window_marks + 1 for i in valid], dtype=np.intp
+        )
+        scores = correlation_matrix(
+            query.window_features(window_marks)[rows],
+            target.window_features(window_marks),
+        )
+        best = np.argmax(scores, axis=1)
+        picked = scores[np.arange(best.size), best]
+        for j, i in enumerate(valid):
+            results[i] = (float(picked[j]), int(best[j]) + window_marks - 1)
+    else:
+        sliding = get_kernel(kernel)
+        for i in valid:
+            end = query_end_marks[i]
+            q = query.power_dbm[:, end - window_marks + 1 : end + 1]
+            scores = sliding(q, target.power_dbm)
+            best = int(np.argmax(scores))
+            results[i] = (float(scores[best]), best + window_marks - 1)
+    return results
 
 
 def _syn_from_match(
@@ -167,6 +258,58 @@ def _effective_window(
     return window_marks, config.threshold_for_window(length_m)
 
 
+def _check_comparable(own: GsmTrajectory, other: GsmTrajectory) -> None:
+    if own.spacing_m != other.spacing_m:
+        raise ValueError("trajectories must share a mark spacing")
+    if not np.array_equal(own.channel_ids, other.channel_ids):
+        raise ValueError(
+            "trajectories must be reduced to the same channel set first "
+            "(see RupsEngine or GsmTrajectory.select_channels)"
+        )
+
+
+def _double_sided_search(
+    own: GsmTrajectory,
+    other: GsmTrajectory,
+    offsets_marks: list[int],
+    window_marks: int,
+    kernel: str,
+) -> list[SynPoint | None]:
+    """Best SYN candidate per query offset, from both query sides.
+
+    For every offset the query window ending that many marks before the
+    most recent mark is slid over the opposite trajectory, *from both
+    sides* — the double-sided principle of §IV-D.  (One side is
+    typically degenerate: the front vehicle's most recent context has no
+    counterpart in the rear vehicle's trajectory, so its best window
+    only partially overlaps and scores lower.)  All windows of one side
+    are scored in a single batch; the per-offset winner is the higher of
+    the two sides (ties keep the own side, matching the historical
+    per-window loop order).
+    """
+    own_ends = [own.n_marks - 1 - off for off in offsets_marks]
+    other_ends = [other.n_marks - 1 - off for off in offsets_marks]
+    own_matches = _match_windows(own, own_ends, other, window_marks, kernel)
+    other_matches = _match_windows(other, other_ends, own, window_marks, kernel)
+    best_per_offset: list[SynPoint | None] = []
+    for k in range(len(offsets_marks)):
+        best: SynPoint | None = None
+        if own_matches[k] is not None:
+            score, other_end = own_matches[k]
+            best = _syn_from_match(
+                own, other, own_ends[k], other_end, score, window_marks, "own"
+            )
+        if other_matches[k] is not None:
+            score, own_end = other_matches[k]
+            syn = _syn_from_match(
+                own, other, own_end, other_ends[k], score, window_marks, "other"
+            )
+            if best is None or syn.score > best.score:
+                best = syn
+        best_per_offset.append(best)
+    return best_per_offset
+
+
 def seek_syn_point(
     own: GsmTrajectory,
     other: GsmTrajectory,
@@ -180,39 +323,15 @@ def seek_syn_point(
     trajectories are declared unrelated.
     """
     config = config or RupsConfig()
-    if own.spacing_m != other.spacing_m:
-        raise ValueError("trajectories must share a mark spacing")
-    if not np.array_equal(own.channel_ids, other.channel_ids):
-        raise ValueError(
-            "trajectories must be reduced to the same channel set first "
-            "(see RupsEngine or GsmTrajectory.select_channels)"
-        )
+    _check_comparable(own, other)
     eff = _effective_window(own, other, config)
     if eff is None:
         return None
     window_marks, threshold = eff
-
-    candidates: list[SynPoint] = []
-    m1 = _match_window(own, own.n_marks - 1, other, window_marks)
-    if m1 is not None:
-        score, other_end = m1
-        candidates.append(
-            _syn_from_match(
-                own, other, own.n_marks - 1, other_end, score, window_marks, "own"
-            )
-        )
-    m2 = _match_window(other, other.n_marks - 1, own, window_marks)
-    if m2 is not None:
-        score, own_end = m2
-        candidates.append(
-            _syn_from_match(
-                own, other, own_end, other.n_marks - 1, score, window_marks, "other"
-            )
-        )
-    if not candidates:
+    (best,) = _double_sided_search(own, other, [0], window_marks, config.kernel)
+    if best is None or best.score < threshold:
         return None
-    best = max(candidates, key=lambda s: s.score)
-    return best if best.score >= threshold else None
+    return best
 
 
 def find_syn_points(
@@ -228,12 +347,14 @@ def find_syn_points(
     (so the search degrades gracefully whichever vehicle is in front).
     Returns the accepted SYN points, most recent first; empty when the
     trajectories appear unrelated.
+
+    With the default batched kernel, each side's staggered query windows
+    are scored against every window position of the other trajectory as
+    one correlation-matrix product over memoised features; acceptance is
+    then a threshold mask over the per-offset maxima.
     """
     config = config or RupsConfig()
-    if own.spacing_m != other.spacing_m:
-        raise ValueError("trajectories must share a mark spacing")
-    if not np.array_equal(own.channel_ids, other.channel_ids):
-        raise ValueError("trajectories must be reduced to the same channel set")
+    _check_comparable(own, other)
     n_points = config.n_syn_points if n_points is None else int(n_points)
     if n_points < 1:
         raise ValueError("n_points must be >= 1")
@@ -242,36 +363,10 @@ def find_syn_points(
         return []
     window_marks, threshold = eff
     stride_marks = max(int(round(config.syn_stride_m / config.spacing_m)), 1)
-
-    found: list[SynPoint] = []
-    for k in range(n_points):
-        offset = k * stride_marks
-        # Evaluate *both* query sides for this window position and keep
-        # the better match — the same double-sided principle as the
-        # single-SYN check.  (One side is typically degenerate: the front
-        # vehicle's most recent context has no counterpart in the rear
-        # vehicle's trajectory, so its best window only partially
-        # overlaps and scores lower.)
-        best: SynPoint | None = None
-        for side in ("own", "other"):
-            query, target = (own, other) if side == "own" else (other, own)
-            end_mark = query.n_marks - 1 - offset
-            if end_mark - window_marks + 1 < 0:
-                continue
-            match = _match_window(query, end_mark, target, window_marks)
-            if match is None:
-                continue
-            score, target_end = match
-            if side == "own":
-                syn = _syn_from_match(
-                    own, other, end_mark, target_end, score, window_marks, "own"
-                )
-            else:
-                syn = _syn_from_match(
-                    own, other, target_end, end_mark, score, window_marks, "other"
-                )
-            if best is None or syn.score > best.score:
-                best = syn
-        if best is not None and best.score >= threshold:
-            found.append(best)
-    return found
+    offsets = [k * stride_marks for k in range(n_points)]
+    candidates = _double_sided_search(
+        own, other, offsets, window_marks, config.kernel
+    )
+    return [
+        syn for syn in candidates if syn is not None and syn.score >= threshold
+    ]

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.config import RupsConfig
 from repro.core.engine import RupsEngine, RupsEstimate
 from repro.core.trajectory import GsmTrajectory
@@ -75,6 +77,7 @@ class RupsTracker:
         self._locked = False
         self._failures = 0
         self._history: list[TrackerUpdate] = []
+        self._trim_cache: dict[str, GsmTrajectory] = {}
 
     @property
     def locked(self) -> bool:
@@ -98,6 +101,7 @@ class RupsTracker:
         self._locked = False
         self._failures = 0
         self._history.clear()
+        self._trim_cache.clear()
 
     def update(
         self, own: GsmTrajectory, other: GsmTrajectory
@@ -110,8 +114,8 @@ class RupsTracker:
         """
         mode = "locked" if self._locked else "full"
         if self._locked:
-            own_q = self._trim(own)
-            other_q = self._trim(other)
+            own_q = self._trim(own, "own")
+            other_q = self._trim(other, "other")
         else:
             own_q, other_q = own, other
         estimate = self._engine.estimate_relative_distance(own_q, other_q)
@@ -133,10 +137,26 @@ class RupsTracker:
         self._history.append(update)
         return update
 
-    def _trim(self, trajectory: GsmTrajectory) -> GsmTrajectory:
+    def _trim(self, trajectory: GsmTrajectory, role: str) -> GsmTrajectory:
         if trajectory.length_m <= self.locked_context_m:
             return trajectory
-        return trajectory.tail(self.locked_context_m)
+        tail = trajectory.tail(self.locked_context_m)
+        # If the trimmed window is unchanged since the previous update
+        # (vehicle stationary / same broadcast re-queried), hand back the
+        # previous object: its memoised SYN-kernel window features — and
+        # the engine's channel reduction keyed on object identity — stay
+        # warm, so the locked-mode update skips all feature rebuilds.
+        prev = self._trim_cache.get(role)
+        if (
+            prev is not None
+            and prev.n_marks == tail.n_marks
+            and prev.geo.start_distance_m == tail.geo.start_distance_m
+            and np.array_equal(prev.channel_ids, tail.channel_ids)
+            and np.array_equal(prev.power_dbm, tail.power_dbm)
+        ):
+            return prev
+        self._trim_cache[role] = tail
+        return tail
 
 
 @dataclass

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.correlation import normalized_window_features
+
 __all__ = ["GeoTrajectory", "GsmTrajectory"]
 
 
@@ -144,6 +146,10 @@ class GsmTrajectory:
             raise ValueError("duplicate channel ids")
         object.__setattr__(self, "power_dbm", p)
         object.__setattr__(self, "channel_ids", c)
+        # Lazy per-window-size cache of normalised window features for the
+        # batched SYN kernel; not part of the dataclass value (the power
+        # matrix fully determines it).
+        object.__setattr__(self, "_window_features", {})
 
     @property
     def n_channels(self) -> int:
@@ -221,3 +227,22 @@ class GsmTrajectory:
     def common_channels(self, other: "GsmTrajectory") -> np.ndarray:
         """Channel ids present in both trajectories (sorted)."""
         return np.intersect1d(self.channel_ids, other.channel_ids)
+
+    def window_features(self, window_marks: int) -> np.ndarray:
+        """Normalised window features for the batched SYN kernel, memoised.
+
+        The ``(n_positions, n_channels * w + n_channels)`` matrix of
+        :func:`~repro.core.correlation.normalized_window_features`, built
+        once per window size and cached on this (immutable) trajectory —
+        the double-sliding search queries it from both sides and for
+        every multi-SYN offset, and locked tracking sessions that reuse a
+        trajectory object across updates (§V-B) skip the rebuild
+        entirely.  Treat the returned array as read-only.
+        """
+        key = int(window_marks)
+        cache: dict[int, np.ndarray] = self._window_features  # type: ignore[attr-defined]
+        features = cache.get(key)
+        if features is None:
+            features = normalized_window_features(self.power_dbm, key)
+            cache[key] = features
+        return features

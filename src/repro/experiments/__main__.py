@@ -21,7 +21,16 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 #: Experiments that accept an EvalSettings workload object.
 _EVAL_IDS = {"fig9", "fig10", "fig11", "fig12"}
 #: Experiments that accept a plain seed.
-_SEEDED_IDS = {"fig1", "fig2", "fig3", "fig4", "t-compute", "t-respond", "t-campaign"}
+_SEEDED_IDS = {
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "t-compute",
+    "t-kernels",
+    "t-respond",
+    "t-campaign",
+}
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -22,7 +22,11 @@ from repro.experiments.evaluation import (
     window_ablation,
 )
 from repro.experiments.campaign import run_campaign
-from repro.experiments.timing import compute_cost_sweep, response_time_table
+from repro.experiments.timing import (
+    compute_cost_sweep,
+    kernel_comparison_sweep,
+    response_time_table,
+)
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
@@ -38,6 +42,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "fig12": fig12_vs_gps,
     "t-window": window_ablation,
     "t-compute": compute_cost_sweep,
+    "t-kernels": kernel_comparison_sweep,
     "t-respond": response_time_table,
     "t-campaign": run_campaign,
 }

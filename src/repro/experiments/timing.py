@@ -18,7 +18,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.correlation import sliding_trajectory_correlation
+from repro.core.correlation import (
+    DEFAULT_KERNEL,
+    correlation_matrix,
+    normalized_window_features,
+    sliding_trajectory_correlation,
+)
 from repro.experiments.reporting import render_table
 from repro.util.rng import RngFactory
 from repro.v2v.channel import DsrcChannel
@@ -27,8 +32,10 @@ from repro.v2v.serialization import encoded_size_bytes
 
 __all__ = [
     "ComputeCostResult",
+    "KernelComparisonResult",
     "ResponseTimeResult",
     "compute_cost_sweep",
+    "kernel_comparison_sweep",
     "response_time_table",
     "syn_search_seconds",
 ]
@@ -49,6 +56,7 @@ def syn_search_seconds(
     k_channels: int = 45,
     repeats: int = 20,
     seed: int = 0,
+    kernel: str = DEFAULT_KERNEL,
 ) -> float:
     """Wall-clock seconds for one full sliding SYN search (best of N).
 
@@ -60,9 +68,89 @@ def syn_search_seconds(
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        sliding_trajectory_correlation(query, target)
+        sliding_trajectory_correlation(query, target, kernel=kernel)
         best = min(best, time.perf_counter() - start)
     return best
+
+
+@dataclass
+class KernelComparisonResult:
+    """Reference-loop vs batched-matmul SYN search across context lengths.
+
+    ``rows``: one entry per context length ``(m, reference_s,
+    batched_cold_s, batched_warm_s)``; cold includes building the
+    target's normalised window features, warm reuses them — the regime
+    of the double-sliding multi-SYN search and of locked tracking
+    sessions, where the features are memoised per trajectory.
+    """
+
+    rows: list[tuple[int, float, float, float]]
+    w_marks: int
+    k_channels: int
+
+    def render(self) -> str:
+        table = [
+            [
+                m,
+                ref * 1e3,
+                cold * 1e3,
+                warm * 1e3,
+                ref / cold,
+                ref / warm,
+            ]
+            for m, ref, cold, warm in self.rows
+        ]
+        return render_table(
+            [
+                "m (marks)",
+                "reference (ms)",
+                "batched cold (ms)",
+                "batched warm (ms)",
+                "speedup cold",
+                "speedup warm",
+            ],
+            table,
+            title=(
+                "SYN sliding search — reference loop vs batched matmul "
+                f"(w={self.w_marks}, k={self.k_channels}; warm = memoised "
+                "window features, the tracking/multi-SYN regime)"
+            ),
+        )
+
+
+def kernel_comparison_sweep(
+    m_marks: tuple[int, ...] = (500, 1000, 2000, 4000),
+    w_marks: int = 100,
+    k_channels: int = 45,
+    repeats: int = 5,
+    seed: int = 0,
+) -> KernelComparisonResult:
+    """Time both kernels over a range of journey-context lengths."""
+    rows = []
+    for m in m_marks:
+        query, target = _search_inputs(m, w_marks, k_channels, seed)
+        ref = min(
+            _timed(sliding_trajectory_correlation, query, target, kernel="reference")
+            for _ in range(max(2, repeats // 2))
+        )
+        cold = min(
+            _timed(sliding_trajectory_correlation, query, target, kernel="batched")
+            for _ in range(repeats)
+        )
+        features = normalized_window_features(target, w_marks)
+        query_features = normalized_window_features(query, w_marks)
+        warm = min(
+            _timed(correlation_matrix, query_features, features)
+            for _ in range(repeats * 4)
+        )
+        rows.append((m, ref, cold, warm))
+    return KernelComparisonResult(rows=rows, w_marks=w_marks, k_channels=k_channels)
+
+
+def _timed(fn, *args, **kwargs) -> float:
+    start = time.perf_counter()
+    fn(*args, **kwargs)
+    return time.perf_counter() - start
 
 
 @dataclass

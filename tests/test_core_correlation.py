@@ -127,3 +127,82 @@ class TestSlidingCorrelation:
         assert np.all(scores <= 2.0 + 1e-9)
         assert np.all(scores >= -2.0 - 1e-9)
         assert np.all(np.isfinite(scores))
+
+
+class TestDegenerateWindows:
+    """Regression: zero-variance / NaN windows yield defined values.
+
+    A window with no spatial information must contribute exactly 0 —
+    never a NaN, inf, or numpy warning that could leak into SYN
+    acceptance — under every kernel.
+    """
+
+    def test_both_sides_constant_is_zero(self):
+        a = np.full((3, 20), -80.0)
+        b = np.full((3, 20), -75.0)
+        assert trajectory_correlation(a, b) == 0.0
+
+    def test_one_side_constant_is_zero(self):
+        rng = np.random.default_rng(0)
+        a = np.full((3, 20), -80.0)
+        b = rng.normal(-80, 6, size=(3, 20))
+        assert trajectory_correlation(a, b) == 0.0
+        assert trajectory_correlation(b, a) == 0.0
+
+    def test_no_numpy_warnings_on_degenerate_input(self):
+        import warnings
+
+        rng = np.random.default_rng(1)
+        a = rng.normal(-80, 6, size=(4, 25))
+        a[0] = -70.0  # dead channel
+        b = rng.normal(-80, 6, size=(4, 25))
+        b[1] = np.nan  # missing channel
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            r = trajectory_correlation(a, b)
+            s_ref = sliding_trajectory_correlation(a, b, kernel="reference")
+            s_bat = sliding_trajectory_correlation(a, b, kernel="batched")
+        assert np.isfinite(r)
+        assert np.isfinite(s_ref).all() and np.isfinite(s_bat).all()
+
+    def test_nan_channel_gated_like_dead_channel(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(-80, 6, size=(4, 30))
+        b = rng.normal(-80, 6, size=(4, 30))
+        a_nan = a.copy()
+        a_nan[2, 7] = np.nan
+        from repro.core.power_vector import pearson_correlation
+
+        # The NaN channel contributes 0 to the channel average (but still
+        # counts in the denominator); the cross-channel profile term is
+        # killed because one mean is undefined.
+        per = [pearson_correlation(a_nan[i], b[i]) for i in (0, 1, 3)]
+        expected = float(np.sum(per)) / 4
+        assert trajectory_correlation(a_nan, b) == pytest.approx(
+            expected, abs=1e-12
+        )
+
+    @pytest.mark.parametrize("kernel", ["reference", "batched"])
+    def test_nan_gap_only_poisons_covering_windows(self, kernel):
+        # Regression for the historical cumulative-sum kernel, where one
+        # NaN smeared into the running sums of *every* later position.
+        rng = np.random.default_rng(3)
+        target = rng.normal(-80, 6, size=(3, 60))
+        target[1, 20:23] = np.nan
+        query = rng.normal(-80, 6, size=(3, 10))
+        scores = sliding_trajectory_correlation(query, target, kernel=kernel)
+        assert np.isfinite(scores).all()
+        for p in range(scores.size):
+            direct = trajectory_correlation(query, target[:, p : p + 10])
+            assert scores[p] == pytest.approx(direct, abs=1e-9)
+
+    @pytest.mark.parametrize("kernel", ["reference", "batched"])
+    def test_constant_stretch_scores_defined(self, kernel):
+        rng = np.random.default_rng(4)
+        target = rng.normal(-80, 6, size=(3, 60))
+        target[:, 25:45] = -80.0  # zero-variance stretch
+        query = rng.normal(-80, 6, size=(3, 12))
+        scores = sliding_trajectory_correlation(query, target, kernel=kernel)
+        assert np.isfinite(scores).all()
+        # Windows fully inside the stretch carry no information at all.
+        assert scores[30] == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,90 @@
+"""Golden regression: headline accuracy of a small fixed-seed campaign.
+
+The kernel rewrite (and any future hot-path change) must not silently
+shift RUPS's accuracy.  This pins the per-road-type query counts,
+resolution counts, and mean relative-distance errors of one small
+deterministic ``run_campaign`` against goldens stored in
+``tests/goldens/campaign_small.json``.
+
+To regenerate after an *intentional* accuracy change::
+
+    RUPS_REGEN_GOLDENS=1 PYTHONPATH=src python -m pytest tests/test_goldens_campaign.py -m slow
+
+and commit the diff with an explanation of why the numbers moved.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.experiments.campaign import run_campaign
+from repro.gsm.band import RGSM900
+
+GOLDEN_PATH = Path(__file__).parent / "goldens" / "campaign_small.json"
+
+# Small but mixed-environment: ~6 km through the synthetic city, two
+# drives, sliced by road type (SVI-A methodology in miniature).
+CAMPAIGN_KWARGS = dict(
+    route_length_m=6000.0,
+    n_drives=2,
+    queries_per_drive=20,
+    seed=7,
+)
+PLAN_STRIDE = 4
+
+
+def _run() -> dict:
+    plan = RGSM900.subset(
+        np.arange(0, RGSM900.n_channels, PLAN_STRIDE), name="golden-small"
+    )
+    result = run_campaign(plan=plan, **CAMPAIGN_KWARGS)
+    by_road_type = {}
+    for road_type, batch in result.by_road_type.items():
+        errs = batch.rde()
+        by_road_type[road_type.value] = {
+            "n_queries": batch.n_queries,
+            "n_resolved": batch.n_resolved,
+            "mean_rde_m": float(np.mean(errs)) if errs.size else None,
+        }
+    return {
+        "campaign": {**CAMPAIGN_KWARGS, "plan_stride": PLAN_STRIDE},
+        "route_length_m": result.route_length_m,
+        "by_road_type": by_road_type,
+    }
+
+
+@pytest.mark.slow
+def test_campaign_headline_numbers_match_goldens():
+    actual = _run()
+    if os.environ.get("RUPS_REGEN_GOLDENS"):
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(actual, indent=2, sort_keys=True) + "\n")
+        pytest.skip(f"goldens regenerated at {GOLDEN_PATH}")
+    golden = json.loads(GOLDEN_PATH.read_text())
+
+    assert actual["campaign"] == golden["campaign"], (
+        "campaign parameters changed — regenerate the goldens deliberately"
+    )
+    assert actual["route_length_m"] == pytest.approx(
+        golden["route_length_m"], rel=1e-9
+    )
+    assert set(actual["by_road_type"]) == set(golden["by_road_type"])
+    for road_type, g in golden["by_road_type"].items():
+        a = actual["by_road_type"][road_type]
+        # Counts are pinned exactly: a single extra unresolved query is a
+        # real behaviour change, not numerical noise.
+        assert a["n_queries"] == g["n_queries"], road_type
+        assert a["n_resolved"] == g["n_resolved"], road_type
+        if g["mean_rde_m"] is None:
+            assert a["mean_rde_m"] is None, road_type
+        else:
+            # Loose relative tolerance absorbs BLAS reduction-order
+            # differences across machines; anything larger is a shift.
+            assert a["mean_rde_m"] == pytest.approx(
+                g["mean_rde_m"], rel=1e-6
+            ), road_type

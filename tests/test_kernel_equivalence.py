@@ -1,0 +1,240 @@
+"""Differential harness: the batched SYN kernel vs the reference loop.
+
+The batched matmul kernel (``repro.core.correlation``) is only safe to
+ship because this harness proves it equivalent to the per-window
+reference loop on randomised inputs.  Two layers:
+
+* **Kernel level** — ``batched_sliding_correlation`` against
+  ``reference_sliding_correlation`` on random query/target matrices,
+  including constant channels, constant regions, and NaN gaps.
+* **Search level** — ``seek_syn_point`` / ``find_syn_points`` run twice
+  on the same trajectory pair, once per ``RupsConfig(kernel=...)``, and
+  must return identical SYN indices (exact), scores within 1e-9, and
+  identical ``None``/rejection outcomes.
+
+Scenarios rotate through genuine overlaps (a shared road signal plus
+per-vehicle noise), disjoint signals (mostly rejections), degenerate
+trajectories (constant channels / windows, NaN cells), and short
+contexts that exercise the flexible window and the too-short ``None``
+path.  A quick subset always runs; the full 200-pair sweep is marked
+``slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import RupsConfig
+from repro.core.correlation import (
+    batched_sliding_correlation,
+    reference_sliding_correlation,
+)
+from repro.core.syn import find_syn_points, seek_syn_point
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+
+TOL = 1e-9
+
+
+# ----------------------------------------------------------------------
+# generators
+# ----------------------------------------------------------------------
+
+def make_trajectory(
+    power: np.ndarray, spacing: float = 1.0, start: float = 0.0
+) -> GsmTrajectory:
+    n_marks = power.shape[1]
+    geo = GeoTrajectory(
+        timestamps_s=np.linspace(0.0, float(n_marks), n_marks),
+        headings_rad=np.zeros(n_marks),
+        spacing_m=spacing,
+        start_distance_m=start,
+    )
+    return GsmTrajectory(
+        power_dbm=power, channel_ids=np.arange(power.shape[0]), geo=geo
+    )
+
+
+def _road_signal(rng: np.random.Generator, n_ch: int, length: int) -> np.ndarray:
+    """Spatially-correlated per-channel RSSI over one stretch of road."""
+    walk = np.cumsum(rng.normal(0.0, 1.0, size=(n_ch, length)), axis=1)
+    kernel = np.ones(5) / 5.0
+    smooth = np.apply_along_axis(
+        lambda r: np.convolve(r, kernel, mode="same"), 1, walk
+    )
+    return -80.0 + 2.0 * smooth + rng.normal(0.0, 4.0, size=(n_ch, 1))
+
+
+def random_scenario(seed: int):
+    """One (own, other, config-sans-kernel) scenario, seed-deterministic."""
+    rng = np.random.default_rng(seed)
+    kind = ("overlap", "disjoint", "degenerate", "short")[seed % 4]
+    n_ch = int(rng.integers(3, 10))
+    spacing = float(rng.choice([1.0, 2.0]))
+    window_length_m = float(rng.integers(12, 40)) * spacing
+    threshold = float(rng.choice([0.6, 1.0, 1.2]))
+    cfg = dict(
+        context_length_m=4000.0,
+        window_length_m=window_length_m,
+        window_channels=n_ch,
+        coherency_threshold=threshold,
+        spacing_m=spacing,
+        n_syn_points=int(rng.integers(1, 5)),
+        syn_stride_m=float(rng.integers(4, 25)) * spacing,
+        flexible_window=True,
+        min_window_length_m=min(10.0 * spacing, window_length_m),
+        min_coherency_threshold=0.5 * threshold,
+    )
+
+    if kind == "short":
+        # Anywhere from container minimum (2 marks) to barely one window.
+        window_marks = int(round(window_length_m / spacing)) + 1
+        la = int(rng.integers(2, window_marks + 4))
+        lb = int(rng.integers(2, window_marks + 4))
+        own = make_trajectory(rng.normal(-80, 6, size=(n_ch, la)), spacing)
+        other = make_trajectory(rng.normal(-80, 6, size=(n_ch, lb)), spacing)
+        return own, other, cfg
+
+    road_len = int(rng.integers(120, 400))
+    road = _road_signal(rng, n_ch, road_len)
+    if kind == "disjoint":
+        road_b = _road_signal(rng, n_ch, road_len)
+    else:
+        road_b = road
+
+    la = int(rng.integers(60, road_len + 1))
+    lb = int(rng.integers(60, road_len + 1))
+    a0 = int(rng.integers(0, road_len - la + 1))
+    b0 = int(rng.integers(0, road_len - lb + 1))
+    own_p = road[:, a0 : a0 + la] + rng.normal(0, 1.0, size=(n_ch, la))
+    other_p = road_b[:, b0 : b0 + lb] + rng.normal(0, 1.0, size=(n_ch, lb))
+
+    if kind == "degenerate":
+        flavour = seed % 3
+        if flavour == 0:  # dead channels on one or both sides
+            own_p[0] = -80.0
+            other_p[rng.integers(0, n_ch)] = -75.0
+        elif flavour == 1:  # constant stretch (zero-variance windows)
+            cut = la // 2
+            own_p[:, :cut] = own_p[:, cut : cut + 1]
+        else:  # NaN gaps from missing scans
+            mask = rng.random(own_p.shape) < 0.01
+            own_p[mask] = np.nan
+            other_p[rng.random(other_p.shape) < 0.01] = np.nan
+
+    own = make_trajectory(own_p, spacing)
+    other = make_trajectory(other_p, spacing)
+    return own, other, cfg
+
+
+# ----------------------------------------------------------------------
+# equivalence assertions
+# ----------------------------------------------------------------------
+
+def assert_search_equivalent(own, other, cfg: dict) -> None:
+    ref_cfg = RupsConfig(kernel="reference", **cfg)
+    bat_cfg = RupsConfig(kernel="batched", **cfg)
+
+    ref_single = seek_syn_point(own, other, ref_cfg)
+    bat_single = seek_syn_point(own, other, bat_cfg)
+    assert (ref_single is None) == (bat_single is None)
+    if ref_single is not None:
+        _assert_same_syn(ref_single, bat_single)
+
+    ref_multi = find_syn_points(own, other, ref_cfg)
+    bat_multi = find_syn_points(own, other, bat_cfg)
+    assert len(ref_multi) == len(bat_multi)
+    for r, b in zip(ref_multi, bat_multi):
+        _assert_same_syn(r, b)
+
+
+def _assert_same_syn(r, b) -> None:
+    # Indices must match exactly — the argmax landed on the same window.
+    assert r.query_side == b.query_side
+    assert r.own_distance_m == b.own_distance_m
+    assert r.other_distance_m == b.other_distance_m
+    assert r.window_length_m == b.window_length_m
+    assert abs(r.score - b.score) < TOL
+
+
+# ----------------------------------------------------------------------
+# kernel-level differential
+# ----------------------------------------------------------------------
+
+class TestSlidingKernelDifferential:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_inputs_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(1, 12))
+        m = int(rng.integers(5, 150))
+        w = int(rng.integers(2, min(m, 50) + 1))
+        target = rng.normal(-80, 6, size=(n, m))
+        query = rng.normal(-80, 6, size=(n, w))
+        if seed % 4 == 1:  # constant region in the target
+            lo = m // 3
+            target[:, lo : lo + max(w, 3)] = -77.0
+        if seed % 4 == 2:  # dead query channel
+            query[0] = -70.0
+        if seed % 4 == 3:  # NaN gaps
+            target[rng.random(target.shape) < 0.02] = np.nan
+        ref = reference_sliding_correlation(query, target)
+        bat = batched_sliding_correlation(query, target)
+        assert ref.shape == bat.shape == (m - w + 1,)
+        assert np.isfinite(bat).all()
+        np.testing.assert_allclose(bat, ref, rtol=0.0, atol=TOL)
+
+    def test_constant_everything(self):
+        query = np.full((4, 12), -80.0)
+        target = np.full((4, 40), -80.0)
+        ref = reference_sliding_correlation(query, target)
+        bat = batched_sliding_correlation(query, target)
+        assert np.all(ref == 0.0)
+        assert np.all(bat == 0.0)
+
+    def test_argmax_identical_on_true_overlap(self):
+        rng = np.random.default_rng(7)
+        target = _road_signal(rng, 8, 300)
+        query = target[:, 150:200] + rng.normal(0, 0.5, size=(8, 50))
+        ref = reference_sliding_correlation(query, target)
+        bat = batched_sliding_correlation(query, target)
+        assert int(np.argmax(ref)) == int(np.argmax(bat)) == 150
+
+
+# ----------------------------------------------------------------------
+# search-level differential
+# ----------------------------------------------------------------------
+
+class TestSearchDifferentialQuick:
+    @pytest.mark.parametrize("seed", range(24))
+    def test_identical_syn_decisions(self, seed):
+        own, other, cfg = random_scenario(seed)
+        assert_search_equivalent(own, other, cfg)
+
+    def test_true_overlap_found_at_same_offset(self):
+        rng = np.random.default_rng(123)
+        road = _road_signal(rng, 8, 400)
+        own = make_trajectory(road[:, 100:350] + rng.normal(0, 0.8, (8, 250)))
+        other = make_trajectory(road[:, 50:330] + rng.normal(0, 0.8, (8, 280)))
+        cfg = dict(window_length_m=30.0, window_channels=8, spacing_m=1.0)
+        assert_search_equivalent(own, other, cfg)
+        syn = seek_syn_point(own, other, RupsConfig(kernel="batched", **cfg))
+        assert syn is not None
+
+    def test_no_overlap_rejected_by_both(self):
+        rng = np.random.default_rng(321)
+        own = make_trajectory(_road_signal(rng, 6, 200))
+        other = make_trajectory(_road_signal(rng, 6, 200))
+        cfg = dict(window_length_m=30.0, window_channels=6, spacing_m=1.0)
+        ref = seek_syn_point(own, other, RupsConfig(kernel="reference", **cfg))
+        bat = seek_syn_point(own, other, RupsConfig(kernel="batched", **cfg))
+        assert (ref is None) == (bat is None)
+
+
+@pytest.mark.slow
+class TestSearchDifferentialSweep:
+    """The headline sweep: ~200 seeded scenario pairs, full equivalence."""
+
+    @pytest.mark.parametrize("seed", range(24, 224))
+    def test_identical_syn_decisions(self, seed):
+        own, other, cfg = random_scenario(seed)
+        assert_search_equivalent(own, other, cfg)

@@ -114,6 +114,55 @@ class TestCodecProperties:
 
 class TestEq2Identities:
     @given(st.integers(0, 2**31 - 1), st.integers(2, 10), st.integers(4, 40))
+    @settings(max_examples=30, deadline=None)
+    def test_symmetry(self, seed, n_ch, n_marks):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(-80, 5, size=(n_ch, n_marks))
+        b = rng.normal(-80, 5, size=(n_ch, n_marks))
+        assert trajectory_correlation(a, b) == pytest.approx(
+            trajectory_correlation(b, a), abs=1e-12
+        )
+
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.floats(0.05, 20.0),
+        st.floats(-50.0, 50.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_affine_offset_scale_invariance_both_sides(self, seed, gain, offset):
+        # Uniform positive rescaling / offset of the raw RSSI — a fixed
+        # receiver gain or calibration bias — must not change eq. 2, on
+        # whichever side (or both) it is applied.
+        rng = np.random.default_rng(seed)
+        a = rng.normal(-80, 5, size=(6, 20))
+        b = rng.normal(-80, 5, size=(6, 20))
+        base = trajectory_correlation(a, b)
+        assert trajectory_correlation(gain * a + offset, b) == pytest.approx(
+            base, abs=1e-9
+        )
+        assert trajectory_correlation(a, gain * b + offset) == pytest.approx(
+            base, abs=1e-9
+        )
+        assert trajectory_correlation(
+            gain * a + offset, gain * b + offset
+        ) == pytest.approx(base, abs=1e-9)
+
+    @given(st.integers(0, 2**31 - 1), st.integers(1, 10), st.integers(2, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_value_bounds(self, seed, n_ch, n_marks):
+        # Each Pearson term lies in [-1, 1], so eq. 2 is within [-2, 2];
+        # for a single channel the cross-channel profile is degenerate
+        # (zero by convention), leaving a plain Pearson in [-1, 1].
+        rng = np.random.default_rng(seed)
+        a = rng.normal(-80, 5, size=(n_ch, n_marks))
+        b = rng.normal(-80, 5, size=(n_ch, n_marks))
+        r = trajectory_correlation(a, b)
+        assert np.isfinite(r)
+        assert -2.0 - 1e-9 <= r <= 2.0 + 1e-9
+        if n_ch == 1:
+            assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+
+    @given(st.integers(0, 2**31 - 1), st.integers(2, 10), st.integers(4, 40))
     @settings(max_examples=25, deadline=None)
     def test_affine_invariance(self, seed, n_ch, n_marks):
         # eq. 2 is invariant to per-channel affine rescaling with positive
@@ -137,6 +186,43 @@ class TestEq2Identities:
             assert scores[p] == pytest.approx(
                 trajectory_correlation(query, target[:, p : p + 12]), abs=1e-9
             )
+
+
+class TestSlidingSearchProperties:
+    @given(st.integers(0, 2**31 - 1), st.sampled_from(["reference", "batched"]))
+    @settings(max_examples=30, deadline=None)
+    def test_score_vector_spans_exactly_the_valid_positions(self, seed, kernel):
+        rng = np.random.default_rng(seed)
+        n_ch = int(rng.integers(1, 8))
+        m = int(rng.integers(4, 80))
+        w = int(rng.integers(2, m + 1))
+        target = rng.normal(-80, 6, size=(n_ch, m))
+        query = rng.normal(-80, 6, size=(n_ch, w))
+        scores = sliding_trajectory_correlation(query, target, kernel=kernel)
+        assert scores.shape == (m - w + 1,)
+        assert 0 <= int(np.argmax(scores)) <= m - w
+        assert np.all(np.isfinite(scores))
+
+    @given(st.integers(0, 2**31 - 1), st.sampled_from(["reference", "batched"]))
+    @settings(max_examples=20, deadline=None)
+    def test_syn_windows_always_inside_both_trajectories(self, seed, kernel):
+        from repro.core.config import RupsConfig
+        from repro.core.syn import find_syn_points
+
+        from tests.test_kernel_equivalence import random_scenario
+
+        own, other, cfg = random_scenario(seed)
+        config = RupsConfig(kernel=kernel, **cfg)
+        for syn in find_syn_points(own, other, config):
+            for traj, end_distance in (
+                (own, syn.own_distance_m),
+                (other, syn.other_distance_m),
+            ):
+                assert (
+                    traj.geo.start_distance_m + syn.window_length_m
+                    <= end_distance + 1e-9
+                )
+                assert end_distance <= traj.geo.end_distance_m + 1e-9
 
 
 class TestAggregatorProperties:

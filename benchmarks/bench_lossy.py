@@ -1,0 +1,41 @@
+"""Loss sweep — RDF accuracy, lock retention and resync traffic vs loss.
+
+Regenerates the ``t-loss`` table: the full exchange + tracking pipeline
+driven through i.i.d. and bursty (Gilbert-Elliott) loss regimes.  The
+acceptance contract is that lock retention degrades monotonically and
+tracking error grows monotonically with the loss rate, for every
+burstiness level.
+"""
+
+import pytest
+
+from repro.experiments.lossy import loss_sweep
+
+
+@pytest.mark.slow
+def test_loss_sweep(benchmark, record_result):
+    result = benchmark.pedantic(loss_sweep, rounds=1, iterations=1)
+    record_result("t-loss", result.render())
+
+    for burstiness in result.burstiness_values:
+        cells = result.rows_for(burstiness)
+        retention = [c.lock_retention for c in cells]
+        error = [c.tracking_error_m for c in cells]
+        delivery = [c.message_delivery for c in cells]
+        assert all(
+            a >= b - 1e-9 for a, b in zip(retention, retention[1:])
+        ), f"lock retention not monotone at burstiness {burstiness}: {retention}"
+        assert all(
+            a <= b + 1e-9 for a, b in zip(error, error[1:])
+        ), f"tracking error not monotone at burstiness {burstiness}: {error}"
+        assert all(
+            a >= b - 1e-9 for a, b in zip(delivery, delivery[1:])
+        ), f"message delivery not monotone at burstiness {burstiness}: {delivery}"
+
+    # The lossless cell is the §V-B baseline: perfect delivery, a
+    # permanent lock, sub-metre tracking and no forced resyncs.
+    baseline = result.rows_for(result.burstiness_values[0])[0]
+    assert baseline.message_delivery == 1.0
+    assert baseline.lock_retention == 1.0
+    assert baseline.tracking_error_m < 1.0
+    assert baseline.full_resyncs == 0

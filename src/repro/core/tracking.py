@@ -36,11 +36,19 @@ class TrackerUpdate:
         post-lock window).
     locked_after:
         Whether the session holds a lock after this update.
+    degraded:
+        The estimate was computed against a stale neighbour context (the
+        V2V exchange lost updates) — treat it with reduced confidence.
+    context_age_s:
+        Age of the neighbour context used for this update [s] (0 when
+        fresh).
     """
 
     estimate: RupsEstimate
     mode: str
     locked_after: bool
+    degraded: bool = False
+    context_age_s: float = 0.0
 
 
 class RupsTracker:
@@ -56,6 +64,11 @@ class RupsTracker:
     max_locked_failures:
         Consecutive unresolved locked updates before falling back to a
         full search (losing a neighbour behind a turn, etc.).
+    staleness_budget_s:
+        How old the neighbour's context may grow (lossy V2V exchange)
+        before the tracker refuses to keep its lock: beyond the budget
+        the SYN lock is dropped and updates report unlocked, degraded
+        estimates until a fresh context arrives.
     """
 
     def __init__(
@@ -63,6 +76,7 @@ class RupsTracker:
         config: RupsConfig | None = None,
         locked_context_m: float = 200.0,
         max_locked_failures: int = 2,
+        staleness_budget_s: float = 2.0,
     ) -> None:
         self.config = config or RupsConfig()
         if locked_context_m < self.config.window_length_m:
@@ -71,13 +85,17 @@ class RupsTracker:
             )
         if max_locked_failures < 1:
             raise ValueError("max_locked_failures must be >= 1")
+        if staleness_budget_s <= 0:
+            raise ValueError("staleness_budget_s must be positive")
         self.locked_context_m = float(locked_context_m)
         self.max_locked_failures = int(max_locked_failures)
+        self.staleness_budget_s = float(staleness_budget_s)
         self._engine = RupsEngine(self.config)
         self._locked = False
         self._failures = 0
         self._history: list[TrackerUpdate] = []
         self._trim_cache: dict[str, GsmTrajectory] = {}
+        self._last_context: GsmTrajectory | None = None
 
     @property
     def locked(self) -> bool:
@@ -102,22 +120,52 @@ class RupsTracker:
         self._failures = 0
         self._history.clear()
         self._trim_cache.clear()
+        self._last_context = None
 
     def update(
-        self, own: GsmTrajectory, other: GsmTrajectory
+        self,
+        own: GsmTrajectory,
+        other: GsmTrajectory | None = None,
+        context_age_s: float = 0.0,
     ) -> TrackerUpdate:
         """Run one tracking period.
 
         ``own``/``other`` are the current GSM-aware trajectories (built
         at full context length by the caller; the tracker trims them when
         locked — trimming is cheap, searching is not).
+
+        When the V2V exchange failed to refresh the neighbour's context
+        this period, pass ``other=None`` to track against the last
+        successfully decoded context, with ``context_age_s`` giving its
+        age; the update is then flagged ``degraded``, and once the age
+        exceeds ``staleness_budget_s`` the lock is dropped until a fresh
+        context arrives.
         """
+        if other is not None:
+            self._last_context = other
+        context = other if other is not None else self._last_context
+        if context_age_s < 0:
+            raise ValueError("context_age_s must be non-negative")
+        if context is None:
+            # Nothing ever decoded: report an unresolved, degraded update.
+            update = TrackerUpdate(
+                estimate=RupsEstimate(None, (), (), self.config.aggregation),
+                mode="full",
+                locked_after=False,
+                degraded=True,
+                context_age_s=context_age_s,
+            )
+            self._history.append(update)
+            return update
+        degraded = other is None or context_age_s > 0.0
+        over_budget = context_age_s > self.staleness_budget_s
+
         mode = "locked" if self._locked else "full"
         if self._locked:
             own_q = self._trim(own, "own")
-            other_q = self._trim(other, "other")
+            other_q = self._trim(context, "other")
         else:
-            own_q, other_q = own, other
+            own_q, other_q = own, context
         estimate = self._engine.estimate_relative_distance(own_q, other_q)
 
         if estimate.resolved:
@@ -127,12 +175,21 @@ class RupsTracker:
             self._failures += 1
             if self._failures >= self.max_locked_failures:
                 # Retry immediately at full context before reporting.
-                estimate = self._engine.estimate_relative_distance(own, other)
+                estimate = self._engine.estimate_relative_distance(own, context)
                 mode = "full"
                 self._locked = estimate.resolved
                 self._failures = 0
+        if over_budget:
+            # Past the staleness budget the lock is no longer trusted,
+            # however well the stale context still matches.
+            self._locked = False
+            self._failures = 0
         update = TrackerUpdate(
-            estimate=estimate, mode=mode, locked_after=self._locked
+            estimate=estimate,
+            mode=mode,
+            locked_after=self._locked,
+            degraded=degraded,
+            context_age_s=float(context_age_s),
         )
         self._history.append(update)
         return update

@@ -30,6 +30,7 @@ _SEEDED_IDS = {
     "t-kernels",
     "t-respond",
     "t-campaign",
+    "t-loss",
 }
 
 

@@ -1,0 +1,302 @@
+"""Loss-rate x burstiness sweep of the full RDF-over-V2V pipeline.
+
+The paper's §V-B accounting assumes the journey context *arrives*; this
+experiment measures what happens when it doesn't.  A two-vehicle convoy
+drives a shared synthetic road field; the front vehicle streams its
+GSM-aware trajectory through the reliable exchange path (fragmentation,
+per-fragment loss, NACK retransmission, delta updates, full resyncs,
+exponential backoff) while the rear vehicle tracks it with a
+:class:`~repro.core.tracking.RupsTracker` that degrades gracefully on
+stale contexts.  Sweeping the channel's loss rate and its burst
+structure (mean-matched Gilbert-Elliott states) yields the three curves
+an RDF deployment cares about:
+
+* **lock retention** — fraction of tracking periods still SYN-locked;
+* **accuracy degradation** — tracking error against the known convoy
+  gap, with unresolved periods charged at a cap;
+* **resync traffic** — how many full-context retransfers (and how many
+  bytes) the loss regime forces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import RupsConfig
+from repro.core.tracking import RupsTracker
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+from repro.experiments.reporting import render_table
+from repro.util.rng import RngFactory
+from repro.v2v.channel import DsrcChannel
+from repro.v2v.exchange import ExchangeReceiver, ExchangeSession
+from repro.v2v.faults import GilbertElliott
+
+__all__ = ["LossSweepCell", "LossSweepResult", "loss_sweep"]
+
+#: Tracking period [s] and metres driven per period (urban ~10 m/s).
+_DT_S = 0.1
+_M_PER_STEP = 1.0
+
+
+@dataclass(frozen=True)
+class LossSweepCell:
+    """Metrics for one (loss rate, burstiness) operating point."""
+
+    loss_prob: float
+    burstiness: float
+    message_delivery: float
+    lock_retention: float
+    tracking_error_m: float
+    mean_context_age_s: float
+    degraded_fraction: float
+    full_resyncs: int
+    resync_bytes: int
+    total_bytes: int
+    aborts: int
+    nack_fragments: int
+
+
+@dataclass
+class LossSweepResult:
+    """All sweep cells plus the workload they were measured on."""
+
+    cells: list[LossSweepCell]
+    n_steps: int
+    gap_m: float
+    err_cap_m: float
+
+    @property
+    def burstiness_values(self) -> list[float]:
+        return sorted({c.burstiness for c in self.cells})
+
+    def rows_for(self, burstiness: float) -> list[LossSweepCell]:
+        """Cells of one burstiness level, ordered by loss rate."""
+        return sorted(
+            (c for c in self.cells if c.burstiness == burstiness),
+            key=lambda c: c.loss_prob,
+        )
+
+    def render(self) -> str:
+        table = [
+            [
+                c.loss_prob,
+                c.burstiness,
+                c.message_delivery,
+                c.lock_retention,
+                c.tracking_error_m,
+                c.mean_context_age_s,
+                c.degraded_fraction,
+                c.full_resyncs,
+                c.resync_bytes,
+                c.total_bytes,
+                c.aborts,
+                c.nack_fragments,
+            ]
+            for c in sorted(self.cells, key=lambda c: (c.burstiness, c.loss_prob))
+        ]
+        return render_table(
+            [
+                "loss",
+                "burst",
+                "msg delivery",
+                "lock retention",
+                f"track err (m, cap {self.err_cap_m:.0f})",
+                "ctx age (s)",
+                "degraded frac",
+                "full resyncs",
+                "resync bytes",
+                "total bytes",
+                "aborts",
+                "nack frags",
+            ],
+            table,
+            title=(
+                "Loss sweep — RDF accuracy, lock retention and resync "
+                f"traffic over a lossy DSRC exchange ({self.n_steps} tracking "
+                f"periods, true gap {self.gap_m:.0f} m; burst = mean-matched "
+                "Gilbert-Elliott burstiness)"
+            ),
+        )
+
+
+def _observations(
+    field: np.ndarray, rng: np.random.Generator, noise_db: float
+) -> np.ndarray:
+    """One vehicle's noisy, time-invariant view of the road field."""
+    return field + rng.normal(0.0, noise_db, size=field.shape)
+
+
+def _traj(
+    obs: np.ndarray, lo: int, hi: int, time_shift_marks: float
+) -> GsmTrajectory:
+    """Trajectory over road marks ``[lo, hi)`` of a precomputed view.
+
+    ``time_shift_marks`` places the crossing times: mark ``j`` was
+    crossed at ``(j - time_shift_marks) * _DT_S`` — the front vehicle
+    crossed every road position ``gap`` marks (periods) earlier.
+    """
+    n = hi - lo
+    geo = GeoTrajectory(
+        timestamps_s=(np.arange(lo, hi) - time_shift_marks) * _DT_S,
+        headings_rad=np.zeros(n),
+        spacing_m=1.0,
+        start_distance_m=float(lo),
+    )
+    return GsmTrajectory(
+        power_dbm=obs[:, lo:hi], channel_ids=np.arange(obs.shape[0]), geo=geo
+    )
+
+
+def _run_cell(
+    loss_prob: float,
+    burstiness: float,
+    own_obs: np.ndarray,
+    other_obs: np.ndarray,
+    factory: RngFactory,
+    n_steps: int,
+    context_marks: int,
+    gap_marks: int,
+    err_cap_m: float,
+    staleness_budget_s: float,
+) -> LossSweepCell:
+    ge = None
+    if burstiness > 0.0 and loss_prob > 0.0:
+        ge = GilbertElliott.from_average_loss(loss_prob, burstiness)
+    channel = DsrcChannel(
+        loss_prob=loss_prob,
+        max_retries=1,
+        gilbert_elliott=ge,
+    )
+    session = ExchangeSession(
+        channel=channel,
+        rng=factory.generator("channel", loss=loss_prob, burst=burstiness),
+        max_nack_rounds=1,
+        backoff_base_s=2 * _DT_S,
+        max_backoff_s=8 * _DT_S,
+    )
+    receiver = ExchangeReceiver(
+        reassembly_timeout_s=5 * _DT_S,
+        max_context_m=float(context_marks),
+    )
+    config = RupsConfig(
+        context_length_m=float(context_marks - 1),
+        window_length_m=60.0,
+        window_channels=20,
+        coherency_threshold=1.2,
+        n_syn_points=3,
+        syn_stride_m=20.0,
+    )
+    tracker = RupsTracker(
+        config,
+        locked_context_m=150.0,
+        staleness_budget_s=staleness_budget_s,
+    )
+
+    gap_m = gap_marks * _M_PER_STEP
+    sent = delivered = aborts = full_resyncs = 0
+    resync_bytes = total_bytes = nack_fragments = 0
+    errors: list[float] = []
+    ages: list[float] = []
+    locked = degraded = 0
+    for step in range(n_steps):
+        now = step * _DT_S
+        own = _traj(own_obs, step, step + context_marks, 0.0)
+        front = _traj(
+            other_obs, step + gap_marks, step + gap_marks + context_marks, gap_marks
+        )
+        outcome = session.exchange_update(front, receiver, now_s=now)
+        total_bytes += outcome.bytes_on_air
+        nack_fragments += outcome.retransmitted_fragments
+        if outcome.mode in ("full", "delta"):
+            sent += 1
+            delivered += int(outcome.delivered)
+            aborts += int(outcome.aborted)
+            if outcome.mode == "full" and outcome.delivered:
+                full_resyncs += 1
+                resync_bytes += outcome.bytes_on_air
+        # Track the lock state of the session to keep delta mode active.
+        age = max(0.0, receiver.context_age_s(now))
+        update = tracker.update(own, receiver.context, context_age_s=age)
+        if receiver.context is not None:
+            ages.append(age)
+        if update.locked_after and not session.locked:
+            session.notify_syn_found()
+        elif not update.locked_after and session.locked:
+            session.notify_lock_lost()
+        locked += int(update.locked_after)
+        degraded += int(update.degraded)
+        if update.estimate.resolved:
+            errors.append(
+                min(abs(update.estimate.distance_m - gap_m), err_cap_m)
+            )
+        else:
+            errors.append(err_cap_m)
+    return LossSweepCell(
+        loss_prob=loss_prob,
+        burstiness=burstiness,
+        message_delivery=delivered / sent if sent else 1.0,
+        lock_retention=locked / n_steps,
+        tracking_error_m=float(np.mean(errors)),
+        mean_context_age_s=float(np.mean(ages)) if ages else float("inf"),
+        degraded_fraction=degraded / n_steps,
+        full_resyncs=max(full_resyncs - 1, 0),  # the initial sync is free
+        resync_bytes=resync_bytes,
+        total_bytes=total_bytes,
+        aborts=aborts,
+        nack_fragments=nack_fragments,
+    )
+
+
+def loss_sweep(
+    loss_probs: tuple[float, ...] = (0.0, 0.1, 0.2, 0.35, 0.5),
+    burstiness: tuple[float, ...] = (0.0, 0.8),
+    n_steps: int = 80,
+    context_m: float = 200.0,
+    gap_m: float = 25.0,
+    n_channels: int = 24,
+    noise_db: float = 1.0,
+    err_cap_m: float = 10.0,
+    staleness_budget_s: float = 5 * _DT_S,
+    seed: int = 0,
+) -> LossSweepResult:
+    """Drive the tracker through a lossy exchange at every sweep point.
+
+    Every cell replays the *same* drive (field, observation noise and
+    convoy geometry are built once from ``seed``); only the channel's
+    loss process differs, so differences between cells are attributable
+    to the loss regime alone.
+    """
+    factory = RngFactory(seed).child("loss-sweep")
+    context_marks = int(round(context_m / _M_PER_STEP)) + 1
+    gap_marks = int(round(gap_m / _M_PER_STEP))
+    road_len = context_marks + gap_marks + n_steps + 50
+
+    rng = factory.generator("field")
+    field = np.cumsum(rng.normal(0.0, 1.0, size=(n_channels, road_len)), axis=1)
+    field = field - field.mean(axis=1, keepdims=True) + rng.normal(
+        -80.0, 6.0, size=(n_channels, 1)
+    )
+    own_obs = _observations(field, factory.generator("own-noise"), noise_db)
+    other_obs = _observations(field, factory.generator("other-noise"), noise_db)
+
+    cells = [
+        _run_cell(
+            p,
+            b,
+            own_obs,
+            other_obs,
+            factory,
+            n_steps,
+            context_marks,
+            gap_marks,
+            err_cap_m,
+            staleness_budget_s,
+        )
+        for b in burstiness
+        for p in loss_probs
+    ]
+    return LossSweepResult(
+        cells=cells, n_steps=n_steps, gap_m=gap_marks * _M_PER_STEP, err_cap_m=err_cap_m
+    )

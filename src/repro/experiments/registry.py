@@ -22,6 +22,7 @@ from repro.experiments.evaluation import (
     window_ablation,
 )
 from repro.experiments.campaign import run_campaign
+from repro.experiments.lossy import loss_sweep
 from repro.experiments.timing import (
     compute_cost_sweep,
     kernel_comparison_sweep,
@@ -45,6 +46,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "t-kernels": kernel_comparison_sweep,
     "t-respond": response_time_table,
     "t-campaign": run_campaign,
+    "t-loss": loss_sweep,
 }
 
 

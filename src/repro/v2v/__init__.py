@@ -9,7 +9,16 @@ with the post-SYN incremental-update optimisation (:mod:`repro.v2v.exchange`).
 """
 
 from repro.v2v.channel import DsrcChannel, TransferResult
-from repro.v2v.exchange import ExchangeSession, estimate_exchange_time
+from repro.v2v.exchange import (
+    DeltaGapError,
+    ExchangeOutcome,
+    ExchangeReceiver,
+    ExchangeSession,
+    ReceiveOutcome,
+    apply_delta,
+    estimate_exchange_time,
+)
+from repro.v2v.faults import FaultPlan, GilbertElliott, apply_arrival_faults
 from repro.v2v.network import (
     NeighborhoodExchange,
     RoundResult,
@@ -20,13 +29,27 @@ from repro.v2v.serialization import (
     encode_trajectory,
     encoded_size_bytes,
 )
-from repro.v2v.wsm import WSM_MAX_PAYLOAD_BYTES, WsmPacket, fragment_payload
+from repro.v2v.wsm import (
+    WSM_MAX_PAYLOAD_BYTES,
+    ReassemblyBuffer,
+    WsmPacket,
+    fragment_payload,
+    reassemble,
+)
 
 __all__ = [
     "DsrcChannel",
     "TransferResult",
+    "DeltaGapError",
+    "ExchangeOutcome",
+    "ExchangeReceiver",
     "ExchangeSession",
+    "ReceiveOutcome",
+    "apply_delta",
     "estimate_exchange_time",
+    "FaultPlan",
+    "GilbertElliott",
+    "apply_arrival_faults",
     "NeighborhoodExchange",
     "RoundResult",
     "adaptive_context_length",
@@ -34,6 +57,8 @@ __all__ = [
     "encode_trajectory",
     "encoded_size_bytes",
     "WSM_MAX_PAYLOAD_BYTES",
+    "ReassemblyBuffer",
     "WsmPacket",
     "fragment_payload",
+    "reassemble",
 ]

@@ -5,6 +5,13 @@ derives 130 packets => ~0.52 s for a 1 km context — i.e. a stop-and-wait
 exchange.  We model exactly that (send, await ack, retransmit on loss),
 with optional contention scaling for heavy traffic (more neighbours =>
 longer effective RTT), which §V-B's scalability discussion motivates.
+
+Beyond the paper's i.i.d. loss figure the channel supports a
+Gilbert-Elliott bursty-loss state and injectable fault plans
+(:mod:`repro.v2v.faults`), and every transfer reports *per-fragment*
+outcomes plus the receiver-observed arrival stream, so the receive path
+(:mod:`repro.v2v.exchange`) can be driven through realistic loss instead
+of an all-or-nothing delivered flag.
 """
 
 from __future__ import annotations
@@ -14,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.util.rng import as_generator
+from repro.v2v.faults import GOOD, FaultPlan, GilbertElliott, apply_arrival_faults
 from repro.v2v.wsm import WsmPacket, fragment_payload
 
 __all__ = ["DsrcChannel", "TransferResult"]
@@ -21,13 +29,41 @@ __all__ = ["DsrcChannel", "TransferResult"]
 
 @dataclass(frozen=True)
 class TransferResult:
-    """Outcome of transferring one message."""
+    """Outcome of transferring one message.
+
+    Attributes
+    ----------
+    time_s:
+        Simulated wall-clock time the transfer occupied the channel.
+    packets_sent:
+        Transmission attempts, including retransmissions.
+    retransmissions:
+        Attempts beyond the first per fragment.
+    bytes_on_air:
+        Total bytes transmitted (every attempt re-sends the fragment's
+        wire bytes).
+    delivered:
+        Whether *every* fragment arrived within the retry budget.
+    fragment_arrived:
+        Per input fragment, whether it ever arrived (empty for the
+        zero-packet transfer).
+    arrivals:
+        The receiver-observed packet stream: delivered fragments in
+        arrival order, after any reordering / duplication faults.
+    """
 
     time_s: float
     packets_sent: int
     retransmissions: int
     bytes_on_air: int
     delivered: bool
+    fragment_arrived: tuple[bool, ...] = ()
+    arrivals: tuple[WsmPacket, ...] = ()
+
+    @property
+    def n_lost_fragments(self) -> int:
+        """Fragments that never arrived."""
+        return sum(1 for ok in self.fragment_arrived if not ok)
 
 
 @dataclass(frozen=True)
@@ -41,7 +77,8 @@ class DsrcChannel:
     rtt_jitter_s:
         RTT jitter std (lognormal-ish spread of MAC delays).
     loss_prob:
-        Per-transmission loss probability (packet or its ack).
+        Per-transmission loss probability (packet or its ack), i.i.d.
+        across attempts; ignored when ``gilbert_elliott`` is set.
     max_retries:
         Retransmissions per packet before the transfer aborts.
     n_contenders:
@@ -49,6 +86,9 @@ class DsrcChannel:
         scales with CSMA backoff as ``1 + contention_factor * n``.
     contention_factor:
         RTT inflation per contender.
+    gilbert_elliott:
+        Optional bursty-loss state; when set, per-attempt loss follows
+        the two-state Markov model instead of ``loss_prob``.
     """
 
     rtt_mean_s: float = 0.004
@@ -57,6 +97,7 @@ class DsrcChannel:
     max_retries: int = 8
     n_contenders: int = 0
     contention_factor: float = 0.15
+    gilbert_elliott: GilbertElliott | None = None
 
     def __post_init__(self) -> None:
         if self.rtt_mean_s <= 0:
@@ -75,33 +116,89 @@ class DsrcChannel:
         self,
         packets: list[WsmPacket],
         rng: np.random.Generator | int | None = 0,
+        faults: FaultPlan | None = None,
     ) -> TransferResult:
-        """Simulate a stop-and-wait transfer of the given fragments."""
+        """Simulate a stop-and-wait transfer of the given fragments.
+
+        With neither a Gilbert-Elliott state nor a fault plan, loss is
+        i.i.d. per attempt and the simulation is fully vectorised;
+        otherwise attempts are walked sequentially so the loss state and
+        blackout windows see the transfer-local clock.
+        """
         gen = as_generator(rng)
         n = len(packets)
         if n == 0:
             return TransferResult(0.0, 0, 0, 0, True)
-        # Number of attempts per packet: geometric, capped at retries+1.
-        attempts = np.minimum(
-            gen.geometric(1.0 - self.loss_prob, size=n), self.max_retries + 1
-        )
-        delivered = bool(np.all(attempts <= self.max_retries + 1))
-        # A packet that exhausted retries may still have failed on its
-        # last attempt; check explicitly.
-        final_try_lost = (attempts == self.max_retries + 1) & (
-            gen.random(n) < self.loss_prob
-        )
-        delivered = delivered and not bool(np.any(final_try_lost))
+        if self.gilbert_elliott is not None or faults is not None:
+            return self._transfer_sequential(packets, gen, faults)
+
+        # Attempts until first success are geometric; a fragment is lost
+        # for good iff even its last allowed attempt failed, i.e. the
+        # *uncapped* draw exceeds the retry budget.  Delivery probability
+        # is then exactly (1 - loss_prob**(max_retries+1))**n.
+        raw = gen.geometric(1.0 - self.loss_prob, size=n)
+        attempts = np.minimum(raw, self.max_retries + 1)
+        arrived = raw <= self.max_retries + 1
         total_tx = int(np.sum(attempts))
         rtts = self.effective_rtt_s + self.rtt_jitter_s * gen.standard_normal(total_tx)
         time_s = float(np.sum(np.maximum(rtts, self.rtt_mean_s * 0.25)))
-        bytes_on_air = int(np.sum([p.wire_bytes for p in packets] * 1))
+        wire = np.array([p.wire_bytes for p in packets])
+        bytes_on_air = int(np.sum(wire * attempts))
+        arrivals = tuple(p for p, ok in zip(packets, arrived) if ok)
         return TransferResult(
             time_s=time_s,
             packets_sent=total_tx,
             retransmissions=total_tx - n,
             bytes_on_air=bytes_on_air,
-            delivered=delivered,
+            delivered=bool(np.all(arrived)),
+            fragment_arrived=tuple(bool(ok) for ok in arrived),
+            arrivals=arrivals,
+        )
+
+    def _transfer_sequential(
+        self,
+        packets: list[WsmPacket],
+        gen: np.random.Generator,
+        faults: FaultPlan | None,
+    ) -> TransferResult:
+        """Attempt-by-attempt simulation with loss state and blackouts."""
+        ge = self.gilbert_elliott
+        plan = faults or FaultPlan()
+        state = ge.initial_state(gen) if ge is not None else GOOD
+        clock = 0.0
+        total_tx = 0
+        bytes_on_air = 0
+        arrived: list[bool] = []
+        arrivals: list[WsmPacket] = []
+        min_rtt = self.rtt_mean_s * 0.25
+        for packet in packets:
+            ok = False
+            for _ in range(self.max_retries + 1):
+                send_time = clock
+                rtt = self.effective_rtt_s + self.rtt_jitter_s * gen.standard_normal()
+                clock += max(rtt, min_rtt)
+                total_tx += 1
+                bytes_on_air += packet.wire_bytes
+                p_loss = ge.loss_prob(state) if ge is not None else self.loss_prob
+                lost = gen.random() < p_loss or plan.in_blackout(send_time)
+                if ge is not None:
+                    state = ge.step(state, gen)
+                if not lost:
+                    ok = True
+                    break
+            arrived.append(ok)
+            if ok:
+                arrivals.append(packet)
+        if plan.touches_arrivals:
+            arrivals = apply_arrival_faults(arrivals, gen, plan)
+        return TransferResult(
+            time_s=clock,
+            packets_sent=total_tx,
+            retransmissions=total_tx - len(packets),
+            bytes_on_air=bytes_on_air,
+            delivered=all(arrived),
+            fragment_arrived=tuple(arrived),
+            arrivals=tuple(arrivals),
         )
 
     def transfer_bytes(
@@ -109,9 +206,12 @@ class DsrcChannel:
         data: bytes,
         rng: np.random.Generator | int | None = 0,
         message_id: int = 0,
+        faults: FaultPlan | None = None,
     ) -> TransferResult:
         """Fragment and transfer an opaque message."""
-        return self.transfer_packets(fragment_payload(data, message_id), rng=rng)
+        return self.transfer_packets(
+            fragment_payload(data, message_id), rng=rng, faults=faults
+        )
 
     def nominal_transfer_time_s(self, n_bytes: int) -> float:
         """Deterministic §V-B arithmetic: packets x effective RTT.

@@ -13,6 +13,15 @@ implements exactly that state machine:
 * when the accumulated odometry drift bound exceeds
   ``resync_error_threshold_m``, or the peer reports lock loss: full
   transfer again.
+
+The *receiving* half lives here too: :class:`ExchangeReceiver` feeds the
+per-fragment arrival stream of a lossy transfer through a
+:class:`~repro.v2v.wsm.ReassemblyBuffer`, decodes completed messages,
+applies deltas with gap detection (a delta that no longer overlaps the
+held context forces a full resync), and surfaces NACK lists so
+:meth:`ExchangeSession.exchange_update` can retransmit exactly the
+missing fragments.  Repeated aborts trigger exponential backoff on the
+sender.
 """
 
 from __future__ import annotations
@@ -21,12 +30,78 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.trajectory import GsmTrajectory
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
 from repro.util.rng import as_generator
 from repro.v2v.channel import DsrcChannel, TransferResult
-from repro.v2v.serialization import encode_trajectory, encoded_size_bytes
+from repro.v2v.faults import FaultPlan
+from repro.v2v.serialization import (
+    decode_trajectory,
+    encode_trajectory,
+    encoded_size_bytes,
+)
+from repro.v2v.wsm import ReassemblyBuffer, fragment_payload
 
-__all__ = ["ExchangeSession", "estimate_exchange_time"]
+__all__ = [
+    "DeltaGapError",
+    "ExchangeOutcome",
+    "ExchangeReceiver",
+    "ExchangeSession",
+    "ReceiveOutcome",
+    "apply_delta",
+    "estimate_exchange_time",
+]
+
+#: Exchange-layer message kinds, prepended to the codec payload.
+_MSG_FULL = b"F"
+_MSG_DELTA = b"D"
+
+
+class DeltaGapError(ValueError):
+    """A delta no longer overlaps the held context (updates were lost)."""
+
+
+def apply_delta(
+    context: GsmTrajectory, delta: GsmTrajectory
+) -> GsmTrajectory:
+    """Append an incremental update to a previously decoded context.
+
+    The sender always includes one overlapping mark, so a contiguous
+    delta starts at or before the context's end mark.  Raises
+    :class:`DeltaGapError` when the delta starts beyond the context's end
+    (a lost update left a hole — only a full resync can recover), and
+    ``ValueError`` on channel-table or spacing mismatches.
+    """
+    spacing = context.spacing_m
+    if abs(delta.spacing_m - spacing) > 1e-9:
+        raise ValueError("delta spacing does not match context spacing")
+    if not np.array_equal(delta.channel_ids, context.channel_ids):
+        raise ValueError("delta channel table does not match context")
+    start = delta.geo.start_distance_m
+    end = context.geo.end_distance_m
+    if start > end + 0.5 * spacing:
+        raise DeltaGapError(
+            f"delta starts at {start:.1f} m but context ends at {end:.1f} m"
+        )
+    overlap_marks = int(round((end - start) / spacing)) + 1
+    if overlap_marks >= delta.n_marks:
+        return context  # stale duplicate: nothing new
+    geo = GeoTrajectory(
+        timestamps_s=np.concatenate(
+            [context.geo.timestamps_s, delta.geo.timestamps_s[overlap_marks:]]
+        ),
+        headings_rad=np.concatenate(
+            [context.geo.headings_rad, delta.geo.headings_rad[overlap_marks:]]
+        ),
+        spacing_m=spacing,
+        start_distance_m=context.geo.start_distance_m,
+    )
+    return GsmTrajectory(
+        power_dbm=np.concatenate(
+            [context.power_dbm, delta.power_dbm[:, overlap_marks:]], axis=1
+        ),
+        channel_ids=context.channel_ids,
+        geo=geo,
+    )
 
 
 def estimate_exchange_time(
@@ -83,17 +158,32 @@ class ExchangeSession:
         resync_error_threshold_m: float = 5.0,
         drift_rate: float = 0.005,
         rng: np.random.Generator | int | None = 0,
+        max_nack_rounds: int = 2,
+        backoff_base_s: float = 0.05,
+        max_backoff_s: float = 2.0,
     ) -> None:
         if resync_error_threshold_m <= 0:
             raise ValueError("resync_error_threshold_m must be positive")
         if drift_rate < 0:
             raise ValueError("drift_rate must be non-negative")
+        if max_nack_rounds < 0:
+            raise ValueError("max_nack_rounds must be non-negative")
+        if backoff_base_s <= 0 or max_backoff_s < backoff_base_s:
+            raise ValueError(
+                "need 0 < backoff_base_s <= max_backoff_s"
+            )
         self.channel = channel or DsrcChannel()
         self.resync_error_threshold_m = resync_error_threshold_m
         self.drift_rate = drift_rate
+        self.max_nack_rounds = int(max_nack_rounds)
+        self.backoff_base_s = float(backoff_base_s)
+        self.max_backoff_s = float(max_backoff_s)
         self._rng = as_generator(rng)
         self._peer: _PeerState | None = None
         self._message_id = 0
+        self._consecutive_aborts = 0
+        self._backoff_until_s = 0.0
+        self._force_full = False
 
     @property
     def locked(self) -> bool:
@@ -153,3 +243,319 @@ class ExchangeSession:
             self._peer.last_sent_end_distance_m = trajectory.geo.end_distance_m
             self._peer.accumulated_drift_m += self.drift_rate * new_m
         return result
+
+    # -- reliable receive-aware path ----------------------------------
+
+    @property
+    def consecutive_aborts(self) -> int:
+        """Aborted reliable transfers since the last success."""
+        return self._consecutive_aborts
+
+    @property
+    def backoff_until_s(self) -> float:
+        """Clock value before which :meth:`exchange_update` will not send."""
+        return self._backoff_until_s
+
+    def exchange_update(
+        self,
+        trajectory: GsmTrajectory,
+        receiver: "ExchangeReceiver",
+        now_s: float = 0.0,
+        faults: FaultPlan | None = None,
+    ) -> "ExchangeOutcome":
+        """One reliable update round against an actual receiver.
+
+        Unlike :meth:`send_update` — which only models the sender and
+        treats delivery as all-or-nothing — this drives the per-fragment
+        channel outcome through the receiver's reassembly buffer,
+        retransmits exactly the NACKed fragments (up to
+        ``max_nack_rounds``), and on abort applies exponential backoff
+        and forces a full resync on the next attempt.
+        """
+        if now_s < self._backoff_until_s:
+            return ExchangeOutcome(
+                mode="backoff",
+                delivered=False,
+                aborted=False,
+                time_s=0.0,
+                bytes_on_air=0,
+                packets_sent=0,
+                nack_rounds=0,
+                retransmitted_fragments=0,
+                backoff_s=self._backoff_until_s - now_s,
+                message_id=-1,
+                receive=None,
+            )
+        full_needed = (
+            self._peer is None
+            or not self._peer.locked
+            or self._peer.accumulated_drift_m >= self.resync_error_threshold_m
+            or receiver.needs_full_resync
+            or self._force_full
+        )
+        new_m = 0.0
+        if full_needed:
+            mode = "full"
+            payload = _MSG_FULL + encode_trajectory(trajectory)
+        else:
+            assert self._peer is not None
+            new_m = (
+                trajectory.geo.end_distance_m - self._peer.last_sent_end_distance_m
+            )
+            n_new = max(int(round(new_m / trajectory.spacing_m)), 0)
+            if n_new == 0:
+                return ExchangeOutcome(
+                    mode="idle",
+                    delivered=True,
+                    aborted=False,
+                    time_s=0.0,
+                    bytes_on_air=0,
+                    packets_sent=0,
+                    nack_rounds=0,
+                    retransmitted_fragments=0,
+                    backoff_s=0.0,
+                    message_id=-1,
+                    receive=None,
+                )
+            mode = "delta"
+            n_new = min(n_new + 1, trajectory.n_marks)
+            delta = trajectory.slice_marks(
+                trajectory.n_marks - n_new, trajectory.n_marks
+            )
+            payload = _MSG_DELTA + encode_trajectory(delta)
+
+        self._message_id += 1
+        message_id = self._message_id
+        fragments = fragment_payload(payload, message_id)
+        clock = now_s
+        bytes_total = 0
+        packets_total = 0
+        retransmitted = 0
+        rounds = 0
+        result = self.channel.transfer_packets(
+            fragments, rng=self._rng, faults=faults
+        )
+        clock += result.time_s
+        bytes_total += result.bytes_on_air
+        packets_total += result.packets_sent
+        outcome = receiver.receive(result, now_s=clock)
+        while message_id not in outcome.decoded_ids and rounds < self.max_nack_rounds:
+            missing = receiver.buffer.missing(message_id)
+            if not missing:
+                break  # expired / discarded on the receiver: abort now
+            rounds += 1
+            retry = [fragments[i] for i in missing]
+            retransmitted += len(retry)
+            result = self.channel.transfer_packets(
+                retry, rng=self._rng, faults=faults
+            )
+            clock += result.time_s
+            bytes_total += result.bytes_on_air
+            packets_total += result.packets_sent
+            outcome = receiver.receive(result, now_s=clock)
+
+        decoded = message_id in outcome.decoded_ids
+        applied = decoded and outcome.applied in ("full", "delta")
+        if applied:
+            if mode == "full":
+                self._peer = _PeerState(
+                    last_sent_end_distance_m=trajectory.geo.end_distance_m,
+                    locked=self._peer.locked if self._peer else False,
+                    accumulated_drift_m=0.0,
+                )
+            else:
+                assert self._peer is not None
+                self._peer.last_sent_end_distance_m = trajectory.geo.end_distance_m
+                self._peer.accumulated_drift_m += self.drift_rate * new_m
+            self._consecutive_aborts = 0
+            self._force_full = False
+            backoff = 0.0
+        else:
+            receiver.buffer.discard(message_id)
+            self._consecutive_aborts += 1
+            self._force_full = True
+            backoff = min(
+                self.backoff_base_s * 2.0 ** (self._consecutive_aborts - 1),
+                self.max_backoff_s,
+            )
+            self._backoff_until_s = clock + backoff
+        return ExchangeOutcome(
+            mode=mode,
+            delivered=applied,
+            aborted=not applied,
+            time_s=clock - now_s,
+            bytes_on_air=bytes_total,
+            packets_sent=packets_total,
+            nack_rounds=rounds,
+            retransmitted_fragments=retransmitted,
+            backoff_s=backoff,
+            message_id=message_id,
+            receive=outcome,
+        )
+
+
+@dataclass(frozen=True)
+class ExchangeOutcome:
+    """Result of one reliable update round (:meth:`ExchangeSession.exchange_update`).
+
+    Attributes
+    ----------
+    mode:
+        ``"full"``, ``"delta"``, ``"idle"`` (nothing new to send) or
+        ``"backoff"`` (suppressed by the abort backoff).
+    delivered:
+        The message was decoded *and applied* by the receiver.
+    aborted:
+        The message was given up on after the NACK budget.
+    time_s, bytes_on_air, packets_sent:
+        Channel cost including every retransmission round.
+    nack_rounds, retransmitted_fragments:
+        NACK-triggered recovery effort.
+    backoff_s:
+        Backoff imposed after this round (0 unless it aborted).
+    message_id:
+        Exchange-layer id of the message (-1 for idle/backoff rounds).
+    receive:
+        The receiver's last :class:`ReceiveOutcome`, if anything was sent.
+    """
+
+    mode: str
+    delivered: bool
+    aborted: bool
+    time_s: float
+    bytes_on_air: int
+    packets_sent: int
+    nack_rounds: int
+    retransmitted_fragments: int
+    backoff_s: float
+    message_id: int
+    receive: "ReceiveOutcome | None"
+
+
+@dataclass(frozen=True)
+class ReceiveOutcome:
+    """What one batch of arrivals did to an :class:`ExchangeReceiver`.
+
+    Attributes
+    ----------
+    decoded_ids:
+        Message ids completed (reassembled and decoded) by this batch.
+    applied:
+        How the last completed message was used: ``"full"`` (context
+        replaced), ``"delta"`` (appended), ``"gap"`` (delta no longer
+        overlaps — full resync requested), ``"rejected"`` (undecodable),
+        or ``"none"`` (nothing completed).
+    resync_needed:
+        Whether the receiver now requires a full context retransfer.
+    expired_ids:
+        Partial messages dropped by the reassembly timeout.
+    """
+
+    decoded_ids: tuple[int, ...]
+    applied: str
+    resync_needed: bool
+    expired_ids: tuple[int, ...]
+
+
+class ExchangeReceiver:
+    """The receiving half of a trajectory exchange.
+
+    Holds the last successfully decoded journey context, reassembles
+    fragment arrivals, applies deltas with gap detection, and requests a
+    full resync whenever the delta chain breaks.
+
+    Parameters
+    ----------
+    reassembly_timeout_s:
+        Per-message reassembly deadline (see
+        :class:`~repro.v2v.wsm.ReassemblyBuffer`).
+    max_context_m:
+        When set, the held context is trimmed to its most recent
+        ``max_context_m`` metres after every applied delta, bounding
+        receiver memory on long drives.
+    """
+
+    def __init__(
+        self,
+        reassembly_timeout_s: float = 1.0,
+        max_context_m: float | None = None,
+    ) -> None:
+        if max_context_m is not None and max_context_m <= 0:
+            raise ValueError("max_context_m must be positive")
+        self.buffer = ReassemblyBuffer(timeout_s=reassembly_timeout_s)
+        self.max_context_m = max_context_m
+        self.context: GsmTrajectory | None = None
+        self.context_time_s: float | None = None
+        self.needs_full_resync = False
+        self.full_syncs = 0
+        self.deltas_applied = 0
+        self.gaps_detected = 0
+        self.decode_failures = 0
+
+    def context_age_s(self, now_s: float) -> float:
+        """Seconds since the held context was last refreshed (inf if none)."""
+        if self.context_time_s is None:
+            return float("inf")
+        return float(now_s) - self.context_time_s
+
+    def receive(
+        self, result: TransferResult, now_s: float = 0.0
+    ) -> ReceiveOutcome:
+        """Absorb one transfer's arrival stream."""
+        expired = self.buffer.expire(now_s)
+        decoded_ids: list[int] = []
+        applied = "none"
+        for message_id, payload in self.buffer.extend(result.arrivals, now_s=now_s):
+            decoded_ids.append(message_id)
+            applied = self._apply(payload, now_s)
+        return ReceiveOutcome(
+            decoded_ids=tuple(decoded_ids),
+            applied=applied,
+            resync_needed=self.needs_full_resync,
+            expired_ids=tuple(expired),
+        )
+
+    def _apply(self, payload: bytes, now_s: float) -> str:
+        kind, body = payload[:1], payload[1:]
+        if kind == _MSG_FULL:
+            try:
+                decoded = decode_trajectory(body)
+            except ValueError:
+                self.decode_failures += 1
+                self.needs_full_resync = True
+                return "rejected"
+            self.context = decoded
+            self.context_time_s = float(now_s)
+            self.needs_full_resync = False
+            self.full_syncs += 1
+            return "full"
+        if kind != _MSG_DELTA:
+            self.decode_failures += 1
+            self.needs_full_resync = True
+            return "rejected"
+        if self.context is None:
+            # A delta with nothing to extend: only a full sync helps.
+            self.gaps_detected += 1
+            self.needs_full_resync = True
+            return "gap"
+        try:
+            delta = decode_trajectory(body)
+            merged = apply_delta(self.context, delta)
+        except DeltaGapError:
+            self.gaps_detected += 1
+            self.needs_full_resync = True
+            return "gap"
+        except ValueError:
+            self.decode_failures += 1
+            self.needs_full_resync = True
+            return "rejected"
+        if (
+            self.max_context_m is not None
+            and merged.length_m > self.max_context_m
+        ):
+            merged = merged.tail(self.max_context_m)
+        self.context = merged
+        self.context_time_s = float(now_s)
+        self.deltas_applied += 1
+        self.needs_full_resync = False
+        return "delta"

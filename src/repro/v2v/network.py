@@ -57,23 +57,33 @@ class RoundResult:
     context_length_m:
         Context scope each vehicle broadcast.
     per_vehicle_time_s:
-        Time until each vehicle had received every neighbour's context
-        (round-robin schedule: everyone hears every broadcast).
+        Time until each vehicle had received every *delivered*
+        neighbour broadcast (round-robin schedule: everyone hears every
+        broadcast); NaN if no other vehicle's broadcast got through.
     bytes_on_air:
         Total bytes transmitted in the round.
     delivered_fraction:
         Fraction of broadcasts fully delivered within the retry budget.
+    fully_informed_fraction:
+        Fraction of vehicles that received *every* other vehicle's
+        context this round — an aborted broadcast leaves all its
+        listeners uninformed about that vehicle.
     """
 
     context_length_m: float
     per_vehicle_time_s: np.ndarray
     bytes_on_air: int
     delivered_fraction: float
+    fully_informed_fraction: float = 1.0
 
     @property
     def completion_time_s(self) -> float:
         """Time for the whole neighbourhood to be mutually informed."""
-        return float(np.max(self.per_vehicle_time_s))
+        times = self.per_vehicle_time_s
+        finite = times[np.isfinite(times)]
+        if finite.size == 0:
+            return float("nan")
+        return float(np.max(finite))
 
 
 class NeighborhoodExchange:
@@ -131,9 +141,9 @@ class NeighborhoodExchange:
         n_bytes = encoded_size_bytes(self.n_channels, n_marks)
 
         finish_times = np.empty(self.n_vehicles)
+        delivered_flags = np.empty(self.n_vehicles, dtype=bool)
         clock = 0.0
         total_bytes = 0
-        delivered = 0
         for v in range(self.n_vehicles):
             result = self.channel.transfer_bytes(
                 b"\x00" * n_bytes, rng=gen, message_id=v
@@ -141,17 +151,28 @@ class NeighborhoodExchange:
             clock += result.time_s
             finish_times[v] = clock
             total_bytes += result.bytes_on_air
-            delivered += int(result.delivered)
-        # Vehicle v is informed when everyone *else* has broadcast: with a
-        # round-robin order that is the end of the round for everyone
-        # except the last broadcaster, who is informed one slot earlier.
-        informed = np.full(self.n_vehicles, clock)
-        informed[-1] = finish_times[-2] if self.n_vehicles >= 2 else clock
+            delivered_flags[v] = result.delivered
+        # Vehicle v is informed by every *delivered* broadcast of the
+        # others; an aborted broadcast informs nobody.  With a round-robin
+        # order the informed time is the finish of the last delivered
+        # broadcast among the other n-1 vehicles (NaN when none of them
+        # got a context through).
+        informed = np.empty(self.n_vehicles)
+        fully_informed = 0
+        for v in range(self.n_vehicles):
+            others = np.ones(self.n_vehicles, dtype=bool)
+            others[v] = False
+            heard = others & delivered_flags
+            informed[v] = (
+                float(np.max(finish_times[heard])) if np.any(heard) else np.nan
+            )
+            fully_informed += int(np.all(delivered_flags[others]))
         return RoundResult(
             context_length_m=float(context_length_m),
             per_vehicle_time_s=informed,
             bytes_on_air=total_bytes,
-            delivered_fraction=delivered / self.n_vehicles,
+            delivered_fraction=float(np.mean(delivered_flags)),
+            fully_informed_fraction=fully_informed / self.n_vehicles,
         )
 
     def fixed_vs_adaptive(
@@ -160,13 +181,22 @@ class NeighborhoodExchange:
         base_context_m: float = 1000.0,
         rng: np.random.Generator | int | None = 0,
     ) -> tuple[RoundResult, RoundResult]:
-        """One round each with fixed and density-adaptive context scopes."""
+        """One round each with fixed and density-adaptive context scopes.
+
+        The two rounds are a *paired* comparison: both replay the same
+        channel randomness from identically-seeded child generators
+        (sharing one stream sequentially would give each round different
+        luck and bias the fixed-vs-adaptive difference).
+        """
         gen = as_generator(rng)
-        fixed = self.broadcast_round(base_context_m, rng=gen)
+        seed_seq = gen.bit_generator.seed_seq.spawn(1)[0]  # type: ignore[attr-defined]
+        fixed = self.broadcast_round(
+            base_context_m, rng=np.random.default_rng(seed_seq)
+        )
         adaptive = self.broadcast_round(
             adaptive_context_length(
                 self.n_vehicles, road_span_m, base_context_m=base_context_m
             ),
-            rng=gen,
+            rng=np.random.default_rng(seed_seq),
         )
         return fixed, adaptive

@@ -9,9 +9,16 @@ no native fragmentation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-__all__ = ["WSM_MAX_PAYLOAD_BYTES", "WSM_HEADER_BYTES", "WsmPacket", "fragment_payload", "reassemble"]
+__all__ = [
+    "WSM_MAX_PAYLOAD_BYTES",
+    "WSM_HEADER_BYTES",
+    "WsmPacket",
+    "ReassemblyBuffer",
+    "fragment_payload",
+    "reassemble",
+]
 
 #: Maximum WSM payload (paper §V-B).
 WSM_MAX_PAYLOAD_BYTES: int = 1400
@@ -80,3 +87,124 @@ def reassemble(packets: list[WsmPacket]) -> bytes:
     if missing:
         raise ValueError(f"missing fragments: {sorted(missing)}")
     return b"".join(by_index[i].payload for i in range(count))
+
+
+@dataclass
+class _PartialMessage:
+    """Fragments collected so far for one in-flight message."""
+
+    count: int
+    fragments: dict[int, bytes] = field(default_factory=dict)
+    first_seen_s: float = 0.0
+
+    @property
+    def complete(self) -> bool:
+        return len(self.fragments) == self.count
+
+    def assemble(self) -> bytes:
+        return b"".join(self.fragments[i] for i in range(self.count))
+
+    def missing(self) -> list[int]:
+        return sorted(set(range(self.count)) - set(self.fragments))
+
+
+class ReassemblyBuffer:
+    """Receiver-side fragment reassembly over a lossy, reordering channel.
+
+    Unlike :func:`reassemble` — which demands a pristine fragment set —
+    the buffer accepts fragments in any order, silently drops duplicates,
+    keeps partially received messages around for NACK-triggered
+    retransmission, and expires messages whose first fragment is older
+    than ``timeout_s`` (the sender gave up, or the blackout outlived the
+    retry budget).
+
+    Parameters
+    ----------
+    timeout_s:
+        Per-message reassembly deadline, measured from the first
+        fragment's arrival on the caller-supplied clock.
+    """
+
+    def __init__(self, timeout_s: float = 1.0) -> None:
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = float(timeout_s)
+        self._partial: dict[int, _PartialMessage] = {}
+        #: Recently completed ids -> completion time; straggler duplicates
+        #: of a finished message must not re-open it and deliver twice.
+        self._completed_at: dict[int, float] = {}
+        self.duplicates_dropped = 0
+        self.messages_completed = 0
+        self.messages_expired = 0
+
+    def add(self, packet: WsmPacket, now_s: float = 0.0) -> bytes | None:
+        """Absorb one fragment; return the payload if it completes a message.
+
+        Raises
+        ------
+        ValueError
+            If the fragment's ``count`` contradicts earlier fragments of
+            the same message (corrupted or colliding message ids).
+        """
+        if packet.message_id in self._completed_at:
+            self.duplicates_dropped += 1
+            return None
+        partial = self._partial.get(packet.message_id)
+        if partial is None:
+            partial = _PartialMessage(count=packet.count, first_seen_s=float(now_s))
+            self._partial[packet.message_id] = partial
+        elif partial.count != packet.count:
+            raise ValueError(
+                f"message {packet.message_id}: fragment count {packet.count} "
+                f"contradicts earlier count {partial.count}"
+            )
+        if packet.index in partial.fragments:
+            self.duplicates_dropped += 1
+            return None
+        partial.fragments[packet.index] = packet.payload
+        if partial.complete:
+            del self._partial[packet.message_id]
+            self._completed_at[packet.message_id] = float(now_s)
+            self.messages_completed += 1
+            return partial.assemble()
+        return None
+
+    def extend(self, packets, now_s: float = 0.0) -> list[tuple[int, bytes]]:
+        """Absorb a packet stream; return completed ``(id, payload)`` pairs."""
+        done = []
+        for packet in packets:
+            payload = self.add(packet, now_s=now_s)
+            if payload is not None:
+                done.append((packet.message_id, payload))
+        return done
+
+    def missing(self, message_id: int) -> list[int]:
+        """Fragment indices still outstanding for a message (NACK list)."""
+        partial = self._partial.get(message_id)
+        return [] if partial is None else partial.missing()
+
+    def pending_ids(self) -> list[int]:
+        """Ids of messages with at least one fragment but not complete."""
+        return sorted(self._partial)
+
+    def discard(self, message_id: int) -> None:
+        """Drop a partial message (sender aborted / resync supersedes it)."""
+        self._partial.pop(message_id, None)
+
+    def expire(self, now_s: float) -> list[int]:
+        """Drop partials older than the timeout; return the expired ids."""
+        stale = [
+            mid
+            for mid, partial in self._partial.items()
+            if now_s - partial.first_seen_s > self.timeout_s
+        ]
+        for mid in stale:
+            del self._partial[mid]
+        self.messages_expired += len(stale)
+        # Completed-id memory only needs to outlive straggler duplicates;
+        # purge it on the same horizon so it cannot grow without bound.
+        for mid in [
+            m for m, t in self._completed_at.items() if now_s - t > self.timeout_s
+        ]:
+            del self._completed_at[mid]
+        return sorted(stale)

@@ -98,3 +98,77 @@ class TestRupsTracker:
             RupsTracker(CFG, locked_context_m=10.0)  # below window length
         with pytest.raises(ValueError):
             RupsTracker(CFG, locked_context_m=150.0, max_locked_failures=0)
+        with pytest.raises(ValueError):
+            RupsTracker(CFG, staleness_budget_s=0.0)
+
+
+class TestDegradedTracking:
+    def test_fresh_context_not_degraded(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        u = tracker.update(rear, front)
+        assert not u.degraded
+        assert u.context_age_s == 0.0
+
+    def test_missing_context_tracks_against_last(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        tracker.update(rear, front)
+        # Exchange dropped this period: no fresh context, but the held
+        # one is recent — track against it, flagged degraded.
+        u = tracker.update(rear, other=None, context_age_s=0.3)
+        assert u.degraded
+        assert u.context_age_s == pytest.approx(0.3)
+        assert u.estimate.resolved
+        assert u.locked_after
+        assert u.estimate.distance_m == pytest.approx(30.0, abs=3.0)
+
+    def test_aged_fresh_context_flagged_degraded(self):
+        # Even a just-delivered context can be old (it sat in the
+        # reassembly buffer through NACK rounds).
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        u = tracker.update(rear, front, context_age_s=0.4)
+        assert u.degraded
+
+    def test_staleness_budget_drops_lock(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0, staleness_budget_s=1.0)
+        tracker.update(rear, front)
+        assert tracker.locked
+        u = tracker.update(rear, other=None, context_age_s=1.5)
+        assert u.degraded
+        assert not u.locked_after
+        assert not tracker.locked
+
+    def test_fresh_context_relocks_after_staleness(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0, staleness_budget_s=1.0)
+        tracker.update(rear, front)
+        tracker.update(rear, other=None, context_age_s=2.0)  # lock dropped
+        u = tracker.update(rear, front)
+        assert not u.degraded
+        assert u.locked_after
+
+    def test_no_context_ever_reports_unresolved(self):
+        rear, _ = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        u = tracker.update(rear, other=None, context_age_s=5.0)
+        assert u.degraded
+        assert not u.estimate.resolved
+        assert not u.locked_after
+        assert len(tracker.history) == 1
+
+    def test_reset_clears_last_context(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        tracker.update(rear, front)
+        tracker.reset()
+        u = tracker.update(rear, other=None)
+        assert not u.estimate.resolved
+
+    def test_negative_age_rejected(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        with pytest.raises(ValueError):
+            tracker.update(rear, front, context_age_s=-0.1)

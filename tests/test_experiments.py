@@ -159,6 +159,7 @@ class TestRegistry:
             "t-compute",
             "t-respond",
             "t-window",
+            "t-loss",
         ):
             assert exp_id in EXPERIMENTS
 
@@ -175,3 +176,18 @@ class TestRegistry:
         result = run_experiment("t-respond")
         text = result.render()
         assert "182" in text or "packets" in text
+
+    def test_run_t_loss_small(self):
+        result = run_experiment(
+            "t-loss",
+            loss_probs=(0.0, 0.4),
+            burstiness=(0.0,),
+            n_steps=12,
+            seed=1,
+        )
+        assert len(result.cells) == 2
+        lossless, lossy = result.rows_for(0.0)
+        assert lossless.message_delivery == 1.0
+        assert lossless.lock_retention >= lossy.lock_retention
+        assert lossless.tracking_error_m <= lossy.tracking_error_m
+        assert "Loss sweep" in result.render()

@@ -1,0 +1,238 @@
+"""Tests for repro.v2v.faults: Gilbert-Elliott loss and fault plans."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.v2v.channel import DsrcChannel
+from repro.v2v.faults import (
+    BAD,
+    FaultPlan,
+    GilbertElliott,
+    apply_arrival_faults,
+)
+from repro.v2v.wsm import ReassemblyBuffer, fragment_payload, reassemble
+
+
+class TestGilbertElliott:
+    def test_stationary_fraction(self):
+        ge = GilbertElliott(p_good_to_bad=0.1, p_bad_to_good=0.4)
+        assert ge.stationary_bad_fraction == pytest.approx(0.2)
+
+    def test_average_loss(self):
+        ge = GilbertElliott(
+            p_good_to_bad=0.1,
+            p_bad_to_good=0.4,
+            good_loss_prob=0.0,
+            bad_loss_prob=0.5,
+        )
+        assert ge.average_loss_prob == pytest.approx(0.1)
+
+    def test_from_average_loss_matches(self):
+        for avg in (0.05, 0.2, 0.5):
+            for burst in (0.5, 0.9):
+                ge = GilbertElliott.from_average_loss(avg, burst)
+                assert ge.average_loss_prob == pytest.approx(avg)
+                assert ge.mean_burst_length == pytest.approx(1.0 / (1.0 - burst))
+        # Memoryless bursts work for moderate averages too.
+        ge = GilbertElliott.from_average_loss(0.2, 0.0)
+        assert ge.average_loss_prob == pytest.approx(0.2)
+
+    def test_from_average_loss_unreachable_raises(self):
+        # avg=0.5 at burstiness 0 would need p_good_to_bad = 2.0; the
+        # constructor must refuse rather than silently miss the mean.
+        with pytest.raises(ValueError):
+            GilbertElliott.from_average_loss(0.5, 0.0)
+
+    def test_empirical_loss_rate_matches_average(self):
+        # Walk the chain; the long-run loss rate must match the design.
+        ge = GilbertElliott.from_average_loss(0.25, 0.8)
+        rng = np.random.default_rng(0)
+        state = ge.initial_state(rng)
+        losses = 0
+        n = 40_000
+        for _ in range(n):
+            losses += rng.random() < ge.loss_prob(state)
+            state = ge.step(state, rng)
+        assert losses / n == pytest.approx(0.25, abs=0.02)
+
+    def test_burstiness_creates_runs(self):
+        # Mean-matched chains: high burstiness => longer loss runs.
+        def mean_run(burst, seed=1):
+            ge = GilbertElliott.from_average_loss(0.2, burst)
+            rng = np.random.default_rng(seed)
+            state = ge.initial_state(rng)
+            lost = []
+            for _ in range(20_000):
+                lost.append(rng.random() < ge.loss_prob(state))
+                state = ge.step(state, rng)
+            runs, current = [], 0
+            for flag in lost:
+                if flag:
+                    current += 1
+                elif current:
+                    runs.append(current)
+                    current = 0
+            return np.mean(runs)
+
+        assert mean_run(0.9) > 2.0 * mean_run(0.0)
+
+    def test_initial_state_stationary(self):
+        ge = GilbertElliott(p_good_to_bad=0.3, p_bad_to_good=0.3)
+        rng = np.random.default_rng(2)
+        frac_bad = np.mean(
+            [ge.initial_state(rng) == BAD for _ in range(5000)]
+        )
+        assert frac_bad == pytest.approx(0.5, abs=0.03)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliott(p_good_to_bad=0.0)
+        with pytest.raises(ValueError):
+            GilbertElliott(p_bad_to_good=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliott(good_loss_prob=0.5, bad_loss_prob=0.2)
+        with pytest.raises(ValueError):
+            GilbertElliott.from_average_loss(0.8, 0.5)  # above bad_loss_prob
+        with pytest.raises(ValueError):
+            GilbertElliott.from_average_loss(0.1, 1.0)
+
+
+class TestFaultPlan:
+    def test_blackout_membership(self):
+        plan = FaultPlan.blackout(0.5, 1.0)
+        assert not plan.in_blackout(0.4)
+        assert plan.in_blackout(0.5)
+        assert plan.in_blackout(1.4)
+        assert not plan.in_blackout(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(blackouts=((1.0, 0.5),))
+        with pytest.raises(ValueError):
+            FaultPlan(reorder_prob=1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(duplicate_prob=-0.1)
+
+    def test_duplication_inserts_copies(self):
+        packets = fragment_payload(b"\x01" * 5000)
+        rng = np.random.default_rng(0)
+        out = apply_arrival_faults(
+            packets, rng, FaultPlan(duplicate_prob=0.99)
+        )
+        assert len(out) > len(packets)
+        assert {p.index for p in out} == {p.index for p in packets}
+
+    def test_reordering_preserves_multiset(self):
+        packets = fragment_payload(b"\x02" * 20_000)
+        rng = np.random.default_rng(1)
+        out = apply_arrival_faults(packets, rng, FaultPlan(reorder_prob=0.9))
+        assert sorted(p.index for p in out) == sorted(p.index for p in packets)
+        assert [p.index for p in out] != [p.index for p in packets]
+
+
+class TestChannelFaultInjection:
+    def test_blackout_kills_covered_attempts(self):
+        # A blackout longer than the whole retry budget aborts everything.
+        ch = DsrcChannel(loss_prob=0.0, rtt_jitter_s=0.0, max_retries=1)
+        packets = fragment_payload(b"\x00" * 10_000)
+        result = ch.transfer_packets(
+            packets, rng=0, faults=FaultPlan.blackout(0.0, 1e9)
+        )
+        assert not result.delivered
+        assert result.arrivals == ()
+        assert all(not ok for ok in result.fragment_arrived)
+
+    def test_blackout_window_partial(self):
+        # Blackout covering only the start: early fragments burn attempts
+        # inside the window; later ones go through untouched.
+        ch = DsrcChannel(loss_prob=0.0, rtt_jitter_s=0.0, max_retries=0)
+        packets = fragment_payload(b"\x00" * (1392 * 10))
+        rtt = ch.effective_rtt_s
+        result = ch.transfer_packets(
+            packets, rng=0, faults=FaultPlan.blackout(0.0, 3.5 * rtt)
+        )
+        assert result.fragment_arrived == (False,) * 4 + (True,) * 6
+
+    def test_gilbert_elliott_good_only_is_lossless(self):
+        ge = GilbertElliott(
+            p_good_to_bad=1e-12, p_bad_to_good=1.0, bad_loss_prob=0.5
+        )
+        ch = DsrcChannel(loss_prob=0.9, gilbert_elliott=ge)
+        result = ch.transfer_bytes(b"\x00" * 50_000, rng=0)
+        assert result.delivered
+        assert result.retransmissions == 0
+
+    def test_bursty_channel_deterministic(self):
+        ge = GilbertElliott.from_average_loss(0.3, 0.7)
+        ch = DsrcChannel(gilbert_elliott=ge, max_retries=1)
+        a = ch.transfer_bytes(b"\x00" * 30_000, rng=5)
+        b = ch.transfer_bytes(b"\x00" * 30_000, rng=5)
+        assert a.fragment_arrived == b.fragment_arrived
+        assert a.time_s == b.time_s
+
+
+class TestFaultReassemblyRoundTrip:
+    """fragment -> fault plan -> ReassemblyBuffer -> original payload."""
+
+    @given(
+        data=st.binary(min_size=1, max_size=30_000),
+        dup=st.floats(0.0, 0.9),
+        reorder=st.floats(0.0, 0.9),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lossless_faulty_roundtrip(self, data, dup, reorder, seed):
+        # No loss: however mangled the arrival order, reassembly recovers
+        # the exact payload.
+        ch = DsrcChannel(loss_prob=0.0, rtt_jitter_s=0.0)
+        plan = FaultPlan(reorder_prob=reorder, duplicate_prob=dup)
+        result = ch.transfer_bytes(data, rng=seed, message_id=7, faults=plan)
+        buf = ReassemblyBuffer()
+        done = buf.extend(result.arrivals)
+        assert done == [(7, data)]
+        assert buf.pending_ids() == []
+
+    @given(
+        data=st.binary(min_size=1, max_size=30_000),
+        loss=st.floats(0.1, 0.8),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lossy_roundtrip_with_manual_repair(self, data, loss, seed):
+        # With loss, the buffer's NACK list names exactly the fragments
+        # that never arrived; supplying them completes the message.
+        ch = DsrcChannel(loss_prob=loss, max_retries=0)
+        packets = fragment_payload(data, message_id=3)
+        result = ch.transfer_packets(packets, rng=seed)
+        buf = ReassemblyBuffer()
+        done = buf.extend(result.arrivals)
+        lost = [i for i, ok in enumerate(result.fragment_arrived) if not ok]
+        if not lost:
+            assert done == [(3, data)]
+            return
+        assert done == []
+        if not result.arrivals:
+            # Every fragment lost: the buffer never heard of the message,
+            # so there is nothing to NACK — only a full resend helps.
+            assert buf.missing(3) == []
+            assert buf.pending_ids() == []
+            repaired = buf.extend(packets)
+        else:
+            assert buf.missing(3) == lost
+            repaired = buf.extend([packets[i] for i in lost])
+        assert repaired == [(3, data)]
+
+    @given(st.binary(min_size=1, max_size=20_000), st.integers(0, 500))
+    @settings(max_examples=25, deadline=None)
+    def test_buffer_agrees_with_reassemble(self, data, seed):
+        # On a pristine fragment set the buffer and the strict
+        # reassemble() must produce identical bytes.
+        packets = fragment_payload(data, message_id=1)
+        rng = np.random.default_rng(seed)
+        shuffled = list(packets)
+        rng.shuffle(shuffled)
+        buf = ReassemblyBuffer()
+        done = buf.extend(shuffled)
+        assert done == [(1, reassemble(packets))]

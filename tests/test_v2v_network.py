@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.v2v.channel import DsrcChannel
 from repro.v2v.network import (
     NeighborhoodExchange,
     adaptive_context_length,
@@ -76,3 +77,53 @@ class TestNeighborhoodExchange:
         a = NeighborhoodExchange(n_vehicles=3).broadcast_round(200.0, rng=9)
         b = NeighborhoodExchange(n_vehicles=3).broadcast_round(200.0, rng=9)
         assert a.completion_time_s == b.completion_time_s
+
+
+class TestLossAccounting:
+    """Regressions for the paired-comparison and abort-accounting bugs."""
+
+    def test_fixed_vs_adaptive_is_paired(self):
+        # In light traffic the adaptive scope clamps to the fixed one, so
+        # a properly *paired* comparison must replay identical channel
+        # randomness and produce identical rounds.  The old code fed both
+        # rounds from one sequential stream, giving each different luck.
+        hood = NeighborhoodExchange(
+            n_vehicles=2,
+            base_channel=DsrcChannel(loss_prob=0.3),
+        )
+        fixed, adaptive = hood.fixed_vs_adaptive(road_span_m=5000.0, rng=11)
+        assert fixed.context_length_m == adaptive.context_length_m
+        assert fixed.completion_time_s == adaptive.completion_time_s
+        assert fixed.bytes_on_air == adaptive.bytes_on_air
+        np.testing.assert_array_equal(
+            fixed.per_vehicle_time_s, adaptive.per_vehicle_time_s
+        )
+
+    def test_aborted_broadcast_informs_nobody(self):
+        # When any broadcast aborts, every *other* vehicle misses that
+        # context, so at most the aborting vehicle itself can still be
+        # fully informed.
+        hood = NeighborhoodExchange(
+            n_vehicles=4,
+            n_channels=1,
+            base_channel=DsrcChannel(loss_prob=0.5, max_retries=0),
+        )
+        seen_partial = False
+        for seed in range(30):
+            result = hood.broadcast_round(100.0, rng=seed)
+            if 0.0 < result.delivered_fraction < 1.0:
+                seen_partial = True
+                assert result.fully_informed_fraction <= 1.0 / hood.n_vehicles
+        assert seen_partial
+
+    def test_all_aborted_round(self):
+        # Nothing gets through: nobody is informed at all.
+        hood = NeighborhoodExchange(
+            n_vehicles=3,
+            base_channel=DsrcChannel(loss_prob=0.9, max_retries=0),
+        )
+        result = hood.broadcast_round(300.0, rng=0)
+        assert result.delivered_fraction == 0.0
+        assert result.fully_informed_fraction == 0.0
+        assert np.all(np.isnan(result.per_vehicle_time_s))
+        assert np.isnan(result.completion_time_s)

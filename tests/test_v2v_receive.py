@@ -1,0 +1,339 @@
+"""Tests for the receive path: reassembly, delta application, NACK, backoff."""
+
+import numpy as np
+import pytest
+
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+from repro.v2v.channel import DsrcChannel, TransferResult
+from repro.v2v.exchange import (
+    DeltaGapError,
+    ExchangeReceiver,
+    ExchangeSession,
+    apply_delta,
+)
+from repro.v2v.faults import FaultPlan
+from repro.v2v.serialization import encode_trajectory
+from repro.v2v.wsm import ReassemblyBuffer, WsmPacket, fragment_payload
+
+
+def make_traj(n_channels=8, n_marks=201, seed=0, start=0.0):
+    rng = np.random.default_rng(seed)
+    power = rng.uniform(-109.0, -50.0, size=(n_channels, n_marks))
+    geo = GeoTrajectory(
+        timestamps_s=np.sort(rng.uniform(0.0, 100.0, n_marks)),
+        headings_rad=rng.uniform(-np.pi, np.pi, n_marks),
+        spacing_m=1.0,
+        start_distance_m=start,
+    )
+    return GsmTrajectory(power, np.arange(n_channels), geo)
+
+
+def arrivals_result(packets):
+    """A TransferResult whose arrival stream is exactly ``packets``."""
+    return TransferResult(
+        time_s=0.0,
+        packets_sent=len(packets),
+        retransmissions=0,
+        bytes_on_air=sum(p.wire_bytes for p in packets),
+        delivered=True,
+        fragment_arrived=(True,) * len(packets),
+        arrivals=tuple(packets),
+    )
+
+
+class TestReassemblyBuffer:
+    def test_out_of_order_completion(self):
+        packets = fragment_payload(b"abc" * 2000, message_id=4)
+        buf = ReassemblyBuffer()
+        for p in reversed(packets[1:]):
+            assert buf.add(p) is None
+        assert buf.add(packets[0]) == b"abc" * 2000
+        assert buf.messages_completed == 1
+
+    def test_duplicates_silently_dropped(self):
+        packets = fragment_payload(b"\x05" * 3000, message_id=1)
+        buf = ReassemblyBuffer()
+        buf.add(packets[0])
+        assert buf.add(packets[0]) is None
+        assert buf.duplicates_dropped == 1
+        assert buf.missing(1) == [1, 2]
+
+    def test_straggler_after_completion_dropped(self):
+        # A duplicate arriving after the message completed must not
+        # re-open it and deliver the payload twice.
+        packets = fragment_payload(b"x", message_id=9)
+        buf = ReassemblyBuffer()
+        assert buf.add(packets[0]) == b"x"
+        assert buf.add(packets[0]) is None
+        assert buf.duplicates_dropped == 1
+        assert buf.messages_completed == 1
+
+    def test_contradicting_count_raises(self):
+        buf = ReassemblyBuffer()
+        buf.add(WsmPacket(message_id=2, index=0, count=3, payload=b"a"))
+        with pytest.raises(ValueError, match="contradicts"):
+            buf.add(WsmPacket(message_id=2, index=1, count=4, payload=b"b"))
+
+    def test_expiry(self):
+        packets = fragment_payload(b"\x06" * 3000, message_id=7)
+        buf = ReassemblyBuffer(timeout_s=0.5)
+        buf.add(packets[0], now_s=0.0)
+        assert buf.expire(0.4) == []
+        assert buf.expire(0.6) == [7]
+        assert buf.messages_expired == 1
+        assert buf.pending_ids() == []
+
+    def test_expire_purges_completed_memory(self):
+        packets = fragment_payload(b"y", message_id=3)
+        buf = ReassemblyBuffer(timeout_s=0.5)
+        assert buf.add(packets[0], now_s=0.0) == b"y"
+        buf.expire(1.0)
+        # After the horizon the id is forgotten; a reuse decodes afresh.
+        assert buf.add(packets[0], now_s=1.0) == b"y"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReassemblyBuffer(timeout_s=0.0)
+
+
+class TestApplyDelta:
+    def test_contiguous_delta_extends(self):
+        traj = make_traj(n_marks=201)
+        context = traj.slice_marks(0, 100)
+        delta = traj.slice_marks(99, 150)  # one overlapping mark
+        merged = apply_delta(context, delta)
+        assert merged.n_marks == 150
+        assert merged.geo.end_distance_m == pytest.approx(
+            traj.slice_marks(0, 150).geo.end_distance_m
+        )
+        np.testing.assert_array_equal(
+            merged.power_dbm, traj.slice_marks(0, 150).power_dbm
+        )
+
+    def test_stale_duplicate_is_identity(self):
+        traj = make_traj(n_marks=201)
+        context = traj.slice_marks(0, 100)
+        stale = traj.slice_marks(40, 80)
+        assert apply_delta(context, stale) is context
+
+    def test_gap_raises(self):
+        traj = make_traj(n_marks=201)
+        context = traj.slice_marks(0, 100)
+        gap = traj.slice_marks(120, 150)
+        with pytest.raises(DeltaGapError):
+            apply_delta(context, gap)
+
+    def test_channel_table_mismatch_raises(self):
+        context = make_traj(n_channels=8, n_marks=100)
+        delta = make_traj(n_channels=6, n_marks=40, start=99.0)
+        with pytest.raises(ValueError, match="channel table"):
+            apply_delta(context, delta)
+
+
+class TestExchangeReceiver:
+    def test_full_sync_installs_context(self):
+        traj = make_traj()
+        receiver = ExchangeReceiver()
+        packets = fragment_payload(b"F" + encode_trajectory(traj), 1)
+        outcome = receiver.receive(arrivals_result(packets), now_s=2.0)
+        assert outcome.applied == "full"
+        assert outcome.decoded_ids == (1,)
+        assert receiver.full_syncs == 1
+        assert receiver.context is not None
+        assert receiver.context.n_marks == traj.n_marks
+        assert receiver.context_age_s(2.0) == 0.0
+        assert receiver.context_age_s(3.5) == pytest.approx(1.5)
+
+    def test_delta_without_context_requests_resync(self):
+        traj = make_traj(n_marks=50)
+        receiver = ExchangeReceiver()
+        assert receiver.context_age_s(0.0) == float("inf")
+        packets = fragment_payload(b"D" + encode_trajectory(traj), 1)
+        outcome = receiver.receive(arrivals_result(packets))
+        assert outcome.applied == "gap"
+        assert receiver.needs_full_resync
+        assert receiver.gaps_detected == 1
+
+    def test_gap_delta_requests_resync_then_full_clears(self):
+        traj = make_traj(n_marks=301)
+        receiver = ExchangeReceiver()
+        receiver.receive(
+            arrivals_result(
+                fragment_payload(
+                    b"F" + encode_trajectory(traj.slice_marks(0, 100)), 1
+                )
+            )
+        )
+        outcome = receiver.receive(
+            arrivals_result(
+                fragment_payload(
+                    b"D" + encode_trajectory(traj.slice_marks(150, 200)), 2
+                )
+            )
+        )
+        assert outcome.applied == "gap"
+        assert receiver.needs_full_resync
+        outcome = receiver.receive(
+            arrivals_result(
+                fragment_payload(
+                    b"F" + encode_trajectory(traj.slice_marks(0, 200)), 3
+                )
+            )
+        )
+        assert outcome.applied == "full"
+        assert not receiver.needs_full_resync
+
+    def test_undecodable_message_rejected(self):
+        receiver = ExchangeReceiver()
+        packets = fragment_payload(b"Fnot a trajectory", 1)
+        outcome = receiver.receive(arrivals_result(packets))
+        assert outcome.applied == "rejected"
+        assert receiver.decode_failures == 1
+        assert receiver.needs_full_resync
+
+    def test_unknown_kind_rejected(self):
+        receiver = ExchangeReceiver()
+        packets = fragment_payload(b"Zwhatever", 1)
+        outcome = receiver.receive(arrivals_result(packets))
+        assert outcome.applied == "rejected"
+
+    def test_context_trimmed_to_budget(self):
+        traj = make_traj(n_marks=301)
+        receiver = ExchangeReceiver(max_context_m=100.0)
+        receiver.receive(
+            arrivals_result(
+                fragment_payload(
+                    b"F" + encode_trajectory(traj.slice_marks(0, 150)), 1
+                )
+            )
+        )
+        receiver.receive(
+            arrivals_result(
+                fragment_payload(
+                    b"D" + encode_trajectory(traj.slice_marks(149, 250)), 2
+                )
+            )
+        )
+        assert receiver.context is not None
+        assert receiver.context.length_m <= 100.0 + 1e-9
+        assert receiver.context.geo.end_distance_m == pytest.approx(249.0)
+
+
+class TestExchangeUpdate:
+    def test_lossless_full_then_delta(self):
+        session = ExchangeSession(channel=DsrcChannel(loss_prob=0.0), rng=0)
+        receiver = ExchangeReceiver()
+        traj = make_traj(n_marks=301)
+        out = session.exchange_update(traj.slice_marks(0, 200), receiver)
+        assert out.mode == "full" and out.delivered
+        session.notify_syn_found()
+        out = session.exchange_update(traj.slice_marks(0, 210), receiver, now_s=0.1)
+        assert out.mode == "delta" and out.delivered
+        assert receiver.deltas_applied == 1
+        assert receiver.context.geo.end_distance_m == pytest.approx(209.0)
+
+    def test_idle_when_nothing_new(self):
+        session = ExchangeSession(channel=DsrcChannel(loss_prob=0.0), rng=0)
+        receiver = ExchangeReceiver()
+        traj = make_traj(n_marks=101)
+        session.exchange_update(traj, receiver)
+        session.notify_syn_found()
+        out = session.exchange_update(traj, receiver, now_s=0.1)
+        assert out.mode == "idle"
+        assert out.delivered and out.bytes_on_air == 0
+
+    def test_nack_recovers_lossy_transfer(self):
+        # max_retries=0 so the link itself never retries; only the
+        # NACK loop can complete the message.
+        session = ExchangeSession(
+            channel=DsrcChannel(loss_prob=0.4, max_retries=0),
+            rng=42,
+            max_nack_rounds=25,
+        )
+        receiver = ExchangeReceiver()
+        out = session.exchange_update(make_traj(n_marks=301), receiver)
+        assert out.delivered
+        assert out.nack_rounds >= 1
+        assert out.retransmitted_fragments >= 1
+        assert receiver.full_syncs == 1
+
+    def test_blackout_aborts_and_backs_off(self):
+        session = ExchangeSession(
+            channel=DsrcChannel(loss_prob=0.0),
+            rng=0,
+            max_nack_rounds=2,
+            backoff_base_s=0.1,
+            max_backoff_s=1.0,
+        )
+        receiver = ExchangeReceiver()
+        traj = make_traj(n_marks=201)
+        dead = FaultPlan.blackout(0.0, 1e9)
+        out = session.exchange_update(traj, receiver, now_s=0.0, faults=dead)
+        assert out.aborted and not out.delivered
+        assert session.consecutive_aborts == 1
+        assert out.backoff_s == pytest.approx(0.1)
+
+        # While backed off, nothing is sent at all.
+        suppressed = session.exchange_update(traj, receiver, now_s=out.time_s)
+        assert suppressed.mode == "backoff"
+        assert suppressed.bytes_on_air == 0
+
+        # A second abort doubles the backoff.
+        later = session.backoff_until_s + 1e-6
+        out2 = session.exchange_update(traj, receiver, now_s=later, faults=dead)
+        assert out2.aborted
+        assert session.consecutive_aborts == 2
+        assert out2.backoff_s == pytest.approx(0.2)
+
+        # Once the channel heals, delivery succeeds, resets the abort
+        # counter, and the recovery round is a full sync.
+        healed = session.exchange_update(
+            traj, receiver, now_s=session.backoff_until_s + 1e-6
+        )
+        assert healed.mode == "full" and healed.delivered
+        assert session.consecutive_aborts == 0
+
+    def test_abort_forces_full_after_lock(self):
+        session = ExchangeSession(
+            channel=DsrcChannel(loss_prob=0.0),
+            rng=0,
+            backoff_base_s=0.01,
+            max_backoff_s=0.01,
+        )
+        receiver = ExchangeReceiver()
+        traj = make_traj(n_marks=301)
+        session.exchange_update(traj.slice_marks(0, 200), receiver)
+        session.notify_syn_found()
+        dead = FaultPlan.blackout(0.0, 1e9)
+        out = session.exchange_update(
+            traj.slice_marks(0, 210), receiver, now_s=1.0, faults=dead
+        )
+        assert out.mode == "delta" and out.aborted
+        # The lost delta would leave a hole; the next round must not
+        # try to paper over it with another delta.
+        out = session.exchange_update(
+            traj.slice_marks(0, 220), receiver, now_s=2.0
+        )
+        assert out.mode == "full" and out.delivered
+
+    def test_receiver_gap_triggers_sender_full(self):
+        session = ExchangeSession(channel=DsrcChannel(loss_prob=0.0), rng=0)
+        receiver = ExchangeReceiver()
+        traj = make_traj(n_marks=301)
+        session.exchange_update(traj.slice_marks(0, 200), receiver)
+        session.notify_syn_found()
+        # The receiver loses its context out-of-band (reboot).
+        receiver.context = None
+        receiver.context_time_s = None
+        receiver.needs_full_resync = True
+        out = session.exchange_update(traj.slice_marks(0, 210), receiver, now_s=1.0)
+        assert out.mode == "full" and out.delivered
+        assert not receiver.needs_full_resync
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExchangeSession(max_nack_rounds=-1)
+        with pytest.raises(ValueError):
+            ExchangeSession(backoff_base_s=0.0)
+        with pytest.raises(ValueError):
+            ExchangeSession(backoff_base_s=0.5, max_backoff_s=0.1)

@@ -115,3 +115,93 @@ class TestDsrcChannel:
             DsrcChannel(max_retries=-1)
         with pytest.raises(ValueError):
             DsrcChannel().nominal_transfer_time_s(-1)
+
+
+class TestDeliveryModel:
+    """The vectorised loss model must match its closed form.
+
+    Regression for two delivery-model bugs: (a) the delivered flag was
+    computed from retry counts *after* capping at the budget, which made
+    it tautologically true; (b) an unrelated re-roll decided delivery
+    instead of the geometric attempt draw, biasing the delivery rate.
+    """
+
+    @pytest.mark.parametrize(
+        "loss_prob,n_fragments,max_retries,seed",
+        [
+            (0.3, 5, 1, 101),
+            (0.5, 3, 0, 202),
+            (0.1, 10, 2, 303),
+        ],
+    )
+    def test_delivery_rate_matches_closed_form(
+        self, loss_prob, n_fragments, max_retries, seed
+    ):
+        from scipy.stats import binom
+
+        ch = DsrcChannel(loss_prob=loss_prob, max_retries=max_retries)
+        chunk = WSM_MAX_PAYLOAD_BYTES - WSM_HEADER_BYTES
+        packets = fragment_payload(b"\x00" * (chunk * n_fragments))
+        assert len(packets) == n_fragments
+
+        n_trials = 2000
+        gen = np.random.default_rng(seed)
+        delivered = sum(
+            ch.transfer_packets(packets, rng=gen).delivered
+            for _ in range(n_trials)
+        )
+        p = (1.0 - loss_prob ** (max_retries + 1)) ** n_fragments
+        lo = binom.ppf(0.005, n_trials, p)
+        hi = binom.ppf(0.995, n_trials, p)
+        assert lo <= delivered <= hi, (
+            f"delivered {delivered}/{n_trials} outside 99% CI "
+            f"[{lo}, {hi}] for closed form p={p:.4f}"
+        )
+
+    def test_delivered_flag_not_tautological(self):
+        # At 90% loss with no retries, most multi-fragment transfers
+        # must fail — the old capped-attempts check said all succeeded.
+        ch = DsrcChannel(loss_prob=0.9, max_retries=0)
+        packets = fragment_payload(b"\x00" * 20_000)
+        results = [ch.transfer_packets(packets, rng=s) for s in range(50)]
+        assert any(not r.delivered for r in results)
+        for r in results:
+            assert r.delivered == all(r.fragment_arrived)
+            assert len(r.arrivals) == sum(r.fragment_arrived)
+
+    def test_bytes_on_air_counts_retransmissions(self):
+        # Regression: retransmissions used to add zero bytes.  With
+        # equal-size fragments every attempt costs the same wire bytes,
+        # so the total is exactly attempts x wire size.
+        chunk = WSM_MAX_PAYLOAD_BYTES - WSM_HEADER_BYTES
+        packets = fragment_payload(b"\x00" * (chunk * 8))
+        ch = DsrcChannel(loss_prob=0.4, max_retries=8)
+        result = ch.transfer_packets(packets, rng=3)
+        assert result.retransmissions > 0
+        assert result.bytes_on_air == result.packets_sent * packets[0].wire_bytes
+        assert result.bytes_on_air > sum(p.wire_bytes for p in packets)
+
+    def test_sequential_path_matches_closed_form(self):
+        # The attempt-by-attempt simulator (used for faults / bursty
+        # loss) must agree with the same closed form when driven with
+        # i.i.d. loss via a trivial fault plan.
+        from scipy.stats import binom
+
+        from repro.v2v.faults import FaultPlan
+
+        loss_prob, max_retries, n_fragments = 0.3, 1, 4
+        ch = DsrcChannel(loss_prob=loss_prob, max_retries=max_retries)
+        chunk = WSM_MAX_PAYLOAD_BYTES - WSM_HEADER_BYTES
+        packets = fragment_payload(b"\x00" * (chunk * n_fragments))
+        inert = FaultPlan(blackouts=((1e8, 1e9),))  # never reached
+
+        n_trials = 1200
+        gen = np.random.default_rng(404)
+        delivered = sum(
+            ch.transfer_packets(packets, rng=gen, faults=inert).delivered
+            for _ in range(n_trials)
+        )
+        p = (1.0 - loss_prob ** (max_retries + 1)) ** n_fragments
+        lo = binom.ppf(0.005, n_trials, p)
+        hi = binom.ppf(0.995, n_trials, p)
+        assert lo <= delivered <= hi

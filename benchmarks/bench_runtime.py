@@ -1,0 +1,144 @@
+"""Runtime speedup contract: parallel campaign + trajectory-build caching.
+
+The performance contract of the ``repro.runtime`` PR, recorded to
+``benchmarks/results/t-runtime.txt``:
+
+* ``run_campaign`` (4 drives, 4 workers requested) with the runtime
+  configuration — fused SYN kernel, engine binding/trajectory caches,
+  process fan-out — must beat the legacy serial path (batched kernel,
+  ``jobs=1``) by >= 2x wall clock.  Both runtime variants (``jobs=4``
+  and ``jobs=1``) are measured: on a single-core host the 4-worker pool
+  pays pure spawn overhead, so the contract is held by the best runtime
+  variant while both numbers are recorded honestly.
+* Repeated-query trajectory builds through the engine cache must beat
+  cold per-query ``bind_scan`` by >= 5x (warm vs cold).
+
+Every timed variant must also produce identical results — speed that
+changed the answers would be a bug, not a win.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine
+from repro.experiments.campaign import run_campaign
+from repro.gsm.band import EVAL_SUBSET_115, RGSM900
+from repro.gsm.field import make_straight_field
+from repro.gsm.scanner import RadioGroup, scan_drive
+from repro.roads.types import RoadType
+from repro.sensors.deadreckoning import EstimatedTrack
+
+CAMPAIGN_KWARGS = dict(
+    route_length_m=6000.0, n_drives=4, queries_per_drive=12, seed=11
+)
+
+
+@pytest.fixture(scope="module")
+def drive_inputs():
+    field = make_straight_field(
+        2000.0, RoadType.URBAN_4LANE, plan=EVAL_SUBSET_115, seed=0
+    )
+    group = RadioGroup(EVAL_SUBSET_115, n_radios=4)
+    scan = scan_drive(
+        field, lambda t: 10.0 * np.asarray(t), group, 0.0, 180.0, rng=0
+    )
+    t = np.arange(0.0, 180.0, 0.1)
+    track = EstimatedTrack(
+        times_s=t, distance_m=10.0 * t, heading_rad=np.zeros(t.size)
+    )
+    return scan, track
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def test_runtime_speedup_contract(record_result, drive_inputs):
+    plan = RGSM900.subset(np.arange(0, RGSM900.n_channels, 4), name="bench-49")
+
+    # -- campaign: legacy serial vs the parallel cached runtime --------
+    legacy, legacy_s = _timed(
+        lambda: run_campaign(
+            plan=plan, config=RupsConfig(kernel="batched"), jobs=1, **CAMPAIGN_KWARGS
+        )
+    )
+    pooled, pooled_s = _timed(
+        lambda: run_campaign(
+            plan=plan, config=RupsConfig(kernel="fused"), jobs=4, **CAMPAIGN_KWARGS
+        )
+    )
+    serial_rt, serial_rt_s = _timed(
+        lambda: run_campaign(
+            plan=plan, config=RupsConfig(kernel="fused"), jobs=1, **CAMPAIGN_KWARGS
+        )
+    )
+    assert legacy.render() == pooled.render() == serial_rt.render(), (
+        "runtime configurations changed campaign results"
+    )
+    best_s = min(pooled_s, serial_rt_s)
+    campaign_speedup = legacy_s / best_s
+
+    # -- repeated-query trajectory builds: warm cache vs cold binds ----
+    scan, track = drive_inputs
+    config = RupsConfig()
+    instants = np.linspace(100.0, 175.0, 40)
+
+    cold_engine = RupsEngine(config, trajectory_cache_size=0)
+    cold, cold_s = _timed(
+        lambda: [
+            cold_engine.build_trajectory(scan, track, at_time_s=tq)
+            for tq in instants
+        ]
+    )
+    warm_engine = RupsEngine(config)
+    indexed, indexed_s = _timed(
+        lambda: [
+            warm_engine.build_trajectory(scan, track, at_time_s=tq)
+            for tq in instants
+        ]
+    )
+    warm, warm_s = _timed(
+        lambda: [
+            warm_engine.build_trajectory(scan, track, at_time_s=tq)
+            for tq in instants
+        ]
+    )
+    for a, b, c in zip(cold, indexed, warm):
+        assert np.array_equal(a.power_dbm, b.power_dbm, equal_nan=True)
+        assert b is c  # the second pass is pure memo hits
+    build_speedup = cold_s / warm_s
+
+    text = (
+        "Runtime speedup contract "
+        f"(campaign: {CAMPAIGN_KWARGS['n_drives']} drives x "
+        f"{CAMPAIGN_KWARGS['queries_per_drive']} queries, 49-ch plan)\n"
+        f"  run_campaign legacy (batched, jobs=1):  {legacy_s:7.2f} s\n"
+        f"  run_campaign runtime (fused, jobs=4):   {pooled_s:7.2f} s "
+        f"({legacy_s / pooled_s:.2f}x)\n"
+        f"  run_campaign runtime (fused, jobs=1):   {serial_rt_s:7.2f} s "
+        f"({legacy_s / serial_rt_s:.2f}x)\n"
+        f"  campaign speedup (best runtime variant): {campaign_speedup:.2f}x "
+        "(contract: >= 2x; on a single-core host the 4-worker pool adds "
+        "spawn overhead and the serial runtime variant carries the win)\n"
+        f"  trajectory builds, 40 instants x {config.context_length_m:.0f} m "
+        "context:\n"
+        f"    cold (bind_scan per query):     {cold_s * 1e3:8.1f} ms\n"
+        f"    drive index (first pass):       {indexed_s * 1e3:8.1f} ms "
+        f"({cold_s / indexed_s:.1f}x)\n"
+        f"    warm (memoised second pass):    {warm_s * 1e3:8.1f} ms "
+        f"({build_speedup:.1f}x)\n"
+        f"  build speedup warm vs cold: {build_speedup:.1f}x (contract: >= 5x)"
+    )
+    record_result("t-runtime", text)
+
+    assert campaign_speedup >= 2.0, (
+        f"campaign runtime speedup {campaign_speedup:.2f}x below the 2x contract"
+    )
+    assert build_speedup >= 5.0, (
+        f"trajectory build speedup {build_speedup:.1f}x below the 5x contract"
+    )

@@ -14,13 +14,15 @@ odometry quality — a real effect the evaluation inherits.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
-from repro.core.trajectory import GsmTrajectory
+from repro.core.trajectory import GeoTrajectory, GsmTrajectory
 from repro.gsm.scanner import ScanStream
 from repro.sensors.deadreckoning import EstimatedTrack
 
-__all__ = ["bind_scan", "interpolate_missing"]
+__all__ = ["DriveBindingIndex", "bind_scan", "interpolate_missing"]
 
 
 def bind_scan(
@@ -88,6 +90,182 @@ def bind_scan(
         geo=geo,
     )
     return interpolate_missing(trajectory) if interpolate else trajectory
+
+
+@dataclass(frozen=True)
+class _ParityBins:
+    """One window-start-parity's view of the binned measurement stream."""
+
+    times: np.ndarray
+    chans: np.ndarray
+    rssi: np.ndarray
+    sums: np.ndarray
+    counts: np.ndarray
+    by_bin: np.ndarray
+    bin_starts: np.ndarray
+
+
+class DriveBindingIndex:
+    """Whole-drive binding precompute for repeated-query trajectory builds.
+
+    :func:`bind_scan` re-bins the *entire* scan stream for every query
+    instant, yet the binding grid is anchored to whole multiples of
+    ``spacing_m`` (see :meth:`EstimatedTrack.geo_trajectory`), so every
+    query's marks are a contiguous slice of one global grid.  This index
+    bins the full drive once — per-mark power sums/counts, mark
+    timestamps and headings — and answers each query by slicing its
+    context window out, bit-identical to a fresh ``bind_scan`` call:
+
+    * all but the window's most recent mark aggregate exactly the same
+      measurements in the same order regardless of the query instant;
+    * the most recent mark is the only one a measurement taken *after*
+      the query instant can round into (estimated distance is
+      non-decreasing in time), so that single column is re-aggregated
+      from the time-filtered per-bin measurement list;
+    * ``np.round`` is round-half-to-even, so a measurement exactly
+      halfway between marks bins differently depending on the *parity*
+      of the window's first mark index — the index therefore keeps two
+      binnings, one per parity, and serves each window from the one
+      matching its start.
+
+    Construction is one pass over the stream, queries are O(window); the
+    equality with :func:`bind_scan` is enforced by the differential
+    suite in ``tests/test_core_binding_cache.py``.
+    """
+
+    def __init__(
+        self,
+        scan: ScanStream,
+        track: EstimatedTrack,
+        spacing_m: float = 1.0,
+    ) -> None:
+        if spacing_m <= 0:
+            raise ValueError("spacing_m must be positive")
+        self.scan = scan
+        self.track = track
+        self.spacing_m = float(spacing_m)
+        self._n_channels = scan.plan.n_channels
+
+        # Global mark grid: every geo_trajectory() starts/ends on whole
+        # multiples of spacing_m inside [first, last] odometer readings.
+        d_first = float(track.distance_m[0])
+        d_last = float(track.distance_m[-1])
+        self._mark0 = int(np.ceil(d_first / spacing_m))
+        mark_end = int(np.floor(d_last / spacing_m))
+        n_marks = max(mark_end - self._mark0 + 1, 0)
+        self._n_marks = n_marks
+
+        marks = (self._mark0 + np.arange(n_marks)) * spacing_m
+        t_marks = np.asarray(track.time_at_distance(marks), dtype=float)
+        self._t_marks = np.maximum.accumulate(t_marks)
+        self._headings = np.asarray(track.heading_at(self._t_marks), dtype=float)
+
+        # Bin every measurement once per window-start parity, keeping
+        # stream order so bin sums accumulate identically.  Within one
+        # parity class round-half-even lands every half-way measurement
+        # in the same bin, so one anchor per parity stands in for every
+        # grid-aligned window start of that parity.
+        dist = np.asarray(track.distance_at(scan.times_s), dtype=float)
+        self._variants: dict[int, _ParityBins] = {}
+        for parity in (0, 1):
+            anchor = self._mark0 + ((self._mark0 % 2) != parity)
+            mark_f = (dist - anchor * spacing_m) / spacing_m
+            bins = np.round(mark_f).astype(np.int64) + (anchor - self._mark0)
+            in_grid = (bins >= 0) & (bins < n_marks)
+            times = scan.times_s[in_grid]
+            chans = scan.channel_indices[in_grid]
+            rssi = scan.rssi_dbm[in_grid]
+            bins = bins[in_grid]
+
+            flat = chans * max(n_marks, 1) + bins
+            sums = np.bincount(
+                flat, weights=rssi, minlength=self._n_channels * max(n_marks, 1)
+            ).reshape(self._n_channels, max(n_marks, 1))[:, :n_marks]
+            counts = np.bincount(
+                flat, minlength=self._n_channels * max(n_marks, 1)
+            ).reshape(self._n_channels, max(n_marks, 1))[:, :n_marks]
+
+            # Stable per-bin measurement lists for the last-mark correction.
+            order = np.argsort(bins, kind="stable")
+            self._variants[parity] = _ParityBins(
+                times=times,
+                chans=chans,
+                rssi=rssi,
+                sums=sums,
+                counts=counts,
+                by_bin=order,
+                bin_starts=np.searchsorted(bins[order], np.arange(n_marks + 1)),
+            )
+
+    def bind(
+        self,
+        at_time_s: float | None = None,
+        context_length_m: float | None = None,
+        interpolate: bool = True,
+    ) -> GsmTrajectory:
+        """The trajectory :func:`bind_scan` would build at ``at_time_s``."""
+        track = self.track
+        spacing = self.spacing_m
+        t_now = float(track.times_s[-1] if at_time_s is None else at_time_s)
+        d_now = float(track.distance_at(t_now))
+        last = int(np.floor(d_now / spacing))
+        if context_length_m is None:
+            first = self._mark0
+        else:
+            # Match geo_trajectory(): max() in the *distance* domain.  A
+            # context length that is not a whole multiple of the spacing
+            # puts the window start off the global grid — geo_trajectory
+            # does not snap it, so neither can we; the caller falls back
+            # to bind_scan.
+            first_mark_m = max(
+                last * spacing - float(context_length_m),
+                np.ceil(float(track.distance_m[0]) / spacing) * spacing,
+            )
+            first = int(round(first_mark_m / spacing))
+            if abs(first * spacing - first_mark_m) > 1e-9:
+                raise ValueError(
+                    "context_length_m is not a whole multiple of spacing_m; "
+                    "the drive index cannot serve off-grid windows"
+                )
+        n_marks = last - first + 1
+        if n_marks < 2:
+            raise ValueError(
+                "not enough travelled distance for a trajectory "
+                f"(have {(last - first) * spacing:.1f} m)"
+            )
+        lo = first - self._mark0
+        hi = last - self._mark0 + 1
+        if lo < 0 or hi > self._n_marks:
+            raise ValueError("query window escapes the drive's mark grid")
+
+        pb = self._variants[first % 2]
+        sums = pb.sums[:, lo:hi].copy()
+        counts = pb.counts[:, lo:hi].copy()
+        # Only the most recent mark can have collected measurements taken
+        # after t_now; re-aggregate it from its time-filtered bin.
+        sel = pb.by_bin[pb.bin_starts[hi - 1] : pb.bin_starts[hi]]
+        sel = sel[pb.times[sel] <= t_now]
+        sums[:, -1] = np.bincount(
+            pb.chans[sel], weights=pb.rssi[sel], minlength=self._n_channels
+        )
+        counts[:, -1] = np.bincount(pb.chans[sel], minlength=self._n_channels)
+
+        with np.errstate(invalid="ignore", divide="ignore"):
+            power = sums / counts
+        power[counts == 0] = np.nan
+
+        geo = GeoTrajectory(
+            timestamps_s=self._t_marks[lo:hi],
+            headings_rad=self._headings[lo:hi],
+            spacing_m=spacing,
+            start_distance_m=first * spacing,
+        )
+        trajectory = GsmTrajectory(
+            power_dbm=power,
+            channel_ids=np.arange(self._n_channels, dtype=np.int64),
+            geo=geo,
+        )
+        return interpolate_missing(trajectory) if interpolate else trajectory
 
 
 def interpolate_missing(trajectory: GsmTrajectory) -> GsmTrajectory:

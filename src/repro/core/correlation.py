@@ -33,6 +33,22 @@ path of the SYN search (§V-A, O(m * w * k)):
     ``F`` per trajectory, so the double-sliding multi-SYN search and
     locked tracking updates reuse it instead of recomputing.
 
+``fused``
+    The sweep without ever materialising the ``(n_positions, n*w + n)``
+    feature tensor (tens of MB per trajectory per query at paper-sized
+    contexts — the dominant cost of the campaign runtime when every
+    query binds a *fresh* trajectory and the memo never hits).  Window
+    means and variances come from per-channel prefix sums in O(n * m),
+    the cross terms from one grouped matmul of the centred query rows
+    against a strided window view, and only the ``(n_pos, n)`` sliding
+    statistics (see :class:`SlidingWindowStats`) are kept per
+    trajectory.  Prefix-sum variances are ill-conditioned exactly where
+    eq. (2) gates windows (near-zero variance), so any window whose
+    prefix-sum variance falls below a conservative guard is *recomputed
+    exactly* from its raw values — degenerate windows therefore gate
+    bit-for-bit like the other kernels, and the differential harness
+    holds all three to the same 1e-9.
+
 Degenerate windows are defined everywhere: a channel whose window has
 (near-)zero variance — or contains NaN from un-interpolated scan gaps —
 contributes exactly 0 to the channel average, and a degenerate
@@ -49,8 +65,11 @@ from numpy.lib.stride_tricks import sliding_window_view
 __all__ = [
     "DEFAULT_KERNEL",
     "KERNELS",
+    "SlidingWindowStats",
     "batched_sliding_correlation",
     "correlation_matrix",
+    "fused_sliding_correlation",
+    "fused_sweep",
     "get_kernel",
     "normalized_window_features",
     "reference_sliding_correlation",
@@ -236,11 +255,240 @@ def batched_sliding_correlation(
     return correlation_matrix(fq, ft)[0]
 
 
+# ----------------------------------------------------------------------
+# fused kernel: prefix-sum sliding statistics + grouped matmuls
+# ----------------------------------------------------------------------
+
+#: Relative guard under which a prefix-sum window variance is considered
+#: numerically untrustworthy and recomputed exactly from the raw window.
+#: Prefix-sum cancellation error is bounded by ~m * eps of the running
+#: magnitude (~1e-12 relative at campaign sizes); 1e-7 leaves five orders
+#: of margin while only flagging truly near-degenerate windows.
+_SUSPECT_RTOL = 1e-7
+#: When more than this fraction of windows is suspect (e.g. wholly
+#: constant trajectories), per-window exact recomputation would cost more
+#: than the batched feature path — the caller falls back to it instead.
+_SUSPECT_FRACTION_LIMIT = 0.25
+
+
+class SlidingWindowStats:
+    """Per-window statistics of one trajectory for the fused kernel.
+
+    For a ``(n, m)`` trajectory and window length ``w`` (``n_pos = m - w
+    + 1`` positions), holds everything the fused sweep needs about the
+    *target* side, O(n * n_pos) memory in place of the batched kernel's
+    O(n_pos * n * w) feature tensor:
+
+    ``centered``
+        ``(n, m)`` row-centred trajectory with NaN zeroed — the matmul
+        operand (window dead/alive state carries the NaN information).
+    ``win_mean_c``
+        ``(n, n_pos)`` mean of each centred window (prefix sums; suspect
+        windows patched with the exact mean).
+    ``win_ss``
+        ``(n, n_pos)`` sum of squared deviations of each window
+        (prefix sums; suspect windows patched exactly).
+    ``live``
+        ``(n, n_pos)`` bool: window NaN-free and ``win_ss`` above the
+        degeneracy epsilon — exactly eq. (2)'s per-channel gate.
+    ``profile``
+        ``(n_pos, n)`` cross-channel mean profile of each position,
+        centred and scaled to unit norm (zero rows where degenerate) —
+        identical in meaning to the last ``n`` feature columns of
+        :func:`normalized_window_features`.
+    """
+
+    __slots__ = (
+        "centered",
+        "live",
+        "n_pos",
+        "profile",
+        "suspect_fraction",
+        "win_mean_c",
+        "win_ss",
+        "window_marks",
+    )
+
+    def __init__(self, trajectory: np.ndarray, window_marks: int) -> None:
+        t = np.asarray(trajectory, dtype=float)
+        if t.ndim != 2:
+            raise ValueError("trajectory must be 2-D (channels x marks)")
+        n, m = t.shape
+        w = int(window_marks)
+        if w < 2:
+            raise ValueError("window needs at least two marks")
+        if m < w:
+            raise ValueError(f"trajectory ({m} marks) shorter than window ({w})")
+        n_pos = m - w + 1
+        self.window_marks = w
+        self.n_pos = n_pos
+
+        nan_mask = np.isnan(t)
+        valid = np.maximum((~nan_mask).sum(axis=1), 1)
+        row_mean = np.where(
+            nan_mask.all(axis=1), 0.0, np.nansum(t, axis=1) / valid
+        )
+        u = t - row_mean[:, None]
+        u[nan_mask] = 0.0
+        self.centered = u
+
+        # Prefix sums over marks; window p covers marks [p, p + w).
+        def win_sum(x: np.ndarray) -> np.ndarray:
+            c = np.cumsum(x, axis=1)
+            out = c[:, w - 1 :].copy()
+            out[:, 1:] -= c[:, : n_pos - 1]
+            return out
+
+        nan_free = win_sum(nan_mask.astype(float)) == 0.0
+        s1 = win_sum(u)
+        s2 = win_sum(u * u)
+        mean_c = s1 / w
+        ss = s2 - w * mean_c * mean_c
+
+        # Exactly recompute windows whose prefix-sum variance is within
+        # cancellation noise of the degeneracy gate.
+        guard = _SUSPECT_RTOL * (1.0 + s2)
+        suspect = nan_free & (ss <= guard)
+        n_suspect = int(np.count_nonzero(suspect))
+        self.suspect_fraction = n_suspect / max(n * n_pos, 1)
+        if 0 < n_suspect and self.suspect_fraction <= _SUSPECT_FRACTION_LIMIT:
+            sus_c, sus_p = np.nonzero(suspect)
+            windows = sliding_window_view(u, w, axis=1)[sus_c, sus_p]
+            mu_e = windows.mean(axis=1)
+            dev = windows - mu_e[:, None]
+            mean_c[sus_c, sus_p] = mu_e
+            ss[sus_c, sus_p] = np.einsum("sw,sw->s", dev, dev)
+
+        self.win_mean_c = mean_c
+        self.win_ss = ss
+        self.live = nan_free & (ss > _EPS)
+
+        # Cross-channel mean profile per position (term 2 operand).  Any
+        # channel with a NaN in its window poisons that position's
+        # profile — the batched kernel's NaN-propagating mean does the
+        # same — and near-degenerate profiles are recomputed exactly.
+        win_mean = mean_c + row_mean[:, None]
+        profile = win_mean.T - win_mean.mean(axis=0)[:, None]
+        pos_dead = ~nan_free.all(axis=0)
+        pss = np.einsum("pn,pn->p", profile, profile)
+        p_guard = _SUSPECT_RTOL * (1.0 + np.einsum("pn,pn->p", win_mean.T, win_mean.T))
+        p_suspect = ~pos_dead & (pss <= p_guard)
+        if p_suspect.any():
+            t_zeroed = np.where(nan_mask, 0.0, t)
+            sw = sliding_window_view(t_zeroed, w, axis=1)
+            for p in np.flatnonzero(p_suspect):
+                mu_e = sw[:, p].mean(axis=1)
+                profile[p] = mu_e - mu_e.mean()
+                pss[p] = float(np.dot(profile[p], profile[p]))
+        p_live = ~pos_dead & (pss > _EPS)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            p_scale = np.where(p_live, 1.0 / np.sqrt(np.where(p_live, pss, 1.0)), 0.0)
+        profile *= p_scale[:, None]
+        if not p_live.all():
+            profile[~p_live] = 0.0
+        self.profile = profile
+
+
+def _query_window_blocks(
+    query: np.ndarray, starts: np.ndarray, w: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Exact per-window query-side quantities for the fused sweep.
+
+    Returns ``(qc, q_sum, q_ss, q_live, q_profile)`` for the ``r`` query
+    windows starting at ``starts``: centred windows ``(r, n, w)`` (dead
+    rows zeroed), their element sums ``(r, n)``, sums of squared
+    deviations ``(r, n)``, the live mask, and the unit-norm cross-channel
+    profile ``(r, n)``.  All computed directly (r is a handful of rows),
+    so the query side is bit-exact with :func:`trajectory_correlation`.
+    """
+    n = query.shape[0]
+    windows = sliding_window_view(query, w, axis=1)[:, starts]  # (n, r, w)
+    windows = windows.transpose(1, 0, 2)  # (r, n, w)
+    win_mean = windows.mean(axis=2)  # (r, n)
+    qc = windows - win_mean[:, :, None]
+    q_ss = np.einsum("rnw,rnw->rn", qc, qc)
+    q_live = q_ss > _EPS  # False for NaN
+    if not q_live.all():
+        qc = qc.copy()
+        qc[~q_live] = 0.0
+    q_sum = qc.sum(axis=2)
+
+    q_profile = win_mean - win_mean.mean(axis=1)[:, None]
+    qpss = np.einsum("rn,rn->r", q_profile, q_profile)
+    qp_live = qpss > _EPS
+    with np.errstate(invalid="ignore", divide="ignore"):
+        qp_scale = np.where(
+            qp_live, 1.0 / np.sqrt(np.where(qp_live, qpss, 1.0)), 0.0
+        )
+    q_profile = q_profile * qp_scale[:, None]
+    if not qp_live.all():
+        q_profile[~qp_live] = 0.0
+    return qc, q_sum, q_ss, q_live, q_profile
+
+
+def fused_sweep(
+    query: np.ndarray,
+    starts: np.ndarray,
+    target_stats: SlidingWindowStats,
+) -> np.ndarray:
+    """Eq.-(2) scores of ``r`` query windows against every target position.
+
+    ``query`` is the ``(n, m_q)`` query-side trajectory, ``starts`` the
+    start marks of its ``r`` windows, and ``target_stats`` the target's
+    precomputed :class:`SlidingWindowStats` (same channel set and window
+    length).  Returns ``(r, n_pos)`` scores.
+    """
+    w = target_stats.window_marks
+    n = query.shape[0]
+    qc, q_sum, q_ss, q_live, q_profile = _query_window_blocks(
+        np.asarray(query, dtype=float), np.asarray(starts, dtype=np.intp), w
+    )
+    u = target_stats.centered
+    # Grouped per-channel matmul: (n, r, w) @ (n, w, n_pos) -> (n, r, n_pos).
+    sw = sliding_window_view(u, w, axis=1).transpose(0, 2, 1)
+    dots = np.matmul(np.ascontiguousarray(qc.transpose(1, 0, 2)), sw)
+    # num[r, c, p] = sum_j qc * (u_win - win_mean_c)  (exact expansion).
+    num = dots.transpose(1, 0, 2) - (
+        target_stats.win_mean_c[None, :, :] * q_sum[:, :, None]
+    )
+    live = q_live[:, :, None] & target_stats.live[None, :, :]
+    denom_sq = q_ss[:, :, None] * target_stats.win_ss[None, :, :]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        contrib = np.where(
+            live, num / np.sqrt(np.where(live, denom_sq, 1.0)), 0.0
+        )
+    term1 = contrib.sum(axis=1) / n
+    term2 = q_profile @ target_stats.profile.T
+    return term1 + term2
+
+
+def fused_sliding_correlation(
+    query: np.ndarray, target: np.ndarray
+) -> np.ndarray:
+    """Eq. (2) of ``query`` at every target position, prefix-sum fused.
+
+    Semantically identical to :func:`reference_sliding_correlation` (the
+    differential harness holds all kernels to 1e-9); avoids the batched
+    kernel's full feature-tensor materialisation — O(n * m) sliding
+    statistics plus one grouped matmul.  Falls back to the batched
+    kernel when the target is dominated by degenerate windows (see
+    :data:`_SUSPECT_FRACTION_LIMIT`).
+    """
+    q = np.asarray(query, dtype=float)
+    t = np.asarray(target, dtype=float)
+    _, w, _ = _validate_sliding(q, t)
+    stats = SlidingWindowStats(t, w)
+    if stats.suspect_fraction > _SUSPECT_FRACTION_LIMIT:
+        return batched_sliding_correlation(q, t)
+    return fused_sweep(q, np.array([0], dtype=np.intp), stats)[0]
+
+
 DEFAULT_KERNEL = "batched"
 
 KERNELS = {
     "reference": reference_sliding_correlation,
     "batched": batched_sliding_correlation,
+    "fused": fused_sliding_correlation,
 }
 
 

@@ -11,11 +11,13 @@ and only extend trajectories incrementally (see
 
 from __future__ import annotations
 
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.binding import bind_scan
+from repro.core.binding import DriveBindingIndex, bind_scan
 from repro.core.config import RupsConfig
 from repro.core.resolver import aggregate_estimates, resolve_relative_distance
 from repro.core.syn import SynPoint, find_syn_points
@@ -70,21 +72,62 @@ class RupsEngine:
     config:
         Algorithm tunables; defaults follow the paper (see
         :class:`~repro.core.config.RupsConfig`).
+    trajectory_cache_size:
+        LRU bound on cached :meth:`build_trajectory` results (and their
+        per-drive binding indices).  ``0`` disables trajectory caching
+        and restores the plain per-call :func:`bind_scan` path.
+    reduction_cache_size:
+        LRU bound on cached channel reductions.  A convoy vehicle
+        alternates queries across its neighbours (A<->B, A<->C, ...), so
+        one slot per live pair keeps every tracking session's memoised
+        window features warm; ``0`` disables.
+
+    All caches key on object identity of immutable inputs and hold
+    strong references to the keyed objects, so a recycled ``id()`` can
+    never alias a dead entry (hits additionally verify identity).
+    Cached trajectories come from a per-drive
+    :class:`~repro.core.binding.DriveBindingIndex`, which is
+    differentially tested to be bit-identical to :func:`bind_scan`.
     """
 
-    def __init__(self, config: RupsConfig | None = None) -> None:
+    _BINDING_INDEX_SLOTS = 4
+
+    def __init__(
+        self,
+        config: RupsConfig | None = None,
+        trajectory_cache_size: int = 128,
+        reduction_cache_size: int = 8,
+    ) -> None:
         self.config = config or RupsConfig()
-        # Last channel reduction, keyed by the input trajectory objects
-        # themselves (GsmTrajectory is immutable).  Tracking sessions
-        # query the same pair repeatedly (§V-B); reusing the reduced
-        # trajectories keeps their memoised window features warm across
-        # updates instead of rebuilding them every period.
-        self._last_reduction: (
-            tuple[GsmTrajectory, GsmTrajectory, GsmTrajectory, GsmTrajectory]
-            | None
-        ) = None
+        if trajectory_cache_size < 0 or reduction_cache_size < 0:
+            raise ValueError("cache sizes must be non-negative")
+        self._trajectory_cache_size = int(trajectory_cache_size)
+        self._reduction_cache_size = int(reduction_cache_size)
+        # (id(scan), id(track), at_time_s, context) -> (scan, track, traj)
+        self._trajectories: OrderedDict[tuple, tuple] = OrderedDict()
+        # (id(scan), id(track)) -> (scan, track, DriveBindingIndex)
+        self._binding_indices: OrderedDict[tuple, tuple] = OrderedDict()
+        # (id(own), id(other)) -> (own, other, own_r, other_r).  Tracking
+        # sessions query the same pairs repeatedly (§V-B); reusing the
+        # reduced trajectories keeps their memoised window features warm
+        # across updates instead of rebuilding them every period.
+        self._reductions: OrderedDict[tuple, tuple] = OrderedDict()
 
     # ------------------------------------------------------------------
+    def _binding_index(
+        self, scan: ScanStream, track: EstimatedTrack
+    ) -> DriveBindingIndex:
+        key = (id(scan), id(track))
+        hit = self._binding_indices.get(key)
+        if hit is not None and hit[0] is scan and hit[1] is track:
+            self._binding_indices.move_to_end(key)
+            return hit[2]
+        index = DriveBindingIndex(scan, track, spacing_m=self.config.spacing_m)
+        self._binding_indices[key] = (scan, track, index)
+        while len(self._binding_indices) > self._BINDING_INDEX_SLOTS:
+            self._binding_indices.popitem(last=False)
+        return index
+
     def build_trajectory(
         self,
         scan: ScanStream,
@@ -97,19 +140,49 @@ class RupsEngine:
         Binds the raw scan stream to the dead-reckoned distance domain and
         interpolates missing channels (§IV-C).  The result is what the
         vehicle would broadcast to neighbours.
+
+        Repeated builds over one drive are served from a cached
+        :class:`~repro.core.binding.DriveBindingIndex` (whole-drive
+        binning, O(window) per query) and memoised per query instant, so
+        convoy scenes and tracking sessions stop re-binning the full
+        scan stream on every query.  Results are bit-identical to the
+        uncached path.
         """
-        return bind_scan(
-            scan,
-            track,
-            at_time_s=at_time_s,
-            context_length_m=(
-                self.config.context_length_m
-                if context_length_m is None
-                else context_length_m
-            ),
-            spacing_m=self.config.spacing_m,
-            interpolate=True,
+        ctx = (
+            self.config.context_length_m
+            if context_length_m is None
+            else context_length_m
         )
+        spacing = self.config.spacing_m
+        on_grid = ctx is None or abs(
+            round(float(ctx) / spacing) * spacing - float(ctx)
+        ) <= 1e-9
+        if self._trajectory_cache_size == 0 or not on_grid:
+            return bind_scan(
+                scan,
+                track,
+                at_time_s=at_time_s,
+                context_length_m=ctx,
+                spacing_m=spacing,
+                interpolate=True,
+            )
+        key = (
+            id(scan),
+            id(track),
+            None if at_time_s is None else float(at_time_s),
+            None if ctx is None else float(ctx),
+        )
+        hit = self._trajectories.get(key)
+        if hit is not None and hit[0] is scan and hit[1] is track:
+            self._trajectories.move_to_end(key)
+            return hit[2]
+        trajectory = self._binding_index(scan, track).bind(
+            at_time_s=at_time_s, context_length_m=ctx, interpolate=True
+        )
+        self._trajectories[key] = (scan, track, trajectory)
+        while len(self._trajectories) > self._trajectory_cache_size:
+            self._trajectories.popitem(last=False)
+        return trajectory
 
     def _reduce_channels(
         self, own: GsmTrajectory, other: GsmTrajectory
@@ -120,17 +193,17 @@ class RupsEngine:
         strength is ranked on the combined mean power so both vehicles
         agree on the subset.
         """
-        cached = self._last_reduction
-        if cached is not None and cached[0] is own and cached[1] is other:
-            return cached[2], cached[3]
+        key = (id(own), id(other))
+        hit = self._reductions.get(key)
+        if hit is not None and hit[0] is own and hit[1] is other:
+            self._reductions.move_to_end(key)
+            return hit[2], hit[3]
         common = own.common_channels(other)
         if common.size < 2:
             raise ValueError("trajectories share fewer than two channels")
         own_c = own.select_channels(common)
         other_c = other.select_channels(common)
         k = min(self.config.window_channels, common.size)
-        import warnings
-
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", category=RuntimeWarning)
             mean_own = np.nanmean(own_c.power_dbm, axis=1)
@@ -158,7 +231,10 @@ class RupsEngine:
         chosen = common[top]
         own_r = own_c.select_channels(chosen)
         other_r = other_c.select_channels(chosen)
-        self._last_reduction = (own, other, own_r, other_r)
+        if self._reduction_cache_size > 0:
+            self._reductions[key] = (own, other, own_r, other_r)
+            while len(self._reductions) > self._reduction_cache_size:
+                self._reductions.popitem(last=False)
         return own_r, other_r
 
     # ------------------------------------------------------------------

@@ -29,7 +29,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.config import RupsConfig
-from repro.core.correlation import correlation_matrix, get_kernel
+from repro.core.correlation import (
+    _SUSPECT_FRACTION_LIMIT,
+    correlation_matrix,
+    fused_sweep,
+    get_kernel,
+    trajectory_correlation,
+)
 from repro.core.trajectory import GsmTrajectory
 
 __all__ = [
@@ -180,8 +186,11 @@ def _match_windows(
     With ``kernel="batched"`` all query windows are scored against all
     target positions by a single matmul over the two trajectories'
     memoised feature matrices — the per-query argmax then reads one row
-    of that correlation matrix.  With ``kernel="reference"`` each window
-    is slid by the per-position loop.
+    of that correlation matrix.  With ``kernel="fused"`` the same scores
+    come from the target's memoised sliding statistics and one grouped
+    matmul, never materialising the feature tensor (falling back to the
+    batched path for degenerate-dominated targets).  With
+    ``kernel="reference"`` each window is slid by the per-position loop.
     """
     results: list[tuple[float, int] | None] = [None] * len(query_end_marks)
     if target.n_marks < window_marks:
@@ -192,6 +201,32 @@ def _match_windows(
     ]
     if not valid:
         return results
+    if kernel == "fused":
+        stats = target.sliding_stats(window_marks)
+        if stats.suspect_fraction > _SUSPECT_FRACTION_LIMIT:
+            kernel = "batched"
+        else:
+            starts = np.array(
+                [query_end_marks[i] - window_marks + 1 for i in valid],
+                dtype=np.intp,
+            )
+            scores = fused_sweep(query.power_dbm, starts, stats)
+            best = np.argmax(scores, axis=1)
+            # Re-score each winner with the pairwise reference scorer: the
+            # double-sided search breaks own/other ties by strict argmax
+            # order, and trajectory_correlation is bitwise-symmetric in
+            # its arguments, so the exact rescoring keeps ties exact
+            # where the fused prefix sums would perturb them.
+            for j, i in enumerate(valid):
+                b = int(best[j])
+                q = query.power_dbm[
+                    :, query_end_marks[i] - window_marks + 1 : query_end_marks[i] + 1
+                ]
+                exact = trajectory_correlation(
+                    q, target.power_dbm[:, b : b + window_marks]
+                )
+                results[i] = (float(exact), b + window_marks - 1)
+            return results
     if kernel == "batched":
         rows = np.array(
             [query_end_marks[i] - window_marks + 1 for i in valid], dtype=np.intp

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.correlation import normalized_window_features
+from repro.core.correlation import SlidingWindowStats, normalized_window_features
 
 __all__ = ["GeoTrajectory", "GsmTrajectory"]
 
@@ -146,10 +146,12 @@ class GsmTrajectory:
             raise ValueError("duplicate channel ids")
         object.__setattr__(self, "power_dbm", p)
         object.__setattr__(self, "channel_ids", c)
-        # Lazy per-window-size cache of normalised window features for the
-        # batched SYN kernel; not part of the dataclass value (the power
-        # matrix fully determines it).
+        # Lazy per-window-size caches of normalised window features (the
+        # batched SYN kernel) and sliding window statistics (the fused
+        # kernel); not part of the dataclass value (the power matrix
+        # fully determines both).
         object.__setattr__(self, "_window_features", {})
+        object.__setattr__(self, "_sliding_stats", {})
 
     @property
     def n_channels(self) -> int:
@@ -246,3 +248,19 @@ class GsmTrajectory:
             features = normalized_window_features(self.power_dbm, key)
             cache[key] = features
         return features
+
+    def sliding_stats(self, window_marks: int) -> SlidingWindowStats:
+        """Sliding window statistics for the fused SYN kernel, memoised.
+
+        O(n_channels * n_positions) per window size — far lighter than
+        the batched kernel's feature tensor — and cached on this
+        (immutable) trajectory exactly like :meth:`window_features`.
+        Treat the returned object as read-only.
+        """
+        key = int(window_marks)
+        cache: dict[int, SlidingWindowStats] = self._sliding_stats  # type: ignore[attr-defined]
+        stats = cache.get(key)
+        if stats is None:
+            stats = SlidingWindowStats(self.power_dbm, key)
+            cache[key] = stats
+        return stats

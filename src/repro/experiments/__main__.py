@@ -4,9 +4,15 @@ Usage::
 
     python -m repro.experiments fig2 [--seed N]
     python -m repro.experiments fig11 --drives 3 --queries 40
+    python -m repro.experiments t-campaign --jobs 4
+    python -m repro.experiments fig2 fig3 fig4 --jobs 3
     python -m repro.experiments --list
 
 Each id regenerates one paper artifact and prints its series/table.
+``--jobs`` fans work across processes: several ids run one-per-worker,
+while a single jobs-aware id (e.g. ``t-campaign``) parallelises
+internally.  Results are deterministic for a given seed regardless of
+``--jobs``.
 """
 
 from __future__ import annotations
@@ -16,7 +22,12 @@ import sys
 import time
 
 from repro.experiments.evaluation import EvalSettings
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    JOBS_AWARE,
+    run_experiment,
+    run_experiments,
+)
 
 #: Experiments that accept an EvalSettings workload object.
 _EVAL_IDS = {"fig9", "fig10", "fig11", "fig12"}
@@ -40,9 +51,10 @@ def main(argv: list[str] | None = None) -> int:
         description="Regenerate one paper artifact (figure or SV table).",
     )
     parser.add_argument(
-        "experiment",
-        nargs="?",
-        help=f"artifact id, one of: {', '.join(sorted(EXPERIMENTS))}",
+        "experiments",
+        nargs="*",
+        metavar="experiment",
+        help=f"artifact id(s), from: {', '.join(sorted(EXPERIMENTS))}",
     )
     parser.add_argument("--list", action="store_true", help="list artifact ids")
     parser.add_argument("--seed", type=int, default=0, help="root seed")
@@ -52,34 +64,60 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--queries", type=int, default=60, help="queries per drive (SVI studies)"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = all cores); several ids fan out one "
+        "per worker, a single jobs-aware id parallelises internally",
+    )
     args = parser.parse_args(argv)
 
-    if args.list or args.experiment is None:
+    if args.list or not args.experiments:
         for exp_id in sorted(EXPERIMENTS):
             print(exp_id)
         return 0
 
-    if args.experiment not in EXPERIMENTS:
+    unknown = [e for e in args.experiments if e not in EXPERIMENTS]
+    if unknown:
         print(
-            f"unknown experiment {args.experiment!r}; "
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
             f"available: {', '.join(sorted(EXPERIMENTS))}",
             file=sys.stderr,
         )
         return 2
 
-    kwargs: dict = {}
-    if args.experiment in _EVAL_IDS:
-        kwargs["settings"] = EvalSettings(
-            n_drives=args.drives, queries_per_drive=args.queries, seed=args.seed
-        )
-    elif args.experiment in _SEEDED_IDS:
-        kwargs["seed"] = args.seed
+    def kwargs_for(exp_id: str) -> dict:
+        kwargs: dict = {}
+        if exp_id in _EVAL_IDS:
+            kwargs["settings"] = EvalSettings(
+                n_drives=args.drives, queries_per_drive=args.queries, seed=args.seed
+            )
+        elif exp_id in _SEEDED_IDS:
+            kwargs["seed"] = args.seed
+        # A lone jobs-aware experiment gets the whole worker budget;
+        # when several ids fan out, the workers are spent across ids.
+        if exp_id in JOBS_AWARE and len(args.experiments) == 1:
+            kwargs["jobs"] = args.jobs
+        return kwargs
 
     start = time.perf_counter()
-    result = run_experiment(args.experiment, **kwargs)
+    if len(args.experiments) == 1:
+        exp_id = args.experiments[0]
+        results = [(exp_id, run_experiment(exp_id, **kwargs_for(exp_id)))]
+    else:
+        results = run_experiments(
+            args.experiments,
+            jobs=args.jobs,
+            kwargs_by_id={e: kwargs_for(e) for e in args.experiments},
+        )
     elapsed = time.perf_counter() - start
-    print(result.render())
-    print(f"\n[{args.experiment} regenerated in {elapsed:.1f} s]")
+    for i, (exp_id, result) in enumerate(results):
+        if i:
+            print()
+        print(result.render())
+    ids = ", ".join(exp_id for exp_id, _ in results)
+    print(f"\n[{ids} regenerated in {elapsed:.1f} s]")
     return 0
 
 

@@ -24,6 +24,8 @@ from repro.gsm.scanner import RadioGroup
 from repro.roads.network import RoadNetwork, RoadNetworkConfig, generate_network
 from repro.roads.route import Route, random_route
 from repro.roads.types import RoadType
+from repro.runtime import DeterministicExecutor
+from repro.runtime.executor import get_shared
 from repro.util.rng import RngFactory
 from repro.vehicles.drive import simulate_drive
 from repro.vehicles.idm import follow_leader
@@ -73,6 +75,53 @@ class CampaignResult:
         return out
 
 
+# ----------------------------------------------------------------------
+# task functions — module level so they pickle into spawn workers; each
+# is a pure function of its item (plus the wave's read-only shared
+# statics), which is what makes jobs=N bit-identical to jobs=1.
+# ----------------------------------------------------------------------
+
+def _campaign_simulate_task(item: tuple) -> object:
+    """Simulate one vehicle of one drive (shared: ``route_field``)."""
+    motion, drive_factory, vehicle_key, n_radios, plan = item
+    group = RadioGroup(plan, n_radios=n_radios)
+    return simulate_drive(
+        get_shared("route_field"),
+        motion,
+        group,
+        seed=drive_factory,
+        vehicle_key=vehicle_key,
+    )
+
+
+def _campaign_query_chunk_task(item: tuple) -> list[tuple[RoadType, QueryOutcome]]:
+    """Answer one chunk of query instants for one drive.
+
+    The chunk carries its drive's records explicitly; each worker builds
+    its own engine, whose caches are differentially proven bit-identical
+    to the uncached pipeline, so chunk boundaries cannot change results.
+    """
+    front, rear, lead, rear_motion, times, config = item
+    engine = RupsEngine(config)
+    route: Route = get_shared("route")
+    out: list[tuple[RoadType, QueryOutcome]] = []
+    for tq in times:
+        own = engine.build_trajectory(rear.scan, rear.estimated, at_time_s=tq)
+        other = engine.build_trajectory(front.scan, front.estimated, at_time_s=tq)
+        est = engine.estimate_relative_distance(own, other)
+        truth = float(lead.arc_length_at(tq)) - float(rear_motion.arc_length_at(tq))
+        road_type = route.road_type_at(float(rear_motion.arc_length_at(tq)))
+        out.append(
+            (
+                road_type,
+                QueryOutcome(
+                    time_s=float(tq), truth_m=truth, estimate_m=est.distance_m
+                ),
+            )
+        )
+    return out
+
+
 def run_campaign(
     route_length_m: float = 6000.0,
     n_drives: int = 2,
@@ -81,6 +130,7 @@ def run_campaign(
     seed: int = 0,
     network: RoadNetwork | None = None,
     config: RupsConfig | None = None,
+    jobs: int | None = 1,
 ) -> CampaignResult:
     """Drive a two-car pair over one mixed route, repeatedly, and query.
 
@@ -95,6 +145,12 @@ def run_campaign(
         traversals).
     queries_per_drive:
         Random query instants per drive.
+    jobs:
+        Worker processes (``None``/``0`` = all cores).  Every vehicle
+        simulation and query chunk is an independent task seeded by its
+        own :class:`~repro.util.rng.RngFactory` child and merged in
+        deterministic order, so the result is byte-identical for any
+        ``jobs`` (enforced by the determinism suite).
     """
     factory = RngFactory(seed)
     plan = plan or EVAL_SUBSET_115
@@ -121,14 +177,12 @@ def run_campaign(
     route_field = build_route_field(
         network, route, plan=plan, seed=factory.child("fields")
     )
-    engine = RupsEngine(config)
-    group = RadioGroup(plan, n_radios=4)
 
-    result = CampaignResult(route_length_m=route.length, n_drives=n_drives)
+    # Kinematics per drive (cheap, serial): the lead's speed limit is a
+    # conservative urban one; stops provide variety.
+    motions = []
     for d in range(n_drives):
         drive_factory = factory.child("drive", d)
-        # Speed limit follows the local segment; for the profile we use a
-        # conservative urban limit and let stops provide variety.
         lead = urban_speed_profile(
             duration_s=min(600.0, (route.length - 200.0) / 9.0),
             speed_limit_ms=13.0,
@@ -138,31 +192,44 @@ def run_campaign(
         rear_motion = follow_leader(lead, initial_gap_m=30.0)
         if lead.s_m[-1] > route.length - 10.0:
             raise RuntimeError("drive overruns the route; lengthen the route")
-        front = simulate_drive(
-            route_field, lead, group, seed=drive_factory, vehicle_key="front"
-        )
-        rear = simulate_drive(
-            route_field, rear_motion, group, seed=drive_factory, vehicle_key="rear"
-        )
+        motions.append((lead, rear_motion, drive_factory))
 
-        t_ready = float(
-            rear_motion.time_at_distance(
-                rear_motion.s_m[0] + config.context_length_m + 50.0
-            )
-        )
-        q_rng = factory.generator("queries", d)
-        for tq in q_rng.uniform(t_ready, lead.t1 - 2.0, size=queries_per_drive):
-            own = engine.build_trajectory(rear.scan, rear.estimated, at_time_s=tq)
-            other = engine.build_trajectory(front.scan, front.estimated, at_time_s=tq)
-            est = engine.estimate_relative_distance(own, other)
-            truth = float(lead.arc_length_at(tq)) - float(
-                rear_motion.arc_length_at(tq)
-            )
-            road_type = route.road_type_at(float(rear_motion.arc_length_at(tq)))
-            batch = result.by_road_type.setdefault(road_type, QueryBatch())
-            batch.append(
-                QueryOutcome(
-                    time_s=float(tq), truth_m=truth, estimate_m=est.distance_m
+    result = CampaignResult(route_length_m=route.length, n_drives=n_drives)
+    with DeterministicExecutor(
+        jobs=jobs, shared={"route_field": route_field, "route": route}
+    ) as executor:
+        # Phase 1: every (drive, vehicle) simulation is one task; the
+        # route field ships to each worker once via the shared statics.
+        sim_items = []
+        for lead, rear_motion, drive_factory in motions:
+            sim_items.append((lead, drive_factory, "front", 4, plan))
+            sim_items.append((rear_motion, drive_factory, "rear", 4, plan))
+        records = executor.map_ordered(_campaign_simulate_task, sim_items)
+
+        # Phase 2: query instants are drawn serially (they only depend
+        # on the factory), then chunked across workers per drive.
+        chunk_items = []
+        for d, (lead, rear_motion, _) in enumerate(motions):
+            front, rear = records[2 * d], records[2 * d + 1]
+            t_ready = float(
+                rear_motion.time_at_distance(
+                    rear_motion.s_m[0] + config.context_length_m + 50.0
                 )
             )
+            q_rng = factory.generator("queries", d)
+            times = q_rng.uniform(t_ready, lead.t1 - 2.0, size=queries_per_drive)
+            for chunk in executor.chunks(list(times)):
+                if chunk:
+                    chunk_items.append(
+                        (front, rear, lead, rear_motion, chunk, config)
+                    )
+        chunk_results = executor.map_ordered(
+            _campaign_query_chunk_task, chunk_items
+        )
+
+    # Ordered merge: chunks were emitted in (drive, query) order, so the
+    # bucket insertion order below reproduces the serial loop exactly.
+    for outcomes in chunk_results:
+        for road_type, outcome in outcomes:
+            result.by_road_type.setdefault(road_type, QueryBatch()).append(outcome)
     return result

@@ -29,7 +29,9 @@ from repro.experiments.timing import (
     response_time_table,
 )
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+from repro.runtime import DeterministicExecutor
+
+__all__ = ["EXPERIMENTS", "JOBS_AWARE", "run_experiment", "run_experiments"]
 
 #: All reproducible paper artifacts.
 EXPERIMENTS: dict[str, Callable] = {
@@ -50,6 +52,10 @@ EXPERIMENTS: dict[str, Callable] = {
 }
 
 
+#: Experiments whose callables accept a ``jobs=`` fan-out parameter.
+JOBS_AWARE = {"t-campaign"}
+
+
 def run_experiment(exp_id: str, **kwargs):
     """Run one experiment by paper-artifact id and return its result."""
     try:
@@ -59,3 +65,31 @@ def run_experiment(exp_id: str, **kwargs):
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
     return fn(**kwargs)
+
+
+def _run_experiment_task(item: tuple[str, dict]):
+    exp_id, kwargs = item
+    return exp_id, run_experiment(exp_id, **kwargs)
+
+
+def run_experiments(
+    exp_ids: list[str],
+    jobs: int | None = 1,
+    kwargs_by_id: dict[str, dict] | None = None,
+) -> list[tuple[str, object]]:
+    """Run several experiments, fanned out across worker processes.
+
+    The coarsest parallel grain: each artifact regenerates in its own
+    process (every experiment is already a pure function of its seed /
+    settings).  Results come back as ``(exp_id, result)`` pairs in the
+    order requested, independent of completion order.
+    """
+    kwargs_by_id = kwargs_by_id or {}
+    unknown = [e for e in exp_ids if e not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(
+            f"unknown experiments {unknown!r}; available: {sorted(EXPERIMENTS)}"
+        )
+    items = [(exp_id, kwargs_by_id.get(exp_id, {})) for exp_id in exp_ids]
+    with DeterministicExecutor(jobs=jobs) as executor:
+        return executor.map_ordered(_run_experiment_task, items)

@@ -34,6 +34,28 @@ class _RouteGeometryAdapter:
 
     def __init__(self, route: Route) -> None:
         self._route = route
+        # Flattened projection geometry: every polyline segment of every
+        # leg, concatenated in (leg, segment) order so one global argmin
+        # reproduces the first-minimum tie order of the per-leg loop.
+        starts, vecs, local_cum, leg_start, leg_len, leg_rev = [], [], [], [], [], []
+        for leg in route.legs:
+            poly = leg.segment.polyline
+            pts = poly.points
+            cum = poly.cumulative_lengths
+            n_seg = pts.shape[0] - 1
+            starts.append(pts[:-1])
+            vecs.append(pts[1:] - pts[:-1])
+            local_cum.append(cum[:-1])
+            leg_start.append(np.full(n_seg, leg.start_offset))
+            leg_len.append(np.full(n_seg, leg.segment.length))
+            leg_rev.append(np.full(n_seg, bool(leg.reverse)))
+        self._seg_a = np.concatenate(starts, axis=0)
+        self._seg_ab = np.concatenate(vecs, axis=0)
+        self._seg_norm2 = np.einsum("ij,ij->i", self._seg_ab, self._seg_ab)
+        self._seg_local_cum = np.concatenate(local_cum)
+        self._seg_leg_start = np.concatenate(leg_start)
+        self._seg_leg_len = np.concatenate(leg_len)
+        self._seg_leg_rev = np.concatenate(leg_rev)
 
     @property
     def length(self) -> float:
@@ -65,18 +87,22 @@ class _RouteGeometryAdapter:
         return float(out[0]) if scalar else out
 
     def project(self, point: np.ndarray) -> float:
-        """Route arc length of the closest point across all legs."""
-        best_s = 0.0
-        best_d = np.inf
-        for leg in self._route.legs:
-            local = leg.segment.polyline.project(point)
-            pos = np.asarray(leg.segment.polyline.position(local))
-            d = float(np.linalg.norm(pos - np.asarray(point, dtype=float)))
-            if d < best_d:
-                best_d = d
-                travel = leg.segment.length - local if leg.reverse else local
-                best_s = leg.start_offset + travel
-        return best_s
+        """Route arc length of the closest point across all legs.
+
+        One exact point-to-segment projection over the flattened
+        geometry of every leg — no per-leg Python loop.
+        """
+        p = np.asarray(point, dtype=float)
+        rel = p - self._seg_a
+        t = np.clip(
+            np.einsum("ij,ij->i", rel, self._seg_ab) / self._seg_norm2, 0.0, 1.0
+        )
+        closest = self._seg_a + t[:, None] * self._seg_ab
+        d2 = np.einsum("ij,ij->i", closest - p, closest - p)
+        k = int(np.argmin(d2))
+        local = float(self._seg_local_cum[k] + t[k] * np.sqrt(self._seg_norm2[k]))
+        travel = self._seg_leg_len[k] - local if self._seg_leg_rev[k] else local
+        return float(self._seg_leg_start[k] + travel)
 
 
 class RouteSignalField:

@@ -1,0 +1,15 @@
+"""Deterministic parallel experiment runtime.
+
+Process-pool fan-out whose results are bit-identical to serial
+execution: every task is a pure function of explicitly passed arguments
+(seeding flows through :class:`~repro.util.rng.RngFactory` children, so
+no task's randomness depends on scheduling), tasks return picklable
+values, and results are merged in task order regardless of completion
+order.  ``jobs=1`` runs the very same task functions inline, which makes
+"parallel equals serial" true by construction and testable byte for
+byte.
+"""
+
+from repro.runtime.executor import DeterministicExecutor, resolve_jobs
+
+__all__ = ["DeterministicExecutor", "resolve_jobs"]

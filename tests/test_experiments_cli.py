@@ -36,3 +36,57 @@ class TestCli:
         assert main(["fig12", "--drives", "1", "--queries", "4", "--seed", "1"]) == 0
         out = capsys.readouterr().out
         assert "GPS" in out
+
+
+class TestCliJobs:
+    def test_multiple_ids_inline(self, capsys):
+        assert main(["fig1", "t-respond", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out
+        assert "incremental" in out
+        assert "fig1, t-respond regenerated" in out
+
+    def test_multiple_ids_parallel(self, capsys):
+        assert main(["fig1", "t-respond", "--seed", "2", "--jobs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 1" in out
+        assert "incremental" in out
+
+    def test_unknown_id_among_many(self, capsys):
+        assert main(["fig1", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_jobs_forwarded_to_jobs_aware_experiment(self, capsys, monkeypatch):
+        seen = {}
+
+        class _Stub:
+            def render(self):
+                return "stub table"
+
+        def fake_campaign(**kwargs):
+            seen.update(kwargs)
+            return _Stub()
+
+        monkeypatch.setitem(EXPERIMENTS, "t-campaign", fake_campaign)
+        assert main(["t-campaign", "--seed", "3", "--jobs", "4"]) == 0
+        assert seen["seed"] == 3
+        assert seen["jobs"] == 4
+        assert "stub table" in capsys.readouterr().out
+
+    def test_jobs_not_forwarded_when_fanning_out(self, capsys, monkeypatch):
+        seen = {}
+
+        class _Stub:
+            def render(self):
+                return "stub table"
+
+        def fake_campaign(**kwargs):
+            seen.update(kwargs)
+            return _Stub()
+
+        monkeypatch.setitem(EXPERIMENTS, "t-campaign", fake_campaign)
+        # Two ids: the worker budget belongs to the fan-out, not to the
+        # jobs-aware experiment (jobs=1 keeps execution inline so the
+        # monkeypatched registry entry is visible to the task).
+        assert main(["t-campaign", "t-respond", "--seed", "3"]) == 0
+        assert "jobs" not in seen

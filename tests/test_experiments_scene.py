@@ -63,3 +63,39 @@ class TestConvoyScene:
     def test_build_validation(self, small_plan):
         with pytest.raises(ValueError):
             build_convoy_scene(n_vehicles=1, plan=small_plan)
+
+
+class TestAllPairsBuildsOncePerVehicle:
+    def test_trajectory_built_once_per_vehicle(self, scene, monkeypatch):
+        from repro.core.engine import RupsEngine
+
+        calls = []
+        original = RupsEngine.build_trajectory
+
+        def counting(self, scan, track, **kwargs):
+            calls.append(id(scan))
+            return original(self, scan, track, **kwargs)
+
+        monkeypatch.setattr(RupsEngine, "build_trajectory", counting)
+        scene.all_pairs(231.0)
+        # N builds for N vehicles — not one per ordered pair (2·N·(N-1)).
+        assert len(calls) == scene.n_vehicles
+        assert len(set(calls)) == scene.n_vehicles
+
+    def test_latency_accounting_amortises_builds(self, scene):
+        results = scene.all_pairs(233.0)
+        n = scene.n_vehicles
+        assert len(results) == n * (n - 1)
+        for _, latency in results.values():
+            # Every pair is charged a share of the builds it used plus
+            # its own matching time — never zero, never the whole bill.
+            assert 0.0 < latency.compute_s < 0.5
+            assert latency.comm_s > 0.0
+
+    def test_all_pairs_matches_pairwise_queries(self, scene):
+        paired = scene.all_pairs(235.0)
+        for (a, b), (est, _) in paired.items():
+            single, _ = scene.query(a, b, 235.0)
+            assert (est.distance_m is None) == (single.distance_m is None)
+            if est.distance_m is not None:
+                assert est.distance_m == pytest.approx(single.distance_m)

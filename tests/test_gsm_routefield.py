@@ -159,3 +159,39 @@ class TestRouteDriveIntegration:
         assert est.resolved
         truth = float(scn.true_relative_distance(tq))
         assert est.distance_m == pytest.approx(truth, abs=10.0)
+
+
+class TestProjectVectorised:
+    def _reference_project(self, route, point):
+        # The original per-leg loop, kept as the differential reference.
+        best_s, best_d = 0.0, np.inf
+        for leg in route.legs:
+            local = leg.segment.polyline.project(point)
+            pos = np.asarray(leg.segment.polyline.position(local))
+            d = float(np.linalg.norm(pos - np.asarray(point, dtype=float)))
+            if d < best_d:
+                best_d = d
+                travel = leg.segment.length - local if leg.reverse else local
+                best_s = leg.start_offset + travel
+        return best_s
+
+    def test_matches_per_leg_loop(self, route_field, route):
+        rng = np.random.default_rng(17)
+        pts = np.vstack(
+            [leg.segment.polyline.points for leg in route.legs]
+        )
+        lo, hi = pts.min(axis=0) - 50.0, pts.max(axis=0) + 50.0
+        adapter = route_field.polyline
+        for point in rng.uniform(lo, hi, size=(200, 2)):
+            expect = self._reference_project(route, point)
+            got = adapter.project(point)
+            # Near-exact ties between legs (junction vertices) may
+            # resolve to the other endpoint of the same junction, which
+            # is the same route position; otherwise exact.
+            assert got == pytest.approx(expect, abs=1e-6)
+
+    def test_roundtrip_on_route_points(self, route_field, route):
+        adapter = route_field.polyline
+        for s in np.linspace(1.0, route.length - 1.0, 25):
+            point = adapter.position(float(s))
+            assert adapter.project(point) == pytest.approx(float(s), abs=1e-6)

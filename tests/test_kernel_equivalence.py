@@ -1,16 +1,18 @@
-"""Differential harness: the batched SYN kernel vs the reference loop.
+"""Differential harness: the fast SYN kernels vs the reference loop.
 
-The batched matmul kernel (``repro.core.correlation``) is only safe to
-ship because this harness proves it equivalent to the per-window
-reference loop on randomised inputs.  Two layers:
+The batched matmul kernel and the fused prefix-sum kernel
+(``repro.core.correlation``) are only safe to ship because this harness
+proves them equivalent to the per-window reference loop on randomised
+inputs.  Two layers:
 
-* **Kernel level** — ``batched_sliding_correlation`` against
+* **Kernel level** — ``batched_sliding_correlation`` and
+  ``fused_sliding_correlation`` against
   ``reference_sliding_correlation`` on random query/target matrices,
   including constant channels, constant regions, and NaN gaps.
-* **Search level** — ``seek_syn_point`` / ``find_syn_points`` run twice
-  on the same trajectory pair, once per ``RupsConfig(kernel=...)``, and
-  must return identical SYN indices (exact), scores within 1e-9, and
-  identical ``None``/rejection outcomes.
+* **Search level** — ``seek_syn_point`` / ``find_syn_points`` run once
+  per ``RupsConfig(kernel=...)``, and every fast kernel must return
+  identical SYN indices (exact), scores within 1e-9, and identical
+  ``None``/rejection outcomes to the reference.
 
 Scenarios rotate through genuine overlaps (a shared road signal plus
 per-vehicle noise), disjoint signals (mostly rejections), degenerate
@@ -27,13 +29,16 @@ import pytest
 
 from repro.core.config import RupsConfig
 from repro.core.correlation import (
+    KERNELS,
     batched_sliding_correlation,
+    fused_sliding_correlation,
     reference_sliding_correlation,
 )
 from repro.core.syn import find_syn_points, seek_syn_point
 from repro.core.trajectory import GeoTrajectory, GsmTrajectory
 
 TOL = 1e-9
+FAST_KERNELS = sorted(set(KERNELS) - {"reference"})
 
 
 # ----------------------------------------------------------------------
@@ -133,19 +138,20 @@ def random_scenario(seed: int):
 
 def assert_search_equivalent(own, other, cfg: dict) -> None:
     ref_cfg = RupsConfig(kernel="reference", **cfg)
-    bat_cfg = RupsConfig(kernel="batched", **cfg)
-
     ref_single = seek_syn_point(own, other, ref_cfg)
-    bat_single = seek_syn_point(own, other, bat_cfg)
-    assert (ref_single is None) == (bat_single is None)
-    if ref_single is not None:
-        _assert_same_syn(ref_single, bat_single)
-
     ref_multi = find_syn_points(own, other, ref_cfg)
-    bat_multi = find_syn_points(own, other, bat_cfg)
-    assert len(ref_multi) == len(bat_multi)
-    for r, b in zip(ref_multi, bat_multi):
-        _assert_same_syn(r, b)
+
+    for kernel in FAST_KERNELS:
+        fast_cfg = RupsConfig(kernel=kernel, **cfg)
+        fast_single = seek_syn_point(own, other, fast_cfg)
+        assert (ref_single is None) == (fast_single is None), kernel
+        if ref_single is not None:
+            _assert_same_syn(ref_single, fast_single)
+
+        fast_multi = find_syn_points(own, other, fast_cfg)
+        assert len(ref_multi) == len(fast_multi), kernel
+        for r, b in zip(ref_multi, fast_multi):
+            _assert_same_syn(r, b)
 
 
 def _assert_same_syn(r, b) -> None:
@@ -161,9 +167,16 @@ def _assert_same_syn(r, b) -> None:
 # kernel-level differential
 # ----------------------------------------------------------------------
 
+_FAST_FNS = {
+    "batched": batched_sliding_correlation,
+    "fused": fused_sliding_correlation,
+}
+
+
 class TestSlidingKernelDifferential:
+    @pytest.mark.parametrize("kernel", sorted(_FAST_FNS))
     @pytest.mark.parametrize("seed", range(40))
-    def test_random_inputs_agree(self, seed):
+    def test_random_inputs_agree(self, seed, kernel):
         rng = np.random.default_rng(seed)
         n = int(rng.integers(1, 12))
         m = int(rng.integers(5, 150))
@@ -178,26 +191,28 @@ class TestSlidingKernelDifferential:
         if seed % 4 == 3:  # NaN gaps
             target[rng.random(target.shape) < 0.02] = np.nan
         ref = reference_sliding_correlation(query, target)
-        bat = batched_sliding_correlation(query, target)
-        assert ref.shape == bat.shape == (m - w + 1,)
-        assert np.isfinite(bat).all()
-        np.testing.assert_allclose(bat, ref, rtol=0.0, atol=TOL)
+        fast = _FAST_FNS[kernel](query, target)
+        assert ref.shape == fast.shape == (m - w + 1,)
+        assert np.isfinite(fast).all()
+        np.testing.assert_allclose(fast, ref, rtol=0.0, atol=TOL)
 
-    def test_constant_everything(self):
+    @pytest.mark.parametrize("kernel", sorted(_FAST_FNS))
+    def test_constant_everything(self, kernel):
         query = np.full((4, 12), -80.0)
         target = np.full((4, 40), -80.0)
         ref = reference_sliding_correlation(query, target)
-        bat = batched_sliding_correlation(query, target)
+        fast = _FAST_FNS[kernel](query, target)
         assert np.all(ref == 0.0)
-        assert np.all(bat == 0.0)
+        assert np.all(fast == 0.0)
 
-    def test_argmax_identical_on_true_overlap(self):
+    @pytest.mark.parametrize("kernel", sorted(_FAST_FNS))
+    def test_argmax_identical_on_true_overlap(self, kernel):
         rng = np.random.default_rng(7)
         target = _road_signal(rng, 8, 300)
         query = target[:, 150:200] + rng.normal(0, 0.5, size=(8, 50))
         ref = reference_sliding_correlation(query, target)
-        bat = batched_sliding_correlation(query, target)
-        assert int(np.argmax(ref)) == int(np.argmax(bat)) == 150
+        fast = _FAST_FNS[kernel](query, target)
+        assert int(np.argmax(ref)) == int(np.argmax(fast)) == 150
 
 
 # ----------------------------------------------------------------------

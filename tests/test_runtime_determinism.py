@@ -1,0 +1,72 @@
+"""Determinism suite: parallel runs must equal serial runs byte for byte.
+
+The runtime's whole claim is that ``jobs`` is a throughput knob, never a
+results knob.  Campaign results are compared with ``pickle.dumps`` —
+any drifting float, reordered bucket, or changed dict insertion order
+fails — and the experiment-level fan-out is compared through rendered
+artifacts.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments.campaign import run_campaign
+from repro.experiments.registry import run_experiment, run_experiments
+
+SMALL_CAMPAIGN = dict(
+    route_length_m=6000.0, n_drives=2, queries_per_drive=3, seed=7
+)
+
+
+class TestCampaignJobsDeterminism:
+    def test_parallel_campaign_byte_identical_to_serial(self, small_plan):
+        serial = run_campaign(plan=small_plan, jobs=1, **SMALL_CAMPAIGN)
+        parallel = run_campaign(plan=small_plan, jobs=4, **SMALL_CAMPAIGN)
+        assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+    def test_all_cores_byte_identical_to_serial(self, small_plan):
+        serial = run_campaign(plan=small_plan, jobs=1, **SMALL_CAMPAIGN)
+        all_cores = run_campaign(plan=small_plan, jobs=None, **SMALL_CAMPAIGN)
+        assert pickle.dumps(serial) == pickle.dumps(all_cores)
+
+    @pytest.mark.slow
+    def test_golden_config_campaign_jobs_invariant(self):
+        """The golden campaign itself under jobs=2 vs jobs=1.
+
+        Together with ``test_goldens_campaign`` (which pins the jobs=1
+        numbers against ``tests/goldens/campaign_small.json``), this
+        extends the golden to every ``jobs`` setting.
+        """
+        import numpy as np
+
+        from repro.gsm.band import RGSM900
+        from tests.test_goldens_campaign import CAMPAIGN_KWARGS, PLAN_STRIDE
+
+        plan = RGSM900.subset(
+            np.arange(0, RGSM900.n_channels, PLAN_STRIDE), name="golden-small"
+        )
+        serial = run_campaign(plan=plan, jobs=1, **CAMPAIGN_KWARGS)
+        parallel = run_campaign(plan=plan, jobs=2, **CAMPAIGN_KWARGS)
+        assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+
+class TestExperimentFanOut:
+    def test_run_experiments_matches_run_experiment(self):
+        inline = run_experiment("fig1", seed=2)
+        (pair,) = run_experiments(["fig1"], jobs=1, kwargs_by_id={"fig1": {"seed": 2}})
+        assert pair[0] == "fig1"
+        assert pair[1].render() == inline.render()
+
+    def test_parallel_fan_out_matches_serial(self):
+        ids = ["fig1", "fig3"]
+        kwargs = {e: {"seed": 2} for e in ids}
+        serial = run_experiments(ids, jobs=1, kwargs_by_id=kwargs)
+        parallel = run_experiments(ids, jobs=2, kwargs_by_id=kwargs)
+        assert [e for e, _ in serial] == [e for e, _ in parallel] == ids
+        for (_, a), (_, b) in zip(serial, parallel):
+            assert a.render() == b.render()
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError, match="fig99"):
+            run_experiments(["fig1", "fig99"])

@@ -1,0 +1,102 @@
+"""Tests for repro.runtime: ordered, spawn-safe deterministic execution."""
+
+import os
+
+import pytest
+
+from repro.runtime import DeterministicExecutor, resolve_jobs
+from repro.runtime.executor import get_shared
+
+
+# Module level so they pickle into spawn workers.
+def _square(x: int) -> int:
+    return x * x
+
+
+def _square_plus_shared(x: int) -> int:
+    return x * x + get_shared("offset")
+
+
+def _pid_task(_: int) -> int:
+    return os.getpid()
+
+
+class TestResolveJobs:
+    def test_explicit(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+
+    def test_none_and_zero_mean_all_cores(self):
+        cores = max(os.cpu_count() or 1, 1)
+        assert resolve_jobs(None) == cores
+        assert resolve_jobs(0) == cores
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+
+class TestChunks:
+    def test_contiguous_and_ordered(self):
+        with DeterministicExecutor(jobs=3) as ex:
+            chunks = ex.chunks(list(range(10)))
+        assert [c for chunk in chunks for c in chunk] == list(range(10))
+        assert len(chunks) == 3
+        assert {len(c) for c in chunks} == {3, 4}
+
+    def test_fewer_items_than_jobs(self):
+        with DeterministicExecutor(jobs=8) as ex:
+            chunks = ex.chunks([1, 2])
+        assert chunks == [[1], [2]]
+
+    def test_empty(self):
+        with DeterministicExecutor(jobs=4) as ex:
+            assert ex.chunks([]) == [[]]
+
+
+class TestInlineExecution:
+    def test_map_ordered(self):
+        with DeterministicExecutor(jobs=1) as ex:
+            assert ex.map_ordered(_square, range(6)) == [0, 1, 4, 9, 16, 25]
+
+    def test_shared_statics(self):
+        with DeterministicExecutor(jobs=1, shared={"offset": 7}) as ex:
+            assert ex.map_ordered(_square_plus_shared, [2, 3]) == [11, 16]
+
+    def test_shared_statics_cleared_on_close(self):
+        with DeterministicExecutor(jobs=1, shared={"offset": 7}) as ex:
+            ex.map_ordered(_square_plus_shared, [1])
+        with pytest.raises(KeyError, match="offset"):
+            get_shared("offset")
+
+    def test_single_item_runs_inline_even_with_many_jobs(self):
+        # One item never justifies a pool; the inline path must still
+        # install the shared statics.
+        with DeterministicExecutor(jobs=4, shared={"offset": 1}) as ex:
+            assert ex.map_ordered(_square_plus_shared, [5]) == [26]
+
+
+class TestParallelExecution:
+    def test_results_in_item_order(self):
+        with DeterministicExecutor(jobs=2) as ex:
+            assert ex.map_ordered(_square, range(8)) == [
+                x * x for x in range(8)
+            ]
+
+    def test_shared_statics_reach_workers(self):
+        with DeterministicExecutor(jobs=2, shared={"offset": 100}) as ex:
+            assert ex.map_ordered(_square_plus_shared, [1, 2, 3, 4]) == [
+                101, 104, 109, 116,
+            ]
+
+    def test_tasks_run_in_other_processes(self):
+        with DeterministicExecutor(jobs=2) as ex:
+            pids = ex.map_ordered(_pid_task, range(4))
+        assert os.getpid() not in pids
+
+    def test_matches_inline(self):
+        items = list(range(11))
+        with DeterministicExecutor(jobs=1) as serial:
+            expect = serial.map_ordered(_square, items)
+        with DeterministicExecutor(jobs=3) as parallel:
+            assert parallel.map_ordered(_square, items) == expect

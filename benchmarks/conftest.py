@@ -7,13 +7,22 @@ micro-benchmarks — and their rendered series are written to
 ``benchmarks/results/<id>.txt`` as well as echoed to stdout (visible with
 ``pytest -s``).  Kernel benches (the SYN search, binding, codec) use the
 normal pytest-benchmark statistics.
+
+Every bench also runs against a fresh :class:`repro.obs.MetricsRegistry`
+(autouse fixture), and :func:`record_result` dumps that registry's
+snapshot to ``benchmarks/results/<id>.metrics.json`` next to the text
+result — cache hit rates, SYN counters and per-stage span histograms for
+exactly the run that produced the recorded numbers.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
+
+from repro.obs import MetricsRegistry, get_registry, use_registry
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -24,13 +33,24 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(autouse=True)
+def _fresh_metrics():
+    """Scope each bench's metrics to its own registry."""
+    with use_registry(MetricsRegistry()) as registry:
+        yield registry
+
+
 @pytest.fixture
 def record_result(results_dir):
-    """Write an experiment's rendered output to its results file."""
+    """Write an experiment's rendered output + metrics snapshot."""
 
     def _record(exp_id: str, text: str) -> None:
         path = results_dir / f"{exp_id}.txt"
         path.write_text(text + "\n")
-        print(f"\n{text}\n[written to {path}]")
+        metrics_path = results_dir / f"{exp_id}.metrics.json"
+        metrics_path.write_text(
+            json.dumps(get_registry().snapshot(), indent=2) + "\n"
+        )
+        print(f"\n{text}\n[written to {path}; metrics in {metrics_path}]")
 
     return _record

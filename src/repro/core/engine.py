@@ -23,6 +23,8 @@ from repro.core.resolver import aggregate_estimates, resolve_relative_distance
 from repro.core.syn import SynPoint, find_syn_points
 from repro.core.trajectory import GsmTrajectory
 from repro.gsm.scanner import ScanStream
+from repro.obs.metrics import inc
+from repro.obs.tracing import trace
 from repro.sensors.deadreckoning import EstimatedTrack
 
 __all__ = ["RupsEngine", "RupsEstimate"]
@@ -112,6 +114,11 @@ class RupsEngine:
         # reduced trajectories keeps their memoised window features warm
         # across updates instead of rebuilding them every period.
         self._reductions: OrderedDict[tuple, tuple] = OrderedDict()
+        # Materialise the cache counters so every metrics snapshot that
+        # saw an engine carries the full hit/miss key set, hits or not.
+        for cache in ("trajectory", "binding_index", "reduction"):
+            inc(f"engine.cache.{cache}.hit", 0)
+            inc(f"engine.cache.{cache}.miss", 0)
 
     # ------------------------------------------------------------------
     def _binding_index(
@@ -121,8 +128,11 @@ class RupsEngine:
         hit = self._binding_indices.get(key)
         if hit is not None and hit[0] is scan and hit[1] is track:
             self._binding_indices.move_to_end(key)
+            inc("engine.cache.binding_index.hit")
             return hit[2]
-        index = DriveBindingIndex(scan, track, spacing_m=self.config.spacing_m)
+        inc("engine.cache.binding_index.miss")
+        with trace("engine.bind_index"):
+            index = DriveBindingIndex(scan, track, spacing_m=self.config.spacing_m)
         self._binding_indices[key] = (scan, track, index)
         while len(self._binding_indices) > self._BINDING_INDEX_SLOTS:
             self._binding_indices.popitem(last=False)
@@ -158,14 +168,15 @@ class RupsEngine:
             round(float(ctx) / spacing) * spacing - float(ctx)
         ) <= 1e-9
         if self._trajectory_cache_size == 0 or not on_grid:
-            return bind_scan(
-                scan,
-                track,
-                at_time_s=at_time_s,
-                context_length_m=ctx,
-                spacing_m=spacing,
-                interpolate=True,
-            )
+            with trace("engine.build"):
+                return bind_scan(
+                    scan,
+                    track,
+                    at_time_s=at_time_s,
+                    context_length_m=ctx,
+                    spacing_m=spacing,
+                    interpolate=True,
+                )
         key = (
             id(scan),
             id(track),
@@ -175,10 +186,13 @@ class RupsEngine:
         hit = self._trajectories.get(key)
         if hit is not None and hit[0] is scan and hit[1] is track:
             self._trajectories.move_to_end(key)
+            inc("engine.cache.trajectory.hit")
             return hit[2]
-        trajectory = self._binding_index(scan, track).bind(
-            at_time_s=at_time_s, context_length_m=ctx, interpolate=True
-        )
+        inc("engine.cache.trajectory.miss")
+        with trace("engine.build"):
+            trajectory = self._binding_index(scan, track).bind(
+                at_time_s=at_time_s, context_length_m=ctx, interpolate=True
+            )
         self._trajectories[key] = (scan, track, trajectory)
         while len(self._trajectories) > self._trajectory_cache_size:
             self._trajectories.popitem(last=False)
@@ -197,7 +211,9 @@ class RupsEngine:
         hit = self._reductions.get(key)
         if hit is not None and hit[0] is own and hit[1] is other:
             self._reductions.move_to_end(key)
+            inc("engine.cache.reduction.hit")
             return hit[2], hit[3]
+        inc("engine.cache.reduction.miss")
         common = own.common_channels(other)
         if common.size < 2:
             raise ValueError("trajectories share fewer than two channels")
@@ -257,7 +273,8 @@ class RupsEngine:
             Optional overrides of the configured multi-SYN behaviour.
         """
         agg = self.config.aggregation if aggregation is None else aggregation
-        own_r, other_r = self._reduce_channels(own, other)
+        with trace("engine.reduce"):
+            own_r, other_r = self._reduce_channels(own, other)
         syn_points = find_syn_points(
             own_r, other_r, self.config, n_points=n_syn_points
         )
@@ -268,9 +285,17 @@ class RupsEngine:
             # windows come back inf and fail the mask.
             disagreement = heading_agreement_many(own_r, other_r, syn_points)
             keep = disagreement <= self.config.max_heading_disagreement_rad
+            inc("syn.rejected.heading", int(np.count_nonzero(~keep)))
             syn_points = [s for s, ok in zip(syn_points, keep) if ok]
-        per_syn = tuple(resolve_relative_distance(s) for s in syn_points)
-        distance = aggregate_estimates(syn_points, agg)
+        with trace("engine.resolve"):
+            per_syn = tuple(resolve_relative_distance(s) for s in syn_points)
+            distance = aggregate_estimates(syn_points, agg)
+        inc("engine.estimates")
+        inc(
+            "engine.estimates.resolved"
+            if distance is not None
+            else "engine.estimates.unresolved"
+        )
         return RupsEstimate(
             distance_m=distance,
             syn_points=tuple(syn_points),

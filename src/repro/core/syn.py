@@ -37,6 +37,8 @@ from repro.core.correlation import (
     trajectory_correlation,
 )
 from repro.core.trajectory import GsmTrajectory
+from repro.obs.metrics import inc
+from repro.obs.tracing import trace
 
 __all__ = [
     "SynPoint",
@@ -359,13 +361,21 @@ def seek_syn_point(
     """
     config = config or RupsConfig()
     _check_comparable(own, other)
+    inc("syn.searches")
     eff = _effective_window(own, other, config)
     if eff is None:
+        inc("syn.no_window")
         return None
     window_marks, threshold = eff
-    (best,) = _double_sided_search(own, other, [0], window_marks, config.kernel)
+    inc("syn.windows", 1)
+    with trace("syn.search"):
+        (best,) = _double_sided_search(
+            own, other, [0], window_marks, config.kernel
+        )
     if best is None or best.score < threshold:
+        inc("syn.rejected.threshold")
         return None
+    inc("syn.accepted")
     return best
 
 
@@ -393,15 +403,25 @@ def find_syn_points(
     n_points = config.n_syn_points if n_points is None else int(n_points)
     if n_points < 1:
         raise ValueError("n_points must be >= 1")
+    inc("syn.searches")
     eff = _effective_window(own, other, config)
     if eff is None:
+        inc("syn.no_window")
         return []
     window_marks, threshold = eff
     stride_marks = max(int(round(config.syn_stride_m / config.spacing_m)), 1)
     offsets = [k * stride_marks for k in range(n_points)]
-    candidates = _double_sided_search(
-        own, other, offsets, window_marks, config.kernel
-    )
-    return [
+    inc("syn.windows", len(offsets))
+    with trace("syn.search"):
+        candidates = _double_sided_search(
+            own, other, offsets, window_marks, config.kernel
+        )
+    accepted = [
         syn for syn in candidates if syn is not None and syn.score >= threshold
     ]
+    scored = sum(1 for syn in candidates if syn is not None)
+    inc("syn.rejected.threshold", scored - len(accepted))
+    inc("syn.accepted", len(accepted))
+    if len(accepted) > 1:
+        inc("syn.multi_syn_yields")
+    return accepted

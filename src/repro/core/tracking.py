@@ -19,8 +19,12 @@ import numpy as np
 from repro.core.config import RupsConfig
 from repro.core.engine import RupsEngine, RupsEstimate
 from repro.core.trajectory import GsmTrajectory
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import inc
 
 __all__ = ["DistanceFilter", "RupsTracker", "TrackerUpdate"]
+
+_log = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -146,8 +150,10 @@ class RupsTracker:
         context = other if other is not None else self._last_context
         if context_age_s < 0:
             raise ValueError("context_age_s must be non-negative")
+        inc("tracker.updates")
         if context is None:
             # Nothing ever decoded: report an unresolved, degraded update.
+            inc("tracker.updates.no_context")
             update = TrackerUpdate(
                 estimate=RupsEstimate(None, (), (), self.config.aggregation),
                 mode="full",
@@ -159,8 +165,25 @@ class RupsTracker:
             return update
         degraded = other is None or context_age_s > 0.0
         over_budget = context_age_s > self.staleness_budget_s
+        was_locked = self._locked
+        if over_budget and self._locked:
+            # Staleness is decided *before* the search mode: a context
+            # past its budget must not be searched in locked (trimmed)
+            # mode and then reported as such — the lock is gone, the
+            # update runs at full context, and the trim cache is cold
+            # (its entries belong to a neighbour no longer trusted).
+            self._locked = False
+            self._failures = 0
+            self._trim_cache.clear()
+            inc("tracker.lock_dropped.staleness")
+            _log.debug(
+                "lock dropped: context_age_s=%.3f budget_s=%.3f",
+                context_age_s,
+                self.staleness_budget_s,
+            )
 
         mode = "locked" if self._locked else "full"
+        inc(f"tracker.updates.{mode}")
         if self._locked:
             own_q = self._trim(own, "own")
             other_q = self._trim(context, "other")
@@ -175,15 +198,24 @@ class RupsTracker:
             self._failures += 1
             if self._failures >= self.max_locked_failures:
                 # Retry immediately at full context before reporting.
+                inc("tracker.full_retries")
                 estimate = self._engine.estimate_relative_distance(own, context)
                 mode = "full"
                 self._locked = estimate.resolved
                 self._failures = 0
-        if over_budget:
-            # Past the staleness budget the lock is no longer trusted,
-            # however well the stale context still matches.
+                if not self._locked:
+                    self._trim_cache.clear()
+                    inc("tracker.lock_dropped.failures")
+        if over_budget and self._locked:
+            # Past the staleness budget the lock is never kept, however
+            # well the stale context still matched the trimmed search.
             self._locked = False
             self._failures = 0
+            self._trim_cache.clear()
+        if self._locked and not was_locked:
+            inc("tracker.lock_acquired")
+        if degraded:
+            inc("tracker.updates.degraded")
         update = TrackerUpdate(
             estimate=estimate,
             mode=mode,
@@ -270,7 +302,11 @@ class DistanceFilter:
         """Advance to ``time_s``; absorb a measurement if one is given.
 
         Returns the filtered distance, or ``None`` until initialized or
-        once stale.
+        once stale.  The constant-velocity prediction only runs while the
+        coast budget holds: past ``max_coast_s`` the state is frozen, and
+        the first measurement after staleness re-initializes the filter
+        (position snap, velocity reset) instead of alpha-correcting from
+        an arbitrarily far-extrapolated state.
         """
         if self._d is None:
             if measurement_m is None:
@@ -280,10 +316,18 @@ class DistanceFilter:
             self._last_meas_t = float(time_s)
             return self._d
         assert self._t is not None
+        assert self._last_meas_t is not None
         dt = float(time_s) - self._t
         if dt < 0:
             raise ValueError("time must not run backwards")
         self._t = float(time_s)
+        if (self._t - self._last_meas_t) > self.max_coast_s:
+            if measurement_m is None:
+                return None
+            self._d = float(measurement_m)
+            self._v = 0.0
+            self._last_meas_t = self._t
+            return self._d
         self._d += self._v * dt
         if measurement_m is not None:
             residual = float(measurement_m) - self._d

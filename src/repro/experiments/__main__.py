@@ -6,6 +6,8 @@ Usage::
     python -m repro.experiments fig11 --drives 3 --queries 40
     python -m repro.experiments t-campaign --jobs 4
     python -m repro.experiments fig2 fig3 fig4 --jobs 3
+    python -m repro.experiments t-campaign --metrics-out metrics.json
+    python -m repro.experiments fig2 --log-level INFO
     python -m repro.experiments --list
 
 Each id regenerates one paper artifact and prints its series/table.
@@ -18,6 +20,7 @@ internally.  Results are deterministic for a given seed regardless of
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -28,6 +31,7 @@ from repro.experiments.registry import (
     run_experiment,
     run_experiments,
 )
+from repro.obs import configure_logging, get_registry
 
 #: Experiments that accept an EvalSettings workload object.
 _EVAL_IDS = {"fig9", "fig10", "fig11", "fig12"}
@@ -59,10 +63,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--list", action="store_true", help="list artifact ids")
     parser.add_argument("--seed", type=int, default=0, help="root seed")
     parser.add_argument(
-        "--drives", type=int, default=3, help="drives pooled per cell (SVI studies)"
+        "--drives",
+        type=int,
+        default=None,
+        help="drives pooled per cell (SVI studies / t-campaign)",
     )
     parser.add_argument(
-        "--queries", type=int, default=60, help="queries per drive (SVI studies)"
+        "--queries",
+        type=int,
+        default=None,
+        help="queries per drive (SVI studies / t-campaign)",
     )
     parser.add_argument(
         "--jobs",
@@ -71,7 +81,24 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes (0 = all cores); several ids fan out one "
         "per worker, a single jobs-aware id parallelises internally",
     )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        help="enable repro logging at LEVEL (DEBUG, INFO, ...); "
+        "silent by default",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the merged metrics snapshot (counters, gauges, "
+        "span histograms) to PATH as JSON",
+    )
     args = parser.parse_args(argv)
+
+    if args.log_level is not None:
+        configure_logging(args.log_level)
 
     if args.list or not args.experiments:
         for exp_id in sorted(EXPERIMENTS):
@@ -91,10 +118,17 @@ def main(argv: list[str] | None = None) -> int:
         kwargs: dict = {}
         if exp_id in _EVAL_IDS:
             kwargs["settings"] = EvalSettings(
-                n_drives=args.drives, queries_per_drive=args.queries, seed=args.seed
+                n_drives=args.drives if args.drives is not None else 3,
+                queries_per_drive=args.queries if args.queries is not None else 60,
+                seed=args.seed,
             )
         elif exp_id in _SEEDED_IDS:
             kwargs["seed"] = args.seed
+        if exp_id == "t-campaign":
+            if args.drives is not None:
+                kwargs["n_drives"] = args.drives
+            if args.queries is not None:
+                kwargs["queries_per_drive"] = args.queries
         # A lone jobs-aware experiment gets the whole worker budget;
         # when several ids fan out, the workers are spent across ids.
         if exp_id in JOBS_AWARE and len(args.experiments) == 1:
@@ -118,6 +152,12 @@ def main(argv: list[str] | None = None) -> int:
         print(result.render())
     ids = ", ".join(exp_id for exp_id, _ in results)
     print(f"\n[{ids} regenerated in {elapsed:.1f} s]")
+    if args.metrics_out:
+        snapshot = get_registry().snapshot()
+        with open(args.metrics_out, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+            fh.write("\n")
+        print(f"[metrics snapshot written to {args.metrics_out}]")
     return 0
 
 

@@ -21,6 +21,9 @@ from repro.experiments.reporting import render_table
 from repro.gsm.band import EVAL_SUBSET_115, ChannelPlan
 from repro.gsm.routefield import build_route_field
 from repro.gsm.scanner import RadioGroup
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import inc, set_gauge
+from repro.obs.tracing import trace
 from repro.roads.network import RoadNetwork, RoadNetworkConfig, generate_network
 from repro.roads.route import Route, random_route
 from repro.roads.types import RoadType
@@ -32,6 +35,8 @@ from repro.vehicles.idm import follow_leader
 from repro.vehicles.kinematics import urban_speed_profile
 
 __all__ = ["CampaignResult", "run_campaign"]
+
+_log = get_logger(__name__)
 
 
 @dataclass
@@ -85,13 +90,15 @@ def _campaign_simulate_task(item: tuple) -> object:
     """Simulate one vehicle of one drive (shared: ``route_field``)."""
     motion, drive_factory, vehicle_key, n_radios, plan = item
     group = RadioGroup(plan, n_radios=n_radios)
-    return simulate_drive(
-        get_shared("route_field"),
-        motion,
-        group,
-        seed=drive_factory,
-        vehicle_key=vehicle_key,
-    )
+    inc("campaign.simulations")
+    with trace("campaign.simulate_vehicle"):
+        return simulate_drive(
+            get_shared("route_field"),
+            motion,
+            group,
+            seed=drive_factory,
+            vehicle_key=vehicle_key,
+        )
 
 
 def _campaign_query_chunk_task(item: tuple) -> list[tuple[RoadType, QueryOutcome]]:
@@ -105,20 +112,27 @@ def _campaign_query_chunk_task(item: tuple) -> list[tuple[RoadType, QueryOutcome
     engine = RupsEngine(config)
     route: Route = get_shared("route")
     out: list[tuple[RoadType, QueryOutcome]] = []
-    for tq in times:
-        own = engine.build_trajectory(rear.scan, rear.estimated, at_time_s=tq)
-        other = engine.build_trajectory(front.scan, front.estimated, at_time_s=tq)
-        est = engine.estimate_relative_distance(own, other)
-        truth = float(lead.arc_length_at(tq)) - float(rear_motion.arc_length_at(tq))
-        road_type = route.road_type_at(float(rear_motion.arc_length_at(tq)))
-        out.append(
-            (
-                road_type,
-                QueryOutcome(
-                    time_s=float(tq), truth_m=truth, estimate_m=est.distance_m
-                ),
+    inc("campaign.chunks")
+    inc("campaign.queries", len(times))
+    with trace("campaign.query_chunk"):
+        for tq in times:
+            own = engine.build_trajectory(rear.scan, rear.estimated, at_time_s=tq)
+            other = engine.build_trajectory(
+                front.scan, front.estimated, at_time_s=tq
             )
-        )
+            est = engine.estimate_relative_distance(own, other)
+            truth = float(lead.arc_length_at(tq)) - float(
+                rear_motion.arc_length_at(tq)
+            )
+            road_type = route.road_type_at(float(rear_motion.arc_length_at(tq)))
+            out.append(
+                (
+                    road_type,
+                    QueryOutcome(
+                        time_s=float(tq), truth_m=truth, estimate_m=est.distance_m
+                    ),
+                )
+            )
     return out
 
 
@@ -198,13 +212,27 @@ def run_campaign(
     with DeterministicExecutor(
         jobs=jobs, shared={"route_field": route_field, "route": route}
     ) as executor:
+        inc("campaign.runs")
+        inc("campaign.drives", n_drives)
+        set_gauge("campaign.jobs", executor.jobs)
+        set_gauge("campaign.route_length_m", route.length)
+        _log.info(
+            "campaign start: route_m=%.0f drives=%d queries_per_drive=%d "
+            "jobs=%d seed=%d",
+            route.length,
+            n_drives,
+            queries_per_drive,
+            executor.jobs,
+            seed,
+        )
         # Phase 1: every (drive, vehicle) simulation is one task; the
         # route field ships to each worker once via the shared statics.
         sim_items = []
         for lead, rear_motion, drive_factory in motions:
             sim_items.append((lead, drive_factory, "front", 4, plan))
             sim_items.append((rear_motion, drive_factory, "rear", 4, plan))
-        records = executor.map_ordered(_campaign_simulate_task, sim_items)
+        with trace("campaign.simulate"):
+            records = executor.map_ordered(_campaign_simulate_task, sim_items)
 
         # Phase 2: query instants are drawn serially (they only depend
         # on the factory), then chunked across workers per drive.
@@ -223,13 +251,19 @@ def run_campaign(
                     chunk_items.append(
                         (front, rear, lead, rear_motion, chunk, config)
                     )
-        chunk_results = executor.map_ordered(
-            _campaign_query_chunk_task, chunk_items
-        )
+        with trace("campaign.query"):
+            chunk_results = executor.map_ordered(
+                _campaign_query_chunk_task, chunk_items
+            )
 
     # Ordered merge: chunks were emitted in (drive, query) order, so the
     # bucket insertion order below reproduces the serial loop exactly.
     for outcomes in chunk_results:
         for road_type, outcome in outcomes:
             result.by_road_type.setdefault(road_type, QueryBatch()).append(outcome)
+    _log.info(
+        "campaign done: queries=%d buckets=%d",
+        sum(len(o) for o in chunk_results),
+        len(result.by_road_type),
+    )
     return result

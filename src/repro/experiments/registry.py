@@ -29,9 +29,14 @@ from repro.experiments.timing import (
     response_time_table,
 )
 
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import inc
+from repro.obs.tracing import trace
 from repro.runtime import DeterministicExecutor
 
 __all__ = ["EXPERIMENTS", "JOBS_AWARE", "run_experiment", "run_experiments"]
+
+_log = get_logger(__name__)
 
 #: All reproducible paper artifacts.
 EXPERIMENTS: dict[str, Callable] = {
@@ -64,7 +69,13 @@ def run_experiment(exp_id: str, **kwargs):
         raise KeyError(
             f"unknown experiment {exp_id!r}; available: {sorted(EXPERIMENTS)}"
         ) from None
-    return fn(**kwargs)
+    inc("experiments.runs")
+    inc(f"experiments.runs.{exp_id}")
+    _log.info("experiment start: id=%s", exp_id)
+    with trace(f"experiment.{exp_id}"):
+        result = fn(**kwargs)
+    _log.info("experiment done: id=%s", exp_id)
+    return result
 
 
 def _run_experiment_task(item: tuple[str, dict]):

@@ -6,6 +6,7 @@ that can be diffed run-to-run and pasted into EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import numbers
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -41,7 +42,17 @@ def render_table(
 
 
 def _fmt(value: object) -> str:
-    if isinstance(value, float):
+    # Booleans and integers (python or numpy) render verbatim; every
+    # other real scalar — builtin float, np.float32/float64, any
+    # numbers.Real — gets the fixed two-decimal format and the
+    # NaN -> "n/a" path, so non-float64 numpy scalars cannot fall
+    # through to full-precision str() and break the fixed-width tables.
+    if isinstance(value, (bool, np.bool_)):
+        return str(bool(value))
+    if isinstance(value, (int, np.integer)):
+        return str(int(value))
+    if isinstance(value, (float, np.floating, numbers.Real)):
+        value = float(value)
         if np.isnan(value):
             return "n/a"
         return f"{value:.2f}"

@@ -1,0 +1,58 @@
+"""Observability: metrics, span tracing and logging for the pipeline.
+
+The paper's §V claims are latency contracts (~1.2 ms SYN search, 0.52 s
+context exchange, 0.1 s tracking periods); a tracking-grade system needs
+to *see* per-stage latency, cache behaviour, delivery statistics and
+worker skew, not infer them from end-to-end wall clock.  This package is
+the dependency-free substrate for that:
+
+* :mod:`repro.obs.metrics` — a process-local :class:`MetricsRegistry`
+  with counters, gauges and fixed-bucket histograms, plus a
+  snapshot/merge API.  :class:`~repro.runtime.DeterministicExecutor`
+  runs every task against a task-scoped registry and merges the
+  snapshots back in submission order, so merged counters are
+  byte-identical for any ``jobs`` (the same invariance the runtime
+  guarantees for results).
+* :mod:`repro.obs.tracing` — lightweight ``with trace("syn.search"):``
+  spans with wall/CPU timings, recorded into a bounded ring buffer and
+  mirrored into a ``span.<name>`` duration histogram of the current
+  metrics registry.
+* :mod:`repro.obs.logconfig` — stdlib-``logging`` integration: every
+  module logs through ``get_logger(...)`` under the ``repro`` namespace,
+  silent by default (NullHandler), opt-in via
+  :func:`configure_logging` or the CLI's ``--log-level``.
+
+Nothing here imports beyond the standard library, and all hot-path
+primitives are plain dict operations — cheap enough to leave enabled
+everywhere (the t-runtime speedup contract is measured with
+instrumentation on).
+"""
+
+from repro.obs.logconfig import configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS_S,
+    MetricsRegistry,
+    get_registry,
+    inc,
+    observe,
+    set_gauge,
+    use_registry,
+)
+from repro.obs.tracing import Span, SpanRecorder, get_recorder, trace, use_recorder
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS_S",
+    "MetricsRegistry",
+    "Span",
+    "SpanRecorder",
+    "configure_logging",
+    "get_logger",
+    "get_recorder",
+    "get_registry",
+    "inc",
+    "observe",
+    "set_gauge",
+    "trace",
+    "use_recorder",
+    "use_registry",
+]

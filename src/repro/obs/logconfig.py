@@ -1,0 +1,71 @@
+"""Structured stdlib-``logging`` integration for the ``repro`` namespace.
+
+Library rules apply: importing ``repro`` must never print, so the root
+``repro`` logger carries a :class:`logging.NullHandler` and nothing
+else.  Applications (and the experiments CLI via ``--log-level``) opt in
+with :func:`configure_logging`, which attaches one stream handler with a
+key=value-friendly format.  Modules obtain child loggers through
+:func:`get_logger` and log lazily (``logger.debug("x=%d", x)``) so
+disabled levels cost one short-circuited call.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO
+
+__all__ = ["ROOT_LOGGER_NAME", "configure_logging", "get_logger"]
+
+#: Namespace every repro logger lives under.
+ROOT_LOGGER_NAME = "repro"
+
+#: One line per event: time, level, logger, message (message bodies use
+#: ``key=value`` pairs so the output greps and parses trivially).
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s %(message)s"
+
+# Silent-by-default library behaviour.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    ``get_logger("v2v.exchange")`` -> ``repro.v2v.exchange``; with no
+    name, the namespace root.  Passing a module's ``__name__`` works too
+    (it already starts with ``repro.``).
+    """
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(
+    level: int | str = "INFO",
+    stream: IO[str] | None = None,
+    fmt: str = LOG_FORMAT,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` root logger.
+
+    Idempotent: a previously attached stream handler is replaced rather
+    than duplicated, so repeated CLI invocations in one process do not
+    multiply output.  Returns the configured root logger.
+    """
+    if isinstance(level, str):
+        parsed = logging.getLevelName(level.upper())
+        if not isinstance(parsed, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = parsed
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(fmt))
+    root.addHandler(handler)
+    root.setLevel(level)
+    return root

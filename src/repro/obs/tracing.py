@@ -1,0 +1,129 @@
+"""Lightweight span tracing with a ring-buffer exporter.
+
+``with trace("syn.search"):`` times a pipeline stage twice — wall clock
+(``perf_counter``) and CPU (``process_time``), so an I/O- or
+scheduling-bound stage is distinguishable from a compute-bound one — and
+records a :class:`Span` into the active :class:`SpanRecorder`'s bounded
+ring buffer.  Each completed span also lands in the active metrics
+registry as a ``span.<name>`` duration histogram, which is how per-stage
+latency survives the worker boundary: spans themselves stay
+process-local diagnostics, their timing distributions merge back with
+the task's metrics snapshot.
+
+Nesting is tracked through an explicit stack, so every span knows its
+depth and enclosing span name; spans are appended on *exit* (children
+before parents), the natural order for a ring buffer.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.obs.metrics import observe
+
+__all__ = ["Span", "SpanRecorder", "get_recorder", "trace", "use_recorder"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed traced stage.
+
+    Attributes
+    ----------
+    name:
+        Stage name (``"syn.search"``, ``"engine.build"``, ...).
+    start_s:
+        ``perf_counter`` value at entry (process-relative, for ordering
+        and gap analysis, not an absolute timestamp).
+    wall_s:
+        Elapsed wall-clock time.
+    cpu_s:
+        Elapsed process CPU time.
+    depth:
+        Nesting depth at entry (0 = no enclosing span).
+    parent:
+        Name of the enclosing span, if any.
+    """
+
+    name: str
+    start_s: float
+    wall_s: float
+    cpu_s: float
+    depth: int
+    parent: str | None
+
+
+class SpanRecorder:
+    """Bounded ring buffer of completed spans.
+
+    Parameters
+    ----------
+    capacity:
+        Spans kept; older ones are evicted FIFO.  Bounded so tracing may
+        stay enabled through arbitrarily long campaigns.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._spans: deque[Span] = deque(maxlen=int(capacity))
+        self._stack: list[str] = []
+
+    @property
+    def capacity(self) -> int:
+        return self._spans.maxlen or 0
+
+    @property
+    def spans(self) -> tuple[Span, ...]:
+        """Recorded spans, oldest first (completion order)."""
+        return tuple(self._spans)
+
+    @property
+    def active(self) -> tuple[str, ...]:
+        """Names of spans currently open, outermost first."""
+        return tuple(self._stack)
+
+    def clear(self) -> None:
+        self._spans.clear()
+
+
+#: Active-recorder stack; the bottom entry is the process default.
+_STACK: list[SpanRecorder] = [SpanRecorder()]
+
+
+def get_recorder() -> SpanRecorder:
+    """The recorder :func:`trace` currently appends to."""
+    return _STACK[-1]
+
+
+@contextmanager
+def use_recorder(recorder: SpanRecorder) -> Iterator[SpanRecorder]:
+    """Make ``recorder`` the active one for the duration of the block."""
+    _STACK.append(recorder)
+    try:
+        yield recorder
+    finally:
+        _STACK.pop()
+
+
+@contextmanager
+def trace(name: str) -> Iterator[None]:
+    """Time a stage: ring-buffer span + ``span.<name>`` histogram entry."""
+    recorder = _STACK[-1]
+    parent = recorder._stack[-1] if recorder._stack else None
+    depth = len(recorder._stack)
+    recorder._stack.append(name)
+    cpu0 = time.process_time()
+    wall0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        wall = time.perf_counter() - wall0
+        cpu = time.process_time() - cpu0
+        recorder._stack.pop()
+        recorder._spans.append(Span(name, wall0, wall, cpu, depth, parent))
+        observe(f"span.{name}", wall)

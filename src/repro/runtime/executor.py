@@ -17,6 +17,13 @@ The contract that keeps parallel runs reproducible:
   are shipped once per worker instead of once per task.  Workers read
   them back via :func:`get_shared`; the inline path installs the same
   statics in-process, so task code is identical under any ``jobs``.
+* **Metrics travel with results.**  Every task — inline or pooled —
+  runs against its own task-scoped
+  :class:`~repro.obs.metrics.MetricsRegistry`; the snapshot ships back
+  with the task result and the parent merges it into its active
+  registry in submission order.  Per-task scoping on *both* paths is
+  what makes merged metrics byte-identical for any ``jobs``: the same
+  per-task subtotals are folded in the same order either way.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence
+
+from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
 
 __all__ = ["DeterministicExecutor", "get_shared", "resolve_jobs"]
 
@@ -46,6 +55,15 @@ def get_shared(name: str) -> Any:
             f"shared static {name!r} not installed; pass it via "
             "DeterministicExecutor(shared={...})"
         ) from None
+
+
+def _metered_call(task: tuple[Callable[[Any], Any], Any]) -> tuple[Any, dict]:
+    """Run one task against a fresh registry; return (result, snapshot)."""
+    fn, item = task
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = fn(item)
+    return result, registry.snapshot()
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -115,17 +133,30 @@ class DeterministicExecutor:
         Results always come back in item order.  With ``jobs=1`` the
         calls run inline in this process — the reference behaviour the
         parallel path must (and, by the determinism suite, does) match
-        byte for byte.
+        byte for byte.  Either way each task runs against its own
+        metrics registry whose snapshot is merged into the caller's
+        active registry in submission order.
         """
         items = list(items)
+        registry = get_registry()
         if self.jobs == 1 or len(items) <= 1:
             if not self._inline_installed:
                 _install_shared(self._shared)
                 self._inline_installed = True
-            return [fn(item) for item in items]
+            results = []
+            for item in items:
+                result, snapshot = _metered_call((fn, item))
+                registry.merge(snapshot)
+                results.append(result)
+            return results
         pool = self._ensure_pool()
-        futures = [pool.submit(fn, item) for item in items]
-        return [f.result() for f in futures]
+        futures = [pool.submit(_metered_call, (fn, item)) for item in items]
+        results = []
+        for future in futures:
+            result, snapshot = future.result()
+            registry.merge(snapshot)
+            results.append(result)
+        return results
 
     def chunks(self, items: Sequence[Any]) -> list[list[Any]]:
         """Split ``items`` into up to ``jobs`` contiguous, ordered chunks.

@@ -14,6 +14,7 @@ from scipy import stats as _scipy_stats
 
 __all__ = [
     "ConfidenceInterval",
+    "cdf_at",
     "empirical_cdf",
     "mean_confidence_interval",
     "percentile_summary",
@@ -59,9 +60,7 @@ def cdf_at(samples: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
     """Evaluate the empirical CDF of ``samples`` at given thresholds."""
     x, f = empirical_cdf(samples)
     idx = np.searchsorted(x, np.asarray(thresholds, dtype=float), side="right")
-    out = np.zeros_like(np.asarray(thresholds, dtype=float))
-    out = np.where(idx > 0, f[np.clip(idx - 1, 0, x.size - 1)], 0.0)
-    return out
+    return np.where(idx > 0, f[np.clip(idx - 1, 0, x.size - 1)], 0.0)
 
 
 def mean_confidence_interval(

@@ -20,11 +20,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs.metrics import inc
 from repro.util.rng import as_generator
 from repro.v2v.faults import GOOD, FaultPlan, GilbertElliott, apply_arrival_faults
 from repro.v2v.wsm import WsmPacket, fragment_payload
 
 __all__ = ["DsrcChannel", "TransferResult"]
+
+
+def _record_transfer(n_fragments: int, result: "TransferResult") -> None:
+    """Mirror one transfer's outcome into the active metrics registry."""
+    inc("v2v.transfers")
+    inc("v2v.fragments.sent", n_fragments)
+    inc("v2v.fragments.lost", result.n_lost_fragments)
+    inc("v2v.packets.tx", result.packets_sent)
+    inc("v2v.retransmissions", result.retransmissions)
+    inc("v2v.bytes_on_air", result.bytes_on_air)
 
 
 @dataclass(frozen=True)
@@ -145,7 +156,7 @@ class DsrcChannel:
         wire = np.array([p.wire_bytes for p in packets])
         bytes_on_air = int(np.sum(wire * attempts))
         arrivals = tuple(p for p, ok in zip(packets, arrived) if ok)
-        return TransferResult(
+        result = TransferResult(
             time_s=time_s,
             packets_sent=total_tx,
             retransmissions=total_tx - n,
@@ -154,6 +165,8 @@ class DsrcChannel:
             fragment_arrived=tuple(bool(ok) for ok in arrived),
             arrivals=arrivals,
         )
+        _record_transfer(n, result)
+        return result
 
     def _transfer_sequential(
         self,
@@ -191,7 +204,7 @@ class DsrcChannel:
                 arrivals.append(packet)
         if plan.touches_arrivals:
             arrivals = apply_arrival_faults(arrivals, gen, plan)
-        return TransferResult(
+        result = TransferResult(
             time_s=clock,
             packets_sent=total_tx,
             retransmissions=total_tx - len(packets),
@@ -200,6 +213,8 @@ class DsrcChannel:
             fragment_arrived=tuple(arrived),
             arrivals=tuple(arrivals),
         )
+        _record_transfer(len(packets), result)
+        return result
 
     def transfer_bytes(
         self,

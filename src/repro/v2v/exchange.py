@@ -31,6 +31,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import inc
 from repro.util.rng import as_generator
 from repro.v2v.channel import DsrcChannel, TransferResult
 from repro.v2v.faults import FaultPlan
@@ -54,6 +56,8 @@ __all__ = [
 #: Exchange-layer message kinds, prepended to the codec payload.
 _MSG_FULL = b"F"
 _MSG_DELTA = b"D"
+
+_log = get_logger(__name__)
 
 
 class DeltaGapError(ValueError):
@@ -273,6 +277,7 @@ class ExchangeSession:
         and forces a full resync on the next attempt.
         """
         if now_s < self._backoff_until_s:
+            inc("v2v.exchange.backoff_suppressed")
             return ExchangeOutcome(
                 mode="backoff",
                 delivered=False,
@@ -304,6 +309,7 @@ class ExchangeSession:
             )
             n_new = max(int(round(new_m / trajectory.spacing_m)), 0)
             if n_new == 0:
+                inc("v2v.exchange.idle")
                 return ExchangeOutcome(
                     mode="idle",
                     delivered=True,
@@ -356,6 +362,9 @@ class ExchangeSession:
 
         decoded = message_id in outcome.decoded_ids
         applied = decoded and outcome.applied in ("full", "delta")
+        inc(f"v2v.exchange.{mode}")
+        inc("v2v.exchange.nack_rounds", rounds)
+        inc("v2v.exchange.retransmitted_fragments", retransmitted)
         if applied:
             if mode == "full":
                 self._peer = _PeerState(
@@ -379,6 +388,16 @@ class ExchangeSession:
                 self.max_backoff_s,
             )
             self._backoff_until_s = clock + backoff
+            inc("v2v.exchange.aborts")
+            _log.debug(
+                "exchange aborted: mode=%s message_id=%d nack_rounds=%d "
+                "backoff_s=%.3f consecutive=%d",
+                mode,
+                message_id,
+                rounds,
+                backoff,
+                self._consecutive_aborts,
+            )
         return ExchangeOutcome(
             mode=mode,
             delivered=applied,
@@ -503,11 +522,13 @@ class ExchangeReceiver:
     ) -> ReceiveOutcome:
         """Absorb one transfer's arrival stream."""
         expired = self.buffer.expire(now_s)
+        inc("v2v.receive.expired_messages", len(expired))
         decoded_ids: list[int] = []
         applied = "none"
         for message_id, payload in self.buffer.extend(result.arrivals, now_s=now_s):
             decoded_ids.append(message_id)
             applied = self._apply(payload, now_s)
+            inc(f"v2v.receive.{applied}")
         return ReceiveOutcome(
             decoded_ids=tuple(decoded_ids),
             applied=applied,

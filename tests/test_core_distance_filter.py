@@ -67,6 +67,39 @@ class TestDistanceFilter:
         assert f.step(11.0, 22.0) is not None
         assert not f.stale
 
+    def test_reinitializes_after_long_coast_gap(self):
+        """Regression: a measurement after staleness must re-initialize.
+
+        Previously the filter kept integrating ``d += v * dt`` through an
+        arbitrarily long gap while returning None, and the first
+        measurement after the gap only alpha-corrected from that
+        far-extrapolated state — leaving a large transient error.
+        """
+        f = DistanceFilter(alpha=0.5, beta=0.1, max_coast_s=3.0)
+        # Establish a strong closing velocity, then go silent for long.
+        for t in np.arange(0.0, 5.0, 1.0):
+            f.step(t, 20.0 + 5.0 * t)
+        assert f.closing_speed_ms > 1.0
+        for t in np.arange(5.5, 600.0, 0.5):
+            assert f.step(t, None) is None or t - 4.0 <= 3.0
+        # Without re-initialization the prediction would sit thousands of
+        # metres away and alpha=0.5 would report ~half that error.
+        out = f.step(600.0, 30.0)
+        assert out == pytest.approx(30.0)
+        assert f.closing_speed_ms == 0.0
+        assert not f.stale
+        # And the filter keeps tracking normally afterwards.
+        out2 = f.step(601.0, 31.0)
+        assert out2 == pytest.approx(31.0, abs=1.0)
+
+    def test_frozen_while_stale_does_not_integrate(self):
+        f = DistanceFilter(max_coast_s=2.0)
+        f.step(0.0, 10.0)
+        f.step(1.0, 12.0)  # v estimate > 0
+        f.step(10.0, None)  # stale
+        f.step(100.0, None)  # still stale: state frozen, no drift
+        assert f.step(100.5, 15.0) == pytest.approx(15.0)
+
     def test_reset(self):
         f = DistanceFilter()
         f.step(0.0, 20.0)

@@ -141,6 +141,35 @@ class TestDegradedTracking:
         assert not u.locked_after
         assert not tracker.locked
 
+    def test_stale_update_searches_full_not_locked(self):
+        """Regression: staleness must be decided before the search mode.
+
+        Previously an over-budget update still ran the locked (trimmed)
+        search, returned ``mode="locked"`` with ``locked_after=False``
+        (a contradictory TrackerUpdate), and left the trim cache warm
+        for a neighbour whose context was no longer trusted.
+        """
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0, staleness_budget_s=1.0)
+        tracker.update(rear, front)
+        tracker.update(rear, front)  # locked update warms the trim cache
+        assert tracker._trim_cache
+        u = tracker.update(rear, other=None, context_age_s=2.0)
+        assert u.mode == "full"
+        assert not u.locked_after
+        assert tracker._trim_cache == {}
+
+    def test_lock_drop_on_failures_clears_trim_cache(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        _, foreign = synthetic_pair(seed=99)
+        tracker = RupsTracker(CFG, locked_context_m=150.0, max_locked_failures=1)
+        tracker.update(rear, front)
+        tracker.update(rear, front)
+        assert tracker._trim_cache
+        tracker.update(rear, foreign)  # locked fails, full retry fails
+        assert not tracker.locked
+        assert tracker._trim_cache == {}
+
     def test_fresh_context_relocks_after_staleness(self):
         rear, front = synthetic_pair(gap_m=30.0)
         tracker = RupsTracker(CFG, locked_context_m=150.0, staleness_budget_s=1.0)

@@ -80,6 +80,34 @@ class TestReporting:
         with pytest.raises(ValueError):
             render_table(["a"], [[1, 2]])
 
+    def test_render_table_numpy_scalars(self):
+        """Regression: non-float64 numpy scalars must format fixed-width.
+
+        ``np.float32(2.5)`` used to fall through ``_fmt`` to ``str()``
+        and render full precision (breaking column alignment), and a
+        ``np.float32`` NaN skipped the "n/a" path entirely.
+        """
+        out = render_table(
+            ["a", "b", "c", "d"],
+            [
+                [np.float32(2.5), np.float64("nan"), np.int32(7), np.bool_(True)],
+                [np.float32("nan"), np.float16(1.25), np.int64(-3), np.bool_(False)],
+            ],
+        )
+        lines = out.splitlines()
+        assert "2.50" in out
+        assert out.count("n/a") == 2
+        assert "7" in out and "-3" in out
+        assert "True" in out and "False" in out
+        # fixed-width: every row renders at the same width
+        assert len({len(line) for line in lines}) == 1
+
+    def test_render_table_fraction_is_real(self):
+        from fractions import Fraction
+
+        out = render_table(["x"], [[Fraction(1, 4)]])
+        assert "0.25" in out
+
     def test_render_cdf_summary(self):
         out = render_cdf_summary({"s": np.array([1.0, 3.0, 9.0])}, grid=(2.0, 10.0))
         assert "P(<=2.0m)" in out

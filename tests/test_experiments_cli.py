@@ -1,9 +1,13 @@
 """Tests for the ``python -m repro.experiments`` CLI."""
 
+import json
+import logging
+
 import pytest
 
 from repro.experiments.__main__ import main
 from repro.experiments.registry import EXPERIMENTS
+from repro.obs import MetricsRegistry, use_registry
 
 
 class TestCli:
@@ -90,3 +94,53 @@ class TestCliJobs:
         # monkeypatched registry entry is visible to the task).
         assert main(["t-campaign", "t-respond", "--seed", "3"]) == 0
         assert "jobs" not in seen
+
+
+class TestCliObservability:
+    def test_metrics_out_writes_parseable_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        with use_registry(MetricsRegistry()):
+            assert (
+                main(
+                    [
+                        "t-campaign",
+                        "--drives",
+                        "1",
+                        "--queries",
+                        "4",
+                        "--seed",
+                        "1",
+                        "--metrics-out",
+                        str(path),
+                    ]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert f"[metrics snapshot written to {path}]" in out
+        snap = json.loads(path.read_text())
+        counters = snap["counters"]
+        assert counters["campaign.queries"] == 4
+        assert counters["syn.searches"] >= 1
+        assert "engine.cache.trajectory.hit" in counters
+        assert "engine.cache.trajectory.miss" in counters
+        assert snap["histograms"]["span.syn.search"]["count"] >= 1
+        assert snap["histograms"]["span.campaign.query_chunk"]["count"] >= 1
+
+    def test_log_level_enables_repro_logging(self, capsys):
+        root = logging.getLogger("repro")
+        try:
+            with use_registry(MetricsRegistry()):
+                assert main(["fig1", "--seed", "2", "--log-level", "INFO"]) == 0
+            assert root.level == logging.INFO
+            err = capsys.readouterr().err
+            assert "experiment start: id=fig1" in err
+        finally:
+            for handler in list(root.handlers):
+                if not isinstance(handler, logging.NullHandler):
+                    root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+
+    def test_bad_log_level_rejected(self):
+        with pytest.raises(ValueError):
+            main(["fig1", "--log-level", "NOISY"])

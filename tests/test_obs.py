@@ -1,0 +1,255 @@
+"""Tests for repro.obs: metrics registry, span tracing, logging config."""
+
+import io
+import json
+import logging
+import pickle
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    MetricsRegistry,
+    SpanRecorder,
+    configure_logging,
+    get_logger,
+    get_recorder,
+    get_registry,
+    trace,
+    use_recorder,
+    use_registry,
+)
+
+
+class TestCounters:
+    def test_inc_and_read(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.inc("a", 4)
+        assert reg.counter("a") == 5
+        assert reg.counter("never") == 0
+
+    def test_module_helpers_hit_active_registry(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            obs.inc("x")
+            obs.set_gauge("g", 2.0)
+            obs.observe("h", 0.5, buckets=(1.0,))
+        assert reg.counter("x") == 1
+        assert reg.gauge("g") == 2.0
+        assert reg.snapshot()["histograms"]["h"]["count"] == 1
+
+    def test_use_registry_nests_and_restores(self):
+        outer, inner = MetricsRegistry(), MetricsRegistry()
+        with use_registry(outer):
+            obs.inc("k")
+            with use_registry(inner):
+                assert get_registry() is inner
+                obs.inc("k")
+            assert get_registry() is outer
+        assert outer.counter("k") == 1
+        assert inner.counter("k") == 1
+
+    def test_clear(self):
+        reg = MetricsRegistry()
+        reg.inc("a")
+        reg.set_gauge("g", 1.0)
+        reg.observe("h", 0.1)
+        reg.clear()
+        snap = reg.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestHistograms:
+    def test_bucket_placement_le_semantics(self):
+        reg = MetricsRegistry()
+        edges = (1.0, 2.0, 4.0)
+        for v in (0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 100.0):
+            reg.observe("h", v, buckets=edges)
+        h = reg.snapshot()["histograms"]["h"]
+        # value <= edge buckets: [<=1, <=2, <=4, overflow]
+        assert h["counts"] == [2, 2, 2, 1]
+        assert h["count"] == 7
+        assert h["min"] == 0.5
+        assert h["max"] == 100.0
+        assert h["sum"] == pytest.approx(112.9)
+
+    def test_conflicting_buckets_rejected(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 0.1, buckets=(1.0, 2.0))
+        reg.observe("h", 0.2)  # None re-uses existing edges
+        reg.observe("h", 0.3, buckets=(1.0, 2.0))  # identical ok
+        with pytest.raises(ValueError, match="different buckets"):
+            reg.observe("h", 0.4, buckets=(1.0, 3.0))
+
+    def test_invalid_edges_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.observe("h", 0.1, buckets=())
+        with pytest.raises(ValueError):
+            reg.observe("h2", 0.1, buckets=(2.0, 1.0))
+
+    def test_default_buckets_are_time_buckets(self):
+        reg = MetricsRegistry()
+        reg.observe("h", 1e-3)
+        assert tuple(reg.snapshot()["histograms"]["h"]["edges"]) == (
+            obs.DEFAULT_TIME_BUCKETS_S
+        )
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters_and_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2)
+        a.observe("h", 0.5, buckets=(1.0, 2.0))
+        b.inc("c", 3)
+        b.inc("only_b")
+        b.observe("h", 1.5, buckets=(1.0, 2.0))
+        b.set_gauge("g", 9.0)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["counters"] == {"c": 5, "only_b": 1}
+        assert snap["gauges"] == {"g": 9.0}
+        h = snap["histograms"]["h"]
+        assert h["counts"] == [1, 1, 0]
+        assert h["count"] == 2
+        assert h["min"] == 0.5 and h["max"] == 1.5
+
+    def test_merge_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.set_gauge("g", 1.0)
+        b.set_gauge("g", 2.0)
+        a.merge(b.snapshot())
+        assert a.gauge("g") == 2.0
+
+    def test_merge_rejects_mismatched_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 0.5, buckets=(1.0,))
+        b.observe("h", 0.5, buckets=(2.0,))
+        with pytest.raises(ValueError, match="bucket edges differ"):
+            a.merge(b.snapshot())
+
+    def test_merge_into_empty_equals_source(self):
+        src = MetricsRegistry()
+        src.inc("c", 7)
+        src.observe("h", 0.2, buckets=(1.0,))
+        src.set_gauge("g", 4.0)
+        dst = MetricsRegistry()
+        dst.merge(src.snapshot())
+        assert pickle.dumps(dst.snapshot()) == pickle.dumps(src.snapshot())
+
+    def test_snapshot_is_json_serialisable(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        reg.observe("h", 0.2)
+        reg.set_gauge("g", 1.0)
+        parsed = json.loads(json.dumps(reg.snapshot()))
+        assert parsed["counters"]["c"] == 1
+
+    def test_snapshot_is_a_copy(self):
+        reg = MetricsRegistry()
+        reg.inc("c")
+        snap = reg.snapshot()
+        reg.inc("c")
+        assert snap["counters"]["c"] == 1
+
+
+class TestTracing:
+    def test_span_nesting_depth_and_parent(self):
+        rec = SpanRecorder()
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            with trace("outer"):
+                with trace("inner"):
+                    pass
+                with trace("inner2"):
+                    pass
+        names = [s.name for s in rec.spans]
+        assert names == ["inner", "inner2", "outer"]  # completion order
+        by_name = {s.name: s for s in rec.spans}
+        assert by_name["outer"].depth == 0
+        assert by_name["outer"].parent is None
+        assert by_name["inner"].depth == 1
+        assert by_name["inner"].parent == "outer"
+        assert by_name["inner2"].parent == "outer"
+
+    def test_span_timings_nonnegative_and_nested_bounded(self):
+        rec = SpanRecorder()
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            with trace("outer"):
+                with trace("inner"):
+                    sum(range(1000))
+        by_name = {s.name: s for s in rec.spans}
+        assert by_name["inner"].wall_s >= 0.0
+        assert by_name["inner"].cpu_s >= 0.0
+        assert by_name["outer"].wall_s >= by_name["inner"].wall_s
+
+    def test_span_feeds_duration_histogram(self):
+        reg = MetricsRegistry()
+        with use_registry(reg), use_recorder(SpanRecorder()):
+            with trace("stage"):
+                pass
+        hist = reg.snapshot()["histograms"]["span.stage"]
+        assert hist["count"] == 1
+        assert hist["sum"] >= 0.0
+
+    def test_ring_buffer_evicts_oldest(self):
+        rec = SpanRecorder(capacity=3)
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            for i in range(5):
+                with trace(f"s{i}"):
+                    pass
+        assert [s.name for s in rec.spans] == ["s2", "s3", "s4"]
+        assert rec.capacity == 3
+
+    def test_exception_still_records_span(self):
+        rec = SpanRecorder()
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            with pytest.raises(RuntimeError):
+                with trace("boom"):
+                    raise RuntimeError("x")
+        assert [s.name for s in rec.spans] == ["boom"]
+        assert rec.active == ()
+
+    def test_active_stack_visible_inside(self):
+        rec = SpanRecorder()
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            with trace("a"):
+                with trace("b"):
+                    assert rec.active == ("a", "b")
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SpanRecorder(capacity=0)
+
+    def test_default_recorder_exists(self):
+        assert isinstance(get_recorder(), SpanRecorder)
+
+
+class TestLogging:
+    def test_silent_by_default(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("v2v.exchange").name == "repro.v2v.exchange"
+        assert get_logger("repro.core.tracking").name == "repro.core.tracking"
+
+    def test_configure_logging_writes_and_is_idempotent(self):
+        stream = io.StringIO()
+        root = configure_logging("DEBUG", stream=stream)
+        try:
+            configure_logging("DEBUG", stream=stream)  # must not duplicate
+            get_logger("test").debug("event=%s value=%d", "hello", 3)
+            out = stream.getvalue()
+            assert out.count("event=hello value=3") == 1
+            assert "DEBUG" in out
+        finally:
+            for handler in list(root.handlers):
+                if not isinstance(handler, logging.NullHandler):
+                    root.removeHandler(handler)
+            root.setLevel(logging.NOTSET)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure_logging("NOISY")

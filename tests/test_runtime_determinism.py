@@ -11,12 +11,24 @@ import pickle
 
 import pytest
 
+from repro import obs
 from repro.experiments.campaign import run_campaign
 from repro.experiments.registry import run_experiment, run_experiments
+from repro.obs import MetricsRegistry, use_registry
+from repro.runtime import DeterministicExecutor
 
 SMALL_CAMPAIGN = dict(
     route_length_m=6000.0, n_drives=2, queries_per_drive=3, seed=7
 )
+
+
+def _metrics_task(item: int) -> int:
+    """Pure task with deterministic metrics writes (module level: pickles)."""
+    obs.inc("task.runs")
+    obs.inc("task.total", item)
+    obs.set_gauge("task.last", float(item))
+    obs.observe("task.value", float(item), buckets=(2.0, 5.0, 8.0))
+    return item * 2
 
 
 class TestCampaignJobsDeterminism:
@@ -49,6 +61,64 @@ class TestCampaignJobsDeterminism:
         serial = run_campaign(plan=plan, jobs=1, **CAMPAIGN_KWARGS)
         parallel = run_campaign(plan=plan, jobs=2, **CAMPAIGN_KWARGS)
         assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+
+class TestMetricsMergeDeterminism:
+    """repro.obs merge semantics: jobs is never a metrics knob either."""
+
+    @staticmethod
+    def _snapshot_for(jobs):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            with DeterministicExecutor(jobs=jobs) as executor:
+                results = executor.map_ordered(_metrics_task, range(10))
+        assert results == [2 * i for i in range(10)]
+        return registry.snapshot()
+
+    @pytest.mark.parametrize("jobs", [2, 4, None])
+    def test_merged_metrics_byte_identical_across_jobs(self, jobs):
+        serial = self._snapshot_for(1)
+        parallel = self._snapshot_for(jobs)
+        assert pickle.dumps(serial) == pickle.dumps(parallel)
+
+    def test_merged_values(self):
+        snap = self._snapshot_for(1)
+        assert snap["counters"] == {"task.runs": 10, "task.total": 45}
+        assert snap["gauges"] == {"task.last": 9.0}  # last submitted task
+        hist = snap["histograms"]["task.value"]
+        assert hist["counts"] == [3, 3, 3, 1]
+        assert hist["count"] == 10
+        assert hist["sum"] == 45.0
+
+    def test_campaign_pipeline_counters_jobs_invariant(self, small_plan):
+        """Pipeline-level counters must not depend on chunk layout.
+
+        Engine-cache hit/miss counters legitimately vary with ``jobs``
+        (each worker chunk builds its own engine, so the cache sees a
+        different request stream); the SYN-search and campaign counters
+        count per-query work and must be identical.
+        """
+
+        def counters_for(jobs):
+            registry = MetricsRegistry()
+            with use_registry(registry):
+                run_campaign(plan=small_plan, jobs=jobs, **SMALL_CAMPAIGN)
+            counters = registry.snapshot()["counters"]
+            # campaign.chunks is scheduling granularity by design (one
+            # chunk per worker); everything else counted here is
+            # per-query work and must be layout-free.
+            return {
+                k: v
+                for k, v in sorted(counters.items())
+                if k.startswith(("syn.", "campaign.", "engine.estimates"))
+                and k != "campaign.chunks"
+            }
+
+        serial = counters_for(1)
+        parallel = counters_for(4)
+        assert serial["campaign.queries"] == 6
+        assert serial["syn.searches"] == 6
+        assert serial == parallel
 
 
 class TestExperimentFanOut:

@@ -50,6 +50,14 @@ class TestEmpiricalCdf:
         vals = cdf_at([1.0, 2.0, 3.0, 4.0], np.array([0.5, 2.0, 10.0]))
         assert np.allclose(vals, [0.0, 0.5, 1.0])
 
+    def test_cdf_at_exported(self):
+        import repro.util.stats as stats
+
+        assert "cdf_at" in stats.__all__
+        from repro.util import cdf_at as reexported
+
+        assert reexported is cdf_at
+
 
 class TestMeanConfidenceInterval:
     def test_contains_mean(self):

@@ -134,7 +134,17 @@ def test_runtime_speedup_contract(record_result, drive_inputs):
         f"({build_speedup:.1f}x)\n"
         f"  build speedup warm vs cold: {build_speedup:.1f}x (contract: >= 5x)"
     )
-    record_result("t-runtime", text)
+    record_result(
+        "t-runtime",
+        text,
+        timings={
+            "legacy_s": legacy_s,
+            "pooled_s": pooled_s,
+            "serial_rt_s": serial_rt_s,
+            "cold_build_s": cold_s,
+            "warm_build_s": warm_s,
+        },
+    )
 
     assert campaign_speedup >= 2.0, (
         f"campaign runtime speedup {campaign_speedup:.2f}x below the 2x contract"

@@ -12,7 +12,16 @@ Every bench also runs against a fresh :class:`repro.obs.MetricsRegistry`
 (autouse fixture), and :func:`record_result` dumps that registry's
 snapshot to ``benchmarks/results/<id>.metrics.json`` next to the text
 result — cache hit rates, SYN counters and per-stage span histograms for
-exactly the run that produced the recorded numbers.
+exactly the run that produced the recorded numbers.  The ``.txt`` files
+are committed; the ``.metrics.json`` files are regenerated artifacts and
+gitignored.
+
+A bench that passes headline ``timings`` to :func:`record_result` also
+appends a compact trend snapshot (timings + the run's counters) to
+``benchmarks/history/BENCH_<id>.json``; ``python -m repro.obs.trend``
+then diffs the last two entries and fails CI when a timing regressed
+beyond its tolerance band.  The history files *are* committed — they are
+the baseline the comparer needs.
 """
 
 from __future__ import annotations
@@ -23,8 +32,10 @@ from pathlib import Path
 import pytest
 
 from repro.obs import MetricsRegistry, get_registry, use_registry
+from repro.obs.trend import append_snapshot
 
 RESULTS_DIR = Path(__file__).parent / "results"
+HISTORY_DIR = Path(__file__).parent / "history"
 
 
 @pytest.fixture(scope="session")
@@ -42,15 +53,26 @@ def _fresh_metrics():
 
 @pytest.fixture
 def record_result(results_dir):
-    """Write an experiment's rendered output + metrics snapshot."""
+    """Write an experiment's rendered output + metrics snapshot.
 
-    def _record(exp_id: str, text: str) -> None:
+    ``timings`` (headline seconds, e.g. ``{"legacy_s": 12.3}``) opts the
+    bench into the trend history under ``benchmarks/history/``.
+    """
+
+    def _record(
+        exp_id: str, text: str, timings: dict[str, float] | None = None
+    ) -> None:
         path = results_dir / f"{exp_id}.txt"
         path.write_text(text + "\n")
+        snapshot = get_registry().snapshot()
         metrics_path = results_dir / f"{exp_id}.metrics.json"
-        metrics_path.write_text(
-            json.dumps(get_registry().snapshot(), indent=2) + "\n"
-        )
+        metrics_path.write_text(json.dumps(snapshot, indent=2) + "\n")
         print(f"\n{text}\n[written to {path}; metrics in {metrics_path}]")
+        if timings is not None:
+            history_path = HISTORY_DIR / f"BENCH_{exp_id}.json"
+            append_snapshot(
+                str(history_path), timings, counters=snapshot["counters"]
+            )
+            print(f"[trend snapshot appended to {history_path}]")
 
     return _record

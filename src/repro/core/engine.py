@@ -20,14 +20,46 @@ import numpy as np
 from repro.core.binding import DriveBindingIndex, bind_scan
 from repro.core.config import RupsConfig
 from repro.core.resolver import aggregate_estimates, resolve_relative_distance
-from repro.core.syn import SynPoint, find_syn_points
+from repro.core.syn import SynPoint, _effective_window, find_syn_points
 from repro.core.trajectory import GsmTrajectory
 from repro.gsm.scanner import ScanStream
+from repro.obs.events import emit
 from repro.obs.metrics import inc
 from repro.obs.tracing import trace
 from repro.sensors.deadreckoning import EstimatedTrack
 
-__all__ = ["RupsEngine", "RupsEstimate"]
+__all__ = ["ESTIMATE_CAUSES", "RupsEngine", "RupsEstimate"]
+
+#: Root-cause taxonomy of :attr:`RupsEstimate.cause`, the per-query
+#: attribution the event ledger and error reporter bin by (§V, Figs
+#: 9–12 discuss exactly these failure modes):
+#:
+#: * ``no_window``    — even the flexible minimum window did not fit
+#:   (contexts too short to attempt a search);
+#: * ``short_context``— a shrunk flexible window was searched but every
+#:   candidate fell below the relaxed threshold;
+#: * ``threshold``    — full-width search, all peaks below the coherency
+#:   threshold (trajectories look unrelated);
+#: * ``heading``      — candidates passed the correlation threshold but
+#:   every one failed the heading-agreement gate;
+#: * ``flex_window``  — resolved, but from a shrunk window (treat with
+#:   reduced confidence);
+#: * ``low_margin``   — resolved with the best peak barely above the
+#:   threshold;
+#: * ``ok``           — resolved cleanly.
+ESTIMATE_CAUSES = (
+    "no_window",
+    "short_context",
+    "threshold",
+    "heading",
+    "flex_window",
+    "low_margin",
+    "ok",
+)
+
+#: A resolved estimate whose best peak clears the threshold by less than
+#: this is attributed ``low_margin``.
+_LOW_MARGIN = 0.05
 
 
 @dataclass(frozen=True)
@@ -46,12 +78,17 @@ class RupsEstimate:
         The individual distance estimates (one per SYN point).
     aggregation:
         Scheme used to combine them.
+    cause:
+        Root-cause attribution of the outcome (one of
+        :data:`ESTIMATE_CAUSES`): why the query failed, or which caveat
+        a resolved estimate carries.
     """
 
     distance_m: float | None
     syn_points: tuple[SynPoint, ...]
     per_syn_m: tuple[float, ...]
     aggregation: str
+    cause: str = "ok"
 
     @property
     def resolved(self) -> bool:
@@ -168,6 +205,7 @@ class RupsEngine:
             round(float(ctx) / spacing) * spacing - float(ctx)
         ) <= 1e-9
         if self._trajectory_cache_size == 0 or not on_grid:
+            emit("engine.build", diagnostic=True, cache="bypass")
             with trace("engine.build"):
                 return bind_scan(
                     scan,
@@ -187,8 +225,10 @@ class RupsEngine:
         if hit is not None and hit[0] is scan and hit[1] is track:
             self._trajectories.move_to_end(key)
             inc("engine.cache.trajectory.hit")
+            emit("engine.build", diagnostic=True, cache="hit")
             return hit[2]
         inc("engine.cache.trajectory.miss")
+        emit("engine.build", diagnostic=True, cache="miss")
         with trace("engine.build"):
             trajectory = self._binding_index(scan, track).bind(
                 at_time_s=at_time_s, context_length_m=ctx, interpolate=True
@@ -212,8 +252,10 @@ class RupsEngine:
         if hit is not None and hit[0] is own and hit[1] is other:
             self._reductions.move_to_end(key)
             inc("engine.cache.reduction.hit")
+            emit("engine.reduce", diagnostic=True, cache="hit")
             return hit[2], hit[3]
         inc("engine.cache.reduction.miss")
+        emit("engine.reduce", diagnostic=True, cache="miss")
         common = own.common_channels(other)
         if common.size < 2:
             raise ValueError("trajectories share fewer than two channels")
@@ -278,6 +320,8 @@ class RupsEngine:
         syn_points = find_syn_points(
             own_r, other_r, self.config, n_points=n_syn_points
         )
+        n_candidates = len(syn_points)
+        n_heading_rejected = 0
         if self.config.heading_check and syn_points:
             from repro.core.syn import heading_agreement_many
 
@@ -285,7 +329,8 @@ class RupsEngine:
             # windows come back inf and fail the mask.
             disagreement = heading_agreement_many(own_r, other_r, syn_points)
             keep = disagreement <= self.config.max_heading_disagreement_rad
-            inc("syn.rejected.heading", int(np.count_nonzero(~keep)))
+            n_heading_rejected = int(np.count_nonzero(~keep))
+            inc("syn.rejected.heading", n_heading_rejected)
             syn_points = [s for s, ok in zip(syn_points, keep) if ok]
         with trace("engine.resolve"):
             per_syn = tuple(resolve_relative_distance(s) for s in syn_points)
@@ -296,12 +341,56 @@ class RupsEngine:
             if distance is not None
             else "engine.estimates.unresolved"
         )
+        cause = self._attribute(
+            own_r, other_r, distance, syn_points, n_candidates
+        )
+        best = max((s.score for s in syn_points), default=None)
+        emit(
+            "engine.estimate",
+            resolved=distance is not None,
+            distance_m=distance,
+            n_syn=len(syn_points),
+            rejected_heading=n_heading_rejected,
+            best_score=best,
+            aggregation=agg,
+            cause=cause,
+        )
         return RupsEstimate(
             distance_m=distance,
             syn_points=tuple(syn_points),
             per_syn_m=per_syn,
             aggregation=agg,
+            cause=cause,
         )
+
+    def _attribute(
+        self,
+        own_r: GsmTrajectory,
+        other_r: GsmTrajectory,
+        distance: float | None,
+        syn_points: list[SynPoint],
+        n_candidates: int,
+    ) -> str:
+        """Root-cause one estimate (see :data:`ESTIMATE_CAUSES`).
+
+        Re-derives the effective window cheaply (O(1) arithmetic on mark
+        counts) rather than threading it out of the search.
+        """
+        eff = _effective_window(own_r, other_r, self.config)
+        if eff is None:
+            return "no_window"
+        window_marks, threshold = eff
+        shrunk = window_marks < self.config.window_marks
+        if distance is None:
+            if n_candidates == 0:
+                return "short_context" if shrunk else "threshold"
+            return "heading"
+        if shrunk:
+            return "flex_window"
+        best = max(s.score for s in syn_points)
+        if best - threshold < _LOW_MARGIN:
+            return "low_margin"
+        return "ok"
 
     # ------------------------------------------------------------------
     def query(

@@ -37,6 +37,7 @@ from repro.core.correlation import (
     trajectory_correlation,
 )
 from repro.core.trajectory import GsmTrajectory
+from repro.obs.events import emit
 from repro.obs.metrics import inc
 from repro.obs.tracing import trace
 
@@ -295,6 +296,20 @@ def _effective_window(
     return window_marks, config.threshold_for_window(length_m)
 
 
+def _emit_no_window(
+    own: GsmTrajectory, other: GsmTrajectory, config: RupsConfig
+) -> None:
+    """Provenance for a search that never ran: no window fits (§V-C)."""
+    emit(
+        "syn.no_window",
+        own_marks=own.n_marks,
+        other_marks=other.n_marks,
+        window_marks=config.window_marks,
+        flexible_window=config.flexible_window,
+        min_window_length_m=config.min_window_length_m,
+    )
+
+
 def _check_comparable(own: GsmTrajectory, other: GsmTrajectory) -> None:
     if own.spacing_m != other.spacing_m:
         raise ValueError("trajectories must share a mark spacing")
@@ -365,6 +380,7 @@ def seek_syn_point(
     eff = _effective_window(own, other, config)
     if eff is None:
         inc("syn.no_window")
+        _emit_no_window(own, other, config)
         return None
     window_marks, threshold = eff
     inc("syn.windows", 1)
@@ -372,7 +388,18 @@ def seek_syn_point(
         (best,) = _double_sided_search(
             own, other, [0], window_marks, config.kernel
         )
-    if best is None or best.score < threshold:
+    accepted = best is not None and best.score >= threshold
+    emit(
+        "syn.search",
+        windows=1,
+        window_marks=window_marks,
+        threshold=threshold,
+        shrunk=window_marks < config.window_marks,
+        peaks=[None if best is None else best.score],
+        accepted=int(accepted),
+        rejected_threshold=int(best is not None and not accepted),
+    )
+    if not accepted:
         inc("syn.rejected.threshold")
         return None
     inc("syn.accepted")
@@ -407,6 +434,7 @@ def find_syn_points(
     eff = _effective_window(own, other, config)
     if eff is None:
         inc("syn.no_window")
+        _emit_no_window(own, other, config)
         return []
     window_marks, threshold = eff
     stride_marks = max(int(round(config.syn_stride_m / config.spacing_m)), 1)
@@ -420,6 +448,16 @@ def find_syn_points(
         syn for syn in candidates if syn is not None and syn.score >= threshold
     ]
     scored = sum(1 for syn in candidates if syn is not None)
+    emit(
+        "syn.search",
+        windows=len(offsets),
+        window_marks=window_marks,
+        threshold=threshold,
+        shrunk=window_marks < config.window_marks,
+        peaks=[None if syn is None else syn.score for syn in candidates],
+        accepted=len(accepted),
+        rejected_threshold=scored - len(accepted),
+    )
     inc("syn.rejected.threshold", scored - len(accepted))
     inc("syn.accepted", len(accepted))
     if len(accepted) > 1:

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.config import RupsConfig
 from repro.core.engine import RupsEngine, RupsEstimate
 from repro.core.trajectory import GsmTrajectory
+from repro.obs.events import emit
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import inc
 
@@ -154,6 +155,17 @@ class RupsTracker:
         if context is None:
             # Nothing ever decoded: report an unresolved, degraded update.
             inc("tracker.updates.no_context")
+            emit(
+                "tracker.update",
+                mode="full",
+                locked_before=self._locked,
+                locked_after=False,
+                resolved=False,
+                degraded=True,
+                context_age_s=float(context_age_s),
+                drop_cause=None,
+                no_context=True,
+            )
             update = TrackerUpdate(
                 estimate=RupsEstimate(None, (), (), self.config.aggregation),
                 mode="full",
@@ -166,6 +178,7 @@ class RupsTracker:
         degraded = other is None or context_age_s > 0.0
         over_budget = context_age_s > self.staleness_budget_s
         was_locked = self._locked
+        drop_cause: str | None = None
         if over_budget and self._locked:
             # Staleness is decided *before* the search mode: a context
             # past its budget must not be searched in locked (trimmed)
@@ -175,6 +188,7 @@ class RupsTracker:
             self._locked = False
             self._failures = 0
             self._trim_cache.clear()
+            drop_cause = "staleness"
             inc("tracker.lock_dropped.staleness")
             _log.debug(
                 "lock dropped: context_age_s=%.3f budget_s=%.3f",
@@ -205,6 +219,7 @@ class RupsTracker:
                 self._failures = 0
                 if not self._locked:
                     self._trim_cache.clear()
+                    drop_cause = "failures"
                     inc("tracker.lock_dropped.failures")
         if over_budget and self._locked:
             # Past the staleness budget the lock is never kept, however
@@ -212,10 +227,22 @@ class RupsTracker:
             self._locked = False
             self._failures = 0
             self._trim_cache.clear()
+            drop_cause = "staleness"
         if self._locked and not was_locked:
             inc("tracker.lock_acquired")
         if degraded:
             inc("tracker.updates.degraded")
+        emit(
+            "tracker.update",
+            mode=mode,
+            locked_before=was_locked,
+            locked_after=self._locked,
+            resolved=estimate.resolved,
+            degraded=degraded,
+            context_age_s=float(context_age_s),
+            drop_cause=drop_cause,
+            cause=estimate.cause,
+        )
         update = TrackerUpdate(
             estimate=estimate,
             mode=mode,

@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments t-campaign --jobs 4
     python -m repro.experiments fig2 fig3 fig4 --jobs 3
     python -m repro.experiments t-campaign --metrics-out metrics.json
+    python -m repro.experiments t-campaign --events-out events.jsonl
+    python -m repro.experiments report --events events.jsonl
     python -m repro.experiments fig2 --log-level INFO
     python -m repro.experiments --list
 
@@ -14,7 +16,11 @@ Each id regenerates one paper artifact and prints its series/table.
 ``--jobs`` fans work across processes: several ids run one-per-worker,
 while a single jobs-aware id (e.g. ``t-campaign``) parallelises
 internally.  Results are deterministic for a given seed regardless of
-``--jobs``.
+``--jobs`` — including the ``--events-out`` provenance stream.
+
+``report`` is not an experiment: it post-processes an ``--events-out``
+file into the error-attribution report (error mass binned by root
+cause, worst-query narratives) without rerunning anything.
 """
 
 from __future__ import annotations
@@ -31,7 +37,9 @@ from repro.experiments.registry import (
     run_experiment,
     run_experiments,
 )
-from repro.obs import configure_logging, get_registry
+from repro.experiments.reporting import render_latency_table
+from repro.obs import configure_logging, get_ledger, get_recorder, get_registry
+from repro.obs.report import load_events, render_error_attribution
 
 #: Experiments that accept an EvalSettings workload object.
 _EVAL_IDS = {"fig9", "fig10", "fig11", "fig12"}
@@ -47,6 +55,37 @@ _SEEDED_IDS = {
     "t-campaign",
     "t-loss",
 }
+
+
+def _run_report(args: argparse.Namespace) -> int:
+    """The ``report`` mode: events JSONL in, attribution markdown out."""
+    extra = args.experiments[1:]
+    if extra:
+        print(
+            f"'report' takes no experiment ids (got {', '.join(map(repr, extra))})",
+            file=sys.stderr,
+        )
+        return 2
+    if not args.events:
+        print(
+            "'report' needs --events EVENTS.jsonl (write one with "
+            "--events-out on any experiment run)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        events = load_events(args.events)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read events: {exc}", file=sys.stderr)
+        return 2
+    report = render_error_attribution(events, worst_n=args.worst)
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            fh.write(report)
+        print(f"[report written to {args.report_out}]")
+    else:
+        print(report, end="")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -93,7 +132,41 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         metavar="PATH",
         help="write the merged metrics snapshot (counters, gauges, "
-        "span histograms) to PATH as JSON",
+        "span histograms) to PATH as JSON, and print the stage latency "
+        "table",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        metavar="PATH",
+        help="write the merged provenance event ledger to PATH as JSONL "
+        "(input for the 'report' mode)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the span recorder's ring buffer to PATH as JSON",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="('report' mode) events JSONL file to attribute",
+    )
+    parser.add_argument(
+        "--worst",
+        type=int,
+        default=5,
+        metavar="N",
+        help="('report' mode) worst queries to narrate (default 5)",
+    )
+    parser.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="('report' mode) write the markdown report to PATH "
+        "instead of stdout",
     )
     args = parser.parse_args(argv)
 
@@ -104,6 +177,9 @@ def main(argv: list[str] | None = None) -> int:
         for exp_id in sorted(EXPERIMENTS):
             print(exp_id)
         return 0
+
+    if args.experiments[0] == "report":
+        return _run_report(args)
 
     unknown = [e for e in args.experiments if e not in EXPERIMENTS]
     if unknown:
@@ -153,11 +229,48 @@ def main(argv: list[str] | None = None) -> int:
     ids = ", ".join(exp_id for exp_id, _ in results)
     print(f"\n[{ids} regenerated in {elapsed:.1f} s]")
     if args.metrics_out:
-        snapshot = get_registry().snapshot()
+        registry = get_registry()
         with open(args.metrics_out, "w") as fh:
-            json.dump(snapshot, fh, indent=2)
+            json.dump(registry.snapshot(), fh, indent=2)
             fh.write("\n")
         print(f"[metrics snapshot written to {args.metrics_out}]")
+        latency = render_latency_table(registry)
+        if latency:
+            print()
+            print(latency)
+    if args.events_out:
+        ledger = get_ledger()
+        n_events = ledger.write_jsonl(args.events_out)
+        print(f"[{n_events} provenance events written to {args.events_out}]")
+        if ledger.dropped:
+            print(
+                f"warning: event ledger dropped {ledger.dropped} events "
+                f"at capacity {ledger.capacity}; the export is truncated",
+                file=sys.stderr,
+            )
+    if args.trace_out:
+        recorder = get_recorder()
+        dump = {
+            "capacity": recorder.capacity,
+            "spans": [
+                {
+                    "name": span.name,
+                    "start_s": span.start_s,
+                    "wall_s": span.wall_s,
+                    "cpu_s": span.cpu_s,
+                    "depth": span.depth,
+                    "parent": span.parent,
+                }
+                for span in recorder.spans
+            ],
+        }
+        with open(args.trace_out, "w") as fh:
+            json.dump(dump, fh, indent=2)
+            fh.write("\n")
+        print(
+            f"[{len(dump['spans'])} spans written to {args.trace_out} "
+            f"(ring capacity {recorder.capacity})]"
+        )
     return 0
 
 

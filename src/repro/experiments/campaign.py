@@ -21,6 +21,7 @@ from repro.experiments.reporting import render_table
 from repro.gsm.band import EVAL_SUBSET_115, ChannelPlan
 from repro.gsm.routefield import build_route_field
 from repro.gsm.scanner import RadioGroup
+from repro.obs.events import emit, use_query_id
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import inc, set_gauge
 from repro.obs.tracing import trace
@@ -107,24 +108,51 @@ def _campaign_query_chunk_task(item: tuple) -> list[tuple[RoadType, QueryOutcome
     The chunk carries its drive's records explicitly; each worker builds
     its own engine, whose caches are differentially proven bit-identical
     to the uncached pipeline, so chunk boundaries cannot change results.
+
+    Each query runs under its own query id (``d<drive>q<index>``), so
+    every provenance event the pipeline emits below — SYN peaks,
+    accept/reject causes, cache provenance — joins back to the query,
+    and a closing ``query.outcome`` event records estimate vs truth for
+    the error-attribution reporter.  Chunks are contiguous ordered
+    splits merged in submission order, so the provenance stream is in
+    global query order for any chunk layout.
     """
-    front, rear, lead, rear_motion, times, config = item
+    front, rear, lead, rear_motion, times, query_ids, config = item
     engine = RupsEngine(config)
     route: Route = get_shared("route")
     out: list[tuple[RoadType, QueryOutcome]] = []
     inc("campaign.chunks")
     inc("campaign.queries", len(times))
     with trace("campaign.query_chunk"):
-        for tq in times:
-            own = engine.build_trajectory(rear.scan, rear.estimated, at_time_s=tq)
-            other = engine.build_trajectory(
-                front.scan, front.estimated, at_time_s=tq
-            )
-            est = engine.estimate_relative_distance(own, other)
-            truth = float(lead.arc_length_at(tq)) - float(
-                rear_motion.arc_length_at(tq)
-            )
-            road_type = route.road_type_at(float(rear_motion.arc_length_at(tq)))
+        for tq, query_id in zip(times, query_ids):
+            with use_query_id(query_id):
+                own = engine.build_trajectory(
+                    rear.scan, rear.estimated, at_time_s=tq
+                )
+                other = engine.build_trajectory(
+                    front.scan, front.estimated, at_time_s=tq
+                )
+                est = engine.estimate_relative_distance(own, other)
+                truth = float(lead.arc_length_at(tq)) - float(
+                    rear_motion.arc_length_at(tq)
+                )
+                road_type = route.road_type_at(
+                    float(rear_motion.arc_length_at(tq))
+                )
+                emit(
+                    "query.outcome",
+                    time_s=float(tq),
+                    road_type=road_type.value,
+                    truth_m=truth,
+                    estimate_m=est.distance_m,
+                    error_m=(
+                        None
+                        if est.distance_m is None
+                        else abs(float(est.distance_m) - truth)
+                    ),
+                    resolved=est.resolved,
+                    cause=est.cause,
+                )
             out.append(
                 (
                     road_type,
@@ -246,10 +274,13 @@ def run_campaign(
             )
             q_rng = factory.generator("queries", d)
             times = q_rng.uniform(t_ready, lead.t1 - 2.0, size=queries_per_drive)
-            for chunk in executor.chunks(list(times)):
+            query_ids = [f"d{d}q{i}" for i in range(queries_per_drive)]
+            for chunk, id_chunk in zip(
+                executor.chunks(list(times)), executor.chunks(query_ids)
+            ):
                 if chunk:
                     chunk_items.append(
-                        (front, rear, lead, rear_motion, chunk, config)
+                        (front, rear, lead, rear_motion, chunk, id_chunk, config)
                     )
         with trace("campaign.query"):
             chunk_results = executor.map_ordered(

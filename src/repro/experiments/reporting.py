@@ -11,7 +11,15 @@ from typing import Iterable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["render_table", "render_cdf_summary", "render_series", "render_spectrogram"]
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "render_table",
+    "render_cdf_summary",
+    "render_latency_table",
+    "render_series",
+    "render_spectrogram",
+]
 
 #: CDF evaluation grid used in summaries [m], matching the paper's x-axes.
 CDF_GRID_M: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0, 20.0, 40.0)
@@ -57,6 +65,47 @@ def _fmt(value: object) -> str:
             return "n/a"
         return f"{value:.2f}"
     return str(value)
+
+
+def render_latency_table(
+    registry: MetricsRegistry,
+    prefix: str = "span.",
+    title: str | None = "Stage latency (merged across workers)",
+) -> str | None:
+    """Per-stage latency table from the registry's span histograms.
+
+    Quantiles come from :meth:`MetricsRegistry.quantile` (bucket-
+    interpolated, so they survive the worker-snapshot merge where raw
+    samples do not).  Stages are ordered by total time spent, which
+    makes the table read as a profile.  Returns ``None`` when the
+    registry holds no matching histograms.
+    """
+    snapshot = registry.snapshot()["histograms"]
+    rows = []
+    for name, hist in snapshot.items():
+        if not name.startswith(prefix) or hist["count"] == 0:
+            continue
+        ms = [
+            hist["sum"] / hist["count"],
+            registry.quantile(name, 0.5),
+            registry.quantile(name, 0.9),
+            registry.quantile(name, 0.99),
+            hist["max"],
+        ]
+        rows.append(
+            [name[len(prefix):], hist["count"], hist["sum"]]
+            + [f"{1e3 * v:.3f}" for v in ms]
+        )
+    if not rows:
+        return None
+    rows.sort(key=lambda r: (-r[2], r[0]))
+    for row in rows:
+        row[2] = f"{row[2]:.3f}"
+    return render_table(
+        ["stage", "n", "total (s)", "mean (ms)", "p50 (ms)", "p90 (ms)", "p99 (ms)", "max (ms)"],
+        rows,
+        title=title,
+    )
 
 
 def render_cdf_summary(

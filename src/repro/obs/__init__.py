@@ -21,6 +21,18 @@ the dependency-free substrate for that:
   module logs through ``get_logger(...)`` under the ``repro`` namespace,
   silent by default (NullHandler), opt-in via
   :func:`configure_logging` or the CLI's ``--log-level``.
+* :mod:`repro.obs.events` — a bounded, JSONL-exportable
+  :class:`EventLedger` of per-query decision provenance (SYN peaks and
+  accept/reject causes, tracker lock transitions, exchange outcomes),
+  keyed by a propagated query id and merged through the executor
+  exactly like metrics, so the exported stream is jobs-invariant.
+* :mod:`repro.obs.report` — joins ``query.outcome`` events with their
+  provenance trails into error-attribution reports (error mass by root
+  cause, worst-query narratives); CLI:
+  ``python -m repro.experiments report --events events.jsonl``.
+* :mod:`repro.obs.trend` — bench trend history
+  (``benchmarks/history/BENCH_<id>.json``) and a tolerance-banded
+  comparer that fails CI on timing regressions.
 
 Nothing here imports beyond the standard library, and all hot-path
 primitives are plain dict operations — cheap enough to leave enabled
@@ -28,6 +40,13 @@ everywhere (the t-runtime speedup contract is measured with
 instrumentation on).
 """
 
+from repro.obs.events import (
+    EventLedger,
+    current_query_id,
+    get_ledger,
+    use_ledger,
+    use_query_id,
+)
 from repro.obs.logconfig import configure_logging, get_logger
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS_S,
@@ -42,10 +61,13 @@ from repro.obs.tracing import Span, SpanRecorder, get_recorder, trace, use_recor
 
 __all__ = [
     "DEFAULT_TIME_BUCKETS_S",
+    "EventLedger",
     "MetricsRegistry",
     "Span",
     "SpanRecorder",
     "configure_logging",
+    "current_query_id",
+    "get_ledger",
     "get_logger",
     "get_recorder",
     "get_registry",
@@ -53,6 +75,8 @@ __all__ = [
     "observe",
     "set_gauge",
     "trace",
+    "use_ledger",
+    "use_query_id",
     "use_recorder",
     "use_registry",
 ]

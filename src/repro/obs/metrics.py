@@ -132,6 +132,40 @@ class MetricsRegistry:
         """Current value of gauge ``name`` (None when never written)."""
         return self._gauges.get(name)
 
+    def histogram_names(self) -> list[str]:
+        """Names of all histograms, in creation order."""
+        return list(self._histograms)
+
+    def quantile(self, name: str, q: float) -> float:
+        """Estimate the ``q``-quantile of histogram ``name``.
+
+        Linear interpolation within the bucket holding the target rank:
+        bucket ``i`` spans ``(edges[i-1], edges[i]]``, with the first
+        bucket's lower bound taken as the observed minimum and the
+        overflow bucket's upper bound as the observed maximum (a fixed-
+        bucket histogram knows nothing tighter).  The result is clamped
+        to ``[min, max]``.  Returns NaN for an absent or empty
+        histogram; raises for ``q`` outside ``[0, 1]``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        hist = self._histograms.get(name)
+        if hist is None or hist.count == 0:
+            return float("nan")
+        target = q * hist.count
+        cumulative = 0
+        for i, bucket_count in enumerate(hist.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                lo = hist.min if i == 0 else hist.edges[i - 1]
+                hi = hist.max if i == len(hist.edges) else hist.edges[i]
+                fraction = (target - cumulative) / bucket_count
+                value = lo + (hi - lo) * fraction
+                return min(max(value, hist.min), hist.max)
+            cumulative += bucket_count
+        return hist.max
+
     # -- snapshot / merge ----------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """A plain, picklable, JSON-serialisable copy of the state."""

@@ -1,0 +1,301 @@
+"""Error-attribution reports over the provenance event ledger.
+
+The paper's evaluation (§V, Figs 9–12) explains *why* RUPS errs —
+threshold rejections, short contexts, lossy exchanges.  This module
+reproduces that explanatory layer for our own campaigns: it joins the
+``query.outcome`` events a campaign emits (estimate vs truth per query)
+with the per-query decision provenance recorded alongside them
+(``syn.search`` peaks and causes, ``engine.estimate`` attributions,
+tracker and exchange outcomes) and renders
+
+* a markdown table binning **query counts and error mass by root
+  cause** (the :data:`~repro.core.engine.ESTIMATE_CAUSES` taxonomy), and
+* per-query **"why did this estimate fail" narratives** for the worst-N
+  queries, assembled from each query's own event trail.
+
+Input is either a live :class:`~repro.obs.events.EventLedger`, its
+``to_dicts()`` output, or a JSONL file written by
+``python -m repro.experiments <id> --events-out events.jsonl``; the CLI
+entry point is ``python -m repro.experiments report --events <file>``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs.events import EventLedger
+
+__all__ = [
+    "QueryRecord",
+    "attribute_queries",
+    "load_events",
+    "render_error_attribution",
+]
+
+
+def load_events(path: str) -> list[dict[str, Any]]:
+    """Parse a JSONL event export back into event dicts."""
+    events = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_no}: not a JSON event record: {exc}"
+                ) from exc
+            if not isinstance(event, dict) or "kind" not in event:
+                raise ValueError(
+                    f"{path}:{line_no}: event records need a 'kind' field"
+                )
+            events.append(event)
+    return events
+
+
+def _as_dicts(
+    events: EventLedger | Iterable[Mapping[str, Any]]
+) -> list[dict[str, Any]]:
+    if isinstance(events, EventLedger):
+        return events.to_dicts()
+    return [dict(e) for e in events]
+
+
+@dataclass
+class QueryRecord:
+    """Everything the ledger knows about one query."""
+
+    query_id: str
+    outcome: dict[str, Any]
+    events: list[dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def cause(self) -> str:
+        return str(self.outcome.get("cause", "unknown"))
+
+    @property
+    def resolved(self) -> bool:
+        return bool(self.outcome.get("resolved", False))
+
+    @property
+    def error_m(self) -> float | None:
+        err = self.outcome.get("error_m")
+        return None if err is None else float(err)
+
+    def badness(self) -> float:
+        """Sort key for worst-first ranking: unresolved beats any error."""
+        if not self.resolved or self.error_m is None:
+            return float("inf")
+        return self.error_m
+
+
+def attribute_queries(
+    events: EventLedger | Iterable[Mapping[str, Any]]
+) -> list[QueryRecord]:
+    """Join the event stream into per-query records, in query order.
+
+    A query is anything that emitted a ``query.outcome`` event; every
+    other event carrying the same ``query_id`` becomes part of its
+    provenance trail.
+    """
+    records: dict[str, QueryRecord] = {}
+    trails: dict[str, list[dict[str, Any]]] = {}
+    for event in _as_dicts(events):
+        query_id = event.get("query_id")
+        if query_id is None:
+            continue
+        if event.get("kind") == "query.outcome":
+            records[query_id] = QueryRecord(
+                query_id=query_id,
+                outcome=dict(event.get("data", {})),
+                events=trails.setdefault(query_id, []),
+            )
+        else:
+            trails.setdefault(query_id, []).append(event)
+    return list(records.values())
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def _fmt(value: Any, digits: int = 2) -> str:
+    if value is None:
+        return "n/a"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{digits}f}"
+    return str(value)
+
+
+def _md_table(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join(" --- " for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def _attribution_rows(records: Sequence[QueryRecord]) -> list[list[Any]]:
+    by_cause: dict[str, list[QueryRecord]] = {}
+    for record in records:
+        by_cause.setdefault(record.cause, []).append(record)
+    total_mass = sum(r.error_m or 0.0 for r in records)
+    rows = []
+    for cause, group in by_cause.items():
+        errors = [r.error_m for r in group if r.error_m is not None]
+        mass = sum(errors)
+        rows.append(
+            [
+                cause,
+                len(group),
+                sum(1 for r in group if r.resolved),
+                (sum(errors) / len(errors)) if errors else None,
+                mass,
+                (mass / total_mass) if total_mass > 0 else 0.0,
+            ]
+        )
+    # Heaviest explanation first: error mass, then population.
+    rows.sort(key=lambda r: (-(r[4] or 0.0), -r[1], r[0]))
+    return rows
+
+
+def _describe_syn_search(data: Mapping[str, Any]) -> str:
+    peaks = [p for p in data.get("peaks", []) if p is not None]
+    best = max(peaks) if peaks else None
+    width = (
+        f"shrunk {data.get('window_marks')}-mark window"
+        if data.get("shrunk")
+        else f"full {data.get('window_marks')}-mark window"
+    )
+    return (
+        f"SYN search: {data.get('windows')} query window(s) at {width}, "
+        f"threshold {_fmt(data.get('threshold'))}; best peak {_fmt(best)}; "
+        f"{data.get('accepted')} accepted, "
+        f"{data.get('rejected_threshold')} rejected by threshold"
+    )
+
+
+def _describe_event(event: Mapping[str, Any]) -> str | None:
+    kind = event.get("kind")
+    data = event.get("data", {})
+    if kind == "syn.search":
+        return _describe_syn_search(data)
+    if kind == "syn.no_window":
+        return (
+            "SYN search skipped: contexts of "
+            f"{data.get('own_marks')}/{data.get('other_marks')} marks hold "
+            f"no {data.get('window_marks')}-mark window (flexible minimum "
+            f"{_fmt(data.get('min_window_length_m'))} m)"
+        )
+    if kind == "engine.estimate":
+        return (
+            f"estimate: {data.get('n_syn')} SYN point(s), best score "
+            f"{_fmt(data.get('best_score'))}, "
+            f"{data.get('rejected_heading')} heading-rejected, "
+            f"aggregation {data.get('aggregation')}"
+        )
+    if kind == "tracker.update":
+        drop = data.get("drop_cause")
+        return (
+            f"tracker: mode {data.get('mode')}, locked "
+            f"{data.get('locked_before')} -> {data.get('locked_after')}"
+            + (f", lock dropped ({drop})" if drop else "")
+            + (
+                f", degraded (context {_fmt(data.get('context_age_s'))} s old)"
+                if data.get("degraded")
+                else ""
+            )
+        )
+    if kind == "v2v.exchange":
+        return (
+            f"exchange: {data.get('mode')} "
+            f"{'delivered' if data.get('delivered') else 'not delivered'}"
+            + (
+                f" after {data.get('nack_rounds')} NACK round(s)"
+                if data.get("nack_rounds")
+                else ""
+            )
+            + (" [aborted]" if data.get("aborted") else "")
+        )
+    return None
+
+
+_CAUSE_GLOSS = {
+    "no_window": "context too short for any checking window",
+    "short_context": "shrunk flexible window, every peak below the relaxed threshold",
+    "threshold": "all correlation peaks below the coherency threshold",
+    "heading": "peaks accepted but every SYN point failed the heading gate",
+    "flex_window": "resolved from a shrunk window (reduced confidence)",
+    "low_margin": "resolved with the best peak barely above the threshold",
+    "ok": "resolved cleanly",
+}
+
+
+def _narrative(record: QueryRecord) -> str:
+    out = record.outcome
+    badness = (
+        "unresolved" if not record.resolved else f"error {_fmt(record.error_m)} m"
+    )
+    lines = [f"### {record.query_id} — {badness} (cause: {record.cause})", ""]
+    gloss = _CAUSE_GLOSS.get(record.cause)
+    where = f" on {out['road_type']}" if "road_type" in out else ""
+    when = f" at t={_fmt(out.get('time_s'), 1)} s" if "time_s" in out else ""
+    lines.append(
+        f"- query{when}{where}: estimate {_fmt(out.get('estimate_m'))} m "
+        f"vs truth {_fmt(out.get('truth_m'))} m"
+        + (f" — {gloss}" if gloss else "")
+    )
+    for event in record.events:
+        described = _describe_event(event)
+        if described:
+            lines.append(f"- {described}")
+    return "\n".join(lines)
+
+
+def render_error_attribution(
+    events: EventLedger | Iterable[Mapping[str, Any]],
+    worst_n: int = 5,
+    title: str = "Error attribution",
+) -> str:
+    """The full markdown report: summary, cause table, worst-N narratives."""
+    if worst_n < 0:
+        raise ValueError("worst_n must be non-negative")
+    records = attribute_queries(events)
+    lines = [f"# {title}", ""]
+    if not records:
+        lines.append(
+            "No `query.outcome` events found — run a campaign with "
+            "`--events-out` to produce per-query provenance."
+        )
+        return "\n".join(lines)
+    resolved = [r for r in records if r.resolved]
+    errors = [r.error_m for r in resolved if r.error_m is not None]
+    lines.append(
+        f"{len(records)} queries, {len(resolved)} resolved "
+        f"({100.0 * len(resolved) / len(records):.0f}%), "
+        f"mean |error| {_fmt(sum(errors) / len(errors)) if errors else 'n/a'} m, "
+        f"total error mass {_fmt(sum(errors))} m."
+    )
+    lines += [
+        "",
+        "## Error mass by root cause",
+        "",
+        _md_table(
+            ["cause", "queries", "resolved", "mean err (m)", "error mass (m)", "mass share"],
+            _attribution_rows(records),
+        ),
+    ]
+    worst = sorted(records, key=QueryRecord.badness, reverse=True)[:worst_n]
+    if worst:
+        lines += ["", f"## Worst {len(worst)} queries", ""]
+        for record in worst:
+            lines += [_narrative(record), ""]
+    return "\n".join(lines).rstrip() + "\n"

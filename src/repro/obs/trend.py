@@ -1,0 +1,218 @@
+"""Bench trend history: append compact snapshots, gate CI on regressions.
+
+``benchmarks/results/*.txt`` records what one bench run measured;
+nothing ever compared two runs, so a 30% slowdown only surfaces when a
+human rereads the file.  This module keeps a small committed history per
+bench id — ``benchmarks/history/BENCH_<id>.json``, a JSON list of
+``{"timings": {...}, "counters": {...}}`` entries — and a comparer that
+diffs the last two entries with tolerance bands:
+
+* **Timings gate.**  A timing that grew beyond ``tolerance``
+  (relative) *and* ``abs_slack_s`` (absolute, so micro-timings do not
+  flap) is a regression; the CLI exits non-zero, which is what fails CI.
+* **Counters inform.**  Counter drift (different query counts, cache
+  hit totals) is reported as a note, never a failure — counters change
+  legitimately when workloads are retuned, but silent drift is how a
+  bench quietly stops measuring what it claims to.
+
+CLI::
+
+    python -m repro.obs.trend benchmarks/history/BENCH_t-runtime.json
+    python -m repro.obs.trend HISTORY.json --tolerance 0.5 --abs-slack 0.1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "TrendReport",
+    "append_snapshot",
+    "compare",
+    "check_history",
+    "load_history",
+    "main",
+]
+
+#: Keep this many entries per bench id (oldest dropped first).
+DEFAULT_MAX_ENTRIES = 50
+#: Default relative growth tolerated before a timing is a regression
+#: (generous: shared CI runners are noisy).
+DEFAULT_TOLERANCE = 0.5
+#: Absolute slack [s]: growth below this never gates, however large
+#: relatively — sub-100 ms timings are dominated by scheduler noise.
+DEFAULT_ABS_SLACK_S = 0.1
+
+
+def load_history(path: str) -> list[dict[str, Any]]:
+    """All recorded entries for one bench id, oldest first."""
+    if not os.path.exists(path):
+        return []
+    with open(path) as fh:
+        history = json.load(fh)
+    if not isinstance(history, list):
+        raise ValueError(f"{path}: bench history must be a JSON list")
+    return history
+
+
+def append_snapshot(
+    path: str,
+    timings: Mapping[str, float],
+    counters: Mapping[str, float] | None = None,
+    label: str | None = None,
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+) -> dict[str, Any]:
+    """Append one bench run's compact snapshot; returns the entry.
+
+    ``timings`` are headline wall-clock numbers in seconds (what the
+    comparer gates on); ``counters`` are the run's key metric counters
+    (informational).  The file keeps at most ``max_entries`` entries.
+    """
+    if max_entries < 2:
+        raise ValueError("max_entries must be >= 2 (the comparer needs two)")
+    entry: dict[str, Any] = {
+        "recorded_unix": int(time.time()),
+        "timings": {k: float(v) for k, v in timings.items()},
+        "counters": dict(counters or {}),
+    }
+    if label:
+        entry["label"] = str(label)
+    history = load_history(path)
+    history.append(entry)
+    history = history[-max_entries:]
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(history, fh, indent=2)
+        fh.write("\n")
+    return entry
+
+
+@dataclass
+class TrendReport:
+    """Outcome of comparing the two most recent history entries."""
+
+    regressions: list[str] = field(default_factory=list)
+    improvements: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = []
+        for regression in self.regressions:
+            lines.append(f"REGRESSION: {regression}")
+        for improvement in self.improvements:
+            lines.append(f"improved:   {improvement}")
+        for note in self.notes:
+            lines.append(f"note:       {note}")
+        lines.append("trend: " + ("OK" if self.ok else "REGRESSED"))
+        return "\n".join(lines)
+
+
+def compare(
+    previous: Mapping[str, Any],
+    current: Mapping[str, Any],
+    tolerance: float = DEFAULT_TOLERANCE,
+    abs_slack_s: float = DEFAULT_ABS_SLACK_S,
+) -> TrendReport:
+    """Diff two history entries under the tolerance bands."""
+    if tolerance < 0 or abs_slack_s < 0:
+        raise ValueError("tolerance and abs_slack_s must be non-negative")
+    report = TrendReport()
+    prev_t = previous.get("timings", {})
+    curr_t = current.get("timings", {})
+    for name in curr_t:
+        if name not in prev_t:
+            report.notes.append(f"timing {name!r} is new (no baseline)")
+            continue
+        prev, curr = float(prev_t[name]), float(curr_t[name])
+        grew = curr - prev
+        if grew > abs_slack_s and prev > 0 and curr > prev * (1.0 + tolerance):
+            report.regressions.append(
+                f"{name}: {prev:.3f} s -> {curr:.3f} s "
+                f"(+{100.0 * grew / prev:.0f}%, tolerance {100.0 * tolerance:.0f}%)"
+            )
+        elif prev - curr > abs_slack_s and curr < prev * (1.0 - tolerance):
+            report.improvements.append(
+                f"{name}: {prev:.3f} s -> {curr:.3f} s "
+                f"({100.0 * (prev - curr) / prev:.0f}% faster)"
+            )
+    for name in prev_t:
+        if name not in curr_t:
+            report.notes.append(f"timing {name!r} disappeared")
+    prev_c = previous.get("counters", {})
+    curr_c = current.get("counters", {})
+    for name in sorted(set(prev_c) | set(curr_c)):
+        if prev_c.get(name) != curr_c.get(name):
+            report.notes.append(
+                f"counter {name!r} drifted: "
+                f"{prev_c.get(name)} -> {curr_c.get(name)}"
+            )
+    return report
+
+
+def check_history(
+    path: str,
+    tolerance: float = DEFAULT_TOLERANCE,
+    abs_slack_s: float = DEFAULT_ABS_SLACK_S,
+) -> tuple[bool, str]:
+    """Compare the last two entries of a history file.
+
+    Returns ``(ok, text)``; a history with fewer than two entries is
+    trivially ok (first run establishes the baseline).
+    """
+    history = load_history(path)
+    if len(history) < 2:
+        return True, (
+            f"{path}: {len(history)} entr{'y' if len(history) == 1 else 'ies'} "
+            "recorded, nothing to compare yet"
+        )
+    report = compare(
+        history[-2], history[-1], tolerance=tolerance, abs_slack_s=abs_slack_s
+    )
+    return report.ok, f"{path}: comparing last two of {len(history)}\n" + report.render()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trend",
+        description="Diff the last two entries of a bench history file; "
+        "exit 1 on a timing regression beyond the tolerance band.",
+    )
+    parser.add_argument("history", nargs="+", help="BENCH_<id>.json file(s)")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative growth tolerated before a timing regresses "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--abs-slack",
+        type=float,
+        default=DEFAULT_ABS_SLACK_S,
+        metavar="SECONDS",
+        help="absolute growth below this never gates (default %(default)s s)",
+    )
+    args = parser.parse_args(argv)
+    ok = True
+    for path in args.history:
+        file_ok, text = check_history(
+            path, tolerance=args.tolerance, abs_slack_s=args.abs_slack
+        )
+        print(text)
+        ok = ok and file_ok
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

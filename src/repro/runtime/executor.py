@@ -17,13 +17,15 @@ The contract that keeps parallel runs reproducible:
   are shipped once per worker instead of once per task.  Workers read
   them back via :func:`get_shared`; the inline path installs the same
   statics in-process, so task code is identical under any ``jobs``.
-* **Metrics travel with results.**  Every task — inline or pooled —
-  runs against its own task-scoped
-  :class:`~repro.obs.metrics.MetricsRegistry`; the snapshot ships back
-  with the task result and the parent merges it into its active
-  registry in submission order.  Per-task scoping on *both* paths is
-  what makes merged metrics byte-identical for any ``jobs``: the same
-  per-task subtotals are folded in the same order either way.
+* **Metrics and events travel with results.**  Every task — inline or
+  pooled — runs against its own task-scoped
+  :class:`~repro.obs.metrics.MetricsRegistry` and
+  :class:`~repro.obs.events.EventLedger`; both snapshots ship back with
+  the task result and the parent merges them into its active registry /
+  ledger in submission order.  Per-task scoping on *both* paths is what
+  makes merged metrics — and the exported provenance event stream —
+  byte-identical for any ``jobs``: the same per-task subtotals are
+  folded in the same order either way.
 """
 
 from __future__ import annotations
@@ -33,6 +35,7 @@ from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.obs.events import EventLedger, get_ledger, use_ledger
 from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
 
 __all__ = ["DeterministicExecutor", "get_shared", "resolve_jobs"]
@@ -57,13 +60,20 @@ def get_shared(name: str) -> Any:
         ) from None
 
 
-def _metered_call(task: tuple[Callable[[Any], Any], Any]) -> tuple[Any, dict]:
-    """Run one task against a fresh registry; return (result, snapshot)."""
+def _metered_call(
+    task: tuple[Callable[[Any], Any], Any]
+) -> tuple[Any, dict, dict]:
+    """Run one task against fresh metrics + event scopes.
+
+    Returns ``(result, metrics_snapshot, events_snapshot)``; the caller
+    merges both in submission order.
+    """
     fn, item = task
     registry = MetricsRegistry()
-    with use_registry(registry):
+    ledger = EventLedger()
+    with use_registry(registry), use_ledger(ledger):
         result = fn(item)
-    return result, registry.snapshot()
+    return result, registry.snapshot(), ledger.snapshot()
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -139,22 +149,25 @@ class DeterministicExecutor:
         """
         items = list(items)
         registry = get_registry()
+        ledger = get_ledger()
         if self.jobs == 1 or len(items) <= 1:
             if not self._inline_installed:
                 _install_shared(self._shared)
                 self._inline_installed = True
             results = []
             for item in items:
-                result, snapshot = _metered_call((fn, item))
+                result, snapshot, events = _metered_call((fn, item))
                 registry.merge(snapshot)
+                ledger.merge(events)
                 results.append(result)
             return results
         pool = self._ensure_pool()
         futures = [pool.submit(_metered_call, (fn, item)) for item in items]
         results = []
         for future in futures:
-            result, snapshot = future.result()
+            result, snapshot, events = future.result()
             registry.merge(snapshot)
+            ledger.merge(events)
             results.append(result)
         return results
 

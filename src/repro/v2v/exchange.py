@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.trajectory import GeoTrajectory, GsmTrajectory
+from repro.obs.events import emit
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import inc
 from repro.util.rng import as_generator
@@ -278,6 +279,16 @@ class ExchangeSession:
         """
         if now_s < self._backoff_until_s:
             inc("v2v.exchange.backoff_suppressed")
+            emit(
+                "v2v.exchange",
+                mode="backoff",
+                delivered=False,
+                aborted=False,
+                nack_rounds=0,
+                retransmitted_fragments=0,
+                backoff_s=self._backoff_until_s - now_s,
+                applied="none",
+            )
             return ExchangeOutcome(
                 mode="backoff",
                 delivered=False,
@@ -310,6 +321,16 @@ class ExchangeSession:
             n_new = max(int(round(new_m / trajectory.spacing_m)), 0)
             if n_new == 0:
                 inc("v2v.exchange.idle")
+                emit(
+                    "v2v.exchange",
+                    mode="idle",
+                    delivered=True,
+                    aborted=False,
+                    nack_rounds=0,
+                    retransmitted_fragments=0,
+                    backoff_s=0.0,
+                    applied="none",
+                )
                 return ExchangeOutcome(
                     mode="idle",
                     delivered=True,
@@ -398,6 +419,16 @@ class ExchangeSession:
                 backoff,
                 self._consecutive_aborts,
             )
+        emit(
+            "v2v.exchange",
+            mode=mode,
+            delivered=applied,
+            aborted=not applied,
+            nack_rounds=rounds,
+            retransmitted_fragments=retransmitted,
+            backoff_s=backoff,
+            applied=outcome.applied,
+        )
         return ExchangeOutcome(
             mode=mode,
             delivered=applied,

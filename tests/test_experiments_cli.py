@@ -7,7 +7,14 @@ import pytest
 
 from repro.experiments.__main__ import main
 from repro.experiments.registry import EXPERIMENTS
-from repro.obs import MetricsRegistry, use_registry
+from repro.obs import (
+    EventLedger,
+    MetricsRegistry,
+    SpanRecorder,
+    use_ledger,
+    use_recorder,
+    use_registry,
+)
 
 
 class TestCli:
@@ -127,6 +134,77 @@ class TestCliObservability:
         assert snap["histograms"]["span.syn.search"]["count"] >= 1
         assert snap["histograms"]["span.campaign.query_chunk"]["count"] >= 1
 
+    def test_metrics_out_prints_latency_table(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        with use_registry(MetricsRegistry()), use_recorder(SpanRecorder()):
+            assert main(["fig1", "--seed", "2", "--metrics-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Stage latency" in out
+        assert "p90 (ms)" in out
+
+    def test_trace_out_dumps_span_ring(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        with use_registry(MetricsRegistry()), use_recorder(SpanRecorder()):
+            assert main(["fig1", "--seed", "2", "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert f"spans written to {path}" in out
+        dump = json.loads(path.read_text())
+        assert dump["capacity"] >= 1
+        assert len(dump["spans"]) >= 1
+        names = {s["name"] for s in dump["spans"]}
+        assert "experiment.fig1" in names
+        span = dump["spans"][0]
+        assert set(span) == {"name", "start_s", "wall_s", "cpu_s", "depth", "parent"}
+
+    def test_events_out_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        with use_registry(MetricsRegistry()), use_ledger(EventLedger()):
+            assert (
+                main(
+                    [
+                        "t-campaign",
+                        "--drives",
+                        "1",
+                        "--queries",
+                        "3",
+                        "--seed",
+                        "1",
+                        "--events-out",
+                        str(path),
+                    ]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert f"provenance events written to {path}" in out
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        outcomes = [e for e in events if e["kind"] == "query.outcome"]
+        assert len(outcomes) == 3
+        assert all("cause" in e["data"] for e in outcomes)
+
+    def test_events_out_warns_on_dropped(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        with use_registry(MetricsRegistry()), use_ledger(EventLedger(capacity=2)):
+            assert (
+                main(
+                    [
+                        "t-campaign",
+                        "--drives",
+                        "1",
+                        "--queries",
+                        "3",
+                        "--seed",
+                        "1",
+                        "--events-out",
+                        str(path),
+                    ]
+                )
+                == 0
+            )
+        captured = capsys.readouterr()
+        assert "dropped" in captured.err
+        assert "truncated" in captured.err
+
     def test_log_level_enables_repro_logging(self, capsys):
         root = logging.getLogger("repro")
         try:
@@ -144,3 +222,102 @@ class TestCliObservability:
     def test_bad_log_level_rejected(self):
         with pytest.raises(ValueError):
             main(["fig1", "--log-level", "NOISY"])
+
+
+class TestCliReport:
+    @staticmethod
+    def _events_file(tmp_path):
+        ledger = EventLedger()
+        ledger.emit(
+            "query.outcome",
+            query_id="d0q0",
+            truth_m=20.0,
+            estimate_m=22.5,
+            error_m=2.5,
+            resolved=True,
+            cause="ok",
+        )
+        ledger.emit(
+            "query.outcome",
+            query_id="d0q1",
+            truth_m=30.0,
+            estimate_m=None,
+            error_m=None,
+            resolved=False,
+            cause="threshold",
+        )
+        path = tmp_path / "events.jsonl"
+        ledger.write_jsonl(str(path))
+        return path
+
+    def test_report_renders_attribution(self, tmp_path, capsys):
+        path = self._events_file(tmp_path)
+        assert main(["report", "--events", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Error attribution" in out
+        assert "| threshold |" in out
+        assert "d0q1 — unresolved" in out
+
+    def test_report_out_writes_file(self, tmp_path, capsys):
+        events = self._events_file(tmp_path)
+        report = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report",
+                    "--events",
+                    str(events),
+                    "--worst",
+                    "1",
+                    "--report-out",
+                    str(report),
+                ]
+            )
+            == 0
+        )
+        assert f"report written to {report}" in capsys.readouterr().out
+        text = report.read_text()
+        assert "## Worst 1 queries" in text
+        assert "d0q1" in text  # unresolved outranks the 2.5 m error
+
+    def test_report_requires_events(self, capsys):
+        assert main(["report"]) == 2
+        assert "--events" in capsys.readouterr().err
+
+    def test_report_rejects_extra_ids(self, tmp_path, capsys):
+        path = self._events_file(tmp_path)
+        assert main(["report", "fig1", "--events", str(path)]) == 2
+        assert "no experiment ids" in capsys.readouterr().err
+
+    def test_report_missing_file(self, tmp_path, capsys):
+        assert main(["report", "--events", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read events" in capsys.readouterr().err
+
+    def test_end_to_end_campaign_then_report(self, tmp_path, capsys):
+        events = tmp_path / "events.jsonl"
+        with use_registry(MetricsRegistry()), use_ledger(EventLedger()):
+            assert (
+                main(
+                    [
+                        "t-campaign",
+                        "--drives",
+                        "1",
+                        "--queries",
+                        "4",
+                        "--seed",
+                        "1",
+                        "--events-out",
+                        str(events),
+                    ]
+                )
+                == 0
+            )
+        assert main(["report", "--events", str(events)]) == 0
+        out = capsys.readouterr().out
+        # Per-cause query counts must sum to the campaign's query count.
+        rows = [
+            line
+            for line in out.splitlines()
+            if line.startswith("|") and "---" not in line and "cause" not in line
+        ]
+        assert sum(int(r.split("|")[2]) for r in rows) == 4

@@ -3,6 +3,7 @@
 import io
 import json
 import logging
+import math
 import pickle
 
 import pytest
@@ -97,6 +98,66 @@ class TestHistograms:
         )
 
 
+class TestQuantiles:
+    @staticmethod
+    def _hist(values, edges=(1.0, 2.0, 4.0)):
+        reg = MetricsRegistry()
+        for v in values:
+            reg.observe("h", v, buckets=edges)
+        return reg
+
+    def test_absent_or_empty_is_nan(self):
+        reg = MetricsRegistry()
+        assert math.isnan(reg.quantile("never", 0.5))
+
+    def test_q_validation(self):
+        reg = self._hist([0.5])
+        with pytest.raises(ValueError, match="q must be"):
+            reg.quantile("h", 1.5)
+        with pytest.raises(ValueError, match="q must be"):
+            reg.quantile("h", -0.1)
+
+    def test_extremes_hit_observed_min_max(self):
+        reg = self._hist([0.5, 1.5, 3.0, 10.0])
+        assert reg.quantile("h", 0.0) == 0.5
+        assert reg.quantile("h", 1.0) == 10.0
+
+    def test_linear_interpolation_within_buckets(self):
+        # counts [1, 1, 1, 1] over buckets [min..1], (1..2], (2..4], (4..max]
+        reg = self._hist([0.5, 1.5, 3.0, 10.0])
+        assert reg.quantile("h", 0.25) == pytest.approx(1.0)
+        assert reg.quantile("h", 0.5) == pytest.approx(2.0)
+        assert reg.quantile("h", 0.75) == pytest.approx(4.0)
+        # overflow bucket interpolates up to the observed max
+        assert reg.quantile("h", 0.875) == pytest.approx(7.0)
+
+    def test_monotone_in_q(self):
+        reg = self._hist([0.2, 0.9, 1.1, 1.9, 2.5, 3.5, 5.0, 9.0])
+        qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+        values = [reg.quantile("h", q) for q in qs]
+        assert values == sorted(values)
+        assert all(0.2 <= v <= 9.0 for v in values)
+
+    def test_single_value_collapses(self):
+        reg = self._hist([1.7])
+        for q in (0.0, 0.5, 1.0):
+            assert reg.quantile("h", q) == pytest.approx(1.7)
+
+    def test_quantile_after_merge_sees_combined_distribution(self):
+        a = self._hist([0.5, 0.8])
+        b = self._hist([3.0, 10.0])
+        a.merge(b.snapshot())
+        assert a.quantile("h", 0.0) == 0.5
+        assert a.quantile("h", 1.0) == 10.0
+        assert a.quantile("h", 0.5) == pytest.approx(1.0)
+
+    def test_histogram_names(self):
+        reg = MetricsRegistry()
+        reg.observe("b", 1.0)
+        reg.observe("a", 1.0)
+        assert reg.histogram_names() == ["b", "a"]  # creation order
+
+
 class TestSnapshotMerge:
     def test_merge_adds_counters_and_buckets(self):
         a, b = MetricsRegistry(), MetricsRegistry()
@@ -128,6 +189,19 @@ class TestSnapshotMerge:
         b.observe("h", 0.5, buckets=(2.0,))
         with pytest.raises(ValueError, match="bucket edges differ"):
             a.merge(b.snapshot())
+
+    def test_merge_rejects_mismatched_edge_counts(self):
+        # Different edge *lengths* must raise too — a silent zip would
+        # truncate the longer counts list and lose observations.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.observe("h", 0.5, buckets=(1.0, 2.0))
+        b.observe("h", 0.5, buckets=(1.0, 2.0, 4.0))
+        with pytest.raises(ValueError, match="bucket edges differ"):
+            a.merge(b.snapshot())
+        c = MetricsRegistry()
+        c.observe("h", 0.5, buckets=(1.0,))
+        with pytest.raises(ValueError, match="bucket edges differ"):
+            a.merge(c.snapshot())
 
     def test_merge_into_empty_equals_source(self):
         src = MetricsRegistry()
@@ -200,6 +274,34 @@ class TestTracing:
                     pass
         assert [s.name for s in rec.spans] == ["s2", "s3", "s4"]
         assert rec.capacity == 3
+
+    def test_ring_buffer_multi_wrap_keeps_completion_order(self):
+        # Wrap the ring several times over; the survivors must be the
+        # newest `capacity` spans, still oldest-first, with start times
+        # monotone (completion order == recording order for flat spans).
+        rec = SpanRecorder(capacity=4)
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            for i in range(19):
+                with trace(f"s{i}"):
+                    pass
+        assert [s.name for s in rec.spans] == ["s15", "s16", "s17", "s18"]
+        starts = [s.start_s for s in rec.spans]
+        assert starts == sorted(starts)
+
+    def test_ring_buffer_wrap_with_nesting(self):
+        # Children complete before parents; the wrapped ring keeps that
+        # completion order, not call order.
+        rec = SpanRecorder(capacity=3)
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            with trace("old"):
+                pass
+            with trace("outer"):
+                with trace("a"):
+                    pass
+                with trace("b"):
+                    pass
+        assert [s.name for s in rec.spans] == ["a", "b", "outer"]
+        assert [s.depth for s in rec.spans] == [1, 1, 0]
 
     def test_exception_still_records_span(self):
         rec = SpanRecorder()

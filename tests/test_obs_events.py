@@ -1,0 +1,222 @@
+"""Tests for repro.obs.events: ledger semantics, executor merge, campaign
+provenance determinism."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.events import (
+    EventLedger,
+    current_query_id,
+    emit,
+    get_ledger,
+    use_ledger,
+    use_query_id,
+)
+from repro.runtime import DeterministicExecutor
+
+SMALL_CAMPAIGN = dict(
+    route_length_m=6000.0, n_drives=2, queries_per_drive=3, seed=7
+)
+
+
+def _event_task(item: int) -> int:
+    """Emitting task (module level: pickles into spawn workers)."""
+    with use_query_id(f"q{item}"):
+        emit("task.step", value=item)
+        emit("task.cache", diagnostic=True, hit=item % 2 == 0)
+    emit("task.done", item=item)
+    return item * 2
+
+
+class TestEventLedger:
+    def test_emit_and_read_back(self):
+        ledger = EventLedger()
+        ledger.emit("syn.search", query_id="d0q1", peaks=[1.5], accepted=1)
+        ledger.emit("plain")
+        assert len(ledger) == 2
+        kind, query_id, diagnostic, data = ledger.events[0]
+        assert (kind, query_id, diagnostic) == ("syn.search", "d0q1", False)
+        assert data == {"peaks": [1.5], "accepted": 1}
+        assert ledger.events[1][:3] == ("plain", None, False)
+
+    def test_capacity_drops_newest_and_counts(self):
+        ledger = EventLedger(capacity=2)
+        for i in range(5):
+            ledger.emit("e", i=i)
+        assert len(ledger) == 2
+        assert [e[3]["i"] for e in ledger.events] == [0, 1]
+        assert ledger.dropped == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            EventLedger(capacity=0)
+
+    def test_to_dicts_excludes_diagnostic_by_default(self):
+        ledger = EventLedger()
+        ledger.emit("keep.a")
+        ledger.emit("drop", diagnostic=True)
+        ledger.emit("keep.b")
+        exported = ledger.to_dicts()
+        assert [e["kind"] for e in exported] == ["keep.a", "keep.b"]
+        # seq numbers the exported stream: contiguous despite the gap.
+        assert [e["seq"] for e in exported] == [0, 1]
+        everything = ledger.to_dicts(include_diagnostic=True)
+        assert [e["kind"] for e in everything] == ["keep.a", "drop", "keep.b"]
+
+    def test_write_jsonl_roundtrip(self):
+        ledger = EventLedger()
+        ledger.emit("a", query_id="q0", x=1.5)
+        ledger.emit("noise", diagnostic=True)
+        ledger.emit("b")
+        buffer = io.StringIO()
+        assert ledger.write_jsonl(buffer) == 2
+        lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
+        assert lines == [
+            {"seq": 0, "kind": "a", "query_id": "q0", "data": {"x": 1.5}},
+            {"seq": 1, "kind": "b", "query_id": None, "data": {}},
+        ]
+
+    def test_merge_preserves_order_capacity_and_drops(self):
+        a, b = EventLedger(capacity=3), EventLedger(capacity=3)
+        a.emit("first")
+        b.emit("second")
+        b.emit("third")
+        b.emit("fourth")
+        b.emit("overflowed")  # dropped by b itself
+        a.merge(b.snapshot())
+        assert [e[0] for e in a.events] == ["first", "second", "third"]
+        # "fourth" refused by a's capacity + one already dropped in b
+        assert a.dropped == 2
+
+    def test_clear(self):
+        ledger = EventLedger(capacity=1)
+        ledger.emit("a")
+        ledger.emit("b")
+        ledger.clear()
+        assert len(ledger) == 0
+        assert ledger.dropped == 0
+
+    def test_snapshot_is_a_copy(self):
+        ledger = EventLedger()
+        ledger.emit("a")
+        snap = ledger.snapshot()
+        ledger.emit("b")
+        assert len(snap["events"]) == 1
+
+
+class TestScopes:
+    def test_use_ledger_nests_and_restores(self):
+        outer, inner = EventLedger(), EventLedger()
+        with use_ledger(outer):
+            emit("k")
+            with use_ledger(inner):
+                assert get_ledger() is inner
+                emit("k")
+            assert get_ledger() is outer
+        assert len(outer) == 1
+        assert len(inner) == 1
+
+    def test_query_id_tags_emits_and_nests(self):
+        ledger = EventLedger()
+        with use_ledger(ledger):
+            emit("outside")
+            with use_query_id("d0q0"):
+                assert current_query_id() == "d0q0"
+                emit("inside")
+                with use_query_id("d0q1"):
+                    emit("nested")
+                emit("inside_again")
+            assert current_query_id() is None
+        assert [(e[0], e[1]) for e in ledger.events] == [
+            ("outside", None),
+            ("inside", "d0q0"),
+            ("nested", "d0q1"),
+            ("inside_again", "d0q0"),
+        ]
+
+
+class TestExecutorEventMerge:
+    @staticmethod
+    def _events_for(jobs):
+        ledger = EventLedger()
+        with use_ledger(ledger):
+            with DeterministicExecutor(jobs=jobs) as executor:
+                results = executor.map_ordered(_event_task, range(8))
+        assert results == [2 * i for i in range(8)]
+        return ledger
+
+    @pytest.mark.parametrize("jobs", [2, None])
+    def test_merged_events_byte_identical_across_jobs(self, jobs):
+        serial = self._events_for(1)
+        parallel = self._events_for(jobs)
+        assert serial.events == parallel.events
+        assert serial.dropped == parallel.dropped
+
+    def test_merged_order_and_query_ids(self):
+        ledger = self._events_for(1)
+        assert [e[0] for e in ledger.events[:3]] == [
+            "task.step",
+            "task.cache",
+            "task.done",
+        ]
+        steps = [e for e in ledger.events if e[0] == "task.step"]
+        assert [e[1] for e in steps] == [f"q{i}" for i in range(8)]
+
+    def test_capacity_cut_is_jobs_invariant(self):
+        def events_for(jobs):
+            ledger = EventLedger(capacity=10)
+            with use_ledger(ledger):
+                with DeterministicExecutor(jobs=jobs) as executor:
+                    executor.map_ordered(_event_task, range(8))
+            return ledger
+
+        serial, parallel = events_for(1), events_for(2)
+        assert serial.dropped == parallel.dropped > 0
+        assert serial.events == parallel.events
+
+
+class TestCampaignProvenance:
+    def test_campaign_events_jobs_invariant_and_complete(self, small_plan):
+        from repro.experiments.campaign import run_campaign
+
+        def jsonl_for(jobs):
+            ledger = EventLedger()
+            with use_ledger(ledger):
+                run_campaign(plan=small_plan, jobs=jobs, **SMALL_CAMPAIGN)
+            buffer = io.StringIO()
+            ledger.write_jsonl(buffer)
+            return buffer.getvalue()
+
+        serial = jsonl_for(1)
+        parallel = jsonl_for(2)
+        assert serial == parallel  # byte-identical provenance export
+
+        events = [json.loads(line) for line in serial.splitlines()]
+        outcomes = [e for e in events if e["kind"] == "query.outcome"]
+        n_queries = SMALL_CAMPAIGN["n_drives"] * SMALL_CAMPAIGN["queries_per_drive"]
+        assert len(outcomes) == n_queries
+        assert [e["query_id"] for e in outcomes] == [
+            f"d{d}q{q}"
+            for d in range(SMALL_CAMPAIGN["n_drives"])
+            for q in range(SMALL_CAMPAIGN["queries_per_drive"])
+        ]
+        # Every query also left search/estimate provenance under its id.
+        for outcome in outcomes:
+            trail = {
+                e["kind"] for e in events if e["query_id"] == outcome["query_id"]
+            }
+            assert "engine.estimate" in trail
+            assert "syn.search" in trail or "syn.no_window" in trail
+
+    def test_campaign_diagnostic_events_stay_internal(self, small_plan):
+        from repro.experiments.campaign import run_campaign
+
+        ledger = EventLedger()
+        with use_ledger(ledger):
+            run_campaign(plan=small_plan, jobs=1, **SMALL_CAMPAIGN)
+        kinds_all = {e[0] for e in ledger.events}
+        kinds_exported = {e["kind"] for e in ledger.to_dicts()}
+        assert "engine.build" in kinds_all  # cache provenance is held...
+        assert "engine.build" not in kinds_exported  # ...but not exported

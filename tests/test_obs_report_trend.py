@@ -1,0 +1,245 @@
+"""Tests for repro.obs.report (error attribution) and repro.obs.trend."""
+
+import json
+
+import pytest
+
+from repro.obs.events import EventLedger
+from repro.obs.report import (
+    attribute_queries,
+    load_events,
+    render_error_attribution,
+)
+from repro.obs.trend import (
+    TrendReport,
+    append_snapshot,
+    check_history,
+    compare,
+    load_history,
+    main as trend_main,
+)
+
+
+def _ledger_with_mixed_outcomes() -> EventLedger:
+    ledger = EventLedger()
+    ledger.emit(
+        "syn.search",
+        query_id="d0q0",
+        windows=3,
+        window_marks=86,
+        threshold=1.2,
+        shrunk=False,
+        peaks=[1.5, 1.4, 1.3],
+        accepted=3,
+        rejected_threshold=0,
+    )
+    ledger.emit(
+        "query.outcome",
+        query_id="d0q0",
+        truth_m=20.0,
+        estimate_m=21.0,
+        error_m=1.0,
+        resolved=True,
+        cause="ok",
+    )
+    ledger.emit(
+        "query.outcome",
+        query_id="d0q1",
+        truth_m=30.0,
+        estimate_m=34.0,
+        error_m=4.0,
+        resolved=True,
+        cause="low_margin",
+    )
+    ledger.emit(
+        "syn.no_window",
+        query_id="d0q2",
+        own_marks=12,
+        other_marks=12,
+        window_marks=86,
+        flexible_window=True,
+        min_window_length_m=100.0,
+    )
+    ledger.emit(
+        "query.outcome",
+        query_id="d0q2",
+        truth_m=25.0,
+        estimate_m=None,
+        error_m=None,
+        resolved=False,
+        cause="no_window",
+    )
+    return ledger
+
+
+class TestAttribution:
+    def test_join_by_query_id(self):
+        records = attribute_queries(_ledger_with_mixed_outcomes())
+        assert [r.query_id for r in records] == ["d0q0", "d0q1", "d0q2"]
+        by_id = {r.query_id: r for r in records}
+        assert by_id["d0q0"].cause == "ok"
+        assert by_id["d0q0"].error_m == 1.0
+        assert [e["kind"] for e in by_id["d0q0"].events] == ["syn.search"]
+        assert by_id["d0q2"].cause == "no_window"
+        assert not by_id["d0q2"].resolved
+        assert by_id["d0q2"].badness() == float("inf")
+
+    def test_cause_counts_sum_to_query_count(self):
+        report = render_error_attribution(_ledger_with_mixed_outcomes())
+        records = attribute_queries(_ledger_with_mixed_outcomes())
+        # The table's per-cause query counts must sum to the query count.
+        table_rows = [
+            line
+            for line in report.splitlines()
+            if line.startswith("|") and "---" not in line
+        ][1:]
+        counts = [int(row.split("|")[2]) for row in table_rows]
+        assert sum(counts) == len(records) == 3
+
+    def test_report_contents(self):
+        report = render_error_attribution(
+            _ledger_with_mixed_outcomes(), worst_n=2
+        )
+        assert "3 queries, 2 resolved (67%)" in report
+        assert "| low_margin |" in report
+        assert "## Worst 2 queries" in report
+        # Worst-first: the unresolved query leads, then the 4 m error.
+        assert report.index("d0q2") < report.index("d0q1")
+        assert "d0q0" not in report.split("## Worst")[1]
+        assert "no 86-mark window" in report  # the no_window narrative
+
+    def test_empty_events(self):
+        report = render_error_attribution([])
+        assert "No `query.outcome` events" in report
+
+    def test_worst_n_validation(self):
+        with pytest.raises(ValueError):
+            render_error_attribution([], worst_n=-1)
+
+    def test_load_events_roundtrip_and_errors(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        ledger = _ledger_with_mixed_outcomes()
+        ledger.write_jsonl(str(path))
+        events = load_events(str(path))
+        assert len(events) == len(ledger)
+        assert attribute_queries(events)[0].query_id == "d0q0"
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "a"}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_events(str(bad))
+        no_kind = tmp_path / "nokind.jsonl"
+        no_kind.write_text('{"seq": 0}\n')
+        with pytest.raises(ValueError, match="'kind'"):
+            load_events(str(no_kind))
+
+
+class TestTrendHistory:
+    def test_append_and_load(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        assert load_history(path) == []
+        append_snapshot(path, {"a_s": 1.0}, counters={"n": 4}, label="seed")
+        append_snapshot(path, {"a_s": 1.1}, counters={"n": 4})
+        history = load_history(path)
+        assert len(history) == 2
+        assert history[0]["label"] == "seed"
+        assert history[1]["timings"] == {"a_s": 1.1}
+        assert history[1]["counters"] == {"n": 4}
+
+    def test_append_caps_entries(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        for i in range(6):
+            append_snapshot(path, {"a_s": float(i)}, max_entries=3)
+        history = load_history(path)
+        assert [e["timings"]["a_s"] for e in history] == [3.0, 4.0, 5.0]
+
+    def test_append_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            append_snapshot(str(tmp_path / "h.json"), {"a_s": 1.0}, max_entries=1)
+
+    def test_non_list_history_rejected(self, tmp_path):
+        path = tmp_path / "h.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="JSON list"):
+            load_history(str(path))
+
+
+class TestTrendCompare:
+    def test_within_tolerance_ok(self):
+        report = compare(
+            {"timings": {"a_s": 1.0}}, {"timings": {"a_s": 1.3}}, tolerance=0.5
+        )
+        assert report.ok
+        assert report.regressions == []
+
+    def test_regression_detected(self):
+        report = compare(
+            {"timings": {"a_s": 1.0}}, {"timings": {"a_s": 2.0}}, tolerance=0.5
+        )
+        assert not report.ok
+        assert "a_s" in report.regressions[0]
+        assert "REGRESSED" in report.render()
+
+    def test_abs_slack_shields_micro_timings(self):
+        # 10x relative growth but only 90 us absolute: never gates.
+        report = compare(
+            {"timings": {"tiny_s": 1e-5}},
+            {"timings": {"tiny_s": 1e-4}},
+            tolerance=0.5,
+            abs_slack_s=0.1,
+        )
+        assert report.ok
+
+    def test_improvement_and_notes(self):
+        report = compare(
+            {"timings": {"a_s": 2.0, "gone_s": 1.0}, "counters": {"n": 4}},
+            {"timings": {"a_s": 0.5, "new_s": 1.0}, "counters": {"n": 5}},
+        )
+        assert report.ok
+        assert any("a_s" in line for line in report.improvements)
+        notes = "\n".join(report.notes)
+        assert "new_s" in notes and "gone_s" in notes
+        assert "counter 'n' drifted: 4 -> 5" in notes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compare({}, {}, tolerance=-0.1)
+
+
+class TestTrendCli:
+    def test_single_entry_is_trivially_ok(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_x.json")
+        append_snapshot(path, {"a_s": 1.0})
+        assert trend_main([path]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_synthetic_regression_fails(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_x.json")
+        append_snapshot(path, {"a_s": 1.0})
+        append_snapshot(path, {"a_s": 5.0})
+        assert trend_main([path]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "a_s" in out
+
+    def test_tolerance_flag(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        append_snapshot(path, {"a_s": 1.0})
+        append_snapshot(path, {"a_s": 1.8})
+        assert trend_main([path]) == 1  # default 50% tolerance
+        assert trend_main([path, "--tolerance", "1.0"]) == 0
+
+    def test_multiple_files_any_regression_fails(self, tmp_path):
+        good, bad = str(tmp_path / "g.json"), str(tmp_path / "b.json")
+        append_snapshot(good, {"a_s": 1.0})
+        append_snapshot(good, {"a_s": 1.0})
+        append_snapshot(bad, {"a_s": 1.0})
+        append_snapshot(bad, {"a_s": 9.0})
+        assert trend_main([good, bad]) == 1
+
+    def test_check_history_text_mentions_file(self, tmp_path):
+        path = str(tmp_path / "BENCH_x.json")
+        append_snapshot(path, {"a_s": 1.0})
+        append_snapshot(path, {"a_s": 1.0})
+        ok, text = check_history(path)
+        assert ok
+        assert path in text

@@ -1,15 +1,20 @@
 """Runtime speedup contract: parallel campaign + trajectory-build caching.
 
-The performance contract of the ``repro.runtime`` PR, recorded to
+The performance contract of the ``repro.runtime`` stack, recorded to
 ``benchmarks/results/t-runtime.txt``:
 
-* ``run_campaign`` (4 drives, 4 workers requested) with the runtime
-  configuration — fused SYN kernel, engine binding/trajectory caches,
-  process fan-out — must beat the legacy serial path (batched kernel,
-  ``jobs=1``) by >= 2x wall clock.  Both runtime variants (``jobs=4``
-  and ``jobs=1``) are measured: on a single-core host the 4-worker pool
-  pays pure spawn overhead, so the contract is held by the best runtime
-  variant while both numbers are recorded honestly.
+* ``run_campaign`` with the runtime configuration — fused SYN kernel,
+  engine binding/trajectory caches, shared-statics fan-out — must beat
+  the legacy serial path (batched kernel, ``jobs=1``) by >= 2x wall
+  clock.  The pooled variant is measured twice: cold (pool spawn +
+  first-touch cache fills inside the timed region) and warm (a
+  pre-spawned executor with resident caches), because the warm number
+  is what a long campaign sweep actually pays per run.
+* On hosts with >= 2 cores the warm pooled run must be no slower than
+  the serial runtime variant, and on >= 4 cores it must win by >= 2x.
+  On a single-core host the pool pays pure spawn overhead, so those
+  assertions are skipped — and the skip is recorded honestly in the
+  result text rather than silently passing.
 * Repeated-query trajectory builds through the engine cache must beat
   cold per-query ``bind_scan`` by >= 5x (warm vs cold).
 
@@ -17,6 +22,7 @@ Every timed variant must also produce identical results — speed that
 changed the answers would be a bug, not a win.
 """
 
+import os
 import time
 
 import numpy as np
@@ -29,6 +35,7 @@ from repro.gsm.band import EVAL_SUBSET_115, RGSM900
 from repro.gsm.field import make_straight_field
 from repro.gsm.scanner import RadioGroup, scan_drive
 from repro.roads.types import RoadType
+from repro.runtime import DeterministicExecutor
 from repro.sensors.deadreckoning import EstimatedTrack
 
 CAMPAIGN_KWARGS = dict(
@@ -60,6 +67,7 @@ def _timed(fn):
 
 def test_runtime_speedup_contract(record_result, drive_inputs):
     plan = RGSM900.subset(np.arange(0, RGSM900.n_channels, 4), name="bench-49")
+    ncpu = os.cpu_count() or 1
 
     # -- campaign: legacy serial vs the parallel cached runtime --------
     legacy, legacy_s = _timed(
@@ -67,21 +75,55 @@ def test_runtime_speedup_contract(record_result, drive_inputs):
             plan=plan, config=RupsConfig(kernel="batched"), jobs=1, **CAMPAIGN_KWARGS
         )
     )
-    pooled, pooled_s = _timed(
-        lambda: run_campaign(
-            plan=plan, config=RupsConfig(kernel="fused"), jobs=4, **CAMPAIGN_KWARGS
-        )
-    )
     serial_rt, serial_rt_s = _timed(
         lambda: run_campaign(
             plan=plan, config=RupsConfig(kernel="fused"), jobs=1, **CAMPAIGN_KWARGS
         )
     )
-    assert legacy.render() == pooled.render() == serial_rt.render(), (
-        "runtime configurations changed campaign results"
+    pooled_cold, pooled_cold_s = _timed(
+        lambda: run_campaign(
+            plan=plan, config=RupsConfig(kernel="fused"), jobs=4, **CAMPAIGN_KWARGS
+        )
     )
-    best_s = min(pooled_s, serial_rt_s)
+    with DeterministicExecutor(jobs=4) as executor:
+        executor.warm_up()
+        # Prime worker-resident caches (engines, published statics) the
+        # way a campaign sweep's first run does, then time the steady
+        # state the remaining runs pay.
+        run_campaign(
+            plan=plan,
+            config=RupsConfig(kernel="fused"),
+            executor=executor,
+            **CAMPAIGN_KWARGS,
+        )
+        pooled, pooled_s = _timed(
+            lambda: run_campaign(
+                plan=plan,
+                config=RupsConfig(kernel="fused"),
+                executor=executor,
+                **CAMPAIGN_KWARGS,
+            )
+        )
+    renders = {
+        legacy.render(),
+        serial_rt.render(),
+        pooled_cold.render(),
+        pooled.render(),
+    }
+    assert len(renders) == 1, "runtime configurations changed campaign results"
+    best_s = min(pooled_s, pooled_cold_s, serial_rt_s)
     campaign_speedup = legacy_s / best_s
+
+    if ncpu >= 2:
+        parallel_note = (
+            f"  parallel payoff gate ({ncpu} cores): warm pooled "
+            f"{pooled_s:.2f} s vs serial {serial_rt_s:.2f} s"
+        )
+    else:
+        parallel_note = (
+            "  parallel payoff gate: skipped (1-core host; the pool "
+            "pays pure spawn overhead here)"
+        )
 
     # -- repeated-query trajectory builds: warm cache vs cold binds ----
     scan, track = drive_inputs
@@ -118,13 +160,15 @@ def test_runtime_speedup_contract(record_result, drive_inputs):
         f"(campaign: {CAMPAIGN_KWARGS['n_drives']} drives x "
         f"{CAMPAIGN_KWARGS['queries_per_drive']} queries, 49-ch plan)\n"
         f"  run_campaign legacy (batched, jobs=1):  {legacy_s:7.2f} s\n"
-        f"  run_campaign runtime (fused, jobs=4):   {pooled_s:7.2f} s "
-        f"({legacy_s / pooled_s:.2f}x)\n"
         f"  run_campaign runtime (fused, jobs=1):   {serial_rt_s:7.2f} s "
         f"({legacy_s / serial_rt_s:.2f}x)\n"
+        f"  run_campaign runtime (fused, jobs=4, cold pool): "
+        f"{pooled_cold_s:7.2f} s ({legacy_s / pooled_cold_s:.2f}x)\n"
+        f"  run_campaign runtime (fused, jobs=4, warm pool): "
+        f"{pooled_s:7.2f} s ({legacy_s / pooled_s:.2f}x)\n"
         f"  campaign speedup (best runtime variant): {campaign_speedup:.2f}x "
-        "(contract: >= 2x; on a single-core host the 4-worker pool adds "
-        "spawn overhead and the serial runtime variant carries the win)\n"
+        "(contract: >= 2x vs legacy)\n"
+        f"{parallel_note}\n"
         f"  trajectory builds, 40 instants x {config.context_length_m:.0f} m "
         "context:\n"
         f"    cold (bind_scan per query):     {cold_s * 1e3:8.1f} ms\n"
@@ -140,6 +184,7 @@ def test_runtime_speedup_contract(record_result, drive_inputs):
         timings={
             "legacy_s": legacy_s,
             "pooled_s": pooled_s,
+            "pooled_cold_s": pooled_cold_s,
             "serial_rt_s": serial_rt_s,
             "cold_build_s": cold_s,
             "warm_build_s": warm_s,
@@ -152,3 +197,13 @@ def test_runtime_speedup_contract(record_result, drive_inputs):
     assert build_speedup >= 5.0, (
         f"trajectory build speedup {build_speedup:.1f}x below the 5x contract"
     )
+    if ncpu >= 2:
+        assert pooled_s <= serial_rt_s, (
+            f"warm pooled campaign ({pooled_s:.2f} s) slower than the serial "
+            f"runtime variant ({serial_rt_s:.2f} s) on a {ncpu}-core host"
+        )
+    if ncpu >= 4:
+        assert serial_rt_s / pooled_s >= 2.0, (
+            f"warm pooled speedup {serial_rt_s / pooled_s:.2f}x over serial "
+            f"below the 2x contract on a {ncpu}-core host"
+        )

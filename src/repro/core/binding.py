@@ -133,6 +133,36 @@ class DriveBindingIndex:
     suite in ``tests/test_core_binding_cache.py``.
     """
 
+    @classmethod
+    def for_drive(
+        cls,
+        scan: ScanStream,
+        track: EstimatedTrack,
+        spacing_m: float = 1.0,
+    ) -> "DriveBindingIndex":
+        """A (possibly shared) index for this drive, content-addressed.
+
+        Routes construction through the process-resident derived-object
+        cache of :mod:`repro.runtime.shared`: two callers — engine
+        instances, campaign tasks, warm re-runs — asking for the index
+        of bit-identical ``(scan, track)`` inputs get the *same* built
+        index back, even when their input objects are distinct
+        checkouts.  Falls back to plain construction semantics (the
+        cache builds via ``cls(...)``), so results are identical either
+        way.
+        """
+        from repro.runtime import shared
+
+        key = (
+            "binding.index",
+            shared.content_key(scan),
+            shared.content_key(track),
+            float(spacing_m),
+        )
+        return shared.derived(
+            key, lambda: cls(scan, track, spacing_m=spacing_m)
+        )
+
     def __init__(
         self,
         scan: ScanStream,

@@ -70,6 +70,7 @@ __all__ = [
     "correlation_matrix",
     "fused_sliding_correlation",
     "fused_sweep",
+    "fused_sweep_many",
     "get_kernel",
     "normalized_window_features",
     "reference_sliding_correlation",
@@ -426,6 +427,29 @@ def _query_window_blocks(
     return qc, q_sum, q_ss, q_live, q_profile
 
 
+def _fused_finish(
+    dots: np.ndarray,
+    blocks: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    target_stats: SlidingWindowStats,
+    n: int,
+) -> np.ndarray:
+    """Turn raw cross dots ``(n, r, n_pos)`` into eq.-(2) scores ``(r, n_pos)``."""
+    _, q_sum, q_ss, q_live, q_profile = blocks
+    # num[r, c, p] = sum_j qc * (u_win - win_mean_c)  (exact expansion).
+    num = dots.transpose(1, 0, 2) - (
+        target_stats.win_mean_c[None, :, :] * q_sum[:, :, None]
+    )
+    live = q_live[:, :, None] & target_stats.live[None, :, :]
+    denom_sq = q_ss[:, :, None] * target_stats.win_ss[None, :, :]
+    with np.errstate(invalid="ignore", divide="ignore"):
+        contrib = np.where(
+            live, num / np.sqrt(np.where(live, denom_sq, 1.0)), 0.0
+        )
+    term1 = contrib.sum(axis=1) / n
+    term2 = q_profile @ target_stats.profile.T
+    return term1 + term2
+
+
 def fused_sweep(
     query: np.ndarray,
     starts: np.ndarray,
@@ -440,26 +464,85 @@ def fused_sweep(
     """
     w = target_stats.window_marks
     n = query.shape[0]
-    qc, q_sum, q_ss, q_live, q_profile = _query_window_blocks(
+    blocks = _query_window_blocks(
         np.asarray(query, dtype=float), np.asarray(starts, dtype=np.intp), w
     )
     u = target_stats.centered
     # Grouped per-channel matmul: (n, r, w) @ (n, w, n_pos) -> (n, r, n_pos).
     sw = sliding_window_view(u, w, axis=1).transpose(0, 2, 1)
-    dots = np.matmul(np.ascontiguousarray(qc.transpose(1, 0, 2)), sw)
-    # num[r, c, p] = sum_j qc * (u_win - win_mean_c)  (exact expansion).
-    num = dots.transpose(1, 0, 2) - (
-        target_stats.win_mean_c[None, :, :] * q_sum[:, :, None]
-    )
-    live = q_live[:, :, None] & target_stats.live[None, :, :]
-    denom_sq = q_ss[:, :, None] * target_stats.win_ss[None, :, :]
-    with np.errstate(invalid="ignore", divide="ignore"):
-        contrib = np.where(
-            live, num / np.sqrt(np.where(live, denom_sq, 1.0)), 0.0
+    dots = np.matmul(np.ascontiguousarray(blocks[0].transpose(1, 0, 2)), sw)
+    return _fused_finish(dots, blocks, target_stats, n)
+
+
+def fused_sweep_many(
+    sweeps: list[tuple[np.ndarray, np.ndarray, SlidingWindowStats]],
+) -> list[np.ndarray]:
+    """Many :func:`fused_sweep` calls with shared-target GEMMs fused —
+    the cross-pair SYN kernel.
+
+    ``sweeps`` is a list of ``(query, starts, target_stats)`` requests,
+    typically every side of every pending query in a campaign chunk or a
+    convoy's all-pairs scan.  Requests that sweep the *same* target
+    stats object with the same operand shape — a convoy head matched
+    against many probes, or both directions of a symmetric pair — are
+    stacked along the window-row axis and evaluated by a single
+    ``np.matmul`` over ``(n, g*r, w) @ (n, w, n_pos)``: the target's
+    sliding-window operand is built (and BLAS-buffered) once instead of
+    ``g`` times.  Requests with distinct targets run exactly the
+    per-request :func:`fused_sweep` GEMM — stacking distinct targets
+    would copy each one into a dense batch operand for zero reuse,
+    which profiling showed costs more than it saves.  Either way every
+    window row sees exactly the operands the per-request sweep would
+    have fed it, so results are bit-identical to calling
+    :func:`fused_sweep` per request (the differential suite holds both
+    to the reference loop).
+
+    Returns one ``(r, n_pos)`` score matrix per request, in order.
+    """
+    results: list[np.ndarray | None] = [None] * len(sweeps)
+    prepared = []
+    for idx, (query, starts, stats) in enumerate(sweeps):
+        w = stats.window_marks
+        n = query.shape[0]
+        blocks = _query_window_blocks(
+            np.asarray(query, dtype=float),
+            np.asarray(starts, dtype=np.intp),
+            w,
         )
-    term1 = contrib.sum(axis=1) / n
-    term2 = q_profile @ target_stats.profile.T
-    return term1 + term2
+        prepared.append((idx, n, w, blocks, stats))
+
+    # Group shared-target requests, preserving first-seen order (the
+    # grouping depends only on request identity, shapes, and order —
+    # never on jobs or chunk layout beyond the request list itself).
+    groups: dict[tuple[int, int, int, int], list[tuple]] = {}
+    for idx, n, w, blocks, stats in prepared:
+        r = blocks[0].shape[0]
+        key = (id(stats), n, r, w)
+        groups.setdefault(key, []).append((idx, n, blocks, stats))
+
+    for (_, n, r, w), members in groups.items():
+        stats = members[0][3]
+        sw = sliding_window_view(stats.centered, w, axis=1).transpose(0, 2, 1)
+        if len(members) == 1:
+            idx, _, blocks, stats = members[0]
+            dots = np.matmul(
+                np.ascontiguousarray(blocks[0].transpose(1, 0, 2)), sw
+            )
+            results[idx] = _fused_finish(dots, blocks, stats, n)
+            continue
+        big_q = np.concatenate(
+            [
+                np.ascontiguousarray(blocks[0].transpose(1, 0, 2))
+                for _, _, blocks, _ in members
+            ],
+            axis=1,
+        )  # (n, g*r, w)
+        dots_all = np.matmul(big_q, sw)  # (n, g*r, n_pos)
+        for i, (idx, _, blocks, member_stats) in enumerate(members):
+            results[idx] = _fused_finish(
+                dots_all[:, i * r : (i + 1) * r, :], blocks, member_stats, n
+            )
+    return results  # type: ignore[return-value]
 
 
 def fused_sliding_correlation(

@@ -20,7 +20,12 @@ import numpy as np
 from repro.core.binding import DriveBindingIndex, bind_scan
 from repro.core.config import RupsConfig
 from repro.core.resolver import aggregate_estimates, resolve_relative_distance
-from repro.core.syn import SynPoint, _effective_window, find_syn_points
+from repro.core.syn import (
+    SynPoint,
+    _effective_window,
+    _query_scope,
+    find_syn_points_batch,
+)
 from repro.core.trajectory import GsmTrajectory
 from repro.gsm.scanner import ScanStream
 from repro.obs.events import emit
@@ -121,10 +126,15 @@ class RupsEngine:
         one slot per live pair keeps every tracking session's memoised
         window features warm; ``0`` disables.
 
-    All caches key on object identity of immutable inputs and hold
-    strong references to the keyed objects, so a recycled ``id()`` can
-    never alias a dead entry (hits additionally verify identity).
-    Cached trajectories come from a per-drive
+    The trajectory and binding-index caches key on object identity of
+    immutable inputs and hold strong references to the keyed objects, so
+    a recycled ``id()`` can never alias a dead entry (hits additionally
+    verify identity).  The reduction cache keys on the trajectories'
+    :attr:`~repro.core.trajectory.GsmTrajectory.content_token` instead:
+    a campaign worker that rebuilds (or checks out of the shared-statics
+    store) a bit-identical trajectory under a fresh object still hits,
+    where the previous identity key missed on every query of every warm
+    re-run.  Cached trajectories come from a per-drive
     :class:`~repro.core.binding.DriveBindingIndex`, which is
     differentially tested to be bit-identical to :func:`bind_scan`.
     """
@@ -146,10 +156,12 @@ class RupsEngine:
         self._trajectories: OrderedDict[tuple, tuple] = OrderedDict()
         # (id(scan), id(track)) -> (scan, track, DriveBindingIndex)
         self._binding_indices: OrderedDict[tuple, tuple] = OrderedDict()
-        # (id(own), id(other)) -> (own, other, own_r, other_r).  Tracking
-        # sessions query the same pairs repeatedly (§V-B); reusing the
-        # reduced trajectories keeps their memoised window features warm
-        # across updates instead of rebuilding them every period.
+        # (own.content_token, other.content_token) -> (own_r, other_r).
+        # Tracking sessions query the same pairs repeatedly (§V-B);
+        # reusing the reduced trajectories keeps their memoised window
+        # features warm across updates instead of rebuilding them every
+        # period — and the content key lets bit-identical rebuilds from
+        # other processes or later campaign runs hit too.
         self._reductions: OrderedDict[tuple, tuple] = OrderedDict()
         # Materialise the cache counters so every metrics snapshot that
         # saw an engine carries the full hit/miss key set, hits or not.
@@ -169,7 +181,11 @@ class RupsEngine:
             return hit[2]
         inc("engine.cache.binding_index.miss")
         with trace("engine.bind_index"):
-            index = DriveBindingIndex(scan, track, spacing_m=self.config.spacing_m)
+            # Content-addressed: a fresh engine (or another process's
+            # checkout of the same drive) reuses an already-built index.
+            index = DriveBindingIndex.for_drive(
+                scan, track, spacing_m=self.config.spacing_m
+            )
         self._binding_indices[key] = (scan, track, index)
         while len(self._binding_indices) > self._BINDING_INDEX_SLOTS:
             self._binding_indices.popitem(last=False)
@@ -247,13 +263,13 @@ class RupsEngine:
         strength is ranked on the combined mean power so both vehicles
         agree on the subset.
         """
-        key = (id(own), id(other))
+        key = (own.content_token, other.content_token)
         hit = self._reductions.get(key)
-        if hit is not None and hit[0] is own and hit[1] is other:
+        if hit is not None:
             self._reductions.move_to_end(key)
             inc("engine.cache.reduction.hit")
             emit("engine.reduce", diagnostic=True, cache="hit")
-            return hit[2], hit[3]
+            return hit
         inc("engine.cache.reduction.miss")
         emit("engine.reduce", diagnostic=True, cache="miss")
         common = own.common_channels(other)
@@ -290,7 +306,7 @@ class RupsEngine:
         own_r = own_c.select_channels(chosen)
         other_r = other_c.select_channels(chosen)
         if self._reduction_cache_size > 0:
-            self._reductions[key] = (own, other, own_r, other_r)
+            self._reductions[key] = (own_r, other_r)
             while len(self._reductions) > self._reduction_cache_size:
                 self._reductions.popitem(last=False)
         return own_r, other_r
@@ -314,12 +330,59 @@ class RupsEngine:
         n_syn_points, aggregation:
             Optional overrides of the configured multi-SYN behaviour.
         """
-        agg = self.config.aggregation if aggregation is None else aggregation
-        with trace("engine.reduce"):
-            own_r, other_r = self._reduce_channels(own, other)
-        syn_points = find_syn_points(
-            own_r, other_r, self.config, n_points=n_syn_points
+        (estimate,) = self.estimate_relative_distance_batch(
+            [(own, other)], n_syn_points=n_syn_points, aggregation=aggregation
         )
+        return estimate
+
+    def estimate_relative_distance_batch(
+        self,
+        pairs: list[tuple[GsmTrajectory, GsmTrajectory]],
+        n_syn_points: int | None = None,
+        aggregation: str | None = None,
+        query_ids: list[str | None] | None = None,
+    ) -> list[RupsEstimate]:
+        """:meth:`estimate_relative_distance` for many pairs at once.
+
+        Channel reduction and the final resolve/attribute stage run per
+        pair, but every pair's SYN sweeps feed one cross-pair batched
+        kernel (:func:`~repro.core.syn.find_syn_points_batch`) — the
+        campaign's query chunks and all-pairs convoy scans go through
+        here.  Per pair the estimate, counters, and provenance events
+        are exactly those of the scalar method; ``query_ids`` optionally
+        tags each pair's events.
+        """
+        agg = self.config.aggregation if aggregation is None else aggregation
+        ids: list[str | None] = (
+            [None] * len(pairs) if query_ids is None else list(query_ids)
+        )
+        if len(ids) != len(pairs):
+            raise ValueError("query_ids must match pairs in length")
+        reduced: list[tuple[GsmTrajectory, GsmTrajectory]] = []
+        for (own, other), query_id in zip(pairs, ids):
+            with _query_scope(query_id), trace("engine.reduce"):
+                reduced.append(self._reduce_channels(own, other))
+        syn_lists = find_syn_points_batch(
+            reduced, self.config, n_points=n_syn_points, query_ids=ids
+        )
+        estimates = []
+        for (own_r, other_r), syn_points, query_id in zip(
+            reduced, syn_lists, ids
+        ):
+            with _query_scope(query_id):
+                estimates.append(
+                    self._finish_estimate(own_r, other_r, syn_points, agg)
+                )
+        return estimates
+
+    def _finish_estimate(
+        self,
+        own_r: GsmTrajectory,
+        other_r: GsmTrajectory,
+        syn_points: list[SynPoint],
+        agg: str,
+    ) -> RupsEstimate:
+        """Heading gate, resolve, aggregate, attribute, and emit."""
         n_candidates = len(syn_points)
         n_heading_rejected = 0
         if self.config.heading_check and syn_points:

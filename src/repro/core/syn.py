@@ -24,7 +24,9 @@ Extensions implemented alongside the baseline search:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -33,11 +35,12 @@ from repro.core.correlation import (
     _SUSPECT_FRACTION_LIMIT,
     correlation_matrix,
     fused_sweep,
+    fused_sweep_many,
     get_kernel,
     trajectory_correlation,
 )
 from repro.core.trajectory import GsmTrajectory
-from repro.obs.events import emit
+from repro.obs.events import emit, use_query_id
 from repro.obs.metrics import inc
 from repro.obs.tracing import trace
 
@@ -45,9 +48,15 @@ __all__ = [
     "SynPoint",
     "seek_syn_point",
     "find_syn_points",
+    "find_syn_points_batch",
     "heading_agreement_rad",
     "heading_agreement_many",
 ]
+
+
+def _query_scope(query_id: str | None):
+    """Tag emitted provenance with a query id when one is known."""
+    return use_query_id(query_id) if query_id is not None else nullcontext()
 
 
 def heading_agreement_rad(
@@ -173,6 +182,35 @@ class SynPoint:
     query_side: str
 
 
+def _rescore_winners(
+    query: GsmTrajectory,
+    query_end_marks: list[int],
+    target: GsmTrajectory,
+    window_marks: int,
+    valid: list[int],
+    best: np.ndarray,
+    results: list[tuple[float, int] | None],
+) -> None:
+    """Exactly re-score each sweep's argmax winner into ``results``.
+
+    The double-sided search breaks own/other ties by strict argmax
+    order, and :func:`trajectory_correlation` is bitwise-symmetric in
+    its arguments — so re-scoring every winner with the pairwise
+    reference scorer keeps side ties exact (a mirror-symmetric match
+    scores identically from either side) where the batched matmuls'
+    accumulated rounding would perturb them.
+    """
+    for j, i in enumerate(valid):
+        b = int(best[j])
+        q = query.power_dbm[
+            :, query_end_marks[i] - window_marks + 1 : query_end_marks[i] + 1
+        ]
+        exact = trajectory_correlation(
+            q, target.power_dbm[:, b : b + window_marks]
+        )
+        results[i] = (float(exact), b + window_marks - 1)
+
+
 def _match_windows(
     query: GsmTrajectory,
     query_end_marks: list[int],
@@ -188,8 +226,9 @@ def _match_windows(
 
     With ``kernel="batched"`` all query windows are scored against all
     target positions by a single matmul over the two trajectories'
-    memoised feature matrices — the per-query argmax then reads one row
-    of that correlation matrix.  With ``kernel="fused"`` the same scores
+    memoised feature matrices — the per-query argmax reads one row of
+    that correlation matrix and the winner is re-scored exactly (see
+    :func:`_rescore_winners`).  With ``kernel="fused"`` the same scores
     come from the target's memoised sliding statistics and one grouped
     matmul, never materialising the feature tensor (falling back to the
     batched path for degenerate-dominated targets).  With
@@ -215,20 +254,9 @@ def _match_windows(
             )
             scores = fused_sweep(query.power_dbm, starts, stats)
             best = np.argmax(scores, axis=1)
-            # Re-score each winner with the pairwise reference scorer: the
-            # double-sided search breaks own/other ties by strict argmax
-            # order, and trajectory_correlation is bitwise-symmetric in
-            # its arguments, so the exact rescoring keeps ties exact
-            # where the fused prefix sums would perturb them.
-            for j, i in enumerate(valid):
-                b = int(best[j])
-                q = query.power_dbm[
-                    :, query_end_marks[i] - window_marks + 1 : query_end_marks[i] + 1
-                ]
-                exact = trajectory_correlation(
-                    q, target.power_dbm[:, b : b + window_marks]
-                )
-                results[i] = (float(exact), b + window_marks - 1)
+            _rescore_winners(
+                query, query_end_marks, target, window_marks, valid, best, results
+            )
             return results
     if kernel == "batched":
         rows = np.array(
@@ -239,9 +267,9 @@ def _match_windows(
             target.window_features(window_marks),
         )
         best = np.argmax(scores, axis=1)
-        picked = scores[np.arange(best.size), best]
-        for j, i in enumerate(valid):
-            results[i] = (float(picked[j]), int(best[j]) + window_marks - 1)
+        _rescore_winners(
+            query, query_end_marks, target, window_marks, valid, best, results
+        )
     else:
         sliding = get_kernel(kernel)
         for i in valid:
@@ -250,6 +278,103 @@ def _match_windows(
             scores = sliding(q, target.power_dbm)
             best = int(np.argmax(scores))
             results[i] = (float(scores[best]), best + window_marks - 1)
+    return results
+
+
+def _match_windows_many(
+    requests: list[tuple[GsmTrajectory, list[int], GsmTrajectory, int]],
+    kernel: str,
+) -> list[list[tuple[float, int] | None]]:
+    """:func:`_match_windows` for many ``(query, ends, target, window)``
+    requests, batched across requests — the cross-pair SYN kernel.
+
+    Per request the returned entries are exactly what
+    :func:`_match_windows` returns for it alone.  With
+    ``kernel="batched"`` requests sharing a target and window size are
+    stacked into one correlation-matrix product; with ``kernel="fused"``
+    every non-degenerate request feeds one grouped GEMM via
+    :func:`~repro.core.correlation.fused_sweep_many` and the winners are
+    re-scored exactly (degenerate-dominated targets fall back to the
+    batched path, as in the per-pair kernel).  Other kernels loop.
+    """
+    results: list[list[tuple[float, int] | None]] = [
+        [None] * len(ends) for (_, ends, _, _) in requests
+    ]
+    plans: list[tuple[int, list[int]]] = []
+    for idx, (query, ends, target, window_marks) in enumerate(requests):
+        if target.n_marks < window_marks:
+            continue
+        valid = [
+            i for i, end in enumerate(ends)
+            if end - window_marks + 1 >= 0 and end < query.n_marks
+        ]
+        if valid:
+            plans.append((idx, valid))
+    if not plans:
+        return results
+    if kernel not in ("batched", "fused"):
+        for idx, _ in plans:
+            query, ends, target, window_marks = requests[idx]
+            results[idx] = _match_windows(query, ends, target, window_marks, kernel)
+        return results
+
+    fused_plans: list[tuple[int, list[int], Any]] = []
+    batched_plans: list[tuple[int, list[int]]] = []
+    if kernel == "fused":
+        for idx, valid in plans:
+            _, _, target, window_marks = requests[idx]
+            stats = target.sliding_stats(window_marks)
+            if stats.suspect_fraction > _SUSPECT_FRACTION_LIMIT:
+                batched_plans.append((idx, valid))
+            else:
+                fused_plans.append((idx, valid, stats))
+    else:
+        batched_plans = plans
+
+    if fused_plans:
+        sweeps = []
+        for idx, valid, stats in fused_plans:
+            query, ends, _, window_marks = requests[idx]
+            starts = np.array(
+                [ends[i] - window_marks + 1 for i in valid], dtype=np.intp
+            )
+            sweeps.append((query.power_dbm, starts, stats))
+        for (idx, valid, _), scores in zip(
+            fused_plans, fused_sweep_many(sweeps)
+        ):
+            query, ends, target, window_marks = requests[idx]
+            best = np.argmax(scores, axis=1)
+            _rescore_winners(
+                query, ends, target, window_marks, valid, best, results[idx]
+            )
+
+    if batched_plans:
+        groups: dict[tuple[int, int], list[tuple[int, list[int]]]] = {}
+        for idx, valid in batched_plans:
+            _, _, target, window_marks = requests[idx]
+            groups.setdefault((id(target), window_marks), []).append((idx, valid))
+        for members in groups.values():
+            first_idx = members[0][0]
+            target = requests[first_idx][2]
+            window_marks = requests[first_idx][3]
+            target_features = target.window_features(window_marks)
+            blocks = []
+            for idx, valid in members:
+                query, ends, _, _ = requests[idx]
+                rows = np.array(
+                    [ends[i] - window_marks + 1 for i in valid], dtype=np.intp
+                )
+                blocks.append(query.window_features(window_marks)[rows])
+            scores = correlation_matrix(np.vstack(blocks), target_features)
+            row = 0
+            for idx, valid in members:
+                sub = scores[row : row + len(valid)]
+                row += len(valid)
+                best = np.argmax(sub, axis=1)
+                query, ends, _, _ = requests[idx]
+                _rescore_winners(
+                    query, ends, target, window_marks, valid, best, results[idx]
+                )
     return results
 
 
@@ -343,8 +468,23 @@ def _double_sided_search(
     other_ends = [other.n_marks - 1 - off for off in offsets_marks]
     own_matches = _match_windows(own, own_ends, other, window_marks, kernel)
     other_matches = _match_windows(other, other_ends, own, window_marks, kernel)
+    return _assemble_candidates(
+        own, other, own_ends, other_ends, own_matches, other_matches, window_marks
+    )
+
+
+def _assemble_candidates(
+    own: GsmTrajectory,
+    other: GsmTrajectory,
+    own_ends: list[int],
+    other_ends: list[int],
+    own_matches: list[tuple[float, int] | None],
+    other_matches: list[tuple[float, int] | None],
+    window_marks: int,
+) -> list[SynPoint | None]:
+    """Per-offset winner across the two query sides (ties keep own)."""
     best_per_offset: list[SynPoint | None] = []
-    for k in range(len(offsets_marks)):
+    for k in range(len(own_ends)):
         best: SynPoint | None = None
         if own_matches[k] is not None:
             score, other_end = own_matches[k]
@@ -425,41 +565,103 @@ def find_syn_points(
     one correlation-matrix product over memoised features; acceptance is
     then a threshold mask over the per-offset maxima.
     """
+    (accepted,) = find_syn_points_batch(
+        [(own, other)], config=config, n_points=n_points
+    )
+    return accepted
+
+
+def find_syn_points_batch(
+    pairs: list[tuple[GsmTrajectory, GsmTrajectory]],
+    config: RupsConfig | None = None,
+    n_points: int | None = None,
+    query_ids: list[str | None] | None = None,
+) -> list[list[SynPoint]]:
+    """:func:`find_syn_points` for many ``(own, other)`` pairs at once.
+
+    All pairs' sweep requests — both query sides, every staggered offset
+    — feed the cross-pair kernel (:func:`_match_windows_many`) together,
+    so a campaign chunk or an all-pairs convoy scan costs a handful of
+    block matmuls instead of two per pair.  Per pair the accepted SYN
+    points, counters, and provenance events are exactly those of the
+    per-pair function; ``query_ids`` (optional, one per pair) tags each
+    pair's events as :func:`~repro.obs.events.use_query_id` would.
+    """
     config = config or RupsConfig()
-    _check_comparable(own, other)
     n_points = config.n_syn_points if n_points is None else int(n_points)
     if n_points < 1:
         raise ValueError("n_points must be >= 1")
-    inc("syn.searches")
-    eff = _effective_window(own, other, config)
-    if eff is None:
-        inc("syn.no_window")
-        _emit_no_window(own, other, config)
-        return []
-    window_marks, threshold = eff
+    ids: list[str | None] = (
+        [None] * len(pairs) if query_ids is None else list(query_ids)
+    )
+    if len(ids) != len(pairs):
+        raise ValueError("query_ids must match pairs in length")
     stride_marks = max(int(round(config.syn_stride_m / config.spacing_m)), 1)
     offsets = [k * stride_marks for k in range(n_points)]
-    inc("syn.windows", len(offsets))
-    with trace("syn.search"):
-        candidates = _double_sided_search(
-            own, other, offsets, window_marks, config.kernel
+
+    # Phase A: per-pair admission — comparability, window sizing, and the
+    # no-window provenance — exactly as the per-pair search does it.
+    requests: list[tuple[GsmTrajectory, list[int], GsmTrajectory, int]] = []
+    metas: list[tuple[int, float, list[int], list[int], int] | None] = []
+    for (own, other), query_id in zip(pairs, ids):
+        with _query_scope(query_id):
+            _check_comparable(own, other)
+            inc("syn.searches")
+            eff = _effective_window(own, other, config)
+            if eff is None:
+                inc("syn.no_window")
+                _emit_no_window(own, other, config)
+                metas.append(None)
+                continue
+            window_marks, threshold = eff
+            inc("syn.windows", len(offsets))
+        own_ends = [own.n_marks - 1 - off for off in offsets]
+        other_ends = [other.n_marks - 1 - off for off in offsets]
+        metas.append(
+            (window_marks, threshold, own_ends, other_ends, len(requests))
         )
-    accepted = [
-        syn for syn in candidates if syn is not None and syn.score >= threshold
-    ]
-    scored = sum(1 for syn in candidates if syn is not None)
-    emit(
-        "syn.search",
-        windows=len(offsets),
-        window_marks=window_marks,
-        threshold=threshold,
-        shrunk=window_marks < config.window_marks,
-        peaks=[None if syn is None else syn.score for syn in candidates],
-        accepted=len(accepted),
-        rejected_threshold=scored - len(accepted),
-    )
-    inc("syn.rejected.threshold", scored - len(accepted))
-    inc("syn.accepted", len(accepted))
-    if len(accepted) > 1:
-        inc("syn.multi_syn_yields")
-    return accepted
+        requests.append((own, own_ends, other, window_marks))
+        requests.append((other, other_ends, own, window_marks))
+
+    # Phase B: one cross-pair sweep, then per-pair assembly + acceptance.
+    with trace("syn.sweep"):
+        matches = _match_windows_many(requests, config.kernel)
+    out: list[list[SynPoint]] = []
+    for (own, other), query_id, meta in zip(pairs, ids, metas):
+        if meta is None:
+            out.append([])
+            continue
+        window_marks, threshold, own_ends, other_ends, first = meta
+        with _query_scope(query_id):
+            with trace("syn.search"):
+                candidates = _assemble_candidates(
+                    own,
+                    other,
+                    own_ends,
+                    other_ends,
+                    matches[first],
+                    matches[first + 1],
+                    window_marks,
+                )
+            accepted = [
+                syn
+                for syn in candidates
+                if syn is not None and syn.score >= threshold
+            ]
+            scored = sum(1 for syn in candidates if syn is not None)
+            emit(
+                "syn.search",
+                windows=len(offsets),
+                window_marks=window_marks,
+                threshold=threshold,
+                shrunk=window_marks < config.window_marks,
+                peaks=[None if syn is None else syn.score for syn in candidates],
+                accepted=len(accepted),
+                rejected_threshold=scored - len(accepted),
+            )
+            inc("syn.rejected.threshold", scored - len(accepted))
+            inc("syn.accepted", len(accepted))
+            if len(accepted) > 1:
+                inc("syn.multi_syn_yields")
+        out.append(accepted)
+    return out

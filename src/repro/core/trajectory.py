@@ -14,6 +14,8 @@ positions — that is the point of RUPS.
 
 from __future__ import annotations
 
+import hashlib
+import struct
 from dataclasses import dataclass
 
 import numpy as np
@@ -152,6 +154,7 @@ class GsmTrajectory:
         # fully determines both).
         object.__setattr__(self, "_window_features", {})
         object.__setattr__(self, "_sliding_stats", {})
+        object.__setattr__(self, "_content_token", None)
 
     @property
     def n_channels(self) -> int:
@@ -172,6 +175,34 @@ class GsmTrajectory:
     def spacing_m(self) -> float:
         """Mark spacing [m]."""
         return self.geo.spacing_m
+
+    @property
+    def content_token(self) -> str:
+        """Hex digest of the trajectory's full value, memoised.
+
+        Two trajectories with bit-identical power, channel ids, and geo
+        series share a token even when they are distinct objects — e.g.
+        rebuilt by different worker processes or checked out of the
+        shared-statics store.  Caches that key on the token therefore
+        stay warm across process boundaries and campaign re-runs, where
+        identity keys would miss forever (identity is still what keeps
+        the per-window feature memos safe: those live on the object).
+        """
+        token = self._content_token  # type: ignore[attr-defined]
+        if token is None:
+            h = hashlib.sha256()
+            h.update(self.power_dbm.tobytes())
+            h.update(self.channel_ids.tobytes())
+            h.update(self.geo.timestamps_s.tobytes())
+            h.update(self.geo.headings_rad.tobytes())
+            h.update(
+                struct.pack(
+                    "<dd", self.geo.spacing_m, self.geo.start_distance_m
+                )
+            )
+            token = h.hexdigest()
+            object.__setattr__(self, "_content_token", token)
+        return token
 
     @property
     def missing_fraction(self) -> float:

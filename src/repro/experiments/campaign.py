@@ -28,8 +28,8 @@ from repro.obs.tracing import trace
 from repro.roads.network import RoadNetwork, RoadNetworkConfig, generate_network
 from repro.roads.route import Route, random_route
 from repro.roads.types import RoadType
-from repro.runtime import DeterministicExecutor
-from repro.runtime.executor import get_shared
+from repro.runtime import DeterministicExecutor, fixed_chunks
+from repro.runtime import shared as shared_store
 from repro.util.rng import RngFactory
 from repro.vehicles.drive import simulate_drive
 from repro.vehicles.idm import follow_leader
@@ -88,26 +88,57 @@ class CampaignResult:
 # ----------------------------------------------------------------------
 
 def _campaign_simulate_task(item: tuple) -> object:
-    """Simulate one vehicle of one drive (shared: ``route_field``)."""
-    motion, drive_factory, vehicle_key, n_radios, plan = item
+    """Simulate one vehicle of one drive.
+
+    ``field_in`` is either the route field itself or its
+    :class:`~repro.runtime.shared.SharedRef` — workers check the field
+    out of the shared-statics store once and keep it cache-resident for
+    every later simulation and chunk.  When ``publish`` is set, the
+    (heavy) drive record is itself published from the worker and only
+    its tiny ref travels back to the parent.
+    """
+    field_in, motion, drive_factory, vehicle_key, n_radios, plan, publish = item
     group = RadioGroup(plan, n_radios=n_radios)
     inc("campaign.simulations")
     with trace("campaign.simulate_vehicle"):
-        return simulate_drive(
-            get_shared("route_field"),
+        record = simulate_drive(
+            shared_store.resolve(field_in),
             motion,
             group,
             seed=drive_factory,
             vehicle_key=vehicle_key,
         )
+    return shared_store.publish(record) if publish else record
+
+
+def _campaign_engine(config: RupsConfig) -> RupsEngine:
+    """The worker-resident campaign engine for this config.
+
+    One engine per distinct config lives in the process for the lifetime
+    of the worker (via the derived-object cache), so its trajectory,
+    binding-index, and reduction caches stay warm across every chunk the
+    worker executes — and across warm re-runs in the parent.  Safe for
+    determinism because every engine cache is differentially proven
+    bit-identical to the uncached pipeline.
+    """
+    return shared_store.derived(
+        ("campaign.engine", shared_store.content_key(config)),
+        lambda: RupsEngine(
+            config, trajectory_cache_size=32, reduction_cache_size=16
+        ),
+    )
 
 
 def _campaign_query_chunk_task(item: tuple) -> list[tuple[RoadType, QueryOutcome]]:
     """Answer one chunk of query instants for one drive.
 
-    The chunk carries its drive's records explicitly; each worker builds
-    its own engine, whose caches are differentially proven bit-identical
-    to the uncached pipeline, so chunk boundaries cannot change results.
+    The chunk carries refs (or, with shared statics disabled, the
+    objects themselves) to its drive's records and the route; the whole
+    chunk is estimated by one cross-pair batched SYN kernel call via
+    :meth:`RupsEngine.estimate_relative_distance_batch`.  Chunk layout
+    is fixed by ``chunk_queries`` — never by ``jobs`` — so the batch
+    composition, and therefore every float, is identical under any
+    worker count.
 
     Each query runs under its own query id (``d<drive>q<index>``), so
     every provenance event the pipeline emits below — SYN peaks,
@@ -117,13 +148,16 @@ def _campaign_query_chunk_task(item: tuple) -> list[tuple[RoadType, QueryOutcome
     splits merged in submission order, so the provenance stream is in
     global query order for any chunk layout.
     """
-    front, rear, lead, rear_motion, times, query_ids, config = item
-    engine = RupsEngine(config)
-    route: Route = get_shared("route")
+    front_in, rear_in, lead, rear_motion, route_in, times, query_ids, config = item
+    front = shared_store.resolve(front_in)
+    rear = shared_store.resolve(rear_in)
+    route: Route = shared_store.resolve(route_in)
+    engine = _campaign_engine(config)
     out: list[tuple[RoadType, QueryOutcome]] = []
     inc("campaign.chunks")
     inc("campaign.queries", len(times))
     with trace("campaign.query_chunk"):
+        pairs = []
         for tq, query_id in zip(times, query_ids):
             with use_query_id(query_id):
                 own = engine.build_trajectory(
@@ -132,13 +166,16 @@ def _campaign_query_chunk_task(item: tuple) -> list[tuple[RoadType, QueryOutcome
                 other = engine.build_trajectory(
                     front.scan, front.estimated, at_time_s=tq
                 )
-                est = engine.estimate_relative_distance(own, other)
-                truth = float(lead.arc_length_at(tq)) - float(
-                    rear_motion.arc_length_at(tq)
-                )
-                road_type = route.road_type_at(
-                    float(rear_motion.arc_length_at(tq))
-                )
+            pairs.append((own, other))
+        estimates = engine.estimate_relative_distance_batch(
+            pairs, query_ids=list(query_ids)
+        )
+        for tq, query_id, est in zip(times, query_ids, estimates):
+            truth = float(lead.arc_length_at(tq)) - float(
+                rear_motion.arc_length_at(tq)
+            )
+            road_type = route.road_type_at(float(rear_motion.arc_length_at(tq)))
+            with use_query_id(query_id):
                 emit(
                     "query.outcome",
                     time_s=float(tq),
@@ -164,6 +201,12 @@ def _campaign_query_chunk_task(item: tuple) -> list[tuple[RoadType, QueryOutcome
     return out
 
 
+#: Queries per chunk task.  Fixed — never derived from ``jobs`` — so the
+#: cross-pair kernel sees the same batch composition (and produces the
+#: same floats) under any worker count.
+DEFAULT_CHUNK_QUERIES = 8
+
+
 def run_campaign(
     route_length_m: float = 6000.0,
     n_drives: int = 2,
@@ -173,6 +216,9 @@ def run_campaign(
     network: RoadNetwork | None = None,
     config: RupsConfig | None = None,
     jobs: int | None = 1,
+    chunk_queries: int = DEFAULT_CHUNK_QUERIES,
+    shared_statics: bool = True,
+    executor: DeterministicExecutor | None = None,
 ) -> CampaignResult:
     """Drive a two-car pair over one mixed route, repeatedly, and query.
 
@@ -193,6 +239,23 @@ def run_campaign(
         own :class:`~repro.util.rng.RngFactory` child and merged in
         deterministic order, so the result is byte-identical for any
         ``jobs`` (enforced by the determinism suite).
+    chunk_queries:
+        Query instants per chunk task.  Chunk layout depends only on
+        this and the query count — not on ``jobs`` — because each chunk
+        is estimated by one cross-pair batched kernel call whose float
+        results may legitimately depend on batch composition.
+    shared_statics:
+        Publish heavy read-only payloads (route field, route, drive
+        records) through the content-addressed shared-statics store so
+        tasks ship only refs; workers check payloads out once and keep
+        them resident.  ``False`` ships the objects inside every task
+        item (the pre-store behaviour); the determinism suite holds both
+        modes byte-identical.
+    executor:
+        Reuse an existing (typically :meth:`~DeterministicExecutor.warm_up`-ed)
+        executor instead of creating one per campaign; its ``jobs``
+        setting then wins and the caller keeps ownership (it is not
+        closed here).
     """
     factory = RngFactory(seed)
     plan = plan or EVAL_SUBSET_115
@@ -236,34 +299,47 @@ def run_campaign(
             raise RuntimeError("drive overruns the route; lengthen the route")
         motions.append((lead, rear_motion, drive_factory))
 
+    if chunk_queries < 1:
+        raise ValueError("chunk_queries must be >= 1")
     result = CampaignResult(route_length_m=route.length, n_drives=n_drives)
-    with DeterministicExecutor(
-        jobs=jobs, shared={"route_field": route_field, "route": route}
-    ) as executor:
+    owns_executor = executor is None
+    if owns_executor:
+        executor = DeterministicExecutor(jobs=jobs)
+    try:
         inc("campaign.runs")
         inc("campaign.drives", n_drives)
         set_gauge("campaign.jobs", executor.jobs)
         set_gauge("campaign.route_length_m", route.length)
         _log.info(
             "campaign start: route_m=%.0f drives=%d queries_per_drive=%d "
-            "jobs=%d seed=%d",
+            "jobs=%d seed=%d shared_statics=%s",
             route.length,
             n_drives,
             queries_per_drive,
             executor.jobs,
             seed,
+            shared_statics,
         )
-        # Phase 1: every (drive, vehicle) simulation is one task; the
-        # route field ships to each worker once via the shared statics.
+        # Phase 1: every (drive, vehicle) simulation is one task.  With
+        # shared statics the route field is published once and only its
+        # ref ships per task; each worker publishes its drive record and
+        # returns the ref, so heavy payloads never travel as task bytes.
+        field_in = executor.publish(route_field) if shared_statics else route_field
+        route_in = executor.publish(route) if shared_statics else route
         sim_items = []
         for lead, rear_motion, drive_factory in motions:
-            sim_items.append((lead, drive_factory, "front", 4, plan))
-            sim_items.append((rear_motion, drive_factory, "rear", 4, plan))
+            sim_items.append(
+                (field_in, lead, drive_factory, "front", 4, plan, shared_statics)
+            )
+            sim_items.append(
+                (field_in, rear_motion, drive_factory, "rear", 4, plan, shared_statics)
+            )
         with trace("campaign.simulate"):
             records = executor.map_ordered(_campaign_simulate_task, sim_items)
 
         # Phase 2: query instants are drawn serially (they only depend
-        # on the factory), then chunked across workers per drive.
+        # on the factory), then split into fixed-size chunks — one
+        # cross-pair kernel batch each — independent of ``jobs``.
         chunk_items = []
         for d, (lead, rear_motion, _) in enumerate(motions):
             front, rear = records[2 * d], records[2 * d + 1]
@@ -276,16 +352,29 @@ def run_campaign(
             times = q_rng.uniform(t_ready, lead.t1 - 2.0, size=queries_per_drive)
             query_ids = [f"d{d}q{i}" for i in range(queries_per_drive)]
             for chunk, id_chunk in zip(
-                executor.chunks(list(times)), executor.chunks(query_ids)
+                fixed_chunks(list(times), chunk_queries),
+                fixed_chunks(query_ids, chunk_queries),
             ):
                 if chunk:
                     chunk_items.append(
-                        (front, rear, lead, rear_motion, chunk, id_chunk, config)
+                        (
+                            front,
+                            rear,
+                            lead,
+                            rear_motion,
+                            route_in,
+                            chunk,
+                            id_chunk,
+                            config,
+                        )
                     )
         with trace("campaign.query"):
             chunk_results = executor.map_ordered(
                 _campaign_query_chunk_task, chunk_items
             )
+    finally:
+        if owns_executor:
+            executor.close()
 
     # Ordered merge: chunks were emitted in (drive, query) order, so the
     # bucket insertion order below reproduces the serial loop exactly.

@@ -10,6 +10,11 @@ order.  ``jobs=1`` runs the very same task functions inline, which makes
 byte.
 """
 
-from repro.runtime.executor import DeterministicExecutor, resolve_jobs
+from repro.runtime import shared
+from repro.runtime.executor import (
+    DeterministicExecutor,
+    fixed_chunks,
+    resolve_jobs,
+)
 
-__all__ = ["DeterministicExecutor", "resolve_jobs"]
+__all__ = ["DeterministicExecutor", "fixed_chunks", "resolve_jobs", "shared"]

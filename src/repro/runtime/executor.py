@@ -31,14 +31,23 @@ The contract that keeps parallel runs reproducible:
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
+import time
 from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.obs.events import EventLedger, get_ledger, use_ledger
 from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
+from repro.runtime import shared as shared_store
 
-__all__ = ["DeterministicExecutor", "get_shared", "resolve_jobs"]
+__all__ = [
+    "DeterministicExecutor",
+    "fixed_chunks",
+    "get_shared",
+    "resolve_jobs",
+]
 
 #: Read-only statics installed by the worker initializer (or inline).
 _SHARED: dict[str, Any] = {}
@@ -47,6 +56,19 @@ _SHARED: dict[str, Any] = {}
 def _install_shared(statics: dict[str, Any]) -> None:
     _SHARED.clear()
     _SHARED.update(statics)
+
+
+def _init_worker(statics: dict[str, Any], spool_dir: str | None) -> None:
+    """Worker initializer: statics + the executor's shared-statics spool."""
+    _install_shared(statics)
+    if spool_dir is not None:
+        shared_store.attach_spool(spool_dir)
+
+
+def _warm_task(delay_s: float) -> int:
+    """No-op task used by :meth:`DeterministicExecutor.warm_up`."""
+    time.sleep(delay_s)
+    return os.getpid()
 
 
 def get_shared(name: str) -> Any:
@@ -108,6 +130,8 @@ class DeterministicExecutor:
         self._shared = dict(shared or {})
         self._pool: ProcessPoolExecutor | None = None
         self._inline_installed = False
+        self._spool: str | None = None
+        self._previous_spool: str | None = None
 
     # -- context management -------------------------------------------
     def __enter__(self) -> "DeterministicExecutor":
@@ -123,6 +147,48 @@ class DeterministicExecutor:
         if self._inline_installed:
             _SHARED.clear()
             self._inline_installed = False
+        if self._spool is not None:
+            shared_store.attach_spool(self._previous_spool)
+            shutil.rmtree(self._spool, ignore_errors=True)
+            self._spool = None
+            self._previous_spool = None
+
+    # -- shared statics ------------------------------------------------
+    def _spool_dir(self) -> str:
+        if self._spool is None:
+            self._spool = tempfile.mkdtemp(prefix="rups-spool-")
+            # Attach in this process too, so inline tasks (jobs=1) and
+            # parent-side publishes land in the executor's spool.
+            self._previous_spool = shared_store.attach_spool(self._spool)
+        return self._spool
+
+    def publish(self, obj: Any) -> "shared_store.SharedRef":
+        """Publish a heavy read-only payload into this executor's spool.
+
+        Returns a tiny :class:`~repro.runtime.shared.SharedRef` to put
+        in task items instead of the payload; tasks (inline or pooled)
+        call :func:`~repro.runtime.shared.checkout` /
+        :func:`~repro.runtime.shared.resolve`.  Refs are valid for the
+        executor's lifetime — ``close()`` removes the spool.
+        """
+        return shared_store.publish(obj, spool_dir=self._spool_dir())
+
+    def warm_up(self) -> "DeterministicExecutor":
+        """Spin up the worker pool ahead of the first timed wave.
+
+        Spawn-context workers pay interpreter start-up and imports once;
+        benchmarks that want to measure steady-state throughput (and
+        long-lived services reusing one executor across campaigns) call
+        this to move that cost out of the measured region.
+        """
+        if self.jobs > 1:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_warm_task, 0.05) for _ in range(self.jobs)
+            ]
+            for future in futures:
+                future.result()
+        return self
 
     # -- execution -----------------------------------------------------
     def _ensure_pool(self) -> ProcessPoolExecutor:
@@ -130,8 +196,8 @@ class DeterministicExecutor:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 mp_context=get_context("spawn"),
-                initializer=_install_shared,
-                initargs=(self._shared,),
+                initializer=_init_worker,
+                initargs=(self._shared, self._spool_dir()),
             )
         return self._pool
 
@@ -176,6 +242,9 @@ class DeterministicExecutor:
 
         Chunk boundaries never affect merged results (tasks are pure and
         the merge is ordered); they only set scheduling granularity.
+        Prefer :func:`fixed_chunks` when the task *batches numerics
+        across a chunk* — these chunks depend on ``jobs``, fixed ones do
+        not.
         """
         items = list(items)
         n_chunks = min(self.jobs, len(items)) or 1
@@ -187,3 +256,18 @@ class DeterministicExecutor:
             out.append(items[start : start + size])
             start += size
         return out
+
+
+def fixed_chunks(items: Sequence[Any], size: int) -> list[list[Any]]:
+    """Split ``items`` into contiguous chunks of a fixed ``size``.
+
+    The layout depends only on ``len(items)`` and ``size`` — never on
+    ``jobs`` — so a task that evaluates its whole chunk in one batched
+    numeric kernel (whose floating-point result may legitimately depend
+    on the batch composition) still produces byte-identical output under
+    any worker count.  The last chunk is the ragged remainder.
+    """
+    if size < 1:
+        raise ValueError("chunk size must be >= 1")
+    items = list(items)
+    return [items[i : i + size] for i in range(0, len(items), size)] or [[]]

@@ -1,0 +1,386 @@
+"""Content-addressed shared statics for the deterministic runtime.
+
+The pooled campaign's original sin was shipping every heavy static —
+GSM route fields, drive records, feature tensors — inside every task
+item: each chunk paid a full pickle/unpickle round trip, and ``jobs=4``
+lost to ``jobs=1`` by 6x.  This module gives the runtime a
+*publish/checkout* protocol instead:
+
+``publish(obj)``
+    Hashes the payload into a **content key** (structural SHA-256 over
+    array bytes, dataclass fields, and primitives — stable across
+    processes and runs), spools it once under that key (``.npy`` for
+    ndarrays, pickle otherwise), and returns a tiny picklable
+    :class:`SharedRef`.  Task items carry refs, not payloads.
+
+``checkout(ref)``
+    Returns the payload in the current process.  ndarrays come back as
+    **read-only memory maps** of the spool file — the OS page cache is
+    the shared memory, so N workers map one copy and a worker that
+    tries to mutate a checked-out array gets ``ValueError`` instead of
+    silently corrupting every sibling.  Other objects are unpickled
+    once and then served from a process-resident LRU; their ndarray
+    fields are frozen (``writeable = False``) on the way in.  The
+    process that *published* an object checks it out for free — the
+    original object is seeded into the LRU under its key, which also
+    preserves object identity across warm re-runs (the engine's
+    identity-keyed caches stay hot).
+
+``derived(key, builder)``
+    Process-resident LRU for objects *derived from* shared statics
+    (binding indices, resident engines): built once per process, reused
+    by every task that lands there.  Purely an optimisation — builders
+    must be deterministic functions of their key, so a rebuild after
+    eviction is bit-identical.
+
+The caches are deliberately per-process and bounded: eviction only ever
+costs a reload/rebuild, never correctness (the determinism suite runs
+the campaign with this module enabled and disabled and asserts
+byte-identical results).
+"""
+
+from __future__ import annotations
+
+import atexit
+import dataclasses
+import hashlib
+import os
+import pickle
+import shutil
+import struct
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.obs.metrics import inc
+
+__all__ = [
+    "SharedRef",
+    "attach_spool",
+    "checkout",
+    "content_key",
+    "derived",
+    "publish",
+    "resolve",
+    "set_budgets",
+]
+
+#: Process-resident payload cache: content key -> payload.  Seeded by
+#: ``publish`` (free same-process checkout, stable object identity) and
+#: filled by ``checkout`` (one load per process, not per task).
+_CACHE: OrderedDict[str, Any] = OrderedDict()
+_CACHE_BUDGET = 64
+
+#: Process-resident derived-object cache (binding indices, engines).
+_DERIVED: OrderedDict[Hashable, Any] = OrderedDict()
+_DERIVED_BUDGET = 32
+
+#: Spool directory for published payload files.  Attached by the
+#: executor (parent inline or worker initializer); falls back to a
+#: process-private temp dir cleaned at interpreter exit.
+_SPOOL: str | None = None
+_FALLBACK_SPOOL: str | None = None
+
+
+# ----------------------------------------------------------------------
+# content keys
+# ----------------------------------------------------------------------
+
+def _update_key(h, obj: Any, seen: set[int]) -> None:
+    """Feed one object into the structural hash.
+
+    Every branch starts with a distinct type tag so e.g. the int 1, the
+    float 1.0, and the string "1" can never collide structurally.
+    """
+    if obj is None:
+        h.update(b"N")
+    elif isinstance(obj, bool):
+        h.update(b"B1" if obj else b"B0")
+    elif isinstance(obj, int):
+        h.update(b"I" + str(obj).encode())
+    elif isinstance(obj, float):
+        h.update(b"F" + struct.pack("<d", obj))
+    elif isinstance(obj, str):
+        h.update(b"S" + obj.encode("utf-8"))
+    elif isinstance(obj, (bytes, bytearray)):
+        h.update(b"Y" + bytes(obj))
+    elif isinstance(obj, np.ndarray):
+        a = np.ascontiguousarray(obj)
+        h.update(b"A" + a.dtype.str.encode() + repr(a.shape).encode())
+        h.update(a.tobytes())
+    elif isinstance(obj, np.generic):
+        h.update(b"G" + obj.dtype.str.encode() + obj.tobytes())
+    else:
+        oid = id(obj)
+        if oid in seen:
+            raise ValueError("content_key does not support cyclic payloads")
+        seen.add(oid)
+        try:
+            if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+                h.update(b"D" + type(obj).__qualname__.encode())
+                for f in dataclasses.fields(obj):
+                    h.update(f.name.encode())
+                    _update_key(h, getattr(obj, f.name), seen)
+            elif isinstance(obj, (tuple, list)):
+                h.update(b"T" if isinstance(obj, tuple) else b"L")
+                h.update(str(len(obj)).encode())
+                for item in obj:
+                    _update_key(h, item, seen)
+            elif isinstance(obj, dict):
+                # Order-insensitive: hash each pair separately and fold
+                # the sorted digests, so construction order never leaks
+                # into the key.
+                h.update(b"M" + str(len(obj)).encode())
+                digests = []
+                for k, v in obj.items():
+                    sub = hashlib.sha256()
+                    _update_key(sub, k, seen)
+                    _update_key(sub, v, seen)
+                    digests.append(sub.digest())
+                for d in sorted(digests):
+                    h.update(d)
+            elif isinstance(obj, (set, frozenset)):
+                h.update(b"E" + str(len(obj)).encode())
+                digests = []
+                for item in obj:
+                    sub = hashlib.sha256()
+                    _update_key(sub, item, seen)
+                    digests.append(sub.digest())
+                for d in sorted(digests):
+                    h.update(d)
+            else:
+                # Last resort: pickle is deterministic for a fixed
+                # object structure built by the same code path, which is
+                # exactly the reproducibility contract task inputs
+                # already obey.
+                h.update(b"P" + type(obj).__qualname__.encode())
+                h.update(pickle.dumps(obj, protocol=4))
+        finally:
+            seen.discard(oid)
+
+
+def content_key(obj: Any) -> str:
+    """Structural content hash of a payload, stable across processes.
+
+    ndarrays hash their dtype, shape, and raw bytes; dataclasses their
+    type and fields; dicts/sets are order-insensitive.  Two payloads
+    built independently (e.g. by two workers re-simulating the same
+    seeded drive) get the same key iff they are bit-identical.
+    """
+    h = hashlib.sha256()
+    _update_key(h, obj, set())
+    return h.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# spool management
+# ----------------------------------------------------------------------
+
+def attach_spool(path: str | None) -> str | None:
+    """Point publishes at ``path`` (the executor's spool); returns the
+    previous attachment so callers can restore it."""
+    global _SPOOL
+    previous = _SPOOL
+    _SPOOL = path
+    return previous
+
+
+def _cleanup_fallback() -> None:
+    global _FALLBACK_SPOOL
+    if _FALLBACK_SPOOL is not None:
+        shutil.rmtree(_FALLBACK_SPOOL, ignore_errors=True)
+        _FALLBACK_SPOOL = None
+
+
+def _spool_dir() -> str:
+    global _FALLBACK_SPOOL
+    if _SPOOL is not None:
+        return _SPOOL
+    if _FALLBACK_SPOOL is None:
+        _FALLBACK_SPOOL = tempfile.mkdtemp(prefix="rups-shared-")
+        atexit.register(_cleanup_fallback)
+    return _FALLBACK_SPOOL
+
+
+# ----------------------------------------------------------------------
+# publish / checkout
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SharedRef:
+    """A picklable handle to one published payload.
+
+    ``key`` is the content hash (also the cache key in every process),
+    ``kind`` is ``"array"`` or ``"object"``, ``path`` the spool file.
+    A ref is a few hundred bytes however large the payload — this is
+    what task items carry instead of the payload itself.
+    """
+
+    key: str
+    kind: str
+    path: str
+
+
+def _cache_put(key: str, obj: Any) -> None:
+    _CACHE[key] = obj
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > _CACHE_BUDGET:
+        _CACHE.popitem(last=False)
+
+
+def _freeze_arrays(obj: Any, seen: set[int], depth: int = 0) -> None:
+    """Best-effort recursive ``writeable = False`` on ndarray fields."""
+    if depth > 8 or id(obj) in seen:
+        return
+    if isinstance(obj, np.ndarray):
+        try:
+            obj.flags.writeable = False
+        except ValueError:
+            pass
+        return
+    seen.add(id(obj))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        for f in dataclasses.fields(obj):
+            _freeze_arrays(getattr(obj, f.name), seen, depth + 1)
+    elif isinstance(obj, dict):
+        for v in obj.values():
+            _freeze_arrays(v, seen, depth + 1)
+    elif isinstance(obj, (tuple, list, set, frozenset)):
+        for item in obj:
+            _freeze_arrays(item, seen, depth + 1)
+
+
+def publish(obj: Any, spool_dir: str | None = None) -> SharedRef:
+    """Spool ``obj`` under its content key and return a :class:`SharedRef`.
+
+    Idempotent: a payload already spooled (same key) is not rewritten,
+    and the same ref comes back.  The publishing process seeds its own
+    cache, so a subsequent local :func:`checkout` is free *and* returns
+    the very same object — warm re-runs that republish bit-identical
+    payloads therefore keep stable object identity, which downstream
+    identity-keyed caches rely on.  Publishers must not mutate a
+    payload after publishing it (ours are frozen dataclasses/arrays).
+    """
+    key = content_key(obj)
+    is_array = isinstance(obj, np.ndarray)
+    kind = "array" if is_array else "object"
+    directory = spool_dir or _spool_dir()
+    path = os.path.join(directory, key + (".npy" if is_array else ".pkl"))
+    if not os.path.exists(path):
+        tmp = f"{path}.tmp.{os.getpid()}"
+        if is_array:
+            np.save(tmp, np.ascontiguousarray(obj), allow_pickle=False)
+            os.replace(tmp + ".npy", path)
+        else:
+            with open(tmp, "wb") as fh:
+                pickle.dump(obj, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        inc("runtime.shared.publish.spooled")
+    inc("runtime.shared.publish")
+    if key not in _CACHE:
+        if is_array:
+            view = obj.view()
+            view.flags.writeable = False
+            _cache_put(key, view)
+        else:
+            _cache_put(key, obj)
+    else:
+        _CACHE.move_to_end(key)
+    return SharedRef(key=key, kind=kind, path=path)
+
+
+def checkout(ref: SharedRef) -> Any:
+    """Materialise a published payload in this process (cached).
+
+    Arrays come back as read-only memmaps of the spool file (one
+    physical copy per machine, courtesy of the page cache); objects are
+    unpickled once per process with their ndarray fields frozen.
+    """
+    obj = _CACHE.get(ref.key)
+    if obj is not None:
+        _CACHE.move_to_end(ref.key)
+        inc("runtime.shared.checkout.hit")
+        return obj
+    inc("runtime.shared.checkout.load")
+    if ref.kind == "array":
+        obj = np.load(ref.path, mmap_mode="r", allow_pickle=False)
+    else:
+        with open(ref.path, "rb") as fh:
+            obj = pickle.load(fh)
+        _freeze_arrays(obj, set())
+    _cache_put(ref.key, obj)
+    return obj
+
+
+def resolve(item: Any) -> Any:
+    """:func:`checkout` refs, pass anything else through unchanged.
+
+    Lets one task function serve both the shared-statics path (items
+    carry refs) and the legacy path (items carry payloads).
+    """
+    return checkout(item) if isinstance(item, SharedRef) else item
+
+
+def derived(key: Hashable, builder: Callable[[], Any]) -> Any:
+    """Get-or-build a process-resident object derived from shared statics.
+
+    ``builder`` must be a deterministic function of ``key``: eviction
+    under the LRU budget simply rebuilds, bit-identically.
+    """
+    obj = _DERIVED.get(key)
+    if obj is not None:
+        _DERIVED.move_to_end(key)
+        inc("runtime.shared.derived.hit")
+        return obj
+    inc("runtime.shared.derived.build")
+    obj = builder()
+    _DERIVED[key] = obj
+    _DERIVED.move_to_end(key)
+    while len(_DERIVED) > _DERIVED_BUDGET:
+        _DERIVED.popitem(last=False)
+    return obj
+
+
+# ----------------------------------------------------------------------
+# test hooks
+# ----------------------------------------------------------------------
+
+def set_budgets(
+    cache: int | None = None, derived_cache: int | None = None
+) -> tuple[int, int]:
+    """Adjust the LRU budgets (tests); returns the previous budgets."""
+    global _CACHE_BUDGET, _DERIVED_BUDGET
+    previous = (_CACHE_BUDGET, _DERIVED_BUDGET)
+    if cache is not None:
+        if cache < 1:
+            raise ValueError("cache budget must be >= 1")
+        _CACHE_BUDGET = int(cache)
+        while len(_CACHE) > _CACHE_BUDGET:
+            _CACHE.popitem(last=False)
+    if derived_cache is not None:
+        if derived_cache < 1:
+            raise ValueError("derived budget must be >= 1")
+        _DERIVED_BUDGET = int(derived_cache)
+        while len(_DERIVED) > _DERIVED_BUDGET:
+            _DERIVED.popitem(last=False)
+    return previous
+
+
+def cache_info() -> dict[str, int]:
+    """Sizes and budgets of the process-resident caches (tests)."""
+    return {
+        "cache": len(_CACHE),
+        "cache_budget": _CACHE_BUDGET,
+        "derived": len(_DERIVED),
+        "derived_budget": _DERIVED_BUDGET,
+    }
+
+
+def clear() -> None:
+    """Drop both caches (tests).  Spool files are untouched — any live
+    ref can still be checked out; it just reloads."""
+    _CACHE.clear()
+    _DERIVED.clear()

@@ -198,8 +198,8 @@ class TestEngineReductionLru:
         engine._reduce_channels(a, b)  # refresh (a, b)
         engine._reduce_channels(b, c)  # evicts (a, c), not (a, b)
         keys = list(engine._reductions)
-        assert (id(a), id(b)) in keys
-        assert (id(a), id(c)) not in keys
+        assert (a.content_token, b.content_token) in keys
+        assert (a.content_token, c.content_token) not in keys
 
     def test_disabled_cache_stores_nothing(self, scan_and_track):
         engine = RupsEngine(

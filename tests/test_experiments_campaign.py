@@ -1,11 +1,14 @@
 """Tests for repro.experiments.campaign."""
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.core.config import RupsConfig
 from repro.experiments.campaign import CampaignResult, run_campaign
 from repro.experiments.metrics import QueryBatch, QueryOutcome
+from repro.obs import MetricsRegistry, use_registry
 from repro.roads.types import RoadType
 
 
@@ -44,6 +47,36 @@ class TestRunCampaign:
         text = campaign.render()
         assert "Route campaign" in text
         assert "mean RDE" in text
+
+    def test_warm_rerun_hits_reduction_cache(self, small_plan):
+        """Re-running a campaign must reuse cached channel reductions.
+
+        The reduction cache is keyed by trajectory content tokens, so a
+        second identical campaign — which rebuilds bit-identical
+        trajectories — must serve its reductions from cache instead of
+        recomputing them (this was dead under the old identity keys:
+        144 misses, 0 hits).  The results must not move either.
+        """
+        kwargs = dict(
+            route_length_m=3000.0,
+            n_drives=1,
+            queries_per_drive=5,
+            plan=small_plan,
+            seed=6,
+            jobs=1,
+            config=RupsConfig(context_length_m=600.0, window_channels=25),
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            cold = run_campaign(**kwargs)
+            cold_counters = dict(registry.snapshot()["counters"])
+            warm = run_campaign(**kwargs)
+        counters = registry.snapshot()["counters"]
+        warm_hits = counters.get("engine.cache.reduction.hit", 0) - cold_counters.get(
+            "engine.cache.reduction.hit", 0
+        )
+        assert warm_hits > 0
+        assert pickle.dumps(cold) == pickle.dumps(warm)
 
     def test_deterministic(self, small_plan):
         kwargs = dict(

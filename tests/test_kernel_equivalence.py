@@ -34,7 +34,7 @@ from repro.core.correlation import (
     fused_sliding_correlation,
     reference_sliding_correlation,
 )
-from repro.core.syn import find_syn_points, seek_syn_point
+from repro.core.syn import find_syn_points, find_syn_points_batch, seek_syn_point
 from repro.core.trajectory import GeoTrajectory, GsmTrajectory
 
 TOL = 1e-9
@@ -253,3 +253,168 @@ class TestSearchDifferentialSweep:
     def test_identical_syn_decisions(self, seed):
         own, other, cfg = random_scenario(seed)
         assert_search_equivalent(own, other, cfg)
+
+
+# ----------------------------------------------------------------------
+# cross-pair batch differential
+# ----------------------------------------------------------------------
+
+def random_pair_batch(seed: int, n_pairs: int):
+    """``n_pairs`` comparable pairs sharing one config, seed-deterministic.
+
+    The mix rotates per pair through genuine overlaps, disjoint signals,
+    too-short contexts (pairs that contribute *no* sweep to the batch),
+    degenerate constant/NaN windows, and convoy pairs that share one
+    target trajectory *object* — the case where the batched kernel
+    actually stacks several pairs into one matmul.
+    """
+    rng = np.random.default_rng(1_000_000 + seed)
+    n_ch = int(rng.integers(3, 8))
+    spacing = float(rng.choice([1.0, 2.0]))
+    window_length_m = float(rng.integers(12, 36)) * spacing
+    threshold = float(rng.choice([0.6, 1.0]))
+    cfg = dict(
+        context_length_m=4000.0,
+        window_length_m=window_length_m,
+        window_channels=n_ch,
+        coherency_threshold=threshold,
+        spacing_m=spacing,
+        n_syn_points=int(rng.integers(1, 4)),
+        syn_stride_m=float(rng.integers(4, 20)) * spacing,
+        flexible_window=True,
+        min_window_length_m=min(10.0 * spacing, window_length_m),
+        min_coherency_threshold=0.5 * threshold,
+    )
+    road_len = int(rng.integers(140, 320))
+    road = _road_signal(rng, n_ch, road_len)
+    convoy_len = int(rng.integers(100, road_len + 1))
+    convoy_head = make_trajectory(
+        road[:, :convoy_len] + rng.normal(0, 1.0, size=(n_ch, convoy_len)),
+        spacing,
+    )
+    window_marks = int(round(window_length_m / spacing)) + 1
+    pairs = []
+    for p in range(n_pairs):
+        kind = ("overlap", "convoy", "disjoint", "short", "degenerate")[
+            (seed + p) % 5
+        ]
+        if kind == "short":
+            la = int(rng.integers(2, window_marks + 4))
+            lb = int(rng.integers(2, window_marks + 4))
+            pairs.append(
+                (
+                    make_trajectory(rng.normal(-80, 6, size=(n_ch, la)), spacing),
+                    make_trajectory(rng.normal(-80, 6, size=(n_ch, lb)), spacing),
+                )
+            )
+            continue
+        road_b = _road_signal(rng, n_ch, road_len) if kind == "disjoint" else road
+        la = int(rng.integers(60, road_len + 1))
+        a0 = int(rng.integers(0, road_len - la + 1))
+        own_p = road[:, a0 : a0 + la] + rng.normal(0, 1.0, size=(n_ch, la))
+        if kind == "degenerate":
+            flavour = (seed + p) % 3
+            if flavour == 0:
+                own_p[0] = -80.0  # dead channel
+            elif flavour == 1:
+                cut = la // 2
+                own_p[:, :cut] = own_p[:, cut : cut + 1]  # constant stretch
+            else:
+                own_p[rng.random(own_p.shape) < 0.01] = np.nan
+        own = make_trajectory(own_p, spacing)
+        if kind == "convoy":
+            # Several pairs share this one target object: the batched
+            # kernel groups them into a single stacked matmul.
+            pairs.append((own, convoy_head))
+            continue
+        lb = int(rng.integers(60, road_len + 1))
+        b0 = int(rng.integers(0, road_len - lb + 1))
+        other_p = road_b[:, b0 : b0 + lb] + rng.normal(0, 1.0, size=(n_ch, lb))
+        pairs.append((own, make_trajectory(other_p, spacing)))
+    return pairs, cfg
+
+
+def assert_batch_equivalent(pairs, cfg: dict) -> None:
+    """`find_syn_points_batch` must match per-pair reference searches."""
+    ref_cfg = RupsConfig(kernel="reference", **cfg)
+    expected = [find_syn_points(own, other, ref_cfg) for own, other in pairs]
+    for kernel in FAST_KERNELS:
+        fast_cfg = RupsConfig(kernel=kernel, **cfg)
+        got = find_syn_points_batch(pairs, fast_cfg)
+        assert len(got) == len(expected)
+        for exp, out in zip(expected, got):
+            assert len(exp) == len(out), kernel
+            for r, b in zip(exp, out):
+                _assert_same_syn(r, b)
+
+
+class TestBatchDifferentialQuick:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_batch_matches_reference(self, seed):
+        n_pairs = (1, 2, 5, 9)[seed % 4]
+        pairs, cfg = random_pair_batch(seed, n_pairs)
+        assert_batch_equivalent(pairs, cfg)
+
+    def test_batch_of_one_equals_per_pair_search(self):
+        """Ragged extreme: the chunk holds a single pending query."""
+        pairs, cfg = random_pair_batch(100, 1)
+        for kernel in sorted(KERNELS):
+            c = RupsConfig(kernel=kernel, **cfg)
+            (batched,) = find_syn_points_batch(pairs, c)
+            assert batched == find_syn_points(pairs[0][0], pairs[0][1], c)
+
+    def test_all_pairs_windowless(self):
+        """A batch with zero pending sweeps (chunk > pending work)."""
+        rng = np.random.default_rng(8)
+        cfg = dict(
+            window_length_m=30.0,
+            window_channels=4,
+            spacing_m=1.0,
+            flexible_window=False,
+        )
+        pairs = [
+            (
+                make_trajectory(rng.normal(-80, 6, size=(4, 5))),
+                make_trajectory(rng.normal(-80, 6, size=(4, 5))),
+            )
+            for _ in range(3)
+        ]
+        for kernel in FAST_KERNELS:
+            out = find_syn_points_batch(pairs, RupsConfig(kernel=kernel, **cfg))
+            assert out == [[], [], []]
+
+    def test_query_ids_length_mismatch_rejected(self):
+        pairs, cfg = random_pair_batch(3, 2)
+        with pytest.raises(ValueError, match="query_ids"):
+            find_syn_points_batch(
+                pairs, RupsConfig(**cfg), query_ids=["only-one"]
+            )
+
+    def test_shared_target_convoy_grouping(self):
+        """All pairs share one target object — maximal stacking — and the
+        per-pair decisions still match the reference exactly."""
+        rng = np.random.default_rng(77)
+        road = _road_signal(rng, 6, 260)
+        head = make_trajectory(road[:, :200] + rng.normal(0, 1.0, (6, 200)))
+        pairs = [
+            (
+                make_trajectory(
+                    road[:, o : o + 150] + rng.normal(0, 1.0, (6, 150))
+                ),
+                head,
+            )
+            for o in (0, 30, 60, 90, 110)
+        ]
+        cfg = dict(window_length_m=30.0, window_channels=6, spacing_m=1.0)
+        assert_batch_equivalent(pairs, cfg)
+
+
+@pytest.mark.slow
+class TestBatchDifferentialSweep:
+    """~200 batched scenario pairs: prime batch sizes, every pair mix."""
+
+    @pytest.mark.parametrize("seed", range(48))
+    def test_batch_matches_reference(self, seed):
+        n_pairs = 3 + seed % 4  # 3..6 pairs per batch, 216 pairs total
+        pairs, cfg = random_pair_batch(1000 + seed, n_pairs)
+        assert_batch_equivalent(pairs, cfg)

@@ -7,6 +7,7 @@ fails — and the experiment-level fan-out is compared through rendered
 artifacts.
 """
 
+import io
 import pickle
 
 import pytest
@@ -15,6 +16,7 @@ from repro import obs
 from repro.experiments.campaign import run_campaign
 from repro.experiments.registry import run_experiment, run_experiments
 from repro.obs import MetricsRegistry, use_registry
+from repro.obs.events import EventLedger, use_ledger
 from repro.runtime import DeterministicExecutor
 
 SMALL_CAMPAIGN = dict(
@@ -104,9 +106,9 @@ class TestMetricsMergeDeterminism:
             with use_registry(registry):
                 run_campaign(plan=small_plan, jobs=jobs, **SMALL_CAMPAIGN)
             counters = registry.snapshot()["counters"]
-            # campaign.chunks is scheduling granularity by design (one
-            # chunk per worker); everything else counted here is
-            # per-query work and must be layout-free.
+            # campaign.chunks is scheduling granularity by design
+            # (fixed-size query chunks); everything else counted here
+            # is per-query work and must be layout-free.
             return {
                 k: v
                 for k, v in sorted(counters.items())
@@ -119,6 +121,79 @@ class TestMetricsMergeDeterminism:
         assert serial["campaign.queries"] == 6
         assert serial["syn.searches"] == 6
         assert serial == parallel
+
+
+class TestSharedStaticsDeterminism:
+    """Shared-statics caches are a transport detail, never a results knob.
+
+    The pooled campaign ships content-hash refs instead of heavy
+    pickles; the store must be invisible in the results: every
+    (jobs, shared_statics, chunk_queries) combination is pickle-identical
+    to the plain serial run, and the exported event ledger is
+    byte-identical too.
+    """
+
+    @pytest.mark.parametrize(
+        "jobs,shared_statics",
+        [(1, True), (2, True), (4, True), (None, True), (4, False)],
+    )
+    def test_shared_statics_byte_identical(self, small_plan, jobs, shared_statics):
+        base = run_campaign(
+            plan=small_plan, jobs=1, shared_statics=False, **SMALL_CAMPAIGN
+        )
+        other = run_campaign(
+            plan=small_plan,
+            jobs=jobs,
+            shared_statics=shared_statics,
+            **SMALL_CAMPAIGN,
+        )
+        assert pickle.dumps(base) == pickle.dumps(other)
+
+    @pytest.mark.parametrize("chunk_queries", [1, 2, 5])
+    def test_chunk_layout_invariant(self, small_plan, chunk_queries):
+        """Cross-pair batching must not leak batch composition into floats."""
+        base = run_campaign(plan=small_plan, jobs=1, **SMALL_CAMPAIGN)
+        chunked = run_campaign(
+            plan=small_plan,
+            jobs=2,
+            chunk_queries=chunk_queries,
+            **SMALL_CAMPAIGN,
+        )
+        assert pickle.dumps(base) == pickle.dumps(chunked)
+
+    def test_warm_executor_reuse_byte_identical(self, small_plan):
+        """A warm pool with resident caches replays the exact same run."""
+        base = run_campaign(plan=small_plan, jobs=1, **SMALL_CAMPAIGN)
+        with DeterministicExecutor(jobs=2) as executor:
+            executor.warm_up()
+            cold = run_campaign(
+                plan=small_plan, executor=executor, **SMALL_CAMPAIGN
+            )
+            warm = run_campaign(
+                plan=small_plan, executor=executor, **SMALL_CAMPAIGN
+            )
+        assert pickle.dumps(base) == pickle.dumps(cold)
+        assert pickle.dumps(cold) == pickle.dumps(warm)
+
+    def test_event_export_shared_statics_invariant(self, small_plan):
+        """The provenance ledger must not see the transport either."""
+
+        def jsonl_for(shared_statics):
+            ledger = EventLedger()
+            with use_ledger(ledger):
+                run_campaign(
+                    plan=small_plan,
+                    jobs=2,
+                    shared_statics=shared_statics,
+                    **SMALL_CAMPAIGN,
+                )
+            buffer = io.StringIO()
+            ledger.write_jsonl(buffer)
+            return buffer.getvalue()
+
+        on = jsonl_for(True)
+        off = jsonl_for(False)
+        assert on and on == off
 
 
 class TestExperimentFanOut:

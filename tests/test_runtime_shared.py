@@ -1,0 +1,249 @@
+"""Property tests for the content-addressed shared-statics store.
+
+The store's contract (``repro/runtime/shared.py``) has three legs the
+pooled campaign leans on:
+
+* **Content keys are structural and cross-process stable** — two
+  processes independently building a bit-identical payload derive the
+  same key, and any bit flip changes it.
+* **Checkouts are read-only** — a worker mutating a checked-out array
+  must fail loudly, never corrupt the one shared copy.
+* **Eviction never costs correctness** — under an adversarially small
+  LRU budget every checkout still returns the published bytes; evicted
+  entries simply reload from the spool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.runtime import DeterministicExecutor, fixed_chunks, shared
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store():
+    """Isolate every test from process-resident cache state."""
+    shared.clear()
+    previous = shared.set_budgets(cache=64, derived_cache=32)
+    yield
+    shared.set_budgets(*previous)
+    shared.clear()
+
+
+@dataclasses.dataclass(frozen=True)
+class _Payload:
+    """A toy heavy static: arrays + metadata, like a drive record."""
+
+    power: np.ndarray
+    label: str
+    meta: dict
+
+
+def _make_payload(seed: int) -> _Payload:
+    rng = np.random.default_rng(seed)
+    return _Payload(
+        power=rng.normal(size=(4, 32)),
+        label=f"payload-{seed}",
+        meta={"seed": seed, "channels": (1, 2, 3)},
+    )
+
+
+# -- task functions: module level so they pickle into spawn workers ----
+
+def _key_task(seed: int) -> str:
+    return shared.content_key(_make_payload(seed))
+
+
+def _mutate_array_task(ref: shared.SharedRef) -> str:
+    arr = shared.checkout(ref)
+    try:
+        arr[0, 0] = -1.0
+        return "mutated"
+    except ValueError:
+        return "readonly"
+
+
+def _object_array_task(ref: shared.SharedRef) -> str:
+    payload = shared.checkout(ref)
+    try:
+        payload.power[0, 0] = -1.0
+        return "mutated"
+    except ValueError:
+        return "readonly"
+
+
+def _checkout_sum_task(ref: shared.SharedRef) -> float:
+    return float(np.sum(shared.checkout(ref)))
+
+
+class TestContentKeys:
+    def test_stable_across_processes(self):
+        """A spawn worker derives the very same key the parent does."""
+        local = [_key_task(seed) for seed in (3, 4)]
+        with DeterministicExecutor(jobs=2) as ex:
+            remote = ex.map_ordered(_key_task, [3, 4])
+        assert remote == local
+
+    def test_distinct_payloads_distinct_keys(self):
+        base = _make_payload(0)
+        flipped = dataclasses.replace(
+            base, power=base.power + np.finfo(float).eps
+        )
+        assert shared.content_key(base) != shared.content_key(flipped)
+        assert shared.content_key(base) == shared.content_key(_make_payload(0))
+
+    def test_dict_key_order_insensitive(self):
+        assert shared.content_key({"a": 1, "b": 2.0}) == shared.content_key(
+            {"b": 2.0, "a": 1}
+        )
+
+    def test_type_tags_disambiguate(self):
+        assert shared.content_key(1) != shared.content_key(1.0)
+        assert shared.content_key(1) != shared.content_key("1")
+        assert shared.content_key(True) != shared.content_key(1)
+
+    def test_nan_payloads_hash_stably(self):
+        a = np.array([1.0, np.nan, 3.0])
+        assert shared.content_key(a) == shared.content_key(a.copy())
+
+    def test_cyclic_payload_rejected(self):
+        loop: list = []
+        loop.append(loop)
+        with pytest.raises(ValueError, match="cyclic"):
+            shared.content_key(loop)
+
+
+class TestReadOnlyCheckout:
+    def test_array_checkout_read_only_in_publisher(self):
+        arr = np.arange(12.0).reshape(3, 4)
+        ref = shared.publish(arr)
+        out = shared.checkout(ref)
+        with pytest.raises(ValueError):
+            out[0, 0] = 99.0
+        assert arr[0, 0] == 0.0
+
+    def test_array_checkout_read_only_cross_process(self):
+        with DeterministicExecutor(jobs=2) as ex:
+            ref = ex.publish(np.arange(12.0).reshape(3, 4))
+            verdicts = ex.map_ordered(_mutate_array_task, [ref, ref])
+        assert verdicts == ["readonly", "readonly"]
+
+    def test_object_arrays_frozen_cross_process(self):
+        with DeterministicExecutor(jobs=2) as ex:
+            ref = ex.publish(_make_payload(7))
+            verdicts = ex.map_ordered(_object_array_task, [ref, ref])
+        assert verdicts == ["readonly", "readonly"]
+
+    def test_fresh_load_is_read_only_too(self):
+        """Not just the seeded cache view: a reload from spool is frozen."""
+        ref = shared.publish(np.ones(5))
+        shared.clear()
+        out = shared.checkout(ref)
+        with pytest.raises(ValueError):
+            out[0] = 2.0
+
+
+class TestPublishCheckout:
+    def test_publish_idempotent_same_ref(self):
+        payload = _make_payload(1)
+        ref1 = shared.publish(payload)
+        ref2 = shared.publish(payload)
+        assert ref1 == ref2
+
+    def test_republish_preserves_object_identity(self):
+        """Bit-identical republish checks out the original object.
+
+        This is what keeps identity-keyed caches (engine trajectory /
+        binding-index slots) hot across warm re-runs: the store returns
+        one canonical object per content key per process.
+        """
+        payload = _make_payload(2)
+        ref = shared.publish(payload)
+        clone = _make_payload(2)
+        assert clone is not payload
+        assert shared.publish(clone) == ref
+        assert shared.checkout(ref) is payload
+
+    def test_checkout_round_trips_values(self):
+        payload = _make_payload(5)
+        ref = shared.publish(payload)
+        shared.clear()  # force a spool reload in "another process"
+        out = shared.checkout(ref)
+        assert out is not payload
+        np.testing.assert_array_equal(out.power, payload.power)
+        assert out.label == payload.label and out.meta == payload.meta
+
+    def test_resolve_passthrough(self):
+        assert shared.resolve(41) == 41
+        payload = _make_payload(6)
+        assert shared.resolve(payload) is payload
+        ref = shared.publish(payload)
+        assert shared.resolve(ref) is shared.checkout(ref)
+
+    def test_cross_process_checkout_values(self):
+        arr = np.linspace(0.0, 1.0, 101)
+        with DeterministicExecutor(jobs=2) as ex:
+            ref = ex.publish(arr)
+            sums = ex.map_ordered(_checkout_sum_task, [ref, ref])
+        assert sums == [float(np.sum(arr))] * 2
+
+
+class TestEviction:
+    def test_tiny_budget_still_correct(self):
+        """With a 2-slot cache, every checkout still returns the right
+        bytes — older refs just reload from the spool."""
+        shared.set_budgets(cache=2)
+        arrays = [np.full(8, float(i)) for i in range(5)]
+        refs = [shared.publish(a) for a in arrays]
+        assert shared.cache_info()["cache"] <= 2
+        for i, ref in enumerate(refs):
+            np.testing.assert_array_equal(shared.checkout(ref), arrays[i])
+
+    def test_derived_builds_once_then_hits(self):
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return {"built": len(builds)}
+
+        first = shared.derived("k", builder)
+        again = shared.derived("k", builder)
+        assert first is again and builds == [1]
+
+    def test_derived_eviction_rebuilds(self):
+        shared.set_budgets(derived_cache=1)
+        a1 = shared.derived("a", lambda: ["a"])
+        shared.derived("b", lambda: ["b"])  # evicts "a"
+        a2 = shared.derived("a", lambda: ["a"])
+        assert a2 == a1 and a2 is not a1
+        assert shared.cache_info()["derived"] == 1
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            shared.set_budgets(cache=0)
+        with pytest.raises(ValueError):
+            shared.set_budgets(derived_cache=0)
+
+
+class TestFixedChunks:
+    """`fixed_chunks` layout must depend only on (len(items), size)."""
+
+    def test_ragged_tail(self):
+        assert fixed_chunks(list(range(7)), 3) == [[0, 1, 2], [3, 4, 5], [6]]
+
+    def test_single_and_oversized(self):
+        assert fixed_chunks([1], 5) == [[1]]
+        assert fixed_chunks([], 4) == [[]]
+
+    def test_prime_sizes(self):
+        items = list(range(13))
+        chunks = fixed_chunks(items, 5)
+        assert [len(c) for c in chunks] == [5, 5, 3]
+        assert [x for c in chunks for x in c] == items
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            fixed_chunks([1, 2], 0)

@@ -22,7 +22,12 @@ from repro.core.trajectory import GeoTrajectory, GsmTrajectory
 from repro.gsm.scanner import ScanStream
 from repro.sensors.deadreckoning import EstimatedTrack
 
-__all__ = ["DriveBindingIndex", "bind_scan", "interpolate_missing"]
+__all__ = [
+    "DriveBindingIndex",
+    "bind_scan",
+    "interpolate_missing",
+    "seed_interpolate_missing",
+]
 
 
 def bind_scan(
@@ -105,6 +110,46 @@ class _ParityBins:
     bin_starts: np.ndarray
 
 
+def _grown_1d(buf: np.ndarray, used: int, extra: int) -> np.ndarray:
+    """``buf`` with room for ``used + extra`` entries (amortised doubling)."""
+    need = used + extra
+    if need <= buf.shape[0]:
+        return buf
+    out = np.empty(max(need, 2 * buf.shape[0], 16), dtype=buf.dtype)
+    out[:used] = buf[:used]
+    return out
+
+
+def _grown_cols(buf: np.ndarray, used: int, need: int) -> np.ndarray:
+    """``buf`` with room for ``need`` columns (amortised doubling)."""
+    if need <= buf.shape[1]:
+        return buf
+    out = np.empty(
+        (buf.shape[0], max(need, 2 * buf.shape[1], 16)), dtype=buf.dtype
+    )
+    out[:, :used] = buf[:, :used]
+    return out
+
+
+class _ParityState:
+    """Growable per-parity binning state behind an extendable index.
+
+    ``times``/``chans``/``rssi``/``bins`` hold the in-grid measurements
+    in stream order (first ``n`` entries of capacity-doubled buffers);
+    ``sums``/``counts``/``bin_starts`` are the served aggregates, also
+    over-allocated.  ``pend_*`` hold measurements whose estimated
+    distance rounds *past* the current mark grid — the grid only grows
+    at the end, so they are replayed (still in stream order) once the
+    track reaches their mark.
+    """
+
+    __slots__ = (
+        "times", "chans", "rssi", "bins", "n",
+        "sums", "counts", "bin_starts",
+        "pend_times", "pend_chans", "pend_rssi", "pend_bins",
+    )
+
+
 class DriveBindingIndex:
     """Whole-drive binding precompute for repeated-query trajectory builds.
 
@@ -175,6 +220,8 @@ class DriveBindingIndex:
         self.track = track
         self.spacing_m = float(spacing_m)
         self._n_channels = scan.plan.n_channels
+        # Lazily materialised by the first extend(); None while batch-only.
+        self._states: dict[int, _ParityState] | None = None
 
         # Global mark grid: every geo_trajectory() starts/ends on whole
         # multiples of spacing_m inside [first, last] odometer readings.
@@ -297,6 +344,221 @@ class DriveBindingIndex:
         )
         return interpolate_missing(trajectory) if interpolate else trajectory
 
+    # -- streaming extension -------------------------------------------
+    def _prepare_extendable(self) -> None:
+        """One-time conversion of the batch-built state to growable form.
+
+        Re-derives each parity's bin assignment for the original scan
+        (deterministic, so bitwise what ``__init__`` computed), checks
+        the stream is distance-monotone — the invariant every increment
+        below leans on — and stashes the beyond-grid measurements the
+        batch constructor filtered out so they can be served once the
+        grid grows over them.
+        """
+        if self._states is not None:
+            return
+        scan, track = self.scan, self.track
+        if len(scan) and float(scan.times_s[-1]) > float(track.times_s[-1]):
+            raise ValueError(
+                "cannot extend: scan reaches beyond the track; its binned "
+                "distances would change once the track grows"
+            )
+        if np.any(np.diff(scan.times_s) < 0):
+            raise ValueError("cannot extend: scan times are not sorted")
+        dist = np.asarray(track.distance_at(scan.times_s), dtype=float)
+        n_marks = self._n_marks
+        states: dict[int, _ParityState] = {}
+        for parity, pb in self._variants.items():
+            anchor = self._mark0 + ((self._mark0 % 2) != parity)
+            mark_f = (dist - anchor * self.spacing_m) / self.spacing_m
+            raw = np.round(mark_f).astype(np.int64) + (anchor - self._mark0)
+            if np.any(np.diff(raw) < 0):
+                raise ValueError(
+                    "cannot extend: estimated distance is not non-decreasing"
+                )
+            in_grid = (raw >= 0) & (raw < n_marks)
+            beyond = raw >= n_marks
+            st = _ParityState()
+            st.n = len(pb.times)
+            if st.n != int(np.count_nonzero(in_grid)):
+                raise ValueError("cannot extend: binned state is inconsistent")
+            st.times = pb.times.copy()
+            st.chans = pb.chans.copy()
+            st.rssi = pb.rssi.copy()
+            st.bins = raw[in_grid]
+            st.sums = pb.sums.copy()
+            st.counts = pb.counts.copy()
+            st.bin_starts = pb.bin_starts.astype(np.int64, copy=True)
+            st.pend_times = scan.times_s[beyond].copy()
+            st.pend_chans = scan.channel_indices[beyond].copy()
+            st.pend_rssi = scan.rssi_dbm[beyond].copy()
+            st.pend_bins = raw[beyond]
+            states[parity] = st
+        self._tbuf = self._t_marks.copy()
+        self._hbuf = self._headings.copy()
+        self._idx = np.arange(
+            max((st.n for st in states.values()), default=0), dtype=np.int64
+        )
+        self._last_time = float(scan.times_s[-1]) if len(scan) else -np.inf
+        self._states = states
+
+    def extend(self, chunk: ScanStream, track: EstimatedTrack) -> None:
+        """Fold a newer scan chunk (and the extended track) into the index.
+
+        After the call, :meth:`bind` answers exactly as a fresh index
+        built over the *concatenated* stream and the new track would —
+        the prefix-equivalence suite in ``tests/test_streaming_prefix.py``
+        holds this bitwise.  Cost is O(appended measurements + changed
+        marks), not O(drive): estimated distance never decreases, so a
+        new measurement can only land in mark columns at or after the
+        last one touched, and only that suffix region is re-aggregated
+        (with a regional ``bincount`` that replays the affected
+        measurements in stream order, keeping float accumulation
+        order — hence bits — identical to a cold build).
+
+        Only ever call this on a *privately constructed* index.  Indices
+        obtained via :meth:`for_drive` may be shared process-wide
+        through the content-addressed cache, and mutating one would
+        corrupt every other holder's view.
+
+        Parameters
+        ----------
+        chunk:
+            Measurements strictly newer than everything already folded
+            in (sorted times, not reaching beyond ``track``'s end).
+        track:
+            The dead-reckoned track as known now; must extend the
+            previously provided track sample-for-sample.
+        """
+        self._prepare_extendable()
+        assert self._states is not None
+        if chunk.plan.n_channels != self._n_channels:
+            raise ValueError("chunk channel plan does not match the index")
+        old_track = self.track
+        m = len(old_track.times_s)
+        if (
+            len(track.times_s) < m
+            or track.times_s[0] != old_track.times_s[0]
+            or track.times_s[m - 1] != old_track.times_s[m - 1]
+            or track.distance_m[m - 1] != old_track.distance_m[m - 1]
+        ):
+            raise ValueError("track must extend the previously provided track")
+        if len(chunk):
+            if np.any(np.diff(chunk.times_s) < 0):
+                raise ValueError("chunk times are not sorted")
+            if float(chunk.times_s[0]) < self._last_time:
+                raise ValueError(
+                    "chunk overlaps previously appended measurements"
+                )
+            if float(chunk.times_s[-1]) > float(track.times_s[-1]):
+                raise ValueError("chunk reaches beyond the provided track")
+
+        spacing = self.spacing_m
+        n_old = self._n_marks
+        d_last = float(track.distance_m[-1])
+        new_n = max(int(np.floor(d_last / spacing)) - self._mark0 + 1, n_old, 0)
+
+        # Grow the mark grid: new mark times continue the running-max
+        # seeded with the last old one (max is associative and exact, so
+        # the seeded accumulate matches a cold full-array accumulate).
+        if new_n > n_old:
+            marks = (self._mark0 + np.arange(n_old, new_n)) * spacing
+            t_new = np.asarray(track.time_at_distance(marks), dtype=float)
+            if n_old:
+                t_new = np.maximum.accumulate(
+                    np.concatenate(([self._tbuf[n_old - 1]], t_new))
+                )[1:]
+            else:
+                t_new = np.maximum.accumulate(t_new)
+            h_new = np.asarray(track.heading_at(t_new), dtype=float)
+            self._tbuf = _grown_1d(self._tbuf, n_old, new_n - n_old)
+            self._hbuf = _grown_1d(self._hbuf, n_old, new_n - n_old)
+            self._tbuf[n_old:new_n] = t_new
+            self._hbuf[n_old:new_n] = h_new
+
+        dist = np.asarray(track.distance_at(chunk.times_s), dtype=float)
+        max_used = 0
+        for parity, st in self._states.items():
+            anchor = self._mark0 + ((self._mark0 % 2) != parity)
+            mark_f = (dist - anchor * spacing) / spacing
+            raw = np.round(mark_f).astype(np.int64) + (anchor - self._mark0)
+            keep = raw >= 0
+            # Pending measurements precede the chunk in stream order and
+            # bins are non-decreasing along the stream, so this concat
+            # is sorted both by time and by bin.
+            tail_times = np.concatenate([st.pend_times, chunk.times_s[keep]])
+            tail_chans = np.concatenate(
+                [st.pend_chans, chunk.channel_indices[keep]]
+            )
+            tail_rssi = np.concatenate([st.pend_rssi, chunk.rssi_dbm[keep]])
+            tail_bins = np.concatenate([st.pend_bins, raw[keep]])
+            k = int(np.searchsorted(tail_bins, new_n))
+            st.pend_times = tail_times[k:].copy()
+            st.pend_chans = tail_chans[k:].copy()
+            st.pend_rssi = tail_rssi[k:].copy()
+            st.pend_bins = tail_bins[k:].copy()
+
+            if k:
+                st.times = _grown_1d(st.times, st.n, k)
+                st.chans = _grown_1d(st.chans, st.n, k)
+                st.rssi = _grown_1d(st.rssi, st.n, k)
+                st.bins = _grown_1d(st.bins, st.n, k)
+                st.times[st.n : st.n + k] = tail_times[:k]
+                st.chans[st.n : st.n + k] = tail_chans[:k]
+                st.rssi[st.n : st.n + k] = tail_rssi[:k]
+                st.bins[st.n : st.n + k] = tail_bins[:k]
+                st.n += k
+                c0 = min(int(tail_bins[0]), n_old)
+            else:
+                c0 = n_old
+            max_used = max(max_used, st.n)
+
+            if new_n > c0:
+                # Re-aggregate only the suffix region [c0, new_n): every
+                # measurement in it sits in the served arrays from
+                # bin_starts[c0] on, still in stream order.
+                s0 = int(st.bin_starts[c0])
+                seg_bins = st.bins[s0 : st.n] - c0
+                seg_chans = st.chans[s0 : st.n]
+                seg_rssi = st.rssi[s0 : st.n]
+                width = new_n - c0
+                flat = seg_chans * width + seg_bins
+                sums = np.bincount(
+                    flat, weights=seg_rssi, minlength=self._n_channels * width
+                ).reshape(self._n_channels, width)
+                counts = np.bincount(
+                    flat, minlength=self._n_channels * width
+                ).reshape(self._n_channels, width)
+                st.sums = _grown_cols(st.sums, n_old, new_n)
+                st.counts = _grown_cols(st.counts, n_old, new_n)
+                st.sums[:, c0:new_n] = sums
+                st.counts[:, c0:new_n] = counts
+                st.bin_starts = _grown_1d(st.bin_starts, n_old + 1, new_n - n_old)
+                st.bin_starts[c0 + 1 : new_n + 1] = s0 + np.searchsorted(
+                    seg_bins, np.arange(1, width + 1)
+                )
+
+        if len(self._idx) < max_used:
+            self._idx = np.arange(
+                max(max_used, 2 * len(self._idx)), dtype=np.int64
+            )
+        self._n_marks = new_n
+        self._t_marks = self._tbuf[:new_n]
+        self._headings = self._hbuf[:new_n]
+        self.track = track
+        if len(chunk):
+            self._last_time = float(chunk.times_s[-1])
+        for parity, st in self._states.items():
+            self._variants[parity] = _ParityBins(
+                times=st.times[: st.n],
+                chans=st.chans[: st.n],
+                rssi=st.rssi[: st.n],
+                sums=st.sums[:, :new_n],
+                counts=st.counts[:, :new_n],
+                by_bin=self._idx[: st.n],
+                bin_starts=st.bin_starts[: new_n + 1],
+            )
+
 
 def interpolate_missing(trajectory: GsmTrajectory) -> GsmTrajectory:
     """Fill missing channels by linear interpolation over distance (§IV-C).
@@ -311,14 +573,153 @@ def interpolate_missing(trajectory: GsmTrajectory) -> GsmTrajectory:
         return trajectory
     filled = power.copy()
     x = np.arange(power.shape[1], dtype=float)
-    for row in range(power.shape[0]):
-        valid = ~np.isnan(power[row])
-        n_valid = int(np.count_nonzero(valid))
-        if n_valid == 0 or n_valid == power.shape[1]:
+    missing = np.isnan(power)
+    for row in np.flatnonzero(missing.any(axis=1)):
+        gaps = missing[row]
+        if gaps.all():
             continue
-        filled[row] = np.interp(x, x[valid], power[row, valid])
+        valid = ~gaps
+        # np.interp is pointwise, so filling only the gaps is bitwise
+        # what evaluating every column would produce — at a fraction of
+        # the work (gaps are typically sparse).
+        filled[row, gaps] = np.interp(x[gaps], x[valid], power[row, valid])
     return GsmTrajectory(
         power_dbm=filled,
         channel_ids=trajectory.channel_ids,
         geo=trajectory.geo,
+    )
+
+
+def seed_interpolate_missing(
+    prev_raw: GsmTrajectory | None,
+    prev_filled: GsmTrajectory | None,
+    new: GsmTrajectory,
+) -> GsmTrajectory:
+    """:func:`interpolate_missing`, seeded from an overlapping prior serve.
+
+    The streaming serve path re-interpolates a context window that
+    mostly overlaps the previous one.  Linear interpolation is local —
+    a filled value depends only on its two bracketing measured marks —
+    so any gap whose brackets both lie in columns that are bitwise
+    unchanged between the two raw serves filled to exactly the same
+    value last time.  This copies those and re-interpolates only the
+    gaps reaching into changed columns, making the serve's fill cost
+    O(changed suffix) instead of O(window).
+
+    ``prev_raw``/``prev_filled`` are a prior serve's raw (uninterpolated)
+    window and its interpolated result; pass ``None`` to fall back to
+    the cold fill.  Bitwise-identical to ``interpolate_missing(new)`` in
+    all cases.
+    """
+    if prev_raw is None or prev_filled is None:
+        return interpolate_missing(new)
+    if prev_raw.geo.spacing_m != new.geo.spacing_m or not np.array_equal(
+        prev_raw.channel_ids, new.channel_ids
+    ):
+        return interpolate_missing(new)
+    off_f = (
+        new.geo.start_distance_m - prev_raw.geo.start_distance_m
+    ) / new.spacing_m
+    off = int(round(off_f))
+    if off < 0 or abs(off - off_f) > 1e-9:
+        return interpolate_missing(new)
+    n_overlap = min(prev_raw.n_marks - off, new.n_marks)
+    if n_overlap <= 0:
+        return interpolate_missing(new)
+    a = prev_raw.power_dbm[:, off : off + n_overlap]
+    b = new.power_dbm[:, :n_overlap]
+    # Bit-level compare (same itemsize, view is free); a false "changed"
+    # flag only costs recomputation, never correctness.
+    same_cols = (a.view(np.int64) == b.view(np.int64)).all(axis=0)
+    j0 = n_overlap if same_cols.all() else int(np.argmin(same_cols))
+    if j0 == 0:
+        return interpolate_missing(new)
+    power = new.power_dbm
+    missing = np.isnan(power)
+    if not missing.any():
+        return new
+    filled = power.copy()
+    pf = prev_filled.power_dbm
+    n_ch, n = power.shape
+    valid_any = ~missing.all(axis=1)
+    # Every column below j0 is bitwise what the previous serve saw, so
+    # the previous fill is exact wherever its interpolation brackets
+    # also sat below j0.  Copy the whole prefix unconditionally — one
+    # contiguous 2-D copy instead of a masked one — then repair the
+    # three places the copy over-reaches: rows with no measurement at
+    # all (stay NaN), leading gaps (the previous window may have
+    # bracketed them from since-dropped columns; the new window clamps),
+    # and gaps past each row's last prefix measurement (their right
+    # bracket may be a changed column).
+    filled[:, :j0] = pf[:, off : off + j0]
+    if not valid_any.all():
+        filled[~valid_any, :j0] = power[~valid_any, :j0]
+    # Leading gaps clamp to the first measured mark (np.interp's left
+    # edge behaviour), independent of everything downstream.
+    v0 = (~missing).argmax(axis=1)
+    vmax = int(v0[valid_any].max()) if valid_any.any() else 0
+    if vmax > 0:
+        lead = (
+            missing[:, :vmax]
+            & (np.arange(vmax) < v0[:, None])
+            & valid_any[:, None]
+        )
+        np.copyto(
+            filled[:, :vmax],
+            power[np.arange(n_ch), v0][:, None],
+            where=lead,
+        )
+    below = ~missing[:, :j0]
+    has_below = below.any(axis=1)
+    v_last = j0 - 1 - below[:, ::-1].argmax(axis=1)
+    # Gaps past v_last (or all gaps of a row with nothing measured below
+    # j0) may bracket into changed columns: re-interpolate them, all
+    # rows at once, with the lerp ``np.interp`` itself applies —
+    # ``slope = (fp_hi - fp_lo) / (x_hi - x_lo)`` then
+    # ``slope * (x - x_lo) + fp_lo`` — on identical operands (mark
+    # indices are integer-valued floats, so coordinate differences are
+    # exact), which keeps the fill bitwise what the cold path produces.
+    # All such gaps sit at columns > min(starts), so the bracket search
+    # runs on that short suffix only.
+    starts = np.where(has_below, v_last, v0)
+    if valid_any.any():
+        base = int(starts[valid_any].min())
+        sub_miss = missing[:, base:]
+        sub_cols = np.arange(n - base)
+        fill = (
+            sub_miss
+            & (sub_cols > (starts - base)[:, None])
+            & valid_any[:, None]
+        )
+        r, c = np.nonzero(fill)
+    else:
+        r = c = np.empty(0, dtype=np.intp)
+    if r.size:
+        # Bracketing measured marks per column (suffix coordinates):
+        # last valid at-or-left, first valid at-or-right (out of range
+        # when the gap is trailing).  Every fill column's left bracket
+        # is at or after its row's ``starts`` mark, which is >= base.
+        n_sub = n - base
+        left = np.maximum.accumulate(
+            np.where(sub_miss, -1, sub_cols), axis=1
+        )
+        right = np.minimum.accumulate(
+            np.where(sub_miss, n_sub, sub_cols)[:, ::-1], axis=1
+        )[:, ::-1]
+        lo, hi = left[r, c], right[r, c]
+        f_lo = power[r, base + lo]
+        out = f_lo.copy()  # trailing gaps clamp to the last measured mark
+        interior = hi < n_sub
+        ri, lo_i, hi_i = r[interior], lo[interior], hi[interior]
+        slope = (power[ri, base + hi_i] - f_lo[interior]) / (
+            hi_i - lo_i
+        ).astype(float)
+        out[interior] = (
+            slope * (c[interior] - lo_i).astype(float) + f_lo[interior]
+        )
+        filled[r, base + c] = out
+    return GsmTrajectory(
+        power_dbm=filled,
+        channel_ids=new.channel_ids,
+        geo=new.geo,
     )

@@ -76,6 +76,7 @@ __all__ = [
     "reference_sliding_correlation",
     "sliding_trajectory_correlation",
     "trajectory_correlation",
+    "trajectory_correlation_rows",
 ]
 
 # Sum-of-squared-deviations below this counts as zero variance.  The
@@ -123,6 +124,52 @@ def trajectory_correlation(s1: np.ndarray, s2: np.ndarray) -> float:
     else:
         term2 = 0.0
     return term1 + term2
+
+
+def trajectory_correlation_rows(s1: np.ndarray, s2: np.ndarray) -> np.ndarray:
+    """:func:`trajectory_correlation` over stacked pairs ``(p, n, w)``.
+
+    Entry ``i`` is bitwise ``trajectory_correlation(s1[i], s2[i])``: the
+    reductions run per pair over the same contiguous axes in the same
+    order, so batching changes the Python call count, not the
+    arithmetic.  The hot re-scoring path uses this to score all sweep
+    winners in one pass.
+    """
+    a = np.asarray(s1, dtype=float)
+    b = np.asarray(s2, dtype=float)
+    if a.shape != b.shape or a.ndim != 3:
+        raise ValueError(
+            f"stacks must be equal-shape 3-D, got {a.shape} vs {b.shape}"
+        )
+    if a.shape[2] < 2:
+        raise ValueError("trajectories need at least two marks")
+    ac = a - a.mean(axis=2, keepdims=True)
+    bc = b - b.mean(axis=2, keepdims=True)
+    num = np.einsum("pij,pij->pi", ac, bc)
+    a_ss = np.einsum("pij,pij->pi", ac, ac)
+    b_ss = np.einsum("pij,pij->pi", bc, bc)
+    live = (a_ss > _EPS) & (b_ss > _EPS)  # False for NaN too
+    with np.errstate(invalid="ignore", divide="ignore"):
+        per_channel = np.where(
+            live, num / np.sqrt(np.where(live, a_ss * b_ss, 1.0)), 0.0
+        )
+    term1 = per_channel.mean(axis=1)
+
+    ma = a.mean(axis=2)
+    mb = b.mean(axis=2)
+    mac = ma - ma.mean(axis=1, keepdims=True)
+    mbc = mb - mb.mean(axis=1, keepdims=True)
+    out = np.empty(len(term1))
+    for i, t1 in enumerate(term1):
+        # Per-pair BLAS dots, exactly as the scalar scorer does them.
+        ma_ss = float(np.dot(mac[i], mac[i]))
+        mb_ss = float(np.dot(mbc[i], mbc[i]))
+        if ma_ss > _EPS and mb_ss > _EPS:
+            term2 = float(np.dot(mac[i], mbc[i]) / np.sqrt(ma_ss * mb_ss))
+        else:
+            term2 = 0.0
+        out[i] = float(t1) + term2
+    return out
 
 
 def _validate_sliding(query: np.ndarray, target: np.ndarray) -> tuple[int, int, int]:

@@ -24,9 +24,10 @@ from repro.core.syn import (
     SynPoint,
     _effective_window,
     _query_scope,
+    find_syn_points_anchored,
     find_syn_points_batch,
 )
-from repro.core.trajectory import GsmTrajectory
+from repro.core.trajectory import GsmTrajectory, seed_window_features
 from repro.gsm.scanner import ScanStream
 from repro.obs.events import emit
 from repro.obs.metrics import inc
@@ -163,6 +164,13 @@ class RupsEngine:
         # period — and the content key lets bit-identical rebuilds from
         # other processes or later campaign runs hit too.
         self._reductions: OrderedDict[tuple, tuple] = OrderedDict()
+        # chosen-channel-set -> the last reduced pair with that set.  A
+        # streaming session's own context changes every period, so the
+        # token-keyed reduction cache misses every update; the seed chain
+        # lets the freshly reduced pair inherit the previous pair's
+        # window-feature memos (bitwise-safe, see seed_window_features),
+        # turning the per-update feature rebuild into a suffix patch.
+        self._reduction_seeds: OrderedDict[bytes, tuple] = OrderedDict()
         # Materialise the cache counters so every metrics snapshot that
         # saw an engine carries the full hit/miss key set, hits or not.
         for cache in ("trajectory", "binding_index", "reduction"):
@@ -255,28 +263,46 @@ class RupsEngine:
         return trajectory
 
     def _reduce_channels(
-        self, own: GsmTrajectory, other: GsmTrajectory
+        self, own: GsmTrajectory, other: GsmTrajectory, use_cache: bool = True
     ) -> tuple[GsmTrajectory, GsmTrajectory]:
         """Restrict both trajectories to the strongest common channels.
 
         The paper's checking window is "top 45 channels wide" (§VI-B);
         strength is ranked on the combined mean power so both vehicles
         agree on the subset.
+
+        ``use_cache=False`` skips the token-keyed reduction LRU — probe
+        and store.  The streaming anchored path passes it: both contexts
+        change on every tick, so the probe can never hit, and computing
+        the two content tokens just to build its key costs more than the
+        whole reduction (the seeded-feature chain below does not need
+        them).
         """
-        key = (own.content_token, other.content_token)
-        hit = self._reductions.get(key)
-        if hit is not None:
-            self._reductions.move_to_end(key)
-            inc("engine.cache.reduction.hit")
-            emit("engine.reduce", diagnostic=True, cache="hit")
-            return hit
+        if use_cache:
+            key = (own.content_token, other.content_token)
+            hit = self._reductions.get(key)
+            if hit is not None:
+                self._reductions.move_to_end(key)
+                inc("engine.cache.reduction.hit")
+                emit("engine.reduce", diagnostic=True, cache="hit")
+                return hit
         inc("engine.cache.reduction.miss")
         emit("engine.reduce", diagnostic=True, cache="miss")
         common = own.common_channels(other)
         if common.size < 2:
             raise ValueError("trajectories share fewer than two channels")
-        own_c = own.select_channels(common)
-        other_c = other.select_channels(common)
+        # Same scan plan on both sides (the common case, every streaming
+        # update): the restriction is the identity — skip the copies.
+        own_c = (
+            own
+            if np.array_equal(common, own.channel_ids)
+            else own.select_channels(common)
+        )
+        other_c = (
+            other
+            if np.array_equal(common, other.channel_ids)
+            else other.select_channels(common)
+        )
         k = min(self.config.window_channels, common.size)
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", category=RuntimeWarning)
@@ -305,7 +331,16 @@ class RupsEngine:
         chosen = common[top]
         own_r = own_c.select_channels(chosen)
         other_r = other_c.select_channels(chosen)
-        if self._reduction_cache_size > 0:
+        seed_key = chosen.tobytes()
+        seed = self._reduction_seeds.get(seed_key)
+        if seed is not None:
+            own_r = seed_window_features(seed[0], own_r)
+            other_r = seed_window_features(seed[1], other_r)
+        self._reduction_seeds[seed_key] = (own_r, other_r)
+        self._reduction_seeds.move_to_end(seed_key)
+        while len(self._reduction_seeds) > max(self._reduction_cache_size, 1):
+            self._reduction_seeds.popitem(last=False)
+        if use_cache and self._reduction_cache_size > 0:
             self._reductions[key] = (own_r, other_r)
             while len(self._reductions) > self._reduction_cache_size:
                 self._reductions.popitem(last=False)
@@ -374,6 +409,42 @@ class RupsEngine:
                     self._finish_estimate(own_r, other_r, syn_points, agg)
                 )
         return estimates
+
+    def estimate_relative_distance_anchored(
+        self,
+        own: GsmTrajectory,
+        other: GsmTrajectory,
+        anchor: SynPoint,
+        guard_m: float = 50.0,
+        n_syn_points: int | None = None,
+        aggregation: str | None = None,
+        query_id: str | None = None,
+    ) -> RupsEstimate:
+        """Streaming fast path: SYN sweeps anchored by the last lock.
+
+        Identical to :meth:`estimate_relative_distance` except the
+        double-sided search only scans each trajectory's suffix at or
+        after ``anchor``'s odometer readings (minus ``guard_m``) — see
+        :func:`~repro.core.syn.find_syn_points_anchored`.  An unresolved
+        result here is *not* proof the vehicles diverged: the caller
+        must retry with the full search before dropping a lock (the
+        tracker's fallback ladder does).
+        """
+        agg = self.config.aggregation if aggregation is None else aggregation
+        with _query_scope(query_id):
+            with trace("engine.reduce"):
+                own_r, other_r = self._reduce_channels(
+                    own, other, use_cache=False
+                )
+            syn_points = find_syn_points_anchored(
+                own_r,
+                other_r,
+                anchor,
+                self.config,
+                n_points=n_syn_points,
+                guard_m=guard_m,
+            )
+            return self._finish_estimate(own_r, other_r, syn_points, agg)
 
     def _finish_estimate(
         self,

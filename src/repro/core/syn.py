@@ -37,7 +37,7 @@ from repro.core.correlation import (
     fused_sweep,
     fused_sweep_many,
     get_kernel,
-    trajectory_correlation,
+    trajectory_correlation_rows,
 )
 from repro.core.trajectory import GsmTrajectory
 from repro.obs.events import emit, use_query_id
@@ -48,6 +48,7 @@ __all__ = [
     "SynPoint",
     "seek_syn_point",
     "find_syn_points",
+    "find_syn_points_anchored",
     "find_syn_points_batch",
     "heading_agreement_rad",
     "heading_agreement_many",
@@ -200,15 +201,26 @@ def _rescore_winners(
     scores identically from either side) where the batched matmuls'
     accumulated rounding would perturb them.
     """
-    for j, i in enumerate(valid):
-        b = int(best[j])
-        q = query.power_dbm[
-            :, query_end_marks[i] - window_marks + 1 : query_end_marks[i] + 1
+    if not valid:
+        return
+    qs = np.stack(
+        [
+            query.power_dbm[
+                :,
+                query_end_marks[i] - window_marks + 1 : query_end_marks[i] + 1,
+            ]
+            for i in valid
         ]
-        exact = trajectory_correlation(
-            q, target.power_dbm[:, b : b + window_marks]
-        )
-        results[i] = (float(exact), b + window_marks - 1)
+    )
+    ts = np.stack(
+        [
+            target.power_dbm[:, int(b) : int(b) + window_marks]
+            for b in best
+        ]
+    )
+    exact = trajectory_correlation_rows(qs, ts)
+    for j, i in enumerate(valid):
+        results[i] = (float(exact[j]), int(best[j]) + window_marks - 1)
 
 
 def _match_windows(
@@ -376,6 +388,140 @@ def _match_windows_many(
                     query, ends, target, window_marks, valid, best, results[idx]
                 )
     return results
+
+
+def _match_windows_suffix(
+    query: GsmTrajectory,
+    query_end_marks: list[int],
+    target: GsmTrajectory,
+    window_marks: int,
+    min_target_pos: int,
+) -> list[tuple[float, int] | None]:
+    """:func:`_match_windows`, target scan restricted to a suffix.
+
+    Only target window start positions ``>= min_target_pos`` are scored
+    (clamped into range, so at least one position is always scanned) —
+    the streaming hot path's anchored sweep: after a SYN lock the peer
+    cannot have jumped backwards along its own odometer, so re-scanning
+    window positions long before the last lock is wasted work.  Always
+    uses the batched kernel: the suffix matmul over the memoised feature
+    rows *is* the O(window) step, and winners are re-scored exactly with
+    absolute positions, so a suffix that happens to contain the full
+    sweep's winner returns bitwise the same match.
+    """
+    results: list[tuple[float, int] | None] = [None] * len(query_end_marks)
+    if target.n_marks < window_marks:
+        return results
+    valid = [
+        i for i, end in enumerate(query_end_marks)
+        if end - window_marks + 1 >= 0 and end < query.n_marks
+    ]
+    if not valid:
+        return results
+    n_pos = target.n_marks - window_marks + 1
+    p0 = min(max(int(min_target_pos), 0), n_pos - 1)
+    rows = np.array(
+        [query_end_marks[i] - window_marks + 1 for i in valid], dtype=np.intp
+    )
+    scores = correlation_matrix(
+        query.window_features(window_marks)[rows],
+        target.window_features(window_marks)[p0:],
+    )
+    best = np.argmax(scores, axis=1) + p0
+    _rescore_winners(
+        query, query_end_marks, target, window_marks, valid, best, results
+    )
+    return results
+
+
+def find_syn_points_anchored(
+    own: GsmTrajectory,
+    other: GsmTrajectory,
+    anchor: "SynPoint",
+    config: RupsConfig | None = None,
+    n_points: int | None = None,
+    guard_m: float = 50.0,
+) -> list[SynPoint]:
+    """:func:`find_syn_points` with both sweeps anchored by a prior lock.
+
+    The streaming fast path (§V-B): with ``anchor`` the most recent
+    accepted SYN point, each query side's sweep scans only target window
+    positions whose end mark lies at or after the anchored odometer
+    reading minus ``guard_m`` — odometer distances never decrease, so
+    the newly shared segment can only sit there.  Cost per update is a
+    matmul over the guard band plus the marks travelled since the lock,
+    not the whole context.  Acceptance thresholds, counters, and
+    provenance match the full search; events carry ``anchored=True``.
+
+    The restricted argmax can miss a genuinely better peak outside the
+    band (e.g. after severe odometry slip), which surfaces as an
+    unresolved estimate — callers (the tracker) must fall back to the
+    full double-sided search, which is exactly the
+    :class:`~repro.core.tracking.RupsTracker` fallback ladder.
+    """
+    config = config or RupsConfig()
+    n_points = config.n_syn_points if n_points is None else int(n_points)
+    if n_points < 1:
+        raise ValueError("n_points must be >= 1")
+    if guard_m < 0:
+        raise ValueError("guard_m must be non-negative")
+    _check_comparable(own, other)
+    inc("syn.searches")
+    inc("syn.searches.anchored")
+    eff = _effective_window(own, other, config)
+    if eff is None:
+        inc("syn.no_window")
+        _emit_no_window(own, other, config)
+        return []
+    window_marks, threshold = eff
+    stride_marks = max(int(round(config.syn_stride_m / config.spacing_m)), 1)
+    offsets = [k * stride_marks for k in range(n_points)]
+    inc("syn.windows", len(offsets))
+    own_ends = [own.n_marks - 1 - off for off in offsets]
+    other_ends = [other.n_marks - 1 - off for off in offsets]
+
+    def floor_pos(target: GsmTrajectory, anchor_distance_m: float) -> int:
+        end_mark = int(
+            np.floor(
+                (anchor_distance_m - guard_m - target.geo.start_distance_m)
+                / target.spacing_m
+            )
+        )
+        return end_mark - (window_marks - 1)
+
+    with trace("syn.search"):
+        own_matches = _match_windows_suffix(
+            own, own_ends, other, window_marks,
+            floor_pos(other, anchor.other_distance_m),
+        )
+        other_matches = _match_windows_suffix(
+            other, other_ends, own, window_marks,
+            floor_pos(own, anchor.own_distance_m),
+        )
+        candidates = _assemble_candidates(
+            own, other, own_ends, other_ends,
+            own_matches, other_matches, window_marks,
+        )
+    accepted = [
+        syn for syn in candidates if syn is not None and syn.score >= threshold
+    ]
+    scored = sum(1 for syn in candidates if syn is not None)
+    emit(
+        "syn.search",
+        windows=len(offsets),
+        window_marks=window_marks,
+        threshold=threshold,
+        shrunk=window_marks < config.window_marks,
+        peaks=[None if syn is None else syn.score for syn in candidates],
+        accepted=len(accepted),
+        rejected_threshold=scored - len(accepted),
+        anchored=True,
+    )
+    inc("syn.rejected.threshold", scored - len(accepted))
+    inc("syn.accepted", len(accepted))
+    if len(accepted) > 1:
+        inc("syn.multi_syn_yields")
+    return accepted
 
 
 def _syn_from_match(

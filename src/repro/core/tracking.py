@@ -16,12 +16,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.binding import bind_scan
 from repro.core.config import RupsConfig
 from repro.core.engine import RupsEngine, RupsEstimate
-from repro.core.trajectory import GsmTrajectory
+from repro.core.syn import SynPoint
+from repro.core.trajectory import GsmTrajectory, TrajectoryBuilder
+from repro.gsm.scanner import ScanStream, concat_streams
 from repro.obs.events import emit
 from repro.obs.logconfig import get_logger
 from repro.obs.metrics import inc
+from repro.obs.tracing import trace
+from repro.sensors.deadreckoning import EstimatedTrack
 
 __all__ = ["DistanceFilter", "RupsTracker", "TrackerUpdate"]
 
@@ -74,6 +79,24 @@ class RupsTracker:
         before the tracker refuses to keep its lock: beyond the budget
         the SYN lock is dropped and updates report unlocked, degraded
         estimates until a fresh context arrives.
+    anchored_search:
+        Whether :meth:`stream_update` may anchor the locked SYN sweep on
+        the last accepted SYN point, scanning only the un-searched
+        suffix of each trajectory (falling back to the full double-sided
+        search whenever the anchored sweep comes up empty).  The batch
+        :meth:`update` path never anchors, preserving its historical
+        results.
+    anchor_guard_m:
+        Backwards guard band of the anchored sweep [m]: window positions
+        up to this far before the last lock are still scanned, absorbing
+        mark-scale lock jitter and odometry drift.
+    stream_rebuild:
+        Diagnostic mode for :meth:`stream_update`: instead of folding
+        chunks into a :class:`~repro.core.trajectory.TrajectoryBuilder`,
+        re-bind the concatenation of every chunk so far on each update
+        (the pre-streaming batch shape).  Decision rules are identical,
+        so the two modes must produce bit-identical update sequences —
+        the differential suite's lever, and the benchmark's baseline.
     """
 
     def __init__(
@@ -82,6 +105,9 @@ class RupsTracker:
         locked_context_m: float = 200.0,
         max_locked_failures: int = 2,
         staleness_budget_s: float = 2.0,
+        anchored_search: bool = True,
+        anchor_guard_m: float = 50.0,
+        stream_rebuild: bool = False,
     ) -> None:
         self.config = config or RupsConfig()
         if locked_context_m < self.config.window_length_m:
@@ -92,15 +118,25 @@ class RupsTracker:
             raise ValueError("max_locked_failures must be >= 1")
         if staleness_budget_s <= 0:
             raise ValueError("staleness_budget_s must be positive")
+        if anchor_guard_m < 0:
+            raise ValueError("anchor_guard_m must be non-negative")
         self.locked_context_m = float(locked_context_m)
         self.max_locked_failures = int(max_locked_failures)
         self.staleness_budget_s = float(staleness_budget_s)
+        self.anchored_search = bool(anchored_search)
+        self.anchor_guard_m = float(anchor_guard_m)
+        self.stream_rebuild = bool(stream_rebuild)
         self._engine = RupsEngine(self.config)
         self._locked = False
         self._failures = 0
         self._history: list[TrackerUpdate] = []
-        self._trim_cache: dict[str, GsmTrajectory] = {}
+        self._trim_cache: dict[
+            str, tuple[GsmTrajectory, float, GsmTrajectory]
+        ] = {}
         self._last_context: GsmTrajectory | None = None
+        self._anchor: SynPoint | None = None
+        self._builder: TrajectoryBuilder | None = None
+        self._chunks: list[ScanStream] = []
 
     @property
     def locked(self) -> bool:
@@ -120,12 +156,17 @@ class RupsTracker:
         return None
 
     def reset(self) -> None:
-        """Drop the lock and history (new neighbour)."""
+        """Drop the lock and history (new neighbour).
+
+        The own-vehicle streaming state (builder / accumulated chunks)
+        survives: it describes this vehicle's drive, not the neighbour.
+        """
         self._locked = False
         self._failures = 0
         self._history.clear()
         self._trim_cache.clear()
         self._last_context = None
+        self._anchor = None
 
     def update(
         self,
@@ -146,6 +187,68 @@ class RupsTracker:
         exceeds ``staleness_budget_s`` the lock is dropped until a fresh
         context arrives.
         """
+        return self._run_update(own, other, context_age_s, anchored=False)
+
+    def stream_update(
+        self,
+        chunk: ScanStream,
+        track: EstimatedTrack,
+        other: GsmTrajectory | None = None,
+        at_time_s: float | None = None,
+        context_age_s: float = 0.0,
+    ) -> TrackerUpdate:
+        """One tracking period fed from the own vehicle's raw stream.
+
+        The streaming hot path: instead of receiving a pre-built own
+        trajectory, the tracker folds the newly arrived ``chunk`` (all
+        measurements since the previous call; sorted, non-overlapping,
+        within ``track``'s time span) into its resident
+        :class:`~repro.core.trajectory.TrajectoryBuilder` and serves the
+        bounded own context out of it in O(chunk + changed window) — no
+        re-binning of the drive, no cold feature rebuild.  ``track`` is
+        the own dead-reckoned track as known now and must extend the one
+        passed previously.  The search then runs the usual locked /
+        full ladder, with one extra rung in front when
+        ``anchored_search`` is on: a suffix sweep anchored on the last
+        accepted SYN point, falling back to the full double-sided search
+        over the (trimmed) context when it comes up empty.
+
+        Raises ``ValueError`` while the drive is still too short for a
+        trajectory, exactly as the batch build would.
+        """
+        inc("tracker.stream_updates")
+        ctx = self.config.context_length_m
+        if ctx is None:
+            raise ValueError("stream_update requires a bounded context_length_m")
+        if self.stream_rebuild:
+            self._chunks.append(chunk)
+            with trace("tracker.stream_bind"):
+                own = bind_scan(
+                    concat_streams(self._chunks),
+                    track,
+                    at_time_s=at_time_s,
+                    context_length_m=ctx,
+                    spacing_m=self.config.spacing_m,
+                )
+        else:
+            if self._builder is None:
+                self._builder = TrajectoryBuilder(
+                    spacing_m=self.config.spacing_m, context_length_m=ctx
+                )
+            with trace("tracker.stream_bind"):
+                self._builder.append(chunk, track)
+                own = self._builder.trajectory(at_time_s=at_time_s)
+        return self._run_update(
+            own, other, context_age_s, anchored=self.anchored_search
+        )
+
+    def _run_update(
+        self,
+        own: GsmTrajectory,
+        other: GsmTrajectory | None,
+        context_age_s: float,
+        anchored: bool,
+    ) -> TrackerUpdate:
         if other is not None:
             self._last_context = other
         context = other if other is not None else self._last_context
@@ -188,6 +291,7 @@ class RupsTracker:
             self._locked = False
             self._failures = 0
             self._trim_cache.clear()
+            self._anchor = None
             drop_cause = "staleness"
             inc("tracker.lock_dropped.staleness")
             _log.debug(
@@ -203,7 +307,24 @@ class RupsTracker:
             other_q = self._trim(context, "other")
         else:
             own_q, other_q = own, context
-        estimate = self._engine.estimate_relative_distance(own_q, other_q)
+        use_anchor = anchored and self._locked and self._anchor is not None
+        if use_anchor:
+            # Fastest rung of the ladder: scan only the suffix at or
+            # after the last lock.  Empty-handed is not conclusive (the
+            # true peak may sit outside the guard band), so retry the
+            # full double-sided search over the trimmed context before
+            # charging a locked failure.
+            inc("tracker.updates.anchored")
+            estimate = self._engine.estimate_relative_distance_anchored(
+                own_q, other_q, self._anchor, guard_m=self.anchor_guard_m
+            )
+            if not estimate.resolved:
+                inc("tracker.anchor_retries")
+                estimate = self._engine.estimate_relative_distance(
+                    own_q, other_q
+                )
+        else:
+            estimate = self._engine.estimate_relative_distance(own_q, other_q)
 
         if estimate.resolved:
             self._locked = True
@@ -228,6 +349,12 @@ class RupsTracker:
             self._failures = 0
             self._trim_cache.clear()
             drop_cause = "staleness"
+        if estimate.resolved:
+            # Most recent accepted SYN point anchors the next streaming
+            # sweep; on lock loss the anchor dies with the lock.
+            self._anchor = estimate.syn_points[0]
+        elif not self._locked:
+            self._anchor = None
         if self._locked and not was_locked:
             inc("tracker.lock_acquired")
         if degraded:
@@ -242,6 +369,7 @@ class RupsTracker:
             context_age_s=float(context_age_s),
             drop_cause=drop_cause,
             cause=estimate.cause,
+            anchored=use_anchor,
         )
         update = TrackerUpdate(
             estimate=estimate,
@@ -256,22 +384,43 @@ class RupsTracker:
     def _trim(self, trajectory: GsmTrajectory, role: str) -> GsmTrajectory:
         if trajectory.length_m <= self.locked_context_m:
             return trajectory
-        tail = trajectory.tail(self.locked_context_m)
-        # If the trimmed window is unchanged since the previous update
+        # The cache is keyed on (content token, trim window): when the
+        # source trajectory did not change since the previous update
         # (vehicle stationary / same broadcast re-queried), hand back the
-        # previous object: its memoised SYN-kernel window features — and
-        # the engine's channel reduction keyed on object identity — stay
-        # warm, so the locked-mode update skips all feature rebuilds.
+        # previous object *without* re-slicing — its memoised SYN-kernel
+        # window features, and every engine cache keyed on its token or
+        # identity, stay warm.  Tokens are only *computed* when the reuse
+        # is plausible, though: the same object is a hit outright, and a
+        # source whose shape or end timestamp moved (every streaming
+        # tick) is a certain miss — hashing two full contexts per update
+        # just to confirm that would dominate the trim itself.
         prev = self._trim_cache.get(role)
-        if (
-            prev is not None
-            and prev.n_marks == tail.n_marks
-            and prev.geo.start_distance_m == tail.geo.start_distance_m
-            and np.array_equal(prev.channel_ids, tail.channel_ids)
-            and np.array_equal(prev.power_dbm, tail.power_dbm)
-        ):
-            return prev
-        self._trim_cache[role] = tail
+        if prev is not None:
+            src, window, tail = prev
+            if window == self.locked_context_m:
+                if src is trajectory:
+                    return tail
+                if (
+                    trajectory.n_marks == src.n_marks
+                    and trajectory.geo.start_distance_m
+                    == src.geo.start_distance_m
+                    and float(trajectory.geo.timestamps_s[-1])
+                    == float(src.geo.timestamps_s[-1])
+                    and trajectory.content_token == src.content_token
+                ):
+                    return tail
+        tail = trajectory.tail(self.locked_context_m)
+        # tail() slices the power matrix, and window features are
+        # per-window pure, so the parent's memoised feature rows are
+        # exactly the tail's — share the suffix view instead of letting
+        # the tail recompute features from cold.
+        base = trajectory.n_marks - tail.n_marks
+        parent_features: dict[int, np.ndarray] = trajectory._window_features  # type: ignore[attr-defined]
+        tail_features: dict[int, np.ndarray] = tail._window_features  # type: ignore[attr-defined]
+        for w, feats in parent_features.items():
+            if tail.n_marks - w + 1 > 0:
+                tail_features[w] = feats[base:]
+        self._trim_cache[role] = (trajectory, self.locked_context_m, tail)
         return tail
 
 

@@ -22,7 +22,12 @@ import numpy as np
 
 from repro.core.correlation import SlidingWindowStats, normalized_window_features
 
-__all__ = ["GeoTrajectory", "GsmTrajectory"]
+__all__ = [
+    "GeoTrajectory",
+    "GsmTrajectory",
+    "TrajectoryBuilder",
+    "seed_window_features",
+]
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,11 @@ class GeoTrajectory:
             raise ValueError("spacing_m must be positive")
         object.__setattr__(self, "timestamps_s", ts)
         object.__setattr__(self, "headings_rad", hd)
+        # Lazy memo of the per-mark odometer readings: the tracker loop
+        # and SYN assembly read distances_m on every update, and the
+        # arange was rebuilt on each access.
+        object.__setattr__(self, "_distances_m", None)
+        object.__setattr__(self, "_end_distance_m", None)
 
     @property
     def n_marks(self) -> int:
@@ -75,13 +85,21 @@ class GeoTrajectory:
 
     @property
     def distances_m(self) -> np.ndarray:
-        """Odometer reading at every mark."""
-        return self.start_distance_m + self.spacing_m * np.arange(self.n_marks)
+        """Odometer reading at every mark (memoised; treat as read-only)."""
+        d = self._distances_m  # type: ignore[attr-defined]
+        if d is None:
+            d = self.start_distance_m + self.spacing_m * np.arange(self.n_marks)
+            object.__setattr__(self, "_distances_m", d)
+        return d
 
     @property
     def end_distance_m(self) -> float:
-        """Odometer reading of the most recent mark."""
-        return self.start_distance_m + self.spacing_m * (self.n_marks - 1)
+        """Odometer reading of the most recent mark (memoised)."""
+        d = self._end_distance_m  # type: ignore[attr-defined]
+        if d is None:
+            d = self.start_distance_m + self.spacing_m * (self.n_marks - 1)
+            object.__setattr__(self, "_end_distance_m", d)
+        return d
 
     @property
     def end_time_s(self) -> float:
@@ -295,3 +313,233 @@ class GsmTrajectory:
             stats = SlidingWindowStats(self.power_dbm, key)
             cache[key] = stats
         return stats
+
+
+class TrajectoryBuilder:
+    """Incrementally maintained GSM-aware trajectory for one vehicle.
+
+    The streaming counterpart of :func:`~repro.core.binding.bind_scan`:
+    instead of re-binning the whole drive on every tracking period, the
+    builder folds each new scan chunk into a private, appendable
+    :class:`~repro.core.binding.DriveBindingIndex`
+    (:meth:`~repro.core.binding.DriveBindingIndex.extend`) and serves
+    bounded context windows out of it in O(window) per query.  Served
+    trajectories are **bit-identical** to a cold
+    :func:`~repro.core.binding.bind_scan` over the concatenated stream —
+    the contract the prefix-equivalence suite in
+    ``tests/test_streaming_prefix.py`` enforces.
+
+    Beyond the power matrix, the builder keeps the served trajectories'
+    SYN-kernel caches warm across updates:
+
+    * when the requested window's content did not change at all, the
+      *previous object* is returned, so every memo on it (window
+      features, sliding stats, content token) and every identity- or
+      token-keyed engine cache stays hot;
+    * when it did change, the window-feature rows of unchanged columns
+      are copied from the previous build and only windows overlapping
+      changed columns are recomputed —
+      :func:`~repro.core.correlation.normalized_window_features` is
+      per-window pure, so the copied rows are bitwise what a cold build
+      would produce.  (Sliding statistics are *not* per-window pure —
+      their prefix sums run over the whole matrix — so they are left to
+      rebuild lazily.)
+
+    Each context length requested through :meth:`trajectory` keeps its
+    own seeding chain, so a tracker alternating full-context and
+    locked-context builds warms both.
+
+    Parameters
+    ----------
+    spacing_m:
+        Mark spacing (paper: 1 m).
+    context_length_m:
+        Default served context length; must be a whole multiple of the
+        spacing (the appendable index cannot serve off-grid windows).
+    interpolate:
+        Fill missing channels per §IV-C on every serve.
+    """
+
+    def __init__(
+        self,
+        spacing_m: float = 1.0,
+        context_length_m: float = 1000.0,
+        interpolate: bool = True,
+    ) -> None:
+        if spacing_m <= 0:
+            raise ValueError("spacing_m must be positive")
+        if (
+            abs(round(context_length_m / spacing_m) * spacing_m - context_length_m)
+            > 1e-9
+        ):
+            raise ValueError(
+                "context_length_m must be a whole multiple of spacing_m"
+            )
+        self.spacing_m = float(spacing_m)
+        self.context_length_m = float(context_length_m)
+        self.interpolate = bool(interpolate)
+        self._index = None  # DriveBindingIndex, created on first append
+        self._hash = hashlib.sha256()
+        self._n_measurements = 0
+        # Per-context-length seeding chains: length key -> last served
+        # (interpolated) window and its raw (uninterpolated) twin, the
+        # seed for the next serve's incremental gap fill.
+        self._last: dict[float | None, GsmTrajectory] = {}
+        self._last_raw: dict[float | None, GsmTrajectory] = {}
+
+    @property
+    def n_measurements(self) -> int:
+        """Total measurements ingested so far."""
+        return self._n_measurements
+
+    @property
+    def content_token(self) -> str:
+        """Hex digest of the ingested stream, updated in O(appended).
+
+        A chained SHA-256 over every appended chunk's bytes: two
+        builders fed the same measurements — however raggedly chunked —
+        share a token.  This identifies the *stream prefix* the builder
+        has seen; it is intentionally not the served trajectory's
+        :attr:`GsmTrajectory.content_token` (a sliding window cannot
+        have a prefix-chained digest — evicted marks would have to be
+        un-hashed).
+        """
+        return self._hash.copy().hexdigest()
+
+    def append(self, chunk, track) -> None:
+        """Fold a new scan chunk into the builder.
+
+        Parameters
+        ----------
+        chunk:
+            :class:`~repro.gsm.scanner.ScanStream` holding only
+            measurements newer than everything appended before (ragged
+            chunk sizes are fine, empty chunks too).
+        track:
+            The vehicle's dead-reckoned track *as known now*; each call
+            must pass a track that extends the previous one (passing the
+            same full-drive track every time satisfies this trivially).
+        """
+        # Hash one fixed-width record per measurement so the digest
+        # depends only on the measurement sequence, not on how it was
+        # cut into chunks (per-array hashing would interleave bytes
+        # differently for different chunkings).
+        records = np.empty((len(chunk), 3), dtype=np.float64)
+        records[:, 0] = chunk.times_s
+        records[:, 1] = chunk.channel_indices
+        records[:, 2] = chunk.rssi_dbm
+        self._hash.update(records.tobytes())
+        self._n_measurements += len(chunk)
+        if self._index is None:
+            from repro.core.binding import DriveBindingIndex
+
+            # Private (never shared via for_drive): extend() mutates it.
+            self._index = DriveBindingIndex(
+                chunk, track, spacing_m=self.spacing_m
+            )
+        else:
+            self._index.extend(chunk, track)
+
+    def trajectory(
+        self,
+        at_time_s: float | None = None,
+        length_m: float | None = None,
+    ) -> GsmTrajectory:
+        """The bounded GSM-aware trajectory as known at ``at_time_s``.
+
+        ``length_m`` overrides the default context length (it must be a
+        whole multiple of the spacing).  Raises ``ValueError`` while the
+        drive is still too short for a trajectory, exactly as
+        :func:`~repro.core.binding.bind_scan` would.
+        """
+        if self._index is None:
+            raise ValueError(
+                "not enough travelled distance for a trajectory "
+                "(no measurements appended yet)"
+            )
+        length = self.context_length_m if length_m is None else float(length_m)
+        key = None if length_m is None else length
+        new = self._index.bind(
+            at_time_s=at_time_s,
+            context_length_m=length,
+            interpolate=False,
+        )
+        if self.interpolate:
+            from repro.core.binding import seed_interpolate_missing
+
+            filled = seed_interpolate_missing(
+                self._last_raw.get(key), self._last.get(key), new
+            )
+            self._last_raw[key] = new
+            new = filled
+        new = seed_window_features(self._last.get(key), new)
+        self._last[key] = new
+        return new
+
+
+def seed_window_features(
+    prev: GsmTrajectory | None, new: GsmTrajectory
+) -> GsmTrajectory:
+    """Carry window-feature memos from ``prev`` onto ``new`` bitwise-safely.
+
+    The streaming seeding primitive, used by :class:`TrajectoryBuilder`
+    for served windows and by the engine's channel reduction for the
+    reduced pairs a tracking session rebuilds every period.  Finds the
+    first changed column by diffing the overlap (robust to the
+    provisional last mark being refined and to interpolation reaching
+    back into earlier columns), then per cached window size copies the
+    feature rows of windows lying entirely in unchanged columns and
+    recomputes only the rest —
+    :func:`~repro.core.correlation.normalized_window_features` is
+    per-window pure, so the copied rows are exactly what a cold build
+    would produce.  Returns ``prev`` itself when nothing changed at all,
+    ``new`` (possibly with seeded memos) otherwise; never seeds sliding
+    statistics (their prefix sums span the whole matrix).
+    """
+    if prev is None or prev.geo.spacing_m != new.geo.spacing_m:
+        return new
+    if not np.array_equal(prev.channel_ids, new.channel_ids):
+        return new
+    off_f = (
+        new.geo.start_distance_m - prev.geo.start_distance_m
+    ) / new.spacing_m
+    off = int(round(off_f))
+    if off < 0 or abs(off - off_f) > 1e-9:
+        return new
+    n_overlap = min(prev.n_marks - off, new.n_marks)
+    if n_overlap <= 0:
+        return new
+    a = prev.power_dbm[:, off : off + n_overlap]
+    b = new.power_dbm[:, :n_overlap]
+    # Bit-level equality: float64 and int64 share an itemsize, so the
+    # view is free, and one vectorised compare replaces the isnan dance.
+    # Identical binding pipelines produce identical bitpatterns, so
+    # equal-but-differently-encoded values (-0.0/+0.0, NaN payloads)
+    # only ever flag a column as changed — conservative, never wrong.
+    same_cols = (a.view(np.int64) == b.view(np.int64)).all(axis=0)
+    j0 = n_overlap if same_cols.all() else int(np.argmin(same_cols))
+    if (
+        off == 0
+        and j0 == n_overlap
+        and new.n_marks == prev.n_marks
+        and np.array_equal(new.geo.timestamps_s, prev.geo.timestamps_s)
+        and np.array_equal(new.geo.headings_rad, prev.geo.headings_rad)
+    ):
+        return prev
+    prev_features: dict[int, np.ndarray] = prev._window_features  # type: ignore[attr-defined]
+    new_features: dict[int, np.ndarray] = new._window_features  # type: ignore[attr-defined]
+    for w, feats in prev_features.items():
+        n_pos = new.n_marks - w + 1
+        if n_pos <= 0:
+            continue
+        # Rows 0..r0-1 cover only columns < j0 (unchanged), and map
+        # to prev rows off..off+r0-1.
+        r0 = max(0, min(j0, new.n_marks) - w + 1)
+        if r0 <= 0 or off + r0 > feats.shape[0]:
+            continue
+        out = np.empty((n_pos, feats.shape[1]), dtype=feats.dtype)
+        out[:r0] = feats[off : off + r0]
+        if r0 < n_pos:
+            out[r0:] = normalized_window_features(new.power_dbm[:, r0:], w)
+        new_features[w] = out
+    return new

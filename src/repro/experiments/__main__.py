@@ -54,6 +54,7 @@ _SEEDED_IDS = {
     "t-respond",
     "t-campaign",
     "t-loss",
+    "t-stream",
 }
 
 

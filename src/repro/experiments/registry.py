@@ -23,6 +23,7 @@ from repro.experiments.evaluation import (
 )
 from repro.experiments.campaign import run_campaign
 from repro.experiments.lossy import loss_sweep
+from repro.experiments.stream import stream_replay
 from repro.experiments.timing import (
     compute_cost_sweep,
     kernel_comparison_sweep,
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, Callable] = {
     "t-respond": response_time_table,
     "t-campaign": run_campaign,
     "t-loss": loss_sweep,
+    "t-stream": stream_replay,
 }
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "ScanSchedule",
     "ScanStream",
     "build_schedule",
+    "concat_streams",
     "scan_drive",
 ]
 
@@ -238,6 +239,46 @@ class ScanStream:
                 self.times_s, self.channel_indices, self.rssi_dbm, self.radio_ids
             )
         ]
+
+    def slice(self, start: int, stop: int) -> "ScanStream":
+        """A contiguous sub-stream (views, not copies) of measurements.
+
+        The streaming pipeline feeds a drive to
+        :class:`~repro.core.trajectory.TrajectoryBuilder` chunk by
+        chunk; slicing keeps the chunks zero-copy.
+        """
+        return ScanStream(
+            times_s=self.times_s[start:stop],
+            channel_indices=self.channel_indices[start:stop],
+            radio_ids=self.radio_ids[start:stop],
+            s_true_m=self.s_true_m[start:stop],
+            rssi_dbm=self.rssi_dbm[start:stop],
+            plan=self.plan,
+        )
+
+
+def concat_streams(streams: "list[ScanStream] | tuple[ScanStream, ...]") -> ScanStream:
+    """Concatenate scan chunks back into one stream (plan must match).
+
+    The inverse of feeding a drive chunk-wise: the rebuild-per-update
+    baseline in the streaming benchmark re-binds the concatenation on
+    every event, which is exactly what the incremental path must stay
+    bit-identical to.
+    """
+    if not streams:
+        raise ValueError("need at least one stream to concatenate")
+    plan = streams[0].plan
+    for s in streams[1:]:
+        if s.plan is not plan and s.plan.n_channels != plan.n_channels:
+            raise ValueError("streams use different channel plans")
+    return ScanStream(
+        times_s=np.concatenate([s.times_s for s in streams]),
+        channel_indices=np.concatenate([s.channel_indices for s in streams]),
+        radio_ids=np.concatenate([s.radio_ids for s in streams]),
+        s_true_m=np.concatenate([s.s_true_m for s in streams]),
+        rssi_dbm=np.concatenate([s.rssi_dbm for s in streams]),
+        plan=plan,
+    )
 
 
 def scan_drive(

@@ -38,10 +38,17 @@ __all__ = [
     "use_registry",
 ]
 
-#: Default latency buckets [s]: log-spaced from 10 us to 30 s, bracketing
+#: Default latency buckets [s]: log-spaced from 1 us to 30 s, bracketing
 #: every stage the paper times (1.2 ms SYN search .. 0.52 s exchange).
+#: The sub-millisecond decades carry extra edges so streaming update
+#: latencies (t-stream replays sit in the 0.1-5 ms range) resolve p99
+#: instead of collapsing into one bucket.
 DEFAULT_TIME_BUCKETS_S: tuple[float, ...] = (
-    1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0,
+    1e-6, 3e-6,
+    1e-5, 3e-5,
+    1e-4, 2e-4, 3e-4, 5e-4,
+    1e-3, 2e-3, 3e-3, 5e-3,
+    1e-2, 3e-2, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0,
 )
 
 

@@ -65,6 +65,18 @@ class EstimatedTrack:
         cos_i = np.interp(t, self.times_s, np.cos(self.heading_rad))
         return np.arctan2(sin_i, cos_i)
 
+    def until(self, t: float) -> "EstimatedTrack":
+        """The track as known at instant ``t`` (samples with time <= t).
+
+        The streaming replay loops (``t-stream``, the bench, the README
+        quickstart) truncate both vehicles' dead-reckoned tracks to the
+        current tick with this before appending scan chunks.
+        """
+        m = int(np.searchsorted(self.times_s, float(t), side="right"))
+        return EstimatedTrack(
+            self.times_s[:m], self.distance_m[:m], self.heading_rad[:m]
+        )
+
     def time_at_distance(self, distance: np.ndarray | float) -> np.ndarray | float:
         """First grid time at which the odometer reached ``distance``."""
         d_query = np.asarray(distance, dtype=float)

@@ -1,0 +1,307 @@
+"""Prefix-equivalence differential suite for the streaming hot path.
+
+The streaming pipeline's correctness contract: after any sequence of
+ragged chunk appends, every incrementally maintained structure is
+**bitwise** what a cold batch build over the same prefix produces —
+
+* :meth:`DriveBindingIndex.extend` vs a fresh :func:`bind_scan`;
+* :class:`TrajectoryBuilder` served trajectories (power, geo, window
+  features, content token) vs cold builds, across ragged chunk
+  boundaries and truncated tracks;
+* the chained builder stream token vs any other chunking of the same
+  measurements;
+* :meth:`RupsTracker.stream_update` vs the rebuild-per-update baseline
+  (``stream_rebuild=True``) and, with anchoring off, vs the historical
+  batch :meth:`RupsTracker.update` path;
+* the trim cache and ``GeoTrajectory`` distance memos that ride along.
+
+Everything asserts exact equality — no tolerances — in the house style
+of ``tests/test_core_binding_cache.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RupsConfig
+from repro.core.binding import DriveBindingIndex, bind_scan
+from repro.core.tracking import RupsTracker
+from repro.core.trajectory import GeoTrajectory, TrajectoryBuilder
+from repro.sensors.deadreckoning import EstimatedTrack
+
+
+def _truncate(track: EstimatedTrack, t: float) -> EstimatedTrack:
+    m = int(np.searchsorted(track.times_s, t, side="right"))
+    return EstimatedTrack(
+        track.times_s[:m], track.distance_m[:m], track.heading_rad[:m]
+    )
+
+
+def _chunk_bounds(scan, track_now) -> int:
+    """Index of the first measurement beyond the track's current end."""
+    return int(np.searchsorted(scan.times_s, float(track_now.times_s[-1]), side="right"))
+
+
+#: Ragged cut instants [s] — tiny, large, and back-to-back chunks, some
+#: of which advance the mark grid by zero marks and some by hundreds.
+RAGGED_EDGES = (13.7, 14.2, 15.0, 33.0, 61.5, 62.0, 97.3, 150.0, 240.0)
+
+
+def _assert_trajectories_identical(a, b) -> None:
+    assert a.n_marks == b.n_marks
+    assert a.geo.start_distance_m == b.geo.start_distance_m
+    assert np.array_equal(a.channel_ids, b.channel_ids)
+    assert np.array_equal(a.power_dbm, b.power_dbm, equal_nan=True)
+    assert np.array_equal(a.geo.timestamps_s, b.geo.timestamps_s)
+    assert np.array_equal(a.geo.headings_rad, b.geo.headings_rad)
+    assert a.content_token == b.content_token
+
+
+class TestBindingIndexExtend:
+    def test_extend_matches_cold_index_at_every_prefix(self, shared_pair):
+        rec = shared_pair.rear
+        scan, track = rec.scan, rec.estimated
+        inc_index = None
+        prev_b = 0
+        checked = 0
+        for t_edge in RAGGED_EDGES:
+            trk = _truncate(track, t_edge)
+            b = _chunk_bounds(scan, trk)
+            chunk = scan.slice(prev_b, b)
+            prev_b = b
+            if inc_index is None:
+                inc_index = DriveBindingIndex(chunk, trk)
+                inc_index.extend(scan.slice(b, b), trk)  # empty extend: no-op
+            else:
+                inc_index.extend(chunk, trk)
+            cold = DriveBindingIndex(scan.slice(0, b), trk)
+            assert inc_index._n_marks == cold._n_marks
+            assert np.array_equal(inc_index._t_marks, cold._t_marks)
+            assert np.array_equal(inc_index._headings, cold._headings)
+            for length in (None, 150.0):
+                try:
+                    want = cold.bind(context_length_m=length)
+                except ValueError as err:
+                    with pytest.raises(ValueError, match=str(err).split("(")[0].strip()[:20]):
+                        inc_index.bind(context_length_m=length)
+                    continue
+                got = inc_index.bind(context_length_m=length)
+                _assert_trajectories_identical(got, want)
+                checked += 1
+        assert checked > 0
+
+    def test_extend_serves_measurements_binned_past_the_old_grid(self, shared_pair):
+        # A chunk measured while the track still ended mid-mark rounds
+        # past the grid; it must surface once the track grows over it.
+        rec = shared_pair.rear
+        scan, track = rec.scan, rec.estimated
+        trk_a = _truncate(track, 40.0)
+        b_a = _chunk_bounds(scan, trk_a)
+        index = DriveBindingIndex(scan.slice(0, b_a), trk_a)
+        index._prepare_extendable()
+        assert any(len(st.pend_bins) for st in index._states.values()), (
+            "fixture regression: no beyond-grid measurements to exercise"
+        )
+        trk_b = _truncate(track, 90.0)
+        b_b = _chunk_bounds(scan, trk_b)
+        index.extend(scan.slice(b_a, b_b), trk_b)
+        cold = DriveBindingIndex(scan.slice(0, b_b), trk_b)
+        _assert_trajectories_identical(index.bind(), cold.bind())
+
+    def test_extend_rejects_non_extending_inputs(self, shared_pair):
+        rec = shared_pair.rear
+        scan, track = rec.scan, rec.estimated
+        trk = _truncate(track, 60.0)
+        b = _chunk_bounds(scan, trk)
+        index = DriveBindingIndex(scan.slice(0, b), trk)
+        with pytest.raises(ValueError, match="track must extend"):
+            index.extend(scan.slice(b, b), _truncate(track, 30.0))
+        with pytest.raises(ValueError, match="overlaps previously appended"):
+            index.extend(scan.slice(b - 5, b), trk)
+        with pytest.raises(ValueError, match="beyond the provided track"):
+            index.extend(scan.slice(b, len(scan)), trk)
+
+
+class TestTrajectoryBuilderPrefixEquivalence:
+    def test_builder_bitwise_equals_cold_build_at_every_prefix(self, shared_pair):
+        rec = shared_pair.rear
+        scan, track = rec.scan, rec.estimated
+        builder = TrajectoryBuilder(context_length_m=150.0)
+        prev_b = 0
+        checked = 0
+        for t_edge in RAGGED_EDGES:
+            trk = _truncate(track, t_edge)
+            b = _chunk_bounds(scan, trk)
+            builder.append(scan.slice(prev_b, b), trk)
+            prev_b = b
+            try:
+                got = builder.trajectory()
+            except ValueError:
+                with pytest.raises(ValueError):
+                    bind_scan(scan.slice(0, b), trk, context_length_m=150.0)
+                continue
+            want = bind_scan(scan.slice(0, b), trk, context_length_m=150.0)
+            _assert_trajectories_identical(got, want)
+            # Seeded feature memos must be bitwise the cold ones too.
+            for w in (11, 40):
+                assert np.array_equal(
+                    got.window_features(w), want.window_features(w), equal_nan=True
+                )
+            checked += 1
+        assert checked >= 5
+
+    def test_unchanged_window_returns_previous_object(self, shared_pair):
+        rec = shared_pair.rear
+        scan, track = rec.scan, rec.estimated
+        builder = TrajectoryBuilder(context_length_m=150.0)
+        trk = _truncate(track, 60.0)
+        b = _chunk_bounds(scan, trk)
+        builder.append(scan.slice(0, b), trk)
+        first = builder.trajectory()
+        # No new information: same served object, memos and all.
+        builder.append(scan.slice(b, b), trk)
+        assert builder.trajectory() is first
+
+    def test_chained_token_is_chunking_invariant(self, shared_pair):
+        rec = shared_pair.rear
+        scan, track = rec.scan, rec.estimated
+        trk = _truncate(track, 120.0)
+        b = _chunk_bounds(scan, trk)
+        one = TrajectoryBuilder()
+        one.append(scan.slice(0, b), trk)
+        many = TrajectoryBuilder()
+        prev = 0
+        for cut in (7, 8, 1003, b // 2, b):
+            cut = max(min(cut, b), prev)
+            many.append(scan.slice(prev, cut), trk)
+            prev = cut
+        if prev < b:
+            many.append(scan.slice(prev, b), trk)
+        assert one.content_token == many.content_token
+        assert one.n_measurements == many.n_measurements == b
+
+    def test_builder_rejects_off_grid_context(self):
+        with pytest.raises(ValueError, match="whole multiple"):
+            TrajectoryBuilder(context_length_m=150.5)
+
+
+class TestTrackerStreaming:
+    def _run(self, shared_pair, shared_engine, **tracker_kwargs):
+        cfg = RupsConfig(context_length_m=600.0, window_channels=30)
+        rear, front = shared_pair.rear, shared_pair.front
+        tracker = RupsTracker(cfg, **tracker_kwargs)
+        scan, track = rear.scan, rear.estimated
+        t0, t1 = shared_pair.query_window(context_length_m=600.0)
+        prev_b = 0
+        updates = []
+        for t in np.arange(t0, t1, 10.0):
+            trk = _truncate(track, float(t))
+            b = _chunk_bounds(scan, trk)
+            chunk = scan.slice(prev_b, b)
+            prev_b = b
+            other = shared_engine.build_trajectory(
+                front.scan, front.estimated, at_time_s=float(t)
+            )
+            updates.append(
+                (tracker.stream_update(chunk, trk, other=other), b, trk, float(t))
+            )
+        return tracker, updates
+
+    @staticmethod
+    def _assert_updates_identical(a, b) -> None:
+        assert a.mode == b.mode
+        assert a.locked_after == b.locked_after
+        assert a.degraded == b.degraded
+        assert a.estimate.distance_m == b.estimate.distance_m
+        assert a.estimate.cause == b.estimate.cause
+        assert a.estimate.per_syn_m == b.estimate.per_syn_m
+        assert [
+            (s.score, s.own_distance_m, s.other_distance_m, s.query_side)
+            for s in a.estimate.syn_points
+        ] == [
+            (s.score, s.own_distance_m, s.other_distance_m, s.query_side)
+            for s in b.estimate.syn_points
+        ]
+
+    def test_stream_update_bitwise_equals_rebuild_per_update(
+        self, shared_pair, shared_engine
+    ):
+        _, incremental = self._run(shared_pair, shared_engine)
+        _, rebuild = self._run(shared_pair, shared_engine, stream_rebuild=True)
+        assert len(incremental) == len(rebuild)
+        resolved = 0
+        for (a, *_), (b, *_) in zip(incremental, rebuild):
+            self._assert_updates_identical(a, b)
+            resolved += a.estimate.resolved
+        assert resolved > 0
+
+    def test_unanchored_stream_update_equals_batch_update(
+        self, shared_pair, shared_engine
+    ):
+        _, streamed = self._run(
+            shared_pair, shared_engine, anchored_search=False
+        )
+        cfg = RupsConfig(context_length_m=600.0, window_channels=30)
+        batch = RupsTracker(cfg)
+        rear, front = shared_pair.rear, shared_pair.front
+        resolved = 0
+        for streamed_update, b, trk, t in streamed:
+            own = batch._engine.build_trajectory(rear.scan.slice(0, b), trk)
+            other = shared_engine.build_trajectory(
+                front.scan, front.estimated, at_time_s=t
+            )
+            batch_update = batch.update(own, other=other)
+            self._assert_updates_identical(streamed_update, batch_update)
+            resolved += batch_update.estimate.resolved
+        assert resolved > 0
+
+    def test_anchored_session_locks_and_anchors(self, shared_pair, shared_engine):
+        tracker, updates = self._run(shared_pair, shared_engine)
+        assert any(u.locked_after for u, *_ in updates)
+        assert tracker._anchor is not None
+        assert tracker.last_distance_m() is not None
+
+
+class TestSatelliteFixes:
+    def test_trim_cache_reuses_object_for_unchanged_token(self, shared_pair, shared_engine):
+        cfg = RupsConfig(context_length_m=600.0, window_channels=30)
+        tracker = RupsTracker(cfg, locked_context_m=150.0)
+        rec = shared_pair.rear
+        t0, t1 = shared_pair.query_window(context_length_m=600.0)
+        own = shared_engine.build_trajectory(rec.scan, rec.estimated, at_time_s=t1)
+        first = tracker._trim(own, "own")
+        assert first.length_m == 150.0
+        assert tracker._trim(own, "own") is first
+        # A bit-identical rebuild (different object) still reuses.
+        own2 = bind_scan(rec.scan, rec.estimated, at_time_s=t1, context_length_m=600.0)
+        assert own2 is not own
+        assert tracker._trim(own2, "own") is first
+
+    def test_trim_seeds_tail_features_from_parent(self, shared_pair, shared_engine):
+        cfg = RupsConfig(context_length_m=600.0, window_channels=30)
+        tracker = RupsTracker(cfg, locked_context_m=150.0)
+        rec = shared_pair.rear
+        _, t1 = shared_pair.query_window(context_length_m=600.0)
+        own = bind_scan(rec.scan, rec.estimated, at_time_s=t1, context_length_m=600.0)
+        parent_feats = own.window_features(40)
+        tail = tracker._trim(own, "own")
+        seeded = tail._window_features[40]
+        assert np.shares_memory(seeded, parent_feats)
+        cold = bind_scan(
+            rec.scan, rec.estimated, at_time_s=t1, context_length_m=600.0
+        ).tail(150.0)
+        assert np.array_equal(seeded, cold.window_features(40), equal_nan=True)
+
+    def test_geo_distance_memos(self):
+        geo = GeoTrajectory(
+            timestamps_s=np.arange(5.0),
+            headings_rad=np.zeros(5),
+            spacing_m=1.0,
+            start_distance_m=10.0,
+        )
+        d1 = geo.distances_m
+        assert d1 is geo.distances_m  # memoised, not recomputed
+        assert np.array_equal(d1, 10.0 + np.arange(5.0))
+        assert geo.end_distance_m == 14.0
+        assert geo.end_distance_m == geo.end_distance_m

@@ -26,6 +26,7 @@ from repro.core.config import RupsConfig
 from repro.core.engine import RupsEngine
 from repro.core.tracking import RupsTracker
 from repro.core.trajectory import TrajectoryBuilder
+from repro.experiments.stream import event_grid
 from repro.experiments.traces import drive_pair
 from repro.gsm.band import RGSM900
 from repro.roads.types import RoadType
@@ -61,7 +62,7 @@ def test_stream_update_speedup_contract(record_result, stream_inputs):
     config, pair = stream_inputs
     rear, front = pair.rear, pair.front
     t0, t1 = pair.query_window(context_length_m=config.context_length_m)
-    events = np.arange(t0, t1, UPDATE_PERIOD_S)
+    events = event_grid(t0, t1, UPDATE_PERIOD_S)
 
     # -- incremental: every event through the resident builders --------
     tracker = RupsTracker(config)

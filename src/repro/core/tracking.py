@@ -28,7 +28,7 @@ from repro.obs.metrics import inc
 from repro.obs.tracing import trace
 from repro.sensors.deadreckoning import EstimatedTrack
 
-__all__ = ["DistanceFilter", "RupsTracker", "TrackerUpdate"]
+__all__ = ["DistanceFilter", "RupsTracker", "TrackerPlan", "TrackerUpdate"]
 
 _log = get_logger(__name__)
 
@@ -58,6 +58,49 @@ class TrackerUpdate:
     mode: str
     locked_after: bool
     degraded: bool = False
+    context_age_s: float = 0.0
+
+
+@dataclass
+class TrackerPlan:
+    """One tracking period, planned but not yet searched.
+
+    Produced by :meth:`RupsTracker.plan_update`, which runs everything a
+    tracking period does *except* the SYN search itself: context
+    bookkeeping, staleness/lock decisions, and trimming.  A fleet
+    service uses this to gather many sessions' pending searches into one
+    cross-pair batched kernel call, then feeds each estimate back
+    through :meth:`RupsTracker.absorb_update` /
+    :meth:`RupsTracker.absorb_retry`.
+
+    Attributes
+    ----------
+    update:
+        Set when the period was decided without any search (no context
+        ever decoded); the plan is then complete and must not be
+        absorbed.
+    pair:
+        ``(own_q, other_q)`` — the (possibly trimmed) trajectories the
+        SYN search must run over, when ``update`` is ``None``.
+    retry_pair:
+        Set by :meth:`RupsTracker.absorb_update` when the locked-failure
+        ladder demands an immediate full-context retry: estimate this
+        pair and feed the result to :meth:`RupsTracker.absorb_retry`.
+
+    The remaining fields are the session bookkeeping the absorb step
+    needs; treat them as read-only.
+    """
+
+    update: TrackerUpdate | None
+    pair: tuple[GsmTrajectory, GsmTrajectory] | None
+    retry_pair: tuple[GsmTrajectory, GsmTrajectory] | None = None
+    own: GsmTrajectory | None = None
+    context: GsmTrajectory | None = None
+    mode: str = "full"
+    degraded: bool = False
+    over_budget: bool = False
+    was_locked: bool = False
+    drop_cause: str | None = None
     context_age_s: float = 0.0
 
 
@@ -242,18 +285,32 @@ class RupsTracker:
             own, other, context_age_s, anchored=self.anchored_search
         )
 
-    def _run_update(
+    def plan_update(
         self,
         own: GsmTrajectory,
-        other: GsmTrajectory | None,
-        context_age_s: float,
-        anchored: bool,
-    ) -> TrackerUpdate:
+        other: GsmTrajectory | None = None,
+        context_age_s: float = 0.0,
+    ) -> TrackerPlan:
+        """Run one tracking period up to (but excluding) the SYN search.
+
+        Everything except the search happens here: context bookkeeping,
+        the staleness decision, mode selection, and trimming.  When the
+        period can be decided without searching at all (no context ever
+        decoded), the returned plan carries the finished ``update``;
+        otherwise the caller estimates ``plan.pair`` — with any engine
+        holding the same config — and feeds the result to
+        :meth:`absorb_update`.  Splitting the period this way is what
+        lets a fleet service batch many sessions' searches into one
+        cross-pair kernel call while every session's state transitions
+        stay in the submitting process, deterministic under any fan-out.
+        """
+        if context_age_s < 0:
+            # Validate before touching any session state: an invalid
+            # call must leave the tracker exactly as it found it.
+            raise ValueError("context_age_s must be non-negative")
         if other is not None:
             self._last_context = other
         context = other if other is not None else self._last_context
-        if context_age_s < 0:
-            raise ValueError("context_age_s must be non-negative")
         inc("tracker.updates")
         if context is None:
             # Nothing ever decoded: report an unresolved, degraded update.
@@ -277,7 +334,7 @@ class RupsTracker:
                 context_age_s=context_age_s,
             )
             self._history.append(update)
-            return update
+            return TrackerPlan(update=update, pair=None)
         degraded = other is None or context_age_s > 0.0
         over_budget = context_age_s > self.staleness_budget_s
         was_locked = self._locked
@@ -307,6 +364,111 @@ class RupsTracker:
             other_q = self._trim(context, "other")
         else:
             own_q, other_q = own, context
+        return TrackerPlan(
+            update=None,
+            pair=(own_q, other_q),
+            own=own,
+            context=context,
+            mode=mode,
+            degraded=degraded,
+            over_budget=over_budget,
+            was_locked=was_locked,
+            drop_cause=drop_cause,
+            context_age_s=float(context_age_s),
+        )
+
+    def absorb_update(
+        self, plan: TrackerPlan, estimate: RupsEstimate, use_anchor: bool = False
+    ) -> TrackerUpdate | None:
+        """Fold the search result of ``plan.pair`` into the session.
+
+        Returns the finished :class:`TrackerUpdate`, or ``None`` when
+        the locked-failure ladder demands an immediate full-context
+        retry — ``plan.retry_pair`` is then set, and the caller must
+        estimate it and call :meth:`absorb_retry`.
+        """
+        if plan.update is not None or plan.pair is None:
+            raise ValueError("plan was already decided without a search")
+        if estimate.resolved:
+            self._locked = True
+            self._failures = 0
+        elif self._locked:
+            self._failures += 1
+            if self._failures >= self.max_locked_failures:
+                # Retry immediately at full context before reporting.
+                inc("tracker.full_retries")
+                plan.retry_pair = (plan.own, plan.context)
+                return None
+        return self._finish_update(plan, estimate, use_anchor)
+
+    def absorb_retry(
+        self, plan: TrackerPlan, estimate: RupsEstimate, use_anchor: bool = False
+    ) -> TrackerUpdate:
+        """Fold the full-context retry result of ``plan.retry_pair`` in."""
+        if plan.retry_pair is None:
+            raise ValueError("plan did not request a retry")
+        plan.mode = "full"
+        self._locked = estimate.resolved
+        self._failures = 0
+        if not self._locked:
+            self._trim_cache.clear()
+            plan.drop_cause = "failures"
+            inc("tracker.lock_dropped.failures")
+        return self._finish_update(plan, estimate, use_anchor)
+
+    def _finish_update(
+        self, plan: TrackerPlan, estimate: RupsEstimate, use_anchor: bool
+    ) -> TrackerUpdate:
+        if plan.over_budget and self._locked:
+            # Past the staleness budget the lock is never kept, however
+            # well the stale context still matched the trimmed search.
+            self._locked = False
+            self._failures = 0
+            self._trim_cache.clear()
+            plan.drop_cause = "staleness"
+        if estimate.resolved:
+            # Most recent accepted SYN point anchors the next streaming
+            # sweep; on lock loss the anchor dies with the lock.
+            self._anchor = estimate.syn_points[0]
+        elif not self._locked:
+            self._anchor = None
+        if self._locked and not plan.was_locked:
+            inc("tracker.lock_acquired")
+        if plan.degraded:
+            inc("tracker.updates.degraded")
+        emit(
+            "tracker.update",
+            mode=plan.mode,
+            locked_before=plan.was_locked,
+            locked_after=self._locked,
+            resolved=estimate.resolved,
+            degraded=plan.degraded,
+            context_age_s=plan.context_age_s,
+            drop_cause=plan.drop_cause,
+            cause=estimate.cause,
+            anchored=use_anchor,
+        )
+        update = TrackerUpdate(
+            estimate=estimate,
+            mode=plan.mode,
+            locked_after=self._locked,
+            degraded=plan.degraded,
+            context_age_s=plan.context_age_s,
+        )
+        self._history.append(update)
+        return update
+
+    def _run_update(
+        self,
+        own: GsmTrajectory,
+        other: GsmTrajectory | None,
+        context_age_s: float,
+        anchored: bool,
+    ) -> TrackerUpdate:
+        plan = self.plan_update(own, other, context_age_s)
+        if plan.update is not None:
+            return plan.update
+        own_q, other_q = plan.pair
         use_anchor = anchored and self._locked and self._anchor is not None
         if use_anchor:
             # Fastest rung of the ladder: scan only the suffix at or
@@ -325,60 +487,13 @@ class RupsTracker:
                 )
         else:
             estimate = self._engine.estimate_relative_distance(own_q, other_q)
-
-        if estimate.resolved:
-            self._locked = True
-            self._failures = 0
-        elif self._locked:
-            self._failures += 1
-            if self._failures >= self.max_locked_failures:
-                # Retry immediately at full context before reporting.
-                inc("tracker.full_retries")
-                estimate = self._engine.estimate_relative_distance(own, context)
-                mode = "full"
-                self._locked = estimate.resolved
-                self._failures = 0
-                if not self._locked:
-                    self._trim_cache.clear()
-                    drop_cause = "failures"
-                    inc("tracker.lock_dropped.failures")
-        if over_budget and self._locked:
-            # Past the staleness budget the lock is never kept, however
-            # well the stale context still matched the trimmed search.
-            self._locked = False
-            self._failures = 0
-            self._trim_cache.clear()
-            drop_cause = "staleness"
-        if estimate.resolved:
-            # Most recent accepted SYN point anchors the next streaming
-            # sweep; on lock loss the anchor dies with the lock.
-            self._anchor = estimate.syn_points[0]
-        elif not self._locked:
-            self._anchor = None
-        if self._locked and not was_locked:
-            inc("tracker.lock_acquired")
-        if degraded:
-            inc("tracker.updates.degraded")
-        emit(
-            "tracker.update",
-            mode=mode,
-            locked_before=was_locked,
-            locked_after=self._locked,
-            resolved=estimate.resolved,
-            degraded=degraded,
-            context_age_s=float(context_age_s),
-            drop_cause=drop_cause,
-            cause=estimate.cause,
-            anchored=use_anchor,
-        )
-        update = TrackerUpdate(
-            estimate=estimate,
-            mode=mode,
-            locked_after=self._locked,
-            degraded=degraded,
-            context_age_s=float(context_age_s),
-        )
-        self._history.append(update)
+        update = self.absorb_update(plan, estimate, use_anchor=use_anchor)
+        if update is None:
+            retry_own, retry_other = plan.retry_pair
+            estimate = self._engine.estimate_relative_distance(
+                retry_own, retry_other
+            )
+            update = self.absorb_retry(plan, estimate, use_anchor=use_anchor)
         return update
 
     def _trim(self, trajectory: GsmTrajectory, role: str) -> GsmTrajectory:

@@ -55,6 +55,7 @@ _SEEDED_IDS = {
     "t-campaign",
     "t-loss",
     "t-stream",
+    "t-fleet",
 }
 
 
@@ -113,6 +114,12 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="queries per drive (SVI studies / t-campaign)",
+    )
+    parser.add_argument(
+        "--vehicles",
+        type=int,
+        default=None,
+        help="fleet size for t-fleet (even; default 200)",
     )
     parser.add_argument(
         "--jobs",
@@ -206,6 +213,8 @@ def main(argv: list[str] | None = None) -> int:
                 kwargs["n_drives"] = args.drives
             if args.queries is not None:
                 kwargs["queries_per_drive"] = args.queries
+        if exp_id == "t-fleet" and args.vehicles is not None:
+            kwargs["n_vehicles"] = args.vehicles
         # A lone jobs-aware experiment gets the whole worker budget;
         # when several ids fan out, the workers are spent across ids.
         if exp_id in JOBS_AWARE and len(args.experiments) == 1:

@@ -22,6 +22,7 @@ from repro.experiments.evaluation import (
     window_ablation,
 )
 from repro.experiments.campaign import run_campaign
+from repro.experiments.fleet import fleet_replay
 from repro.experiments.lossy import loss_sweep
 from repro.experiments.stream import stream_replay
 from repro.experiments.timing import (
@@ -56,11 +57,12 @@ EXPERIMENTS: dict[str, Callable] = {
     "t-campaign": run_campaign,
     "t-loss": loss_sweep,
     "t-stream": stream_replay,
+    "t-fleet": fleet_replay,
 }
 
 
 #: Experiments whose callables accept a ``jobs=`` fan-out parameter.
-JOBS_AWARE = {"t-campaign"}
+JOBS_AWARE = {"t-campaign", "t-fleet"}
 
 
 def run_experiment(exp_id: str, **kwargs):

@@ -32,7 +32,27 @@ from repro.gsm.band import ChannelPlan
 from repro.obs.metrics import get_registry, inc, observe
 from repro.roads.types import RoadType
 
-__all__ = ["StreamResult", "stream_replay"]
+__all__ = ["StreamResult", "event_grid", "stream_replay"]
+
+
+def event_grid(t0: float, t1: float, period_s: float) -> np.ndarray:
+    """Query tick instants in ``[t0, t1)`` at a fixed period.
+
+    ``np.arange(t0, t1, period_s)`` with a float step derives its length
+    from ``ceil((t1 - t0) / period_s)`` computed in floating point, so
+    accumulated rounding can emit one extra tick at or past ``t1`` —
+    making event counts inconsistent with the duration (a 3-period span
+    yielding 4 events).  Build the grid from an integer tick count
+    instead and clamp it so every event is strictly before ``t1``.
+    """
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    if not t1 > t0:
+        return np.empty(0, dtype=float)
+    n = int(np.ceil((t1 - t0) / period_s))
+    while n > 0 and t0 + (n - 1) * period_s >= t1:
+        n -= 1
+    return t0 + period_s * np.arange(n)
 
 
 @dataclass
@@ -87,7 +107,7 @@ def stream_replay(
     )
 
     t0, t1 = pair.query_window(context_length_m=config.context_length_m)
-    events = np.arange(t0, t1, update_period_s)
+    events = event_grid(t0, t1, update_period_s)
     rear_cut = front_cut = 0
     latencies, errors, locked, resolved = [], [], 0, 0
     for t in events:
@@ -156,7 +176,7 @@ def stream_replay(
         [
             "updates/sec",
             len(latencies) / total_s if total_s > 0 else float("nan"),
-            "1 / mean update wall clock",
+            "compute throughput (1/mean wall), not event rate",
         ],
     ]
     return StreamResult(

@@ -1,0 +1,425 @@
+"""Deterministic batched request path over the fleet store.
+
+``submit()`` enqueues a pair query; ``tick()`` answers everything
+pending in one deterministic sweep:
+
+1. **Plan** (parent, serial): every query serves its two trajectories
+   out of the store's resident builders and runs
+   :meth:`RupsTracker.plan_update` — context bookkeeping, staleness
+   decision, mode selection, trimming.  Queries that fail to serve
+   (unknown vehicle, drive still too short) become error estimates here
+   and never reach a search.
+2. **Search** (workers, pure): all pending pairs are split into
+   fixed-size chunks (:func:`~repro.runtime.fixed_chunks` — layout set
+   by ``chunk_pairs``, never by ``jobs``, because the cross-pair batched
+   kernel's floats may depend on batch composition) and fanned out over
+   a :class:`~repro.runtime.DeterministicExecutor`.  With shared statics
+   on, each distinct trajectory is published once per tick and ships as
+   a :class:`~repro.runtime.shared.SharedRef`; workers hold a resident
+   engine per config in the derived-object cache.
+3. **Absorb** (parent, serial, submission order): each estimate folds
+   back via :meth:`RupsTracker.absorb_update`; sessions whose
+   locked-failure ladder demands a full-context retry collect into a
+   second batched round absorbed by :meth:`RupsTracker.absorb_retry`.
+
+Because every state transition happens in the submitting process and
+the searches are pure, results, merged (invariant) metrics and the
+provenance event stream are byte-identical for any ``jobs`` — the same
+contract the campaign runtime enforces.  Wall-clock query latencies are
+real but never reproducible, so they are recorded into the service's
+*local* :attr:`FleetService.latency` registry, never the active
+(merged, exported) one.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine, RupsEstimate
+from repro.core.tracking import TrackerPlan, TrackerUpdate
+from repro.core.trajectory import GsmTrajectory
+from repro.fleet.store import FleetStore
+from repro.obs.events import emit, use_query_id
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import MetricsRegistry, inc
+from repro.obs.tracing import trace
+from repro.runtime import DeterministicExecutor, fixed_chunks
+from repro.runtime import shared as shared_store
+
+__all__ = [
+    "DEFAULT_CHUNK_PAIRS",
+    "FleetEstimate",
+    "FleetQuery",
+    "FleetService",
+    "FleetTicket",
+]
+
+_log = get_logger(__name__)
+
+#: Pair searches per worker chunk.  Fixed — never derived from ``jobs``
+#: — so the cross-pair kernel sees the same batch composition (and
+#: produces the same floats) under any worker count.
+DEFAULT_CHUNK_PAIRS = 8
+
+
+@dataclass(frozen=True)
+class FleetQuery:
+    """One relative-distance request: ``own_id`` asks about ``other_id``.
+
+    ``context_age_s`` reports how stale the neighbour context is when
+    the V2V exchange lost this period's refresh (see
+    :meth:`RupsTracker.update`); 0 means fresh.
+    """
+
+    query_id: str
+    own_id: str
+    other_id: str
+    context_age_s: float = 0.0
+
+
+@dataclass(frozen=True)
+class FleetEstimate:
+    """The service's answer to one :class:`FleetQuery`.
+
+    ``error`` is set — and everything else unresolved — when the query
+    could not be served at all (``"unknown_vehicle"``, ``"too_short"``);
+    otherwise the fields mirror the session's
+    :class:`~repro.core.tracking.TrackerUpdate`.
+    """
+
+    query_id: str
+    own_id: str
+    other_id: str
+    distance_m: float | None
+    resolved: bool
+    mode: str
+    locked: bool
+    degraded: bool
+    cause: str | None = None
+    error: str | None = None
+
+
+@dataclass
+class FleetTicket:
+    """Handle returned by :meth:`FleetService.submit`.
+
+    ``estimate`` is filled by the tick that answers the query; until
+    then it is ``None``.  ``submitted_s`` is the submission wall clock
+    (perf-counter domain), used only for the local latency histogram.
+    """
+
+    query: FleetQuery
+    submitted_s: float
+    estimate: FleetEstimate | None = None
+
+
+def _fleet_engine(config: RupsConfig) -> RupsEngine:
+    """The worker-resident fleet engine for this config.
+
+    One engine per distinct config per process (derived-object cache):
+    its reduction cache stays warm across every chunk the worker
+    executes.  Safe for determinism — every engine cache is
+    differentially proven bit-identical to the uncached pipeline.
+    """
+    return shared_store.derived(
+        ("fleet.engine", shared_store.content_key(config)),
+        lambda: RupsEngine(
+            config, trajectory_cache_size=16, reduction_cache_size=32
+        ),
+    )
+
+
+def _fleet_chunk_task(item: tuple) -> list[RupsEstimate]:
+    """Search one chunk of pending pairs (pure; runs in any worker).
+
+    The chunk carries refs (or, with shared statics off, the
+    trajectories themselves); the whole chunk is estimated by one
+    cross-pair batched SYN kernel call, with each pair's provenance
+    events tagged by its query id.
+    """
+    pairs_in, query_ids, config = item
+    engine = _fleet_engine(config)
+    pairs = [
+        (shared_store.resolve(own), shared_store.resolve(other))
+        for own, other in pairs_in
+    ]
+    inc("fleet.chunks")
+    with trace("fleet.search_chunk"):
+        return engine.estimate_relative_distance_batch(
+            pairs, query_ids=list(query_ids)
+        )
+
+
+class FleetService:
+    """Batched, deterministic relative-distance service over a store.
+
+    Parameters
+    ----------
+    store:
+        The fleet's resident state (builders + sessions).
+    jobs:
+        Worker processes for the search fan-out (``1`` = inline).
+        Ignored when ``executor`` is given.
+    chunk_pairs:
+        Pair searches per worker chunk (fixed layout; see module doc).
+    shared_statics:
+        Ship trajectories to workers as content-addressed refs (one
+        publish per distinct trajectory per tick) instead of pickled
+        payloads.  Only engaged when a pool exists (``jobs > 1``).
+    executor:
+        Reuse an existing executor (its ``jobs`` wins; the caller keeps
+        ownership — it is not closed here).
+
+    Attributes
+    ----------
+    latency:
+        A *local* :class:`~repro.obs.metrics.MetricsRegistry` holding
+        wall-clock histograms (``fleet.query_latency_s``,
+        ``fleet.tick_s``).  Deliberately never merged into the active
+        registry: wall clock is real but not reproducible, and the
+        active registry carries the fleet's jobs-invariant metrics.
+    """
+
+    def __init__(
+        self,
+        store: FleetStore,
+        jobs: int | None = 1,
+        chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
+        shared_statics: bool = True,
+        executor: DeterministicExecutor | None = None,
+    ) -> None:
+        if chunk_pairs < 1:
+            raise ValueError("chunk_pairs must be >= 1")
+        self.store = store
+        self.chunk_pairs = int(chunk_pairs)
+        self.shared_statics = bool(shared_statics)
+        self._owns_executor = executor is None
+        self.executor = executor or DeterministicExecutor(jobs=jobs)
+        self.latency = MetricsRegistry()
+        self._pending: list[FleetTicket] = []
+
+    # -- lifecycle -----------------------------------------------------
+    def __enter__(self) -> "FleetService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Tear the owned executor down (a shared one is left alone)."""
+        if self._owns_executor:
+            self.executor.close()
+
+    # -- request path --------------------------------------------------
+    def submit(self, query: FleetQuery) -> FleetTicket:
+        """Enqueue one pair query; answered by the next :meth:`tick`.
+
+        Batching is the point: a tick answers *all* pending queries
+        through shared cross-pair kernel batches, so per-query cost
+        amortises with load.  The returned ticket's ``estimate`` is
+        filled when its tick runs.
+        """
+        ticket = FleetTicket(query=query, submitted_s=time.perf_counter())
+        self._pending.append(ticket)
+        inc("fleet.submits")
+        return ticket
+
+    @property
+    def n_pending(self) -> int:
+        """Queries waiting for the next tick."""
+        return len(self._pending)
+
+    def estimate(
+        self, query: FleetQuery, at_time_s: float | None = None
+    ) -> FleetEstimate:
+        """Convenience: submit one query and tick immediately."""
+        ticket = self.submit(query)
+        self.tick(at_time_s=at_time_s)
+        assert ticket.estimate is not None
+        return ticket.estimate
+
+    def tick(self, at_time_s: float | None = None) -> list[FleetEstimate]:
+        """Answer every pending query; results in submission order.
+
+        ``at_time_s`` bounds the served trajectories (``None`` = all
+        ingested data).  Each query's session absorbs its result before
+        the next tick, so repeated queries against one pair walk the
+        tracker's locked/full ladder exactly as a dedicated
+        :meth:`RupsTracker.update` loop would.
+        """
+        tickets, self._pending = self._pending, []
+        if not tickets:
+            return []
+        start_s = time.perf_counter()
+        inc("fleet.ticks")
+        inc("fleet.queries", len(tickets))
+
+        # Phase 1 — plan (serial, state-mutating).
+        results: list[FleetEstimate | None] = [None] * len(tickets)
+        plans: list[TrackerPlan | None] = [None] * len(tickets)
+        searches: list[int] = []
+        for i, ticket in enumerate(tickets):
+            q = ticket.query
+            own, err = self._serve(q.own_id, at_time_s)
+            other = None
+            if err is None:
+                other, err = self._serve(q.other_id, at_time_s)
+            if err is not None:
+                inc(f"fleet.queries.rejected.{err}")
+                with use_query_id(q.query_id):
+                    emit(
+                        "fleet.query",
+                        own=q.own_id,
+                        other=q.other_id,
+                        resolved=False,
+                        error=err,
+                    )
+                results[i] = FleetEstimate(
+                    query_id=q.query_id,
+                    own_id=q.own_id,
+                    other_id=q.other_id,
+                    distance_m=None,
+                    resolved=False,
+                    mode="none",
+                    locked=False,
+                    degraded=True,
+                    error=err,
+                )
+                continue
+            tracker = self.store.session(q.own_id, q.other_id)
+            with use_query_id(q.query_id):
+                plan = tracker.plan_update(
+                    own, other, context_age_s=q.context_age_s
+                )
+            plans[i] = plan
+            if plan.update is not None:
+                results[i] = self._from_update(q, plan.update)
+            else:
+                searches.append(i)
+
+        # Phase 2 — primary searches (pure, batched, fanned out).
+        estimates = self._batched_estimates(
+            [plans[i].pair for i in searches],
+            [tickets[i].query.query_id for i in searches],
+        )
+
+        # Phase 3 — absorb + full-context retry round.
+        retries: list[int] = []
+        for i, estimate in zip(searches, estimates):
+            q = tickets[i].query
+            tracker = self.store.session(q.own_id, q.other_id)
+            with use_query_id(q.query_id):
+                update = tracker.absorb_update(plans[i], estimate)
+            if update is None:
+                retries.append(i)
+            else:
+                results[i] = self._from_update(q, update)
+        if retries:
+            retry_estimates = self._batched_estimates(
+                [plans[i].retry_pair for i in retries],
+                [tickets[i].query.query_id for i in retries],
+            )
+            for i, estimate in zip(retries, retry_estimates):
+                q = tickets[i].query
+                tracker = self.store.session(q.own_id, q.other_id)
+                with use_query_id(q.query_id):
+                    update = tracker.absorb_retry(plans[i], estimate)
+                results[i] = self._from_update(q, update)
+
+        # Wall clock goes to the local registry only (see class doc).
+        end_s = time.perf_counter()
+        self.latency.observe("fleet.tick_s", end_s - start_s)
+        out: list[FleetEstimate] = []
+        for ticket, result in zip(tickets, results):
+            assert result is not None
+            ticket.estimate = result
+            self.latency.observe(
+                "fleet.query_latency_s", end_s - ticket.submitted_s
+            )
+            out.append(result)
+        _log.debug(
+            "fleet tick: queries=%d searches=%d retries=%d",
+            len(tickets),
+            len(searches),
+            len(retries),
+        )
+        return out
+
+    # -- internals -----------------------------------------------------
+    def _serve(
+        self, vehicle_id: str, at_time_s: float | None
+    ) -> tuple[GsmTrajectory | None, str | None]:
+        """Serve a vehicle's trajectory, or name why it cannot be."""
+        try:
+            return self.store.trajectory(vehicle_id, at_time_s=at_time_s), None
+        except KeyError:
+            return None, "unknown_vehicle"
+        except ValueError:
+            return None, "too_short"
+
+    def _batched_estimates(
+        self,
+        pairs: list[tuple[GsmTrajectory, GsmTrajectory]],
+        query_ids: list[str],
+    ) -> list[RupsEstimate]:
+        """Estimate all pairs via fixed-size chunks over the executor."""
+        if not pairs:
+            return []
+        publish = self.shared_statics and self.executor.jobs > 1
+        if publish:
+            # One publish per distinct trajectory object per round: the
+            # store's builders hand back the same object while a
+            # vehicle's window is unchanged, and publishing is
+            # content-idempotent anyway, so refs — not payloads — are
+            # all that ships.
+            memo: dict[int, shared_store.SharedRef] = {}
+
+            def ship(traj: GsmTrajectory):
+                ref = memo.get(id(traj))
+                if ref is None:
+                    ref = self.executor.publish(traj)
+                    memo[id(traj)] = ref
+                return ref
+
+            shipped = [(ship(own), ship(other)) for own, other in pairs]
+        else:
+            shipped = list(pairs)
+        items = [
+            (chunk, ids, self.store.config)
+            for chunk, ids in zip(
+                fixed_chunks(shipped, self.chunk_pairs),
+                fixed_chunks(query_ids, self.chunk_pairs),
+            )
+            if chunk
+        ]
+        inc("fleet.searches", len(pairs))
+        with trace("fleet.search_wave"):
+            chunk_results = self.executor.map_ordered(_fleet_chunk_task, items)
+        out: list[RupsEstimate] = []
+        for estimates in chunk_results:
+            out.extend(estimates)
+        return out
+
+    @staticmethod
+    def _from_update(q: FleetQuery, update: TrackerUpdate) -> FleetEstimate:
+        estimate = update.estimate
+        # Intern the worker-produced strings: unpickled task results
+        # carry fresh (equal but distinct) string objects, while inline
+        # runs share one interned literal — pickling a whole result
+        # list memoises by identity, so without canonical identity the
+        # serialized bytes would differ between pooled and inline runs
+        # even though every value is equal.
+        return FleetEstimate(
+            query_id=q.query_id,
+            own_id=q.own_id,
+            other_id=q.other_id,
+            distance_m=estimate.distance_m,
+            resolved=estimate.resolved,
+            mode=sys.intern(update.mode),
+            locked=update.locked_after,
+            degraded=update.degraded,
+            cause=sys.intern(estimate.cause) if estimate.cause else estimate.cause,
+        )

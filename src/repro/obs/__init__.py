@@ -53,6 +53,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
     inc,
+    invariant_snapshot,
     observe,
     set_gauge,
     use_registry,
@@ -72,6 +73,7 @@ __all__ = [
     "get_recorder",
     "get_registry",
     "inc",
+    "invariant_snapshot",
     "observe",
     "set_gauge",
     "trace",

@@ -33,6 +33,7 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "inc",
+    "invariant_snapshot",
     "observe",
     "set_gauge",
     "use_registry",
@@ -224,6 +225,56 @@ class MetricsRegistry:
         self._counters.clear()
         self._gauges.clear()
         self._histograms.clear()
+
+
+#: Histogram-name prefixes whose contents are wall-clock measurements:
+#: real per run, but never reproducible between runs.
+TIMING_HISTOGRAM_PREFIXES: tuple[str, ...] = ("span.",)
+
+#: Counter-name prefixes that count *transport and cache placement*:
+#: how many payloads were spooled, checked out, or rebuilt per worker
+#: (``runtime.shared.*``) and how each process-local engine LRU saw its
+#: request stream (``engine.cache.*``).  Both legitimately vary with
+#: worker count and chunk layout even though every result — and every
+#: cache-served value — is byte-identical.
+PLACEMENT_COUNTER_PREFIXES: tuple[str, ...] = (
+    "runtime.shared.",
+    "engine.cache.",
+)
+
+
+def invariant_snapshot(
+    snapshot: Mapping[str, Any],
+    exclude_histogram_prefixes: Sequence[str] = TIMING_HISTOGRAM_PREFIXES,
+    exclude_counter_prefixes: Sequence[str] = PLACEMENT_COUNTER_PREFIXES,
+) -> dict[str, Any]:
+    """The deterministic view of a metrics :meth:`~MetricsRegistry.snapshot`.
+
+    Counters, gauges, and histograms of *measured quantities* (errors,
+    sizes, counts) are pure functions of the workload and its seed — the
+    runtime's determinism contract holds them byte-identical under any
+    ``jobs``.  Two families are not: histograms of *wall clock* (the
+    ``span.*`` names the tracer feeds), which are real but never
+    reproducible, and counters of *placement* (the ``runtime.shared.*``
+    spool/checkout/derived tallies and the ``engine.cache.*`` hit/miss
+    tallies), which depend on how the work was spread over processes.
+    Exporters that assert or diff byte-identity strip both with this
+    helper.  The result is a plain dict of the same shape, with
+    excluded series removed.
+    """
+    return {
+        "counters": {
+            name: value
+            for name, value in snapshot.get("counters", {}).items()
+            if not any(name.startswith(p) for p in exclude_counter_prefixes)
+        },
+        "gauges": dict(snapshot.get("gauges", {})),
+        "histograms": {
+            name: {k: (list(v) if isinstance(v, list) else v) for k, v in data.items()}
+            for name, data in snapshot.get("histograms", {}).items()
+            if not any(name.startswith(p) for p in exclude_histogram_prefixes)
+        },
+    }
 
 
 #: Active-registry stack; the bottom entry is the process default.

@@ -1,9 +1,12 @@
 """Tests for repro.core.tracking: continuous tracking sessions."""
 
+import pickle
+
 import numpy as np
 import pytest
 
 from repro.core.config import RupsConfig
+from repro.core.engine import RupsEngine
 from repro.core.tracking import RupsTracker
 
 from tests.test_core_syn_resolver import synthetic_pair
@@ -201,3 +204,124 @@ class TestDegradedTracking:
         tracker = RupsTracker(CFG, locked_context_m=150.0)
         with pytest.raises(ValueError):
             tracker.update(rear, front, context_age_s=-0.1)
+
+    def test_negative_age_leaves_session_untouched(self):
+        """Regression: validation must run before any state mutation.
+
+        The pre-fix path stored the offered context *before* checking
+        ``context_age_s``, so a rejected call silently replaced the held
+        neighbour context — the next exchange-loss period then tracked
+        against a context the session was told was invalid.
+        """
+        rear, front = synthetic_pair(gap_m=30.0)
+        _, foreign = synthetic_pair(seed=88)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        tracker.update(rear, front)
+        held = tracker._last_context
+        assert held is front
+        was_locked = tracker.locked
+        n_history = len(tracker.history)
+        with pytest.raises(ValueError):
+            tracker.update(rear, foreign, context_age_s=-0.1)
+        assert tracker._last_context is held
+        assert tracker.locked == was_locked
+        assert len(tracker.history) == n_history
+        # The held (valid) context still serves exchange-loss periods:
+        # a foreign context leaked in by the rejected call would not
+        # resolve here.
+        u = tracker.update(rear, other=None, context_age_s=0.2)
+        assert u.estimate.resolved
+
+    def test_repeated_no_context_updates_stay_unresolved(self):
+        """The bottom rung of the degraded ladder holds under repetition."""
+        rear, _ = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        for age in (0.5, 1.5, 9.0):
+            u = tracker.update(rear, other=None, context_age_s=age)
+            assert u.degraded
+            assert not u.estimate.resolved
+            assert not u.locked_after
+            assert u.context_age_s == pytest.approx(age)
+        assert not tracker.locked
+        assert len(tracker.history) == 3
+        assert tracker.last_distance_m() is None
+
+    def test_reset_clears_anchor_and_trim_cache(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        tracker.update(rear, front)
+        tracker.update(rear, front)  # locked update: cache warm, anchor set
+        assert tracker._anchor is not None
+        assert tracker._trim_cache
+        tracker.reset()
+        assert tracker._anchor is None
+        assert tracker._trim_cache == {}
+        assert tracker._last_context is None
+        assert tracker.history == []
+        assert not tracker.locked
+
+
+class TestPlanAbsorbEquivalence:
+    """plan/absorb (the fleet service's split) must equal update()."""
+
+    @staticmethod
+    def _drive(tracker, engine, own, other, age=0.0):
+        """One tracking period through the decomposed path."""
+        plan = tracker.plan_update(own, other, context_age_s=age)
+        if plan.update is not None:
+            return plan.update
+        estimate = engine.estimate_relative_distance(*plan.pair)
+        update = tracker.absorb_update(plan, estimate)
+        if update is None:
+            estimate = engine.estimate_relative_distance(*plan.retry_pair)
+            update = tracker.absorb_retry(plan, estimate)
+        return update
+
+    def test_matches_update_through_full_ladder(self):
+        """Every rung: full, locked, locked-failure retry, relock, stale."""
+        rear, front = synthetic_pair(gap_m=30.0)
+        _, foreign = synthetic_pair(seed=99)
+        kwargs = dict(locked_context_m=150.0, max_locked_failures=1)
+        reference = RupsTracker(CFG, **kwargs)
+        split = RupsTracker(CFG, **kwargs)
+        engine = RupsEngine(CFG)
+        steps = [
+            (rear, front, 0.0),  # full -> lock
+            (rear, front, 0.0),  # locked
+            (rear, foreign, 0.0),  # locked fails -> full retry -> drop
+            (rear, front, 0.0),  # relock
+            (rear, None, 0.3),  # degraded against held context
+            (rear, None, 9.0),  # past budget: staleness drop
+        ]
+        for own, other, age in steps:
+            a = reference.update(own, other, context_age_s=age)
+            b = self._drive(split, engine, own, other, age=age)
+            assert pickle.dumps(a) == pickle.dumps(b)
+        assert reference.locked == split.locked
+        assert pickle.dumps(reference.history) == pickle.dumps(split.history)
+        modes = [u.mode for u in reference.history]
+        assert "locked" in modes and "full" in modes  # ladder exercised
+
+    def test_no_context_plan_is_already_decided(self):
+        rear, _ = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        plan = tracker.plan_update(rear, other=None, context_age_s=1.0)
+        assert plan.update is not None
+        assert plan.pair is None
+        assert len(tracker.history) == 1  # recorded at plan time
+
+    def test_absorb_update_rejects_decided_plan(self):
+        rear, _ = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        plan = tracker.plan_update(rear, other=None)
+        with pytest.raises(ValueError):
+            tracker.absorb_update(plan, plan.update.estimate)
+
+    def test_absorb_retry_requires_requested_retry(self):
+        rear, front = synthetic_pair(gap_m=30.0)
+        tracker = RupsTracker(CFG, locked_context_m=150.0)
+        engine = RupsEngine(CFG)
+        plan = tracker.plan_update(rear, front)
+        estimate = engine.estimate_relative_distance(*plan.pair)
+        with pytest.raises(ValueError):
+            tracker.absorb_retry(plan, estimate)

@@ -17,8 +17,44 @@ from repro.experiments.reporting import (
     render_series,
     render_table,
 )
+from repro.experiments.stream import event_grid
 from repro.experiments.traces import RoadSurvey, drive_pair
 from repro.roads.types import RoadType
+
+
+class TestEventGrid:
+    def test_float_step_rounding_never_adds_a_tick(self):
+        """Regression for the ``np.arange`` float-step bug.
+
+        ``0.1 * 3`` is 0.30000000000000004 in binary floating point;
+        ``np.arange(0.0, 0.1 * 3, 0.1)`` computes its length from that
+        inflated bound and emits a 4th tick for a 3-period span.  The
+        grid must pin the event count to the duration.
+        """
+        grid = event_grid(0.0, 0.1 * 3, 0.1)
+        assert len(grid) == 3
+        assert np.all(grid < 0.1 * 3)
+
+    @pytest.mark.parametrize("n", [1, 7, 100, 481])
+    def test_count_matches_duration(self, n):
+        period = 0.5
+        grid = event_grid(10.0, 10.0 + n * period, period)
+        assert len(grid) == n
+        assert grid[0] == 10.0
+        assert np.all(np.diff(grid) == pytest.approx(period))
+        assert np.all(grid < 10.0 + n * period)
+
+    def test_partial_last_period_still_fires(self):
+        grid = event_grid(0.0, 1.25, 0.5)
+        assert len(grid) == 3  # 0.0, 0.5, 1.0
+
+    def test_empty_and_invalid_windows(self):
+        assert len(event_grid(5.0, 5.0, 0.5)) == 0
+        assert len(event_grid(5.0, 4.0, 0.5)) == 0
+        with pytest.raises(ValueError):
+            event_grid(0.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            event_grid(0.0, 1.0, -0.1)
 
 
 class TestMetrics:

@@ -228,6 +228,38 @@ class TestSnapshotMerge:
         assert snap["counters"]["c"] == 1
 
 
+class TestInvariantSnapshot:
+    def test_strips_timing_and_placement_series(self):
+        from repro.obs import invariant_snapshot
+
+        reg = MetricsRegistry()
+        reg.inc("fleet.queries", 3)
+        reg.inc("runtime.shared.publish")  # transport: varies with jobs
+        reg.inc("engine.cache.reduction.hit", 2)  # placement: varies too
+        reg.set_gauge("campaign.drives", 2.0)
+        reg.observe("span.engine.estimate", 0.01)  # wall clock
+        reg.observe("fleet.error_m", 1.5, buckets=(1.0, 2.0))
+        view = invariant_snapshot(reg.snapshot())
+        assert view["counters"] == {"fleet.queries": 3}
+        assert view["gauges"] == {"campaign.drives": 2.0}
+        assert list(view["histograms"]) == ["fleet.error_m"]
+        assert view["histograms"]["fleet.error_m"]["count"] == 1
+
+    def test_is_a_plain_copy(self):
+        from repro.obs import invariant_snapshot
+
+        reg = MetricsRegistry()
+        reg.inc("kept")
+        reg.observe("kept_h", 0.2, buckets=(1.0,))
+        snap = reg.snapshot()
+        view = invariant_snapshot(snap)
+        view["counters"]["kept"] = 99
+        view["histograms"]["kept_h"]["counts"][0] = 99
+        assert snap["counters"]["kept"] == 1
+        assert snap["histograms"]["kept_h"]["counts"][0] == 1
+        assert json.loads(json.dumps(view))  # still JSON-serialisable
+
+
 class TestTracing:
     def test_span_nesting_depth_and_parent(self):
         rec = SpanRecorder()

@@ -30,6 +30,7 @@ class TestTopLevelExports:
             "repro.v2v",
             "repro.baselines",
             "repro.experiments",
+            "repro.fleet",
             "repro.util",
         ],
     )
@@ -51,6 +52,7 @@ class TestTopLevelExports:
             "repro.v2v",
             "repro.baselines",
             "repro.experiments",
+            "repro.fleet",
             "repro.util",
         ],
     )

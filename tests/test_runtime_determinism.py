@@ -13,15 +13,30 @@ import pickle
 import pytest
 
 from repro import obs
+from repro.core.config import RupsConfig
 from repro.experiments.campaign import run_campaign
+from repro.experiments.fleet import fleet_replay
 from repro.experiments.registry import run_experiment, run_experiments
-from repro.obs import MetricsRegistry, use_registry
+from repro.obs import MetricsRegistry, invariant_snapshot, use_registry
 from repro.obs.events import EventLedger, use_ledger
 from repro.runtime import DeterministicExecutor
 
 SMALL_CAMPAIGN = dict(
     route_length_m=6000.0, n_drives=2, queries_per_drive=3, seed=7
 )
+
+#: Small but genuinely pooled fleet replay: with ``chunk_pairs=2`` a
+#: tick's searches split into several chunks, so ``jobs > 1`` really
+#: crosses process boundaries (one-chunk waves run inline by design).
+SMALL_FLEET = dict(
+    n_vehicles=4,
+    duration_s=90.0,
+    update_period_s=1.0,
+    query_rate_hz=2.0,
+    seed=5,
+    chunk_pairs=2,
+)
+FLEET_CONFIG = RupsConfig(context_length_m=500.0, window_channels=20)
 
 
 def _metrics_task(item: int) -> int:
@@ -194,6 +209,62 @@ class TestSharedStaticsDeterminism:
         on = jsonl_for(True)
         off = jsonl_for(False)
         assert on and on == off
+
+
+class TestFleetJobsDeterminism:
+    """The fleet service inherits the runtime's whole contract.
+
+    With a fixed seed the replay's answered queries, the merged
+    *invariant* metrics view, and the exported provenance events must be
+    byte-identical under any ``jobs``/``shared_statics`` setting; only
+    the wall-clock latency figures (kept in the service's local
+    registry, not compared here) may move.
+    """
+
+    @staticmethod
+    def _run(small_plan, **kwargs):
+        registry = MetricsRegistry()
+        ledger = EventLedger()
+        with use_registry(registry), use_ledger(ledger):
+            result = fleet_replay(
+                plan=small_plan, config=FLEET_CONFIG, **SMALL_FLEET, **kwargs
+            )
+        buffer = io.StringIO()
+        ledger.write_jsonl(buffer)
+        return (
+            pickle.dumps(result.outcomes),
+            pickle.dumps(invariant_snapshot(registry.snapshot())),
+            buffer.getvalue(),
+        )
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_replay_byte_identical_to_serial(self, small_plan, jobs):
+        serial = self._run(small_plan, jobs=1)
+        assert serial[0] and serial[2]  # queries answered, events exported
+        parallel = self._run(small_plan, jobs=jobs)
+        assert parallel == serial
+
+    def test_shared_statics_off_byte_identical(self, small_plan):
+        serial = self._run(small_plan, jobs=1)
+        payloads = self._run(small_plan, jobs=2, shared_statics=False)
+        assert payloads == serial
+
+    def test_chunk_layout_never_changes_answers(self, small_plan):
+        """Batch composition moves per-batch event order, never a result."""
+        kwargs = dict(SMALL_FLEET)
+        kwargs.pop("chunk_pairs")
+        base = fleet_replay(
+            plan=small_plan, config=FLEET_CONFIG, chunk_pairs=2, **kwargs
+        )
+        other = fleet_replay(
+            plan=small_plan,
+            config=FLEET_CONFIG,
+            chunk_pairs=8,
+            jobs=2,
+            **kwargs,
+        )
+        assert base.outcomes == other.outcomes
+        assert base.n_queries > 0
 
 
 class TestExperimentFanOut:

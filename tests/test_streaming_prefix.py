@@ -263,6 +263,112 @@ class TestTrackerStreaming:
         assert tracker.last_distance_m() is not None
 
 
+class TestStreamReset:
+    """reset() forgets the neighbour but never the own-vehicle stream."""
+
+    CFG = RupsConfig(context_length_m=600.0, window_channels=30)
+
+    def test_reset_preserves_builder_and_clears_session(
+        self, shared_pair, shared_engine
+    ):
+        rear, front = shared_pair.rear, shared_pair.front
+        tracker = RupsTracker(self.CFG, staleness_budget_s=1.0)
+        scan, track = rear.scan, rear.estimated
+        t0, t1 = shared_pair.query_window(context_length_m=600.0)
+        times = [float(t) for t in np.arange(t0, t1, 10.0)]
+
+        def step(t, other, age=0.0):
+            trk = _truncate(track, t)
+            b = _chunk_bounds(scan, trk)
+            chunk = scan.slice(step.prev_b, b)
+            step.prev_b = b
+            return tracker.stream_update(
+                chunk, trk, other=other, context_age_s=age
+            )
+
+        step.prev_b = 0
+        # Drive until the session locks onto the neighbour.
+        i = 0
+        while not tracker.locked:
+            assert i < len(times) - 2, "session never locked"
+            step(
+                times[i],
+                shared_engine.build_trajectory(
+                    front.scan, front.estimated, at_time_s=times[i]
+                ),
+            )
+            i += 1
+        builder = tracker._builder
+        assert builder is not None
+        # Lossy exchange: the context ages past budget, the lock drops.
+        u = step(times[i], other=None, age=5.0)
+        i += 1
+        assert u.degraded and not u.locked_after
+
+        # New neighbour: session state goes, the own stream survives.
+        tracker.reset()
+        assert tracker._builder is builder
+        assert tracker._anchor is None
+        assert tracker._trim_cache == {}
+        assert tracker._last_context is None
+        assert tracker.history == []
+
+        # The surviving builder keeps serving: the next fresh context
+        # resolves out of state accumulated *before* the reset.
+        u = step(
+            times[i],
+            shared_engine.build_trajectory(
+                front.scan, front.estimated, at_time_s=times[i]
+            ),
+        )
+        assert u.estimate.resolved
+        assert tracker.locked
+
+    @pytest.mark.parametrize("anchored_search", [True, False])
+    def test_reset_continuation_bitwise_matches_rebuild(
+        self, shared_pair, shared_engine, anchored_search
+    ):
+        """A mid-stream reset() must not disturb prefix equivalence.
+
+        Run the incremental builder and the rebuild-per-update baseline
+        through the identical chunk sequence, both reset halfway: every
+        update before and after the reset must stay bit-identical.
+        """
+
+        def run(**kwargs):
+            rear, front = shared_pair.rear, shared_pair.front
+            tracker = RupsTracker(
+                self.CFG, anchored_search=anchored_search, **kwargs
+            )
+            scan, track = rear.scan, rear.estimated
+            t0, t1 = shared_pair.query_window(context_length_m=600.0)
+            times = [float(t) for t in np.arange(t0, t1, 10.0)]
+            reset_at = len(times) // 2
+            prev_b = 0
+            updates = []
+            for i, t in enumerate(times):
+                trk = _truncate(track, t)
+                b = _chunk_bounds(scan, trk)
+                chunk = scan.slice(prev_b, b)
+                prev_b = b
+                if i == reset_at:
+                    tracker.reset()
+                other = shared_engine.build_trajectory(
+                    front.scan, front.estimated, at_time_s=t
+                )
+                updates.append(tracker.stream_update(chunk, trk, other=other))
+            return updates
+
+        incremental = run()
+        rebuild = run(stream_rebuild=True)
+        assert len(incremental) == len(rebuild)
+        resolved = 0
+        for a, b in zip(incremental, rebuild):
+            TestTrackerStreaming._assert_updates_identical(a, b)
+            resolved += a.estimate.resolved
+        assert resolved > 0
+
+
 class TestSatelliteFixes:
     def test_trim_cache_reuses_object_for_unchanged_token(self, shared_pair, shared_engine):
         cfg = RupsConfig(context_length_m=600.0, window_channels=30)

@@ -21,6 +21,8 @@ import numpy as np
 
 from repro.experiments.fleet import fleet_replay
 from repro.gsm.band import RGSM900
+from repro.obs import slo
+from repro.obs.openmetrics import exposition, parse
 
 N_VEHICLES = 20
 DURATION_S = 160.0
@@ -40,10 +42,21 @@ def test_fleet_service_latency(record_result):
     assert result.n_queries > 100, "replay answered too few queries to time"
     assert result.queries_per_s > 0
 
+    # The operational plane, exercised at bench scale: evaluate the
+    # fleet SLOs over the replay's telemetry (latency histograms reach
+    # here via the service's auxiliary registry) and prove the live
+    # exposition we would serve from /metrics is well-formed.
+    statuses = slo.evaluate(slo.gathered_snapshot())
+    slo.set_slo_gauges(statuses)
+    families = parse(exposition())
+    assert "fleet_query_latency_s" in families
+    assert any(name.startswith("slo_") for name in families)
+
     text = (
         f"{result.render()}\n"
         f"(bench scale: {N_VEHICLES} vehicles, {DURATION_S:.0f} s drives, "
-        f"{QUERY_RATE_HZ:.0f}/s Poisson arrivals, 39-ch plan, jobs=1)"
+        f"{QUERY_RATE_HZ:.0f}/s Poisson arrivals, 39-ch plan, jobs=1)\n\n"
+        f"{slo.format_report(statuses)}"
     )
     record_result(
         "t-fleet",

@@ -95,6 +95,7 @@ def fleet_replay(
     shared_statics: bool = True,
     n_shards: int = 8,
     executor: DeterministicExecutor | None = None,
+    flight=None,
 ) -> FleetReplayResult:
     """Replay a fleet of leader/follower pairs through the service.
 
@@ -121,6 +122,10 @@ def fleet_replay(
         contract.
     executor:
         Reuse an existing executor (the caller keeps ownership).
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder` checked
+        after every service tick (lock-drop storm / latency-breach
+        dumps); the caller owns it and decides when to close.
     """
     if n_vehicles < 2 or n_vehicles % 2:
         raise ValueError("n_vehicles must be even and >= 2")
@@ -210,6 +215,7 @@ def fleet_replay(
             chunk_pairs=chunk_pairs,
             shared_statics=shared_statics,
             executor=executor,
+            flight=flight,
         )
         vehicle_ids = []
         for p in range(n_pairs):

@@ -44,8 +44,18 @@ from repro.core.trajectory import GsmTrajectory
 from repro.fleet.store import FleetStore
 from repro.obs.events import emit, use_query_id
 from repro.obs.logconfig import get_logger
-from repro.obs.metrics import MetricsRegistry, inc
-from repro.obs.tracing import trace
+from repro.obs.metrics import (
+    MetricsRegistry,
+    inc,
+    register_aux_registry,
+    unregister_aux_registry,
+)
+from repro.obs.tracing import (
+    deterministic_span_id,
+    query_span_id,
+    record_complete,
+    trace,
+)
 from repro.runtime import DeterministicExecutor, fixed_chunks
 from repro.runtime import shared as shared_store
 
@@ -139,15 +149,24 @@ def _fleet_chunk_task(item: tuple) -> list[RupsEstimate]:
     trajectories themselves); the whole chunk is estimated by one
     cross-pair batched SYN kernel call, with each pair's provenance
     events tagged by its query id.
+
+    The chunk's span ID is precomputed by the submitting process (a pure
+    function of tick index, round and chunk index), so the parent can
+    link each query span to the exact chunk that served it without
+    waiting for the worker's span snapshot.
     """
-    pairs_in, query_ids, config = item
+    pairs_in, query_ids, config, span_id = item
     engine = _fleet_engine(config)
     pairs = [
         (shared_store.resolve(own), shared_store.resolve(other))
         for own, other in pairs_in
     ]
     inc("fleet.chunks")
-    with trace("fleet.search_chunk"):
+    with trace(
+        "fleet.search_chunk",
+        span_id=span_id,
+        attrs=(("pairs", len(pairs)),),
+    ):
         return engine.estimate_relative_distance_batch(
             pairs, query_ids=list(query_ids)
         )
@@ -172,6 +191,10 @@ class FleetService:
     executor:
         Reuse an existing executor (its ``jobs`` wins; the caller keeps
         ownership — it is not closed here).
+    flight:
+        Optional :class:`~repro.obs.flight.FlightRecorder`; when given,
+        every tick ends with an anomaly check that can dump the recent
+        span/event tail to JSONL (lock-drop storm, SLO breach).
 
     Attributes
     ----------
@@ -180,7 +203,10 @@ class FleetService:
         wall-clock histograms (``fleet.query_latency_s``,
         ``fleet.tick_s``).  Deliberately never merged into the active
         registry: wall clock is real but not reproducible, and the
-        active registry carries the fleet's jobs-invariant metrics.
+        active registry carries the fleet's jobs-invariant metrics.  It
+        *is* registered as the ``"fleet.latency"`` auxiliary registry,
+        so the live ``/metrics`` endpoint and the SLO evaluator can see
+        the service's latency distributions while it runs.
     """
 
     def __init__(
@@ -190,6 +216,7 @@ class FleetService:
         chunk_pairs: int = DEFAULT_CHUNK_PAIRS,
         shared_statics: bool = True,
         executor: DeterministicExecutor | None = None,
+        flight: "object | None" = None,
     ) -> None:
         if chunk_pairs < 1:
             raise ValueError("chunk_pairs must be >= 1")
@@ -199,7 +226,10 @@ class FleetService:
         self._owns_executor = executor is None
         self.executor = executor or DeterministicExecutor(jobs=jobs)
         self.latency = MetricsRegistry()
+        self.flight = flight
         self._pending: list[FleetTicket] = []
+        self._ticks = 0
+        register_aux_registry("fleet.latency", self.latency)
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "FleetService":
@@ -212,6 +242,7 @@ class FleetService:
         """Tear the owned executor down (a shared one is left alone)."""
         if self._owns_executor:
             self.executor.close()
+        unregister_aux_registry("fleet.latency", self.latency)
 
     # -- request path --------------------------------------------------
     def submit(self, query: FleetQuery) -> FleetTicket:
@@ -254,98 +285,137 @@ class FleetService:
         if not tickets:
             return []
         start_s = time.perf_counter()
+        tick_idx = self._ticks
+        self._ticks += 1
         inc("fleet.ticks")
         inc("fleet.queries", len(tickets))
 
-        # Phase 1 — plan (serial, state-mutating).
-        results: list[FleetEstimate | None] = [None] * len(tickets)
-        plans: list[TrackerPlan | None] = [None] * len(tickets)
-        searches: list[int] = []
-        for i, ticket in enumerate(tickets):
-            q = ticket.query
-            own, err = self._serve(q.own_id, at_time_s)
-            other = None
-            if err is None:
-                other, err = self._serve(q.other_id, at_time_s)
-            if err is not None:
-                inc(f"fleet.queries.rejected.{err}")
-                with use_query_id(q.query_id):
-                    emit(
-                        "fleet.query",
-                        own=q.own_id,
-                        other=q.other_id,
-                        resolved=False,
-                        error=err,
-                    )
-                results[i] = FleetEstimate(
-                    query_id=q.query_id,
-                    own_id=q.own_id,
-                    other_id=q.other_id,
-                    distance_m=None,
-                    resolved=False,
-                    mode="none",
-                    locked=False,
-                    degraded=True,
-                    error=err,
-                )
-                continue
-            tracker = self.store.session(q.own_id, q.other_id)
-            with use_query_id(q.query_id):
-                plan = tracker.plan_update(
-                    own, other, context_age_s=q.context_age_s
-                )
-            plans[i] = plan
-            if plan.update is not None:
-                results[i] = self._from_update(q, plan.update)
-            else:
-                searches.append(i)
+        # Per-query causal links, accumulated phase by phase and written
+        # onto each query span at the end of the tick.  Every linked ID
+        # is a pure function of tick/round/chunk indices, so the links
+        # are as jobs-invariant as the results they explain.
+        links: list[list[str]] = [[] for _ in tickets]
 
-        # Phase 2 — primary searches (pure, batched, fanned out).
-        estimates = self._batched_estimates(
-            [plans[i].pair for i in searches],
-            [tickets[i].query.query_id for i in searches],
-        )
+        with trace("fleet.tick", attrs=(("queries", len(tickets)),)):
+            # Phase 1 — plan (serial, state-mutating).
+            results: list[FleetEstimate | None] = [None] * len(tickets)
+            plans: list[TrackerPlan | None] = [None] * len(tickets)
+            searches: list[int] = []
+            with trace("fleet.plan") as plan_sid:
+                for i, ticket in enumerate(tickets):
+                    links[i].append(plan_sid)
+                    q = ticket.query
+                    own, err = self._serve(q.own_id, at_time_s)
+                    other = None
+                    if err is None:
+                        other, err = self._serve(q.other_id, at_time_s)
+                    if err is not None:
+                        inc(f"fleet.queries.rejected.{err}")
+                        with use_query_id(q.query_id):
+                            emit(
+                                "fleet.query",
+                                own=q.own_id,
+                                other=q.other_id,
+                                resolved=False,
+                                error=err,
+                            )
+                        results[i] = FleetEstimate(
+                            query_id=q.query_id,
+                            own_id=q.own_id,
+                            other_id=q.other_id,
+                            distance_m=None,
+                            resolved=False,
+                            mode="none",
+                            locked=False,
+                            degraded=True,
+                            error=err,
+                        )
+                        continue
+                    tracker = self.store.session(q.own_id, q.other_id)
+                    with use_query_id(q.query_id):
+                        plan = tracker.plan_update(
+                            own, other, context_age_s=q.context_age_s
+                        )
+                    plans[i] = plan
+                    if plan.update is not None:
+                        results[i] = self._from_update(q, plan.update)
+                    else:
+                        searches.append(i)
 
-        # Phase 3 — absorb + full-context retry round.
-        retries: list[int] = []
-        for i, estimate in zip(searches, estimates):
-            q = tickets[i].query
-            tracker = self.store.session(q.own_id, q.other_id)
-            with use_query_id(q.query_id):
-                update = tracker.absorb_update(plans[i], estimate)
-            if update is None:
-                retries.append(i)
-            else:
-                results[i] = self._from_update(q, update)
-        if retries:
-            retry_estimates = self._batched_estimates(
-                [plans[i].retry_pair for i in retries],
-                [tickets[i].query.query_id for i in retries],
+            # Phase 2 — primary searches (pure, batched, fanned out).
+            estimates, chunk_sids = self._batched_estimates(
+                [plans[i].pair for i in searches],
+                [tickets[i].query.query_id for i in searches],
+                tick_idx=tick_idx,
+                round_label="primary",
             )
-            for i, estimate in zip(retries, retry_estimates):
-                q = tickets[i].query
-                tracker = self.store.session(q.own_id, q.other_id)
-                with use_query_id(q.query_id):
-                    update = tracker.absorb_retry(plans[i], estimate)
-                results[i] = self._from_update(q, update)
+            for i, sid in zip(searches, chunk_sids):
+                links[i].append(sid)
 
-        # Wall clock goes to the local registry only (see class doc).
-        end_s = time.perf_counter()
-        self.latency.observe("fleet.tick_s", end_s - start_s)
-        out: list[FleetEstimate] = []
-        for ticket, result in zip(tickets, results):
-            assert result is not None
-            ticket.estimate = result
-            self.latency.observe(
-                "fleet.query_latency_s", end_s - ticket.submitted_s
-            )
-            out.append(result)
+            # Phase 3 — absorb + full-context retry round.
+            retries: list[int] = []
+            with trace("fleet.absorb") as absorb_sid:
+                for i, estimate in zip(searches, estimates):
+                    links[i].append(absorb_sid)
+                    q = tickets[i].query
+                    tracker = self.store.session(q.own_id, q.other_id)
+                    with use_query_id(q.query_id):
+                        update = tracker.absorb_update(plans[i], estimate)
+                    if update is None:
+                        retries.append(i)
+                    else:
+                        results[i] = self._from_update(q, update)
+            if retries:
+                retry_estimates, retry_sids = self._batched_estimates(
+                    [plans[i].retry_pair for i in retries],
+                    [tickets[i].query.query_id for i in retries],
+                    tick_idx=tick_idx,
+                    round_label="retry",
+                )
+                for i, sid in zip(retries, retry_sids):
+                    links[i].append(sid)
+                with trace("fleet.retry_absorb") as retry_absorb_sid:
+                    for i, estimate in zip(retries, retry_estimates):
+                        links[i].append(retry_absorb_sid)
+                        q = tickets[i].query
+                        tracker = self.store.session(q.own_id, q.other_id)
+                        with use_query_id(q.query_id):
+                            update = tracker.absorb_retry(plans[i], estimate)
+                        results[i] = self._from_update(q, update)
+
+            # Wall clock goes to the local registry only (see class doc).
+            end_s = time.perf_counter()
+            self.latency.observe("fleet.tick_s", end_s - start_s)
+            out: list[FleetEstimate] = []
+            for i, (ticket, result) in enumerate(zip(tickets, results)):
+                assert result is not None
+                ticket.estimate = result
+                self.latency.observe(
+                    "fleet.query_latency_s", end_s - ticket.submitted_s
+                )
+                # The query's causal root span: same ID the event ledger
+                # stamps on every exported event for this query id, so a
+                # bad exported estimate walks back — event → query span →
+                # linked chunk span — in one join.
+                record_complete(
+                    "fleet.query",
+                    wall_s=end_s - ticket.submitted_s,
+                    span_id=query_span_id(result.query_id),
+                    links=tuple(links[i]),
+                    attrs=(
+                        ("query_id", result.query_id),
+                        ("resolved", result.resolved),
+                    ),
+                )
+                out.append(result)
         _log.debug(
             "fleet tick: queries=%d searches=%d retries=%d",
             len(tickets),
             len(searches),
             len(retries),
         )
+        if self.flight is not None:
+            self.flight.after_tick(self)
         return out
 
     # -- internals -----------------------------------------------------
@@ -364,10 +434,21 @@ class FleetService:
         self,
         pairs: list[tuple[GsmTrajectory, GsmTrajectory]],
         query_ids: list[str],
-    ) -> list[RupsEstimate]:
-        """Estimate all pairs via fixed-size chunks over the executor."""
+        tick_idx: int = 0,
+        round_label: str = "primary",
+    ) -> tuple[list[RupsEstimate], list[str]]:
+        """Estimate all pairs via fixed-size chunks over the executor.
+
+        Returns the estimates plus, aligned with ``pairs``, the span ID
+        of the chunk that computed each one.  Chunk span IDs are derived
+        here — ``(fleet.search, tick, round, chunk)`` — and handed to
+        the workers, so the submitting process can link query spans to
+        chunks without waiting for worker span snapshots, and the IDs
+        stay invariant under any worker count (chunk layout is fixed by
+        ``chunk_pairs``, never by ``jobs``).
+        """
         if not pairs:
-            return []
+            return [], []
         publish = self.shared_statics and self.executor.jobs > 1
         if publish:
             # One publish per distinct trajectory object per round: the
@@ -387,21 +468,31 @@ class FleetService:
             shipped = [(ship(own), ship(other)) for own, other in pairs]
         else:
             shipped = list(pairs)
-        items = [
-            (chunk, ids, self.store.config)
-            for chunk, ids in zip(
+        items = []
+        pair_sids: list[str] = []
+        for chunk_idx, (chunk, ids) in enumerate(
+            zip(
                 fixed_chunks(shipped, self.chunk_pairs),
                 fixed_chunks(query_ids, self.chunk_pairs),
             )
-            if chunk
-        ]
+        ):
+            if not chunk:
+                continue
+            sid = deterministic_span_id(
+                "fleet.search", tick_idx, round_label, chunk_idx
+            )
+            items.append((chunk, ids, self.store.config, sid))
+            pair_sids.extend([sid] * len(chunk))
         inc("fleet.searches", len(pairs))
-        with trace("fleet.search_wave"):
+        with trace(
+            "fleet.search_wave",
+            attrs=(("round", round_label), ("chunks", len(items))),
+        ):
             chunk_results = self.executor.map_ordered(_fleet_chunk_task, items)
         out: list[RupsEstimate] = []
         for estimates in chunk_results:
             out.extend(estimates)
-        return out
+        return out, pair_sids
 
     @staticmethod
     def _from_update(q: FleetQuery, update: TrackerUpdate) -> FleetEstimate:

@@ -28,7 +28,7 @@ from repro.core.config import RupsConfig
 from repro.core.tracking import RupsTracker
 from repro.core.trajectory import GsmTrajectory, TrajectoryBuilder
 from repro.gsm.scanner import ScanStream
-from repro.obs.metrics import inc
+from repro.obs.metrics import inc, set_gauge
 from repro.sensors.deadreckoning import EstimatedTrack
 
 __all__ = ["FleetStore", "VehicleSlot"]
@@ -145,6 +145,7 @@ class FleetStore:
             )
             shard[vehicle_id] = slot
             inc("fleet.store.vehicles_admitted")
+            set_gauge("fleet.store.vehicles", self.n_vehicles)
         slot.builder.append(chunk, track)
         slot.track = track
         slot.ring.append(chunk)
@@ -210,6 +211,7 @@ class FleetStore:
             tracker = RupsTracker(self.config, **self.tracker_kwargs)
             sessions[key] = tracker
             inc("fleet.store.sessions_opened")
+            set_gauge("fleet.store.sessions", self.n_sessions)
         return tracker
 
     @property
@@ -227,6 +229,7 @@ class FleetStore:
         shard = self._shards[self.shard_of(vehicle_id)]
         if shard.pop(vehicle_id, None) is not None:
             inc("fleet.store.vehicles_dropped")
+            set_gauge("fleet.store.vehicles", self.n_vehicles)
         for sessions in self._sessions:
             stale = [
                 key
@@ -235,3 +238,4 @@ class FleetStore:
             ]
             for key in stale:
                 del sessions[key]
+        set_gauge("fleet.store.sessions", self.n_sessions)

@@ -10,6 +10,14 @@ relaxed threshold 0.64" — tagged with the currently active *query id*,
 and the error-attribution reporter (:mod:`repro.obs.report`) later
 joins them back into per-query narratives.
 
+Since PR 10 every exported event also carries a *trace exemplar*: the
+deterministic span ID of the query's causal root span
+(:func:`~repro.obs.tracing.query_span_id`, a pure function of the query
+id, so worker-side emits and the submitting process's query span agree
+without shipping state).  A suspicious exported estimate can therefore
+be walked back — event → query span → the chunk span that produced it —
+across the process boundary.
+
 Design constraints, matching the metrics layer it sits beside:
 
 1. **Deterministic merge.**  The ledger follows the exact discipline of
@@ -41,6 +49,8 @@ import json
 from contextlib import contextmanager
 from typing import IO, Any, Iterator, Mapping
 
+from repro.obs.tracing import query_span_id
+
 __all__ = [
     "EventLedger",
     "current_query_id",
@@ -57,8 +67,9 @@ DEFAULT_CAPACITY = 100_000
 class EventLedger:
     """Append-only bounded record of pipeline decisions.
 
-    Events are stored as ``(kind, query_id, diagnostic, data)`` tuples;
-    ``data`` is a plain dict of JSON-serialisable values.  Once
+    Events are stored as ``(kind, query_id, span_id, diagnostic,
+    data)`` tuples; ``data`` is a plain dict of JSON-serialisable
+    values.  Once
     ``capacity`` events are held, further emits are counted as dropped
     rather than evicting older context (the head of a campaign is as
     explanatory as its tail, and a deterministic cut keeps the exported
@@ -71,7 +82,9 @@ class EventLedger:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = int(capacity)
-        self._events: list[tuple[str, str | None, bool, dict[str, Any]]] = []
+        self._events: list[
+            tuple[str, str | None, str | None, bool, dict[str, Any]]
+        ] = []
         self._dropped = 0
 
     # -- writes --------------------------------------------------------
@@ -79,6 +92,7 @@ class EventLedger:
         self,
         kind: str,
         query_id: str | None = None,
+        span_id: str | None = None,
         diagnostic: bool = False,
         **data: Any,
     ) -> None:
@@ -86,11 +100,13 @@ class EventLedger:
         if len(self._events) >= self.capacity:
             self._dropped += 1
             return
-        self._events.append((kind, query_id, diagnostic, data))
+        self._events.append((kind, query_id, span_id, diagnostic, data))
 
     # -- reads ---------------------------------------------------------
     @property
-    def events(self) -> tuple[tuple[str, str | None, bool, dict], ...]:
+    def events(
+        self,
+    ) -> tuple[tuple[str, str | None, str | None, bool, dict], ...]:
         """All held events, oldest first."""
         return tuple(self._events)
 
@@ -103,14 +119,16 @@ class EventLedger:
         return len(self._events)
 
     def to_dicts(self, include_diagnostic: bool = False) -> list[dict[str, Any]]:
-        """Events as JSON-ready dicts: ``seq``, ``kind``, ``query_id``, ``data``.
+        """Events as JSON-ready dicts: ``seq``, ``kind``, ``query_id``,
+        ``span_id``, ``data``.
 
         ``seq`` numbers the *exported* stream, so the default
         provenance-only export is contiguous regardless of how many
-        diagnostic events interleaved it.
+        diagnostic events interleaved it.  ``span_id`` is the trace
+        exemplar — the query span the event belongs to, if any.
         """
         out = []
-        for kind, query_id, diagnostic, data in self._events:
+        for kind, query_id, span_id, diagnostic, data in self._events:
             if diagnostic and not include_diagnostic:
                 continue
             out.append(
@@ -118,6 +136,7 @@ class EventLedger:
                     "seq": len(out),
                     "kind": kind,
                     "query_id": query_id,
+                    "span_id": span_id,
                     "data": data,
                 }
             )
@@ -154,11 +173,10 @@ class EventLedger:
         ``jobs``.
         """
         for event in snapshot.get("events", ()):
-            kind, query_id, diagnostic, data = event
             if len(self._events) >= self.capacity:
                 self._dropped += 1
             else:
-                self._events.append((kind, query_id, diagnostic, data))
+                self._events.append(tuple(event))
         self._dropped += int(snapshot.get("dropped", 0))
 
     def clear(self) -> None:
@@ -211,7 +229,17 @@ def use_query_id(query_id: str) -> Iterator[None]:
 
 
 def emit(kind: str, diagnostic: bool = False, **data: Any) -> None:
-    """Record an event on the active ledger, tagged with the active query id."""
+    """Record an event on the active ledger, tagged with the active query.
+
+    When a query id is in scope the event also carries that query's
+    deterministic span ID as its trace exemplar (see module doc).
+    """
+    query_id = _QUERY_IDS[-1]
+    span_id = None if query_id is None else query_span_id(query_id)
     _STACK[-1].emit(
-        kind, query_id=_QUERY_IDS[-1], diagnostic=diagnostic, **data
+        kind,
+        query_id=query_id,
+        span_id=span_id,
+        diagnostic=diagnostic,
+        **data,
     )

@@ -1,0 +1,207 @@
+"""Flight recorder: dump recent spans + events when something breaks.
+
+Live services fail at 3 a.m.; the question the next morning is "what
+was happening *right then*".  The flight recorder answers it without
+keeping unbounded telemetry: the active
+:class:`~repro.obs.tracing.SpanRecorder` and
+:class:`~repro.obs.events.EventLedger` already hold bounded rings of
+recent spans and events, and the recorder dumps their tails to JSONL
+the moment an anomaly trigger fires.
+
+Triggers, checked after every :meth:`FleetService.tick`:
+
+* **Lock-drop storm** — the tick's delta of
+  ``tracker.lock_dropped.*`` counters reaches
+  ``lock_drop_threshold``.  Those counters are jobs-invariant (lock
+  transitions happen serially in the submitting process), so this
+  trigger — and the resulting dump — is deterministic.
+* **Latency-budget breach** — the service's wall-clock
+  ``fleet.query_latency_s`` p99 exceeds ``p99_budget_s`` (off by
+  default: wall clock is real but not reproducible, so enabling it
+  makes dump *timing* nondeterministic even though each dump's
+  structural content stays well-formed).
+
+Dumps are JSONL, one record per line: a header (trigger, tick, the
+counter deltas that fired it), then the recent spans in
+:meth:`~repro.obs.tracing.SpanRecorder.structural` form (no wall-clock
+fields, placement spans excluded — byte-identical under any ``jobs``),
+then the recent exported events with their query-span exemplars.
+``include_timings=True`` adds per-span wall/cpu fields for human
+debugging at the cost of that byte-identity.
+
+The recorder can also be fired by hand (:meth:`FlightRecorder.dump`)
+— the CLI's ``--flight-out`` does this at the end of a replay so every
+run leaves a black box behind.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any
+
+from repro.obs.events import get_ledger
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import get_registry, inc
+from repro.obs.tracing import get_recorder
+
+__all__ = ["FlightRecorder"]
+
+_log = get_logger(__name__)
+
+#: Spans / events kept per dump (the tails of the live rings).
+DEFAULT_SPAN_TAIL = 512
+DEFAULT_EVENT_TAIL = 1024
+
+#: Lock drops within one tick that count as a storm.
+DEFAULT_LOCK_DROP_THRESHOLD = 8
+
+#: Counters whose per-tick delta feeds the storm trigger.
+_LOCK_DROP_COUNTERS = (
+    "tracker.lock_dropped.failures",
+    "tracker.lock_dropped.staleness",
+)
+
+
+class FlightRecorder:
+    """Bounded black box over the live span/event rings.
+
+    Parameters
+    ----------
+    path:
+        JSONL file dumps append to (one file may hold several dumps;
+        each starts with a ``"flight.header"`` record).
+    span_tail, event_tail:
+        How much of the live rings each dump keeps.
+    lock_drop_threshold:
+        Per-tick ``tracker.lock_dropped.*`` delta that fires a dump;
+        ``None`` disables the trigger.
+    p99_budget_s:
+        Wall-clock ``fleet.query_latency_s`` p99 that fires a dump;
+        ``None`` (default) disables — see module doc on determinism.
+    include_timings:
+        Add wall/cpu fields to dumped spans (human debugging; breaks
+        dump byte-identity across ``jobs``).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        span_tail: int = DEFAULT_SPAN_TAIL,
+        event_tail: int = DEFAULT_EVENT_TAIL,
+        lock_drop_threshold: int | None = DEFAULT_LOCK_DROP_THRESHOLD,
+        p99_budget_s: float | None = None,
+        include_timings: bool = False,
+    ) -> None:
+        if span_tail < 1 or event_tail < 1:
+            raise ValueError("span_tail and event_tail must be >= 1")
+        self.path = path
+        self.span_tail = int(span_tail)
+        self.event_tail = int(event_tail)
+        self.lock_drop_threshold = lock_drop_threshold
+        self.p99_budget_s = p99_budget_s
+        self.include_timings = bool(include_timings)
+        self.n_dumps = 0
+        self._ticks_seen = 0
+        self._last_lock_drops = 0.0
+        self._fh: IO[str] | None = None
+
+    # -- trigger evaluation --------------------------------------------
+    def after_tick(self, service: Any) -> str | None:
+        """Check triggers after one service tick; dump when one fires.
+
+        Returns the trigger name when a dump was written, else None.
+        """
+        tick_idx = self._ticks_seen
+        self._ticks_seen += 1
+        registry = get_registry()
+        lock_drops = sum(
+            registry.counter(name) for name in _LOCK_DROP_COUNTERS
+        )
+        delta = lock_drops - self._last_lock_drops
+        self._last_lock_drops = lock_drops
+        if (
+            self.lock_drop_threshold is not None
+            and delta >= self.lock_drop_threshold
+        ):
+            self.dump(
+                "lock_drop_storm",
+                tick=tick_idx,
+                detail={"lock_drops_this_tick": delta},
+            )
+            return "lock_drop_storm"
+        if self.p99_budget_s is not None:
+            p99 = service.latency.quantile("fleet.query_latency_s", 0.99)
+            if p99 == p99 and p99 > self.p99_budget_s:
+                self.dump(
+                    "slo_breach",
+                    tick=tick_idx,
+                    detail={"p99_s": p99, "budget_s": self.p99_budget_s},
+                )
+                return "slo_breach"
+        return None
+
+    # -- dumping -------------------------------------------------------
+    def dump(
+        self,
+        trigger: str,
+        tick: int | None = None,
+        detail: dict[str, Any] | None = None,
+    ) -> str:
+        """Write one dump (header + span tail + event tail); returns path."""
+        recorder = get_recorder()
+        ledger = get_ledger()
+        structural = recorder.structural()
+        spans = structural["spans"][-self.span_tail :]
+        if self.include_timings:
+            timed = {span.span_id: span for span in recorder.spans}
+            for record in spans:
+                span = timed.get(record["span_id"])
+                if span is not None:
+                    record["wall_s"] = span.wall_s
+                    record["cpu_s"] = span.cpu_s
+        events = ledger.to_dicts()[-self.event_tail :]
+        if self._fh is None:
+            self._fh = open(self.path, "w")
+        fh = self._fh
+        header = {
+            "kind": "flight.header",
+            "trigger": trigger,
+            "tick": tick,
+            "dump_index": self.n_dumps,
+            "detail": detail or {},
+            "trace_id": structural["trace_id"],
+            "dropped_spans": structural["dropped_spans"],
+            "n_spans": len(spans),
+            "n_events": len(events),
+        }
+        fh.write(json.dumps(header) + "\n")
+        for record in spans:
+            fh.write(json.dumps({"kind": "flight.span", **record}) + "\n")
+        for record in events:
+            # Event dicts carry their own "kind" (the event kind), so
+            # they nest under "event" instead of splatting — the
+            # record-type discriminator must survive.
+            fh.write(
+                json.dumps({"kind": "flight.event", "event": record}) + "\n"
+            )
+        fh.flush()
+        self.n_dumps += 1
+        inc("flight.dumps")
+        _log.warning(
+            "flight recorder dumped: trigger=%s tick=%s path=%s",
+            trigger,
+            tick,
+            self.path,
+        )
+        return self.path
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "FlightRecorder":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,233 @@
+"""OpenMetrics/Prometheus text exposition for metrics snapshots.
+
+Maps :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` dicts onto the
+`OpenMetrics text format`_ so any Prometheus-compatible scraper (or
+plain ``curl``) can read the pipeline's counters, gauges and
+histograms.  Standard library only, like everything in ``repro.obs``.
+
+Semantics mapping:
+
+* **Counters** gain the mandated ``_total`` sample suffix.
+* **Histograms** are converted from the registry's *per-bucket*
+  ``value <= edge`` counts to OpenMetrics *cumulative* ``le`` buckets;
+  the registry's overflow slot (``value > edges[-1]``) folds into the
+  required ``le="+Inf"`` bucket, which therefore always equals
+  ``_count``.  ``_sum`` comes along for rate math.
+* **Names** are sanitised (``.`` and any other illegal character →
+  ``_``): ``fleet.query_latency_s`` scrapes as
+  ``fleet_query_latency_s``.
+* Series are emitted in sorted-name order and the exposition ends with
+  the mandatory ``# EOF`` line — so rendering an
+  :func:`~repro.obs.metrics.invariant_snapshot` yields *byte-identical*
+  text for any ``jobs``, which the determinism suite asserts.
+
+:func:`render` turns one snapshot into text; :func:`exposition` gathers
+the active registry plus every registered auxiliary registry (the fleet
+service's wall-clock latency lives in one) — that is what the
+``/metrics`` endpoint serves.  :func:`parse` is a small validating
+parser used by CI to prove the exposition we serve is well-formed,
+without adding a prometheus client dependency.
+
+.. _OpenMetrics text format:
+   https://github.com/OpenObservability/OpenMetrics/blob/main/specification/OpenMetrics.md
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Mapping
+
+from repro.obs.metrics import MetricsRegistry, aux_registries, get_registry
+
+__all__ = ["exposition", "parse", "render", "sanitize_name"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_ILLEGAL = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Content type a compliant OpenMetrics endpoint declares.
+CONTENT_TYPE = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+
+def sanitize_name(name: str) -> str:
+    """A dotted registry name as a legal Prometheus metric name."""
+    out = _ILLEGAL.sub("_", name)
+    if not out or not _NAME_OK.match(out):
+        out = "_" + out
+    return out
+
+
+def _format_value(value: float | int) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _format_le(edge: float) -> str:
+    # Bucket labels must render identically wherever they are produced;
+    # repr of the float edge is stable and round-trips exactly.
+    return repr(float(edge))
+
+
+def render(snapshot: Mapping[str, Any]) -> str:
+    """One metrics snapshot as OpenMetrics exposition text.
+
+    Series are sorted by sanitised name within each family block, so
+    equal snapshots render to byte-identical text.
+    """
+    lines: list[str] = []
+    for name, value in sorted(
+        snapshot.get("counters", {}).items(),
+        key=lambda kv: sanitize_name(kv[0]),
+    ):
+        metric = sanitize_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(value)}")
+    for name, value in sorted(
+        snapshot.get("gauges", {}).items(),
+        key=lambda kv: sanitize_name(kv[0]),
+    ):
+        metric = sanitize_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, data in sorted(
+        snapshot.get("histograms", {}).items(),
+        key=lambda kv: sanitize_name(kv[0]),
+    ):
+        metric = sanitize_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, count in zip(data["edges"], data["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_le(edge)}"}} {cumulative}'
+            )
+        # Overflow slot folds into +Inf: by construction it equals count.
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {data["count"]}')
+        lines.append(f"{metric}_sum {_format_value(float(data['sum']))}")
+        lines.append(f"{metric}_count {data['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def _merged_snapshot(
+    registry: MetricsRegistry, include_aux: bool
+) -> dict[str, Any]:
+    merged = registry.snapshot()
+    if include_aux:
+        for aux in aux_registries().values():
+            snap = aux.snapshot()
+            for family in ("counters", "gauges", "histograms"):
+                for name, value in snap.get(family, {}).items():
+                    # The main registry wins on a name collision; aux
+                    # registries exist to carry *disjoint* series (the
+                    # fleet's wall-clock latency histograms).
+                    merged[family].setdefault(name, value)
+    return merged
+
+
+def exposition(
+    registry: MetricsRegistry | None = None, include_aux: bool = True
+) -> str:
+    """The full exposition: active (or given) registry + auxiliaries."""
+    return render(
+        _merged_snapshot(registry or get_registry(), include_aux)
+    )
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL = re.compile(r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<val>[^"]*)"$')
+
+
+def parse(text: str) -> dict[str, dict[str, Any]]:
+    """Validate exposition text; return ``{metric: {type, samples}}``.
+
+    A deliberately strict subset of the OpenMetrics grammar — exactly
+    what :func:`render` produces: ``# TYPE`` before any sample of a
+    metric, known types only, parseable sample lines, cumulative
+    (non-decreasing) histogram buckets with a final ``+Inf`` equal to
+    ``_count``, and the mandatory ``# EOF`` terminator.  Raises
+    ``ValueError`` on the first violation; CI uses this to prove the
+    live ``/metrics`` endpoint serves well-formed text.
+    """
+    families: dict[str, dict[str, Any]] = {}
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE: {line!r}")
+            _, _, metric, family_type = parts
+            if family_type not in ("counter", "gauge", "histogram"):
+                raise ValueError(
+                    f"line {lineno}: unknown type {family_type!r}"
+                )
+            if metric in families:
+                raise ValueError(f"line {lineno}: duplicate TYPE {metric!r}")
+            families[metric] = {"type": family_type, "samples": []}
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unexpected comment: {line!r}")
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        sample_name = match.group("name")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for part in match.group("labels").split(","):
+                label = _LABEL.match(part)
+                if label is None:
+                    raise ValueError(
+                        f"line {lineno}: malformed label: {part!r}"
+                    )
+                labels[label.group("key")] = label.group("val")
+        raw = match.group("value")
+        try:
+            value = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: unparseable value {raw!r}"
+            ) from None
+        metric = sample_name
+        for suffix in ("_total", "_bucket", "_sum", "_count"):
+            if sample_name.endswith(suffix) and sample_name[: -len(suffix)] in families:
+                metric = sample_name[: -len(suffix)]
+                break
+        if metric not in families:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} precedes its TYPE"
+            )
+        families[metric]["samples"].append((sample_name, labels, value))
+    for metric, family in families.items():
+        if family["type"] != "histogram":
+            continue
+        buckets = [
+            (labels.get("le"), value)
+            for name, labels, value in family["samples"]
+            if name == f"{metric}_bucket"
+        ]
+        if not buckets or buckets[-1][0] != "+Inf":
+            raise ValueError(f"{metric}: histogram missing '+Inf' bucket")
+        counts = [value for _, value in buckets]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            raise ValueError(f"{metric}: bucket counts must be cumulative")
+        total = [
+            value
+            for name, _, value in family["samples"]
+            if name == f"{metric}_count"
+        ]
+        if not total or total[0] != counts[-1]:
+            raise ValueError(f"{metric}: '+Inf' bucket must equal _count")
+    return families

@@ -1,0 +1,151 @@
+"""A tiny stdlib HTTP endpoint serving ``/metrics`` and ``/healthz``.
+
+Lets a long-running fleet replay (or any process with an active
+:class:`~repro.obs.metrics.MetricsRegistry`) be scraped live by
+Prometheus or inspected with ``curl`` while it works — no third-party
+dependency, just :mod:`http.server` on a daemon thread.
+
+* ``GET /metrics`` — the OpenMetrics exposition of the bound registry
+  plus every registered auxiliary registry (the fleet's wall-clock
+  latency histograms), rendered at request time so scrapes see live
+  values.
+* ``GET /healthz`` — a JSON liveness document (uptime, scrape count).
+
+The server *reads* registries the main thread *writes*; snapshots
+iterate plain dicts, so a scrape racing a resize raises ``RuntimeError``
+— the handler retries a few times and serves 503 if the registry never
+holds still (it always does in practice; a scrape is microseconds).
+The bound registry is captured at construction — the server keeps
+serving the replay's registry even when task scopes are pushed on the
+stack afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.logconfig import get_logger
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.openmetrics import CONTENT_TYPE, exposition
+
+__all__ = ["MetricsServer"]
+
+_log = get_logger(__name__)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        if self.path.split("?")[0] == "/metrics":
+            self._serve_metrics()
+        elif self.path.split("?")[0] == "/healthz":
+            self._serve_health()
+        else:
+            self.send_error(404, "unknown path (try /metrics or /healthz)")
+
+    def _serve_metrics(self) -> None:
+        owner: "MetricsServer" = self.server.owner  # type: ignore[attr-defined]
+        body = None
+        for _ in range(8):
+            try:
+                body = exposition(owner.registry).encode()
+                break
+            except RuntimeError:
+                # Registry dict resized mid-iteration; retry the scrape.
+                time.sleep(0.001)
+        if body is None:
+            self.send_error(503, "registry busy")
+            return
+        owner.n_scrapes += 1
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _serve_health(self) -> None:
+        owner: "MetricsServer" = self.server.owner  # type: ignore[attr-defined]
+        body = json.dumps(
+            {
+                "status": "ok",
+                "uptime_s": time.monotonic() - owner.started_monotonic,
+                "scrapes": owner.n_scrapes,
+            }
+        ).encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        # Route access logs through the repro logger (silent by default)
+        # instead of spamming stderr.
+        _log.debug("metrics server: " + format, *args)
+
+
+class MetricsServer:
+    """Serve ``/metrics`` + ``/healthz`` for a registry, in-process.
+
+    Parameters
+    ----------
+    port:
+        TCP port; ``0`` picks a free one (read it back via
+        :attr:`port` — what tests and one-shot CLI runs use).
+    host:
+        Bind address; loopback by default (operational telemetry is not
+        meant to be world-readable — put a real reverse proxy in front
+        for that).
+    registry:
+        The registry to expose; defaults to the registry active at
+        construction time.  Auxiliary registries are always folded in.
+
+    Use as a context manager, or call :meth:`close` — the daemon thread
+    dies with the process either way, so a crashed replay never hangs
+    on the exporter.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.registry = registry or get_registry()
+        self.n_scrapes = 0
+        self.started_monotonic = time.monotonic()
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.owner = self  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        _log.info("metrics server listening on %s", self.url)
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port (useful when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL, e.g. ``http://127.0.0.1:9464``."""
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def close(self) -> None:
+        """Stop serving and join the server thread."""
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,373 @@
+"""Service-level objectives over the fleet's telemetry.
+
+Two complementary views of "is the service healthy":
+
+* **Latency objectives** (:class:`LatencyObjective`): "p99 of
+  ``fleet.query_latency_s`` stays under 250 ms, and at least 99% of
+  queries answer within it".  Evaluated against histogram snapshots —
+  attainment is read from the cumulative buckets (linearly interpolated
+  inside the bucket containing the threshold), the quantile from
+  :func:`~repro.obs.metrics.quantile_detail`, whose ``empty`` /
+  ``overflow_only`` flags are surfaced rather than papered over.
+* **Error budgets** (:class:`ErrorBudget`): "at most 0.5% of queries
+  may fail to serve".  Fed by the cause taxonomy — the ``bad`` side is
+  a set of counter names *or prefixes* (``fleet.queries.rejected.*``,
+  ``tracker.lock_dropped.*``), the denominator one total counter.
+
+Both produce a **burn rate**: consumed error budget over allowed error
+budget (1.0 = exactly on target, >1 = burning faster than the SLO
+allows — the standard alerting quantity).  :func:`evaluate` returns
+structured results; :func:`set_slo_gauges` mirrors them into ``slo.*``
+gauges so the ``/metrics`` endpoint exports them live;
+:func:`format_report` renders the CLI's ``--slo`` table.
+
+Wall-clock latency histograms are real but not reproducible, so SLO
+*values* are never part of a byte-identity contract — only the gauge
+*names* and report structure are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    QuantileEstimate,
+    aux_registries,
+    get_registry,
+    quantile_detail,
+)
+
+__all__ = [
+    "DEFAULT_FLEET_BUDGETS",
+    "DEFAULT_FLEET_OBJECTIVES",
+    "BudgetStatus",
+    "ErrorBudget",
+    "LatencyObjective",
+    "ObjectiveStatus",
+    "any_burning",
+    "attainment_from",
+    "evaluate",
+    "format_report",
+    "gathered_snapshot",
+    "set_slo_gauges",
+]
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """Latency SLO: ``target`` of observations within ``threshold_s``.
+
+    ``quantile`` names the headline percentile reported beside the
+    attainment (p50/p95/p99 dashboards); the pass/fail verdict comes
+    from attainment vs ``target``, which is the better-posed question
+    for a fixed-bucket histogram.
+    """
+
+    slug: str
+    histogram: str
+    threshold_s: float
+    target: float = 0.99
+    quantile: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target <= 1.0:
+            raise ValueError("target must be in (0, 1]")
+        if not 0.0 <= self.quantile <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class ErrorBudget:
+    """Error-rate SLO: ``bad/total`` stays under ``1 - target``.
+
+    ``bad`` entries ending in ``.`` are treated as prefixes and sum
+    every matching counter — the cause taxonomy grows new causes
+    without the budget definition chasing them.
+    """
+
+    slug: str
+    bad: tuple[str, ...]
+    total: str
+    target: float = 0.999
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class ObjectiveStatus:
+    """One evaluated :class:`LatencyObjective`."""
+
+    objective: LatencyObjective
+    attainment: float
+    burn: float
+    quantile_value: QuantileEstimate
+    count: int
+
+    @property
+    def met(self) -> bool:
+        return (
+            self.count > 0 and self.attainment >= self.objective.target
+        )
+
+
+@dataclass(frozen=True)
+class BudgetStatus:
+    """One evaluated :class:`ErrorBudget`."""
+
+    budget: ErrorBudget
+    bad: float
+    total: float
+    error_rate: float
+    burn: float
+
+    @property
+    def met(self) -> bool:
+        return self.total == 0 or self.error_rate <= 1.0 - self.budget.target
+
+
+#: The fleet service's default latency objectives, paper-anchored: the
+#: tracker runs 0.1 s periods (§V), so a batched tick answering a whole
+#: period's queries must land well inside one period.
+DEFAULT_FLEET_OBJECTIVES: tuple[LatencyObjective, ...] = (
+    LatencyObjective(
+        slug="fleet_query_p50",
+        histogram="fleet.query_latency_s",
+        threshold_s=0.1,
+        target=0.50,
+        quantile=0.50,
+    ),
+    LatencyObjective(
+        slug="fleet_query_p95",
+        histogram="fleet.query_latency_s",
+        threshold_s=0.3,
+        target=0.95,
+        quantile=0.95,
+    ),
+    LatencyObjective(
+        slug="fleet_query_p99",
+        histogram="fleet.query_latency_s",
+        threshold_s=1.0,
+        target=0.99,
+        quantile=0.99,
+    ),
+)
+
+#: The fleet service's default error budgets over the cause taxonomy.
+DEFAULT_FLEET_BUDGETS: tuple[ErrorBudget, ...] = (
+    ErrorBudget(
+        slug="fleet_serve",
+        bad=("fleet.queries.rejected.",),
+        total="fleet.queries",
+        target=0.995,
+    ),
+    ErrorBudget(
+        slug="fleet_lock_retention",
+        bad=("tracker.lock_dropped.",),
+        total="fleet.queries",
+        target=0.99,
+    ),
+)
+
+
+def attainment_from(data: Mapping[str, Any], threshold: float) -> float:
+    """Fraction of a histogram's observations at or under ``threshold``.
+
+    Read from the cumulative buckets; inside the bucket that straddles
+    the threshold the mass is split by linear interpolation (the same
+    within-bucket model :func:`~repro.obs.metrics.quantile_from` uses).
+    NaN when the histogram is empty.
+    """
+    count = data["count"]
+    if count == 0:
+        return float("nan")
+    edges = data["edges"]
+    counts = data["counts"]
+    if threshold >= data["max"]:
+        return 1.0
+    if threshold < data["min"]:
+        return 0.0
+    cumulative = 0
+    for i, bucket_count in enumerate(counts):
+        lo = data["min"] if i == 0 else edges[i - 1]
+        hi = data["max"] if i == len(edges) else edges[i]
+        hi = min(hi, data["max"])
+        lo = max(lo, data["min"])
+        if threshold > hi:
+            cumulative += bucket_count
+            continue
+        if bucket_count and hi > lo:
+            fraction = (threshold - lo) / (hi - lo)
+            cumulative += bucket_count * min(max(fraction, 0.0), 1.0)
+        return cumulative / count
+    return 1.0
+
+
+def gathered_snapshot(registry: MetricsRegistry | None = None) -> dict:
+    """Active (or given) registry snapshot with auxiliaries folded in.
+
+    The fleet's latency histograms live in an auxiliary registry (wall
+    clock never merges into the deterministic one), so SLO evaluation
+    wants the union.  Main-registry series win name collisions.
+    """
+    merged = (registry or get_registry()).snapshot()
+    for aux in aux_registries().values():
+        snap = aux.snapshot()
+        for family in ("counters", "gauges", "histograms"):
+            for name, value in snap.get(family, {}).items():
+                merged[family].setdefault(name, value)
+    return merged
+
+
+def evaluate(
+    snapshot: Mapping[str, Any],
+    objectives: Sequence[LatencyObjective] = DEFAULT_FLEET_OBJECTIVES,
+    budgets: Sequence[ErrorBudget] = DEFAULT_FLEET_BUDGETS,
+) -> tuple[list[ObjectiveStatus], list[BudgetStatus]]:
+    """Evaluate objectives and budgets against one merged snapshot."""
+    histograms = snapshot.get("histograms", {})
+    counters = snapshot.get("counters", {})
+    objective_out: list[ObjectiveStatus] = []
+    for objective in objectives:
+        data = histograms.get(objective.histogram)
+        if data is None or data["count"] == 0:
+            objective_out.append(
+                ObjectiveStatus(
+                    objective=objective,
+                    attainment=float("nan"),
+                    burn=float("nan"),
+                    quantile_value=QuantileEstimate(
+                        float("nan"), empty=True
+                    ),
+                    count=0,
+                )
+            )
+            continue
+        attainment = attainment_from(data, objective.threshold_s)
+        allowed = 1.0 - objective.target
+        burn = (
+            (1.0 - attainment) / allowed if allowed > 0 else float("inf")
+        )
+        objective_out.append(
+            ObjectiveStatus(
+                objective=objective,
+                attainment=attainment,
+                burn=burn,
+                quantile_value=quantile_detail(data, objective.quantile),
+                count=data["count"],
+            )
+        )
+    budget_out: list[BudgetStatus] = []
+    for budget in budgets:
+        bad = 0.0
+        for entry in budget.bad:
+            if entry.endswith("."):
+                bad += sum(
+                    value
+                    for name, value in counters.items()
+                    if name.startswith(entry)
+                )
+            else:
+                bad += counters.get(entry, 0)
+        total = counters.get(budget.total, 0)
+        error_rate = bad / total if total else 0.0
+        burn = error_rate / (1.0 - budget.target)
+        budget_out.append(
+            BudgetStatus(
+                budget=budget,
+                bad=bad,
+                total=total,
+                error_rate=error_rate,
+                burn=burn,
+            )
+        )
+    return objective_out, budget_out
+
+
+def set_slo_gauges(
+    statuses: tuple[list[ObjectiveStatus], list[BudgetStatus]],
+    registry: MetricsRegistry | None = None,
+) -> None:
+    """Mirror evaluated SLOs into ``slo.*`` gauges.
+
+    ``slo.<slug>.attainment`` / ``slo.<slug>.burn`` for latency
+    objectives, ``slo.<slug>.error_rate`` / ``slo.<slug>.burn`` for
+    budgets — so a scrape of ``/metrics`` carries the SLO verdicts
+    beside the raw series they derive from.
+    """
+    registry = registry or get_registry()
+    objective_statuses, budget_statuses = statuses
+    for status in objective_statuses:
+        slug = status.objective.slug
+        registry.set_gauge(f"slo.{slug}.attainment", status.attainment)
+        registry.set_gauge(f"slo.{slug}.burn", status.burn)
+    for status in budget_statuses:
+        slug = status.budget.slug
+        registry.set_gauge(f"slo.{slug}.error_rate", status.error_rate)
+        registry.set_gauge(f"slo.{slug}.burn", status.burn)
+
+
+def _flag(estimate: QuantileEstimate) -> str:
+    if estimate.empty:
+        return " (empty)"
+    if estimate.overflow_only:
+        return " (overflow-only: clamped to observed range)"
+    return ""
+
+
+def format_report(
+    statuses: tuple[list[ObjectiveStatus], list[BudgetStatus]]
+) -> str:
+    """Human-readable SLO report (the CLI's ``--slo`` output)."""
+    objective_statuses, budget_statuses = statuses
+    lines = ["SLO report", "=========="]
+    for status in objective_statuses:
+        objective = status.objective
+        verdict = "MET" if status.met else "MISSED"
+        if status.count == 0:
+            lines.append(
+                f"{objective.slug}: NO DATA "
+                f"(histogram {objective.histogram!r} empty)"
+            )
+            continue
+        q_pct = 100.0 * objective.quantile
+        lines.append(
+            f"{objective.slug}: {verdict} — "
+            f"{100.0 * status.attainment:.2f}% within "
+            f"{objective.threshold_s:g}s "
+            f"(target {100.0 * objective.target:.1f}%), "
+            f"burn {status.burn:.2f}, "
+            f"p{q_pct:g}={status.quantile_value.value:.4g}s"
+            f"{_flag(status.quantile_value)}, n={status.count}"
+        )
+    for status in budget_statuses:
+        budget = status.budget
+        verdict = "MET" if status.met else "MISSED"
+        rate = (
+            "n/a"
+            if status.total == 0
+            else f"{100.0 * status.error_rate:.3f}%"
+        )
+        lines.append(
+            f"{budget.slug}: {verdict} — error rate {rate} "
+            f"(budget {100.0 * (1.0 - budget.target):.3f}%), "
+            f"burn {status.burn:.2f}, "
+            f"bad={status.bad:g} total={status.total:g}"
+        )
+    return "\n".join(lines)
+
+
+def any_burning(
+    statuses: tuple[list[ObjectiveStatus], list[BudgetStatus]],
+    burn_threshold: float = 1.0,
+) -> bool:
+    """Whether any objective/budget burns faster than ``burn_threshold``."""
+    objective_statuses, budget_statuses = statuses
+    for status in objective_statuses:
+        if not math.isnan(status.burn) and status.burn > burn_threshold:
+            return True
+    return any(s.burn > burn_threshold for s in budget_statuses)

@@ -17,15 +17,20 @@ The contract that keeps parallel runs reproducible:
   are shipped once per worker instead of once per task.  Workers read
   them back via :func:`get_shared`; the inline path installs the same
   statics in-process, so task code is identical under any ``jobs``.
-* **Metrics and events travel with results.**  Every task — inline or
-  pooled — runs against its own task-scoped
-  :class:`~repro.obs.metrics.MetricsRegistry` and
-  :class:`~repro.obs.events.EventLedger`; both snapshots ship back with
-  the task result and the parent merges them into its active registry /
-  ledger in submission order.  Per-task scoping on *both* paths is what
-  makes merged metrics — and the exported provenance event stream —
+* **Metrics, events and spans travel with results.**  Every task —
+  inline or pooled — runs against its own task-scoped
+  :class:`~repro.obs.metrics.MetricsRegistry`,
+  :class:`~repro.obs.events.EventLedger` and
+  :class:`~repro.obs.tracing.SpanRecorder`; all three snapshots ship
+  back with the task result and the parent merges/stitches them into
+  its active registry / ledger / trace tree in submission order.
+  Per-task scoping on *both* paths is what makes merged metrics, the
+  exported provenance event stream, and the structural trace tree
   byte-identical for any ``jobs``: the same per-task subtotals are
-  folded in the same order either way.
+  folded in the same order either way.  The task recorder's context is
+  the task's *submission path* — ``parent_context + ("task", wave,
+  index)`` — so span IDs derive from where the task sits in the plan,
+  never from which worker ran it.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.obs.events import EventLedger, get_ledger, use_ledger
 from repro.obs.metrics import MetricsRegistry, get_registry, use_registry
+from repro.obs.tracing import SpanRecorder, get_recorder, use_recorder
 from repro.runtime import shared as shared_store
 
 __all__ = [
@@ -83,19 +89,23 @@ def get_shared(name: str) -> Any:
 
 
 def _metered_call(
-    task: tuple[Callable[[Any], Any], Any]
-) -> tuple[Any, dict, dict]:
-    """Run one task against fresh metrics + event scopes.
+    task: tuple[Callable[[Any], Any], Any, tuple]
+) -> tuple[Any, dict, dict, dict]:
+    """Run one task against fresh metrics + event + span scopes.
 
-    Returns ``(result, metrics_snapshot, events_snapshot)``; the caller
-    merges both in submission order.
+    Returns ``(result, metrics_snapshot, events_snapshot,
+    spans_snapshot)``; the caller merges all three in submission order.
+    The span recorder's context is the task's submission path, so every
+    span ID it derives is a pure function of where the task sits in the
+    plan — identical whether the task ran inline or on any worker.
     """
-    fn, item = task
+    fn, item, span_context = task
     registry = MetricsRegistry()
     ledger = EventLedger()
-    with use_registry(registry), use_ledger(ledger):
+    recorder = SpanRecorder(context=span_context)
+    with use_registry(registry), use_ledger(ledger), use_recorder(recorder):
         result = fn(item)
-    return result, registry.snapshot(), ledger.snapshot()
+    return result, registry.snapshot(), ledger.snapshot(), recorder.snapshot()
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -132,6 +142,9 @@ class DeterministicExecutor:
         self._inline_installed = False
         self._spool: str | None = None
         self._previous_spool: str | None = None
+        # Waves dispatched so far: part of every task's span context, so
+        # two map_ordered calls never reuse task span IDs.
+        self._waves = 0
 
     # -- context management -------------------------------------------
     def __enter__(self) -> "DeterministicExecutor":
@@ -210,30 +223,46 @@ class DeterministicExecutor:
         calls run inline in this process — the reference behaviour the
         parallel path must (and, by the determinism suite, does) match
         byte for byte.  Either way each task runs against its own
-        metrics registry whose snapshot is merged into the caller's
-        active registry in submission order.
+        metrics registry / event ledger / span recorder whose snapshots
+        are merged into the caller's active scopes in submission order;
+        task spans stitch into the caller's trace tree under whatever
+        span is open around this call.
         """
         items = list(items)
         registry = get_registry()
         ledger = get_ledger()
+        recorder = get_recorder()
+        wave = self._waves
+        self._waves += 1
+        contexts = [
+            recorder.context + ("task", wave, index)
+            for index in range(len(items))
+        ]
         if self.jobs == 1 or len(items) <= 1:
             if not self._inline_installed:
                 _install_shared(self._shared)
                 self._inline_installed = True
             results = []
-            for item in items:
-                result, snapshot, events = _metered_call((fn, item))
+            for item, context in zip(items, contexts):
+                result, snapshot, events, spans = _metered_call(
+                    (fn, item, context)
+                )
                 registry.merge(snapshot)
                 ledger.merge(events)
+                recorder.adopt(spans)
                 results.append(result)
             return results
         pool = self._ensure_pool()
-        futures = [pool.submit(_metered_call, (fn, item)) for item in items]
+        futures = [
+            pool.submit(_metered_call, (fn, item, context))
+            for item, context in zip(items, contexts)
+        ]
         results = []
         for future in futures:
-            result, snapshot, events = future.result()
+            result, snapshot, events, spans = future.result()
             registry.merge(snapshot)
             ledger.merge(events)
+            recorder.adopt(spans)
             results.append(result)
         return results
 

@@ -150,11 +150,26 @@ class TestCliObservability:
         assert f"spans written to {path}" in out
         dump = json.loads(path.read_text())
         assert dump["capacity"] >= 1
+        assert dump["dropped_spans"] == 0
         assert len(dump["spans"]) >= 1
         names = {s["name"] for s in dump["spans"]}
         assert "experiment.fig1" in names
         span = dump["spans"][0]
-        assert set(span) == {"name", "start_s", "wall_s", "cpu_s", "depth", "parent"}
+        assert set(span) == {
+            "name",
+            "start_s",
+            "wall_s",
+            "cpu_s",
+            "depth",
+            "parent",
+            "trace_id",
+            "span_id",
+            "parent_id",
+            "links",
+            "attrs",
+        }
+        assert dump["trace_id"]
+        assert all(s["span_id"] for s in dump["spans"])
 
     def test_events_out_writes_jsonl(self, tmp_path, capsys):
         path = tmp_path / "events.jsonl"
@@ -222,6 +237,87 @@ class TestCliObservability:
     def test_bad_log_level_rejected(self):
         with pytest.raises(ValueError):
             main(["fig1", "--log-level", "NOISY"])
+
+
+class TestCliOpsPlane:
+    """The operational flags: --serve-metrics, --prom-out, --slo,
+    --flight-out, end to end on a small t-fleet replay."""
+
+    def test_fleet_replay_with_full_ops_plane(self, tmp_path, capsys):
+        from repro.obs.openmetrics import parse
+
+        prom = tmp_path / "prom.txt"
+        flight = tmp_path / "flight.jsonl"
+        with use_registry(MetricsRegistry()), use_ledger(
+            EventLedger()
+        ), use_recorder(SpanRecorder(capacity=8192)):
+            assert (
+                main(
+                    [
+                        "t-fleet",
+                        "--vehicles",
+                        "4",
+                        "--duration",
+                        "90",
+                        "--seed",
+                        "5",
+                        "--serve-metrics",
+                        "0",
+                        "--prom-out",
+                        str(prom),
+                        "--slo",
+                        "--flight-out",
+                        str(flight),
+                    ]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert "[serving metrics at http://127.0.0.1:" in out
+        assert "SLO report" in out
+        assert "fleet_query_p99:" in out
+        assert "[flight recorder: 1 dump(s) written to" in out
+        assert "(scraped from live endpoint)" in out
+        # The scraped exposition is valid OpenMetrics and carries the
+        # replay's series, the aux latency histogram, and SLO gauges.
+        families = parse(prom.read_text())
+        assert "fleet_queries" in families
+        assert "fleet_query_latency_s" in families
+        assert any(name.startswith("slo_") for name in families)
+        # The flight dump is a well-formed black box of the run.
+        records = [
+            json.loads(line) for line in flight.read_text().splitlines()
+        ]
+        header = records[0]
+        assert header["kind"] == "flight.header"
+        assert header["trigger"] == "end_of_run"
+        assert header["n_spans"] > 0 and header["n_events"] > 0
+        kinds = {r["kind"] for r in records}
+        assert kinds == {"flight.header", "flight.span", "flight.event"}
+
+    def test_prom_out_without_server_renders_directly(self, tmp_path, capsys):
+        from repro.obs.openmetrics import parse
+
+        prom = tmp_path / "prom.txt"
+        with use_registry(MetricsRegistry()), use_recorder(SpanRecorder()):
+            assert (
+                main(["fig1", "--seed", "2", "--prom-out", str(prom)]) == 0
+            )
+        out = capsys.readouterr().out
+        assert "(rendered)" in out
+        assert parse(prom.read_text())
+
+    def test_slo_without_fleet_reports_no_data(self, capsys, monkeypatch):
+        from repro.obs import metrics
+
+        # A fleet replay leaves its latency registry registered so the
+        # post-run --slo can read it; start this test aux-free.
+        monkeypatch.setattr(metrics, "_AUX", {})
+        with use_registry(MetricsRegistry()), use_recorder(SpanRecorder()):
+            assert main(["fig1", "--seed", "2", "--slo"]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "NO DATA" in out
 
 
 class TestCliReport:

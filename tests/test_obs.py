@@ -157,6 +157,44 @@ class TestQuantiles:
         reg.observe("a", 1.0)
         assert reg.histogram_names() == ["b", "a"]  # creation order
 
+    def test_empty_detail_is_flagged(self):
+        from repro.obs import QuantileEstimate
+
+        reg = MetricsRegistry()
+        est = reg.quantile_detail("never", 0.5)
+        assert isinstance(est, QuantileEstimate)
+        assert est.empty and not est.overflow_only
+        assert math.isnan(est.value)
+
+    def test_overflow_only_clamps_and_flags(self):
+        # Every observation past the last edge: the interior buckets
+        # carry no rank information, so the estimate interpolates the
+        # observed range, clamps to it, and says so.
+        reg = self._hist([10.0, 20.0, 40.0])  # edges end at 4.0
+        est = reg.quantile_detail("h", 0.5)
+        assert est.overflow_only and not est.empty
+        assert 10.0 <= est.value <= 40.0
+        assert est.value == pytest.approx(25.0)
+        assert reg.quantile_detail("h", 0.0).value == 10.0
+        assert reg.quantile_detail("h", 1.0).value == 40.0
+        # The plain quantile() view still returns the clamped value.
+        assert reg.quantile("h", 1.0) == 40.0
+
+    def test_normal_estimate_carries_no_flags(self):
+        est = self._hist([0.5, 1.5, 3.0]).quantile_detail("h", 0.5)
+        assert not est.empty and not est.overflow_only
+
+    def test_snapshot_helpers_match_registry(self):
+        from repro.obs import quantile_detail, quantile_from
+
+        reg = self._hist([0.5, 1.5, 3.0, 10.0])
+        data = reg.snapshot()["histograms"]["h"]
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert quantile_from(data, q) == reg.quantile("h", q)
+        assert quantile_detail(data, 0.5) == reg.quantile_detail("h", 0.5)
+        with pytest.raises(ValueError, match="q must be"):
+            quantile_from(data, 1.5)
+
 
 class TestSnapshotMerge:
     def test_merge_adds_counters_and_buckets(self):
@@ -259,6 +297,30 @@ class TestInvariantSnapshot:
         assert snap["histograms"]["kept_h"]["counts"][0] == 1
         assert json.loads(json.dumps(view))  # still JSON-serialisable
 
+    def test_placement_series_included_when_requested(self):
+        # The default filter strips placement counters; passing explicit
+        # (empty) prefix lists re-includes them for callers that want
+        # the full picture and accept the jobs-dependence.
+        from repro.obs import invariant_snapshot
+
+        reg = MetricsRegistry()
+        reg.inc("fleet.queries", 3)
+        reg.inc("runtime.shared.publish", 2)
+        reg.inc("engine.cache.reduction.miss")
+        reg.observe("span.engine.estimate", 0.01)
+        snap = reg.snapshot()
+        default = invariant_snapshot(snap)
+        assert set(default["counters"]) == {"fleet.queries"}
+        full = invariant_snapshot(
+            snap, exclude_histogram_prefixes=(), exclude_counter_prefixes=()
+        )
+        assert set(full["counters"]) == {
+            "fleet.queries",
+            "runtime.shared.publish",
+            "engine.cache.reduction.miss",
+        }
+        assert "span.engine.estimate" in full["histograms"]
+
 
 class TestTracing:
     def test_span_nesting_depth_and_parent(self):
@@ -357,6 +419,182 @@ class TestTracing:
 
     def test_default_recorder_exists(self):
         assert isinstance(get_recorder(), SpanRecorder)
+
+
+class TestTracingIds:
+    """Deterministic span IDs, adoption/stitching, the structural view."""
+
+    @staticmethod
+    def _record(rec, names):
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            for name in names:
+                with trace(name):
+                    pass
+
+    def test_deterministic_span_id_is_pure(self):
+        from repro.obs import deterministic_span_id
+
+        a = deterministic_span_id("query", "q1")
+        assert a == deterministic_span_id("query", "q1")
+        assert a != deterministic_span_id("query", "q2")
+        assert len(a) == 16 and int(a, 16) >= 0  # 64-bit hex
+
+    def test_query_span_id_matches_scheme(self):
+        from repro.obs import deterministic_span_id, query_span_id
+
+        assert query_span_id("d3:d4#7") == deterministic_span_id(
+            "query", "d3:d4#7"
+        )
+
+    def test_same_context_same_ids(self):
+        a = SpanRecorder(context=("root", "task", 0, 3))
+        b = SpanRecorder(context=("root", "task", 0, 3))
+        self._record(a, ["x", "y", "x"])
+        self._record(b, ["x", "y", "x"])
+        assert a.trace_id == b.trace_id
+        assert [s.span_id for s in a.spans] == [s.span_id for s in b.spans]
+        c = SpanRecorder(context=("root", "task", 0, 4))
+        self._record(c, ["x", "y", "x"])
+        assert c.trace_id != a.trace_id
+        assert [s.span_id for s in c.spans] != [s.span_id for s in a.spans]
+
+    def test_per_name_counters_isolate_ids(self):
+        # An extra span of a *different* name (an engine.build firing on
+        # one worker's cache miss but not another's) must not shift the
+        # IDs of the spans around it.
+        a = SpanRecorder(context=("root",))
+        b = SpanRecorder(context=("root",))
+        self._record(a, ["syn.search", "syn.search"])
+        self._record(b, ["syn.search", "engine.build", "syn.search"])
+        ids_a = [s.span_id for s in a.spans if s.name == "syn.search"]
+        ids_b = [s.span_id for s in b.spans if s.name == "syn.search"]
+        assert ids_a == ids_b
+        # ...while a second span of the *same* name gets a fresh ID.
+        assert ids_a[0] != ids_a[1]
+
+    def test_explicit_span_id_and_links_and_attrs(self):
+        rec = SpanRecorder()
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            with trace(
+                "chunk", span_id="feedbeef00000000", attrs=(("pairs", 3),)
+            ) as sid:
+                assert sid == "feedbeef00000000"
+            with trace("query", links=(sid,)):
+                pass
+        chunk, query = rec.spans
+        assert chunk.span_id == "feedbeef00000000"
+        assert chunk.attrs == (("pairs", 3),)
+        assert query.links == ("feedbeef00000000",)
+
+    def test_trace_yields_derived_id_and_children_see_it(self):
+        rec = SpanRecorder()
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            with trace("outer") as outer_sid:
+                with trace("inner"):
+                    pass
+        inner, outer = rec.spans
+        assert outer.span_id == outer_sid
+        assert inner.parent_id == outer_sid
+        assert inner.trace_id == outer.trace_id == rec.trace_id
+
+    def test_record_complete(self):
+        from repro.obs import record_complete
+
+        rec = SpanRecorder()
+        reg = MetricsRegistry()
+        with use_recorder(rec), use_registry(reg):
+            with trace("tick") as tick_sid:
+                sid = record_complete(
+                    "fleet.query",
+                    wall_s=0.25,
+                    span_id="aa00aa00aa00aa00",
+                    links=("bb00bb00bb00bb00",),
+                    attrs=(("query_id", "q1"),),
+                )
+        assert sid == "aa00aa00aa00aa00"
+        span = rec.spans[0]
+        assert span.name == "fleet.query"
+        assert span.wall_s == 0.25
+        assert span.parent == "tick" and span.parent_id == tick_sid
+        assert span.depth == 1
+        hist = reg.snapshot()["histograms"]["span.fleet.query"]
+        assert hist["count"] == 1 and hist["sum"] == pytest.approx(0.25)
+
+    def test_dropped_spans_counted_in_ring_and_registry(self):
+        rec = SpanRecorder(capacity=2)
+        reg = MetricsRegistry()
+        with use_recorder(rec), use_registry(reg):
+            for i in range(5):
+                with trace(f"s{i}"):
+                    pass
+        assert rec.dropped == 3
+        assert reg.counter("trace.dropped_spans") == 3
+        assert rec.structural()["dropped_spans"] == 3
+        rec.clear()
+        assert rec.dropped == 0
+
+    def test_adopt_reparents_and_rebases(self):
+        reg = MetricsRegistry()
+        child = SpanRecorder(context=("root", "task", 0, 2))
+        with use_recorder(child), use_registry(MetricsRegistry()):
+            with trace("task.outer"):
+                with trace("task.inner"):
+                    pass
+        parent = SpanRecorder(context=("root",))
+        with use_recorder(parent), use_registry(reg):
+            with trace("wave") as wave_sid:
+                parent.adopt(child.snapshot())
+        inner, outer, wave = parent.spans
+        # The task-root span hangs off the wave span; nested structure
+        # inside the task is preserved.
+        assert outer.name == "task.outer"
+        assert outer.parent == "wave" and outer.parent_id == wave_sid
+        assert outer.depth == 1
+        assert inner.parent == "task.outer"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 2
+        # Every adopted span is rebased onto the parent's trace.
+        assert {s.trace_id for s in parent.spans} == {parent.trace_id}
+        # Adoption must not re-observe span.* histograms (the durations
+        # already merged with the task's metrics snapshot).
+        hists = reg.snapshot()["histograms"]
+        assert "span.task.outer" not in hists
+        assert hists["span.wave"]["count"] == 1
+
+    def test_adopt_folds_drop_count_without_recounting(self):
+        child = SpanRecorder(capacity=1, context=("root", "task", 0, 0))
+        with use_recorder(child), use_registry(MetricsRegistry()):
+            for i in range(3):
+                with trace(f"s{i}"):
+                    pass
+        assert child.dropped == 2
+        parent = SpanRecorder()
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            parent.adopt(child.snapshot())
+        assert parent.dropped == 2
+        assert reg.counter("trace.dropped_spans") == 0  # counted once, in task
+
+    def test_structural_strips_placement_and_timing(self):
+        rec = SpanRecorder()
+        with use_recorder(rec), use_registry(MetricsRegistry()):
+            with trace("syn.search"):
+                pass
+            with trace("engine.build"):
+                pass
+            with trace("engine.bind_index"):
+                pass
+        view = rec.structural()
+        assert [s["name"] for s in view["spans"]] == ["syn.search"]
+        for span in view["spans"]:
+            assert "wall_s" not in span and "start_s" not in span
+        full = rec.structural(include_placement=True)
+        assert [s["name"] for s in full["spans"]] == [
+            "syn.search",
+            "engine.build",
+            "engine.bind_index",
+        ]
+        assert json.loads(json.dumps(view))  # JSON-serialisable
 
 
 class TestLogging:

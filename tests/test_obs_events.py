@@ -36,17 +36,18 @@ class TestEventLedger:
         ledger.emit("syn.search", query_id="d0q1", peaks=[1.5], accepted=1)
         ledger.emit("plain")
         assert len(ledger) == 2
-        kind, query_id, diagnostic, data = ledger.events[0]
+        kind, query_id, span_id, diagnostic, data = ledger.events[0]
         assert (kind, query_id, diagnostic) == ("syn.search", "d0q1", False)
+        assert span_id is None  # direct emits carry no exemplar
         assert data == {"peaks": [1.5], "accepted": 1}
-        assert ledger.events[1][:3] == ("plain", None, False)
+        assert ledger.events[1][:4] == ("plain", None, None, False)
 
     def test_capacity_drops_newest_and_counts(self):
         ledger = EventLedger(capacity=2)
         for i in range(5):
             ledger.emit("e", i=i)
         assert len(ledger) == 2
-        assert [e[3]["i"] for e in ledger.events] == [0, 1]
+        assert [e[4]["i"] for e in ledger.events] == [0, 1]
         assert ledger.dropped == 3
 
     def test_capacity_validation(self):
@@ -74,8 +75,20 @@ class TestEventLedger:
         assert ledger.write_jsonl(buffer) == 2
         lines = [json.loads(line) for line in buffer.getvalue().splitlines()]
         assert lines == [
-            {"seq": 0, "kind": "a", "query_id": "q0", "data": {"x": 1.5}},
-            {"seq": 1, "kind": "b", "query_id": None, "data": {}},
+            {
+                "seq": 0,
+                "kind": "a",
+                "query_id": "q0",
+                "span_id": None,
+                "data": {"x": 1.5},
+            },
+            {
+                "seq": 1,
+                "kind": "b",
+                "query_id": None,
+                "span_id": None,
+                "data": {},
+            },
         ]
 
     def test_merge_preserves_order_capacity_and_drops(self):

@@ -1,0 +1,198 @@
+"""Tests for repro.obs.flight: anomaly-triggered span/event dumps."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventLedger,
+    FlightRecorder,
+    MetricsRegistry,
+    SpanRecorder,
+    trace,
+    use_ledger,
+    use_recorder,
+    use_registry,
+)
+from repro.obs.events import emit, use_query_id
+
+
+def _read_dumps(path):
+    """Split a flight JSONL file into per-dump record lists."""
+    dumps = []
+    with open(path) as fh:
+        for line in fh:
+            record = json.loads(line)
+            if record["kind"] == "flight.header":
+                dumps.append([record])
+            else:
+                dumps[-1].append(record)
+    return dumps
+
+
+class _FakeService:
+    """Just enough of FleetService for the p99 trigger."""
+
+    def __init__(self):
+        self.latency = MetricsRegistry()
+
+
+class TestDump:
+    def test_dump_structure(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        reg = MetricsRegistry()
+        rec = SpanRecorder(context=("root",))
+        ledger = EventLedger()
+        with use_registry(reg), use_recorder(rec), use_ledger(ledger):
+            with trace("fleet.tick"):
+                pass
+            with use_query_id("q1"):
+                emit("query.outcome", error_m=0.5)
+            with FlightRecorder(str(path)) as flight:
+                flight.dump("manual", tick=3, detail={"reason": "test"})
+        (dump,) = _read_dumps(path)
+        header, *records = dump
+        assert header["trigger"] == "manual"
+        assert header["tick"] == 3
+        assert header["detail"] == {"reason": "test"}
+        assert header["dump_index"] == 0
+        assert header["trace_id"] == rec.trace_id
+        assert header["n_spans"] == 1 and header["n_events"] == 1
+        spans = [r for r in records if r["kind"] == "flight.span"]
+        events = [r for r in records if r["kind"] == "flight.event"]
+        assert [s["name"] for s in spans] == ["fleet.tick"]
+        assert "wall_s" not in spans[0]  # structural by default
+        assert events[0]["event"]["kind"] == "query.outcome"
+        assert events[0]["event"]["query_id"] == "q1"
+        assert events[0]["event"]["span_id"]  # query-span exemplar attached
+        assert reg.counter("flight.dumps") == 1
+
+    def test_include_timings_adds_wall_clock(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        rec = SpanRecorder()
+        with use_registry(MetricsRegistry()), use_recorder(rec), use_ledger(
+            EventLedger()
+        ):
+            with trace("stage"):
+                pass
+            with FlightRecorder(str(path), include_timings=True) as flight:
+                flight.dump("manual")
+        (dump,) = _read_dumps(path)
+        span = next(r for r in dump if r["kind"] == "flight.span")
+        assert span["wall_s"] >= 0.0 and span["cpu_s"] >= 0.0
+
+    def test_tails_bound_the_dump(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        rec = SpanRecorder(capacity=64)
+        with use_registry(MetricsRegistry()), use_recorder(rec), use_ledger(
+            EventLedger()
+        ):
+            for i in range(10):
+                with trace(f"s{i}"):
+                    pass
+                with use_query_id(f"q{i}"):
+                    emit("e")
+            with FlightRecorder(
+                str(path), span_tail=3, event_tail=2
+            ) as flight:
+                flight.dump("manual")
+        (dump,) = _read_dumps(path)
+        spans = [r for r in dump if r["kind"] == "flight.span"]
+        events = [r for r in dump if r["kind"] == "flight.event"]
+        # The *newest* spans/events survive, oldest-first.
+        assert [s["name"] for s in spans] == ["s7", "s8", "s9"]
+        assert [e["event"]["query_id"] for e in events] == ["q8", "q9"]
+
+    def test_multiple_dumps_append_to_one_file(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        with use_registry(MetricsRegistry()), use_recorder(
+            SpanRecorder()
+        ), use_ledger(EventLedger()):
+            with FlightRecorder(str(path)) as flight:
+                flight.dump("first")
+                flight.dump("second")
+                assert flight.n_dumps == 2
+        dumps = _read_dumps(path)
+        assert [d[0]["trigger"] for d in dumps] == ["first", "second"]
+        assert [d[0]["dump_index"] for d in dumps] == [0, 1]
+
+    def test_tail_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            FlightRecorder(str(tmp_path / "f.jsonl"), span_tail=0)
+        with pytest.raises(ValueError):
+            FlightRecorder(str(tmp_path / "f.jsonl"), event_tail=0)
+
+
+class TestTriggers:
+    def test_lock_drop_storm_fires_on_tick_delta(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        reg = MetricsRegistry()
+        service = _FakeService()
+        with use_registry(reg), use_recorder(SpanRecorder()), use_ledger(
+            EventLedger()
+        ):
+            flight = FlightRecorder(str(path), lock_drop_threshold=4)
+            assert flight.after_tick(service) is None  # quiet tick
+            reg.inc("tracker.lock_dropped.failures", 3)
+            reg.inc("tracker.lock_dropped.staleness", 1)
+            assert flight.after_tick(service) == "lock_drop_storm"
+            # The trigger is a per-tick *delta*: the same cumulative
+            # count does not re-fire on the next tick.
+            assert flight.after_tick(service) is None
+            flight.close()
+        (dump,) = _read_dumps(path)
+        assert dump[0]["trigger"] == "lock_drop_storm"
+        assert dump[0]["tick"] == 1
+        assert dump[0]["detail"] == {"lock_drops_this_tick": 4}
+
+    def test_lock_drop_trigger_disabled_by_none(self, tmp_path):
+        reg = MetricsRegistry()
+        service = _FakeService()
+        with use_registry(reg), use_recorder(SpanRecorder()), use_ledger(
+            EventLedger()
+        ):
+            flight = FlightRecorder(
+                str(tmp_path / "f.jsonl"), lock_drop_threshold=None
+            )
+            reg.inc("tracker.lock_dropped.failures", 100)
+            assert flight.after_tick(service) is None
+            flight.close()
+        assert flight.n_dumps == 0
+
+    def test_p99_breach_fires_when_armed(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        service = _FakeService()
+        for _ in range(20):
+            service.latency.observe(
+                "fleet.query_latency_s", 5.0, buckets=(0.1, 1.0)
+            )
+        with use_registry(MetricsRegistry()), use_recorder(
+            SpanRecorder()
+        ), use_ledger(EventLedger()):
+            # Off by default: wall clock must not fire dumps unasked.
+            silent = FlightRecorder(
+                str(tmp_path / "silent.jsonl"), lock_drop_threshold=None
+            )
+            assert silent.after_tick(service) is None
+            armed = FlightRecorder(
+                str(path), lock_drop_threshold=None, p99_budget_s=1.0
+            )
+            assert armed.after_tick(service) == "slo_breach"
+            armed.close()
+        (dump,) = _read_dumps(path)
+        assert dump[0]["trigger"] == "slo_breach"
+        assert dump[0]["detail"]["budget_s"] == 1.0
+        assert dump[0]["detail"]["p99_s"] > 1.0
+
+    def test_p99_empty_histogram_never_fires(self, tmp_path):
+        service = _FakeService()  # no latency observations: p99 is NaN
+        with use_registry(MetricsRegistry()), use_recorder(
+            SpanRecorder()
+        ), use_ledger(EventLedger()):
+            flight = FlightRecorder(
+                str(tmp_path / "f.jsonl"),
+                lock_drop_threshold=None,
+                p99_budget_s=0.001,
+            )
+            assert flight.after_tick(service) is None
+        assert flight.n_dumps == 0

@@ -1,0 +1,221 @@
+"""Tests for repro.obs.openmetrics: exposition rendering and parsing."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    register_aux_registry,
+    unregister_aux_registry,
+    use_registry,
+)
+from repro.obs.openmetrics import (
+    CONTENT_TYPE,
+    exposition,
+    parse,
+    render,
+    sanitize_name,
+)
+
+
+@pytest.fixture
+def reg():
+    registry = MetricsRegistry()
+    registry.inc("fleet.queries", 7)
+    registry.set_gauge("fleet.store.vehicles", 4.0)
+    for v in (0.5, 1.5, 9.0):
+        registry.observe("fleet.query_latency_s", v, buckets=(1.0, 2.0, 4.0))
+    return registry
+
+
+class TestSanitize:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("fleet.query_latency_s") == "fleet_query_latency_s"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_name("2fast")[0] not in "0123456789"
+
+    def test_already_legal_untouched(self):
+        assert sanitize_name("up_time:total") == "up_time:total"
+
+
+class TestRender:
+    def test_counter_total_suffix(self, reg):
+        text = render(reg.snapshot())
+        assert "# TYPE fleet_queries counter\n" in text
+        assert "\nfleet_queries_total 7\n" in text
+
+    def test_gauge_bare_sample(self, reg):
+        text = render(reg.snapshot())
+        assert "# TYPE fleet_store_vehicles gauge\n" in text
+        assert "\nfleet_store_vehicles 4.0\n" in text
+
+    def test_histogram_cumulative_buckets(self, reg):
+        text = render(reg.snapshot())
+        lines = [l for l in text.split("\n") if "latency" in l]
+        assert lines == [
+            "# TYPE fleet_query_latency_s histogram",
+            'fleet_query_latency_s_bucket{le="1.0"} 1',
+            'fleet_query_latency_s_bucket{le="2.0"} 2',
+            'fleet_query_latency_s_bucket{le="4.0"} 2',
+            'fleet_query_latency_s_bucket{le="+Inf"} 3',
+            "fleet_query_latency_s_sum 11.0",
+            "fleet_query_latency_s_count 3",
+        ]
+
+    def test_ends_with_eof(self, reg):
+        assert render(reg.snapshot()).endswith("# EOF\n")
+
+    def test_sorted_by_sanitised_name(self):
+        registry = MetricsRegistry()
+        registry.inc("z.last")
+        registry.inc("a.first")
+        text = render(registry.snapshot())
+        assert text.index("a_first_total") < text.index("z_last_total")
+
+    def test_nonfinite_gauges_render(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("g.nan", float("nan"))
+        registry.set_gauge("g.inf", float("inf"))
+        registry.set_gauge("g.ninf", float("-inf"))
+        text = render(registry.snapshot())
+        assert "g_nan NaN" in text
+        assert "g_inf +Inf" in text
+        assert "g_ninf -Inf" in text
+
+    def test_equal_snapshots_render_byte_identical(self, reg):
+        other = MetricsRegistry()
+        other.merge(reg.snapshot())
+        assert render(reg.snapshot()) == render(other.snapshot())
+
+    def test_content_type_is_openmetrics(self):
+        assert CONTENT_TYPE.startswith("application/openmetrics-text")
+
+
+class TestParse:
+    def test_round_trip(self, reg):
+        families = parse(render(reg.snapshot()))
+        assert families["fleet_queries"]["type"] == "counter"
+        assert families["fleet_queries"]["samples"] == [
+            ("fleet_queries_total", {}, 7.0)
+        ]
+        hist = families["fleet_query_latency_s"]
+        assert hist["type"] == "histogram"
+        buckets = [
+            (labels["le"], value)
+            for name, labels, value in hist["samples"]
+            if name.endswith("_bucket")
+        ]
+        assert buckets[-1] == ("+Inf", 3.0)
+
+    def test_empty_snapshot_is_just_eof(self):
+        text = render(MetricsRegistry().snapshot())
+        assert text == "# EOF\n"
+        assert parse(text) == {}
+
+    def test_missing_eof_rejected(self, reg):
+        text = render(reg.snapshot()).replace("# EOF\n", "")
+        with pytest.raises(ValueError, match="EOF"):
+            parse(text)
+
+    def test_sample_before_type_rejected(self):
+        with pytest.raises(ValueError, match="precedes its TYPE"):
+            parse("orphan_total 1\n# EOF\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            parse("# TYPE m summary\n# EOF\n")
+
+    def test_duplicate_type_rejected(self):
+        with pytest.raises(ValueError, match="duplicate TYPE"):
+            parse("# TYPE m counter\n# TYPE m counter\n# EOF\n")
+
+    def test_unparseable_value_rejected(self):
+        with pytest.raises(ValueError, match="unparseable value"):
+            parse("# TYPE m counter\nm_total x\n# EOF\n")
+
+    def test_non_cumulative_buckets_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 3\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="cumulative"):
+            parse(text)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 4\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse(text)
+
+    def test_missing_inf_bucket_rejected(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 3\n'
+            "h_sum 1.0\n"
+            "h_count 3\n"
+            "# EOF\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse(text)
+
+    def test_malformed_label_rejected(self):
+        with pytest.raises(ValueError, match="malformed label"):
+            parse('# TYPE h histogram\nh_bucket{le=1} 3\n# EOF\n')
+
+    def test_nan_value_parses(self):
+        families = parse("# TYPE g gauge\ng NaN\n# EOF\n")
+        assert math.isnan(families["g"]["samples"][0][2])
+
+
+class TestExposition:
+    def test_serves_active_registry(self, reg):
+        with use_registry(reg):
+            families = parse(exposition())
+        assert "fleet_queries" in families
+
+    def test_aux_registries_folded_in(self, reg):
+        aux = MetricsRegistry()
+        aux.observe("fleet.tick_s", 0.01, buckets=(0.1, 1.0))
+        register_aux_registry("test.aux", aux)
+        try:
+            families = parse(exposition(reg))
+            assert "fleet_tick_s" in families
+            assert "fleet_queries" in families
+            assert "fleet_tick_s" not in parse(
+                exposition(reg, include_aux=False)
+            )
+        finally:
+            unregister_aux_registry("test.aux", aux)
+
+    def test_main_registry_wins_collisions(self, reg):
+        aux = MetricsRegistry()
+        aux.inc("fleet.queries", 999)
+        register_aux_registry("test.aux", aux)
+        try:
+            families = parse(exposition(reg))
+            assert families["fleet_queries"]["samples"][0][2] == 7.0
+        finally:
+            unregister_aux_registry("test.aux", aux)
+
+    def test_unregister_identity_guard(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.inc("aux.survivor")
+        register_aux_registry("test.aux", a)
+        register_aux_registry("test.aux", b)  # b took the name over
+        try:
+            unregister_aux_registry("test.aux", a)  # stale close: no-op
+            assert "aux_survivor" in parse(exposition(MetricsRegistry()))
+        finally:
+            unregister_aux_registry("test.aux", b)
+        assert "aux_survivor" not in parse(exposition(MetricsRegistry()))

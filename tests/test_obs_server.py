@@ -1,0 +1,86 @@
+"""Tests for repro.obs.server: the /metrics + /healthz endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    MetricsServer,
+    register_aux_registry,
+    unregister_aux_registry,
+)
+from repro.obs.openmetrics import CONTENT_TYPE, parse
+
+
+@pytest.fixture
+def server():
+    registry = MetricsRegistry()
+    registry.inc("fleet.queries", 3)
+    registry.observe("fleet.tick_s", 0.02, buckets=(0.1, 1.0))
+    with MetricsServer(port=0, registry=registry) as srv:
+        yield srv
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, dict(resp.headers), resp.read().decode()
+
+
+class TestMetricsServer:
+    def test_port_zero_binds_a_free_port(self, server):
+        assert server.port > 0
+        assert server.url == f"http://127.0.0.1:{server.port}"
+
+    def test_metrics_serves_valid_exposition(self, server):
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == CONTENT_TYPE
+        families = parse(body)
+        assert families["fleet_queries"]["samples"] == [
+            ("fleet_queries_total", {}, 3.0)
+        ]
+        assert "fleet_tick_s" in families
+
+    def test_scrapes_see_live_values(self, server):
+        server.registry.inc("fleet.queries", 7)
+        _, _, body = _get(server.url + "/metrics")
+        assert parse(body)["fleet_queries"]["samples"][0][2] == 10.0
+
+    def test_aux_registries_served(self, server):
+        aux = MetricsRegistry()
+        aux.observe("fleet.query_latency_s", 0.05, buckets=(0.1, 1.0))
+        register_aux_registry("test.aux", aux)
+        try:
+            _, _, body = _get(server.url + "/metrics")
+        finally:
+            unregister_aux_registry("test.aux", aux)
+        assert "fleet_query_latency_s" in parse(body)
+
+    def test_healthz(self, server):
+        _get(server.url + "/metrics")
+        status, headers, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["uptime_s"] >= 0.0
+        assert health["scrapes"] >= 1
+
+    def test_unknown_path_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_query_string_ignored(self, server):
+        status, _, body = _get(server.url + "/metrics?format=openmetrics")
+        assert status == 200 and parse(body)
+
+    def test_close_stops_serving(self):
+        server = MetricsServer(port=0, registry=MetricsRegistry())
+        url = server.url
+        server.close()
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(url + "/metrics", timeout=1)

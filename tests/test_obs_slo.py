@@ -1,0 +1,221 @@
+"""Tests for repro.obs.slo: latency objectives and error budgets."""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    register_aux_registry,
+    unregister_aux_registry,
+)
+from repro.obs import slo
+from repro.obs.slo import (
+    DEFAULT_FLEET_BUDGETS,
+    DEFAULT_FLEET_OBJECTIVES,
+    ErrorBudget,
+    LatencyObjective,
+    any_burning,
+    attainment_from,
+    evaluate,
+    format_report,
+    gathered_snapshot,
+    set_slo_gauges,
+)
+
+
+def _hist_data(values, edges=(0.1, 0.5, 2.0)):
+    reg = MetricsRegistry()
+    for v in values:
+        reg.observe("h", v, buckets=edges)
+    return reg.snapshot()["histograms"]["h"]
+
+
+def _snapshot(latencies=(), counters=None, edges=(0.1, 0.5, 2.0)):
+    reg = MetricsRegistry()
+    for v in latencies:
+        reg.observe("fleet.query_latency_s", v, buckets=edges)
+    for name, value in (counters or {}).items():
+        reg.inc(name, value)
+    return reg.snapshot()
+
+
+class TestAttainment:
+    def test_empty_is_nan(self):
+        # Histograms are created lazily, so "empty" only ever reaches
+        # attainment_from as a zero-count dict (e.g. exported JSON).
+        assert math.isnan(attainment_from({"count": 0}, 1.0))
+
+    def test_threshold_outside_observed_range(self):
+        data = _hist_data([0.2, 0.3, 0.4])
+        assert attainment_from(data, 0.1) == 0.0  # below min
+        assert attainment_from(data, 0.4) == 1.0  # at max
+        assert attainment_from(data, 99.0) == 1.0
+
+    def test_whole_buckets_counted(self):
+        # 2 in (min..0.1], 2 in (0.1..0.5], 1 overflow; threshold at an
+        # edge counts everything at or under it.
+        data = _hist_data([0.05, 0.08, 0.2, 0.4, 5.0])
+        assert attainment_from(data, 0.5) == pytest.approx(0.8)
+
+    def test_interpolates_within_bucket(self):
+        # One observation per bucket; halfway into the second bucket's
+        # span (0.1..0.5) credits half that bucket's mass.
+        data = _hist_data([0.05, 0.3, 1.0])
+        assert attainment_from(data, 0.3) == pytest.approx((1 + 0.5) / 3)
+
+    def test_monotone_in_threshold(self):
+        data = _hist_data([0.05, 0.2, 0.4, 1.0, 5.0])
+        thresholds = [0.01, 0.1, 0.3, 0.5, 1.0, 2.0, 10.0]
+        values = [attainment_from(data, t) for t in thresholds]
+        assert values == sorted(values)
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+
+class TestObjectives:
+    OBJECTIVE = LatencyObjective(
+        slug="p95", histogram="fleet.query_latency_s",
+        threshold_s=0.5, target=0.95, quantile=0.95,
+    )
+
+    def test_met_and_burn(self):
+        snap = _snapshot(latencies=[0.05] * 99 + [5.0])
+        (status,), _ = evaluate(snap, [self.OBJECTIVE], [])
+        assert status.met
+        assert status.count == 100
+        assert status.attainment == pytest.approx(0.99)
+        # 1% misses against a 5% allowance: one fifth of budget burned.
+        assert status.burn == pytest.approx(0.2)
+
+    def test_missed(self):
+        snap = _snapshot(latencies=[0.05] * 5 + [5.0] * 5)
+        (status,), _ = evaluate(snap, [self.OBJECTIVE], [])
+        assert not status.met
+        assert status.burn > 1.0
+
+    def test_empty_histogram_is_no_data(self):
+        (status,), _ = evaluate(_snapshot(), [self.OBJECTIVE], [])
+        assert status.count == 0
+        assert not status.met
+        assert math.isnan(status.attainment)
+        assert status.quantile_value.empty
+
+    def test_quantile_flags_surfaced(self):
+        # All observations past the last edge: the headline percentile
+        # is a clamped interpolation and says so.
+        snap = _snapshot(latencies=[10.0, 20.0])
+        (status,), _ = evaluate(snap, [self.OBJECTIVE], [])
+        assert status.quantile_value.overflow_only
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            LatencyObjective(slug="x", histogram="h", threshold_s=1.0, target=0.0)
+        with pytest.raises(ValueError, match="quantile"):
+            LatencyObjective(slug="x", histogram="h", threshold_s=1.0, quantile=2.0)
+
+
+class TestBudgets:
+    BUDGET = ErrorBudget(
+        slug="serve",
+        bad=("fleet.queries.rejected.",),
+        total="fleet.queries",
+        target=0.995,
+    )
+
+    def test_prefix_entries_sum_the_taxonomy(self):
+        snap = _snapshot(counters={
+            "fleet.queries": 1000,
+            "fleet.queries.rejected.unknown_vehicle": 2,
+            "fleet.queries.rejected.no_session": 1,
+        })
+        _, (status,) = evaluate(snap, [], [self.BUDGET])
+        assert status.bad == 3
+        assert status.error_rate == pytest.approx(0.003)
+        assert status.burn == pytest.approx(0.6)
+        assert status.met
+
+    def test_exact_entries_read_one_counter(self):
+        budget = ErrorBudget(
+            slug="locks",
+            bad=("tracker.lock_dropped.failures",),
+            total="fleet.queries",
+            target=0.99,
+        )
+        snap = _snapshot(counters={
+            "fleet.queries": 100,
+            "tracker.lock_dropped.failures": 2,
+            "tracker.lock_dropped.staleness": 50,  # not in this budget
+        })
+        _, (status,) = evaluate(snap, [], [budget])
+        assert status.bad == 2
+        assert status.burn == pytest.approx(2.0)
+        assert not status.met
+
+    def test_zero_total_is_vacuously_met(self):
+        _, (status,) = evaluate(_snapshot(), [], [self.BUDGET])
+        assert status.total == 0 and status.met and status.burn == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            ErrorBudget(slug="x", bad=(), total="t", target=1.0)
+
+
+class TestGaugesAndReport:
+    def _statuses(self):
+        snap = _snapshot(
+            latencies=[0.05] * 20,
+            counters={"fleet.queries": 20},
+        )
+        return evaluate(snap)
+
+    def test_default_slos_over_healthy_fleet(self):
+        objective_statuses, budget_statuses = self._statuses()
+        assert len(objective_statuses) == len(DEFAULT_FLEET_OBJECTIVES)
+        assert len(budget_statuses) == len(DEFAULT_FLEET_BUDGETS)
+        assert all(s.met for s in objective_statuses)
+        assert all(s.met for s in budget_statuses)
+
+    def test_set_slo_gauges_names_are_registered(self):
+        from repro.obs.names import is_registered_gauge
+
+        reg = MetricsRegistry()
+        set_slo_gauges(self._statuses(), registry=reg)
+        gauges = reg.snapshot()["gauges"]
+        assert "slo.fleet_query_p99.attainment" in gauges
+        assert "slo.fleet_query_p99.burn" in gauges
+        assert "slo.fleet_serve.error_rate" in gauges
+        assert all(is_registered_gauge(name) for name in gauges)
+
+    def test_format_report_structure(self):
+        report = format_report(self._statuses())
+        assert report.startswith("SLO report")
+        for objective in DEFAULT_FLEET_OBJECTIVES:
+            assert f"{objective.slug}: MET" in report
+        for budget in DEFAULT_FLEET_BUDGETS:
+            assert f"{budget.slug}: MET" in report
+
+    def test_format_report_no_data(self):
+        report = format_report(evaluate(_snapshot()))
+        assert "NO DATA" in report
+
+    def test_any_burning(self):
+        assert not any_burning(self._statuses())
+        hot = _snapshot(latencies=[5.0] * 10, counters={"fleet.queries": 10})
+        assert any_burning(evaluate(hot))
+        # NaN burns (empty histograms) never count as burning.
+        assert not any_burning(evaluate(_snapshot()))
+
+    def test_gathered_snapshot_folds_aux(self):
+        main = MetricsRegistry()
+        main.inc("fleet.queries", 5)
+        aux = MetricsRegistry()
+        aux.observe("fleet.query_latency_s", 0.05, buckets=(0.1, 1.0))
+        register_aux_registry("test.aux", aux)
+        try:
+            snap = gathered_snapshot(main)
+        finally:
+            unregister_aux_registry("test.aux", aux)
+        assert snap["counters"]["fleet.queries"] == 5
+        assert snap["histograms"]["fleet.query_latency_s"]["count"] == 1
+        objective_statuses, _ = evaluate(snap)
+        assert objective_statuses[0].count == 1

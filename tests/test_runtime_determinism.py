@@ -8,7 +8,10 @@ artifacts.
 """
 
 import io
+import json
+import os
 import pickle
+import tempfile
 
 import pytest
 
@@ -17,8 +20,17 @@ from repro.core.config import RupsConfig
 from repro.experiments.campaign import run_campaign
 from repro.experiments.fleet import fleet_replay
 from repro.experiments.registry import run_experiment, run_experiments
-from repro.obs import MetricsRegistry, invariant_snapshot, use_registry
+from repro.obs import (
+    FlightRecorder,
+    MetricsRegistry,
+    SpanRecorder,
+    invariant_snapshot,
+    trace,
+    use_recorder,
+    use_registry,
+)
 from repro.obs.events import EventLedger, use_ledger
+from repro.obs.openmetrics import parse, render
 from repro.runtime import DeterministicExecutor
 
 SMALL_CAMPAIGN = dict(
@@ -46,6 +58,14 @@ def _metrics_task(item: int) -> int:
     obs.set_gauge("task.last", float(item))
     obs.observe("task.value", float(item), buckets=(2.0, 5.0, 8.0))
     return item * 2
+
+
+def _traced_task(item: int) -> int:
+    """Task opening spans, so worker-side traces cross the pool boundary."""
+    with trace("task.stage", attrs=(("item", item),)):
+        with trace("task.inner"):
+            pass
+    return item
 
 
 class TestCampaignJobsDeterminism:
@@ -137,6 +157,96 @@ class TestMetricsMergeDeterminism:
         assert serial["syn.searches"] == 6
         assert serial == parallel
 
+    @pytest.mark.parametrize("jobs", [1, 4])
+    def test_invariant_snapshot_placement_filter_across_jobs(
+        self, small_plan, jobs
+    ):
+        """Placement series are stripped by default, included on request.
+
+        Under any ``jobs`` the raw snapshot holds ``engine.cache.*``
+        (and, pooled, ``runtime.shared.*``) counters plus ``span.*``
+        wall-clock histograms; the invariant view must drop all of them
+        while an explicit empty exclusion list keeps the full picture.
+        """
+        registry = MetricsRegistry()
+        with use_registry(registry), use_recorder(SpanRecorder(capacity=4096)):
+            run_campaign(plan=small_plan, jobs=jobs, **SMALL_CAMPAIGN)
+        snap = registry.snapshot()
+        assert any(k.startswith("engine.cache.") for k in snap["counters"])
+        if jobs > 1:
+            assert any(
+                k.startswith("runtime.shared.") for k in snap["counters"]
+            )
+        assert any(k.startswith("span.") for k in snap["histograms"])
+        view = invariant_snapshot(snap)
+        assert not any(
+            k.startswith(("engine.cache.", "runtime.shared."))
+            for k in view["counters"]
+        )
+        assert not any(k.startswith("span.") for k in view["histograms"])
+        full = invariant_snapshot(
+            snap, exclude_histogram_prefixes=(), exclude_counter_prefixes=()
+        )
+        assert set(full["counters"]) == set(snap["counters"])
+        assert set(full["histograms"]) == set(snap["histograms"])
+
+
+class TestTraceStitchingDeterminism:
+    """The merged trace tree is as jobs-invariant as the results.
+
+    Each pooled task records spans under a fresh recorder whose context
+    is its submission path; the executor adopts the snapshots back in
+    submission order, so the structural view — names, deterministic IDs,
+    parent links, order — must be byte-identical for any ``jobs``.
+    """
+
+    @staticmethod
+    def _structural_for(jobs):
+        registry = MetricsRegistry()
+        recorder = SpanRecorder(context=("root",))
+        with use_registry(registry), use_recorder(recorder):
+            with DeterministicExecutor(jobs=jobs) as executor:
+                with trace("wave"):
+                    results = executor.map_ordered(_traced_task, range(8))
+        assert results == list(range(8))
+        return recorder, registry
+
+    @pytest.mark.parametrize("jobs", [2, 4, None])
+    def test_structural_tree_byte_identical_across_jobs(self, jobs):
+        serial, _ = self._structural_for(1)
+        parallel, _ = self._structural_for(jobs)
+        serial_view = json.dumps(serial.structural(), sort_keys=True)
+        parallel_view = json.dumps(parallel.structural(), sort_keys=True)
+        assert serial_view == parallel_view
+
+    def test_task_spans_stitched_under_wave_span(self):
+        recorder, registry = self._structural_for(2)
+        spans = recorder.structural()["spans"]
+        by_name = {}
+        for span in spans:
+            by_name.setdefault(span["name"], []).append(span)
+        (wave,) = by_name["wave"]
+        # Task-root spans hang off the span that wrapped the executor
+        # wave; nested task spans keep their in-task structure.
+        assert len(by_name["task.stage"]) == 8
+        for stage in by_name["task.stage"]:
+            assert stage["parent"] == "wave"
+            assert stage["parent_id"] == wave["span_id"]
+            assert stage["trace_id"] == recorder.trace_id
+            assert stage["depth"] == 1
+        for inner in by_name["task.inner"]:
+            assert inner["parent"] == "task.stage"
+            assert inner["depth"] == 2
+        # Distinct submission paths give distinct span IDs.
+        ids = [s["span_id"] for s in spans]
+        assert len(set(ids)) == len(ids)
+        # Items land in submission order (attrs are structural).
+        items = [s["attrs"]["item"] for s in by_name["task.stage"]]
+        assert items == list(range(8))
+        # Worker span durations reach the merged registry exactly once.
+        hist = registry.snapshot()["histograms"]["span.task.stage"]
+        assert hist["count"] == 8
+
 
 class TestSharedStaticsDeterminism:
     """Shared-statics caches are a transport detail, never a results knob.
@@ -215,34 +325,105 @@ class TestFleetJobsDeterminism:
     """The fleet service inherits the runtime's whole contract.
 
     With a fixed seed the replay's answered queries, the merged
-    *invariant* metrics view, and the exported provenance events must be
-    byte-identical under any ``jobs``/``shared_statics`` setting; only
-    the wall-clock latency figures (kept in the service's local
-    registry, not compared here) may move.
+    *invariant* metrics view, the exported provenance events, the
+    structural trace tree, its OpenMetrics exposition, and a
+    flight-recorder dump must all be byte-identical under any
+    ``jobs``/``shared_statics`` setting; only the wall-clock latency
+    figures (kept in the service's local registry, not compared here)
+    may move.
     """
 
     @staticmethod
     def _run(small_plan, **kwargs):
         registry = MetricsRegistry()
         ledger = EventLedger()
-        with use_registry(registry), use_ledger(ledger):
+        recorder = SpanRecorder(capacity=8192)
+        with use_registry(registry), use_ledger(ledger), use_recorder(
+            recorder
+        ):
             result = fleet_replay(
                 plan=small_plan, config=FLEET_CONFIG, **SMALL_FLEET, **kwargs
             )
+            with tempfile.TemporaryDirectory() as tmp:
+                flight_path = os.path.join(tmp, "flight.jsonl")
+                with FlightRecorder(
+                    flight_path, span_tail=8192, lock_drop_threshold=None
+                ) as flight:
+                    flight.dump("end_of_run")
+                with open(flight_path, "rb") as fh:
+                    flight_bytes = fh.read()
+        # Ring eviction would make the retained tail depend on how many
+        # placement spans each layout recorded — keep the ring larger
+        # than the replay so the comparison is over the full trace.
+        assert recorder.dropped == 0
         buffer = io.StringIO()
         ledger.write_jsonl(buffer)
         return (
             pickle.dumps(result.outcomes),
             pickle.dumps(invariant_snapshot(registry.snapshot())),
             buffer.getvalue(),
+            json.dumps(recorder.structural(), sort_keys=True),
+            render(invariant_snapshot(registry.snapshot())),
+            flight_bytes,
         )
 
-    @pytest.mark.parametrize("jobs", [2, 4])
+    @pytest.mark.parametrize("jobs", [2, 4, None])
     def test_parallel_replay_byte_identical_to_serial(self, small_plan, jobs):
         serial = self._run(small_plan, jobs=1)
         assert serial[0] and serial[2]  # queries answered, events exported
+        assert json.loads(serial[3])["spans"]  # trace tree populated
+        assert parse(serial[4])  # exposition is valid OpenMetrics
+        assert serial[5]  # flight dump written
         parallel = self._run(small_plan, jobs=jobs)
         assert parallel == serial
+
+    def test_exported_event_walks_back_to_chunk_span(self, small_plan):
+        """One seeded query: exported event → query span → chunk span.
+
+        The differential join the observability plane promises: an
+        exported event carries its query's deterministic span ID; that
+        span's links name the exact worker chunk (and tick phases) that
+        produced the estimate.
+        """
+        from repro.obs.tracing import query_span_id
+
+        registry = MetricsRegistry()
+        ledger = EventLedger()
+        recorder = SpanRecorder(capacity=8192)
+        with use_registry(registry), use_ledger(ledger), use_recorder(
+            recorder
+        ):
+            fleet_replay(
+                plan=small_plan, config=FLEET_CONFIG, **SMALL_FLEET, jobs=2
+            )
+        spans = {
+            s["span_id"]: s for s in recorder.structural()["spans"]
+        }
+        walked = 0
+        for event in ledger.to_dicts():
+            if event["query_id"] is None:
+                continue
+            # Every per-query event's exemplar is the deterministic
+            # query-span ID — computable from the query id alone.
+            assert event["span_id"] == query_span_id(event["query_id"])
+            query_span = spans.get(event["span_id"])
+            if query_span is None:
+                continue  # query submitted but not answered by replay end
+            assert query_span["name"] == "fleet.query"
+            assert query_span["attrs"]["query_id"] == event["query_id"]
+            linked = [spans[sid] for sid in query_span["links"]]
+            linked_names = {s["name"] for s in linked}
+            assert "fleet.plan" in linked_names
+            chunks = [s for s in linked if s["name"] == "fleet.search_chunk"]
+            if not chunks:
+                continue  # answered without a search (e.g. rejected)
+            for chunk in chunks:
+                assert chunk["attrs"]["pairs"] >= 1
+                assert chunk["trace_id"] == recorder.trace_id
+            walked += 1
+        # The join must actually fire for a healthy replay, not
+        # vacuously pass over an empty ledger.
+        assert walked > 0
 
     def test_shared_statics_off_byte_identical(self, small_plan):
         serial = self._run(small_plan, jobs=1)
